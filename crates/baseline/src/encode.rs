@@ -1,0 +1,303 @@
+//! First-order encodings of the three stock schemata.
+//!
+//! The encodings are deliberately *faithful* to what a first-order system
+//! (SQL, Datalog) would hold:
+//!
+//! * **euter** — one ternary relation `r(date, stk, price)`. The schema
+//!   never changes; one fixed query covers all states.
+//! * **chwab** — one wide relation whose *columns* are stock codes. A
+//!   first-order system has no way to quantify over columns, so the
+//!   encoder must emit one relation `r` of arity `1 + #stocks` — and any
+//!   program touching it must be regenerated when a stock appears. The
+//!   generated query for "any stock above X" is a *union with one disjunct
+//!   per stock*, i.e. its size is data-dependent.
+//! * **ource** — one binary relation *per stock*. Same story: the program
+//!   enumerates relation names, so it is state-dependent.
+//!
+//! [`fo_above_query`] makes this concrete: it returns the per-schema
+//! first-order program for the paper's "did any stock ever close above
+//! \$200?" query, along with the set of schema elements it hard-codes.
+//! Experiment E8 asserts that adding one stock changes the generated
+//! programs for chwab/ource but not for euter — the inexpressibility
+//! demonstration.
+
+use crate::datalog::{FoCmp, FoDatabase, FoLiteral, FoQuery, FoTerm};
+use idl_object::{Date, Value};
+use std::collections::BTreeSet;
+
+/// A quote triple.
+pub type Quote = (Date, String, f64);
+
+/// Which of the three schemata to encode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schema {
+    /// Stock codes as data.
+    Euter,
+    /// Stock codes as attribute (column) names.
+    Chwab,
+    /// Stock codes as relation names.
+    Ource,
+}
+
+/// Encodes quotes into a first-order database under the given schema.
+pub fn encode(schema: Schema, quotes: &[Quote]) -> FoDatabase {
+    let mut db = FoDatabase::new();
+    match schema {
+        Schema::Euter => {
+            db.create_relation("r", 3);
+            for (d, s, p) in quotes {
+                db.insert("r", vec![Value::date(*d), Value::str(s), Value::float(*p)]);
+            }
+        }
+        Schema::Chwab => {
+            // Column order: date, then stocks sorted by name — the schema
+            // is a function of the data.
+            let stocks = stock_codes(quotes);
+            db.create_relation("r", 1 + stocks.len());
+            let dates: BTreeSet<Date> = quotes.iter().map(|(d, _, _)| *d).collect();
+            for d in dates {
+                let mut row = vec![Value::date(d)];
+                for s in &stocks {
+                    let price = quotes
+                        .iter()
+                        .find(|(qd, qs, _)| *qd == d && qs == s)
+                        .map(|(_, _, p)| Value::float(*p))
+                        .unwrap_or_else(Value::null);
+                    row.push(price);
+                }
+                db.insert("r", row);
+            }
+        }
+        Schema::Ource => {
+            for s in stock_codes(quotes) {
+                db.create_relation(&s, 2);
+            }
+            for (d, s, p) in quotes {
+                db.insert(s, vec![Value::date(*d), Value::float(*p)]);
+            }
+        }
+    }
+    db
+}
+
+/// Sorted distinct stock codes in a quote set.
+pub fn stock_codes(quotes: &[Quote]) -> Vec<String> {
+    let set: BTreeSet<&str> = quotes.iter().map(|(_, s, _)| s.as_str()).collect();
+    set.into_iter().map(str::to_string).collect()
+}
+
+/// The first-order program(s) answering *"which stocks ever closed above
+/// `threshold`?"* under a schema, together with the schema elements the
+/// program hard-codes. For `Euter` the program is state-independent
+/// (`hardcoded` is empty); for the other two it must enumerate schema
+/// elements and is therefore invalidated by data changes.
+pub struct FoAboveQuery {
+    /// One conjunctive query per disjunct; the answer is the union of
+    /// their results. Each query outputs a single column: the stock code.
+    pub disjuncts: Vec<FoQuery>,
+    /// Stock codes baked into the program text.
+    pub hardcoded: Vec<String>,
+}
+
+/// Builds the per-schema program for the "> threshold" intention.
+pub fn fo_above_query(schema: Schema, quotes: &[Quote], threshold: f64) -> FoAboveQuery {
+    match schema {
+        Schema::Euter => FoAboveQuery {
+            disjuncts: vec![FoQuery {
+                body: vec![
+                    FoLiteral::Atom {
+                        pred: "r".into(),
+                        args: vec![FoTerm::v("D"), FoTerm::v("S"), FoTerm::v("P")],
+                    },
+                    FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(threshold)),
+                ],
+                outputs: vec!["S".into()],
+            }],
+            hardcoded: vec![],
+        },
+        Schema::Chwab => {
+            let stocks = stock_codes(quotes);
+            // one disjunct per column: select rows where column_i > t,
+            // outputting the (hard-coded!) stock name via a constant bound
+            // through an equality trick: S = "code".
+            let disjuncts = stocks
+                .iter()
+                .enumerate()
+                .map(|(i, code)| {
+                    let mut args = vec![FoTerm::v("D")];
+                    for j in 0..stocks.len() {
+                        args.push(if i == j {
+                            FoTerm::v("P")
+                        } else {
+                            FoTerm::Var(format!("_{j}"))
+                        });
+                    }
+                    FoQuery {
+                        body: vec![
+                            FoLiteral::Atom { pred: "r".into(), args },
+                            FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(threshold)),
+                            FoLiteral::Cmp(
+                                FoTerm::v("S"),
+                                FoCmp::Eq,
+                                FoTerm::c(Value::str(code)),
+                            ),
+                        ],
+                        outputs: vec!["S".into()],
+                    }
+                })
+                .collect();
+            FoAboveQuery { disjuncts, hardcoded: stocks }
+        }
+        Schema::Ource => {
+            let stocks = stock_codes(quotes);
+            let disjuncts = stocks
+                .iter()
+                .map(|code| FoQuery {
+                    body: vec![
+                        FoLiteral::Atom {
+                            pred: code.clone(),
+                            args: vec![FoTerm::v("D"), FoTerm::v("P")],
+                        },
+                        FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(threshold)),
+                        FoLiteral::Cmp(FoTerm::v("S"), FoCmp::Eq, FoTerm::c(Value::str(code))),
+                    ],
+                    outputs: vec!["S".into()],
+                })
+                .collect();
+            FoAboveQuery { disjuncts, hardcoded: stocks }
+        }
+    }
+}
+
+/// Runs an [`FoAboveQuery`], unioning the disjuncts.
+pub fn run_above(db: &FoDatabase, q: &FoAboveQuery) -> BTreeSet<Value> {
+    let mut out = BTreeSet::new();
+    for d in &q.disjuncts {
+        if let Ok(rows) = db.query(d) {
+            for row in rows {
+                out.insert(row[0].clone());
+            }
+        }
+    }
+    out
+}
+
+// The Cmp Eq "binding" trick requires an unbound variable on the left to
+// be *assigned*; classical built-ins cannot bind. Keep the comparison
+// honest: rewrite `S = const` disjuncts at run time instead.
+// (See `run_above_binding` below, which the tests use.)
+
+/// Like [`run_above`] but handles the `S = const` output-binding disjuncts
+/// by substituting the constant directly (built-ins cannot bind variables
+/// in classical Datalog; this mirrors SQL's `SELECT 'code' AS s`).
+pub fn run_above_binding(db: &FoDatabase, q: &FoAboveQuery) -> BTreeSet<Value> {
+    let mut out = BTreeSet::new();
+    for d in &q.disjuncts {
+        // Split off a trailing `S = const` pseudo-literal, if present.
+        let mut body = d.body.clone();
+        let mut constant_output: Option<Value> = None;
+        body.retain(|lit| match lit {
+            FoLiteral::Cmp(FoTerm::Var(v), FoCmp::Eq, FoTerm::Const(c)) if v == "S" => {
+                constant_output = Some(c.clone());
+                false
+            }
+            _ => true,
+        });
+        match constant_output {
+            Some(c) => {
+                let probe = FoQuery { body, outputs: vec!["P".into()] };
+                if let Ok(rows) = db.query(&probe) {
+                    if !rows.is_empty() {
+                        out.insert(c);
+                    }
+                }
+            }
+            None => {
+                if let Ok(rows) = db.query(d) {
+                    for row in rows {
+                        out.insert(row[0].clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotes() -> Vec<Quote> {
+        let d1: Date = "3/3/85".parse().unwrap();
+        let d2: Date = "3/4/85".parse().unwrap();
+        vec![
+            (d1, "hp".into(), 50.0),
+            (d1, "ibm".into(), 210.0),
+            (d2, "hp".into(), 62.0),
+            (d2, "ibm".into(), 155.0),
+        ]
+    }
+
+    #[test]
+    fn encodings_have_expected_shapes() {
+        let q = quotes();
+        let e = encode(Schema::Euter, &q);
+        assert_eq!(e.facts("r").unwrap().len(), 4);
+        assert_eq!(e.arity("r"), Some(3));
+
+        let c = encode(Schema::Chwab, &q);
+        assert_eq!(c.facts("r").unwrap().len(), 2, "one row per date");
+        assert_eq!(c.arity("r"), Some(3), "date + 2 stock columns");
+
+        let o = encode(Schema::Ource, &q);
+        assert_eq!(o.relation_names().count(), 2);
+        assert_eq!(o.facts("hp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn same_intention_all_schemata() {
+        let q = quotes();
+        for schema in [Schema::Euter, Schema::Chwab, Schema::Ource] {
+            let db = encode(schema, &q);
+            let prog = fo_above_query(schema, &q, 200.0);
+            let hits = run_above_binding(&db, &prog);
+            assert_eq!(
+                hits.into_iter().collect::<Vec<_>>(),
+                vec![Value::str("ibm")],
+                "{schema:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chwab_and_ource_programs_are_state_dependent() {
+        let q1 = quotes();
+        let mut q2 = quotes();
+        q2.push(("3/5/85".parse().unwrap(), "sun".into(), 300.0));
+
+        // euter: same program before and after
+        let e1 = fo_above_query(Schema::Euter, &q1, 200.0);
+        let e2 = fo_above_query(Schema::Euter, &q2, 200.0);
+        assert_eq!(e1.disjuncts.len(), e2.disjuncts.len());
+        assert!(e1.hardcoded.is_empty());
+
+        // chwab/ource: program size grows with the data
+        for schema in [Schema::Chwab, Schema::Ource] {
+            let p1 = fo_above_query(schema, &q1, 200.0);
+            let p2 = fo_above_query(schema, &q2, 200.0);
+            assert_eq!(p1.disjuncts.len(), 2);
+            assert_eq!(p2.disjuncts.len(), 3, "{schema:?}: new stock ⇒ new program");
+            assert!(p2.hardcoded.contains(&"sun".to_string()));
+        }
+
+        // and the stale program silently misses the new stock
+        let db2 = encode(Schema::Ource, &q2);
+        let stale = fo_above_query(Schema::Ource, &q1, 200.0);
+        let hits = run_above_binding(&db2, &stale);
+        assert!(
+            !hits.contains(&Value::str("sun")),
+            "stale first-order program misses data the IDL query finds"
+        );
+    }
+}

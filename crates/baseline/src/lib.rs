@@ -1,0 +1,35 @@
+//! # `idl-baseline` — the first-order comparator
+//!
+//! The paper's central argument (§1–§2) is negative: *"Present relational
+//! language capabilities are insufficient to provide interoperability of
+//! databases even if they are all relational"*, because first-order
+//! languages cannot quantify over metadata. This crate is the other side of
+//! that argument, built so the repository can *demonstrate* it rather than
+//! assert it:
+//!
+//! * [`datalog`] — a classic first-order Datalog engine (fixed-arity
+//!   relations, positional terms, stratified negation, semi-naive
+//!   fixpoint). This is the stand-in for "SQL / Datalog / LDL" in the
+//!   paper's comparison.
+//! * [`encode`] — faithful first-order encodings of the three stock
+//!   schemata. For `euter` the encoding is state-independent; for `chwab`
+//!   and `ource` the *schema itself* depends on the data, so the encoder
+//!   must regenerate relations (and every program referencing them) when a
+//!   stock appears — the inexpressibility demonstrator of experiment E8.
+//! * [`msql`] — an MSQL-style broadcast layer (after Litwin's MSQL, which
+//!   the paper cites as subsumed): one *template* query instantiated
+//!   against many databases. It shows what 1980s multidatabase languages
+//!   could do — same query against same-schema databases — and what they
+//!   could not: bridging schematic discrepancies without per-schema
+//!   rewrites.
+//!
+//! The benchmark B6 uses [`datalog`] as the performance baseline for
+//! queries expressible in both languages.
+
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod encode;
+pub mod msql;
+
+pub use datalog::{FoDatabase, FoLiteral, FoProgram, FoQuery, FoRule, FoTerm};

@@ -1,0 +1,132 @@
+//! MSQL-style multidatabase broadcast.
+//!
+//! Litwin's MSQL (cited by the paper, whose interoperability features IDL
+//! "subsumes") lets one statement address *several databases at once* —
+//! provided they share a schema: `SELECT … FROM db1.r, db2.r …`. This
+//! module models that capability over the first-order engine: a
+//! [`Broadcast`] holds named member databases and runs one template query
+//! against each member, tagging results with the member name.
+//!
+//! What it cannot do — and what experiment E8/B6 demonstrate — is run one
+//! template across *schematically discrepant* members: the template's
+//! relation and column references are fixed first-order symbols.
+
+use crate::datalog::{FoDatabase, FoQuery};
+use idl_object::Value;
+use std::collections::BTreeMap;
+
+/// A named collection of first-order databases.
+#[derive(Default)]
+pub struct Broadcast {
+    members: BTreeMap<String, FoDatabase>,
+}
+
+/// Result rows per member database.
+pub type BroadcastResult = BTreeMap<String, Vec<Vec<Value>>>;
+
+impl Broadcast {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member database.
+    pub fn add_member(&mut self, name: impl Into<String>, db: FoDatabase) {
+        self.members.insert(name.into(), db);
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Access a member.
+    pub fn member(&self, name: &str) -> Option<&FoDatabase> {
+        self.members.get(name)
+    }
+
+    /// Runs one template query against every member. Members whose schema
+    /// does not fit the template (missing relation, wrong arity) yield an
+    /// error entry rather than silently succeeding — MSQL required
+    /// matching schemas.
+    pub fn broadcast(&self, template: &FoQuery) -> BTreeMap<String, Result<Vec<Vec<Value>>, String>> {
+        self.members
+            .iter()
+            .map(|(name, db)| {
+                let r = db.query(template).map(|set| set.into_iter().collect());
+                (name.clone(), r)
+            })
+            .collect()
+    }
+
+    /// Union of successful member results (MSQL's multiple-identical-
+    /// schema use case).
+    pub fn broadcast_union(&self, template: &FoQuery) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for r in self.broadcast(template).into_values().flatten() {
+            out.extend(r);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::{FoCmp, FoLiteral, FoTerm};
+    use crate::encode::{encode, Schema};
+    use idl_object::Date;
+
+    fn two_euter_members() -> Broadcast {
+        let d: Date = "3/3/85".parse().unwrap();
+        let mut b = Broadcast::new();
+        b.add_member("nyse", encode(Schema::Euter, &[(d, "hp".into(), 50.0)]));
+        b.add_member("lse", encode(Schema::Euter, &[(d, "bp".into(), 250.0)]));
+        b
+    }
+
+    fn above(threshold: f64) -> FoQuery {
+        FoQuery {
+            body: vec![
+                FoLiteral::Atom {
+                    pred: "r".into(),
+                    args: vec![FoTerm::v("D"), FoTerm::v("S"), FoTerm::v("P")],
+                },
+                FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(threshold)),
+            ],
+            outputs: vec!["S".into()],
+        }
+    }
+
+    #[test]
+    fn broadcast_over_identical_schemas_works() {
+        let b = two_euter_members();
+        let rows = b.broadcast_union(&above(100.0));
+        assert_eq!(rows, vec![vec![Value::str("bp")]]);
+        let per_member = b.broadcast(&above(0.0));
+        assert_eq!(per_member["nyse"].as_ref().unwrap().len(), 1);
+        assert_eq!(per_member["lse"].as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn broadcast_over_discrepant_schemas_fails() {
+        let d: Date = "3/3/85".parse().unwrap();
+        let quotes = vec![(d, "hp".to_string(), 210.0)];
+        let mut b = Broadcast::new();
+        b.add_member("euter", encode(Schema::Euter, &quotes));
+        b.add_member("ource", encode(Schema::Ource, &quotes));
+        let results = b.broadcast(&above(200.0));
+        assert!(results["euter"].is_ok());
+        assert!(
+            results["ource"].is_err(),
+            "the euter-shaped template cannot address the ource schema"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! B10 — incremental vs full view refresh.
+//!
+//! After a single point update to one base relation, the engine can either
+//! rebuild every view (full) or re-derive only the rules transitively
+//! affected by the journalled change (incremental, the default). The
+//! workload installs the two-level mapping plus an *independent* view
+//! family over an unrelated database, so incremental mode has something to
+//! skip.
+//!
+//! Expected shape: incremental ≤ full everywhere; the gap grows with the
+//! amount of unrelated view state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl::{Engine, EngineOptions};
+use idl_bench::stock_store;
+use std::hint::black_box;
+use std::time::Duration;
+
+const B10_SIZES: &[(usize, usize)] = &[(5, 20), (10, 50), (20, 100)];
+
+fn engine(stocks: usize, days: usize, incremental: bool) -> Engine {
+    let mut e = Engine::from_store(stock_store(stocks, days));
+    e.set_options(EngineOptions { incremental_refresh: incremental, ..Default::default() });
+    idl::transparency::install_two_level_mapping(&mut e).unwrap();
+    // an unrelated view family the point update never touches
+    e.store_mut()
+        .insert("audit", "log", idl_object::tuple! { id: 0i64 })
+        .unwrap();
+    e.add_rules(".vAudit.ids(.id=I) <- .audit.log(.id=I) ;").unwrap();
+    e.refresh_views().unwrap();
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B10_ablation_incremental");
+    for &(stocks, days) in B10_SIZES {
+        let label = format!("{stocks}stk_x_{days}d");
+        for (mode, incremental) in [("incremental", true), ("full", false)] {
+            // hot path: the update hits euter, which feeds the (fully
+            // connected) two-level mapping — almost everything is dirty.
+            group.bench_function(BenchmarkId::new(format!("{mode}_hot"), &label), |b| {
+                let mut e = engine(stocks, days, incremental);
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    e.update(&format!(
+                        "?.euter.r+(.date=3/3/85,.stkCode=bench,.clsPrice={i})"
+                    ))
+                    .unwrap();
+                    let a = e.query("?.dbI.p(.stk=bench, .clsPrice=P)").unwrap();
+                    black_box(a.len())
+                })
+            });
+            // cold path: the update hits the independent audit database —
+            // only the tiny vAudit view is dirty; the stock views are not.
+            group.bench_function(BenchmarkId::new(format!("{mode}_cold"), &label), |b| {
+                let mut e = engine(stocks, days, incremental);
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    e.update(&format!("?.audit.log+(.id={i})")).unwrap();
+                    let a = e.query("?.vAudit.ids(.id=I)").unwrap();
+                    black_box(a.len())
+                })
+            });
+        }
+        // differential sanity at this size
+        let mut inc = engine(stocks, days, true);
+        let mut full = engine(stocks, days, false);
+        for e in [&mut inc, &mut full] {
+            e.update("?.euter.r+(.date=3/3/85,.stkCode=check,.clsPrice=1)").unwrap();
+        }
+        assert_eq!(
+            inc.query("?.dbI.p(.stk=S,.date=D,.clsPrice=P)").unwrap(),
+            full.query("?.dbI.p(.stk=S,.date=D,.clsPrice=P)").unwrap()
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! B7 — planner/index ablation.
+//!
+//! Three evaluator configurations over the E1/E2 query battery:
+//! `naive` (no reordering, no indexes), `planned` (reordering only), and
+//! `planned+idx` (the default). Differential correctness is asserted as a
+//! side effect.
+//!
+//! Expected shape: planned ≥ naive on selective queries (reordering puts
+//! the cheap equality first), planned+idx clearly ahead when a ground
+//! equality probe exists; metadata-browsing queries (no probes) show all
+//! three roughly equal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl_bench::{request, run_query, stock_store};
+use idl_eval::EvalOptions;
+use std::hint::black_box;
+use std::time::Duration;
+
+const STOCKS: usize = 20;
+const DAYS: usize = 100;
+
+fn configs() -> [(&'static str, EvalOptions); 3] {
+    [
+        ("naive", EvalOptions::naive()),
+        ("planned", EvalOptions { use_indexes: false, reorder: true, max_results: None }),
+        ("planned_idx", EvalOptions::default()),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let store = stock_store(STOCKS, DAYS);
+    let battery = [
+        // written worst-first: range before the selective equality
+        ("selective_eq", "?.euter.r(.clsPrice>100, .stkCode=stk003, .date=D)"),
+        ("self_join", "?.euter.r(.stkCode=stk003,.clsPrice=P,.date=D), .euter.r¬(.stkCode=stk003,.clsPrice>P)"),
+        ("ho_attr_scan", "?.chwab.r(.S>180)"),
+        ("metadata_browse", "?.X.Y(.stkCode)"),
+    ];
+    let mut group = c.benchmark_group("B7_ablation_planner");
+    for (name, src) in battery {
+        let req = request(src);
+        // differential check across configurations
+        let reference = run_query(&store, &req, EvalOptions::naive());
+        for (cfg_name, opts) in configs() {
+            assert_eq!(run_query(&store, &req, opts), reference, "{name}/{cfg_name}");
+            group.bench_function(BenchmarkId::new(name, cfg_name), |b| {
+                b.iter(|| black_box(run_query(&store, &req, opts)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

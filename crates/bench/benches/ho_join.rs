@@ -1,0 +1,47 @@
+//! B2 — cross-database higher-order join.
+//!
+//! §4.3: *"list the stocks in ource and chwab that have the same closing
+//! price"* — a join whose join key is partly **metadata** (the stock is an
+//! attribute name in chwab and a relation name in ource). Measured planned
+//! vs naive: the planner binds `D`/`S` early and probes `ource.S` by date
+//! through the index, while naive mode re-scans.
+//!
+//! Expected shape: planned ≪ naive, gap widening with size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl_bench::{request, run_query, size_label, stock_store};
+use idl_eval::EvalOptions;
+use std::hint::black_box;
+use std::time::Duration;
+
+const JOIN: &str = "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)";
+const JOIN_SIZES: &[(usize, usize)] = &[(5, 20), (10, 50), (20, 100)];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_ho_join");
+    let req = request(JOIN);
+    for &(stocks, days) in JOIN_SIZES {
+        let store = stock_store(stocks, days);
+        group.bench_with_input(
+            BenchmarkId::new("planned", size_label(stocks, days)),
+            &store,
+            |b, store| b.iter(|| black_box(run_query(store, &req, EvalOptions::default()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", size_label(stocks, days)),
+            &store,
+            |b, store| b.iter(|| black_box(run_query(store, &req, EvalOptions::naive()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

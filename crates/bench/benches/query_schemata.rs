@@ -1,0 +1,50 @@
+//! B1 — the same query intention across the three schemata.
+//!
+//! §4.3's closing example: "did any stock ever close above T?" is one
+//! relational query on `euter`, but needs attribute-name quantification on
+//! `chwab` and relation-name quantification on `ource`. This bench
+//! measures what that metadata iteration costs as data grows.
+//!
+//! Expected shape (DESIGN.md): chwab/ource cost more than euter (they
+//! enumerate metadata), but stay within a small constant factor with the
+//! planner on; all three scale roughly linearly in the data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl_bench::{request, run_query, selective_threshold, size_label, stock_store, SIZES};
+use idl_eval::EvalOptions;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let t = selective_threshold();
+    let mut group = c.benchmark_group("B1_query_schemata");
+    for &(stocks, days) in SIZES {
+        let store = stock_store(stocks, days);
+        let cases = [
+            ("euter", format!("?.euter.r(.stkCode=S, .clsPrice>{t})")),
+            ("chwab", format!("?.chwab.r(.S>{t})")),
+            ("ource", format!("?.ource.S(.clsPrice>{t})")),
+        ];
+        for (schema, src) in &cases {
+            let req = request(src);
+            group.bench_with_input(
+                BenchmarkId::new(*schema, size_label(stocks, days)),
+                &req,
+                |b, req| {
+                    b.iter(|| black_box(run_query(&store, req, EvalOptions::default())));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

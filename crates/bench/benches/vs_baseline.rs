@@ -1,0 +1,57 @@
+//! B6 — IDL vs the first-order baseline on first-order-expressible queries.
+//!
+//! On the `euter` schema (stock codes as data) the ">T" query is plain
+//! first-order; both engines can run it. The gap measures the *overhead of
+//! the higher-order machinery* on queries that do not need it.
+//!
+//! Expected shape: IDL within a modest factor of the positional Datalog
+//! engine at equal work; with indexes on IDL can win on selective probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl_baseline::encode::{encode, fo_above_query, run_above_binding, Schema};
+use idl_bench::{request, run_query, selective_threshold, size_label, stock_store, SIZES};
+use idl_eval::EvalOptions;
+use idl_workload::stock::{as_baseline_quotes, generate_quotes, StockConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let t = selective_threshold();
+    let mut group = c.benchmark_group("B6_vs_baseline");
+    for &(stocks, days) in SIZES {
+        let label = size_label(stocks, days);
+        // IDL side
+        let store = stock_store(stocks, days);
+        let idl_req = request(&format!("?.euter.r(.stkCode=S, .clsPrice>{t})"));
+        group.bench_function(BenchmarkId::new("idl_indexed", &label), |b| {
+            b.iter(|| black_box(run_query(&store, &idl_req, EvalOptions::default())))
+        });
+        group.bench_function(BenchmarkId::new("idl_naive", &label), |b| {
+            b.iter(|| black_box(run_query(&store, &idl_req, EvalOptions::naive())))
+        });
+
+        // first-order side (same quotes, positional encoding)
+        let quotes = as_baseline_quotes(&generate_quotes(&StockConfig::sized(stocks, days)));
+        let db = encode(Schema::Euter, &quotes);
+        let prog = fo_above_query(Schema::Euter, &quotes, t);
+        group.bench_function(BenchmarkId::new("fo_datalog", &label), |b| {
+            b.iter(|| black_box(run_above_binding(&db, &prog).len()))
+        });
+
+        // sanity: equal answers
+        let idl_n = run_query(&store, &idl_req, EvalOptions::default());
+        let fo_n = run_above_binding(&db, &prog).len();
+        assert_eq!(idl_n, fo_n, "differential check at {label}");
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

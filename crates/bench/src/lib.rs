@@ -1,0 +1,77 @@
+//! Shared fixtures for the benchmark suite and the experiment runner.
+//!
+//! Every bench (B1–B10 in DESIGN.md) builds its universes through these
+//! helpers so sizes and seeds are consistent across benchmarks and across
+//! runs.
+
+use idl::Engine;
+use idl_eval::{EvalOptions, Evaluator};
+use idl_lang::{parse_statement, Request, Statement};
+use idl_storage::Store;
+use idl_workload::stock::{generate_store, StockConfig};
+
+/// The size sweep used by the scaling benches: (stocks, days).
+pub const SIZES: &[(usize, usize)] = &[(5, 20), (10, 50), (20, 100), (40, 150)];
+
+/// A labelled size for Criterion group ids.
+pub fn size_label(stocks: usize, days: usize) -> String {
+    format!("{stocks}stk_x_{days}d")
+}
+
+/// A store holding the three-schema stock universe at a size.
+pub fn stock_store(stocks: usize, days: usize) -> Store {
+    generate_store(&StockConfig::sized(stocks, days))
+}
+
+/// An engine over the stock universe at a size.
+pub fn stock_engine(stocks: usize, days: usize) -> Engine {
+    Engine::from_store(stock_store(stocks, days))
+}
+
+/// An engine with the paper's full two-level mapping installed
+/// (unified view + customized views + standard update programs).
+pub fn mapped_engine(stocks: usize, days: usize) -> Engine {
+    let mut e = stock_engine(stocks, days);
+    idl::transparency::install_two_level_mapping(&mut e).expect("standard mapping installs");
+    e
+}
+
+/// Parses a source that must be a single request.
+pub fn request(src: &str) -> Request {
+    match parse_statement(src).expect("benchmark query parses") {
+        Statement::Request(r) => r,
+        other => panic!("expected a request, got {other}"),
+    }
+}
+
+/// Runs a pure query against a store with the given options, returning the
+/// answer count (the thing benches blackbox).
+pub fn run_query(store: &Store, req: &Request, opts: EvalOptions) -> usize {
+    Evaluator::new(store, opts).query(req).expect("benchmark query evaluates").len()
+}
+
+/// A price threshold that stays selective but non-empty across the size
+/// sweep (generated prices cluster around 50–150).
+pub fn selective_threshold() -> f64 {
+    180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let store = stock_store(5, 20);
+        assert_eq!(store.relation("euter", "r").unwrap().len(), 100);
+        let req = request("?.euter.r(.stkCode=S, .clsPrice>0)");
+        assert!(run_query(&store, &req, EvalOptions::default()) > 0);
+    }
+
+    #[test]
+    fn mapped_engine_has_views() {
+        let mut e = mapped_engine(3, 5);
+        assert!(e.query("?.dbI.p(.stk=stk000)").unwrap().is_true());
+        assert!(e.query("?.dbO.stk001(.clsPrice=P)").unwrap().is_true());
+    }
+}

@@ -1,0 +1,262 @@
+//! Static binding analysis.
+//!
+//! §7.1: *"Such compile time analysis can be used to check the validity of
+//! the 'call' to the insStk program."* This module is that analysis,
+//! generalised to whole requests: simulate the left-to-right flow of
+//! bindings and report variables that will *definitely* be unbound where
+//! groundness is required (non-`=` comparisons, arithmetic operands,
+//! make-true payloads). The analysis is sound for errors it reports
+//! (they would fail at runtime) and deliberately incomplete — wildcard
+//! minus positions are legal unbound and are not flagged.
+
+use idl_lang::{AttrTerm, Expr, Field, RelOp, Request, Sign, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One finding from the analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BindingIssue {
+    /// The offending variable.
+    pub var: Var,
+    /// Why it must be bound.
+    pub reason: IssueReason,
+    /// Which request item (0-based) triggers it.
+    pub item_index: usize,
+}
+
+/// Why a variable needs a binding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IssueReason {
+    /// Operand of `<`, `<=`, `>`, `>=`, `!=`.
+    Comparison,
+    /// Operand of arithmetic.
+    Arithmetic,
+    /// Inside a make-true (`+`) payload.
+    MakeTrue,
+}
+
+impl fmt::Display for BindingIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let why = match self.reason {
+            IssueReason::Comparison => "used in a comparison",
+            IssueReason::Arithmetic => "used in arithmetic",
+            IssueReason::MakeTrue => "used in a make-true payload",
+        };
+        write!(
+            f,
+            "variable {} in item {} is {} before any binding occurrence",
+            self.var, self.item_index + 1, why
+        )
+    }
+}
+
+/// Analyses a request, returning definite binding problems.
+pub fn analyze_request(request: &Request) -> Vec<BindingIssue> {
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    let mut issues = Vec::new();
+    for (idx, item) in request.items.iter().enumerate() {
+        // What this item can bind (optimistically: all its Eq-var and
+        // attribute-var positions).
+        let mut produced = BTreeSet::new();
+        produced_vars(item, &mut produced);
+        let visible: BTreeSet<Var> = bound.union(&produced).cloned().collect();
+        check(item, &visible, idx, false, &mut issues);
+        bound.extend(produced);
+    }
+    issues
+}
+
+fn check(
+    e: &Expr,
+    visible: &BTreeSet<Var>,
+    idx: usize,
+    in_plus: bool,
+    out: &mut Vec<BindingIssue>,
+) {
+    match e {
+        Expr::Epsilon => {}
+        Expr::Atomic(op, t) => {
+            if in_plus || *op != RelOp::Eq {
+                let reason = if in_plus { IssueReason::MakeTrue } else { IssueReason::Comparison };
+                report_unbound(t, visible, idx, reason, out);
+            }
+            check_arith(t, visible, idx, out);
+        }
+        Expr::AtomicUpdate(sign, t) => {
+            if *sign == Sign::Plus {
+                report_unbound(t, visible, idx, IssueReason::MakeTrue, out);
+            }
+            check_arith(t, visible, idx, out);
+        }
+        Expr::Constraint(a, op, b) => {
+            if *op != RelOp::Eq {
+                report_unbound(a, visible, idx, IssueReason::Comparison, out);
+                report_unbound(b, visible, idx, IssueReason::Comparison, out);
+            } else {
+                // `X = t`: one simple-var side may be unbound (it binds).
+                match (a, b) {
+                    (Term::Var(_), _) => {
+                        report_unbound(b, visible, idx, IssueReason::Comparison, out)
+                    }
+                    (_, Term::Var(_)) => {
+                        report_unbound(a, visible, idx, IssueReason::Comparison, out)
+                    }
+                    _ => {}
+                }
+            }
+            check_arith(a, visible, idx, out);
+            check_arith(b, visible, idx, out);
+        }
+        Expr::Tuple(fields) => {
+            // Within a tuple expression the evaluator threads bindings and
+            // the planner reorders, so use the optimistic visible set
+            // (everything any sibling can produce) for each field. Inside a
+            // make-true payload nothing binds — `= X` there *reads* X.
+            let mut vis = visible.clone();
+            if !in_plus {
+                for f in fields {
+                    produced_field(f, &mut vis);
+                }
+            }
+            for f in fields {
+                let plus_here = in_plus || f.sign == Some(Sign::Plus);
+                if f.sign == Some(Sign::Minus) {
+                    // wildcard-legal position
+                    continue;
+                }
+                check(&f.expr, &vis, idx, plus_here, out);
+            }
+        }
+        Expr::Set(inner) => check(inner, visible, idx, in_plus, out),
+        Expr::SetUpdate(sign, inner) => {
+            if *sign == Sign::Plus {
+                check(inner, visible, idx, true, out);
+            }
+            // minus payloads are wildcard-legal
+        }
+        Expr::Not(inner) => {
+            // Existential inside; comparisons still need bindings, but
+            // Eq-vars inside the negation self-bind.
+            let mut vis = visible.clone();
+            produced_vars(inner, &mut vis);
+            check(inner, &vis, idx, in_plus, out);
+        }
+    }
+}
+
+fn check_arith(t: &Term, visible: &BTreeSet<Var>, idx: usize, out: &mut Vec<BindingIssue>) {
+    if let Term::Arith(_, a, b) = t {
+        report_unbound(a, visible, idx, IssueReason::Arithmetic, out);
+        report_unbound(b, visible, idx, IssueReason::Arithmetic, out);
+        check_arith(a, visible, idx, out);
+        check_arith(b, visible, idx, out);
+    }
+}
+
+fn report_unbound(
+    t: &Term,
+    visible: &BTreeSet<Var>,
+    idx: usize,
+    reason: IssueReason,
+    out: &mut Vec<BindingIssue>,
+) {
+    let mut vars = BTreeSet::new();
+    t.collect_vars(&mut vars);
+    for v in vars {
+        if !visible.contains(&v) && !out.iter().any(|i| i.var == v && i.item_index == idx) {
+            out.push(BindingIssue { var: v, reason, item_index: idx });
+        }
+    }
+}
+
+fn produced_field(f: &Field, out: &mut BTreeSet<Var>) {
+    if let AttrTerm::Var(v) = &f.attr {
+        out.insert(v.clone());
+    }
+    produced_vars(&f.expr, out);
+}
+
+fn produced_vars(e: &Expr, out: &mut BTreeSet<Var>) {
+    match e {
+        Expr::Atomic(RelOp::Eq, Term::Var(v)) => {
+            out.insert(v.clone());
+        }
+        Expr::Constraint(a, RelOp::Eq, b) => {
+            if let Term::Var(v) = a {
+                out.insert(v.clone());
+            }
+            if let Term::Var(v) = b {
+                out.insert(v.clone());
+            }
+        }
+        Expr::Tuple(fields) => {
+            for f in fields {
+                if f.sign.is_none() && f.expr.is_query() {
+                    produced_field(f, out);
+                }
+            }
+        }
+        Expr::Set(inner) => produced_vars(inner, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_lang::{parse_statement, Statement};
+
+    fn analyze(src: &str) -> Vec<BindingIssue> {
+        let Statement::Request(r) = parse_statement(src).unwrap() else { panic!() };
+        analyze_request(&r)
+    }
+
+    #[test]
+    fn clean_queries_pass() {
+        assert!(analyze("?.euter.r(.stkCode=hp, .clsPrice>60)").is_empty());
+        assert!(analyze("?.euter.r(.clsPrice=P,.date=D), .euter.r¬(.clsPrice>P)").is_empty());
+        assert!(analyze("?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)").is_empty());
+    }
+
+    #[test]
+    fn unbound_comparison_flagged() {
+        let issues = analyze("?.euter.r(.clsPrice>P)");
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].reason, IssueReason::Comparison);
+        assert_eq!(issues[0].var, Var::new("P"));
+    }
+
+    #[test]
+    fn binding_in_earlier_item_satisfies() {
+        let issues = analyze("?.euter.r(.clsPrice=P), .euter.r(.clsPrice>P)");
+        assert!(issues.is_empty());
+    }
+
+    #[test]
+    fn unbound_insert_payload_flagged() {
+        let issues = analyze("?.euter.r+(.stkCode=S)");
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].reason, IssueReason::MakeTrue);
+    }
+
+    #[test]
+    fn wildcard_delete_not_flagged() {
+        assert!(analyze("?.euter.r-(.stkCode=S)").is_empty());
+        assert!(analyze("?.chwab.r(.S-=X, .date=D)").is_empty());
+    }
+
+    #[test]
+    fn arithmetic_needs_operands() {
+        let issues = analyze("?.euter.r(.clsPrice=C+10)");
+        assert!(issues.iter().any(|i| i.reason == IssueReason::Arithmetic));
+        // but bound by earlier item is fine
+        assert!(analyze("?.euter.r(.clsPrice=C), .euter.r(.clsPrice=C+10)").is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let issues = analyze("?.euter.r(.clsPrice>P)");
+        let msg = issues[0].to_string();
+        assert!(msg.contains('P') && msg.contains("comparison"));
+    }
+}

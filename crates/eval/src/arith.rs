@@ -1,0 +1,197 @@
+//! Term evaluation, including arithmetic.
+//!
+//! §5.2 uses `.clsPrice=C+10` with the remark that arithmetic is assumed
+//! though absent from the paper's formal grammar. Semantics here: both
+//! operands must be ground at evaluation time; ints combine to ints
+//! (except `/`, which yields a float when inexact), mixed int/float
+//! combine to floats, and `Date + Int` / `Date - Int` shift by days
+//! (`Date - Date` yields the day difference), which is what stock-series
+//! workloads need.
+
+use crate::error::{EvalError, EvalResult};
+use crate::subst::Subst;
+use idl_lang::{ArithOp, Term, Var};
+use idl_object::{Atom, Value};
+
+/// Evaluates a term to a ground object under a substitution.
+///
+/// Fails with [`EvalError::Uninstantiated`] if a variable is unbound.
+pub fn eval_term(term: &Term, subst: &Subst) -> EvalResult<Value> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(v) => subst
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EvalError::Uninstantiated(v.clone())),
+        Term::Arith(op, a, b) => {
+            let av = eval_term(a, subst)?;
+            let bv = eval_term(b, subst)?;
+            apply(*op, &av, &bv)
+        }
+    }
+}
+
+/// Evaluates a term if fully ground, otherwise returns the unbound variable.
+pub fn try_eval_term(term: &Term, subst: &Subst) -> Result<Value, Var> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(v) => subst.get(v).cloned().ok_or_else(|| v.clone()),
+        Term::Arith(_, a, b) => {
+            // find first unbound var, else evaluate fully
+            match (try_eval_term(a, subst), try_eval_term(b, subst)) {
+                (Ok(_), Ok(_)) => eval_term(term, subst).map_err(|e| match e {
+                    EvalError::Uninstantiated(v) => v,
+                    // arithmetic type errors surface as a pseudo-unbound
+                    // failure at the caller; keep the term's first variable
+                    _ => first_var(term).unwrap_or_else(|| Var::new("_arith")),
+                }),
+                (Err(v), _) | (_, Err(v)) => Err(v),
+            }
+        }
+    }
+}
+
+fn first_var(term: &Term) -> Option<Var> {
+    match term {
+        Term::Const(_) => None,
+        Term::Var(v) => Some(v.clone()),
+        Term::Arith(_, a, b) => first_var(a).or_else(|| first_var(b)),
+    }
+}
+
+fn apply(op: ArithOp, a: &Value, b: &Value) -> EvalResult<Value> {
+    let (Value::Atom(x), Value::Atom(y)) = (a, b) else {
+        return Err(EvalError::BadArith(format!("non-atomic operands {a} and {b}")));
+    };
+    // Date arithmetic first.
+    match (x, y, op) {
+        (Atom::Date(d), Atom::Int(n), ArithOp::Add) => {
+            return Ok(Value::date(d.plus_days(*n)));
+        }
+        (Atom::Date(d), Atom::Int(n), ArithOp::Sub) => {
+            return Ok(Value::date(d.plus_days(-n)));
+        }
+        (Atom::Date(a), Atom::Date(b), ArithOp::Sub) => {
+            return Ok(Value::int(b.days_until(a)));
+        }
+        _ => {}
+    }
+    if let (Some(i), Some(j)) = (x.as_int(), y.as_int()) {
+        return match op {
+            ArithOp::Add => i
+                .checked_add(j)
+                .map(Value::int)
+                .ok_or_else(|| EvalError::BadArith("integer overflow".into())),
+            ArithOp::Sub => i
+                .checked_sub(j)
+                .map(Value::int)
+                .ok_or_else(|| EvalError::BadArith("integer overflow".into())),
+            ArithOp::Mul => i
+                .checked_mul(j)
+                .map(Value::int)
+                .ok_or_else(|| EvalError::BadArith("integer overflow".into())),
+            ArithOp::Div => {
+                if j == 0 {
+                    Err(EvalError::BadArith("division by zero".into()))
+                } else if i % j == 0 {
+                    Ok(Value::int(i / j))
+                } else {
+                    Ok(Value::float(i as f64 / j as f64))
+                }
+            }
+        };
+    }
+    let (Some(p), Some(q)) = (x.as_numeric(), y.as_numeric()) else {
+        return Err(EvalError::BadArith(format!(
+            "cannot apply {op} to {} and {}",
+            x.type_name(),
+            y.type_name()
+        )));
+    };
+    let r = match op {
+        ArithOp::Add => p + q,
+        ArithOp::Sub => p - q,
+        ArithOp::Mul => p * q,
+        ArithOp::Div => {
+            if q == 0.0 {
+                return Err(EvalError::BadArith("division by zero".into()));
+            }
+            p / q
+        }
+    };
+    Ok(Value::float(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::Date;
+
+    fn subst(pairs: &[(&str, Value)]) -> Subst {
+        pairs.iter().map(|(n, v)| (Var::new(*n), v.clone())).collect()
+    }
+
+    fn arith(op: ArithOp, a: Term, b: Term) -> Term {
+        Term::Arith(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let s = subst(&[("C", Value::int(50))]);
+        assert_eq!(eval_term(&Term::v("C"), &s).unwrap(), Value::int(50));
+        assert!(matches!(
+            eval_term(&Term::v("D"), &s),
+            Err(EvalError::Uninstantiated(_))
+        ));
+    }
+
+    #[test]
+    fn price_bump_c_plus_10() {
+        let s = subst(&[("C", Value::int(50))]);
+        let t = arith(ArithOp::Add, Term::v("C"), Term::c(10i64));
+        assert_eq!(eval_term(&t, &s).unwrap(), Value::int(60));
+        let s = subst(&[("C", Value::float(50.5))]);
+        assert_eq!(eval_term(&t, &s).unwrap(), Value::float(60.5));
+    }
+
+    #[test]
+    fn int_division() {
+        let t = arith(ArithOp::Div, Term::c(6i64), Term::c(2i64));
+        assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::int(3));
+        let t = arith(ArithOp::Div, Term::c(7i64), Term::c(2i64));
+        assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::float(3.5));
+        let t = arith(ArithOp::Div, Term::c(7i64), Term::c(0i64));
+        assert!(matches!(eval_term(&t, &Subst::new()), Err(EvalError::BadArith(_))));
+    }
+
+    #[test]
+    fn date_shift() {
+        let d = Date::new(1985, 3, 3).unwrap();
+        let t = arith(ArithOp::Add, Term::c(Value::date(d)), Term::c(1i64));
+        assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::date(d.plus_days(1)));
+        let t = arith(
+            ArithOp::Sub,
+            Term::c(Value::date(d.plus_days(10))),
+            Term::c(Value::date(d)),
+        );
+        assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::int(10));
+    }
+
+    #[test]
+    fn type_errors() {
+        let t = arith(ArithOp::Add, Term::c("hp"), Term::c(1i64));
+        assert!(matches!(eval_term(&t, &Subst::new()), Err(EvalError::BadArith(_))));
+    }
+
+    #[test]
+    fn try_eval_reports_unbound() {
+        let t = arith(ArithOp::Add, Term::v("C"), Term::c(10i64));
+        assert_eq!(try_eval_term(&t, &Subst::new()).unwrap_err(), Var::new("C"));
+    }
+
+    #[test]
+    fn overflow_checked() {
+        let t = arith(ArithOp::Mul, Term::c(i64::MAX), Term::c(2i64));
+        assert!(matches!(eval_term(&t, &Subst::new()), Err(EvalError::BadArith(_))));
+    }
+}

@@ -1,0 +1,44 @@
+//! # `idl-eval` — evaluation engine for IDL
+//!
+//! Implements the semantics of *Krishnamurthy, Litwin & Kent, SIGMOD '91*:
+//!
+//! * **§4.2 query evaluation** — answers are *sets of grounding
+//!   substitutions*; satisfaction is defined recursively over the three
+//!   object categories, with higher-order variables enumerating attribute
+//!   names ([`query`]);
+//! * **§5.2 update evaluation** — `+`/`-` expressions as decrees of truth /
+//!   falsehood henceforth, including null-atom semantics, attribute
+//!   creation/deletion on single tuples, and query-dependent updates
+//!   ([`update`]);
+//! * **§6 rules and higher-order views** — stratified fixpoint
+//!   materialisation where a single rule can define a data-dependent number
+//!   of relations ([`rules`]);
+//! * **§7 update programs** — named parameterised collections of update and
+//!   query expressions with top-down parameter passing, binding-signature
+//!   checking, a static non-recursion check, and view-update dispatch
+//!   ([`program`]);
+//! * a **planner** that reorders conjuncts and exploits the storage layer's
+//!   indexes, with a naive reference mode kept for differential testing and
+//!   the ablation benchmarks ([`plan`], [`query::EvalOptions`]);
+//! * **static binding analysis** approximating the paper's "compile time
+//!   analysis … to check the validity of the call" ([`analyze`]).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod arith;
+pub mod error;
+pub mod plan;
+pub mod program;
+pub mod query;
+pub mod request;
+pub mod rules;
+pub mod subst;
+pub mod update;
+
+pub use error::{EvalError, EvalResult};
+pub use program::{ProgramKey, ProgramRegistry};
+pub use query::{EvalOptions, Evaluator};
+pub use request::{run_request, RequestOutcome};
+pub use rules::{RuleEngine, RuleSetError};
+pub use subst::{AnswerSet, Subst};

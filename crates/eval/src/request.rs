@@ -1,0 +1,243 @@
+//! Request execution: queries, update requests and program calls, unified.
+//!
+//! A request `?e₁, …, eₖ` is evaluated left to right under shared bindings
+//! (§5.1): query items filter and extend the current substitutions, update
+//! items apply once per current substitution, and items that name a
+//! registered update program dispatch to it (§7.1). The whole request is
+//! atomic — wrapped in a storage transaction that rolls back on any error,
+//! so a failed binding-signature check or kind mismatch leaves the universe
+//! untouched.
+//!
+//! Updates targeting *derived* databases are rejected unless a view-update
+//! program is registered for that exact path and sign (§7.2); base updates
+//! go straight to the storage layer.
+
+use crate::error::{EvalError, EvalResult};
+use crate::program::{update_scope, ProgramRegistry};
+use crate::query::{EvalOptions, Evaluator};
+use crate::rules::DerivedCatalog;
+use crate::subst::{AnswerSet, Subst};
+use crate::update::{apply_update, UpdateStats};
+use idl_lang::Request;
+use idl_storage::Store;
+use std::collections::BTreeSet;
+
+/// What a request produced.
+#[derive(Clone, Debug, Default)]
+pub struct RequestOutcome {
+    /// The answer substitutions (projected onto named variables). For a
+    /// variable-free query this is the boolean reading via
+    /// [`AnswerSet::is_true`].
+    pub answers: AnswerSet,
+    /// Mutation counters accumulated by update items and program calls.
+    pub stats: UpdateStats,
+}
+
+impl RequestOutcome {
+    /// Whether the request succeeded with at least one satisfying binding
+    /// (queries) — updates count as satisfying too.
+    pub fn is_true(&self) -> bool {
+        self.answers.is_true()
+    }
+}
+
+/// Runs a request atomically against the store.
+///
+/// `derived` is the relation-granular catalog of view-materialised state:
+/// direct updates touching it are rejected
+/// ([`EvalError::UpdateOnDerived`]) unless the item matches a registered
+/// (view-)update program.
+pub fn run_request(
+    store: &mut Store,
+    registry: &ProgramRegistry,
+    derived: &DerivedCatalog,
+    request: &Request,
+    opts: EvalOptions,
+) -> EvalResult<RequestOutcome> {
+    store.begin();
+    match run_inner(store, registry, derived, request, opts) {
+        Ok(outcome) => {
+            store.commit().expect("transaction opened above");
+            Ok(outcome)
+        }
+        Err(e) => {
+            store.rollback().expect("transaction opened above");
+            Err(e)
+        }
+    }
+}
+
+fn run_inner(
+    store: &mut Store,
+    registry: &ProgramRegistry,
+    derived: &DerivedCatalog,
+    request: &Request,
+    opts: EvalOptions,
+) -> EvalResult<RequestOutcome> {
+    let mut substs = vec![Subst::new()];
+    let mut stats = UpdateStats::default();
+    for item in &request.items {
+        // Program call? (takes precedence over the relation-scan reading)
+        if let Some((key, args)) = registry.match_call(item) {
+            for s in &substs {
+                stats.merge(registry.call(store, &key, args, s, opts)?);
+            }
+            continue;
+        }
+        if item.is_query() {
+            let ev = Evaluator::new(store, opts);
+            substs = ev.eval_items(std::slice::from_ref(item), substs)?;
+            if substs.is_empty() {
+                break;
+            }
+            continue;
+        }
+        // Plain update item: guard derived state (relation-granular).
+        let scope = update_scope(item);
+        if derived.guards_update(&scope) {
+            return Err(EvalError::UpdateOnDerived(format!("{scope:?}")));
+        }
+        for s in &substs {
+            let st = store.mutate(scope.clone(), |u| apply_update(u, item, s))?;
+            stats.merge(st);
+        }
+    }
+    // Project answers onto named variables.
+    let vars = request.vars();
+    let named: BTreeSet<_> = vars
+        .into_iter()
+        .filter(|v| !v.0.as_str().starts_with("_G"))
+        .collect();
+    let answers: AnswerSet = substs.into_iter().map(|s| s.project(&named)).collect();
+    Ok(RequestOutcome { answers, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::PredPat;
+    use idl_lang::{parse_program, parse_statement, Statement};
+    use idl_object::universe::stock_universe;
+    use idl_object::{Name, Value};
+
+    fn base_store() -> Store {
+        Store::from_universe(stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+        ]))
+        .unwrap()
+    }
+
+    /// A catalog marking one whole database as derived.
+    fn whole_db(db: &str) -> DerivedCatalog {
+        DerivedCatalog::from_patterns([&PredPat { db: Some(Name::new(db)), rel: None }])
+    }
+
+    fn run(
+        store: &mut Store,
+        registry: &ProgramRegistry,
+        derived: &DerivedCatalog,
+        src: &str,
+    ) -> EvalResult<RequestOutcome> {
+        let Statement::Request(req) = parse_statement(src).unwrap() else { panic!() };
+        run_request(store, registry, derived, &req, EvalOptions::default())
+    }
+
+    #[test]
+    fn mixed_query_then_update_per_binding() {
+        let mut store = base_store();
+        let reg = ProgramRegistry::new();
+        let derived = DerivedCatalog::empty();
+        // delete every hp row, driven by bindings
+        let out = run(
+            &mut store,
+            &reg,
+            &derived,
+            "?.euter.r(.stkCode=hp,.date=D,.clsPrice=C), .euter.r-(.stkCode=hp,.date=D,.clsPrice=C)",
+        )
+        .unwrap();
+        assert_eq!(out.stats.deleted, 2);
+        assert_eq!(store.relation("euter", "r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn atomicity_on_error() {
+        let mut store = base_store();
+        let reg = ProgramRegistry::new();
+        let derived = DerivedCatalog::empty();
+        // first item succeeds, second errors (insert payload unbound)
+        let err = run(
+            &mut store,
+            &reg,
+            &derived,
+            "?.euter.r+(.stkCode=sun,.date=3/5/85,.clsPrice=1), .euter.r+(.stkCode=U)",
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Uninstantiated(_)));
+        assert_eq!(
+            store.relation("euter", "r").unwrap().len(),
+            3,
+            "first insert rolled back with the failure"
+        );
+    }
+
+    #[test]
+    fn derived_guard() {
+        let mut store = base_store();
+        let reg = ProgramRegistry::new();
+        let derived = whole_db("dbE");
+        let err = run(&mut store, &reg, &derived, "?.dbE.r+(.stkCode=hp)").unwrap_err();
+        assert!(matches!(err, EvalError::UpdateOnDerived(_)));
+    }
+
+    #[test]
+    fn view_update_program_dispatch() {
+        let mut store = base_store();
+        let mut reg = ProgramRegistry::new();
+        for stmt in parse_program(
+            ".dbE.r+(.date=D,.stkCode=S,.clsPrice=P) -> .euter.r+(.date=D,.stkCode=S,.clsPrice=P) ;",
+        )
+        .unwrap()
+        {
+            let Statement::Program(p) = stmt else { panic!() };
+            reg.register(&p).unwrap();
+        }
+        let derived = whole_db("dbE");
+        let out = run(
+            &mut store,
+            &reg,
+            &derived,
+            "?.dbE.r+(.date=3/9/85,.stkCode=sun,.clsPrice=5)",
+        )
+        .unwrap();
+        assert_eq!(out.stats.inserted, 1);
+        assert_eq!(store.relation("euter", "r").unwrap().len(), 4, "routed to base table");
+    }
+
+    #[test]
+    fn pure_query_answers() {
+        let mut store = base_store();
+        let reg = ProgramRegistry::new();
+        let derived = DerivedCatalog::empty();
+        let out = run(&mut store, &reg, &derived, "?.euter.r(.stkCode=S, .clsPrice>100)").unwrap();
+        assert_eq!(out.answers.column("S"), vec![Value::str("ibm")]);
+    }
+
+    #[test]
+    fn update_with_no_matching_bindings_is_noop() {
+        let mut store = base_store();
+        let reg = ProgramRegistry::new();
+        let derived = DerivedCatalog::empty();
+        let out = run(
+            &mut store,
+            &reg,
+            &derived,
+            "?.euter.r(.stkCode=nope,.date=D), .euter.r-(.date=D)",
+        )
+        .unwrap();
+        assert_eq!(out.stats.total(), 0);
+        assert!(!out.is_true());
+        assert_eq!(store.relation("euter", "r").unwrap().len(), 3);
+    }
+}

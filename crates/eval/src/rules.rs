@@ -1,0 +1,797 @@
+//! Rules and higher-order views (§6).
+//!
+//! A rule `head <- body` makes `headσ` true for every grounding σ of the
+//! body. Because heads may contain higher-order variables in attribute
+//! position, a single rule can define a *data-dependent number* of
+//! relations — the paper's `dbO` customized view materialises one relation
+//! per stock present anywhere in the universe.
+//!
+//! ## Stratification
+//!
+//! Negation in bodies requires stratified evaluation (the paper defers
+//! formal semantics to \[KLK90\], which is stratified). Rules are abstracted
+//! to *predicate patterns* — `(db, rel)` pairs where a higher-order
+//! variable widens a component to "any" — and the dependency graph over
+//! those patterns is checked: a negative dependency inside a recursive
+//! component is rejected.
+//!
+//! ## Fixpoint
+//!
+//! Derived facts are written into the same store (the engine marks those
+//! databases as derived and guards them against direct updates, §7.1).
+//! Within a stratum, rules are iterated to quiescence. In *semi-naive*
+//! mode (default) a rule is re-evaluated in iteration *k* only if
+//! something it reads changed in iteration *k−1* — the relation-granularity
+//! version of semi-naive evaluation, which the ablation bench B8 compares
+//! against the naive re-run-everything mode.
+
+use crate::error::{EvalError, EvalResult};
+use crate::query::{EvalOptions, Evaluator};
+use crate::subst::Subst;
+use crate::update::materialize;
+use idl_lang::{AttrTerm, Expr, Field, RelOp, Rule};
+use idl_object::{Atom, Name, Value};
+use idl_storage::{ChangeScope, Store};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors detected when a rule set is installed.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuleSetError {
+    /// The head's database position must be a constant name.
+    HeadDbNotConstant(String),
+    /// Negation through recursion: not stratifiable.
+    NotStratified(String),
+    /// A rule failed structural validation.
+    BadRule(String),
+}
+
+impl fmt::Display for RuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleSetError::HeadDbNotConstant(r) => {
+                write!(f, "rule head database position must be constant: {r}")
+            }
+            RuleSetError::NotStratified(m) => write!(f, "not stratified: {m}"),
+            RuleSetError::BadRule(m) => write!(f, "bad rule: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleSetError {}
+
+/// `(db, rel)` pattern; `None` components mean "any" (higher-order
+/// variable in that position).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PredPat {
+    /// Database component (`None` = variable).
+    pub db: Option<Name>,
+    /// Relation component (`None` = variable).
+    pub rel: Option<Name>,
+}
+
+impl PredPat {
+    fn overlaps(&self, other: &PredPat) -> bool {
+        let db_ok = match (&self.db, &other.db) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        };
+        let rel_ok = match (&self.rel, &other.rel) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        };
+        db_ok && rel_ok
+    }
+}
+
+/// A reference to a predicate from a rule body, with polarity.
+#[derive(Clone, Debug)]
+struct BodyRef {
+    pat: PredPat,
+    negated: bool,
+}
+
+/// How much of a database is derived (view-materialised).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DerivedScope {
+    /// Every relation (a higher-order head defines data-dependent relation
+    /// names, so the whole database belongs to the view layer).
+    WholeDb,
+    /// Only these named relations; the rest of the database is base data.
+    Rels(BTreeSet<Name>),
+}
+
+/// Which parts of the universe are derived by rules. Relation-granular, so
+/// a view may live alongside base relations in the same database (like
+/// §2's `empMgr` next to `emp`/`dept`).
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct DerivedCatalog {
+    map: std::collections::BTreeMap<Name, DerivedScope>,
+}
+
+impl DerivedCatalog {
+    /// Nothing derived.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds the catalog from head patterns: a constant `(db, rel)` marks
+    /// one relation; a variable relation position marks the whole database.
+    pub fn from_patterns<'p>(pats: impl IntoIterator<Item = &'p PredPat>) -> Self {
+        let mut cat = DerivedCatalog::default();
+        for p in pats {
+            let Some(db) = &p.db else { continue };
+            match (&p.rel, cat.map.get_mut(db)) {
+                (None, _) => {
+                    cat.map.insert(db.clone(), DerivedScope::WholeDb);
+                }
+                (_, Some(DerivedScope::WholeDb)) => {}
+                (Some(rel), Some(DerivedScope::Rels(set))) => {
+                    set.insert(rel.clone());
+                }
+                (Some(rel), None) => {
+                    let mut set = BTreeSet::new();
+                    set.insert(rel.clone());
+                    cat.map.insert(db.clone(), DerivedScope::Rels(set));
+                }
+            }
+        }
+        cat
+    }
+
+    /// Whether anything is derived at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the whole database is view territory.
+    pub fn covers_db_entirely(&self, db: &str) -> bool {
+        matches!(self.map.get(db), Some(DerivedScope::WholeDb))
+    }
+
+    /// Whether this database contains *any* derived relation.
+    pub fn touches_db(&self, db: &str) -> bool {
+        self.map.contains_key(db)
+    }
+
+    /// Whether a specific relation is derived.
+    pub fn covers_relation(&self, db: &str, rel: &str) -> bool {
+        match self.map.get(db) {
+            Some(DerivedScope::WholeDb) => true,
+            Some(DerivedScope::Rels(set)) => set.contains(rel),
+            None => false,
+        }
+    }
+
+    /// Whether an update with this change scope could write derived state
+    /// (and must therefore be rejected / routed through a view-update
+    /// program). Conservative for coarse scopes.
+    pub fn guards_update(&self, scope: &idl_storage::ChangeScope) -> bool {
+        match scope {
+            idl_storage::ChangeScope::Relation { db, rel } => {
+                self.covers_relation(db.as_str(), rel.as_str())
+            }
+            idl_storage::ChangeScope::Database { db } => self.touches_db(db.as_str()),
+            idl_storage::ChangeScope::Universe => !self.map.is_empty(),
+        }
+    }
+
+    /// Whether a journalled change can have touched *base* data (and so
+    /// views must be re-derived). Derived-only writes return false.
+    pub fn is_base_change(&self, scope: &idl_storage::ChangeScope) -> bool {
+        match scope {
+            idl_storage::ChangeScope::Relation { db, rel } => {
+                !self.covers_relation(db.as_str(), rel.as_str())
+            }
+            idl_storage::ChangeScope::Database { db } => !self.covers_db_entirely(db.as_str()),
+            idl_storage::ChangeScope::Universe => true,
+        }
+    }
+
+    /// Iterates `(database, scope)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &DerivedScope)> {
+        self.map.iter()
+    }
+}
+
+/// Statistics from one materialisation run.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Fixpoint iterations across all strata.
+    pub iterations: usize,
+    /// Rule-body evaluations performed.
+    pub rule_evals: usize,
+    /// New facts (make-true operations that changed the universe).
+    pub facts_added: usize,
+}
+
+/// Compiled, stratified rule set.
+#[derive(Debug)]
+pub struct RuleEngine {
+    rules: Vec<Rule>,
+    head_pats: Vec<PredPat>,
+    body_refs: Vec<Vec<BodyRef>>,
+    /// Rule indices grouped by stratum, bottom-up.
+    strata: Vec<Vec<usize>>,
+    /// Use relation-granularity semi-naive iteration.
+    pub semi_naive: bool,
+    /// Iteration safety bound.
+    pub max_iterations: usize,
+}
+
+impl RuleEngine {
+    /// Compiles and stratifies a rule set.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, RuleSetError> {
+        for r in &rules {
+            r.validate().map_err(|e| RuleSetError::BadRule(e.to_string()))?;
+        }
+        let head_pats: Vec<PredPat> = rules
+            .iter()
+            .map(|r| {
+                let p = head_pattern(&r.head);
+                match p.db {
+                    Some(_) => Ok(p),
+                    None => Err(RuleSetError::HeadDbNotConstant(r.to_string())),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let body_refs: Vec<Vec<BodyRef>> = rules
+            .iter()
+            .map(|r| {
+                let mut refs = Vec::new();
+                for item in &r.body {
+                    collect_refs(item, false, &mut refs);
+                }
+                refs
+            })
+            .collect();
+        let strata = stratify(&head_pats, &body_refs)?;
+        Ok(RuleEngine {
+            rules,
+            head_pats,
+            body_refs,
+            strata,
+            semi_naive: true,
+            max_iterations: 10_000,
+        })
+    }
+
+    /// The rules, in installation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// The database names this rule set derives into (they should be
+    /// cleared before materialisation and protected from direct updates).
+    pub fn derived_databases(&self) -> BTreeSet<Name> {
+        self.head_pats.iter().filter_map(|p| p.db.clone()).collect()
+    }
+
+    /// Relation-granular derived catalog for this rule set.
+    pub fn derived_catalog(&self) -> DerivedCatalog {
+        DerivedCatalog::from_patterns(self.head_pats.iter())
+    }
+
+    /// Materialises all views into the store (which also holds the base
+    /// data). Derived databases are *not* cleared here — the caller decides
+    /// whether this is a fresh build or a re-derivation.
+    pub fn materialize(&self, store: &mut Store, opts: EvalOptions) -> EvalResult<FixpointStats> {
+        self.materialize_masked(store, opts, None)
+    }
+
+    /// The head `(db, rel)` patterns, indexed like [`RuleEngine::rules`].
+    pub fn head_patterns(&self) -> &[PredPat] {
+        &self.head_pats
+    }
+
+    /// Computes which rules are (transitively) affected by the given
+    /// changes: a rule is dirty when its body reads something that
+    /// changed, when it reads a dirty rule's head, or when it *shares* a
+    /// head with a dirty rule (re-derivation drops the shared head).
+    pub fn dirty_mask(&self, changes: &[idl_storage::ChangeScope]) -> Vec<bool> {
+        let n = self.rules.len();
+        let mut dirty = vec![false; n];
+        for (i, refs) in self.body_refs.iter().enumerate() {
+            if refs.iter().any(|br| changes.iter().any(|c| scope_overlaps(c, &br.pat))) {
+                dirty[i] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if dirty[i] {
+                    continue;
+                }
+                let reads_dirty = self.body_refs[i].iter().any(|br| {
+                    (0..n).any(|j| dirty[j] && br.pat.overlaps(&self.head_pats[j]))
+                });
+                let shares_dirty_head = (0..n)
+                    .any(|j| dirty[j] && self.head_pats[i].overlaps(&self.head_pats[j]));
+                if reads_dirty || shares_dirty_head {
+                    dirty[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dirty
+    }
+
+    /// Materialises a subset of the rules (`None` = all). The caller must
+    /// have dropped the derived state of every masked-in rule's head so
+    /// deletions propagate; strata ordering is preserved.
+    pub fn materialize_masked(
+        &self,
+        store: &mut Store,
+        opts: EvalOptions,
+        mask: Option<&[bool]>,
+    ) -> EvalResult<FixpointStats> {
+        // Views exist even when empty: create the skeleton of every head
+        // whose (db, rel) is fully constant. (Data-dependent heads create
+        // their relations as facts arrive.)
+        for (i, pat) in self.head_pats.iter().enumerate() {
+            if mask.is_some_and(|m| !m[i]) {
+                continue;
+            }
+            if let (Some(db), Some(rel)) = (&pat.db, &pat.rel) {
+                if store.relation(db.as_str(), rel.as_str()).is_err() {
+                    store
+                        .create_relation(db.clone(), rel.clone())
+                        .map_err(|e| EvalError::Storage(e.to_string()))?;
+                }
+            } else if let Some(db) = &pat.db {
+                if !store.has_database(db.as_str()) {
+                    store
+                        .create_database(db.clone())
+                        .map_err(|e| EvalError::Storage(e.to_string()))?;
+                }
+            }
+        }
+        let mut stats = FixpointStats::default();
+        for stratum in &self.strata {
+            let selected: Vec<usize> = stratum
+                .iter()
+                .copied()
+                .filter(|&i| mask.is_none_or(|m| m[i]))
+                .collect();
+            if !selected.is_empty() {
+                self.run_stratum(store, &selected, opts, &mut stats)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    fn run_stratum(
+        &self,
+        store: &mut Store,
+        stratum: &[usize],
+        opts: EvalOptions,
+        stats: &mut FixpointStats,
+    ) -> EvalResult<()> {
+        // Patterns that changed in the previous iteration (semi-naive).
+        let mut last_changed: Option<Vec<PredPat>> = None; // None = first round
+        loop {
+            stats.iterations += 1;
+            if stats.iterations > self.max_iterations {
+                return Err(EvalError::FixpointDiverged(self.max_iterations));
+            }
+            let mut changed_now: Vec<PredPat> = Vec::new();
+            let mut any_new = false;
+            for &ri in stratum {
+                if let Some(changed) = &last_changed {
+                    let reads_changed = self.body_refs[ri]
+                        .iter()
+                        .any(|br| changed.iter().any(|c| br.pat.overlaps(c)));
+                    if self.semi_naive && !reads_changed {
+                        continue;
+                    }
+                }
+                stats.rule_evals += 1;
+                let rule = &self.rules[ri];
+                // Evaluate the body against the current store contents.
+                let substs = {
+                    let ev = Evaluator::new(store, opts);
+                    ev.eval_items(&rule.body, vec![Subst::new()])?
+                };
+                let mut added_here = 0usize;
+                if !substs.is_empty() {
+                    let head = &rule.head;
+                    let scope = match &self.head_pats[ri].db {
+                        Some(db) => ChangeScope::Database { db: db.clone() },
+                        None => ChangeScope::Universe,
+                    };
+                    added_here = store.mutate(scope, |universe| -> EvalResult<usize> {
+                        let mut n = 0;
+                        for s in &substs {
+                            n += make_true(universe, head, s)?;
+                        }
+                        Ok(n)
+                    })?;
+                }
+                if added_here > 0 {
+                    stats.facts_added += added_here;
+                    any_new = true;
+                    changed_now.push(self.head_pats[ri].clone());
+                }
+            }
+            if !any_new {
+                return Ok(());
+            }
+            last_changed = Some(changed_now);
+        }
+    }
+}
+
+/// Whether a journalled change scope can intersect a predicate pattern.
+fn scope_overlaps(scope: &idl_storage::ChangeScope, pat: &PredPat) -> bool {
+    match scope {
+        idl_storage::ChangeScope::Universe => true,
+        idl_storage::ChangeScope::Database { db } => {
+            pat.db.as_ref().is_none_or(|d| d == db)
+        }
+        idl_storage::ChangeScope::Relation { db, rel } => {
+            pat.db.as_ref().is_none_or(|d| d == db)
+                && pat.rel.as_ref().is_none_or(|r| r == rel)
+        }
+    }
+}
+
+/// Extracts the `(db, rel)` pattern from a rule head.
+fn head_pattern(head: &Expr) -> PredPat {
+    let mut db = None;
+    let mut rel = None;
+    if let Expr::Tuple(fields) = head {
+        if let Some(f) = fields.first() {
+            if let AttrTerm::Const(n) = &f.attr {
+                db = Some(n.clone());
+            }
+            if let Expr::Tuple(inner) = &f.expr {
+                if let Some(g) = inner.first() {
+                    if let AttrTerm::Const(n) = &g.attr {
+                        rel = Some(n.clone());
+                    }
+                }
+            }
+        }
+    }
+    PredPat { db, rel }
+}
+
+/// Collects `(db, rel)` references (with negation polarity) from a body
+/// conjunct. Only the top two attribute levels matter for stratification.
+fn collect_refs(expr: &Expr, negated: bool, out: &mut Vec<BodyRef>) {
+    fn attr_to_opt(a: &AttrTerm) -> Option<Name> {
+        match a {
+            AttrTerm::Const(n) => Some(n.clone()),
+            AttrTerm::Var(_) => None,
+        }
+    }
+    match expr {
+        Expr::Tuple(fields) => {
+            for f in fields {
+                let db = attr_to_opt(&f.attr);
+                // find relation level inside
+                let mut pushed = false;
+                match &f.expr {
+                    Expr::Tuple(inner) => {
+                        for g in inner {
+                            let rel = attr_to_opt(&g.attr);
+                            let neg = negated || matches!(g.expr, Expr::Not(_));
+                            out.push(BodyRef {
+                                pat: PredPat { db: db.clone(), rel },
+                                negated: neg,
+                            });
+                            pushed = true;
+                        }
+                    }
+                    Expr::Not(inner) => {
+                        if let Expr::Tuple(inner_fields) = inner.as_ref() {
+                            for g in inner_fields {
+                                out.push(BodyRef {
+                                    pat: PredPat { db: db.clone(), rel: attr_to_opt(&g.attr) },
+                                    negated: true,
+                                });
+                                pushed = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if !pushed {
+                    out.push(BodyRef { pat: PredPat { db, rel: None }, negated });
+                }
+            }
+        }
+        Expr::Not(inner) => collect_refs(inner, true, out),
+        Expr::Set(inner) => collect_refs(inner, negated, out),
+        _ => {}
+    }
+}
+
+/// Assigns strata; errors if negation occurs inside a recursive component.
+fn stratify(
+    head_pats: &[PredPat],
+    body_refs: &[Vec<BodyRef>],
+) -> Result<Vec<Vec<usize>>, RuleSetError> {
+    let n = head_pats.len();
+    let mut stratum = vec![0usize; n];
+    // Relaxation: stratum[user] >= stratum[definer] (+1 if negative).
+    // A well-founded assignment exists iff strata stay <= n.
+    for _round in 0..=(n * n + 1) {
+        let mut changed = false;
+        for user in 0..n {
+            for br in &body_refs[user] {
+                for definer in 0..n {
+                    if br.pat.overlaps(&head_pats[definer]) {
+                        let need = stratum[definer] + usize::from(br.negated);
+                        if stratum[user] < need {
+                            stratum[user] = need;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if stratum.iter().any(|&s| s > n) {
+            return Err(RuleSetError::NotStratified(
+                "negation through a recursive view definition".into(),
+            ));
+        }
+    }
+    let max = stratum.iter().copied().max().unwrap_or(0);
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); max + 1];
+    for (i, &s) in stratum.iter().enumerate() {
+        out[s].push(i);
+    }
+    out.retain(|v| !v.is_empty());
+    if out.is_empty() && n == 0 {
+        out.push(Vec::new());
+    }
+    Ok(out)
+}
+
+/// Makes `headσ` true in the universe (§6's recursive definition), creating
+/// intermediate objects as needed. Returns how many facts were *new*.
+pub fn make_true(universe: &mut Value, head: &Expr, subst: &Subst) -> EvalResult<usize> {
+    match head {
+        Expr::Epsilon => Ok(0),
+        Expr::Tuple(fields) => {
+            let mut added = 0;
+            for f in fields {
+                added += make_true_field(universe, f, subst)?;
+            }
+            Ok(added)
+        }
+        Expr::Set(inner) => {
+            let Some(set) = universe.as_set_mut() else {
+                return Err(EvalError::KindMismatch {
+                    expected: idl_object::Kind::Set,
+                    found: universe.kind(),
+                    context: "rule head set expression".to_string(),
+                });
+            };
+            let fact = materialize(inner, subst)?;
+            if set.insert(fact) {
+                Ok(1)
+            } else {
+                Ok(0)
+            }
+        }
+        Expr::Atomic(RelOp::Eq, t) => {
+            let v = crate::arith::eval_term(t, subst)?;
+            if *universe == v {
+                Ok(0)
+            } else {
+                *universe = v;
+                Ok(1)
+            }
+        }
+        _ => Err(EvalError::Malformed("rule head must be a simple expression".into())),
+    }
+}
+
+fn make_true_field(obj: &mut Value, field: &Field, subst: &Subst) -> EvalResult<usize> {
+    let Some(t) = obj.as_tuple_mut() else {
+        return Err(EvalError::KindMismatch {
+            expected: idl_object::Kind::Tuple,
+            found: obj.kind(),
+            context: "rule head tuple expression".to_string(),
+        });
+    };
+    let name: Name = match &field.attr {
+        AttrTerm::Const(n) => n.clone(),
+        AttrTerm::Var(v) => match subst.get(v) {
+            Some(Value::Atom(Atom::Str(n))) => n.clone(),
+            Some(other) => {
+                // A higher-order head variable bound to a non-name object:
+                // coerce displayable atoms to names (prices make poor
+                // relation names, but §6 only ever binds stock codes here);
+                // reject aggregates.
+                match other {
+                    Value::Atom(a) if !a.is_null() => Name::new(a.to_string()),
+                    _ => return Err(EvalError::BadAttrBinding(v.clone())),
+                }
+            }
+            None => return Err(EvalError::Uninstantiated(v.clone())),
+        },
+    };
+    let slot = t.get_or_insert_with(name, || match &field.expr {
+        Expr::Tuple(_) => Value::empty_tuple(),
+        Expr::Set(_) => Value::empty_set(),
+        _ => Value::null(),
+    });
+    make_true(slot, &field.expr, subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_lang::{parse_statement, Statement};
+    use idl_object::universe::stock_universe;
+
+    fn rule(src: &str) -> Rule {
+        match parse_statement(src).unwrap() {
+            Statement::Rule(r) => r,
+            _ => panic!("not a rule: {src}"),
+        }
+    }
+
+    fn base_store() -> Store {
+        Store::from_universe(stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+        ]))
+        .unwrap()
+    }
+
+    /// The paper's unified view over all three schemata.
+    fn unified_rules() -> Vec<Rule> {
+        vec![
+            rule(".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)"),
+            rule(".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .chwab.r(.date=D,.S=P)"),
+            rule(".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .ource.S(.date=D,.clsPrice=P)"),
+        ]
+    }
+
+    #[test]
+    fn unified_view_materialises() {
+        let mut store = base_store();
+        let engine = RuleEngine::new(unified_rules()).unwrap();
+        assert_eq!(engine.stratum_count(), 1);
+        let stats = engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        // 3 quotes, from three sources each, deduplicated by value
+        let p = store.relation("dbI", "p").unwrap();
+        // chwab tuples carry date attr too: (date, stk=date)?? no — .S=P
+        // enumerates the date attribute as well, giving (stk=date,
+        // P=<date>) rows; those are also in p. The paper's own rule has the
+        // same property; filtering is the administrator's job via name
+        // mappings (§6). Here: 3 real quotes + 2 date-rows.
+        assert!(p.len() >= 3, "p={p:?}");
+        assert!(stats.facts_added >= p.len());
+        // every true quote present
+        for src in [
+            "?.dbI.p(.date=3/3/85,.stk=hp,.clsPrice=50)",
+            "?.dbI.p(.date=3/4/85,.stk=hp,.clsPrice=62)",
+            "?.dbI.p(.date=3/3/85,.stk=ibm,.clsPrice=160)",
+        ] {
+            let Statement::Request(q) = parse_statement(src).unwrap() else { panic!() };
+            assert!(
+                Evaluator::with_defaults(&store).query(&q).unwrap().is_true(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn chwab_rule_needs_date_exclusion() {
+        // With an explicit guard the date-attribute artefact disappears:
+        let mut store = base_store();
+        let rules = vec![rule(
+            ".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .chwab.r(.date=D,.S=P), S != date",
+        )];
+        let engine = RuleEngine::new(rules).unwrap();
+        engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        let p = store.relation("dbI", "p").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn higher_order_view_one_relation_per_stock() {
+        let mut store = base_store();
+        let mut rules = unified_rules();
+        rules.push(rule(
+            ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date",
+        ));
+        let engine = RuleEngine::new(rules).unwrap();
+        engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        let rels = store.relation_names("dbO").unwrap();
+        let names: Vec<&str> = rels.iter().map(Name::as_str).collect();
+        assert_eq!(names, vec!["hp", "ibm"], "one derived relation per stock");
+        assert_eq!(store.relation("dbO", "hp").unwrap().len(), 2);
+        assert_eq!(store.relation("dbO", "ibm").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn views_on_views_iterate_to_fixpoint() {
+        let mut store = base_store();
+        let mut rules = unified_rules();
+        rules.push(rule(".dbE.r(.date=D,.stkCode=S,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date"));
+        let engine = RuleEngine::new(rules).unwrap();
+        let stats = engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        assert_eq!(store.relation("dbE", "r").unwrap().len(), 3);
+        assert!(stats.iterations >= 2, "needs a second pass for the dependent view");
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let mut store = base_store();
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            // stocks in euter that do NOT appear in ource
+            rule(".dbI.only(.stk=S) <- .dbI.p(.stk=S), .ource¬.S"),
+        ];
+        let engine = RuleEngine::new(rules).unwrap();
+        assert!(engine.stratum_count() >= 1);
+        engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        let only = store.relation("dbI", "only").unwrap();
+        assert!(only.is_empty(), "all euter stocks are in ource: {only:?}");
+    }
+
+    #[test]
+    fn negative_recursion_rejected() {
+        let rules = vec![
+            rule(".a.p(.x=X) <- .a.q(.x=X), .a.r¬(.x=X)"),
+            rule(".a.r(.x=X) <- .a.p(.x=X)"),
+        ];
+        let err = RuleEngine::new(rules).unwrap_err();
+        assert!(matches!(err, RuleSetError::NotStratified(_)));
+    }
+
+    #[test]
+    fn head_db_must_be_constant() {
+        let rules = vec![rule(".X.p(.a=A) <- .euter.r(.stkCode=A), .euter.r(.stkCode=X)")];
+        assert!(matches!(
+            RuleEngine::new(rules),
+            Err(RuleSetError::HeadDbNotConstant(_))
+        ));
+    }
+
+    #[test]
+    fn make_true_is_idempotent() {
+        let mut store = base_store();
+        let engine = RuleEngine::new(unified_rules()).unwrap();
+        let s1 = engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        let before = store.relation("dbI", "p").unwrap().clone();
+        let s2 = engine.materialize(&mut store, EvalOptions::default()).unwrap();
+        assert_eq!(s2.facts_added, 0, "second run derives nothing new");
+        assert_eq!(&before, store.relation("dbI", "p").unwrap());
+        assert!(s1.facts_added > 0);
+    }
+
+    #[test]
+    fn seminaive_does_fewer_rule_evals() {
+        let mut s1 = base_store();
+        let mut rules = unified_rules();
+        rules.push(rule(".dbE.r(.date=D,.stkCode=S,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date"));
+        rules.push(rule(".dbC2.tot(.stk=S) <- .dbE.r(.stkCode=S)"));
+        let mut engine = RuleEngine::new(rules).unwrap();
+        let semi = engine.materialize(&mut s1, EvalOptions::default()).unwrap();
+        let mut s2 = base_store();
+        engine.semi_naive = false;
+        let naive = engine.materialize(&mut s2, EvalOptions::default()).unwrap();
+        assert_eq!(s1.relation("dbC2", "tot").unwrap(), s2.relation("dbC2", "tot").unwrap());
+        assert!(semi.rule_evals <= naive.rule_evals);
+        assert_eq!(semi.facts_added, naive.facts_added);
+    }
+}

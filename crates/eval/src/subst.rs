@@ -1,0 +1,237 @@
+//! Substitutions and answer sets (§4.2).
+//!
+//! *"A substitution is … a non-empty finite set of ordered pairs
+//! {X₁/o₁, …, Xₙ/oₙ} … We define the answer to a query to be the set of
+//! grounding substitutions satisfying the query. … In the limiting case,
+//! when there is no variable in the query, the answer is assumed to be
+//! boolean."*
+
+use idl_lang::Var;
+use idl_object::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A substitution: a finite map from variables to objects.
+///
+/// Bindings are immutable once made; [`Subst::bind`] on an already-bound
+/// variable succeeds only if the values agree structurally (this is what
+/// makes repeated variables express joins).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct Subst {
+    map: BTreeMap<Var, Value>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The object bound to `v`, if any.
+    pub fn get(&self, v: &Var) -> Option<&Value> {
+        self.map.get(v)
+    }
+
+    /// Whether `v` is bound.
+    pub fn is_bound(&self, v: &Var) -> bool {
+        self.map.contains_key(v)
+    }
+
+    /// Attempts to bind `v` to `value`. Returns the extended substitution,
+    /// or `None` if `v` is already bound to a different value.
+    #[must_use]
+    pub fn bind(&self, v: &Var, value: &Value) -> Option<Subst> {
+        match self.map.get(v) {
+            Some(existing) if existing == value => Some(self.clone()),
+            Some(_) => None,
+            None => {
+                let mut m = self.clone();
+                m.map.insert(v.clone(), value.clone());
+                Some(m)
+            }
+        }
+    }
+
+    /// In-place unchecked insert (used when the variable is known fresh).
+    pub fn insert(&mut self, v: Var, value: Value) {
+        self.map.insert(v, value);
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.map.iter()
+    }
+
+    /// Projects the substitution onto a set of variables (used to present
+    /// answers over the query's named variables, dropping internals like
+    /// the parser's `_G…` fresh variables).
+    pub fn project(&self, vars: &BTreeSet<Var>) -> Subst {
+        Subst {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(*v))
+                .map(|(v, o)| (v.clone(), o.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, o)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}/{o}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Var, Value)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Self {
+        Subst { map: iter.into_iter().collect() }
+    }
+}
+
+/// The answer to a query: a *set* of grounding substitutions (§4.2).
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct AnswerSet {
+    substs: BTreeSet<Subst>,
+}
+
+impl AnswerSet {
+    /// Empty answer (query is false).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a substitution (set semantics: duplicates collapse).
+    pub fn insert(&mut self, s: Subst) -> bool {
+        self.substs.insert(s)
+    }
+
+    /// Number of distinct answers.
+    pub fn len(&self) -> usize {
+        self.substs.len()
+    }
+
+    /// No answers?
+    pub fn is_empty(&self) -> bool {
+        self.substs.is_empty()
+    }
+
+    /// The boolean reading: at least one satisfying substitution.
+    pub fn is_true(&self) -> bool {
+        !self.substs.is_empty()
+    }
+
+    /// Iterates answers in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Subst> {
+        self.substs.iter()
+    }
+
+    /// All distinct values bound to variable `v` across answers.
+    pub fn column(&self, v: &str) -> Vec<Value> {
+        let var = Var::new(v);
+        let mut seen = BTreeSet::new();
+        for s in &self.substs {
+            if let Some(val) = s.get(&var) {
+                seen.insert(val.clone());
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Projects every answer onto `vars` and re-deduplicates.
+    pub fn project(&self, vars: &BTreeSet<Var>) -> AnswerSet {
+        AnswerSet { substs: self.substs.iter().map(|s| s.project(vars)).collect() }
+    }
+}
+
+impl FromIterator<Subst> for AnswerSet {
+    fn from_iter<I: IntoIterator<Item = Subst>>(iter: I) -> Self {
+        AnswerSet { substs: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for AnswerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.substs.is_empty() {
+            return write!(f, "false");
+        }
+        if self.substs.len() == 1 && self.substs.iter().next().unwrap().is_empty() {
+            return write!(f, "true");
+        }
+        for (i, s) in self.substs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_checks_consistency() {
+        let s = Subst::new();
+        let s1 = s.bind(&Var::new("X"), &Value::int(1)).unwrap();
+        assert!(s1.bind(&Var::new("X"), &Value::int(1)).is_some());
+        assert!(s1.bind(&Var::new("X"), &Value::int(2)).is_none());
+        let s2 = s1.bind(&Var::new("Y"), &Value::str("hp")).unwrap();
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s1.len(), 1, "bind is persistent, not in-place");
+    }
+
+    #[test]
+    fn projection() {
+        let s: Subst = [
+            (Var::new("X"), Value::int(1)),
+            (Var::new("_G1"), Value::int(9)),
+        ]
+        .into_iter()
+        .collect();
+        let keep: BTreeSet<Var> = [Var::new("X")].into_iter().collect();
+        let p = s.project(&keep);
+        assert_eq!(p.len(), 1);
+        assert!(p.is_bound(&Var::new("X")));
+    }
+
+    #[test]
+    fn answer_set_dedups_and_booleanises() {
+        let mut a = AnswerSet::new();
+        assert!(!a.is_true());
+        let s1: Subst = [(Var::new("X"), Value::int(1))].into_iter().collect();
+        assert!(a.insert(s1.clone()));
+        assert!(!a.insert(s1));
+        assert_eq!(a.len(), 1);
+        assert!(a.is_true());
+        assert_eq!(a.column("X"), vec![Value::int(1)]);
+        assert!(a.column("Y").is_empty());
+    }
+
+    #[test]
+    fn display_booleans() {
+        let mut a = AnswerSet::new();
+        assert_eq!(a.to_string(), "false");
+        a.insert(Subst::new());
+        assert_eq!(a.to_string(), "true");
+    }
+}

@@ -1,0 +1,684 @@
+//! Update-expression evaluation (§5).
+//!
+//! An update expression is *"a decree that proclaims the truth hence
+//! forth"*: `+exp` makes `exp` true, `-exp` makes it false. The §5.2
+//! evaluation semantics implemented here:
+//!
+//! * **atomic plus** `+=c` replaces the atom with `c`; **atomic minus**
+//!   `-=c` replaces it with the null atom if it currently satisfies `=c`
+//!   (an unbound variable acts as a wildcard: `-=X` nulls any non-null
+//!   atom — this is what lets `delStk` run with missing parameters);
+//! * **tuple plus** `+.a exp` creates/overwrites attribute `a` with the
+//!   materialisation of `exp` on a fresh empty object; **tuple minus**
+//!   `-.a exp` deletes the attribute when its object satisfies `exp` —
+//!   on a *single tuple* if reached through one, which is legal because
+//!   sets are heterogeneous (§5.2's chwab example);
+//! * **set plus** `+(exp)` inserts the materialisation of `exp`; **set
+//!   minus** `-(exp)` deletes every element satisfying `exp`;
+//! * **query-dependent updates**: unsigned fields of a tuple expression in
+//!   update context act as filters/binders — elements matching the query
+//!   parts receive the update parts (the paper's
+//!   `?.chwab.r(.date=3/3/85, -.hp=C)` and `delStk`'s `.chwab.r(.S-=X,
+//!   .date=D)`);
+//! * the **empty object** doctrine: *"all update expressions are valid on
+//!   an empty object"* — navigating a `+`-carrying expression through a
+//!   missing attribute creates the attribute with an empty object of the
+//!   category the expression expects (which is also how inserting into a
+//!   brand-new relation works).
+//!
+//! Kind mismatches (e.g. set plus on an atom) are reported as errors — the
+//! paper says results are "undefined"; we define them as failures.
+
+use crate::arith::eval_term;
+use crate::error::{EvalError, EvalResult};
+use crate::query::{EvalOptions, Evaluator};
+use crate::subst::Subst;
+use idl_lang::{AttrTerm, Expr, Field, RelOp, Sign, Term};
+use idl_object::{Kind, Name, Value};
+use idl_storage::Store;
+
+/// Mutation counters returned by update application.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct UpdateStats {
+    /// Set elements inserted.
+    pub inserted: usize,
+    /// Set elements / tuple attributes deleted.
+    pub deleted: usize,
+    /// Atoms overwritten or nulled, attributes created/replaced.
+    pub modified: usize,
+}
+
+impl UpdateStats {
+    /// Total mutations.
+    pub fn total(&self) -> usize {
+        self.inserted + self.deleted + self.modified
+    }
+
+    /// Accumulates another counter.
+    pub fn merge(&mut self, other: UpdateStats) {
+        self.inserted += other.inserted;
+        self.deleted += other.deleted;
+        self.modified += other.modified;
+    }
+}
+
+/// Applies one update item (a universe-level expression containing update
+/// forms) under a substitution.
+pub fn apply_update(universe: &mut Value, expr: &Expr, subst: &Subst) -> EvalResult<UpdateStats> {
+    let mut stats = UpdateStats::default();
+    apply(universe, expr, subst, &mut stats)?;
+    Ok(stats)
+}
+
+/// Plain (store-less, index-less) satisfaction used for update conditions.
+fn satisfy_plain(obj: &Value, expr: &Expr, subst: &Subst) -> EvalResult<Vec<Subst>> {
+    let store = Store::new();
+    let ev = Evaluator::new(&store, EvalOptions::naive());
+    let mut out = Vec::new();
+    ev.satisfy(obj, expr, subst, &mut out)?;
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn holds_plain(obj: &Value, expr: &Expr, subst: &Subst) -> EvalResult<bool> {
+    Ok(!satisfy_plain(obj, expr, subst)?.is_empty())
+}
+
+/// Whether the expression contains a make-true (`+`) form anywhere.
+fn has_plus(e: &Expr) -> bool {
+    match e {
+        Expr::AtomicUpdate(Sign::Plus, _) | Expr::SetUpdate(Sign::Plus, _) => true,
+        Expr::AtomicUpdate(Sign::Minus, _) => false,
+        Expr::SetUpdate(Sign::Minus, inner) => has_plus(inner),
+        Expr::Not(i) | Expr::Set(i) => has_plus(i),
+        Expr::Tuple(fields) => fields
+            .iter()
+            .any(|f| f.sign == Some(Sign::Plus) || has_plus(&f.expr)),
+        Expr::Epsilon | Expr::Atomic(..) | Expr::Constraint(..) => false,
+    }
+}
+
+/// The empty object a `+`-carrying expression expects (§5.2's
+/// context-dependent empty object).
+fn empty_slot_for(e: &Expr) -> Value {
+    match e {
+        Expr::Tuple(_) => Value::empty_tuple(),
+        Expr::Set(_) | Expr::SetUpdate(..) => Value::empty_set(),
+        _ => Value::null(),
+    }
+}
+
+fn apply(obj: &mut Value, expr: &Expr, subst: &Subst, stats: &mut UpdateStats) -> EvalResult<()> {
+    match expr {
+        Expr::Tuple(fields) => apply_tuple(obj, fields, subst, stats),
+        Expr::Set(inner) => apply_set_filtered(obj, inner, subst, stats),
+        Expr::SetUpdate(sign, inner) => apply_set_update(obj, *sign, inner, subst, stats),
+        Expr::AtomicUpdate(sign, term) => apply_atomic_update(obj, *sign, term, subst, stats),
+        // Pure query forms in update position: conditions only.
+        Expr::Epsilon | Expr::Atomic(..) | Expr::Constraint(..) | Expr::Not(_) => Ok(()),
+    }
+}
+
+fn kind_err(expected: Kind, found: &Value, context: &str) -> EvalError {
+    EvalError::KindMismatch { expected, found: found.kind(), context: context.to_string() }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+fn apply_tuple(
+    obj: &mut Value,
+    fields: &[Field],
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    if obj.as_tuple().is_none() {
+        return Err(kind_err(Kind::Tuple, obj, "tuple update expression"));
+    }
+    // Split: pure-query fields filter & bind; update fields mutate.
+    let query_fields: Vec<Field> = fields
+        .iter()
+        .filter(|f| f.sign.is_none() && f.expr.is_query())
+        .cloned()
+        .collect();
+    let update_fields: Vec<&Field> = fields
+        .iter()
+        .filter(|f| f.sign.is_some() || !f.expr.is_query())
+        .collect();
+
+    let substs = if query_fields.is_empty() {
+        vec![subst.clone()]
+    } else {
+        satisfy_plain(obj, &Expr::Tuple(query_fields), subst)?
+    };
+    if substs.is_empty() {
+        return Ok(()); // conditions unmet: the decree does not apply here
+    }
+    for s in &substs {
+        for f in &update_fields {
+            apply_field(obj, f, s, stats)?;
+        }
+    }
+    Ok(())
+}
+
+fn apply_field(
+    obj: &mut Value,
+    field: &Field,
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    // Resolve the attribute position to concrete names.
+    let names: Vec<Name> = match &field.attr {
+        AttrTerm::Const(n) => vec![n.clone()],
+        AttrTerm::Var(v) => match subst.get(v) {
+            Some(Value::Atom(idl_object::Atom::Str(n))) => vec![n.clone()],
+            Some(_) => return Err(EvalError::BadAttrBinding(v.clone())),
+            // Unbound attribute variable: wildcard over existing attributes
+            // (how `delStk` without a stock parameter touches every stock).
+            // Make-true fields cannot wildcard — creating an attribute
+            // needs a name (§7.1's binding requirement).
+            None if field.sign == Some(Sign::Plus) || has_plus(&field.expr) => {
+                return Err(EvalError::Uninstantiated(v.clone()));
+            }
+            None => obj
+                .as_tuple()
+                .expect("checked by apply_tuple")
+                .keys()
+                .cloned()
+                .collect(),
+        },
+    };
+    for name in names {
+        // Extend σ with the attribute binding when the position was a
+        // variable, so nested conditions can mention it.
+        let s2 = match &field.attr {
+            AttrTerm::Var(v) if !subst.is_bound(v) => subst
+                .bind(v, &Value::str(name.as_str()))
+                .expect("fresh binding cannot conflict"),
+            _ => subst.clone(),
+        };
+        let t = obj.as_tuple_mut().expect("checked by apply_tuple");
+        match field.sign {
+            Some(Sign::Plus) => {
+                // §5.2 tuple plus: (re)create the attribute with an empty
+                // object, then make the sub-expression true on it.
+                let materialised = materialize(&field.expr, &s2)?;
+                t.insert(name.clone(), materialised);
+                stats.modified += 1;
+            }
+            Some(Sign::Minus) => {
+                if let Some(child) = t.get(name.as_str()) {
+                    if !field.expr.is_query() {
+                        return Err(EvalError::Malformed(
+                            "tuple minus condition must be a query expression".into(),
+                        ));
+                    }
+                    if holds_plain(child, &field.expr, &s2)? {
+                        t.remove(name.as_str());
+                        stats.deleted += 1;
+                    }
+                }
+            }
+            None => {
+                // Navigation. Create the slot when the sub-expression will
+                // make something true (the empty-object doctrine).
+                if !t.contains(name.as_str()) {
+                    if has_plus(&field.expr) {
+                        t.insert(name.clone(), empty_slot_for(&field.expr));
+                    } else {
+                        continue; // nothing to delete below a missing attr
+                    }
+                }
+                let child = t.get_mut(name.as_str()).expect("ensured above");
+                apply(child, &field.expr, &s2, stats)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- sets -----------------------------------------------------------------
+
+/// Unsigned set expression in update context: elements matching the query
+/// parts of `inner` receive its update parts.
+fn apply_set_filtered(
+    obj: &mut Value,
+    inner: &Expr,
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    let Some(_) = obj.as_set() else {
+        return Err(kind_err(Kind::Set, obj, "set update expression"));
+    };
+    let Expr::Tuple(fields) = inner else {
+        return Err(EvalError::Malformed(
+            "embedded updates inside a set expression require a tuple expression".into(),
+        ));
+    };
+    let query_fields: Vec<Field> = fields
+        .iter()
+        .filter(|f| f.sign.is_none() && f.expr.is_query())
+        .cloned()
+        .collect();
+    let update_fields: Vec<Field> = fields
+        .iter()
+        .filter(|f| f.sign.is_some() || !f.expr.is_query())
+        .cloned()
+        .collect();
+    if update_fields.is_empty() {
+        return Ok(());
+    }
+    let qexpr = Expr::Tuple(query_fields);
+
+    let set = obj.as_set_mut().expect("checked above");
+    // Take matching elements out (BTreeSet elements are immutable in
+    // place), mutate copies, re-insert.
+    let mut staged: Vec<Value> = Vec::new();
+    let candidates = set.take_if(|elem| {
+        matches!(satisfy_plain(elem, &qexpr, subst), Ok(v) if !v.is_empty())
+    });
+    for elem in candidates {
+        let substs = satisfy_plain(&elem, &qexpr, subst)?;
+        let mut modified = elem;
+        for s in &substs {
+            for f in &update_fields {
+                let fake_tuple_fields = [f.clone()];
+                // Reuse the tuple machinery on the element.
+                apply_tuple_element(&mut modified, &fake_tuple_fields, s, stats)?;
+            }
+        }
+        staged.push(modified);
+    }
+    let set = obj.as_set_mut().expect("still a set");
+    for v in staged {
+        set.insert(v);
+    }
+    Ok(())
+}
+
+/// Applies update fields to a set element (a tuple, usually).
+fn apply_tuple_element(
+    elem: &mut Value,
+    fields: &[Field],
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    if elem.as_tuple().is_none() {
+        return Err(kind_err(Kind::Tuple, elem, "update field on set element"));
+    }
+    for f in fields {
+        apply_field(elem, f, subst, stats)?;
+    }
+    Ok(())
+}
+
+fn apply_set_update(
+    obj: &mut Value,
+    sign: Sign,
+    inner: &Expr,
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    let Some(set) = obj.as_set_mut() else {
+        return Err(kind_err(Kind::Set, obj, "set update expression"));
+    };
+    match sign {
+        Sign::Plus => {
+            let v = materialize(inner, subst)?;
+            if set.insert(v) {
+                stats.inserted += 1;
+            }
+            Ok(())
+        }
+        Sign::Minus => {
+            if !inner.is_query() {
+                return Err(EvalError::Malformed(
+                    "set minus condition must be a query expression".into(),
+                ));
+            }
+            let mut err = None;
+            let removed = set.remove_if(|elem| match satisfy_plain(elem, inner, subst) {
+                Ok(v) => !v.is_empty(),
+                Err(e) => {
+                    err.get_or_insert(e);
+                    false
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            stats.deleted += removed;
+            Ok(())
+        }
+    }
+}
+
+// ---- atoms ----------------------------------------------------------------
+
+fn apply_atomic_update(
+    obj: &mut Value,
+    sign: Sign,
+    term: &Term,
+    subst: &Subst,
+    stats: &mut UpdateStats,
+) -> EvalResult<()> {
+    match sign {
+        Sign::Plus => {
+            if obj.as_atom().is_none() {
+                return Err(kind_err(Kind::Atom, obj, "atomic plus expression"));
+            }
+            let v = eval_term(term, subst)?;
+            if v.as_atom().is_none() {
+                return Err(kind_err(Kind::Atom, &v, "atomic plus payload"));
+            }
+            *obj = v;
+            stats.modified += 1;
+            Ok(())
+        }
+        Sign::Minus => {
+            let Some(atom) = obj.as_atom() else {
+                return Err(kind_err(Kind::Atom, obj, "atomic minus expression"));
+            };
+            if atom.is_null() {
+                return Ok(()); // already "false henceforth"
+            }
+            // Satisfies `= term` under σ? Unbound variables are wildcards.
+            let cond = Expr::Atomic(RelOp::Eq, term.clone());
+            if holds_plain(obj, &cond, subst)? {
+                *obj = Value::null();
+                stats.modified += 1;
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---- materialisation --------------------------------------------------------
+
+/// Builds the object a make-true expression describes (evaluating `+exp` on
+/// a fresh empty object, §5.2). Requires the expression to be simple and
+/// ground under σ — unbound variables are an error, which is exactly the
+/// paper's point about `insStk` needing all parameters (§7.1).
+pub fn materialize(expr: &Expr, subst: &Subst) -> EvalResult<Value> {
+    match expr {
+        Expr::Epsilon => Ok(Value::null()),
+        Expr::Atomic(RelOp::Eq, t) | Expr::AtomicUpdate(Sign::Plus, t) => {
+            let v = eval_term(t, subst)?;
+            Ok(v)
+        }
+        Expr::Atomic(..) => Err(EvalError::Malformed(
+            "make-true payload must use only `=` comparisons (simple expression)".into(),
+        )),
+        Expr::Tuple(fields) => {
+            let mut t = idl_object::TupleObj::new();
+            for f in fields {
+                if f.sign == Some(Sign::Minus) {
+                    continue; // deleting from a fresh object is a no-op
+                }
+                let name = match &f.attr {
+                    AttrTerm::Const(n) => n.clone(),
+                    AttrTerm::Var(v) => match subst.get(v) {
+                        Some(Value::Atom(idl_object::Atom::Str(n))) => n.clone(),
+                        Some(_) => return Err(EvalError::BadAttrBinding(v.clone())),
+                        None => return Err(EvalError::Uninstantiated(v.clone())),
+                    },
+                };
+                t.insert(name, materialize(&f.expr, subst)?);
+            }
+            Ok(Value::Tuple(t))
+        }
+        Expr::Set(inner) | Expr::SetUpdate(Sign::Plus, inner) => {
+            let mut s = idl_object::SetObj::new();
+            if **inner != Expr::Epsilon {
+                s.insert(materialize(inner, subst)?);
+            }
+            Ok(Value::Set(s))
+        }
+        Expr::AtomicUpdate(Sign::Minus, _) | Expr::SetUpdate(Sign::Minus, _) => Err(
+            EvalError::Malformed("make-false expression inside a make-true payload".into()),
+        ),
+        Expr::Not(_) => Err(EvalError::Malformed("negation inside a make-true payload".into())),
+        Expr::Constraint(..) => {
+            Err(EvalError::Malformed("constraint inside a make-true payload".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_lang::{parse_statement, Statement};
+    use idl_object::universe::stock_universe;
+    use idl_object::{tuple, Path};
+
+    fn universe() -> Value {
+        stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+        ])
+    }
+
+    /// Date atom from its surface literal.
+    fn dval(s: &str) -> Value {
+        Value::date(s.parse().unwrap())
+    }
+
+    /// Runs an update request the way the request runner does: thread query
+    /// items, apply update items per binding.
+    fn run(universe: &mut Value, src: &str) -> UpdateStats {
+        let Statement::Request(req) = parse_statement(src).unwrap() else { panic!() };
+        let mut substs = vec![Subst::new()];
+        let mut stats = UpdateStats::default();
+        for item in &req.items {
+            if item.is_query() {
+                let mut next = Vec::new();
+                for s in &substs {
+                    let mut out = Vec::new();
+                    let store = Store::new();
+                    Evaluator::new(&store, EvalOptions::naive())
+                        .satisfy(universe, item, s, &mut out)
+                        .unwrap();
+                    next.extend(out);
+                }
+                next.sort();
+                next.dedup();
+                substs = next;
+            } else {
+                for s in &substs {
+                    stats.merge(apply_update(universe, item, s).unwrap());
+                }
+            }
+        }
+        stats
+    }
+
+    fn rel_len(u: &Value, db: &str, rel: &str) -> usize {
+        Path::new([db, rel]).get(u).unwrap().as_set().unwrap().len()
+    }
+
+    #[test]
+    fn set_insert_and_delete() {
+        let mut u = universe();
+        let st = run(&mut u, "?.euter.r+(.date=3/5/85,.stkCode=sun,.clsPrice=30)");
+        assert_eq!(st.inserted, 1);
+        assert_eq!(rel_len(&u, "euter", "r"), 4);
+        // duplicate insert is a no-op (set semantics)
+        let st = run(&mut u, "?.euter.r+(.date=3/5/85,.stkCode=sun,.clsPrice=30)");
+        assert_eq!(st.inserted, 0);
+
+        let st = run(&mut u, "?.euter.r-(.date=3/3/85,.stkCode=hp)");
+        assert_eq!(st.deleted, 1);
+        assert_eq!(rel_len(&u, "euter", "r"), 3);
+    }
+
+    #[test]
+    fn query_dependent_delete() {
+        // paper: bind C first, then delete with C
+        let mut u = universe();
+        let st = run(
+            &mut u,
+            "?.euter.r(.date=3/3/85,.stkCode=hp,.clsPrice=C), .euter.r-(.date=3/3/85,.stkCode=hp,.clsPrice=C)",
+        );
+        assert_eq!(st.deleted, 1);
+        assert_eq!(rel_len(&u, "euter", "r"), 2);
+    }
+
+    #[test]
+    fn atomic_minus_nulls_value() {
+        // ?.chwab.r(.date=3/3/85, .hp-=C) — null out hp's price that day
+        let mut u = universe();
+        run(&mut u, "?.chwab.r(.date=3/3/85, .hp-=C)");
+        let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
+        let day = r
+            .iter()
+            .find(|t| t.attr("date") == Some(&dval("3/3/85")))
+            .unwrap();
+        assert!(day.attr("hp").unwrap().is_null());
+        // attribute still exists, but no query satisfies it
+        assert!(day.attr("ibm").is_some());
+    }
+
+    #[test]
+    fn attribute_minus_removes_attribute_from_one_tuple() {
+        // ?.chwab.r(.date=3/3/85, -.hp=C) — delete the attribute itself
+        let mut u = universe();
+        let st = run(&mut u, "?.chwab.r(.date=3/3/85, -.hp=C)");
+        assert_eq!(st.deleted, 1);
+        let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
+        let day33 = r
+            .iter()
+            .find(|t| t.attr("date") == Some(&dval("3/3/85")))
+            .unwrap();
+        let day34 = r
+            .iter()
+            .find(|t| t.attr("date") == Some(&dval("3/4/85")))
+            .unwrap();
+        assert!(day33.attr("hp").is_none(), "attribute gone from the 3/3 tuple only");
+        assert!(day34.attr("hp").is_some(), "heterogeneous set: other tuples keep it");
+    }
+
+    #[test]
+    fn price_bump_delete_then_insert() {
+        let mut u = universe();
+        run(
+            &mut u,
+            "?.chwab.r(.date=3/3/85,.hp=C), .chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)",
+        );
+        let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
+        let bumped = r
+            .iter()
+            .any(|t| t.attr("hp").map(|v| v == &Value::float(60.0)).unwrap_or(false));
+        assert!(bumped, "hp on 3/3/85 bumped from 50 to 60: {u}");
+    }
+
+    #[test]
+    fn insert_into_fresh_relation_creates_it() {
+        let mut u = universe();
+        let st = run(&mut u, "?.newdb.newrel+(.a=1)");
+        assert_eq!(st.inserted, 1);
+        assert_eq!(rel_len(&u, "newdb", "newrel"), 1);
+    }
+
+    #[test]
+    fn delete_from_missing_relation_is_noop() {
+        let mut u = universe();
+        let st = run(&mut u, "?.euter.nope-(.a=1)");
+        assert_eq!(st.total(), 0);
+    }
+
+    #[test]
+    fn relation_drop_via_tuple_minus() {
+        // rmStk's ource clause: .ource-.hp (with the stock ground)
+        let mut u = universe();
+        let st = run(&mut u, "?.ource-.hp");
+        assert_eq!(st.deleted, 1);
+        assert!(Path::new(["ource", "hp"]).get(&u).is_none());
+        assert!(Path::new(["ource", "ibm"]).get(&u).is_some());
+    }
+
+    #[test]
+    fn attribute_drop_everywhere_via_set_filter() {
+        // rmStk's chwab clause: .chwab.r(-.hp)
+        let mut u = universe();
+        run(&mut u, "?.chwab.r(-.hp)");
+        let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
+        for t in r.iter() {
+            assert!(t.attr("hp").is_none());
+            assert!(t.attr("ibm").is_some() || t.attr("date").is_some());
+        }
+    }
+
+    #[test]
+    fn wildcard_unbound_attribute_variable() {
+        // delStk without stock: .chwab.r(.S-=X, .date=3/3/85) nulls every
+        // stock attribute on that date — but not the date attribute itself?
+        // The paper's delStk nulls all attribute values including date; the
+        // usual formulation filters on date first. Here S unbound ranges
+        // over all attributes, so date gets nulled too once its condition
+        // fired; the paper's own text says "all values are deleted". We
+        // mirror that.
+        let mut u = universe();
+        run(&mut u, "?.chwab.r(.date=3/3/85, .S-=X)");
+        let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
+        let nulled = r
+            .iter()
+            .find(|t| t.as_tuple().unwrap().values().all(|v| v.is_null()))
+            .is_some();
+        assert!(nulled, "one tuple fully nulled: {u}");
+    }
+
+    #[test]
+    fn kind_mismatch_is_error() {
+        let mut u = tuple! { db: tuple! { r: 5i64 } };
+        let Statement::Request(req) = parse_statement("?.db.r+(.a=1)").unwrap() else { panic!() };
+        let err = apply_update(&mut u, &req.items[0], &Subst::new()).unwrap_err();
+        assert!(matches!(err, EvalError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn materialize_requires_ground() {
+        let Statement::Request(req) =
+            parse_statement("?.euter.r+(.stkCode=S)").unwrap()
+        else {
+            panic!()
+        };
+        let mut u = universe();
+        let err = apply_update(&mut u, &req.items[0], &Subst::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Uninstantiated(_)));
+    }
+
+    #[test]
+    fn materialize_nested_shapes() {
+        // nested set inside a tuple
+        let Statement::Request(req) =
+            parse_statement("?.db.r+(.name=box, .contents(.item=pen))").unwrap()
+        else {
+            panic!()
+        };
+        let mut u = Value::empty_tuple();
+        apply_update(&mut u, &req.items[0], &Subst::new()).unwrap();
+        let r = Path::new(["db", "r"]).get(&u).unwrap().as_set().unwrap();
+        let elem = r.iter().next().unwrap();
+        assert_eq!(elem.attr("name"), Some(&Value::str("box")));
+        assert_eq!(elem.attr("contents").unwrap().as_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_order_matters() {
+        // delete-then-insert vs insert-then-delete (§5.2's remark)
+        let mut u1 = universe();
+        run(&mut u1, "?.euter.r-(.stkCode=hp), .euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)");
+        // hp rows deleted first, then one inserted → exactly 1 hp row
+        let r = Path::new(["euter", "r"]).get(&u1).unwrap().as_set().unwrap();
+        let hp_rows = r.iter().filter(|t| t.attr("stkCode") == Some(&Value::str("hp"))).count();
+        assert_eq!(hp_rows, 1);
+
+        let mut u2 = universe();
+        run(&mut u2, "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99), .euter.r-(.stkCode=hp)");
+        let r = Path::new(["euter", "r"]).get(&u2).unwrap().as_set().unwrap();
+        let hp_rows = r.iter().filter(|t| t.attr("stkCode") == Some(&Value::str("hp"))).count();
+        assert_eq!(hp_rows, 0, "reverse order deletes the fresh insert too");
+    }
+}

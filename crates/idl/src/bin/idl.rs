@@ -1,0 +1,165 @@
+//! `idl` — command-line runner for IDL scripts.
+//!
+//! ```text
+//! idl [--snapshot universe.json] [--save universe.json] [--sql] \
+//!     [--analyze] [script.idl ...]
+//! idl -e '?.euter.r(.stkCode=S, .clsPrice>200)'
+//! ```
+//!
+//! * `--snapshot F` — load the universe from a JSON snapshot first.
+//! * `--save F` — write the universe back after all scripts ran.
+//! * `--stock` — preload the paper's miniature stock universe.
+//! * `--mapping` — install the paper's two-level mapping (views + programs).
+//! * `--sql` — treat `-e` input / script lines as the SQL-sugar dialect.
+//! * `--analyze` — run static binding analysis instead of executing.
+//! * `-e STMT` — execute one statement from the command line.
+//!
+//! Scripts are ordinary multi-statement IDL sources (`;`-separated).
+
+use idl::{Engine, Outcome};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    snapshot: Option<PathBuf>,
+    save: Option<PathBuf>,
+    stock: bool,
+    mapping: bool,
+    sql: bool,
+    analyze: bool,
+    inline: Vec<String>,
+    scripts: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        snapshot: None,
+        save: None,
+        stock: false,
+        mapping: false,
+        sql: false,
+        analyze: false,
+        inline: Vec::new(),
+        scripts: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--snapshot" => {
+                cli.snapshot =
+                    Some(args.next().ok_or("--snapshot needs a path")?.into())
+            }
+            "--save" => cli.save = Some(args.next().ok_or("--save needs a path")?.into()),
+            "--stock" => cli.stock = true,
+            "--mapping" => cli.mapping = true,
+            "--sql" => cli.sql = true,
+            "--analyze" => cli.analyze = true,
+            "-e" => cli.inline.push(args.next().ok_or("-e needs a statement")?),
+            "--help" | "-h" => {
+                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [-e STMT] [script.idl ...]");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path => cli.scripts.push(path.into()),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("idl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut engine = match &cli.snapshot {
+        Some(path) => match Engine::load_snapshot(path) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("idl: cannot load snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None if cli.stock => Engine::with_stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+            ("3/4/85", "ibm", 155.0),
+            ("3/5/85", "hp", 61.0),
+            ("3/5/85", "ibm", 210.0),
+        ]),
+        None => Engine::new(),
+    };
+    if cli.mapping {
+        if let Err(e) = idl::transparency::install_two_level_mapping(&mut engine) {
+            eprintln!("idl: cannot install mapping: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut sources: Vec<(String, String)> = Vec::new(); // (label, text)
+    for script in &cli.scripts {
+        match std::fs::read_to_string(script) {
+            Ok(text) => sources.push((script.display().to_string(), text)),
+            Err(e) => {
+                eprintln!("idl: cannot read {}: {e}", script.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for (i, stmt) in cli.inline.iter().enumerate() {
+        sources.push((format!("-e #{}", i + 1), stmt.clone()));
+    }
+    if sources.is_empty() {
+        eprintln!("idl: nothing to run (pass a script or -e; --help for usage)");
+        return ExitCode::FAILURE;
+    }
+
+    for (label, text) in &sources {
+        if cli.analyze {
+            match engine.analyze(text) {
+                Ok(issues) if issues.is_empty() => println!("{label}: no binding issues"),
+                Ok(issues) => {
+                    for i in issues {
+                        println!("{label}: warning: {i}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        let result = if cli.sql {
+            engine.execute_sql(text).map(|o| vec![o])
+        } else {
+            engine.execute(text)
+        };
+        match result {
+            Ok(outcomes) => {
+                for o in outcomes {
+                    match o {
+                        Outcome::Answers { .. } => println!("{o}"),
+                        other => println!("-- {other}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &cli.save {
+        if let Err(e) = engine.save_snapshot(path) {
+            eprintln!("idl: cannot save snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

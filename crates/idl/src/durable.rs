@@ -1,0 +1,255 @@
+//! Durability: snapshot + operation log.
+//!
+//! The storage layer persists point-in-time JSON snapshots
+//! ([`idl_storage::persist`]); this module adds the other half of the
+//! classic recipe — an **append-only operation log**. Every successful
+//! *mutating* request is appended in canonical IDL surface syntax (one
+//! statement per line, which is also pleasantly greppable), and recovery
+//! is snapshot + replay:
+//!
+//! ```no_run
+//! use idl::durable::DurableEngine;
+//! let mut d = DurableEngine::open("./stocks")?;
+//! d.engine().execute(idl::transparency::standard_update_programs())?;
+//! d.update("?.dbU.insStk(.stk=hp, .date=3/3/85, .price=50)")?;  // logged
+//! d.checkpoint()?;                                // snapshot + truncate log
+//! # Ok::<(), idl::EngineError>(())
+//! ```
+//!
+//! Rules and update programs are *code*: they are not logged, and the
+//! application reinstalls them after `open` (the same policy as snapshot
+//! loading; see `tests/integration_pipeline.rs`).
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::outcome::Outcome;
+use idl_lang::{parse_statement, Statement};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// An [`Engine`] wrapped with snapshot + operation-log durability rooted
+/// at a directory (`universe.json` + `ops.idl`).
+pub struct DurableEngine {
+    engine: Engine,
+    dir: PathBuf,
+    log: File,
+}
+
+impl DurableEngine {
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("universe.json")
+    }
+
+    fn log_path(dir: &Path) -> PathBuf {
+        dir.join("ops.idl")
+    }
+
+    /// Opens (or creates) a durable engine at `dir`: loads the snapshot if
+    /// present, replays the operation log, and keeps the log open for
+    /// appending.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        Self::open_with(dir, |_| Ok(()))
+    }
+
+    /// Like [`DurableEngine::open`], running `setup` (typically rule and
+    /// update-program installation) after the snapshot loads but *before*
+    /// the log replays — logged program calls then resolve correctly.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        setup: impl FnOnce(&mut Engine) -> Result<(), EngineError>,
+    ) -> Result<Self, EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EngineError::Storage(format!("create {}: {e}", dir.display())))?;
+        let snap = Self::snapshot_path(&dir);
+        let mut engine = if snap.exists() {
+            Engine::load_snapshot(&snap)?
+        } else {
+            Engine::new()
+        };
+        setup(&mut engine)?;
+        // Replay the log (if any) against the snapshot state.
+        let log_path = Self::log_path(&dir);
+        if log_path.exists() {
+            let reader = BufReader::new(
+                File::open(&log_path)
+                    .map_err(|e| EngineError::Storage(format!("open log: {e}")))?,
+            );
+            for (no, line) in reader.lines().enumerate() {
+                let line =
+                    line.map_err(|e| EngineError::Storage(format!("read log: {e}")))?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('%') {
+                    continue;
+                }
+                let stmt = parse_statement(line).map_err(|e| {
+                    EngineError::Storage(format!("corrupt log at line {}: {e}", no + 1))
+                })?;
+                engine.execute_statement(stmt)?;
+            }
+        }
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| EngineError::Storage(format!("open log for append: {e}")))?;
+        Ok(DurableEngine { engine, dir, log })
+    }
+
+    /// The wrapped engine, for non-durable operations (queries, installing
+    /// rules/programs, configuration).
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Read access to the wrapped engine.
+    pub fn engine_ref(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Executes one request statement durably: on success *with mutations*
+    /// the canonical form is appended (and flushed) to the operation log.
+    pub fn update(&mut self, src: &str) -> Result<Outcome, EngineError> {
+        let stmt = parse_statement(src)?;
+        let canonical = match &stmt {
+            Statement::Request(r) => r.to_string(),
+            _ => {
+                return Err(EngineError::Usage(
+                    "durable update takes a request; install rules/programs via engine()".into(),
+                ))
+            }
+        };
+        let outcome = self.engine.execute_statement(stmt)?;
+        let mutated = matches!(&outcome, Outcome::Answers { stats, .. } if stats.total() > 0);
+        if mutated {
+            writeln!(self.log, "{canonical}")
+                .and_then(|()| self.log.flush())
+                .map_err(|e| EngineError::Storage(format!("append log: {e}")))?;
+        }
+        Ok(outcome)
+    }
+
+    /// Writes a fresh snapshot and truncates the operation log — recovery
+    /// afterwards starts from the snapshot alone.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        self.engine.save_snapshot(&Self::snapshot_path(&self.dir))?;
+        self.log = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(Self::log_path(&self.dir))
+            .map_err(|e| EngineError::Storage(format!("truncate log: {e}")))?;
+        Ok(())
+    }
+
+    /// Number of statements currently in the operation log (diagnostics).
+    pub fn log_len(&self) -> Result<usize, EngineError> {
+        let path = Self::log_path(&self.dir);
+        if !path.exists() {
+            return Ok(0);
+        }
+        let reader = BufReader::new(
+            File::open(&path).map_err(|e| EngineError::Storage(e.to_string()))?,
+        );
+        Ok(reader.lines().map_while(Result::ok).filter(|l| !l.trim().is_empty()).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("idl-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn log_and_recover() {
+        let dir = fresh_dir("basic");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.update("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)").unwrap();
+            d.update("?.euter.r+(.date=3/4/85,.stkCode=hp,.clsPrice=62)").unwrap();
+            d.update("?.euter.r-(.date=3/3/85,.stkCode=hp)").unwrap();
+            assert_eq!(d.log_len().unwrap(), 3);
+            // engine dropped without checkpoint: only the log survives
+        }
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert!(d.engine().query("?.euter.r(.date=3/4/85,.stkCode=hp)").unwrap().is_true());
+        assert!(!d.engine().query("?.euter.r(.date=3/3/85)").unwrap().is_true());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovers() {
+        let dir = fresh_dir("checkpoint");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+            assert_eq!(d.log_len().unwrap(), 0);
+            d.update("?.db.r+(.a=2)").unwrap();
+            assert_eq!(d.log_len().unwrap(), 1);
+        }
+        let mut d = DurableEngine::open(&dir).unwrap();
+        let a = d.engine().query("?.db.r(.a=X)").unwrap();
+        assert_eq!(a.column("X").len(), 2, "snapshot + log both replayed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pure_queries_and_noops_not_logged() {
+        let dir = fresh_dir("noop");
+        let mut d = DurableEngine::open(&dir).unwrap();
+        d.update("?.db.r+(.a=1)").unwrap();
+        d.update("?.db.r(.a=X)").unwrap(); // pure query
+        d.update("?.db.r+(.a=1)").unwrap(); // duplicate: zero mutations
+        d.update("?.db.r-(.a=99)").unwrap(); // delete miss: zero mutations
+        assert_eq!(d.log_len().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_log_reported() {
+        let dir = fresh_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ops.idl"), "?this is (not idl\n").unwrap();
+        let Err(err) = DurableEngine::open(&dir).map(|_| ()) else {
+            panic!("corrupt log must be rejected")
+        };
+        assert!(err.to_string().contains("corrupt log at line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clauses_rejected_from_durable_path() {
+        let dir = fresh_dir("clauses");
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert!(d.update(".a.b(.x=X) <- .c.d(.x=X)").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn update_programs_replay_through_log() {
+        // program *calls* are logged in canonical form; reinstalling the
+        // programs before recovery replays them correctly
+        let dir = fresh_dir("programs");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.engine()
+                .execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;")
+                .unwrap();
+            d.update("?.dbU.put(.k=a, .v=1)").unwrap();
+            d.update("?.dbU.put(.k=b, .v=2)").unwrap();
+        }
+        let mut d = DurableEngine::open_with(&dir, |e| {
+            e.execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;").map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(d.engine().query("?.kv.data(.k=K,.v=V)").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,73 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Any failure surfaced by the engine.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EngineError {
+    /// Source text failed to parse.
+    Parse(idl_lang::ParseError),
+    /// Evaluation failed (queries, updates, programs).
+    Eval(idl_eval::EvalError),
+    /// Rule installation / stratification failed.
+    Rules(String),
+    /// Storage failure.
+    Storage(String),
+    /// Declared-schema constraints violated; the request was rolled back.
+    Schema(Vec<idl_storage::schema::Violation>),
+    /// API misuse (e.g. `query` on a source with several statements).
+    Usage(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Rules(m) => write!(f, "rule error: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::Schema(violations) => {
+                write!(f, "schema violation(s), request rolled back:")?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
+            EngineError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<idl_lang::ParseError> for EngineError {
+    fn from(e: idl_lang::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<idl_eval::EvalError> for EngineError {
+    fn from(e: idl_eval::EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<idl_eval::RuleSetError> for EngineError {
+    fn from(e: idl_eval::RuleSetError) -> Self {
+        EngineError::Rules(e.to_string())
+    }
+}
+
+impl From<idl_storage::StorageError> for EngineError {
+    fn from(e: idl_storage::StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}

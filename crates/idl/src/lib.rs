@@ -1,0 +1,66 @@
+//! # `idl` — the Interoperable Database Language engine
+//!
+//! A from-scratch implementation of the language proposed in
+//! *Krishnamurthy, Litwin & Kent, "Language Features for Interoperability
+//! of Databases with Schematic Discrepancies", SIGMOD 1991*.
+//!
+//! IDL is a Horn-clause-based higher-order language for *multidatabase*
+//! systems. Its point is schematic discrepancy: the same fact — "hp closed
+//! at \$50 on 3/3/85" — may live as a **row** in one database, as an
+//! **attribute** in another, and as a **relation** in a third. First-order
+//! languages cannot write one query that covers all three; IDL can, because
+//! variables range over data *and* metadata:
+//!
+//! ```
+//! use idl::Engine;
+//!
+//! let mut engine = Engine::with_stock_universe(vec![
+//!     ("3/3/85", "hp", 50.0),
+//!     ("3/3/85", "ibm", 210.0),
+//! ]);
+//!
+//! // Same intention, three schemata (paper §4.3):
+//! assert!(engine.query("?.euter.r(.stkCode=S, .clsPrice>200)").unwrap().is_true());
+//! assert!(engine.query("?.chwab.r(.S>200)").unwrap().is_true());
+//! assert!(engine.query("?.ource.S(.clsPrice>200)").unwrap().is_true());
+//! ```
+//!
+//! The engine bundles:
+//!
+//! * the storage substrate ([`idl_storage::Store`]) holding the universe of
+//!   databases,
+//! * the evaluator ([`idl_eval`]) for higher-order queries and updates,
+//! * a **view catalog** of rules (§6) materialised with stratified
+//!   fixpoints — including higher-order views whose relation count is
+//!   data-dependent,
+//! * an **update-program registry** (§7) giving multidatabase update
+//!   translation and view updatability.
+//!
+//! Statements are submitted as source text via [`Engine::execute`] (or the
+//! [`Engine::query`] / [`Engine::update`] conveniences); views refresh
+//! automatically when base data changes.
+
+#![warn(missing_docs)]
+
+pub mod durable;
+mod engine;
+mod error;
+mod outcome;
+pub mod transparency;
+
+pub use engine::{Engine, EngineOptions};
+pub use error::EngineError;
+pub use outcome::Outcome;
+
+// Re-exports so downstream users need only this crate.
+pub use idl_eval::{AnswerSet, EvalOptions, Subst};
+pub use idl_eval::update::UpdateStats;
+pub use idl_lang::{parse_program, parse_statement, Statement};
+pub use idl_object::{Atom, Date, Name, SetObj, TupleObj, Value};
+pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};
+pub use idl_storage::Store;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::{AnswerSet, Engine, EngineError, Outcome, Value};
+}

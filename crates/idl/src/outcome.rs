@@ -1,0 +1,64 @@
+//! Statement outcomes.
+
+use idl_eval::update::UpdateStats;
+use idl_eval::AnswerSet;
+use std::fmt;
+
+/// What executing one statement produced.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// A request ran: its answers and any mutation counters.
+    Answers {
+        /// Satisfying substitutions (boolean reading for ground queries).
+        answers: AnswerSet,
+        /// Mutations performed by update items / program calls.
+        stats: UpdateStats,
+    },
+    /// A view rule was installed.
+    RuleAdded,
+    /// An update-program clause was registered.
+    ProgramRegistered,
+}
+
+impl Outcome {
+    /// The answers, when the statement was a request.
+    pub fn answers(&self) -> Option<&AnswerSet> {
+        match self {
+            Outcome::Answers { answers, .. } => Some(answers),
+            _ => None,
+        }
+    }
+
+    /// Boolean reading of a request outcome.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Outcome::Answers { answers, .. } if answers.is_true())
+    }
+
+    /// Mutation counters, when the statement was a request.
+    pub fn stats(&self) -> Option<UpdateStats> {
+        match self {
+            Outcome::Answers { stats, .. } => Some(*stats),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Answers { answers, stats } => {
+                write!(f, "{answers}")?;
+                if stats.total() > 0 {
+                    write!(
+                        f,
+                        "\n({} inserted, {} deleted, {} modified)",
+                        stats.inserted, stats.deleted, stats.modified
+                    )?;
+                }
+                Ok(())
+            }
+            Outcome::RuleAdded => write!(f, "rule added"),
+            Outcome::ProgramRegistered => write!(f, "update program registered"),
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration & database transparency helpers (paper §1, §6, Figure 1).
+//!
+//! Figure 1's two-level mapping: source databases `D₁…Dₙ` map *up* into a
+//! unified view `U` (database transparency), and `U` maps *down* into
+//! customized views `D′ᵢ` shaped like each user community's original schema
+//! (integration transparency). This module installs the paper's exact rule
+//! sets for the stock universe:
+//!
+//! * [`unified_view_rules`] — `dbI.p(date, stk, clsPrice)` over
+//!   euter/chwab/ource (§6's first example);
+//! * [`customized_view_rules`] — `dbE` (euter-shaped), `dbC`
+//!   (chwab-shaped), `dbO` (ource-shaped, one relation per stock: a
+//!   higher-order view);
+//! * [`reconciled_view_rules`] — `pnew`, resolving value discrepancies by
+//!   preferring a designated source (§6's reconciliation example);
+//! * [`name_mapped_rules`] — the `mapCE`/`mapOE` variant for universes
+//!   where stock codes differ across databases (§6's last example);
+//! * [`standard_update_programs`] — `delStk` / `rmStk` / `insStk` (§7.1)
+//!   plus view-update programs for `dbE`/`dbC`/`dbO` (§7.2).
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+
+/// §6: the unified view `dbI.p` over the three stock schemata. The
+/// `S != date` guard keeps chwab's key attribute from masquerading as a
+/// stock (the paper leaves this reconciliation "up to the schema
+/// administrator").
+pub fn unified_view_rules() -> &'static str {
+    "
+    .dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P) ;
+    .dbI.p(.date=D, .stk=S, .clsPrice=P) <- .chwab.r(.date=D, .S=P), S != date ;
+    .dbI.p(.date=D, .stk=S, .clsPrice=P) <- .ource.S(.date=D, .clsPrice=P) ;
+    "
+}
+
+/// §6: customized views giving each user community its pre-integration
+/// schema over the unified view — including the **higher-order view**
+/// `dbO`, which has as many relations as there are stocks anywhere.
+pub fn customized_view_rules() -> &'static str {
+    "
+    .dbE.r(.date=D, .stkCode=S, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .clsPrice=P) ;
+    .dbC.r(.date=D, .S=P)                    <- .dbI.p(.date=D, .stk=S, .clsPrice=P) ;
+    .dbO.S(.date=D, .clsPrice=P)             <- .dbI.p(.date=D, .stk=S, .clsPrice=P) ;
+    "
+}
+
+/// §6: `pnew` — reconciling value discrepancies. When several sources
+/// quote different prices for the same (stock, date), prefer euter's
+/// quote; otherwise take what exists. ("The choice of any such
+/// reconciliation is up to the schema administrator. Here, we only provide
+/// the language to specify \[it\].")
+pub fn reconciled_view_rules() -> &'static str {
+    "
+    .dbI.pnew(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P) ;
+    .dbI.pnew(.date=D, .stk=S, .clsPrice=P) <-
+        .dbI.p(.date=D, .stk=S, .clsPrice=P), .euter.r¬(.date=D, .stkCode=S) ;
+    "
+}
+
+/// §6 (final example): unification through explicit name mappings when
+/// stock codes differ across databases. Expects binary relations
+/// `dbI.mapCE(c, e)` and `dbI.mapOE(o, e)` translating chwab/ource names
+/// to euter names.
+pub fn name_mapped_rules() -> &'static str {
+    "
+    .dbI.q(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P) ;
+    .dbI.q(.date=D, .stk=E, .clsPrice=P) <-
+        .dbI.mapCE(.c=S, .e=E), .chwab.r(.date=D, .S=P) ;
+    .dbI.q(.date=D, .stk=E, .clsPrice=P) <-
+        .dbI.mapOE(.o=S, .e=E), .ource.S(.date=D, .clsPrice=P) ;
+    "
+}
+
+/// §7.1's three update programs plus §7.2-style view-update programs for
+/// the customized views, all routing through the base databases.
+pub fn standard_update_programs() -> &'static str {
+    "
+    .dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S, .date=D) ;
+    .dbU.delStk(.stk=S, .date=D) -> .chwab.r(.S-=X, .date=D) ;
+    .dbU.delStk(.stk=S, .date=D) -> .ource.S-(.date=D) ;
+
+    .dbU.rmStk(.stk=S) -> .euter.r-(.stkCode=S) ;
+    .dbU.rmStk(.stk=S) -> .chwab.r(-.S) ;
+    .dbU.rmStk(.stk=S) -> .ource-.S ;
+
+    .dbU.insStk(.stk=S, .date=D, .price=P) -> .euter.r+(.stkCode=S, .date=D, .clsPrice=P) ;
+    .dbU.insStk(.stk=S, .date=D, .price=P) -> .chwab.r(.date=D, +.S=P) ;
+    .dbU.insStk(.stk=S, .date=D, .price=P) -> .ource.S+(.date=D, .clsPrice=P) ;
+
+    .dbE.r+(.date=D, .stkCode=S, .clsPrice=P) -> .dbU.insStk(.stk=S, .date=D, .price=P) ;
+    .dbE.r-(.date=D, .stkCode=S)              -> .dbU.delStk(.stk=S, .date=D) ;
+    .dbO.relIns(.rel=S, .date=D, .clsPrice=P) -> .dbU.insStk(.stk=S, .date=D, .price=P) ;
+    "
+}
+
+/// Installs the full two-level mapping of Figure 1 on an engine holding
+/// the three-schema stock universe: unified view, customized views, and
+/// the standard update programs.
+pub fn install_two_level_mapping(engine: &mut Engine) -> Result<(), EngineError> {
+    engine.add_rules(unified_view_rules())?;
+    engine.add_rules(customized_view_rules())?;
+    engine.execute(standard_update_programs())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::Value;
+
+    fn engine() -> Engine {
+        let mut e = Engine::with_stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+        ]);
+        install_two_level_mapping(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn database_transparency_via_unified_view() {
+        let mut e = engine();
+        // one query, all sources
+        let a = e.query("?.dbI.p(.stk=S, .clsPrice>100)").unwrap();
+        assert_eq!(a.column("S"), vec![Value::str("ibm")]);
+    }
+
+    #[test]
+    fn integration_transparency_round_trip() {
+        // D_i → U → D'_i: each customized view equals its source schema
+        let mut e = engine();
+        // euter user sees dbE shaped like euter.r
+        let orig = e.query("?.euter.r(.date=D,.stkCode=S,.clsPrice=P)").unwrap();
+        let view = e.query("?.dbE.r(.date=D,.stkCode=S,.clsPrice=P)").unwrap();
+        assert_eq!(orig, view, "dbE reproduces euter exactly");
+        // and dbE also carries stocks that exist only elsewhere
+        e.update("?.ource.newco+(.date=3/5/85, .clsPrice=9)").unwrap();
+        assert!(e.query("?.dbE.r(.stkCode=newco)").unwrap().is_true());
+    }
+
+    #[test]
+    fn ource_user_gets_one_relation_per_stock() {
+        let mut e = engine();
+        let rels = e.query("?.dbO.Y").unwrap();
+        assert_eq!(rels.column("Y"), vec![Value::str("hp"), Value::str("ibm")]);
+    }
+
+    #[test]
+    fn chwab_user_gets_wide_rows() {
+        let mut e = engine();
+        let a = e.query("?.dbC.r(.date=3/3/85, .hp=P)").unwrap();
+        assert_eq!(a.column("P"), vec![Value::float(50.0)]);
+    }
+
+    #[test]
+    fn view_update_routes_to_bases() {
+        let mut e = engine();
+        e.update("?.dbE.r+(.date=3/9/85, .stkCode=sun, .clsPrice=5)").unwrap();
+        // fact visible through every path
+        assert!(e.query("?.euter.r(.stkCode=sun)").unwrap().is_true());
+        assert!(e.query("?.ource.sun(.clsPrice=5)").unwrap().is_true());
+        assert!(e.query("?.dbO.sun(.clsPrice=5)").unwrap().is_true());
+        assert!(e.query("?.dbE.r(.stkCode=sun)").unwrap().is_true());
+
+        e.update("?.dbE.r-(.date=3/9/85, .stkCode=sun)").unwrap();
+        assert!(!e.query("?.dbE.r(.stkCode=sun, .clsPrice=5)").unwrap().is_true());
+    }
+
+    #[test]
+    fn reconciliation_prefers_euter() {
+        let mut e = Engine::with_stock_universe(vec![("3/3/85", "hp", 50.0)]);
+        e.add_rules(unified_view_rules()).unwrap();
+        e.add_rules(reconciled_view_rules()).unwrap();
+        // introduce a discrepancy: ource quotes 51 for the same day
+        e.update("?.ource.hp-(.date=3/3/85), .ource.hp+(.date=3/3/85,.clsPrice=51)").unwrap();
+        // p carries both quotes (the paper: "both prices are in the view")
+        let p = e.query("?.dbI.p(.stk=hp,.date=3/3/85,.clsPrice=P)").unwrap();
+        assert_eq!(p.column("P").len(), 2);
+        // pnew carries exactly euter's
+        let pn = e.query("?.dbI.pnew(.stk=hp,.date=3/3/85,.clsPrice=P)").unwrap();
+        assert_eq!(pn.column("P"), vec![Value::float(50.0)]);
+    }
+
+    #[test]
+    fn name_mappings_translate_codes() {
+        // chwab calls it hewp, ource calls it hwp, euter calls it hp
+        let mut e = Engine::new();
+        e.update("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)").unwrap();
+        e.update("?.chwab.r+(.date=3/3/85,.hewp=50)").unwrap();
+        e.update("?.ource.hwp+(.date=3/3/85,.clsPrice=50)").unwrap();
+        e.update("?.dbMaps.mapCE+(.c=hewp,.e=hp)").unwrap();
+        e.update("?.dbMaps.mapOE+(.o=hwp,.e=hp)").unwrap();
+        // install the §6 name-mapped rules, retargeted at dbMaps
+        e.add_rules(
+            "
+            .dbI.q(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+            .dbI.q(.date=D,.stk=E,.clsPrice=P) <- .dbMaps.mapCE(.c=S,.e=E), .chwab.r(.date=D,.S=P) ;
+            .dbI.q(.date=D,.stk=E,.clsPrice=P) <- .dbMaps.mapOE(.o=S,.e=E), .ource.S(.date=D,.clsPrice=P) ;
+            ",
+        )
+        .unwrap();
+        let a = e.query("?.dbI.q(.stk=S,.clsPrice=P)").unwrap();
+        assert_eq!(a.column("S"), vec![Value::str("hp")], "all three sources unify under hp");
+        assert_eq!(a.len(), 1, "identical fact from three sources deduplicates");
+    }
+}

@@ -1,0 +1,723 @@
+//! Abstract syntax of IDL.
+//!
+//! The AST mirrors the paper's grammar (§4.1) with its own extensions
+//! (§4.3 higher-order attribute terms, §5.1 update expressions, §6 rules,
+//! §7.1 update programs). One expression type covers query *and* update
+//! forms; validity predicates ([`Expr::is_query`], [`Expr::is_simple`],
+//! [`Expr::is_ground`]) carve out the sublanguages the paper restricts each
+//! construct to.
+
+use idl_object::{Name, Value};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable (word beginning with an uppercase letter, §4.1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub Name);
+
+impl Var {
+    /// Creates a variable from its name.
+    pub fn new(name: impl Into<Name>) -> Self {
+        Var(name.into())
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &Name {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// Comparison operators of atomic expressions (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RelOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl RelOp {
+    /// Whether an [`Ordering`] between object and operand satisfies the op.
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            RelOp::Lt => ord == Ordering::Less,
+            RelOp::Le => ord != Ordering::Greater,
+            RelOp::Eq => ord == Ordering::Equal,
+            RelOp::Ne => ord != Ordering::Equal,
+            RelOp::Gt => ord == Ordering::Greater,
+            RelOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with sides swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Le => RelOp::Ge,
+            RelOp::Gt => RelOp::Lt,
+            RelOp::Ge => RelOp::Le,
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators (used by §5.2's `.clsPrice=C+10`; the paper notes
+/// arithmetic is assumed though absent from its formal grammar).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A term: the right-hand side of an atomic expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Term {
+    /// A constant object.
+    Const(Value),
+    /// A variable (first-order over data, or bound to whole tuples/sets —
+    /// "variable representing aggregate objects", §4.1).
+    Var(Var),
+    /// An arithmetic combination; operands must be bound at evaluation time.
+    Arith(ArithOp, Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// Constant-term shorthand.
+    pub fn c(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// Variable-term shorthand.
+    pub fn v(name: impl Into<Name>) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Const(_) => true,
+            Term::Var(_) => false,
+            Term::Arith(_, a, b) => a.is_ground() && b.is_ground(),
+        }
+    }
+
+    /// Collects the variables occurring in the term.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Arith(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// An attribute position: constant name or higher-order variable (§4.3).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AttrTerm {
+    /// A literal attribute name.
+    Const(Name),
+    /// A higher-order variable ranging over attribute names.
+    Var(Var),
+}
+
+impl AttrTerm {
+    /// Constant shorthand.
+    pub fn c(name: impl Into<Name>) -> AttrTerm {
+        AttrTerm::Const(name.into())
+    }
+
+    /// Variable shorthand.
+    pub fn v(name: impl Into<Name>) -> AttrTerm {
+        AttrTerm::Var(Var::new(name))
+    }
+
+    /// Whether this position is a higher-order variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, AttrTerm::Var(_))
+    }
+}
+
+impl fmt::Display for AttrTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrTerm::Const(n) => write!(f, "{n}"),
+            AttrTerm::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Update sign (§5.1): `+` makes an expression true henceforth, `-` false.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Sign {
+    /// Insert / make-true.
+    Plus,
+    /// Delete / make-false.
+    Minus,
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Plus => write!(f, "+"),
+            Sign::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// One conjunct of a tuple expression: `.a exp`, `+.a exp`, or `-.a exp`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Field {
+    /// Tuple-level update sign: `+.a exp` creates/overwrites the attribute,
+    /// `-.a exp` deletes it (§5.2); `None` is an ordinary query field.
+    pub sign: Option<Sign>,
+    /// The attribute position (possibly a higher-order variable).
+    pub attr: AttrTerm,
+    /// The expression on the attribute's object.
+    pub expr: Expr,
+}
+
+impl Field {
+    /// Plain query field `.attr expr`.
+    pub fn q(attr: impl Into<AttrTerm2>, expr: Expr) -> Field {
+        Field { sign: None, attr: attr.into().0, expr }
+    }
+
+    /// Tuple-plus field `+.attr expr`.
+    pub fn plus(attr: impl Into<AttrTerm2>, expr: Expr) -> Field {
+        Field { sign: Some(Sign::Plus), attr: attr.into().0, expr }
+    }
+
+    /// Tuple-minus field `-.attr expr`.
+    pub fn minus(attr: impl Into<AttrTerm2>, expr: Expr) -> Field {
+        Field { sign: Some(Sign::Minus), attr: attr.into().0, expr }
+    }
+}
+
+/// Conversion helper so [`Field`] constructors take `"name"` (constant) or
+/// an explicit [`AttrTerm`].
+pub struct AttrTerm2(pub AttrTerm);
+
+impl From<&str> for AttrTerm2 {
+    fn from(s: &str) -> Self {
+        // Builder convenience mirrors surface syntax: uppercase = variable.
+        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            AttrTerm2(AttrTerm::v(s))
+        } else {
+            AttrTerm2(AttrTerm::c(s))
+        }
+    }
+}
+
+impl From<AttrTerm> for AttrTerm2 {
+    fn from(a: AttrTerm) -> Self {
+        AttrTerm2(a)
+    }
+}
+
+/// An IDL expression (query or update), per the recursive grammar of §4.1
+/// extended with §4.3 and §5.1.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// `ε` — the tautological expression, satisfied by any object.
+    Epsilon,
+    /// `¬exp` — negation.
+    Not(Box<Expr>),
+    /// `α t` — atomic expression (`=hp`, `>60`, …).
+    Atomic(RelOp, Term),
+    /// `+=t` / `-=t` — atomic update expression (§5.1).
+    AtomicUpdate(Sign, Term),
+    /// `.a₁ exp₁, …, .aₖ expₖ` — tuple expression; fields may carry `+`/`-`.
+    Tuple(Vec<Field>),
+    /// `(exp)` — set expression: some element satisfies `exp`.
+    Set(Box<Expr>),
+    /// `+(exp)` / `-(exp)` — set update expression (§5.1).
+    SetUpdate(Sign, Box<Expr>),
+    /// `t₁ α t₂` — a free-standing constraint between terms, used at request
+    /// level (footnote 7's `?.X.Y, X = ource` idiom).
+    Constraint(Term, RelOp, Term),
+}
+
+impl Expr {
+    /// `.seg₁.seg₂…: inner` — builds the nested single-field tuple
+    /// expressions of a dotted path (the ubiquitous `.db.rel …` prefix).
+    pub fn path<I, A>(segments: I, inner: Expr) -> Expr
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<AttrTerm2>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        let mut expr = inner;
+        for seg in segments.into_iter().rev() {
+            expr = Expr::Tuple(vec![Field { sign: None, attr: seg.into().0, expr }]);
+        }
+        expr
+    }
+
+    /// `(fields…)` as a set expression over a tuple expression — the common
+    /// shape of a relation scan: `(.stkCode=hp, .clsPrice>60)`.
+    pub fn scan(fields: Vec<Field>) -> Expr {
+        Expr::Set(Box::new(Expr::Tuple(fields)))
+    }
+
+    /// `= value` atomic equality on a constant.
+    pub fn eq(v: impl Into<Value>) -> Expr {
+        Expr::Atomic(RelOp::Eq, Term::c(v))
+    }
+
+    /// `= Var` atomic equality binding a variable.
+    pub fn eq_var(name: impl Into<Name>) -> Expr {
+        Expr::Atomic(RelOp::Eq, Term::v(name))
+    }
+
+    /// `α value` atomic comparison.
+    pub fn cmp(op: RelOp, v: impl Into<Value>) -> Expr {
+        Expr::Atomic(op, Term::c(v))
+    }
+
+    /// Whether the expression is a pure *query* expression (no `+`/`-`
+    /// anywhere). Rule bodies and view definitions require this.
+    pub fn is_query(&self) -> bool {
+        match self {
+            Expr::Epsilon | Expr::Atomic(..) | Expr::Constraint(..) => true,
+            Expr::AtomicUpdate(..) | Expr::SetUpdate(..) => false,
+            Expr::Not(e) => e.is_query(),
+            Expr::Set(e) => e.is_query(),
+            Expr::Tuple(fields) => {
+                fields.iter().all(|f| f.sign.is_none() && f.expr.is_query())
+            }
+        }
+    }
+
+    /// Whether the expression is *simple* (§4.1): only `=` atomics, no
+    /// negation. Update payloads and rule heads must be simple.
+    pub fn is_simple(&self) -> bool {
+        match self {
+            Expr::Epsilon => true,
+            Expr::Not(_) => false,
+            Expr::Atomic(op, _) => *op == RelOp::Eq,
+            Expr::AtomicUpdate(_, _) => true,
+            Expr::Tuple(fields) => fields.iter().all(|f| f.expr.is_simple()),
+            Expr::Set(e) | Expr::SetUpdate(_, e) => e.is_simple(),
+            Expr::Constraint(_, op, _) => *op == RelOp::Eq,
+        }
+    }
+
+    /// Whether the expression contains no variables (first- or higher-order).
+    pub fn is_ground(&self) -> bool {
+        let mut vars = BTreeSet::new();
+        self.collect_vars(&mut vars);
+        vars.is_empty()
+    }
+
+    /// Whether any update form appears (the complement of [`Expr::is_query`]
+    /// as a positive test, for readability at call sites).
+    pub fn has_update(&self) -> bool {
+        !self.is_query()
+    }
+
+    /// Whether a higher-order variable occurs in attribute position anywhere.
+    pub fn has_higher_order_var(&self) -> bool {
+        match self {
+            Expr::Epsilon | Expr::Atomic(..) | Expr::AtomicUpdate(..) | Expr::Constraint(..) => {
+                false
+            }
+            Expr::Not(e) | Expr::Set(e) | Expr::SetUpdate(_, e) => e.has_higher_order_var(),
+            Expr::Tuple(fields) => fields
+                .iter()
+                .any(|f| f.attr.is_var() || f.expr.has_higher_order_var()),
+        }
+    }
+
+    /// Collects every variable occurring in the expression (data-level and
+    /// higher-order alike; the paper treats them uniformly).
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Epsilon => {}
+            Expr::Not(e) | Expr::Set(e) | Expr::SetUpdate(_, e) => e.collect_vars(out),
+            Expr::Atomic(_, t) | Expr::AtomicUpdate(_, t) => t.collect_vars(out),
+            Expr::Constraint(a, _, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Tuple(fields) => {
+                for f in fields {
+                    if let AttrTerm::Var(v) = &f.attr {
+                        out.insert(v.clone());
+                    }
+                    f.expr.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The set of variables in the expression.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+}
+
+/// A request `?e₁, e₂, …, eₖ` — the paper's *query* (§4.1) when every `eᵢ`
+/// is a query expression, and its *update request* (§5.1) when updates
+/// appear. Items are evaluated left to right under shared bindings; the
+/// paper notes the order of update items is significant (§5.2).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// The conjunct items, each an expression on the universe tuple.
+    pub items: Vec<Expr>,
+}
+
+impl Request {
+    /// Builds a request.
+    pub fn new(items: Vec<Expr>) -> Self {
+        Request { items }
+    }
+
+    /// Whether this is a pure query (no update expression in any item).
+    pub fn is_pure_query(&self) -> bool {
+        self.items.iter().all(Expr::is_query)
+    }
+
+    /// All variables in the request.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        for e in &self.items {
+            e.collect_vars(&mut s);
+        }
+        s
+    }
+}
+
+/// A view-defining rule `head <- body` (§6).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// Simple tuple expression on the universe; may contain higher-order
+    /// variables (then this is a *higher-order view*, §6).
+    pub head: Expr,
+    /// Body conjuncts (each a query expression on the universe).
+    pub body: Vec<Expr>,
+}
+
+/// Errors from rule / program validation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ClauseError {
+    /// Head is not a simple tuple expression.
+    HeadNotSimple,
+    /// Head contains an update sign or body is required to be query-only.
+    UpdateInIllegalPosition,
+    /// A head variable does not occur in the body (paper §6: "all variables
+    /// in the head occur in the body").
+    UnsafeHeadVar(Var),
+    /// Body of a rule contains an update expression.
+    UpdateInRuleBody,
+}
+
+impl fmt::Display for ClauseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClauseError::HeadNotSimple => write!(f, "rule head must be a simple tuple expression"),
+            ClauseError::UpdateInIllegalPosition => {
+                write!(f, "update expression not allowed here")
+            }
+            ClauseError::UnsafeHeadVar(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            ClauseError::UpdateInRuleBody => write!(f, "rule bodies must be query expressions"),
+        }
+    }
+}
+
+impl std::error::Error for ClauseError {}
+
+impl Rule {
+    /// Builds and validates a rule.
+    pub fn new(head: Expr, body: Vec<Expr>) -> Result<Self, ClauseError> {
+        let r = Rule { head, body };
+        r.validate()?;
+        Ok(r)
+    }
+
+    /// Checks the paper's §6 well-formedness conditions.
+    pub fn validate(&self) -> Result<(), ClauseError> {
+        if !matches!(self.head, Expr::Tuple(_)) || !self.head.is_simple() {
+            return Err(ClauseError::HeadNotSimple);
+        }
+        // The head may be written with an explicit `+` (make-true) but no
+        // other update form; we normalise by forbidding any sign except a
+        // leading set-plus, which parse normalisation strips.
+        if self.head.has_update() {
+            return Err(ClauseError::UpdateInIllegalPosition);
+        }
+        for b in &self.body {
+            if b.has_update() {
+                return Err(ClauseError::UpdateInRuleBody);
+            }
+        }
+        let mut body_vars = BTreeSet::new();
+        for b in &self.body {
+            b.collect_vars(&mut body_vars);
+        }
+        for v in self.head.vars() {
+            if !body_vars.contains(&v) {
+                return Err(ClauseError::UnsafeHeadVar(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the head contains a higher-order variable — i.e. this rule
+    /// defines a *higher-order view* (§6).
+    pub fn is_higher_order(&self) -> bool {
+        self.head.has_higher_order_var()
+    }
+}
+
+/// One clause of an update program `head -> body` (§7.1).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ProgramClause {
+    /// Simple tuple expression naming the program and its parameters, e.g.
+    /// `.dbU.delStk(.stk=S, .date=D)`.
+    pub head: Expr,
+    /// Body items: update and/or query expressions, executed left to right
+    /// with parameters passed top-down.
+    pub body: Vec<Expr>,
+}
+
+impl ProgramClause {
+    /// Builds and validates a clause. The head must be a simple tuple
+    /// expression; it *may* carry an update sign — §7.2 names view-update
+    /// programs `dbX.p+(exp)` / `dbX.p-(exp)`. Bodies may freely mix query
+    /// and update items.
+    pub fn new(head: Expr, body: Vec<Expr>) -> Result<Self, ClauseError> {
+        if !matches!(head, Expr::Tuple(_)) || !head.is_simple() {
+            return Err(ClauseError::HeadNotSimple);
+        }
+        Ok(ProgramClause { head, body })
+    }
+}
+
+/// A top-level statement.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Statement {
+    /// `?…` — query or update request.
+    Request(Request),
+    /// `head <- body` — view rule.
+    Rule(Rule),
+    /// `head -> body` — update-program clause.
+    Program(ProgramClause),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Expr {
+        // .euter.r(.stkCode=hp, .clsPrice>60)
+        Expr::path(
+            ["euter", "r"],
+            Expr::scan(vec![
+                Field::q("stkCode", Expr::eq("hp")),
+                Field::q("clsPrice", Expr::cmp(RelOp::Gt, 60i64)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn builders_produce_expected_shape() {
+        let e = sample_query();
+        let Expr::Tuple(fs) = &e else { panic!() };
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].attr, AttrTerm::c("euter"));
+        assert!(e.is_query());
+        assert!(!e.is_simple(), "contains >");
+        assert!(e.is_ground());
+        assert!(!e.has_higher_order_var());
+    }
+
+    #[test]
+    fn higher_order_detection() {
+        // .X.Y(.stkCode ε)
+        let e = Expr::path(["X", "Y"], Expr::scan(vec![Field::q("stkCode", Expr::Epsilon)]));
+        assert!(e.has_higher_order_var());
+        assert_eq!(e.vars().len(), 2);
+    }
+
+    #[test]
+    fn var_collection_includes_terms_and_attrs() {
+        let e = Expr::path(
+            ["chwab", "r"],
+            Expr::scan(vec![
+                Field::q("date", Expr::eq_var("D")),
+                Field::q("S", Expr::eq_var("P")),
+            ]),
+        );
+        let vars = e.vars();
+        let names: Vec<_> = vars.iter().map(|v| v.0.as_str()).collect();
+        assert_eq!(names, vec!["D", "P", "S"]);
+    }
+
+    #[test]
+    fn update_detection() {
+        let e = Expr::path(
+            ["euter", "r"],
+            Expr::SetUpdate(
+                Sign::Plus,
+                Box::new(Expr::Tuple(vec![Field::q("stkCode", Expr::eq("hp"))])),
+            ),
+        );
+        assert!(e.has_update());
+        assert!(!e.is_query());
+        assert!(e.is_simple());
+    }
+
+    #[test]
+    fn rule_validation_rejects_unsafe_head() {
+        let head = Expr::Tuple(vec![Field::q(
+            "dbI",
+            Expr::Tuple(vec![Field::q("p", Expr::Set(Box::new(Expr::Tuple(vec![Field::q(
+                "stk",
+                Expr::eq_var("S"),
+            )]))))]),
+        )]);
+        let body = vec![Expr::path(
+            ["euter", "r"],
+            Expr::scan(vec![Field::q("stkCode", Expr::eq_var("T"))]),
+        )];
+        let err = Rule::new(head, body).unwrap_err();
+        assert!(matches!(err, ClauseError::UnsafeHeadVar(v) if v.0.as_str() == "S"));
+    }
+
+    #[test]
+    fn rule_validation_rejects_nonsimple_head() {
+        let head = Expr::path(["dbI", "p"], Expr::scan(vec![Field::q(
+            "clsPrice",
+            Expr::cmp(RelOp::Gt, 10i64),
+        )]));
+        assert!(matches!(Rule::new(head, vec![]), Err(ClauseError::HeadNotSimple)));
+    }
+
+    #[test]
+    fn rule_validation_rejects_update_in_body() {
+        let head = Expr::path(["dbI", "p"], Expr::scan(vec![Field::q("a", Expr::eq(1i64))]));
+        let body = vec![Expr::path(
+            ["euter", "r"],
+            Expr::SetUpdate(Sign::Minus, Box::new(Expr::Epsilon)),
+        )];
+        assert!(matches!(Rule::new(head, body), Err(ClauseError::UpdateInRuleBody)));
+    }
+
+    #[test]
+    fn higher_order_rule_flag() {
+        // .dbO.S(+…) style head with variable relation name
+        let head = Expr::Tuple(vec![Field::q(
+            "dbO",
+            Expr::Tuple(vec![Field {
+                sign: None,
+                attr: AttrTerm::v("S"),
+                expr: Expr::Set(Box::new(Expr::Tuple(vec![Field::q("date", Expr::eq_var("D"))]))),
+            }]),
+        )]);
+        let body = vec![Expr::path(
+            ["dbI", "p"],
+            Expr::scan(vec![
+                Field::q("stk", Expr::eq_var("S")),
+                Field::q("date", Expr::eq_var("D")),
+            ]),
+        )];
+        let r = Rule::new(head, body).unwrap();
+        assert!(r.is_higher_order());
+    }
+
+    #[test]
+    fn relop_matches_and_flip() {
+        use std::cmp::Ordering::*;
+        assert!(RelOp::Lt.matches(Less));
+        assert!(!RelOp::Lt.matches(Equal));
+        assert!(RelOp::Le.matches(Equal));
+        assert!(RelOp::Ne.matches(Greater));
+        assert!(RelOp::Ge.matches(Greater));
+        for op in [RelOp::Lt, RelOp::Le, RelOp::Eq, RelOp::Ne, RelOp::Gt, RelOp::Ge] {
+            for ord in [Less, Equal, Greater] {
+                assert_eq!(op.matches(ord), op.flip().matches(ord.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn request_purity() {
+        let q = Request::new(vec![sample_query()]);
+        assert!(q.is_pure_query());
+        let u = Request::new(vec![
+            sample_query(),
+            Expr::path(["euter", "r"], Expr::SetUpdate(Sign::Minus, Box::new(Expr::Epsilon))),
+        ]);
+        assert!(!u.is_pure_query());
+    }
+}

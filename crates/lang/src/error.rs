@@ -1,0 +1,54 @@
+//! Parse errors with source positions.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error produced by the lexer or parser.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the input the error was detected.
+    pub span: Span,
+    /// The offending source line (for display), if available.
+    pub context: Option<String>,
+}
+
+impl ParseError {
+    /// Builds an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span, context: None }
+    }
+
+    /// Attaches the source text so `Display` can show line/column context.
+    pub fn with_source(mut self, src: &str) -> Self {
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        self.context = Some(src[line_start..line_end].to_string());
+        self
+    }
+
+    /// 1-based line and column of the error start, given the source text.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let start = self.span.start.min(src.len());
+        let line = src[..start].matches('\n').count() + 1;
+        let col = start - src[..start].rfind('\n').map_or(0, |i| i + 1) + 1;
+        (line, col)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.span.start, self.message)?;
+        if let Some(ctx) = &self.context {
+            write!(f, "\n  | {ctx}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parse operations.
+pub type ParseResult<T> = Result<T, ParseError>;

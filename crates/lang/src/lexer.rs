@@ -1,0 +1,437 @@
+//! Hand-written lexer for IDL surface syntax.
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{Span, Spanned, Token};
+use idl_object::{Date, Name};
+
+/// Tokenises an entire source string.
+pub fn lex(src: &str) -> ParseResult<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Spanned>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn emit(&mut self, token: Token, start: usize) {
+        self.out.push(Spanned { token, span: Span::new(start, self.pos) });
+    }
+
+    fn err(&self, msg: impl Into<String>, start: usize) -> ParseError {
+        ParseError::new(msg, Span::new(start, self.pos)).with_source(self.src)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if (b as char).is_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'%') => self.skip_line(),
+                Some(b'/') if self.peek2() == Some(b'/') => self.skip_line(),
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Spanned>> {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                self.emit(Token::Eof, start);
+                return Ok(self.out);
+            };
+            match b {
+                b'?' => {
+                    self.bump();
+                    self.emit(Token::Question, start);
+                }
+                b'.' => {
+                    self.bump();
+                    self.emit(Token::Dot, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.emit(Token::Comma, start);
+                }
+                b';' => {
+                    self.bump();
+                    self.emit(Token::Semi, start);
+                }
+                b'(' => {
+                    self.bump();
+                    self.emit(Token::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.emit(Token::RParen, start);
+                }
+                b'+' => {
+                    self.bump();
+                    self.emit(Token::Plus, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.emit(Token::Star, start);
+                }
+                b'/' => {
+                    self.bump();
+                    self.emit(Token::Slash, start);
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        self.emit(Token::ProgArrow, start);
+                    } else {
+                        self.emit(Token::Minus, start);
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'-') => {
+                            self.bump();
+                            self.emit(Token::RuleArrow, start);
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            self.emit(Token::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            self.emit(Token::Ne, start);
+                        }
+                        _ => self.emit(Token::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(Token::Ge, start);
+                    } else {
+                        self.emit(Token::Gt, start);
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    self.emit(Token::Eq, start);
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(Token::Ne, start);
+                    } else {
+                        self.emit(Token::Not, start);
+                    }
+                }
+                b'"' | b'\'' => self.string(b)?,
+                b'0'..=b'9' => self.number()?,
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.word(),
+                _ => {
+                    // Multi-byte operators: ¬ (U+00AC), ≤, ≥, ≠, ←, →
+                    let rest = &self.src[self.pos..];
+                    let (tok, len) = if let Some(s) = rest.strip_prefix('¬') {
+                        let _ = s;
+                        (Token::Not, '¬'.len_utf8())
+                    } else if rest.starts_with('≤') {
+                        (Token::Le, '≤'.len_utf8())
+                    } else if rest.starts_with('≥') {
+                        (Token::Ge, '≥'.len_utf8())
+                    } else if rest.starts_with('≠') {
+                        (Token::Ne, '≠'.len_utf8())
+                    } else if rest.starts_with('←') {
+                        (Token::RuleArrow, '←'.len_utf8())
+                    } else if rest.starts_with('→') {
+                        (Token::ProgArrow, '→'.len_utf8())
+                    } else {
+                        self.pos += rest.chars().next().map_or(1, char::len_utf8);
+                        return Err(self.err(
+                            format!("unexpected character {:?}", rest.chars().next().unwrap()),
+                            start,
+                        ));
+                    };
+                    self.pos += len;
+                    self.emit(tok, start);
+                }
+            }
+        }
+    }
+
+    /// Numbers and date literals. A date is `d+ '/' d+ '/' d+` with no
+    /// intervening spaces (the paper's `3/3/85`); division must therefore be
+    /// written with spaces around `/`.
+    fn number(&mut self) -> ParseResult<()> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        // date literal?
+        if self.peek() == Some(b'/') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            let save = self.pos;
+            self.bump(); // '/'
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.peek() == Some(b'/') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = &self.src[start..self.pos];
+                let date: Date =
+                    text.parse().map_err(|e| self.err(format!("{e}"), start))?;
+                self.emit(Token::DateLit(date), start);
+                return Ok(());
+            }
+            // not a date after all: rewind to before '/'
+            self.pos = save;
+        }
+        // ISO date literal? `yyyy-mm-dd` (digits '-' digits '-' digits).
+        // Only recognised when a '-' directly follows digits and the whole
+        // pattern matches; otherwise '-' stays an operator.
+        if self.peek() == Some(b'-') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            let save = self.pos;
+            self.bump();
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.peek() == Some(b'-') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = &self.src[start..self.pos];
+                if let Ok(date) = text.parse::<Date>() {
+                    self.emit(Token::DateLit(date), start);
+                    return Ok(());
+                }
+            }
+            self.pos = save;
+        }
+        // float?
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            let v: f64 = text.parse().map_err(|_| self.err("bad float literal", start))?;
+            self.emit(Token::Float(v), start);
+            return Ok(());
+        }
+        let text = &self.src[start..self.pos];
+        let v: i64 = text.parse().map_err(|_| self.err("integer literal out of range", start))?;
+        self.emit(Token::Int(v), start);
+        Ok(())
+    }
+
+    fn word(&mut self) {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let token = match text {
+            "null" => Token::Null,
+            "true" => Token::True,
+            "false" => Token::False,
+            _ => {
+                let first = text.chars().next().unwrap();
+                if first.is_ascii_uppercase() || text == "_" || text.starts_with('_') {
+                    Token::Variable(Name::new(text))
+                } else {
+                    Token::Ident(Name::new(text))
+                }
+            }
+        };
+        self.emit(token, start);
+    }
+
+    fn string(&mut self, quote: u8) -> ParseResult<()> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal", start)),
+                Some(b) if b == quote => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b) if b == quote => s.push(b as char),
+                    _ => return Err(self.err("bad escape in string literal", start)),
+                },
+                Some(b) if b.is_ascii() => s.push(b as char),
+                Some(_) => {
+                    // Re-sync to char boundary for multibyte UTF-8.
+                    let ch_start = self.pos - 1;
+                    while !self.src.is_char_boundary(self.pos) {
+                        self.pos += 1;
+                    }
+                    s.push_str(&self.src[ch_start..self.pos]);
+                }
+            }
+        }
+        self.emit(Token::Str(s), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn paper_query_lexes() {
+        let t = toks("?.euter.r(.stkCode=hp, .clsPrice>60)");
+        assert_eq!(
+            t,
+            vec![
+                Token::Question,
+                Token::Dot,
+                Token::Ident("euter".into()),
+                Token::Dot,
+                Token::Ident("r".into()),
+                Token::LParen,
+                Token::Dot,
+                Token::Ident("stkCode".into()),
+                Token::Eq,
+                Token::Ident("hp".into()),
+                Token::Comma,
+                Token::Dot,
+                Token::Ident("clsPrice".into()),
+                Token::Gt,
+                Token::Int(60),
+                Token::RParen,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn date_literals() {
+        let t = toks("3/3/85");
+        assert!(matches!(t[0], Token::DateLit(_)));
+        let t = toks("1985-03-03");
+        assert!(matches!(t[0], Token::DateLit(_)));
+        // division with spaces is not a date
+        let t = toks("6 / 2");
+        assert_eq!(t, vec![Token::Int(6), Token::Slash, Token::Int(2), Token::Eof]);
+        // two-component slash is not a date either
+        let t = toks("6/2");
+        assert_eq!(t, vec![Token::Int(6), Token::Slash, Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn variables_vs_identifiers() {
+        let t = toks("X stkCode Y2 _ _tmp");
+        assert!(matches!(&t[0], Token::Variable(n) if n == "X"));
+        assert!(matches!(&t[1], Token::Ident(n) if n == "stkCode"));
+        assert!(matches!(&t[2], Token::Variable(n) if n == "Y2"));
+        assert!(matches!(&t[3], Token::Variable(n) if n == "_"));
+        assert!(matches!(&t[4], Token::Variable(n) if n == "_tmp"));
+    }
+
+    #[test]
+    fn arrows_and_ops() {
+        assert_eq!(
+            toks("<- -> <= >= != <> ¬ ≤ ≥ ≠ ← →"),
+            vec![
+                Token::RuleArrow,
+                Token::ProgArrow,
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Not,
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::RuleArrow,
+                Token::ProgArrow,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn update_forms() {
+        let t = toks("+(.a=1) -.S -=5 .S-=X");
+        assert_eq!(t[0], Token::Plus);
+        assert!(t.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("% a comment\n?.a // trailing\n.b");
+        assert_eq!(t[0], Token::Question);
+        assert_eq!(t.len(), 6); // ? . a . b eof
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let t = toks(r#""hello world" 'x y' 3.25 42"#);
+        assert_eq!(t[0], Token::Str("hello world".into()));
+        assert_eq!(t[1], Token::Str("x y".into()));
+        assert_eq!(t[2], Token::Float(3.25));
+        assert_eq!(t[3], Token::Int(42));
+    }
+
+    #[test]
+    fn error_position() {
+        let err = lex("?.a @").unwrap_err();
+        assert_eq!(err.span.start, 4);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn float_requires_digit_after_dot() {
+        // `60.` followed by an attribute: `.x` must stay a Dot token
+        let t = toks("60 .x");
+        assert_eq!(t[0], Token::Int(60));
+        assert_eq!(t[1], Token::Dot);
+    }
+}

@@ -1,0 +1,43 @@
+//! # `idl-lang` — surface syntax of the Interoperable Database Language
+//!
+//! Lexer, AST, recursive-descent parser and pretty-printer for the language
+//! of *Krishnamurthy, Litwin & Kent, SIGMOD '91*. The grammar implemented is
+//! the paper's §4.1 grammar, extended exactly as the paper itself extends it:
+//!
+//! * **higher-order variables** in attribute position (§4.3):
+//!   `?.X.Y(.stkCode)` — `X` ranges over database names, `Y` over relation
+//!   names;
+//! * **update expressions** `+`/`-` on atomic, tuple and set expressions
+//!   (§5.1), including the embedded forms used by the paper's update
+//!   programs (`.S-=X`, `-.S`, `.chwab.r(-.S)`);
+//! * **rules** `head <- body` defining (possibly higher-order) views (§6);
+//! * **update programs** `head -> body` (§7.1);
+//! * **arithmetic** in terms (`.clsPrice=C+10`), which §5.2 uses with the
+//!   remark that it was left out of the formal grammar.
+//!
+//! Statements are separated by `;`. Comments run from `%` or `//` to end of
+//! line. Variables are words starting with an uppercase letter, constants
+//! are everything else (paper §4.1); `_` is an anonymous (fresh) variable.
+//!
+//! ```
+//! use idl_lang::parse_statement;
+//! let stmt = parse_statement("?.euter.r(.stkCode=hp, .clsPrice>60)").unwrap();
+//! assert_eq!(stmt.to_string(), "?.euter.r(.stkCode = hp, .clsPrice > 60)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sugar;
+pub mod token;
+
+pub use ast::{
+    ArithOp, AttrTerm, ClauseError, Expr, Field, ProgramClause, RelOp, Request, Rule, Sign,
+    Statement, Term, Var,
+};
+pub use error::{ParseError, ParseResult};
+pub use parser::{parse_expr, parse_program, parse_statement};

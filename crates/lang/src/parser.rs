@@ -1,0 +1,779 @@
+//! Recursive-descent parser for IDL.
+//!
+//! Grammar (paper §4.1/§5.1 plus the paper's own usages):
+//!
+//! ```text
+//! program   := statement (';' statement)* ';'? EOF
+//! statement := '?' item (',' item)*                  -- query / update request
+//!            | expr '<-' [item (',' item)*]          -- rule (view definition)
+//!            | expr '->' [item (',' item)*]          -- update-program clause
+//! item      := field                                 -- expression on the universe
+//!            | term relop term                       -- constraint (?.X.Y, X = ource)
+//!            | expr
+//! expr      := ('¬'|'!') expr
+//!            | sign expr'                            -- update forms
+//!            | relop term                            -- atomic expression
+//!            | field+                                -- tuple expression
+//!            | '(' conjunct ')'                      -- set expression
+//!            | ε
+//! field     := [sign] '.' attrterm suffix
+//! suffix    := '.' attrterm suffix                   -- path chaining
+//!            | '(' conjunct ')' | '¬' suffix | sign …| relop term | ε
+//! conjunct  := element (',' element)*                -- all fields → tuple expr
+//! term      := arithmetic over constants & variables (no leading '.')
+//! ```
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::lex;
+use crate::token::{Span, Spanned, Token};
+use idl_object::Value;
+
+/// Parses a whole multi-statement program (statements separated by `;`).
+pub fn parse_program(src: &str) -> ParseResult<Vec<Statement>> {
+    let mut p = Parser::new(src)?;
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&Token::Semi) {}
+        if p.check(&Token::Eof) {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.check(&Token::Eof) {
+            p.expect(Token::Semi)?;
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parses a single statement.
+pub fn parse_statement(src: &str) -> ParseResult<Statement> {
+    let mut p = Parser::new(src)?;
+    let s = p.statement()?;
+    p.expect(Token::Eof)?;
+    Ok(s)
+}
+
+/// Parses a single expression (mostly for tests and the REPL-ish examples).
+pub fn parse_expr(src: &str) -> ParseResult<Expr> {
+    let mut p = Parser::new(src)?;
+    let e = p.item()?;
+    p.expect(Token::Eof)?;
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Spanned>,
+    pos: usize,
+    fresh: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> ParseResult<Self> {
+        Ok(Parser { src, toks: lex(src)?, pos: 0, fresh: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].token
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.check(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> ParseResult<()> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.span()).with_source(self.src)
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        Var::new(format!("_G{}", self.fresh))
+    }
+
+    // ---- statements -------------------------------------------------
+
+    fn statement(&mut self) -> ParseResult<Statement> {
+        if self.eat(&Token::Question) {
+            let items = self.items()?;
+            if items.is_empty() {
+                return Err(self.err("empty request"));
+            }
+            return Ok(Statement::Request(Request::new(items)));
+        }
+        // rule or update program: head arrow body
+        let head = self.item()?;
+        if self.eat(&Token::RuleArrow) {
+            let body = self.items()?;
+            let head = normalise_rule_head(head);
+            let rule = Rule::new(head, body).map_err(|e| self.err(e.to_string()))?;
+            Ok(Statement::Rule(rule))
+        } else if self.eat(&Token::ProgArrow) {
+            let body = self.items()?;
+            let clause =
+                ProgramClause::new(head, body).map_err(|e| self.err(e.to_string()))?;
+            Ok(Statement::Program(clause))
+        } else {
+            Err(self.err(format!("expected `<-` or `->` after clause head, found `{}`", self.peek())))
+        }
+    }
+
+    fn items(&mut self) -> ParseResult<Vec<Expr>> {
+        let mut items = Vec::new();
+        if self.item_can_start() {
+            items.push(self.item()?);
+            while self.eat(&Token::Comma) {
+                items.push(self.item()?);
+            }
+        }
+        Ok(items)
+    }
+
+    fn item_can_start(&self) -> bool {
+        !matches!(self.peek(), Token::Semi | Token::Eof | Token::RuleArrow | Token::ProgArrow)
+    }
+
+    /// One top-level conjunct: a universe expression or a term constraint.
+    fn item(&mut self) -> ParseResult<Expr> {
+        // Constraint form: starts with a term-ish token (possibly a unary
+        // minus) and a relop follows (e.g. `X = ource`, `-5 - Y = Z`).
+        let minus_term_start = self.check(&Token::Minus)
+            && matches!(
+                self.peek_at(1),
+                Token::Int(_) | Token::Float(_) | Token::Variable(_) | Token::LParen
+            );
+        // A parenthesised arithmetic lhs also starts a constraint;
+        // `constraint_ahead` tells it apart from a set expression.
+        let paren_start = self.check(&Token::LParen);
+        if (self.term_can_start() || minus_term_start || paren_start)
+            && self.constraint_ahead()
+        {
+            let lhs = self.term()?;
+            let op = self.relop().ok_or_else(|| self.err("expected comparison operator"))?;
+            let rhs = self.term()?;
+            return Ok(Expr::Constraint(lhs, op, rhs));
+        }
+        self.expr()
+    }
+
+    fn term_can_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::Variable(_)
+                | Token::Ident(_)
+                | Token::Int(_)
+                | Token::Float(_)
+                | Token::Str(_)
+                | Token::DateLit(_)
+                | Token::Null
+                | Token::True
+                | Token::False
+        )
+    }
+
+    /// Lookahead: does a relop appear after a (possibly arithmetic) term
+    /// prefix at the current position? Conservative scan over term tokens.
+    fn constraint_ahead(&self) -> bool {
+        let mut i = 0usize;
+        let mut depth = 0i32;
+        loop {
+            match self.peek_at(i) {
+                Token::LParen => depth += 1,
+                Token::RParen if depth > 0 => depth -= 1,
+                Token::Variable(_)
+                | Token::Ident(_)
+                | Token::Int(_)
+                | Token::Float(_)
+                | Token::Str(_)
+                | Token::DateLit(_)
+                | Token::Null
+                | Token::True
+                | Token::False
+                | Token::Plus
+                | Token::Minus
+                | Token::Star
+                | Token::Slash => {}
+                Token::Lt | Token::Le | Token::Eq | Token::Ne | Token::Gt | Token::Ge
+                    if depth == 0 =>
+                {
+                    return true;
+                }
+                _ => return false,
+            }
+            i += 1;
+            if i > 64 {
+                return false; // give up on pathological lookahead
+            }
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> ParseResult<Expr> {
+        match self.peek().clone() {
+            Token::Not => {
+                self.bump();
+                let inner = self.expr()?;
+                Ok(Expr::Not(Box::new(inner)))
+            }
+            Token::Plus => {
+                self.bump();
+                self.signed_tail(Sign::Plus)
+            }
+            Token::Minus => {
+                self.bump();
+                self.signed_tail(Sign::Minus)
+            }
+            Token::Dot => {
+                let f = self.field_after_optional_sign(None)?;
+                Ok(Expr::Tuple(vec![f]))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.conjunct()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Set(Box::new(inner)))
+            }
+            Token::Lt | Token::Le | Token::Eq | Token::Ne | Token::Gt | Token::Ge => {
+                let op = self.relop().unwrap();
+                let t = self.term()?;
+                Ok(Expr::Atomic(op, t))
+            }
+            t if self.expr_follow(&t) => Ok(Expr::Epsilon),
+            t => Err(self.err(format!("expected expression, found `{t}`"))),
+        }
+    }
+
+    /// After a `+`/`-` sign: `(exp)`, `=term`, or `.field`.
+    fn signed_tail(&mut self, sign: Sign) -> ParseResult<Expr> {
+        match self.peek() {
+            Token::LParen => {
+                self.bump();
+                let inner = self.conjunct()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::SetUpdate(sign, Box::new(inner)))
+            }
+            Token::Eq => {
+                self.bump();
+                let t = self.term()?;
+                Ok(Expr::AtomicUpdate(sign, t))
+            }
+            Token::Dot => {
+                let f = self.field_after_optional_sign(Some(sign))?;
+                Ok(Expr::Tuple(vec![f]))
+            }
+            t => Err(self.err(format!("expected `(`, `=` or `.` after `{sign}`, found `{t}`"))),
+        }
+    }
+
+    /// `.attr suffix`, with an optional already-consumed tuple-level sign.
+    fn field_after_optional_sign(&mut self, sign: Option<Sign>) -> ParseResult<Field> {
+        self.expect(Token::Dot)?;
+        let attr = self.attr_term()?;
+        let expr = self.suffix()?;
+        Ok(Field { sign, attr, expr })
+    }
+
+    fn attr_term(&mut self) -> ParseResult<AttrTerm> {
+        match self.bump() {
+            Token::Ident(n) => Ok(AttrTerm::Const(n)),
+            Token::Variable(n) => {
+                if n.as_str() == "_" {
+                    Ok(AttrTerm::Var(self.fresh_var()))
+                } else {
+                    Ok(AttrTerm::Var(Var(n)))
+                }
+            }
+            t => Err(self.err(format!("expected attribute name or variable, found `{t}`"))),
+        }
+    }
+
+    /// What may follow an attribute: chaining, set expr, relops, updates, ε.
+    fn suffix(&mut self) -> ParseResult<Expr> {
+        match self.peek().clone() {
+            Token::Dot => {
+                let f = self.field_after_optional_sign(None)?;
+                Ok(Expr::Tuple(vec![f]))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.conjunct()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Set(Box::new(inner)))
+            }
+            Token::Not => {
+                self.bump();
+                let inner = self.suffix()?;
+                Ok(Expr::Not(Box::new(inner)))
+            }
+            Token::Plus => {
+                self.bump();
+                self.signed_tail(Sign::Plus)
+            }
+            Token::Minus => {
+                self.bump();
+                self.signed_tail(Sign::Minus)
+            }
+            Token::Lt | Token::Le | Token::Eq | Token::Ne | Token::Gt | Token::Ge => {
+                let op = self.relop().unwrap();
+                let t = self.term()?;
+                Ok(Expr::Atomic(op, t))
+            }
+            t if self.expr_follow(&t) => Ok(Expr::Epsilon),
+            t => Err(self.err(format!("unexpected `{t}` after attribute"))),
+        }
+    }
+
+    fn expr_follow(&self, t: &Token) -> bool {
+        matches!(
+            t,
+            Token::Comma
+                | Token::RParen
+                | Token::Semi
+                | Token::RuleArrow
+                | Token::ProgArrow
+                | Token::Eof
+        )
+    }
+
+    /// Inside parentheses: a comma-list that is either one non-field
+    /// expression (set of atoms / nested sets) or a list of fields (a tuple
+    /// expression).
+    fn conjunct(&mut self) -> ParseResult<Expr> {
+        let mut elems: Vec<ConjElem> = Vec::new();
+        if !self.check(&Token::RParen) {
+            elems.push(self.conj_elem()?);
+            while self.eat(&Token::Comma) {
+                elems.push(self.conj_elem()?);
+            }
+        }
+        if elems.is_empty() {
+            return Ok(Expr::Epsilon);
+        }
+        let all_fields = elems.iter().all(|e| matches!(e, ConjElem::Field(_)));
+        if all_fields {
+            let fields = elems
+                .into_iter()
+                .map(|e| match e {
+                    ConjElem::Field(f) => f,
+                    ConjElem::Expr(_) => unreachable!(),
+                })
+                .collect();
+            return Ok(Expr::Tuple(fields));
+        }
+        if elems.len() == 1 {
+            match elems.pop().unwrap() {
+                ConjElem::Expr(e) => Ok(e),
+                ConjElem::Field(f) => Ok(Expr::Tuple(vec![f])),
+            }
+        } else {
+            Err(self.err("cannot mix attribute fields and other expressions in one conjunct"))
+        }
+    }
+
+    fn conj_elem(&mut self) -> ParseResult<ConjElem> {
+        match self.peek() {
+            Token::Dot => Ok(ConjElem::Field(self.field_after_optional_sign(None)?)),
+            Token::Plus if matches!(self.peek_at(1), Token::Dot) => {
+                self.bump();
+                Ok(ConjElem::Field(self.field_after_optional_sign(Some(Sign::Plus))?))
+            }
+            Token::Minus if matches!(self.peek_at(1), Token::Dot) => {
+                self.bump();
+                Ok(ConjElem::Field(self.field_after_optional_sign(Some(Sign::Minus))?))
+            }
+            _ => Ok(ConjElem::Expr(self.item()?)),
+        }
+    }
+
+    fn relop(&mut self) -> Option<RelOp> {
+        let op = match self.peek() {
+            Token::Lt => RelOp::Lt,
+            Token::Le => RelOp::Le,
+            Token::Eq => RelOp::Eq,
+            Token::Ne => RelOp::Ne,
+            Token::Gt => RelOp::Gt,
+            Token::Ge => RelOp::Ge,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    // ---- terms (with arithmetic) --------------------------------------
+
+    fn term(&mut self) -> ParseResult<Term> {
+        self.add_sub()
+    }
+
+    fn add_sub(&mut self) -> ParseResult<Term> {
+        let mut lhs = self.mul_div()?;
+        loop {
+            let op = match self.peek() {
+                // `+`/`-` followed by `.` starts a signed field, not
+                // arithmetic: stop the term here.
+                Token::Plus if !matches!(self.peek_at(1), Token::Dot) => ArithOp::Add,
+                Token::Minus if !matches!(self.peek_at(1), Token::Dot) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_div()?;
+            lhs = Term::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_div(&mut self) -> ParseResult<Term> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => ArithOp::Mul,
+                Token::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Term::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> ParseResult<Term> {
+        if self.check(&Token::Minus) {
+            self.bump();
+            let t = self.unary()?;
+            // Constant-fold negative literals.
+            if let Term::Const(Value::Atom(a)) = &t {
+                if let Some(i) = a.as_int() {
+                    return Ok(Term::c(Value::int(-i)));
+                }
+                if let Some(f) = a.as_float() {
+                    return Ok(Term::c(Value::float(-f)));
+                }
+            }
+            return Ok(Term::Arith(ArithOp::Sub, Box::new(Term::c(0i64)), Box::new(t)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> ParseResult<Term> {
+        match self.bump() {
+            Token::Int(i) => Ok(Term::c(Value::int(i))),
+            Token::Float(f) => Ok(Term::c(Value::float(f))),
+            Token::Str(s) => Ok(Term::c(Value::str(s))),
+            Token::DateLit(d) => Ok(Term::c(Value::date(d))),
+            Token::Null => Ok(Term::c(Value::null())),
+            Token::True => Ok(Term::c(Value::bool(true))),
+            Token::False => Ok(Term::c(Value::bool(false))),
+            Token::Ident(n) => Ok(Term::c(Value::from(n))),
+            Token::Variable(n) => {
+                if n.as_str() == "_" {
+                    Ok(Term::Var(self.fresh_var()))
+                } else {
+                    Ok(Term::Var(Var(n)))
+                }
+            }
+            Token::LParen => {
+                let t = self.term()?;
+                self.expect(Token::RParen)?;
+                Ok(t)
+            }
+            t => Err(self.err(format!("expected a term, found `{t}`"))),
+        }
+    }
+}
+
+enum ConjElem {
+    Field(Field),
+    Expr(Expr),
+}
+
+/// Rule heads may be written with an explicit make-true sign,
+/// `.dbI.p+(…)`; strip it (rule semantics already *is* make-true, §6).
+fn normalise_rule_head(e: Expr) -> Expr {
+    match e {
+        Expr::SetUpdate(Sign::Plus, inner) => Expr::Set(inner),
+        Expr::Tuple(fields) => Expr::Tuple(
+            fields
+                .into_iter()
+                .map(|f| Field { sign: f.sign, attr: f.attr, expr: normalise_rule_head(f.expr) })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(src: &str) -> Expr {
+        parse_expr(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+    }
+
+    fn ps(src: &str) -> Statement {
+        parse_statement(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+    }
+
+    #[test]
+    fn paper_q1_first_order() {
+        // ?.euter.r(.stkCode=hp, .clsPrice>60)
+        let Statement::Request(r) = ps("?.euter.r(.stkCode=hp, .clsPrice>60)") else {
+            panic!()
+        };
+        assert_eq!(r.items.len(), 1);
+        let expected = Expr::path(
+            ["euter", "r"],
+            Expr::scan(vec![
+                Field::q("stkCode", Expr::eq("hp")),
+                Field::q("clsPrice", Expr::cmp(RelOp::Gt, 60i64)),
+            ]),
+        );
+        assert_eq!(r.items[0], expected);
+    }
+
+    #[test]
+    fn paper_join_is_two_items() {
+        let Statement::Request(r) = ps(
+            "?.euter.r(.stkCode=hp,.clsPrice>60,.date=D), \
+              .euter.r(.stkCode=ibm,.clsPrice>150,.date=D)",
+        ) else {
+            panic!()
+        };
+        assert_eq!(r.items.len(), 2);
+        assert!(r.is_pure_query());
+    }
+
+    #[test]
+    fn paper_negation_alltime_high() {
+        // ?.euter.r(.stkCode=hp,.clsPrice=P,.date=D), .euter.r¬(.stkCode=hp, .clsPrice>P)
+        let Statement::Request(r) =
+            ps("?.euter.r(.stkCode=hp,.clsPrice=P,.date=D), .euter.r¬(.stkCode=hp,.clsPrice>P)")
+        else {
+            panic!()
+        };
+        let Expr::Tuple(fs) = &r.items[1] else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        assert!(matches!(&inner[0].expr, Expr::Not(_)));
+    }
+
+    #[test]
+    fn higher_order_queries() {
+        // ?.ource.Y ; ?.X.Y ; ?.X.hp ; ?.X.Y(.stkCode)
+        let e = pe(".ource.Y");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        assert_eq!(inner[0].attr, AttrTerm::v("Y"));
+        assert_eq!(inner[0].expr, Expr::Epsilon);
+
+        let e = pe(".X.Y(.stkCode)");
+        assert!(e.has_higher_order_var());
+        let Expr::Tuple(fs) = &e else { panic!() };
+        assert_eq!(fs[0].attr, AttrTerm::v("X"));
+    }
+
+    #[test]
+    fn constraint_item() {
+        // ?.X.Y, X = ource
+        let Statement::Request(r) = ps("?.X.Y, X = ource") else { panic!() };
+        assert_eq!(r.items.len(), 2);
+        assert!(matches!(&r.items[1], Expr::Constraint(Term::Var(v), RelOp::Eq, Term::Const(_)) if v.0 == "X"));
+    }
+
+    #[test]
+    fn update_insert_delete() {
+        // ?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)
+        let Statement::Request(r) = ps("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)")
+        else {
+            panic!()
+        };
+        let Expr::Tuple(fs) = &r.items[0] else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        assert!(matches!(&inner[0].expr, Expr::SetUpdate(Sign::Plus, _)));
+        assert!(!r.is_pure_query());
+
+        let Statement::Request(r) = ps("?.euter.r-(.date=3/3/85,.stkCode=hp)") else { panic!() };
+        assert!(!r.is_pure_query());
+    }
+
+    #[test]
+    fn embedded_update_fields() {
+        // .chwab.r(.date=3/3/85, -.hp=C)  — attribute deletion
+        let e = pe(".chwab.r(.date=3/3/85, -.hp=C)");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        let Expr::Set(setexp) = &inner[0].expr else { panic!() };
+        let Expr::Tuple(tfields) = setexp.as_ref() else { panic!() };
+        assert_eq!(tfields.len(), 2);
+        assert_eq!(tfields[1].sign, Some(Sign::Minus));
+
+        // .S-=X — atomic minus on attribute S
+        let e = pe(".chwab.r(.S-=X, .date=D)");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        let Expr::Set(setexp) = &inner[0].expr else { panic!() };
+        let Expr::Tuple(tfields) = setexp.as_ref() else { panic!() };
+        assert!(matches!(&tfields[0].expr, Expr::AtomicUpdate(Sign::Minus, Term::Var(_))));
+    }
+
+    #[test]
+    fn tuple_minus_at_database_level() {
+        // .ource-.S — delete relation S from database ource
+        let e = pe(".ource-.S");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        assert_eq!(inner[0].sign, Some(Sign::Minus));
+        assert_eq!(inner[0].attr, AttrTerm::v("S"));
+        assert_eq!(inner[0].expr, Expr::Epsilon);
+    }
+
+    #[test]
+    fn rules_parse_and_validate() {
+        let src = ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)";
+        let Statement::Rule(rule) = ps(src) else { panic!() };
+        assert!(!rule.is_higher_order());
+        assert_eq!(rule.body.len(), 1);
+
+        // higher-order head (dbO view)
+        let src = ".dbO.S(.date=D, .clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P)";
+        let Statement::Rule(rule) = ps(src) else { panic!() };
+        assert!(rule.is_higher_order());
+    }
+
+    #[test]
+    fn rule_head_plus_normalised() {
+        let src = ".dbI.p+(.stk=S) <- .euter.r(.stkCode=S)";
+        let Statement::Rule(rule) = ps(src) else { panic!() };
+        assert!(rule.head.is_query(), "explicit + in rule head is normalised away");
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let src = ".dbI.p(.stk=S) <- .euter.r(.stkCode=T)";
+        assert!(parse_statement(src).is_err());
+    }
+
+    #[test]
+    fn update_programs_parse() {
+        let src = ".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S,.date=D)";
+        let Statement::Program(p) = ps(src) else { panic!() };
+        assert_eq!(p.body.len(), 1);
+        assert!(p.body[0].has_update());
+
+        // rmStk's chwab clause: .chwab.r(-.S)
+        let src = ".dbU.rmStk(.stk=S) -> .chwab.r(-.S)";
+        let Statement::Program(p) = ps(src) else { panic!() };
+        assert!(p.body[0].has_update());
+
+        // ource clause: .ource-.S
+        let src = ".dbU.rmStk(.stk=S) -> .ource-.S";
+        assert!(matches!(ps(src), Statement::Program(_)));
+    }
+
+    #[test]
+    fn view_update_program_head_with_sign() {
+        // §7.2: dbX.p+(exp) -> …   (empty body allowed)
+        let src = ".dbX.p+(.a=X) ->";
+        let Statement::Program(p) = ps(src) else { panic!() };
+        assert!(p.body.is_empty());
+        assert!(p.head.has_update());
+    }
+
+    #[test]
+    fn arithmetic_in_terms() {
+        // price bump: .chwab.r+(.date=3/3/85,.hp=C+10)
+        let e = pe(".chwab.r+(.date=3/3/85,.hp=C+10)");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        let Expr::SetUpdate(Sign::Plus, content) = &inner[0].expr else { panic!() };
+        let Expr::Tuple(tf) = content.as_ref() else { panic!() };
+        assert!(matches!(&tf[1].expr, Expr::Atomic(RelOp::Eq, Term::Arith(ArithOp::Add, _, _))));
+
+        // precedence: C+2*3
+        let Expr::Constraint(_, _, rhs) = parse_expr("X = C+2*3").unwrap() else { panic!() };
+        assert!(matches!(rhs, Term::Arith(ArithOp::Add, _, _)));
+    }
+
+    #[test]
+    fn multi_statement_program() {
+        let src = "?.euter.r(.stkCode=hp) ;\n% comment\n.dbI.p(.s=S) <- .euter.r(.stkCode=S) ;";
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let e = pe(".euter.r(.stkCode=_, .clsPrice=_)");
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2, "each _ is a distinct fresh variable");
+    }
+
+    #[test]
+    fn error_messages_have_position() {
+        let err = parse_statement("?.euter.r(.a=)").unwrap_err();
+        assert!(err.to_string().contains("expected a term"));
+        let err = parse_statement("?").unwrap_err();
+        assert!(err.to_string().contains("empty request"));
+    }
+
+    #[test]
+    fn nested_set_of_atoms() {
+        // relation of unnamed atoms: .db.r(=5)
+        let e = pe(".db.r(=5)");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        let Expr::Set(c) = &inner[0].expr else { panic!() };
+        assert!(matches!(c.as_ref(), Expr::Atomic(RelOp::Eq, _)));
+    }
+
+    #[test]
+    fn negated_whole_item() {
+        let e = pe("¬.euter.r(.stkCode=hp)");
+        assert!(matches!(e, Expr::Not(_)));
+    }
+
+    #[test]
+    fn dates_parse_in_terms() {
+        let e = pe(".euter.r(.date=3/3/85)");
+        let Expr::Tuple(fs) = &e else { panic!() };
+        let Expr::Tuple(inner) = &fs[0].expr else { panic!() };
+        let Expr::Set(c) = &inner[0].expr else { panic!() };
+        let Expr::Tuple(tf) = c.as_ref() else { panic!() };
+        let Expr::Atomic(RelOp::Eq, Term::Const(v)) = &tf[0].expr else { panic!() };
+        assert_eq!(v.to_string(), "3/3/85");
+    }
+}

@@ -1,0 +1,186 @@
+//! Pretty-printing back to surface syntax.
+//!
+//! The printer and parser round-trip: `parse(print(ast)) == ast` for every
+//! AST the parser can produce (checked by property tests in the crate's
+//! `tests/` directory).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_term(self, f, 0)
+    }
+}
+
+/// `prec`: 0 = top, 1 = inside add/sub, 2 = inside mul/div.
+fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match t {
+        Term::Const(v) => write!(f, "{v}"),
+        Term::Var(v) => write!(f, "{v}"),
+        Term::Arith(op, a, b) => {
+            let my_prec = match op {
+                ArithOp::Add | ArithOp::Sub => 1,
+                ArithOp::Mul | ArithOp::Div => 2,
+            };
+            let need_parens = prec > my_prec;
+            if need_parens {
+                write!(f, "(")?;
+            }
+            fmt_term(a, f, my_prec)?;
+            // `/` needs spaces so it does not lex as part of a date literal.
+            write!(f, " {op} ")?;
+            fmt_term(b, f, my_prec + 1)?; // left-assoc: rhs binds tighter
+            if need_parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(sign) = self.sign {
+            write!(f, "{sign}")?;
+        }
+        write!(f, ".{}", self.attr)?;
+        if self.expr != Expr::Epsilon {
+            match &self.expr {
+                // path chaining and parenthesised forms attach directly
+                Expr::Tuple(fs) if fs.len() == 1 && fs[0].sign.is_none() => {
+                    write!(f, "{}", self.expr)?
+                }
+                Expr::Set(_) | Expr::SetUpdate(..) | Expr::Not(_) | Expr::Tuple(_) => {
+                    write!(f, "{}", self.expr)?
+                }
+                // atomic forms get a space for readability: `.clsPrice > 60`
+                _ => write!(f, " {}", self.expr)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Epsilon => Ok(()),
+            Expr::Not(e) => write!(f, "¬{e}"),
+            Expr::Atomic(op, t) => write!(f, "{op} {t}"),
+            Expr::AtomicUpdate(sign, t) => write!(f, "{sign}= {t}"),
+            Expr::Tuple(fields) => {
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                Ok(())
+            }
+            Expr::Set(e) => write!(f, "({e})"),
+            Expr::SetUpdate(sign, e) => write!(f, "{sign}({e})"),
+            Expr::Constraint(a, op, b) => write!(f, "{a} {op} {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-", self.head)?;
+        for (i, item) in self.body.iter().enumerate() {
+            write!(f, "{}{item}", if i > 0 { ", " } else { " " })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProgramClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->", self.head)?;
+        for (i, item) in self.body.iter().enumerate() {
+            write!(f, "{}{item}", if i > 0 { ", " } else { " " })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Request(r) => write!(f, "{r}"),
+            Statement::Rule(r) => write!(f, "{r}"),
+            Statement::Program(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_statement, parse_expr};
+
+    /// Print → parse must be the identity on these paper examples.
+    #[test]
+    fn round_trip_paper_examples() {
+        let sources = [
+            "?.euter.r(.stkCode=hp, .clsPrice>60)",
+            "?.euter.r(.stkCode=hp,.clsPrice>60,.date=D), .euter.r(.stkCode=ibm,.clsPrice>150,.date=D)",
+            "?.euter.r(.stkCode=hp,.clsPrice=P,.date=D), .euter.r¬(.stkCode=hp, .clsPrice>P)",
+            "?.euter.r(.stkCode=S, .clsPrice>200)",
+            "?.ource.Y",
+            "?.X.Y, X = ource",
+            "?.X.hp",
+            "?.X.Y(.stkCode)",
+            "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)",
+            "?.euter.Y, .chwab.Y, .ource.Y",
+            "?.chwab.r(.S>200)",
+            "?.ource.S(.clsPrice > 200)",
+            "?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)",
+            "?.euter.r-(.date=3/3/85,.stkCode=hp)",
+            "?.chwab.r(.date=3/3/85, .hp-=C)",
+            "?.chwab.r(.date=3/3/85, -.hp=C)",
+            "?.chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)",
+            ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)",
+            ".dbO.S(.date=D, .clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P)",
+            ".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S,.date=D)",
+            ".dbU.rmStk(.stk=S) -> .chwab.r(-.S)",
+            ".dbU.rmStk(.stk=S) -> .ource-.S",
+            ".dbX.p+(.a=X) ->",
+        ];
+        for src in sources {
+            let ast1 = parse_statement(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let printed = ast1.to_string();
+            let ast2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed\n  src: {src}\n  printed: {printed}\n  err: {e}"));
+            assert_eq!(ast1, ast2, "round-trip mismatch for {src} (printed: {printed})");
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence_printing() {
+        for src in ["X = A+B*C", "X = (A+B)*C", "X = A-B-C", "X = A / B / C"] {
+            let a = parse_expr(src).unwrap();
+            let b = parse_expr(&a.to_string()).unwrap();
+            assert_eq!(a, b, "src={src} printed={a}");
+        }
+    }
+
+    #[test]
+    fn epsilon_prints_empty() {
+        let e = parse_expr(".euter.Y").unwrap();
+        assert_eq!(e.to_string(), ".euter.Y");
+    }
+}

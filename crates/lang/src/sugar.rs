@@ -1,0 +1,528 @@
+//! SQL-flavoured syntactic sugar.
+//!
+//! The paper closes (§8): *"the next step is to incorporate these features
+//! in a language with enough syntactic sugar. In particular, our goal is to
+//! incorporate them into OSQL."* This module is a small such surface: a
+//! SELECT/INSERT/DELETE dialect that *translates to IDL requests*, so the
+//! sugar inherits every IDL capability — including querying metadata, since
+//! a table name may be a variable:
+//!
+//! ```text
+//! SELECT S, P FROM ource.S WHERE clsPrice = P AND P > 200
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! stmt   := SELECT cols FROM table (',' table)* [WHERE cond (AND cond)*]
+//!         | INSERT INTO table '(' col (',' col)* ')' VALUES '(' val (',' val)* ')'
+//!         | DELETE FROM table [WHERE cond (AND cond)*]
+//! table  := name '.' name          -- database.relation; either may be a
+//!                                  -- Variable (higher-order!)
+//! cols   := out (',' out)*         -- output variables to bind/select
+//! cond   := operand relop operand  -- operands: column names, variables,
+//!                                  -- literals
+//! ```
+//!
+//! Semantics of the translation:
+//! * every table contributes one relation scan; a *column name* used in
+//!   `cols` or a condition refers to an attribute of (any) scanned table
+//!   carrying that attribute and becomes a fresh IDL variable bound via
+//!   `.col = Col`;
+//! * using the same column name against two tables joins them (shared
+//!   variable), the classic natural-join-by-mention — which also means
+//!   every mentioned column must be present in *every* scanned table
+//!   (there are no table qualifiers in this small dialect);
+//! * uppercase identifiers are IDL variables and pass through, so
+//!   higher-order positions work exactly as in IDL.
+
+use crate::ast::{AttrTerm, Expr, Field, RelOp, Request, Sign, Statement, Term, Var};
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::lex;
+use crate::token::{Span, Spanned, Token};
+use idl_object::Name;
+
+/// Translates one sugar statement into an IDL [`Statement`].
+pub fn parse_sugar(src: &str) -> ParseResult<Statement> {
+    let toks = lex(src)?;
+    let mut p = Sugar { src, toks, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Sugar<'a> {
+    src: &'a str,
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+#[derive(Clone, Debug)]
+struct TableRef {
+    db: AttrTerm,
+    rel: AttrTerm,
+    /// Attribute → variable bound for it (accumulated during translation).
+    bound: Vec<(Name, Var)>,
+}
+
+#[derive(Clone, Debug)]
+enum Operand {
+    /// lowercase identifier: a column of some scanned table.
+    Column(Name),
+    /// uppercase identifier: a pass-through IDL variable.
+    Var(Var),
+    /// literal value.
+    Lit(idl_object::Value),
+}
+
+impl<'a> Sugar<'a> {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.span()).with_source(self.src)
+    }
+
+    fn expect_eof(&mut self) -> ParseResult<()> {
+        if matches!(self.peek(), Token::Eof | Token::Semi) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected `{}` after statement", self.peek())))
+        }
+    }
+
+    /// Case-insensitive keyword match on identifiers/variables.
+    fn keyword(&mut self, kw: &str) -> bool {
+        let matches_kw = match self.peek() {
+            Token::Ident(n) => n.as_str().eq_ignore_ascii_case(kw),
+            Token::Variable(n) => n.as_str().eq_ignore_ascii_case(kw),
+            _ => false,
+        };
+        if matches_kw {
+            self.bump();
+        }
+        matches_kw
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> ParseResult<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn statement(&mut self) -> ParseResult<Statement> {
+        if self.keyword("select") {
+            self.select()
+        } else if self.keyword("insert") {
+            self.insert()
+        } else if self.keyword("delete") {
+            self.delete()
+        } else {
+            Err(self.err("expected SELECT, INSERT or DELETE"))
+        }
+    }
+
+    // ---- SELECT ---------------------------------------------------------
+
+    fn select(&mut self) -> ParseResult<Statement> {
+        let outputs = self.operand_list()?;
+        self.expect_keyword("from")?;
+        let mut tables = vec![self.table()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            tables.push(self.table()?);
+        }
+        let mut conds = if self.keyword("where") { self.conditions()? } else { Vec::new() };
+        normalise_bare_words(&outputs, &mut conds);
+
+        // Bind every column mentioned anywhere.
+        let mut constraints: Vec<Expr> = Vec::new();
+        for out in &outputs {
+            if let Operand::Column(c) = out {
+                bind_column(&mut tables, c);
+            }
+        }
+        for (lhs, op, rhs) in &conds {
+            for o in [lhs, rhs] {
+                if let Operand::Column(c) = o {
+                    bind_column(&mut tables, c);
+                }
+            }
+            let lt = self.operand_term(lhs, &tables)?;
+            let rt = self.operand_term(rhs, &tables)?;
+            constraints.push(Expr::Constraint(lt, *op, rt));
+        }
+
+        let mut items: Vec<Expr> = tables.iter().map(table_scan).collect();
+        items.extend(constraints);
+        Ok(Statement::Request(Request::new(items)))
+    }
+
+    // ---- INSERT ---------------------------------------------------------
+
+    fn insert(&mut self) -> ParseResult<Statement> {
+        self.expect_keyword("into")?;
+        let table = self.table()?;
+        self.expect(Token::LParen)?;
+        let mut cols = vec![self.column_name()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            cols.push(self.column_name()?);
+        }
+        self.expect(Token::RParen)?;
+        self.expect_keyword("values")?;
+        self.expect(Token::LParen)?;
+        let mut vals = vec![self.literal()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            vals.push(self.literal()?);
+        }
+        self.expect(Token::RParen)?;
+        if cols.len() != vals.len() {
+            return Err(self.err(format!(
+                "{} columns but {} values",
+                cols.len(),
+                vals.len()
+            )));
+        }
+        let fields = cols
+            .into_iter()
+            .zip(vals)
+            .map(|(c, v)| Field::q(AttrTerm::Const(c), Expr::Atomic(RelOp::Eq, Term::Const(v))))
+            .collect();
+        let insert = Expr::SetUpdate(Sign::Plus, Box::new(Expr::Tuple(fields)));
+        Ok(Statement::Request(Request::new(vec![wrap_table(&table, insert)])))
+    }
+
+    // ---- DELETE ---------------------------------------------------------
+
+    fn delete(&mut self) -> ParseResult<Statement> {
+        self.expect_keyword("from")?;
+        let mut table = self.table()?;
+        let mut conds = if self.keyword("where") { self.conditions()? } else { Vec::new() };
+        normalise_bare_words(&[], &mut conds);
+        // Conditions on columns become fields of the minus payload when
+        // they are simple equalities against literals; anything else binds
+        // and constrains via a preceding query item.
+        let mut payload_fields: Vec<Field> = Vec::new();
+        let pre_items: Vec<Expr> = Vec::new();
+        let mut constraints: Vec<Expr> = Vec::new();
+        for (lhs, op, rhs) in &conds {
+            match (lhs, op, rhs) {
+                (Operand::Column(c), RelOp::Eq, Operand::Lit(v))
+                | (Operand::Lit(v), RelOp::Eq, Operand::Column(c)) => {
+                    payload_fields.push(Field::q(
+                        AttrTerm::Const(c.clone()),
+                        Expr::Atomic(RelOp::Eq, Term::Const(v.clone())),
+                    ));
+                }
+                (Operand::Column(c), op, Operand::Lit(v)) => {
+                    // e.g. DELETE … WHERE price > 100 — the condition can
+                    // live directly in the minus payload as a non-simple
+                    // expression? §5.1 requires simple payloads, so bind
+                    // the column first and constrain.
+                    bind_column_one(&mut table, c);
+                    let var = lookup(&table, c).expect("just bound");
+                    payload_fields.push(Field::q(
+                        AttrTerm::Const(c.clone()),
+                        Expr::Atomic(RelOp::Eq, Term::Var(var.clone())),
+                    ));
+                    let _ = pre_items.len();
+                    constraints.push(Expr::Constraint(
+                        Term::Var(var),
+                        *op,
+                        Term::Const(v.clone()),
+                    ));
+                }
+                _ => return Err(self.err("unsupported DELETE condition")),
+            }
+        }
+        let mut items = Vec::new();
+        if !constraints.is_empty() {
+            // bind via a scan, filter, then delete per binding
+            items.push(table_scan(&table));
+            items.extend(constraints);
+        }
+        let delete = Expr::SetUpdate(Sign::Minus, Box::new(Expr::Tuple(payload_fields)));
+        items.push(wrap_table(&table, delete));
+        Ok(Statement::Request(Request::new(items)))
+    }
+
+    // ---- pieces ---------------------------------------------------------
+
+    fn table(&mut self) -> ParseResult<TableRef> {
+        let db = self.name_or_var()?;
+        self.expect(Token::Dot)?;
+        let rel = self.name_or_var()?;
+        Ok(TableRef { db, rel, bound: Vec::new() })
+    }
+
+    fn name_or_var(&mut self) -> ParseResult<AttrTerm> {
+        match self.bump() {
+            Token::Ident(n) => Ok(AttrTerm::Const(n)),
+            Token::Variable(n) => Ok(AttrTerm::Var(Var(n))),
+            t => Err(self.err(format!("expected a name, found `{t}`"))),
+        }
+    }
+
+    fn column_name(&mut self) -> ParseResult<Name> {
+        match self.bump() {
+            Token::Ident(n) => Ok(n),
+            t => Err(self.err(format!("expected a column name, found `{t}`"))),
+        }
+    }
+
+    fn operand_list(&mut self) -> ParseResult<Vec<Operand>> {
+        let mut out = vec![self.operand()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            out.push(self.operand()?);
+        }
+        Ok(out)
+    }
+
+    fn operand(&mut self) -> ParseResult<Operand> {
+        match self.bump() {
+            Token::Ident(n) => Ok(Operand::Column(n)),
+            Token::Variable(n) => Ok(Operand::Var(Var(n))),
+            Token::Int(i) => Ok(Operand::Lit(idl_object::Value::int(i))),
+            Token::Float(f) => Ok(Operand::Lit(idl_object::Value::float(f))),
+            Token::Str(s) => Ok(Operand::Lit(idl_object::Value::str(s))),
+            Token::DateLit(d) => Ok(Operand::Lit(idl_object::Value::date(d))),
+            Token::True => Ok(Operand::Lit(idl_object::Value::bool(true))),
+            Token::False => Ok(Operand::Lit(idl_object::Value::bool(false))),
+            Token::Null => Ok(Operand::Lit(idl_object::Value::null())),
+            t => Err(self.err(format!("expected an operand, found `{t}`"))),
+        }
+    }
+
+    fn literal(&mut self) -> ParseResult<idl_object::Value> {
+        match self.operand()? {
+            Operand::Lit(v) => Ok(v),
+            Operand::Column(n) => Ok(idl_object::Value::from(n)), // bare word = string
+            Operand::Var(v) => Err(self.err(format!("variable {v} not allowed in VALUES"))),
+        }
+    }
+
+    fn conditions(&mut self) -> ParseResult<Vec<(Operand, RelOp, Operand)>> {
+        let mut out = Vec::new();
+        loop {
+            let lhs = self.operand()?;
+            let op = match self.bump() {
+                Token::Lt => RelOp::Lt,
+                Token::Le => RelOp::Le,
+                Token::Eq => RelOp::Eq,
+                Token::Ne => RelOp::Ne,
+                Token::Gt => RelOp::Gt,
+                Token::Ge => RelOp::Ge,
+                t => return Err(self.err(format!("expected a comparison, found `{t}`"))),
+            };
+            let rhs = self.operand()?;
+            out.push((lhs, op, rhs));
+            if !self.keyword("and") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn operand_term(&self, o: &Operand, tables: &[TableRef]) -> ParseResult<Term> {
+        match o {
+            Operand::Lit(v) => Ok(Term::Const(v.clone())),
+            Operand::Var(v) => Ok(Term::Var(v.clone())),
+            Operand::Column(c) => {
+                for t in tables {
+                    if let Some(v) = lookup(t, c) {
+                        return Ok(Term::Var(v));
+                    }
+                }
+                Err(ParseError::new(format!("column {c} not bound"), Span::default()))
+            }
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> ParseResult<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+}
+
+/// SQL-ish leniency: a bare lowercase word on one side of a condition is a
+/// *column* only if that word is also used as a column elsewhere (an
+/// output, or the other side's partner in some condition's left position);
+/// otherwise it is a string literal — `WHERE stkCode = hp` means the
+/// constant `hp`.
+fn normalise_bare_words(outputs: &[Operand], conds: &mut [(Operand, RelOp, Operand)]) {
+    use std::collections::BTreeSet;
+    let mut known: BTreeSet<Name> = BTreeSet::new();
+    for o in outputs {
+        if let Operand::Column(c) = o {
+            known.insert(c.clone());
+        }
+    }
+    for (lhs, _, _) in conds.iter() {
+        if let Operand::Column(c) = lhs {
+            known.insert(c.clone());
+        }
+    }
+    for (_, _, rhs) in conds.iter_mut() {
+        if let Operand::Column(c) = rhs {
+            if !known.contains(c) {
+                *rhs = Operand::Lit(idl_object::Value::from(c.clone()));
+            }
+        }
+    }
+}
+
+/// Column variable name: capitalised column (`clsPrice` → `ClsPrice`).
+fn column_var(c: &Name) -> Var {
+    let s = c.as_str();
+    let mut chars = s.chars();
+    let cap: String = match chars.next() {
+        Some(f) => f.to_ascii_uppercase().to_string() + chars.as_str(),
+        None => String::new(),
+    };
+    Var::new(format!("{cap}_"))
+}
+
+fn lookup(t: &TableRef, c: &Name) -> Option<Var> {
+    t.bound.iter().find(|(n, _)| n == c).map(|(_, v)| v.clone())
+}
+
+/// Binds a column in *every* table (shared variable = natural join by
+/// mention, the SELECT translation).
+fn bind_column(tables: &mut [TableRef], c: &Name) {
+    let var = column_var(c);
+    for t in tables.iter_mut() {
+        if lookup(t, c).is_none() {
+            t.bound.push((c.clone(), var.clone()));
+        }
+    }
+}
+
+fn bind_column_one(t: &mut TableRef, c: &Name) {
+    if lookup(t, c).is_none() {
+        t.bound.push((c.clone(), column_var(c)));
+    }
+}
+
+/// `.db.rel( .col = Var, … )`
+fn table_scan(t: &TableRef) -> Expr {
+    let fields = t
+        .bound
+        .iter()
+        .map(|(c, v)| {
+            Field::q(AttrTerm::Const(c.clone()), Expr::Atomic(RelOp::Eq, Term::Var(v.clone())))
+        })
+        .collect::<Vec<_>>();
+    let inner = Expr::Set(Box::new(Expr::Tuple(fields)));
+    wrap_table(t, inner)
+}
+
+fn wrap_table(t: &TableRef, inner: Expr) -> Expr {
+    Expr::Tuple(vec![Field {
+        sign: None,
+        attr: t.db.clone(),
+        expr: Expr::Tuple(vec![Field { sign: None, attr: t.rel.clone(), expr: inner }]),
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idl(src: &str) -> String {
+        parse_sugar(src).unwrap_or_else(|e| panic!("{src}: {e}")).to_string()
+    }
+
+    #[test]
+    fn simple_select() {
+        assert_eq!(
+            idl("SELECT stkCode FROM euter.r WHERE clsPrice > 200"),
+            "?.euter.r(.stkCode = StkCode_, .clsPrice = ClsPrice_), ClsPrice_ > 200"
+        );
+    }
+
+    #[test]
+    fn select_with_equality_literal() {
+        assert_eq!(
+            idl("SELECT clsPrice FROM euter.r WHERE stkCode = \"hp\""),
+            "?.euter.r(.clsPrice = ClsPrice_, .stkCode = StkCode_), StkCode_ = hp"
+        );
+    }
+
+    #[test]
+    fn join_by_shared_column() {
+        // the same column mentioned against two tables joins them
+        let s = idl("SELECT date FROM euter.r, chwab.r WHERE clsPrice > 100");
+        assert!(s.contains(".euter.r(.date = Date_, .clsPrice = ClsPrice_)"), "{s}");
+        assert!(s.contains(".chwab.r(.date = Date_, .clsPrice = ClsPrice_)"), "{s}");
+    }
+
+    #[test]
+    fn higher_order_table_name() {
+        // table name may be a variable — metadata querying through SQL!
+        assert_eq!(
+            idl("SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200"),
+            "?.ource.S(.clsPrice = ClsPrice_), ClsPrice_ > 200"
+        );
+    }
+
+    #[test]
+    fn insert_translates_to_set_plus() {
+        assert_eq!(
+            idl("INSERT INTO euter.r (date, stkCode, clsPrice) VALUES (3/3/85, hp, 50)"),
+            "?.euter.r+(.date = 3/3/85, .stkCode = hp, .clsPrice = 50)"
+        );
+    }
+
+    #[test]
+    fn delete_with_equalities() {
+        assert_eq!(
+            idl("DELETE FROM euter.r WHERE stkCode = hp AND date = 3/3/85"),
+            "?.euter.r-(.stkCode = hp, .date = 3/3/85)"
+        );
+    }
+
+    #[test]
+    fn delete_with_range_binds_first() {
+        let s = idl("DELETE FROM euter.r WHERE clsPrice > 100");
+        assert!(s.contains("ClsPrice_ > 100"), "{s}");
+        assert!(s.contains(".euter.r-(.clsPrice = ClsPrice_)"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sugar("SELECT FROM euter.r").is_err());
+        assert!(parse_sugar("INSERT INTO euter.r (a,b) VALUES (1)").is_err());
+        assert!(parse_sugar("UPDATE euter.r SET x = 1").is_err());
+        assert!(parse_sugar("SELECT a FROM justonename").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            idl("select stkCode from euter.r where clsPrice > 200"),
+            idl("SELECT stkCode FROM euter.r WHERE clsPrice > 200")
+        );
+    }
+}

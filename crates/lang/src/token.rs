@@ -1,0 +1,133 @@
+//! Tokens and source spans.
+
+use idl_object::{Date, Name};
+use std::fmt;
+
+/// A half-open byte range in the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// Lexical tokens of IDL.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// `?` — query / update-request marker.
+    Question,
+    /// `.` — attribute selector.
+    Dot,
+    /// `,` — conjunction.
+    Comma,
+    /// `;` — statement separator.
+    Semi,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `+` — insert sign or arithmetic plus (disambiguated by the parser).
+    Plus,
+    /// `-` — delete sign or arithmetic minus.
+    Minus,
+    /// `*` — arithmetic times.
+    Star,
+    /// `/` — arithmetic divide.
+    Slash,
+    /// `¬` or `!` — negation.
+    Not,
+    /// `<-` — rule (view definition) arrow.
+    RuleArrow,
+    /// `->` — update-program arrow.
+    ProgArrow,
+    /// `<`.
+    Lt,
+    /// `<=` or `≤`.
+    Le,
+    /// `=`.
+    Eq,
+    /// `!=`, `<>` or `≠`.
+    Ne,
+    /// `>`.
+    Gt,
+    /// `>=` or `≥`.
+    Ge,
+    /// A variable: word starting with an uppercase letter, or `_`.
+    Variable(Name),
+    /// A constant identifier: word starting lowercase (paper §4.1).
+    Ident(Name),
+    /// A quoted string constant.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A date literal, e.g. `3/3/85` or `1985-03-03`.
+    DateLit(Date),
+    /// `null` keyword.
+    Null,
+    /// `true` keyword.
+    True,
+    /// `false` keyword.
+    False,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Question => write!(f, "?"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Not => write!(f, "¬"),
+            Token::RuleArrow => write!(f, "<-"),
+            Token::ProgArrow => write!(f, "->"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Variable(n) => write!(f, "{n}"),
+            Token::Ident(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::DateLit(d) => write!(f, "{d}"),
+            Token::Null => write!(f, "null"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it came from.
+    pub span: Span,
+}

@@ -1,0 +1,251 @@
+//! Atomic objects.
+
+use crate::{Date, F64, Name};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An atomic object (paper §3): the leaves of the nested object model.
+///
+/// `Null` is the distinguished *null atomic object* of §5.2, produced by
+/// atomic deletion (`-=c`); the paper stipulates that it *"evaluates to
+/// false for all atomic expressions"*, which the evaluator honours via
+/// [`Atom::is_null`].
+///
+/// The derived `Ord` gives a total order across heterogeneous atoms
+/// (variant-tagged), which makes sets of atoms well-defined. *Numeric*
+/// comparison for query relops (`<`, `>`, …), which coerces between `Int`
+/// and `Float`, lives in [`Atom::compare`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// The null atom (§5.2). Satisfies no atomic expression.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A totally ordered 64-bit float.
+    Float(F64),
+    /// A string / symbol. Also the representation of names-as-data, which is
+    /// what lets data in one database act as metadata in another.
+    Str(Name),
+    /// A calendar date.
+    Date(Date),
+}
+
+impl Atom {
+    /// Builds a string atom.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Atom::Str(Name::new(s))
+    }
+
+    /// Builds a float atom.
+    pub fn float(v: f64) -> Self {
+        Atom::Float(F64::new(v))
+    }
+
+    /// Whether this is the null atom.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Atom::Null)
+    }
+
+    /// The string payload, if this is a string atom.
+    pub fn as_str(&self) -> Option<&Name> {
+        match self {
+            Atom::Str(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if any (does not coerce ints).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Atom::Float(f) => Some(f.get()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value if the atom is `Int` or `Float`.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Atom::Int(i) => Some(*i as f64),
+            Atom::Float(f) => Some(f.get()),
+            _ => None,
+        }
+    }
+
+    /// *Query-level* comparison (§4.1 relops).
+    ///
+    /// Returns `None` when the atoms are incomparable under query semantics:
+    /// either operand is null (the null atom satisfies no atomic
+    /// expression), or the operands are of unrelated types (a date and a
+    /// string, say). `Int` and `Float` compare numerically so that
+    /// `.clsPrice>60` works whether prices were loaded as ints or floats.
+    pub fn compare(&self, other: &Atom) -> Option<Ordering> {
+        use Atom::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => Some(a.cmp(b)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(&b.get()),
+            (Float(a), Int(b)) => a.get().partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Query-level equality: `compare == Some(Equal)`.
+    pub fn query_eq(&self, other: &Atom) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// A short label for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Atom::Null => "null",
+            Atom::Bool(_) => "bool",
+            Atom::Int(_) => "int",
+            Atom::Float(_) => "float",
+            Atom::Str(_) => "string",
+            Atom::Date(_) => "date",
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Null => write!(f, "null"),
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Float(x) => write!(f, "{x}"),
+            Atom::Str(s) => {
+                // Bare identifiers print bare (paper style: `hp`, `ibm`);
+                // anything else is quoted.
+                let bare = !s.is_empty()
+                    && s.as_str().chars().next().unwrap().is_ascii_lowercase()
+                    && s.as_str().chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !matches!(s.as_str(), "null" | "true" | "false");
+                if bare {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{:?}", s.as_str())
+                }
+            }
+            Atom::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(v: i64) -> Self {
+        Atom::Int(v)
+    }
+}
+
+impl From<i32> for Atom {
+    fn from(v: i32) -> Self {
+        Atom::Int(v as i64)
+    }
+}
+
+impl From<f64> for Atom {
+    fn from(v: f64) -> Self {
+        Atom::float(v)
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(v: bool) -> Self {
+        Atom::Bool(v)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(v: &str) -> Self {
+        Atom::str(v)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(v: String) -> Self {
+        Atom::Str(Name::from(v))
+    }
+}
+
+impl From<Name> for Atom {
+    fn from(v: Name) -> Self {
+        Atom::Str(v)
+    }
+}
+
+impl From<Date> for Atom {
+    fn from(v: Date) -> Self {
+        Atom::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_compares_with_nothing() {
+        assert_eq!(Atom::Null.compare(&Atom::Null), None);
+        assert_eq!(Atom::Null.compare(&Atom::Int(3)), None);
+        assert_eq!(Atom::Int(3).compare(&Atom::Null), None);
+        assert!(!Atom::Null.query_eq(&Atom::Null));
+    }
+
+    #[test]
+    fn numeric_coercion_in_query_compare() {
+        assert!(Atom::Int(50).query_eq(&Atom::float(50.0)));
+        assert_eq!(Atom::Int(60).compare(&Atom::float(60.5)), Some(Ordering::Less));
+        // but structural equality keeps them distinct (set semantics)
+        assert_ne!(Atom::Int(50), Atom::float(50.0));
+    }
+
+    #[test]
+    fn cross_type_incomparable() {
+        assert_eq!(Atom::str("hp").compare(&Atom::Int(1)), None);
+        let d: Date = "3/3/85".parse().unwrap();
+        assert_eq!(Atom::Date(d).compare(&Atom::str("3/3/85")), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::str("hp").to_string(), "hp");
+        assert_eq!(Atom::str("Hello World").to_string(), "\"Hello World\"");
+        assert_eq!(Atom::Int(200).to_string(), "200");
+        assert_eq!(Atom::float(60.5).to_string(), "60.5");
+        assert_eq!(Atom::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn total_order_among_variants_is_stable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Atom::str("a"));
+        s.insert(Atom::Int(1));
+        s.insert(Atom::Null);
+        s.insert(Atom::Bool(true));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().next(), Some(&Atom::Null));
+    }
+}

@@ -1,0 +1,220 @@
+//! Calendar dates.
+//!
+//! The paper's running example keys every stock relation by a `date`
+//! attribute, written in the text as `3/3/85`. We implement a small proleptic
+//! Gregorian date type with exactly the operations the workloads and the
+//! surface syntax need: parsing `m/d/y`, ISO `y-m-d`, ordering, and day
+//! arithmetic for generating consecutive trading days.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A proleptic Gregorian calendar date.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+/// Error produced when constructing or parsing an invalid date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateError(pub String);
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date: {}", self.0)
+    }
+}
+
+impl std::error::Error for DateError {}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Date {
+    /// Constructs a date, validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, DateError> {
+        if !(1..=12).contains(&month) {
+            return Err(DateError(format!("month {month} out of range")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError(format!("day {day} out of range for {year}-{month:02}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// The year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// The month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// The day-of-month component (1-based).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since the epoch `1970-01-01` (may be negative).
+    pub fn to_epoch_days(&self) -> i64 {
+        // Howard Hinnant's `days_from_civil` algorithm.
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::to_epoch_days`].
+    pub fn from_epoch_days(z: i64) -> Self {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// Returns the date `n` days after (`n` may be negative) this one.
+    pub fn plus_days(&self, n: i64) -> Self {
+        Date::from_epoch_days(self.to_epoch_days() + n)
+    }
+
+    /// Number of days from `self` to `other` (positive when `other` later).
+    pub fn days_until(&self, other: &Date) -> i64 {
+        other.to_epoch_days() - self.to_epoch_days()
+    }
+}
+
+impl fmt::Display for Date {
+    /// Paper surface syntax: `3/3/85` (month/day/2-digit-year) for years in
+    /// 1900–1999, otherwise ISO `yyyy-mm-dd`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (1900..2000).contains(&self.year) {
+            write!(f, "{}/{}/{:02}", self.month, self.day, self.year - 1900)
+        } else {
+            write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+        }
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({:04}-{:02}-{:02})", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = DateError;
+
+    /// Accepts `m/d/yy` (two-digit years are 1900-relative, as in the
+    /// paper's `3/3/85`), `m/d/yyyy`, and ISO `yyyy-mm-dd`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || DateError(format!("cannot parse {s:?}"));
+        if s.contains('-') {
+            let mut it = s.splitn(3, '-');
+            let y: i32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let m: u8 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let d: u8 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            Date::new(y, m, d)
+        } else if s.contains('/') {
+            let mut it = s.splitn(3, '/');
+            let m: u8 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let d: u8 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let ys = it.next().ok_or_else(bad)?;
+            let y: i32 = ys.parse().map_err(|_| bad())?;
+            let y = if ys.len() <= 2 { y + 1900 } else { y };
+            Date::new(y, m, d)
+        } else {
+            Err(bad())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_literal_parses() {
+        let d: Date = "3/3/85".parse().unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (1985, 3, 3));
+        assert_eq!(d.to_string(), "3/3/85");
+    }
+
+    #[test]
+    fn iso_parses_and_displays() {
+        let d: Date = "2026-07-07".parse().unwrap();
+        assert_eq!(d.to_string(), "2026-07-07");
+        let round: Date = d.to_string().parse().unwrap();
+        assert_eq!(d, round);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!("2/30/85".parse::<Date>().is_err());
+        assert!("13/1/85".parse::<Date>().is_err());
+        assert!("0/1/85".parse::<Date>().is_err());
+        assert!("1985".parse::<Date>().is_err());
+        assert!(Date::new(2025, 2, 29).is_err());
+        assert!(Date::new(2024, 2, 29).is_ok());
+    }
+
+    #[test]
+    fn epoch_round_trip() {
+        for z in [-1000, -1, 0, 1, 20_000, 100_000] {
+            let d = Date::from_epoch_days(z);
+            assert_eq!(d.to_epoch_days(), z);
+        }
+        assert_eq!(Date::from_epoch_days(0), Date::new(1970, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let d = Date::new(1985, 3, 3).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(1985, 3, 4).unwrap());
+        assert_eq!(d.plus_days(29), Date::new(1985, 4, 1).unwrap());
+        assert_eq!(d.plus_days(-3), Date::new(1985, 2, 28).unwrap());
+        assert_eq!(d.days_until(&d.plus_days(365)), 365);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(1985, 3, 3).unwrap();
+        let b = Date::new(1985, 12, 1).unwrap();
+        let c = Date::new(1986, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1984));
+        assert!(!is_leap(1985));
+    }
+}

@@ -1,0 +1,142 @@
+//! Totally ordered floating point wrapper.
+//!
+//! The object model is value-based (§3): atoms must support structural
+//! equality, hashing and a total order so that sets of atoms (e.g. sets of
+//! closing prices) are well-defined. IEEE `f64` provides none of that, so
+//! [`F64`] canonicalises NaN and negative zero and orders by
+//! [`f64::total_cmp`].
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with total ordering, structural equality, and hashing.
+///
+/// * all NaNs collapse to one canonical NaN (quiet, positive);
+/// * `-0.0` collapses to `+0.0`;
+/// * ordering is `total_cmp`, so `NaN` sorts above `+inf`.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a float, canonicalising NaN and negative zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64(f64::NAN)
+        } else if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// The underlying float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl From<F64> for f64 {
+    fn from(v: F64) -> Self {
+        v.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Canonicalisation in `new` guarantees bit-identical representations
+        // for values that compare equal.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            // Keep a trailing `.0` so the literal re-parses as a float.
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn nan_is_canonical_and_equal_to_itself() {
+        let a = F64::new(f64::NAN);
+        let b = F64::new(-f64::NAN);
+        assert_eq!(a, b);
+        assert!(a.is_nan());
+    }
+
+    #[test]
+    fn negative_zero_collapses() {
+        assert_eq!(F64::new(-0.0), F64::new(0.0));
+        assert_eq!(F64::new(-0.0).get().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn total_order() {
+        let mut s = BTreeSet::new();
+        for v in [1.5, -3.0, f64::INFINITY, f64::NEG_INFINITY, 0.0, f64::NAN] {
+            s.insert(F64::new(v));
+        }
+        let v: Vec<f64> = s.iter().map(|x| x.get()).collect();
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert_eq!(v[1], -3.0);
+        assert_eq!(v[2], 0.0);
+        assert_eq!(v[3], 1.5);
+        assert_eq!(v[4], f64::INFINITY);
+        assert!(v[5].is_nan());
+    }
+
+    #[test]
+    fn display_round_trips_integral_floats() {
+        assert_eq!(F64::new(50.0).to_string(), "50.0");
+        assert_eq!(F64::new(50.25).to_string(), "50.25");
+    }
+}

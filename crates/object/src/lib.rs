@@ -1,0 +1,45 @@
+//! # `idl-object` — the IDL object model
+//!
+//! Implements §3 of *Krishnamurthy, Litwin & Kent, "Language Features for
+//! Interoperability of Databases with Schematic Discrepancies"* (SIGMOD '91):
+//! a value-based nested data model with exactly three categories of objects,
+//!
+//! * **atomic objects** — integers, floats, strings, booleans, dates, and the
+//!   distinguished *null* atom (§5.2);
+//! * **tuple objects** — finite maps from attribute names to objects,
+//!   written `(name:john, sal:10000)`;
+//! * **set objects** — collections of objects, written `{o1, o2, …}`.
+//!
+//! Two properties the paper calls out explicitly are honoured here:
+//!
+//! 1. *"Objects are value based and … \[do\] not have a notion of object
+//!    identity"* — all objects implement structural `Eq`/`Ord`/`Hash`, so a
+//!    set is a mathematical set of values.
+//! 2. *"Set\[s\] can contain heterogeneous objects. Therefore, tuples … can
+//!    have varying arity in a given relation"* — nothing constrains the
+//!    members of a [`SetObj`], and [`TupleObj`] arity is per-tuple.
+//!
+//! The *universe* of databases (paper §3) is itself just a tuple object whose
+//! attributes are database names; see [`universe`] for constructors.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod date;
+pub mod float;
+mod macros;
+pub mod name;
+pub mod path;
+pub mod set;
+pub mod tuple;
+pub mod universe;
+pub mod value;
+
+pub use atom::Atom;
+pub use date::Date;
+pub use float::F64;
+pub use name::Name;
+pub use path::Path;
+pub use set::SetObj;
+pub use tuple::TupleObj;
+pub use value::{Kind, Value};

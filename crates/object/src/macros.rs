@@ -1,0 +1,43 @@
+//! Convenience constructors for literal objects in tests and examples.
+
+/// Builds a tuple [`Value`](crate::Value): `tuple! { name: "john", sal: 10i64 }`.
+///
+/// Keys are identifiers (attribute names); values are anything convertible
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! tuple {
+    ( $( $key:ident : $val:expr ),* $(,)? ) => {{
+        #[allow(unused_mut)]
+        let mut t = $crate::TupleObj::new();
+        $( t.insert(stringify!($key), $crate::Value::from($val)); )*
+        $crate::Value::Tuple(t)
+    }};
+}
+
+/// Builds a set [`Value`](crate::Value): `set![v1, v2, …]`.
+#[macro_export]
+macro_rules! set {
+    ( $( $val:expr ),* $(,)? ) => {{
+        #[allow(unused_mut)]
+        let mut s = $crate::SetObj::new();
+        $( s.insert($crate::Value::from($val)); )*
+        $crate::Value::Set(s)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn macros_build_expected_shapes() {
+        let t = tuple! { a: 1i64, b: "x" };
+        assert_eq!(t.as_tuple().unwrap().arity(), 2);
+        let s = set![1i64, 2i64, 1i64];
+        assert_eq!(s.as_set().unwrap().len(), 2);
+        let empty = tuple! {};
+        assert_eq!(empty, Value::empty_tuple());
+        let es = set![];
+        assert_eq!(es, Value::empty_set());
+    }
+}

@@ -1,0 +1,160 @@
+//! Interned attribute / relation / database names.
+//!
+//! Names identify tuple attributes. In IDL they do double duty: the same
+//! string can be *data* in one database (`stkCode = "hp"` in `euter`) and an
+//! *attribute or relation name* in another (`.hp` in `chwab`, relation `hp`
+//! in `ource`) — the heart of a schematic discrepancy. Making [`Name`] a
+//! cheaply clonable shared string keeps that data↔metadata crossing free.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute, relation, or database name.
+///
+/// Internally a reference-counted string: cloning is a pointer copy, and
+/// equality/ordering are by string value (the model is value-based).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length of the name in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the name is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether this name is syntactically a *variable* in IDL surface
+    /// syntax (starts with an uppercase ASCII letter). Constant names never
+    /// look like variables; generators use this to validate output.
+    pub fn looks_like_variable(&self) -> bool {
+        self.0.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:?})", &self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl From<&String> for Name {
+    fn from(s: &String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Name::new("stkCode");
+        let b = Name::from("stkCode");
+        let c: Name = String::from("clsPrice").into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, "stkCode");
+        assert_eq!(a.as_str(), "stkCode");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut set = BTreeSet::new();
+        set.insert(Name::new("date"));
+        set.insert(Name::new("clsPrice"));
+        set.insert(Name::new("stkCode"));
+        let ordered: Vec<_> = set.iter().map(Name::as_str).collect();
+        assert_eq!(ordered, vec!["clsPrice", "date", "stkCode"]);
+    }
+
+    #[test]
+    fn clone_is_cheap_pointer_copy() {
+        let a = Name::new("euter");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn variable_detection() {
+        assert!(Name::new("X").looks_like_variable());
+        assert!(Name::new("StkCode").looks_like_variable());
+        assert!(!Name::new("stkCode").looks_like_variable());
+        assert!(!Name::new("").looks_like_variable());
+        assert!(!Name::new("_x").looks_like_variable());
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        let mut set = BTreeSet::new();
+        set.insert(Name::new("r"));
+        assert!(set.contains("r"));
+        assert!(!set.contains("s"));
+    }
+}

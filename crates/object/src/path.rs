@@ -1,0 +1,185 @@
+//! Attribute paths into nested objects.
+//!
+//! A path like `.euter.r` names the object reached from the universe tuple by
+//! following attribute `euter` then attribute `r`. Paths are how the storage
+//! layer and the rule engine address databases and relations inside the
+//! universe tuple.
+
+use crate::{Name, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence of attribute names, navigated from an (implicit) root tuple.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Path(Vec<Name>);
+
+impl Path {
+    /// The empty path (names the root itself).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Builds a path from name-like segments.
+    pub fn new<N: Into<Name>, I: IntoIterator<Item = N>>(segments: I) -> Self {
+        Path(segments.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root path.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Name] {
+        &self.0
+    }
+
+    /// Appends a segment, returning the extended path.
+    pub fn child(&self, seg: impl Into<Name>) -> Path {
+        let mut p = self.clone();
+        p.0.push(seg.into());
+        p
+    }
+
+    /// Appends a segment in place.
+    pub fn push(&mut self, seg: impl Into<Name>) {
+        self.0.push(seg.into());
+    }
+
+    /// Drops the last segment, returning it.
+    pub fn pop(&mut self) -> Option<Name> {
+        self.0.pop()
+    }
+
+    /// Resolves the path inside `root`, read-only.
+    ///
+    /// Returns `None` if any intermediate step is missing or not a tuple.
+    pub fn get<'v>(&self, root: &'v Value) -> Option<&'v Value> {
+        let mut cur = root;
+        for seg in &self.0 {
+            cur = cur.as_tuple()?.get(seg.as_str())?;
+        }
+        Some(cur)
+    }
+
+    /// Resolves the path inside `root`, mutably.
+    pub fn get_mut<'v>(&self, root: &'v mut Value) -> Option<&'v mut Value> {
+        let mut cur = root;
+        for seg in &self.0 {
+            cur = cur.as_tuple_mut()?.get_mut(seg.as_str())?;
+        }
+        Some(cur)
+    }
+
+    /// Resolves the path, creating missing intermediate tuples along the way
+    /// (the "empty object" materialisation of §5.2: an absent attribute is
+    /// created with an empty object when an update needs it).
+    ///
+    /// Returns `None` only if an *existing* intermediate object is not a
+    /// tuple (the update would be "in error", §5.2).
+    pub fn ensure<'v>(&self, root: &'v mut Value) -> Option<&'v mut Value> {
+        let mut cur = root;
+        for seg in &self.0 {
+            let t = cur.as_tuple_mut()?;
+            cur = t.get_or_insert_with(seg.clone(), Value::empty_tuple);
+        }
+        Some(cur)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "<root>");
+        }
+        for seg in &self.0 {
+            write!(f, ".{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path({self})")
+    }
+}
+
+impl<N: Into<Name>> FromIterator<N> for Path {
+    fn from_iter<I: IntoIterator<Item = N>>(iter: I) -> Self {
+        Path::new(iter)
+    }
+}
+
+impl From<&str> for Path {
+    /// Parses a dotted path: `".euter.r"` or `"euter.r"`.
+    fn from(s: &str) -> Self {
+        Path::new(s.split('.').filter(|seg| !seg.is_empty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set, tuple};
+
+    fn sample() -> Value {
+        tuple! {
+            euter: tuple! { r: set![tuple! { stkCode: "hp", clsPrice: 50i64 }] }
+        }
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let p = Path::from(".euter.r");
+        assert_eq!(p.to_string(), ".euter.r");
+        assert_eq!(p.len(), 2);
+        assert_eq!(Path::root().to_string(), "<root>");
+        assert_eq!(Path::from("euter.r"), Path::from(".euter.r"));
+    }
+
+    #[test]
+    fn get_navigates() {
+        let u = sample();
+        let r = Path::from(".euter.r").get(&u).unwrap();
+        assert_eq!(r.as_set().unwrap().len(), 1);
+        assert!(Path::from(".euter.s").get(&u).is_none());
+        assert!(Path::from(".euter.r.x").get(&u).is_none(), "set is not a tuple");
+        assert_eq!(Path::root().get(&u), Some(&u));
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut u = sample();
+        let r = Path::from(".euter.r").get_mut(&mut u).unwrap();
+        r.as_set_mut().unwrap().insert(tuple! { stkCode: "ibm" });
+        assert_eq!(Path::from(".euter.r").get(&u).unwrap().as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ensure_creates_intermediate_tuples() {
+        let mut u = Value::empty_tuple();
+        {
+            let v = Path::from(".chwab.r").ensure(&mut u).unwrap();
+            *v = Value::empty_set();
+        }
+        assert!(Path::from(".chwab.r").get(&u).unwrap().as_set().is_some());
+        // existing non-tuple intermediate refuses
+        assert!(Path::from(".chwab.r.x").ensure(&mut u).is_none());
+    }
+
+    #[test]
+    fn child_and_pop() {
+        let mut p = Path::from(".euter");
+        let q = p.child("r");
+        assert_eq!(q.to_string(), ".euter.r");
+        p.push("r");
+        assert_eq!(p, q);
+        assert_eq!(p.pop().unwrap().as_str(), "r");
+    }
+}

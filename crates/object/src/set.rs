@@ -1,0 +1,175 @@
+//! Set objects: value-based sets of heterogeneous objects.
+
+use crate::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::btree_set::{self, BTreeSet};
+
+/// A set object `{o1, o2, …}` (paper §3).
+///
+/// * **Value-based**: membership and equality are structural; inserting an
+///   element twice is a no-op.
+/// * **Heterogeneous**: members may be any mix of atoms, tuples of varying
+///   arity, and sets — the property the paper relies on for attribute
+///   deletion from a *single* tuple (§5.2).
+/// * **Deterministic**: iteration is in the total `Ord` order on [`Value`],
+///   so answers, displays and fixpoints are reproducible.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SetObj {
+    elems: BTreeSet<Value>,
+}
+
+impl SetObj {
+    /// An empty set.
+    pub fn new() -> Self {
+        SetObj { elems: BTreeSet::new() }
+    }
+
+    /// Number of (distinct) elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: impl Into<Value>) -> bool {
+        self.elems.insert(value.into())
+    }
+
+    /// Structural membership test.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.elems.contains(value)
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &Value) -> bool {
+        self.elems.remove(value)
+    }
+
+    /// Removes every element satisfying the predicate, returning how many
+    /// were removed. This is the engine of the set-minus update `-(exp)`.
+    pub fn remove_if(&mut self, mut pred: impl FnMut(&Value) -> bool) -> usize {
+        let before = self.elems.len();
+        self.elems.retain(|v| !pred(v));
+        before - self.elems.len()
+    }
+
+    /// Drains all elements satisfying the predicate, returning them. Used by
+    /// updates that must *modify* matching elements (remove + re-insert,
+    /// since elements of a `BTreeSet` are immutable in place).
+    pub fn take_if(&mut self, mut pred: impl FnMut(&Value) -> bool) -> Vec<Value> {
+        let taken: Vec<Value> = self.elems.iter().filter(|v| pred(v)).cloned().collect();
+        for v in &taken {
+            self.elems.remove(v);
+        }
+        taken
+    }
+
+    /// Iterates elements in `Ord` order.
+    pub fn iter(&self) -> btree_set::Iter<'_, Value> {
+        self.elems.iter()
+    }
+
+    /// Set union (value-based).
+    pub fn union_with(&mut self, other: &SetObj) {
+        for v in other.iter() {
+            self.elems.insert(v.clone());
+        }
+    }
+}
+
+impl std::fmt::Debug for SetObj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.elems.iter()).finish()
+    }
+}
+
+impl IntoIterator for SetObj {
+    type Item = Value;
+    type IntoIter = btree_set::IntoIter<Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SetObj {
+    type Item = &'a Value;
+    type IntoIter = btree_set::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for SetObj {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        let mut s = SetObj::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl<V: Into<Value>> Extend<V> for SetObj {
+    fn extend<I: IntoIterator<Item = V>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = SetObj::new();
+        assert!(s.insert(Value::int(1)));
+        assert!(!s.insert(Value::int(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_members() {
+        let mut s = SetObj::new();
+        s.insert(Value::int(1));
+        s.insert(tuple! { a: 1i64 });
+        s.insert(tuple! { a: 1i64, b: 2i64 }); // different arity, same set
+        s.insert(Value::empty_set());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn remove_if_counts() {
+        let mut s: SetObj = (0..10i64).map(Value::int).collect();
+        let removed = s.remove_if(|v| v.as_atom().unwrap().as_int().unwrap() % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.contains(&Value::int(0)));
+        assert!(s.contains(&Value::int(1)));
+    }
+
+    #[test]
+    fn take_if_drains() {
+        let mut s: SetObj = (0..4i64).map(Value::int).collect();
+        let taken = s.take_if(|v| v.as_atom().unwrap().as_int().unwrap() >= 2);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union() {
+        let mut a: SetObj = [1i64, 2].into_iter().map(Value::int).collect();
+        let b: SetObj = [2i64, 3].into_iter().map(Value::int).collect();
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Tuple objects: finite maps from attribute names to objects.
+
+use crate::{Name, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::{self, BTreeMap};
+
+/// A tuple object `(attr1:obj1, …, attrk:objk)` (paper §3).
+///
+/// Attributes are unordered semantically — `(x:1, y:2)` equals `(y:2, x:1)`
+/// — which the `BTreeMap` representation gives for free, along with
+/// deterministic iteration. Arity is per-tuple: two tuples in the same set
+/// may have different attribute sets (heterogeneous sets, §3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TupleObj {
+    fields: BTreeMap<Name, Value>,
+}
+
+impl TupleObj {
+    /// An empty tuple.
+    pub fn new() -> Self {
+        TupleObj { fields: BTreeMap::new() }
+    }
+
+    /// Builds a tuple from attribute/value pairs. Later duplicates win.
+    pub fn from_pairs<N, V, I>(pairs: I) -> Self
+    where
+        N: Into<Name>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (N, V)>,
+    {
+        let mut t = TupleObj::new();
+        for (n, v) in pairs {
+            t.insert(n.into(), v.into());
+        }
+        t
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the tuple has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The object associated with `attr`, if present.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.fields.get(attr)
+    }
+
+    /// Mutable access to the object associated with `attr`.
+    pub fn get_mut(&mut self, attr: &str) -> Option<&mut Value> {
+        self.fields.get_mut(attr)
+    }
+
+    /// Whether the attribute exists.
+    pub fn contains(&self, attr: &str) -> bool {
+        self.fields.contains_key(attr)
+    }
+
+    /// Sets `attr` to `value`, returning the previous object if any.
+    pub fn insert(&mut self, attr: impl Into<Name>, value: impl Into<Value>) -> Option<Value> {
+        self.fields.insert(attr.into(), value.into())
+    }
+
+    /// Removes `attr`, returning its object if it was present.
+    pub fn remove(&mut self, attr: &str) -> Option<Value> {
+        self.fields.remove(attr)
+    }
+
+    /// Entry-style access: the object at `attr`, inserting `default` first
+    /// when absent.
+    pub fn get_or_insert_with(
+        &mut self,
+        attr: impl Into<Name>,
+        default: impl FnOnce() -> Value,
+    ) -> &mut Value {
+        self.fields.entry(attr.into()).or_insert_with(default)
+    }
+
+    /// Iterates attributes in name order.
+    pub fn iter(&self) -> btree_map::Iter<'_, Name, Value> {
+        self.fields.iter()
+    }
+
+    /// Iterates attributes mutably in name order.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, Name, Value> {
+        self.fields.iter_mut()
+    }
+
+    /// Iterates attribute names in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Name> {
+        self.fields.keys()
+    }
+
+    /// Iterates attribute objects in name order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.fields.values()
+    }
+
+    /// Retains only the attributes for which the predicate holds.
+    pub fn retain(&mut self, mut f: impl FnMut(&Name, &mut Value) -> bool) {
+        self.fields.retain(|k, v| f(k, v));
+    }
+
+    /// Merges `other` into `self`; on conflict, `other` wins.
+    pub fn merge(&mut self, other: TupleObj) {
+        for (k, v) in other.fields {
+            self.fields.insert(k, v);
+        }
+    }
+}
+
+impl std::fmt::Debug for TupleObj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.fields.iter()).finish()
+    }
+}
+
+impl IntoIterator for TupleObj {
+    type Item = (Name, Value);
+    type IntoIter = btree_map::IntoIter<Name, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleObj {
+    type Item = (&'a Name, &'a Value);
+    type IntoIter = btree_map::Iter<'a, Name, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter()
+    }
+}
+
+impl<N: Into<Name>, V: Into<Value>> FromIterator<(N, V)> for TupleObj {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Self {
+        TupleObj::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = TupleObj::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert("sal", 10i64), None);
+        assert_eq!(t.insert("sal", 20i64), Some(Value::int(10)));
+        assert_eq!(t.get("sal"), Some(&Value::int(20)));
+        assert!(t.contains("sal"));
+        assert_eq!(t.arity(), 1);
+        assert_eq!(t.remove("sal"), Some(Value::int(20)));
+        assert!(!t.contains("sal"));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let t = TupleObj::from_pairs([("z", 1i64), ("a", 2i64), ("m", 3i64)]);
+        let keys: Vec<_> = t.keys().map(Name::as_str).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn get_or_insert_with() {
+        let mut t = TupleObj::new();
+        {
+            let v = t.get_or_insert_with("r", Value::empty_set);
+            v.as_set_mut().unwrap().insert(Value::int(1));
+        }
+        let v = t.get_or_insert_with("r", Value::empty_set);
+        assert_eq!(v.as_set().unwrap().len(), 1, "existing object is kept");
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = TupleObj::from_pairs([("x", 1i64), ("y", 2i64)]);
+        let b = TupleObj::from_pairs([("y", 9i64), ("z", 3i64)]);
+        a.merge(b);
+        assert_eq!(a.get("x"), Some(&Value::int(1)));
+        assert_eq!(a.get("y"), Some(&Value::int(9)));
+        assert_eq!(a.get("z"), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut t = TupleObj::from_pairs([("a", 1i64), ("b", 2i64), ("c", 3i64)]);
+        t.retain(|_, v| v.as_atom().and_then(|a| a.as_int()).unwrap() % 2 == 1);
+        assert_eq!(t.arity(), 2);
+        assert!(t.contains("a") && t.contains("c"));
+    }
+}

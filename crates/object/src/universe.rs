@@ -1,0 +1,198 @@
+//! The universe of databases (paper §3).
+//!
+//! ```text
+//! u = (db1:(r11:{…}, r12:{…}, …), db2:(r21:{…}, …), …)
+//! ```
+//!
+//! A universe is a tuple whose attributes are database names; each database
+//! is a tuple whose attributes are relation names; each relation is a set of
+//! tuples. [`UniverseBuilder`] offers a fluent way to assemble one, and the
+//! free functions here provide the paper's three-schema stock example in
+//! miniature (the scalable generator lives in `idl-workload`).
+
+use crate::{Date, Name, Path, SetObj, TupleObj, Value};
+
+/// Parses a date-looking string into a date atom, falling back to a string
+/// atom. Keeps the miniature builders aligned with the lexer, which reads
+/// `3/3/85` as a date literal.
+fn date_or_str(s: &str) -> Value {
+    match s.parse::<Date>() {
+        Ok(d) => Value::date(d),
+        Err(_) => Value::str(s),
+    }
+}
+
+/// Fluent builder for universe tuples.
+///
+/// ```
+/// use idl_object::universe::UniverseBuilder;
+/// use idl_object::tuple;
+///
+/// let u = UniverseBuilder::new()
+///     .relation("euter", "r", [tuple! { stkCode: "hp", clsPrice: 50i64 }])
+///     .build();
+/// assert!(u.attr("euter").is_some());
+/// ```
+#[derive(Default)]
+pub struct UniverseBuilder {
+    u: TupleObj,
+}
+
+impl UniverseBuilder {
+    /// Starts an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an (empty) database if absent.
+    pub fn database(mut self, db: impl Into<Name>) -> Self {
+        self.u.get_or_insert_with(db.into(), Value::empty_tuple);
+        self
+    }
+
+    /// Adds a relation with the given tuples (creating the database if
+    /// needed). Tuples are added set-wise; duplicates collapse.
+    pub fn relation<I>(mut self, db: impl Into<Name>, rel: impl Into<Name>, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let dbv = self.u.get_or_insert_with(db.into(), Value::empty_tuple);
+        let dbt = dbv.as_tuple_mut().expect("database object is a tuple");
+        let relv = dbt.get_or_insert_with(rel.into(), Value::empty_set);
+        let rels = relv.as_set_mut().expect("relation object is a set");
+        rels.extend(tuples);
+        self
+    }
+
+    /// Finishes, yielding the universe tuple.
+    pub fn build(self) -> Value {
+        Value::Tuple(self.u)
+    }
+}
+
+/// Lists the database names of a universe (its top-level attributes).
+pub fn database_names(universe: &Value) -> Vec<Name> {
+    universe
+        .as_tuple()
+        .map(|t| t.keys().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Lists the relation names of one database inside a universe.
+pub fn relation_names(universe: &Value, db: &str) -> Vec<Name> {
+    universe
+        .attr(db)
+        .and_then(Value::as_tuple)
+        .map(|t| t.keys().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Fetches a relation (set object) by database and relation name.
+pub fn relation<'u>(universe: &'u Value, db: &str, rel: &str) -> Option<&'u SetObj> {
+    Path::new([db, rel]).get(universe).and_then(Value::as_set)
+}
+
+/// The miniature stock universe used throughout the paper's examples:
+/// three databases with the same information under three schemata.
+///
+/// * `euter.r : {(date, stkCode, clsPrice)}`
+/// * `chwab.r : {(date, hp, ibm, …)}`
+/// * `ource.hp : {(date, clsPrice)}, ource.ibm : …`
+///
+/// `quotes` is `(date, stock, price)` triples; every triple is represented
+/// in all three schemata.
+pub fn stock_universe<'a, I>(quotes: I) -> Value
+where
+    I: IntoIterator<Item = (&'a str, &'a str, f64)> + Clone,
+{
+    let mut b = UniverseBuilder::new().database("euter").database("chwab").database("ource");
+
+    // euter: one tuple per quote
+    b = b.relation(
+        "euter",
+        "r",
+        quotes.clone().into_iter().map(|(d, s, p)| {
+            let mut t = TupleObj::new();
+            t.insert("date", date_or_str(d));
+            t.insert("stkCode", Value::str(s));
+            t.insert("clsPrice", Value::float(p));
+            Value::Tuple(t)
+        }),
+    );
+
+    // chwab: one tuple per date, one attribute per stock
+    let mut by_date: std::collections::BTreeMap<&str, TupleObj> = Default::default();
+    for (d, s, p) in quotes.clone() {
+        let t = by_date.entry(d).or_insert_with(|| {
+            let mut t = TupleObj::new();
+            t.insert("date", date_or_str(d));
+            t
+        });
+        t.insert(s, Value::float(p));
+    }
+    b = b.relation("chwab", "r", by_date.into_values().map(Value::Tuple));
+
+    // ource: one relation per stock
+    for (d, s, p) in quotes {
+        let mut t = TupleObj::new();
+        t.insert("date", date_or_str(d));
+        t.insert("clsPrice", Value::float(p));
+        b = b.relation("ource", s, [Value::Tuple(t)]);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotes() -> Vec<(&'static str, &'static str, f64)> {
+        vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+            ("3/4/85", "ibm", 155.0),
+        ]
+    }
+
+    #[test]
+    fn three_schemata_constructed() {
+        let u = stock_universe(quotes());
+        assert_eq!(
+            database_names(&u).iter().map(Name::as_str).collect::<Vec<_>>(),
+            vec!["chwab", "euter", "ource"]
+        );
+        assert_eq!(relation(&u, "euter", "r").unwrap().len(), 4);
+        assert_eq!(relation(&u, "chwab", "r").unwrap().len(), 2, "one tuple per date");
+        assert_eq!(
+            relation_names(&u, "ource").iter().map(Name::as_str).collect::<Vec<_>>(),
+            vec!["hp", "ibm"],
+            "one relation per stock"
+        );
+        assert_eq!(relation(&u, "ource", "hp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chwab_tuples_have_stock_attributes() {
+        let u = stock_universe(quotes());
+        let r = relation(&u, "chwab", "r").unwrap();
+        for t in r.iter() {
+            let t = t.as_tuple().unwrap();
+            assert!(t.contains("date") && t.contains("hp") && t.contains("ibm"));
+        }
+    }
+
+    #[test]
+    fn builder_is_idempotent_for_duplicates() {
+        let u = stock_universe(vec![("3/3/85", "hp", 50.0), ("3/3/85", "hp", 50.0)]);
+        assert_eq!(relation(&u, "euter", "r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let u = UniverseBuilder::new().database("empty").build();
+        assert!(relation_names(&u, "empty").is_empty());
+        assert!(relation(&u, "empty", "r").is_none());
+    }
+}

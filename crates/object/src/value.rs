@@ -1,0 +1,310 @@
+//! The unified object type.
+
+use crate::{Atom, Name, SetObj, TupleObj};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three object categories of paper §3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Atomic object.
+    Atom,
+    /// Tuple object.
+    Tuple,
+    /// Set object.
+    Set,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Atom => write!(f, "atom"),
+            Kind::Tuple => write!(f, "tuple"),
+            Kind::Set => write!(f, "set"),
+        }
+    }
+}
+
+/// An IDL object: an atom, a tuple of named objects, or a set of objects.
+///
+/// Everything in the model — a closing price, a relation, a database, and
+/// the entire multidatabase *universe* — is a `Value`. Structural
+/// `Eq`/`Ord`/`Hash` make the model value-based (no object identity).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An atomic object.
+    Atom(Atom),
+    /// A tuple object: a finite map from attribute names to objects.
+    Tuple(TupleObj),
+    /// A set object: a set of objects (possibly heterogeneous).
+    Set(SetObj),
+}
+
+impl Value {
+    /// The null atom, used as the "deleted" value (§5.2).
+    pub fn null() -> Self {
+        Value::Atom(Atom::Null)
+    }
+
+    /// An empty tuple.
+    pub fn empty_tuple() -> Self {
+        Value::Tuple(TupleObj::new())
+    }
+
+    /// An empty set.
+    pub fn empty_set() -> Self {
+        Value::Set(SetObj::new())
+    }
+
+    /// A string atom.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Atom(Atom::str(s))
+    }
+
+    /// An integer atom.
+    pub fn int(v: i64) -> Self {
+        Value::Atom(Atom::Int(v))
+    }
+
+    /// A float atom.
+    pub fn float(v: f64) -> Self {
+        Value::Atom(Atom::float(v))
+    }
+
+    /// A bool atom.
+    pub fn bool(v: bool) -> Self {
+        Value::Atom(Atom::Bool(v))
+    }
+
+    /// A date atom.
+    pub fn date(d: crate::Date) -> Self {
+        Value::Atom(Atom::Date(d))
+    }
+
+    /// Which of the three categories this object belongs to.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Value::Atom(_) => Kind::Atom,
+            Value::Tuple(_) => Kind::Tuple,
+            Value::Set(_) => Kind::Set,
+        }
+    }
+
+    /// Whether this is the null atom.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Atom(Atom::Null))
+    }
+
+    /// The atom, if atomic.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Value::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The tuple, if a tuple object.
+    pub fn as_tuple(&self) -> Option<&TupleObj> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Mutable tuple access.
+    pub fn as_tuple_mut(&mut self) -> Option<&mut TupleObj> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The set, if a set object.
+    pub fn as_set(&self) -> Option<&SetObj> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable set access.
+    pub fn as_set_mut(&mut self) -> Option<&mut SetObj> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Navigates one attribute step (tuples only).
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.as_tuple().and_then(|t| t.get(name))
+    }
+
+    /// Total number of nodes (atoms + tuples + sets) in this object tree.
+    /// Used by tests and benches to characterise workloads.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Tuple(t) => 1 + t.values().map(Value::node_count).sum::<usize>(),
+            Value::Set(s) => 1 + s.iter().map(Value::node_count).sum::<usize>(),
+        }
+    }
+
+    /// Maximum nesting depth (an atom has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Tuple(t) => 1 + t.values().map(Value::depth).max().unwrap_or(0),
+            Value::Set(s) => 1 + s.iter().map(Value::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::null()
+    }
+}
+
+impl fmt::Display for Value {
+    /// Paper surface syntax: atoms bare, tuples `(a:1, b:2)`, sets `{…}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, (k, v)) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}:{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+impl From<TupleObj> for Value {
+    fn from(t: TupleObj) -> Self {
+        Value::Tuple(t)
+    }
+}
+
+impl From<SetObj> for Value {
+    fn from(s: SetObj) -> Self {
+        Value::Set(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::bool(v)
+    }
+}
+
+impl From<Name> for Value {
+    fn from(v: Name) -> Self {
+        Value::Atom(Atom::Str(v))
+    }
+}
+
+impl From<crate::Date> for Value {
+    fn from(v: crate::Date) -> Self {
+        Value::date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set, tuple};
+
+    #[test]
+    fn kinds_and_accessors() {
+        let a = Value::int(1);
+        let t = Value::empty_tuple();
+        let s = Value::empty_set();
+        assert_eq!(a.kind(), Kind::Atom);
+        assert_eq!(t.kind(), Kind::Tuple);
+        assert_eq!(s.kind(), Kind::Set);
+        assert!(a.as_atom().is_some() && a.as_tuple().is_none() && a.as_set().is_none());
+        assert!(t.as_tuple().is_some());
+        assert!(s.as_set().is_some());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let v = tuple! { name: "john", sal: 10_000i64 };
+        assert_eq!(v.to_string(), "(name:john, sal:10000)");
+        let s = set![tuple! { a: 1i64 }, tuple! { a: 2i64 }];
+        assert_eq!(s.to_string(), "{(a:1), (a:2)}");
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let v = set![tuple! { a: 1i64, b: set![Value::int(2)] }];
+        // set + tuple + atom(a) + set(b) + atom(2)
+        assert_eq!(v.node_count(), 5);
+        assert_eq!(v.depth(), 4);
+        assert_eq!(Value::int(3).depth(), 1);
+    }
+
+    #[test]
+    fn value_based_equality() {
+        let a = tuple! { x: 1i64, y: 2i64 };
+        let b = tuple! { y: 2i64, x: 1i64 };
+        assert_eq!(a, b, "attribute order is immaterial");
+        let s1 = set![a.clone(), a.clone()];
+        assert_eq!(s1.as_set().unwrap().len(), 1, "sets deduplicate by value");
+        assert_eq!(s1, set![b]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = set![tuple! { date: Value::str("3/3/85"), hp: 50i64 }];
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

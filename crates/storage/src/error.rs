@@ -1,0 +1,40 @@
+//! Storage errors.
+
+use idl_object::Name;
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StorageError {
+    /// Named database does not exist.
+    NoSuchDatabase(Name),
+    /// Named relation does not exist in the database.
+    NoSuchRelation(Name, Name),
+    /// The object at a catalog position has the wrong category (e.g. a
+    /// database attribute holds an atom instead of a tuple).
+    ShapeViolation(String),
+    /// Database / relation already exists.
+    AlreadyExists(String),
+    /// Attempted commit/rollback without an open transaction.
+    NoOpenTransaction,
+    /// I/O or serialisation failure during persistence.
+    Persist(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchDatabase(db) => write!(f, "no such database: {db}"),
+            StorageError::NoSuchRelation(db, r) => write!(f, "no such relation: {db}.{r}"),
+            StorageError::ShapeViolation(m) => write!(f, "catalog shape violation: {m}"),
+            StorageError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            StorageError::NoOpenTransaction => write!(f, "no open transaction"),
+            StorageError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias.
+pub type StorageResult<T> = Result<T, StorageError>;

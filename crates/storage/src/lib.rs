@@ -1,0 +1,39 @@
+//! # `idl-storage` — the multidatabase storage substrate
+//!
+//! The paper assumes a collection of autonomous relational databases and
+//! models them as one *universe tuple* (§3). This crate is the substrate
+//! that plays the role of those DBMSs for the reproduction: an embedded,
+//! in-memory multidatabase engine holding the universe as an
+//! [`idl_object::Value`], wrapped with the services a real engine provides:
+//!
+//! * a **catalog** (databases, relations, cardinalities) — [`store::Store`];
+//! * **secondary indexes** on relation attributes, maintained lazily across
+//!   arbitrary universe mutations — [`index`];
+//! * per-attribute **statistics** for the evaluator's planner — [`stats`];
+//! * **transactions** with snapshot-based rollback — [`txn`];
+//! * a coarse **change journal** driving incremental view refresh —
+//!   [`journal`];
+//! * **persistence** as JSON snapshots — [`persist`].
+//!
+//! Because IDL updates may restructure *any* part of the universe (delete
+//! an attribute of one tuple, drop a whole relation by deleting a database
+//! attribute — §5.2, §7.1), indexes and statistics are invalidated at
+//! relation granularity on every mutation that touches a relation's
+//! subtree, and rebuilt on demand.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod index;
+pub mod journal;
+pub mod persist;
+pub mod schema;
+pub mod stats;
+pub mod store;
+pub mod txn;
+
+pub use error::StorageError;
+pub use index::IndexKind;
+pub use journal::{ChangeRecord, ChangeScope};
+pub use schema::{RelationSchema, SchemaSet, TypeTag};
+pub use store::{Store, Version};

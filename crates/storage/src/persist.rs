@@ -1,0 +1,75 @@
+//! Snapshot persistence.
+//!
+//! The universe object serialises losslessly to JSON via `serde`; a
+//! snapshot file plus the (in-memory) journal is the crash-recovery story
+//! of this embedded substrate. Atomicity is provided by writing to a
+//! temporary file and renaming over the target.
+
+use crate::error::{StorageError, StorageResult};
+use crate::store::Store;
+use idl_object::Value;
+use std::fs;
+use std::path::Path;
+
+/// Serialises the universe to a JSON string.
+pub fn to_json(store: &Store) -> StorageResult<String> {
+    serde_json::to_string(store.universe()).map_err(|e| StorageError::Persist(e.to_string()))
+}
+
+/// Deserialises a universe from a JSON string into a fresh store.
+pub fn from_json(json: &str) -> StorageResult<Store> {
+    let universe: Value =
+        serde_json::from_str(json).map_err(|e| StorageError::Persist(e.to_string()))?;
+    Store::from_universe(universe)
+}
+
+/// Writes a snapshot atomically (temp file + rename).
+pub fn save_snapshot(store: &Store, path: &Path) -> StorageResult<()> {
+    let json = to_json(store)?;
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, json).map_err(|e| StorageError::Persist(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| StorageError::Persist(e.to_string()))
+}
+
+/// Loads a snapshot written by [`save_snapshot`].
+pub fn load_snapshot(path: &Path) -> StorageResult<Store> {
+    let json = fs::read_to_string(path).map_err(|e| StorageError::Persist(e.to_string()))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::tuple;
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = Store::new();
+        s.insert("euter", "r", tuple! { stkCode: "hp", clsPrice: 50.5f64 }).unwrap();
+        s.insert("chwab", "r", tuple! { date: "3/3/85", hp: 50.5f64 }).unwrap();
+        let json = to_json(&s).unwrap();
+        let s2 = from_json(&json).unwrap();
+        assert_eq!(s.universe(), s2.universe());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("idl-storage-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let mut s = Store::new();
+        s.insert("db", "r", tuple! { a: 1i64 }).unwrap();
+        save_snapshot(&s, &path).unwrap();
+        let s2 = load_snapshot(&path).unwrap();
+        assert_eq!(s.universe(), s2.universe());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_json_is_error() {
+        assert!(matches!(from_json("not json"), Err(StorageError::Persist(_))));
+        // valid JSON that decodes to a non-tuple universe is rejected
+        let atom_json = serde_json::to_string(&idl_object::Value::int(42)).unwrap();
+        assert!(matches!(from_json(&atom_json), Err(StorageError::ShapeViolation(_))));
+    }
+}

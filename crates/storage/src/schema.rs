@@ -1,0 +1,506 @@
+//! Declared schema metadata: keys, attribute types, referential integrity.
+//!
+//! §2 of the paper: *"we concentrate on the relation names and attribute
+//! names only. It is easy to extend this to other metadata such as keys,
+//! types, authorization, etc."* — this module is that extension. Schemas
+//! are *declared* per relation and *checked* against the current contents;
+//! relations without declarations stay schemaless (the paper's default).
+//!
+//! Checking is decoupled from mutation because IDL updates can restructure
+//! anything (§5.2): the engine validates after each update request inside
+//! its transaction and rolls back on violation, which gives declarative
+//! enforcement without constraining the update language.
+
+use crate::error::{StorageError, StorageResult};
+use crate::store::Store;
+use idl_object::{Atom, Name, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Attribute type tags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// Any atom (excluding null).
+    Atom,
+    /// Integer.
+    Int,
+    /// Float (ints accepted — query arithmetic coerces).
+    Number,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Calendar date.
+    Date,
+    /// Nested tuple.
+    Tuple,
+    /// Nested set.
+    Set,
+}
+
+impl TypeTag {
+    /// Whether a value conforms to the tag. Null conforms to nothing —
+    /// use [`AttrDecl::nullable`] to allow it.
+    pub fn admits(self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Atom(Atom::Null)) => false,
+            (TypeTag::Atom, Value::Atom(_)) => true,
+            (TypeTag::Int, Value::Atom(Atom::Int(_))) => true,
+            (TypeTag::Number, Value::Atom(Atom::Int(_) | Atom::Float(_))) => true,
+            (TypeTag::Str, Value::Atom(Atom::Str(_))) => true,
+            (TypeTag::Bool, Value::Atom(Atom::Bool(_))) => true,
+            (TypeTag::Date, Value::Atom(Atom::Date(_))) => true,
+            (TypeTag::Tuple, Value::Tuple(_)) => true,
+            (TypeTag::Set, Value::Set(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Display name (also used by the `sys` catalog relations).
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeTag::Atom => "atom",
+            TypeTag::Int => "int",
+            TypeTag::Number => "number",
+            TypeTag::Str => "str",
+            TypeTag::Bool => "bool",
+            TypeTag::Date => "date",
+            TypeTag::Tuple => "tuple",
+            TypeTag::Set => "set",
+        }
+    }
+}
+
+/// Declaration for one attribute.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AttrDecl {
+    /// Expected type.
+    pub ty: TypeTag,
+    /// Whether the attribute may be absent or null. IDL's atomic minus
+    /// nulls values (§5.2), so key attributes are implicitly non-nullable
+    /// while others often must tolerate null.
+    pub nullable: bool,
+}
+
+/// Declared schema of one relation.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RelationSchema {
+    /// Key attributes: no two tuples may agree on all of them. Empty = no
+    /// key constraint.
+    pub key: Vec<Name>,
+    /// Per-attribute declarations. Attributes not listed are
+    /// unconstrained (heterogeneous tuples remain legal).
+    pub attrs: BTreeMap<Name, AttrDecl>,
+    /// Foreign keys: local attributes → (db, rel, attributes).
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+/// A referential-integrity constraint.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing attributes in this relation.
+    pub local: Vec<Name>,
+    /// Referenced database.
+    pub ref_db: Name,
+    /// Referenced relation.
+    pub ref_rel: Name,
+    /// Referenced attributes (same arity as `local`).
+    pub ref_attrs: Vec<Name>,
+}
+
+/// One constraint violation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Violation {
+    /// Database.
+    pub db: Name,
+    /// Relation.
+    pub rel: Name,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}: {}", self.db, self.rel, self.message)
+    }
+}
+
+/// A set of schema declarations over the universe.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct SchemaSet {
+    schemas: BTreeMap<(Name, Name), RelationSchema>,
+}
+
+impl SchemaSet {
+    /// No declarations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or replaces) a relation's schema.
+    pub fn declare(&mut self, db: impl Into<Name>, rel: impl Into<Name>, schema: RelationSchema) {
+        self.schemas.insert((db.into(), rel.into()), schema);
+    }
+
+    /// Removes a declaration.
+    pub fn undeclare(&mut self, db: &str, rel: &str) -> bool {
+        self.schemas.remove(&(Name::new(db), Name::new(rel))).is_some()
+    }
+
+    /// The declaration for a relation, if any.
+    pub fn get(&self, db: &str, rel: &str) -> Option<&RelationSchema> {
+        self.schemas.get(&(Name::new(db), Name::new(rel)))
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether no schema is declared.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates declarations.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Name, Name), &RelationSchema)> {
+        self.schemas.iter()
+    }
+
+    /// Checks every declared relation against the store's current
+    /// contents, returning all violations (empty = consistent).
+    pub fn check(&self, store: &Store) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for ((db, rel), schema) in &self.schemas {
+            self.check_relation(store, db, rel, schema, &mut out);
+        }
+        out
+    }
+
+    fn check_relation(
+        &self,
+        store: &Store,
+        db: &Name,
+        rel: &Name,
+        schema: &RelationSchema,
+        out: &mut Vec<Violation>,
+    ) {
+        let violation = |message: String| Violation { db: db.clone(), rel: rel.clone(), message };
+        let set = match store.relation(db.as_str(), rel.as_str()) {
+            Ok(s) => s,
+            Err(_) => return, // declared but absent: vacuously consistent
+        };
+        // keys
+        if !schema.key.is_empty() {
+            let mut seen: BTreeSet<Vec<&Value>> = BTreeSet::new();
+            for t in set.iter() {
+                let Some(tuple) = t.as_tuple() else { continue };
+                let mut kv = Vec::with_capacity(schema.key.len());
+                let mut complete = true;
+                for k in &schema.key {
+                    match tuple.get(k.as_str()) {
+                        Some(v) if !v.is_null() => kv.push(v),
+                        _ => {
+                            out.push(violation(format!(
+                                "tuple {t} misses key attribute .{k}"
+                            )));
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if complete && !seen.insert(kv) {
+                    out.push(violation(format!("duplicate key in tuple {t}")));
+                }
+            }
+        }
+        // attribute types
+        for t in set.iter() {
+            let Some(tuple) = t.as_tuple() else {
+                out.push(violation(format!("non-tuple element {t}")));
+                continue;
+            };
+            for (attr, decl) in &schema.attrs {
+                match tuple.get(attr.as_str()) {
+                    Some(v) if decl.ty.admits(v) => {}
+                    Some(v) if v.is_null() && decl.nullable => {}
+                    Some(v) => out.push(violation(format!(
+                        "attribute .{attr} of {t} is {v}, expected {}",
+                        decl.ty.name()
+                    ))),
+                    None if decl.nullable => {}
+                    None => out.push(violation(format!(
+                        "tuple {t} misses required attribute .{attr}"
+                    ))),
+                }
+            }
+        }
+        // foreign keys
+        for fk in &schema.foreign_keys {
+            let Ok(target) = store.relation(fk.ref_db.as_str(), fk.ref_rel.as_str()) else {
+                out.push(violation(format!(
+                    "foreign key references missing relation {}.{}",
+                    fk.ref_db, fk.ref_rel
+                )));
+                continue;
+            };
+            let referenced: BTreeSet<Vec<&Value>> = target
+                .iter()
+                .filter_map(|t| {
+                    let tuple = t.as_tuple()?;
+                    fk.ref_attrs
+                        .iter()
+                        .map(|a| tuple.get(a.as_str()))
+                        .collect::<Option<Vec<_>>>()
+                })
+                .collect();
+            for t in set.iter() {
+                let Some(tuple) = t.as_tuple() else { continue };
+                let Some(local): Option<Vec<&Value>> = fk
+                    .local
+                    .iter()
+                    .map(|a| tuple.get(a.as_str()).filter(|v| !v.is_null()))
+                    .collect()
+                else {
+                    continue; // absent/null FK attributes: not referencing
+                };
+                if !referenced.contains(&local) {
+                    out.push(violation(format!(
+                        "tuple {t} references missing {}.{} row",
+                        fk.ref_db, fk.ref_rel
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the queryable system-catalog universe fragment for a store: a
+/// database `sys` with relations describing databases, relations,
+/// attributes-in-use, declared keys and declared types — so metadata is
+/// reachable by ordinary (higher-order) IDL queries, closing the loop the
+/// paper opens: data and metadata in one query language.
+pub fn sys_catalog(store: &Store, schemas: &SchemaSet) -> StorageResult<Value> {
+    use idl_object::{SetObj, TupleObj};
+    let mut databases = SetObj::new();
+    let mut relations = SetObj::new();
+    let mut attributes = SetObj::new();
+    for db in store.database_names() {
+        if db.as_str() == "sys" {
+            continue; // the catalog does not describe itself
+        }
+        let mut t = TupleObj::new();
+        t.insert("name", Value::from(db.clone()));
+        databases.insert(Value::Tuple(t));
+        for rel in store.relation_names(db.as_str())? {
+            let set = store.relation(db.as_str(), rel.as_str())?;
+            let mut t = TupleObj::new();
+            t.insert("db", Value::from(db.clone()));
+            t.insert("rel", Value::from(rel.clone()));
+            t.insert("card", Value::int(set.len() as i64));
+            relations.insert(Value::Tuple(t));
+            let stats = store.stats(db.as_str(), rel.as_str())?;
+            for (attr, a) in &stats.attrs {
+                let mut t = TupleObj::new();
+                t.insert("db", Value::from(db.clone()));
+                t.insert("rel", Value::from(rel.clone()));
+                t.insert("attr", Value::from(attr.clone()));
+                t.insert("occurrences", Value::int(a.occurrences as i64));
+                t.insert("distinct", Value::int(a.distinct as i64));
+                attributes.insert(Value::Tuple(t));
+            }
+        }
+    }
+    let mut keys = SetObj::new();
+    let mut types = SetObj::new();
+    for ((db, rel), schema) in schemas.iter() {
+        for (pos, k) in schema.key.iter().enumerate() {
+            let mut t = TupleObj::new();
+            t.insert("db", Value::from(db.clone()));
+            t.insert("rel", Value::from(rel.clone()));
+            t.insert("attr", Value::from(k.clone()));
+            t.insert("pos", Value::int(pos as i64));
+            keys.insert(Value::Tuple(t));
+        }
+        for (attr, decl) in &schema.attrs {
+            let mut t = TupleObj::new();
+            t.insert("db", Value::from(db.clone()));
+            t.insert("rel", Value::from(rel.clone()));
+            t.insert("attr", Value::from(attr.clone()));
+            t.insert("type", Value::str(decl.ty.name()));
+            t.insert("nullable", Value::bool(decl.nullable));
+            types.insert(Value::Tuple(t));
+        }
+    }
+    let mut sys = TupleObj::new();
+    sys.insert("databases", Value::Set(databases));
+    sys.insert("relations", Value::Set(relations));
+    sys.insert("attributes", Value::Set(attributes));
+    sys.insert("keys", Value::Set(keys));
+    sys.insert("types", Value::Set(types));
+    Ok(Value::Tuple(sys))
+}
+
+/// Installs / refreshes the `sys` database inside the store.
+pub fn install_sys_catalog(store: &mut Store, schemas: &SchemaSet) -> StorageResult<()> {
+    let sys = sys_catalog(store, schemas)?;
+    store.mutate(crate::journal::ChangeScope::Database { db: Name::new("sys") }, |u| {
+        u.as_tuple_mut()
+            .ok_or_else(|| StorageError::ShapeViolation("universe must be a tuple".into()))
+            .map(|t| {
+                t.insert("sys", sys);
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::tuple;
+
+    fn stock_schema() -> RelationSchema {
+        RelationSchema {
+            key: vec![Name::new("date"), Name::new("stkCode")],
+            attrs: [
+                (Name::new("date"), AttrDecl { ty: TypeTag::Date, nullable: false }),
+                (Name::new("stkCode"), AttrDecl { ty: TypeTag::Str, nullable: false }),
+                (Name::new("clsPrice"), AttrDecl { ty: TypeTag::Number, nullable: true }),
+            ]
+            .into_iter()
+            .collect(),
+            foreign_keys: vec![],
+        }
+    }
+
+    fn store() -> Store {
+        Store::from_universe(idl_object::universe::stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/4/85", "hp", 62.0),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn consistent_store_has_no_violations() {
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        assert!(schemas.check(&store()).is_empty());
+    }
+
+    #[test]
+    fn key_violations_detected() {
+        let mut s = store();
+        // same (date, stkCode), different price → duplicate key
+        s.insert(
+            "euter",
+            "r",
+            tuple! { date: Value::date("3/3/85".parse().unwrap()), stkCode: "hp", clsPrice: 51.0 },
+        )
+        .unwrap();
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        let v = schemas.check(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("duplicate key"));
+    }
+
+    #[test]
+    fn missing_key_attribute_detected() {
+        let mut s = store();
+        s.insert("euter", "r", tuple! { clsPrice: 1.0 }).unwrap();
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        let v = schemas.check(&s);
+        assert!(v.iter().any(|v| v.message.contains("misses key attribute")));
+    }
+
+    #[test]
+    fn type_violations_detected() {
+        let mut s = store();
+        s.insert(
+            "euter",
+            "r",
+            tuple! { date: Value::date("3/5/85".parse().unwrap()), stkCode: "x", clsPrice: "not a price" },
+        )
+        .unwrap();
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        let v = schemas.check(&s);
+        assert!(v.iter().any(|v| v.message.contains("expected number")), "{v:?}");
+    }
+
+    #[test]
+    fn nullable_allows_null_and_absent() {
+        let mut s = store();
+        s.insert(
+            "euter",
+            "r",
+            tuple! { date: Value::date("3/6/85".parse().unwrap()), stkCode: "y", clsPrice: Value::null() },
+        )
+        .unwrap();
+        s.insert(
+            "euter",
+            "r",
+            tuple! { date: Value::date("3/7/85".parse().unwrap()), stkCode: "z" },
+        )
+        .unwrap();
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        assert!(schemas.check(&s).is_empty());
+    }
+
+    #[test]
+    fn foreign_keys_checked() {
+        let mut s = Store::new();
+        s.insert("hr", "dept", tuple! { dno: 1i64 }).unwrap();
+        s.insert("hr", "emp", tuple! { name: "a", dno: 1i64 }).unwrap();
+        s.insert("hr", "emp", tuple! { name: "b", dno: 9i64 }).unwrap();
+        let mut schemas = SchemaSet::new();
+        schemas.declare(
+            "hr",
+            "emp",
+            RelationSchema {
+                key: vec![Name::new("name")],
+                attrs: BTreeMap::new(),
+                foreign_keys: vec![ForeignKey {
+                    local: vec![Name::new("dno")],
+                    ref_db: Name::new("hr"),
+                    ref_rel: Name::new("dept"),
+                    ref_attrs: vec![Name::new("dno")],
+                }],
+            },
+        );
+        let v = schemas.check(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("references missing"));
+    }
+
+    #[test]
+    fn sys_catalog_describes_the_universe() {
+        let s = store();
+        let mut schemas = SchemaSet::new();
+        schemas.declare("euter", "r", stock_schema());
+        let sys = sys_catalog(&s, &schemas).unwrap();
+        let rels = sys.attr("relations").unwrap().as_set().unwrap();
+        assert_eq!(rels.len(), 3, "r in euter and chwab, hp in ource: {rels:?}");
+        let keys = sys.attr("keys").unwrap().as_set().unwrap();
+        assert_eq!(keys.len(), 2, "two key attributes declared");
+        let attrs = sys.attr("attributes").unwrap().as_set().unwrap();
+        assert!(attrs.len() >= 5);
+    }
+
+    #[test]
+    fn install_and_query_sys() {
+        let mut s = store();
+        let schemas = SchemaSet::new();
+        install_sys_catalog(&mut s, &schemas).unwrap();
+        assert!(s.has_database("sys"));
+        assert!(s.relation("sys", "relations").unwrap().len() >= 3);
+        // refresh reflects changes
+        s.insert("newdb", "newrel", tuple! { a: 1i64 }).unwrap();
+        install_sys_catalog(&mut s, &schemas).unwrap();
+        let rels = s.relation("sys", "relations").unwrap();
+        assert!(rels.iter().any(|t| t.attr("db") == Some(&Value::str("newdb"))));
+    }
+}

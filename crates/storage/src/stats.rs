@@ -1,0 +1,103 @@
+//! Per-relation statistics for the evaluator's planner.
+
+use idl_object::{Name, SetObj, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary statistics of one relation, computed from its current contents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelStats {
+    /// Number of tuples (distinct, since relations are sets).
+    pub cardinality: usize,
+    /// Per attribute: in how many tuples it occurs, and how many distinct
+    /// values it takes. Heterogeneous relations make the occurrence count
+    /// meaningful (≤ cardinality).
+    pub attrs: BTreeMap<Name, AttrStats>,
+}
+
+/// Statistics of one attribute within a relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttrStats {
+    /// Tuples in which the attribute occurs.
+    pub occurrences: usize,
+    /// Distinct values over those occurrences.
+    pub distinct: usize,
+}
+
+impl RelStats {
+    /// Computes statistics by a single pass over the relation.
+    pub fn compute(rel: &SetObj) -> RelStats {
+        let mut attrs: BTreeMap<Name, (usize, BTreeSet<&Value>)> = BTreeMap::new();
+        for t in rel.iter() {
+            if let Some(t) = t.as_tuple() {
+                for (k, v) in t.iter() {
+                    let e = attrs.entry(k.clone()).or_default();
+                    e.0 += 1;
+                    e.1.insert(v);
+                }
+            }
+        }
+        RelStats {
+            cardinality: rel.len(),
+            attrs: attrs
+                .into_iter()
+                .map(|(k, (occ, dv))| {
+                    (k, AttrStats { occurrences: occ, distinct: dv.len() })
+                })
+                .collect(),
+        }
+    }
+
+    /// Estimated selectivity of an equality probe on `attr`: expected
+    /// fraction of tuples matched. Falls back to 1.0 for unknown attributes
+    /// (no pruning assumed).
+    pub fn eq_selectivity(&self, attr: &str) -> f64 {
+        match self.attrs.get(attr) {
+            Some(a) if a.distinct > 0 && self.cardinality > 0 => {
+                (a.occurrences as f64 / a.distinct as f64) / self.cardinality as f64
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::tuple;
+
+    #[test]
+    fn compute_counts() {
+        let mut s = SetObj::new();
+        s.insert(tuple! { a: 1i64, b: "x" });
+        s.insert(tuple! { a: 2i64, b: "x" });
+        s.insert(tuple! { a: 2i64 }); // heterogeneous: no b
+        let st = RelStats::compute(&s);
+        assert_eq!(st.cardinality, 3);
+        assert_eq!(st.attrs["a"], AttrStats { occurrences: 3, distinct: 2 });
+        assert_eq!(st.attrs["b"], AttrStats { occurrences: 2, distinct: 1 });
+    }
+
+    #[test]
+    fn selectivity() {
+        let mut s = SetObj::new();
+        for i in 0..100i64 {
+            s.insert(tuple! { id: i, grp: i % 4 });
+        }
+        let st = RelStats::compute(&s);
+        let sel_id = st.eq_selectivity("id");
+        let sel_grp = st.eq_selectivity("grp");
+        assert!(sel_id < sel_grp, "unique attr is more selective");
+        assert!((sel_id - 0.01).abs() < 1e-9);
+        assert_eq!(st.eq_selectivity("missing"), 1.0);
+    }
+
+    #[test]
+    fn non_tuple_elements_ignored() {
+        let mut s = SetObj::new();
+        s.insert(Value::int(5));
+        s.insert(tuple! { a: 1i64 });
+        let st = RelStats::compute(&s);
+        assert_eq!(st.cardinality, 2);
+        assert_eq!(st.attrs.len(), 1);
+    }
+}

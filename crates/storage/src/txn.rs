@@ -1,0 +1,73 @@
+//! Transaction guard utilities.
+//!
+//! [`crate::Store`] exposes `begin`/`commit`/`rollback` directly;
+//! this module adds an RAII guard that rolls back on drop unless committed,
+//! which the engine uses to make multi-expression update requests (§5.1)
+//! atomic: *"?exp₁, …, expₖ"* either applies all its update expressions or
+//! none (e.g. when a later item fails a binding-signature check).
+
+use crate::store::Store;
+
+/// RAII transaction guard: rolls back on drop unless [`TxnGuard::commit`]
+/// was called.
+pub struct TxnGuard<'s> {
+    store: Option<&'s mut Store>,
+}
+
+impl<'s> TxnGuard<'s> {
+    /// Opens a transaction on the store.
+    pub fn begin(store: &'s mut Store) -> Self {
+        store.begin();
+        TxnGuard { store: Some(store) }
+    }
+
+    /// Access to the underlying store while the guard is open.
+    pub fn store(&mut self) -> &mut Store {
+        self.store.as_deref_mut().expect("guard is open")
+    }
+
+    /// Commits and disarms the guard.
+    pub fn commit(mut self) {
+        if let Some(s) = self.store.take() {
+            s.commit().expect("guard opened the transaction");
+        }
+    }
+}
+
+impl Drop for TxnGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.store.take() {
+            s.rollback().expect("guard opened the transaction");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl_object::tuple;
+
+    #[test]
+    fn drop_rolls_back() {
+        let mut s = Store::new();
+        s.insert("db", "r", tuple! { a: 1i64 }).unwrap();
+        {
+            let mut g = TxnGuard::begin(&mut s);
+            g.store().insert("db", "r", tuple! { a: 2i64 }).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(s.relation("db", "r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut s = Store::new();
+        {
+            let mut g = TxnGuard::begin(&mut s);
+            g.store().insert("db", "r", tuple! { a: 2i64 }).unwrap();
+            g.commit();
+        }
+        assert_eq!(s.relation("db", "r").unwrap().len(), 1);
+        assert!(!s.in_txn());
+    }
+}

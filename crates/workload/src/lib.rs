@@ -1,0 +1,25 @@
+//! # `idl-workload` — deterministic workload generators
+//!
+//! The paper evaluates nothing empirically; this crate generates the
+//! synthetic multidatabase universes the reproduction's experiments and
+//! benchmarks run on (DESIGN.md §2's substitution for the vendors' stock
+//! feeds). Everything is seeded and deterministic: the same configuration
+//! always produces the same universe, so benchmark runs are comparable and
+//! property tests are reproducible.
+//!
+//! * [`stock`] — the paper's three-schema stock market at configurable
+//!   scale (#stocks × #days), with optional value discrepancies between
+//!   sources (§6's `pnew`) and cross-database name mappings (`mapCE` /
+//!   `mapOE`).
+//! * [`empdept`] — the §2 `emp`/`dept` universe used by the view-update
+//!   discussion.
+//! * [`random`] — random nested objects and universes for property-based
+//!   tests.
+
+#![warn(missing_docs)]
+
+pub mod empdept;
+pub mod random;
+pub mod stock;
+
+pub use stock::{Quote, StockConfig, StockUniverse};

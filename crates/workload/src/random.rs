@@ -1,0 +1,142 @@
+//! Random object / universe generation for property tests.
+//!
+//! Plain seeded generators (not proptest strategies) so they can be used
+//! from benches too; the root test-suite wraps them in proptest via
+//! seed-driven strategies.
+
+use idl_object::{SetObj, TupleObj, Value};
+use idl_storage::Store;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape bounds for random objects.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Maximum children per tuple or set node.
+    pub max_width: usize,
+    /// Number of databases in a random universe.
+    pub databases: usize,
+    /// Relations per database.
+    pub relations: usize,
+    /// Tuples per relation.
+    pub tuples: usize,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { max_depth: 3, max_width: 4, databases: 3, relations: 3, tuples: 8 }
+    }
+}
+
+const ATTR_POOL: &[&str] = &["a", "b", "c", "d", "e", "k", "v", "x", "y", "z"];
+
+/// A random atom (never null — null atoms satisfy nothing, which makes
+/// differential tests vacuous).
+pub fn random_atom(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..4) {
+        0 => Value::int(rng.gen_range(-50i64..50)),
+        1 => Value::float((rng.gen_range(-500i64..500) as f64) / 10.0),
+        2 => Value::str(ATTR_POOL[rng.gen_range(0..ATTR_POOL.len())]),
+        _ => Value::bool(rng.gen()),
+    }
+}
+
+/// A random object of bounded depth/width.
+pub fn random_value(rng: &mut StdRng, depth: usize, width: usize) -> Value {
+    if depth == 0 {
+        return random_atom(rng);
+    }
+    match rng.gen_range(0..3) {
+        0 => random_atom(rng),
+        1 => {
+            let mut t = TupleObj::new();
+            for _ in 0..rng.gen_range(0..=width) {
+                let attr = ATTR_POOL[rng.gen_range(0..ATTR_POOL.len())];
+                t.insert(attr, random_value(rng, depth - 1, width));
+            }
+            Value::Tuple(t)
+        }
+        _ => {
+            let mut s = SetObj::new();
+            for _ in 0..rng.gen_range(0..=width) {
+                s.insert(random_value(rng, depth - 1, width));
+            }
+            Value::Set(s)
+        }
+    }
+}
+
+/// A random *flat-ish* relation tuple: atoms under the pooled attributes,
+/// with occasional missing attributes (heterogeneous sets) and occasional
+/// nested values.
+pub fn random_relation_tuple(rng: &mut StdRng, cfg: &RandomConfig) -> Value {
+    let mut t = TupleObj::new();
+    for attr in ATTR_POOL.iter().take(4) {
+        match rng.gen_range(0..10) {
+            0 => {} // attribute absent: varying arity
+            1 => {
+                t.insert(*attr, random_value(rng, cfg.max_depth.saturating_sub(1), 2));
+            }
+            _ => {
+                t.insert(*attr, random_atom(rng));
+            }
+        }
+    }
+    Value::Tuple(t)
+}
+
+/// A random universe with catalog-conforming shape.
+pub fn random_universe(seed: u64, cfg: &RandomConfig) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut u = TupleObj::new();
+    for d in 0..cfg.databases {
+        let mut db = TupleObj::new();
+        for r in 0..cfg.relations {
+            let mut rel = SetObj::new();
+            for _ in 0..rng.gen_range(0..=cfg.tuples) {
+                rel.insert(random_relation_tuple(&mut rng, cfg));
+            }
+            db.insert(format!("r{r}"), Value::Set(rel));
+        }
+        u.insert(format!("db{d}"), Value::Tuple(db));
+    }
+    Value::Tuple(u)
+}
+
+/// A random store.
+pub fn random_store(seed: u64, cfg: &RandomConfig) -> Store {
+    Store::from_universe(random_universe(seed, cfg)).expect("universe is a tuple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = RandomConfig::default();
+        assert_eq!(random_universe(9, &cfg), random_universe(9, &cfg));
+        assert_ne!(random_universe(9, &cfg), random_universe(10, &cfg));
+    }
+
+    #[test]
+    fn respects_catalog_shape() {
+        let cfg = RandomConfig::default();
+        let store = random_store(3, &cfg);
+        assert_eq!(store.database_names().len(), cfg.databases);
+        for db in store.database_names() {
+            assert_eq!(store.relation_names(db.as_str()).unwrap().len(), cfg.relations);
+        }
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = random_value(&mut rng, 3, 3);
+            assert!(v.depth() <= 4);
+        }
+    }
+}

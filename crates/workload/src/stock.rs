@@ -1,0 +1,348 @@
+//! Scalable three-schema stock universes.
+
+use idl_object::{Date, Name, TupleObj, Value};
+use idl_storage::Store;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One closing quote.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Quote {
+    /// Trading day.
+    pub date: Date,
+    /// Stock code (euter's naming).
+    pub stock: String,
+    /// Closing price.
+    pub price: f64,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct StockConfig {
+    /// Number of distinct stocks.
+    pub stocks: usize,
+    /// Number of consecutive trading days.
+    pub days: usize,
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// First trading day.
+    pub start: Date,
+    /// Mean initial price.
+    pub base_price: f64,
+    /// Per-day multiplicative volatility (e.g. 0.02 = ±2%).
+    pub volatility: f64,
+    /// Fraction of quotes whose `ource` copy disagrees with `euter`
+    /// (value discrepancies for the `pnew` reconciliation experiment).
+    pub discrepancy_rate: f64,
+    /// Use per-database stock code aliases (`hp` / `c_hp` / `o_hp`),
+    /// exercising the §6 name-mapping rules.
+    pub name_mapped: bool,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            stocks: 10,
+            days: 30,
+            seed: 42,
+            start: Date::new(1985, 3, 3).expect("valid date"),
+            base_price: 100.0,
+            volatility: 0.02,
+            discrepancy_rate: 0.0,
+            name_mapped: false,
+        }
+    }
+}
+
+impl StockConfig {
+    /// Convenience: `stocks × days` at the default seed.
+    pub fn sized(stocks: usize, days: usize) -> Self {
+        StockConfig { stocks, days, ..Default::default() }
+    }
+
+    /// Total quotes this configuration generates.
+    pub fn quote_count(&self) -> usize {
+        self.stocks * self.days
+    }
+}
+
+/// A generated universe plus its bookkeeping.
+pub struct StockUniverse {
+    /// The quotes, in (stock, date) order.
+    pub quotes: Vec<Quote>,
+    /// The universe tuple holding all three schemata (plus `dbI.mapCE`
+    /// and `dbI.mapOE` when name-mapped).
+    pub universe: Value,
+    /// Per-quote ource price (differs from `quotes` under discrepancies).
+    pub ource_prices: Vec<f64>,
+}
+
+/// Stock code for index `i`: `stk000`, `stk001`, … (euter naming).
+pub fn stock_code(i: usize) -> String {
+    format!("stk{i:03}")
+}
+
+/// chwab alias under name mapping.
+pub fn chwab_code(i: usize) -> String {
+    format!("c_stk{i:03}")
+}
+
+/// ource alias under name mapping.
+pub fn ource_code(i: usize) -> String {
+    format!("o_stk{i:03}")
+}
+
+/// Generates quotes: a geometric random walk per stock.
+pub fn generate_quotes(cfg: &StockConfig) -> Vec<Quote> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.quote_count());
+    for i in 0..cfg.stocks {
+        let mut price = cfg.base_price * (0.5 + rng.gen::<f64>());
+        let code = stock_code(i);
+        for d in 0..cfg.days {
+            let shock = 1.0 + cfg.volatility * (rng.gen::<f64>() * 2.0 - 1.0);
+            price = (price * shock).max(0.01);
+            out.push(Quote {
+                date: cfg.start.plus_days(d as i64),
+                stock: code.clone(),
+                // round to cents for readable experiment output
+                price: (price * 100.0).round() / 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// Builds the full three-schema universe from a configuration.
+pub fn generate(cfg: &StockConfig) -> StockUniverse {
+    let quotes = generate_quotes(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    let ource_prices: Vec<f64> = quotes
+        .iter()
+        .map(|q| {
+            if cfg.discrepancy_rate > 0.0 && rng.gen::<f64>() < cfg.discrepancy_rate {
+                (q.price * 1.01 * 100.0).round() / 100.0
+            } else {
+                q.price
+            }
+        })
+        .collect();
+
+    let mut u = TupleObj::new();
+
+    // euter
+    let mut euter_rel = idl_object::SetObj::new();
+    for q in &quotes {
+        let mut t = TupleObj::new();
+        t.insert("date", Value::date(q.date));
+        t.insert("stkCode", Value::str(&q.stock));
+        t.insert("clsPrice", Value::float(q.price));
+        euter_rel.insert(Value::Tuple(t));
+    }
+    let mut euter = TupleObj::new();
+    euter.insert("r", Value::Set(euter_rel));
+    u.insert("euter", Value::Tuple(euter));
+
+    // chwab: one tuple per date, one attribute per stock
+    let alias_c = |s: &str| -> Name {
+        if cfg.name_mapped {
+            Name::new(format!("c_{s}"))
+        } else {
+            Name::new(s)
+        }
+    };
+    let mut by_date: BTreeMap<Date, TupleObj> = BTreeMap::new();
+    for q in &quotes {
+        let t = by_date.entry(q.date).or_insert_with(|| {
+            let mut t = TupleObj::new();
+            t.insert("date", Value::date(q.date));
+            t
+        });
+        t.insert(alias_c(&q.stock), Value::float(q.price));
+    }
+    let mut chwab_rel = idl_object::SetObj::new();
+    for (_d, t) in by_date {
+        chwab_rel.insert(Value::Tuple(t));
+    }
+    let mut chwab = TupleObj::new();
+    chwab.insert("r", Value::Set(chwab_rel));
+    u.insert("chwab", Value::Tuple(chwab));
+
+    // ource: one relation per stock
+    let alias_o = |s: &str| -> Name {
+        if cfg.name_mapped {
+            Name::new(format!("o_{s}"))
+        } else {
+            Name::new(s)
+        }
+    };
+    let mut ource = TupleObj::new();
+    for (q, op) in quotes.iter().zip(&ource_prices) {
+        let rel = ource.get_or_insert_with(alias_o(&q.stock), Value::empty_set);
+        let mut t = TupleObj::new();
+        t.insert("date", Value::date(q.date));
+        t.insert("clsPrice", Value::float(*op));
+        rel.as_set_mut().expect("relation is a set").insert(Value::Tuple(t));
+    }
+    u.insert("ource", Value::Tuple(ource));
+
+    // name mappings
+    if cfg.name_mapped {
+        let mut map_ce = idl_object::SetObj::new();
+        let mut map_oe = idl_object::SetObj::new();
+        for i in 0..cfg.stocks {
+            let mut t = TupleObj::new();
+            t.insert("c", Value::str(chwab_code(i)));
+            t.insert("e", Value::str(stock_code(i)));
+            map_ce.insert(Value::Tuple(t));
+            let mut t = TupleObj::new();
+            t.insert("o", Value::str(ource_code(i)));
+            t.insert("e", Value::str(stock_code(i)));
+            map_oe.insert(Value::Tuple(t));
+        }
+        let mut maps = TupleObj::new();
+        maps.insert("mapCE", Value::Set(map_ce));
+        maps.insert("mapOE", Value::Set(map_oe));
+        u.insert("dbMaps", Value::Tuple(maps));
+    }
+
+    StockUniverse { quotes, universe: Value::Tuple(u), ource_prices }
+}
+
+/// Builds a [`Store`] directly.
+pub fn generate_store(cfg: &StockConfig) -> Store {
+    Store::from_universe(generate(cfg).universe).expect("generated universe is a tuple")
+}
+
+/// Parallel quote generation for large configurations: stocks are
+/// partitioned across threads (each stock's random walk is seeded
+/// independently from `cfg.seed` and the stock index, so the result is
+/// identical to [`generate_quotes`] regardless of thread count — verified
+/// by test).
+pub fn generate_quotes_parallel(cfg: &StockConfig, threads: usize) -> Vec<Quote> {
+    let threads = threads.max(1).min(cfg.stocks.max(1));
+    let mut out: Vec<Vec<Quote>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut part = Vec::new();
+                let mut i = t;
+                while i < cfg.stocks {
+                    gen_one_stock(&cfg, i, &mut part);
+                    i += threads;
+                }
+                part
+            }));
+        }
+        for h in handles {
+            out.push(h.join().expect("generator thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut quotes: Vec<Quote> = out.into_iter().flatten().collect();
+    quotes.sort_by(|a, b| a.stock.cmp(&b.stock).then(a.date.cmp(&b.date)));
+    quotes
+}
+
+/// One stock's random walk, seeded independently of the others so parallel
+/// and serial generation agree.
+fn gen_one_stock(cfg: &StockConfig, i: usize, out: &mut Vec<Quote>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
+    let mut price = cfg.base_price * (0.5 + rng.gen::<f64>());
+    let code = stock_code(i);
+    for d in 0..cfg.days {
+        let shock = 1.0 + cfg.volatility * (rng.gen::<f64>() * 2.0 - 1.0);
+        price = (price * shock).max(0.01);
+        out.push(Quote {
+            date: cfg.start.plus_days(d as i64),
+            stock: code.clone(),
+            price: (price * 100.0).round() / 100.0,
+        });
+    }
+}
+
+/// The baseline's quote representation.
+pub fn as_baseline_quotes(quotes: &[Quote]) -> Vec<(Date, String, f64)> {
+    quotes.iter().map(|q| (q.date, q.stock.clone(), q.price)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&StockConfig::sized(5, 10));
+        let b = generate(&StockConfig::sized(5, 10));
+        assert_eq!(a.universe, b.universe);
+        assert_eq!(a.quotes.len(), 50);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate(&StockConfig { seed: 1, ..StockConfig::sized(5, 10) });
+        let b = generate(&StockConfig { seed: 2, ..StockConfig::sized(5, 10) });
+        assert_ne!(a.universe, b.universe);
+    }
+
+    #[test]
+    fn three_schemata_align() {
+        let g = generate(&StockConfig::sized(4, 7));
+        let store = Store::from_universe(g.universe).unwrap();
+        assert_eq!(store.relation("euter", "r").unwrap().len(), 28);
+        assert_eq!(store.relation("chwab", "r").unwrap().len(), 7);
+        assert_eq!(store.relation_names("ource").unwrap().len(), 4);
+        for i in 0..4 {
+            assert_eq!(store.relation("ource", &stock_code(i)).unwrap().len(), 7);
+        }
+    }
+
+    #[test]
+    fn discrepancies_injected() {
+        let cfg = StockConfig { discrepancy_rate: 0.5, ..StockConfig::sized(5, 20) };
+        let g = generate(&cfg);
+        let diff = g
+            .quotes
+            .iter()
+            .zip(&g.ource_prices)
+            .filter(|(q, op)| q.price != **op)
+            .count();
+        assert!(diff > 20 && diff < 80, "≈50% of 100 quotes differ: {diff}");
+    }
+
+    #[test]
+    fn name_mapping_aliases() {
+        let cfg = StockConfig { name_mapped: true, ..StockConfig::sized(2, 3) };
+        let g = generate(&cfg);
+        let store = Store::from_universe(g.universe).unwrap();
+        assert!(store.relation("ource", "o_stk000").is_ok());
+        assert!(store.relation("ource", "stk000").is_err());
+        assert_eq!(store.relation("dbMaps", "mapCE").unwrap().len(), 2);
+        let chwab = store.relation("chwab", "r").unwrap();
+        let t = chwab.iter().next().unwrap();
+        assert!(t.attr("c_stk000").is_some());
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_count_invariant() {
+        let cfg = StockConfig::sized(13, 17);
+        let one = generate_quotes_parallel(&cfg, 1);
+        let four = generate_quotes_parallel(&cfg, 4);
+        let many = generate_quotes_parallel(&cfg, 32);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+        assert_eq!(one.len(), 13 * 17);
+    }
+
+    #[test]
+    fn prices_positive_and_rounded() {
+        let g = generate(&StockConfig::sized(3, 50));
+        for q in &g.quotes {
+            assert!(q.price > 0.0);
+            assert_eq!((q.price * 100.0).round() / 100.0, q.price);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the paper's running example in two minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the three schematically discrepant stock databases, asks the
+//! same question of each, unifies them with one view, and updates through
+//! an update program.
+
+use idl::{Engine, EngineError};
+
+fn main() -> Result<(), EngineError> {
+    // 1. Three databases, same facts, three schemata (paper §1):
+    //    euter.r(date, stkCode, clsPrice)   — stocks are DATA
+    //    chwab.r(date, hp, ibm, …)          — stocks are ATTRIBUTES
+    //    ource.hp(date, clsPrice), …        — stocks are RELATIONS
+    let mut engine = Engine::with_stock_universe(vec![
+        ("3/3/85", "hp", 50.0),
+        ("3/3/85", "ibm", 160.0),
+        ("3/4/85", "hp", 62.0),
+        ("3/4/85", "ibm", 155.0),
+        ("3/5/85", "hp", 61.0),
+        ("3/5/85", "ibm", 210.0),
+    ]);
+
+    // 2. "Did any stock ever close above $200?" — one intention, three
+    //    queries; the variable S ranges over data, attribute names, and
+    //    relation names respectively (§4.3).
+    println!("-- higher-order queries --");
+    for q in [
+        "?.euter.r(.stkCode=S, .clsPrice>200)",
+        "?.chwab.r(.S>200)",
+        "?.ource.S(.clsPrice>200)",
+    ] {
+        let answer = engine.query(q)?;
+        println!("{q}\n  => S = {:?}", answer.column("S"));
+    }
+
+    // 3. Metadata browsing: databases, relations, attribute search (§4.3).
+    println!("\n-- metadata browsing --");
+    println!("databases:            {:?}", engine.query("?.X.Y")?.column("X"));
+    println!("relations in ource:   {:?}", engine.query("?.ource.Y")?.column("Y"));
+    println!(
+        "who has a stkCode attr: {:?}.{:?}",
+        engine.query("?.X.Y(.stkCode)")?.column("X"),
+        engine.query("?.X.Y(.stkCode)")?.column("Y")
+    );
+
+    // 4. Database transparency: one unified view over all three (§6),
+    //    plus customized views shaped like each original schema,
+    //    plus the standard update programs (§7).
+    idl::transparency::install_two_level_mapping(&mut engine)?;
+    println!("\n-- unified view --");
+    let a = engine.query("?.dbI.p(.stk=S, .date=D, .clsPrice>200)")?;
+    println!("?.dbI.p(.clsPrice>200) => {a}");
+
+    // 5. dbO is a *higher-order view*: one derived relation per stock.
+    println!("\n-- higher-order view dbO --");
+    println!("dbO relations: {:?}", engine.query("?.dbO.Y")?.column("Y"));
+
+    // 6. Update through an update program: one logical insert, three
+    //    physical inserts — row, attribute, and relation (§7.1).
+    println!("\n-- update programs --");
+    engine.update("?.dbU.insStk(.stk=sun, .date=3/5/85, .price=34)")?;
+    println!("after insStk(sun):");
+    println!("  euter row:      {}", engine.query("?.euter.r(.stkCode=sun)")?.is_true());
+    println!("  chwab attribute: {}", engine.query("?.chwab.r(.sun=P)")?.is_true());
+    println!("  ource relation:  {}", engine.query("?.ource.sun(.clsPrice=34)")?.is_true());
+    println!("  dbO relation:    {}", engine.query("?.dbO.sun(.clsPrice=34)")?.is_true());
+
+    // 7. And a view update, routed through the administrator's program.
+    engine.update("?.dbE.r+(.date=3/6/85, .stkCode=dec, .clsPrice=80)")?;
+    println!("\nview insert via .dbE.r+ routed to all bases: ource.dec = {}",
+        engine.query("?.ource.dec(.clsPrice=80)")?.is_true());
+
+    Ok(())
+}

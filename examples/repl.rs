@@ -1,0 +1,123 @@
+//! An interactive IDL shell.
+//!
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Starts with the paper's miniature stock universe loaded. Type IDL
+//! statements (queries `?…`, rules `head <- body`, update programs
+//! `head -> body`); terminate each with `;` or a newline. Meta-commands:
+//!
+//! * `:help` — summary
+//! * `:schema` — show the catalog
+//! * `:mapping` — install the paper's full two-level mapping
+//! * `:analyze <request>` — run binding analysis without executing
+//! * `:quit`
+
+use idl::{Engine, Outcome};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut engine = Engine::with_stock_universe(vec![
+        ("3/3/85", "hp", 50.0),
+        ("3/3/85", "ibm", 160.0),
+        ("3/4/85", "hp", 62.0),
+        ("3/4/85", "ibm", 155.0),
+        ("3/5/85", "hp", 61.0),
+        ("3/5/85", "ibm", 210.0),
+    ]);
+
+    println!("IDL shell — paper stock universe loaded (:help for commands)");
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("idl> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" => break,
+            ":help" => {
+                println!("  ?.euter.r(.stkCode=S, .clsPrice>200)   query");
+                println!("  ?.euter.r+(.date=3/6/85,.stkCode=x,.clsPrice=1)   update");
+                println!("  .dbI.p(.stk=S) <- .euter.r(.stkCode=S)   view rule");
+                println!("  .dbU.del(.stk=S) -> .euter.r-(.stkCode=S)   update program");
+                println!("  SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200   (sugar)");
+                println!("  :schema  :mapping  :analyze <request>  :quit");
+            }
+            ":schema" => {
+                for db in engine.store().database_names() {
+                    let rels = engine
+                        .store()
+                        .relation_names(db.as_str())
+                        .unwrap_or_default();
+                    let marks: Vec<String> = rels
+                        .iter()
+                        .map(|r| {
+                            let n = engine
+                                .store()
+                                .relation(db.as_str(), r.as_str())
+                                .map(|s| s.len())
+                                .unwrap_or(0);
+                            format!("{r}({n})")
+                        })
+                        .collect();
+                    let derived = if engine.derived_catalog().touches_db(db.as_str()) {
+                        "  [derived]"
+                    } else {
+                        ""
+                    };
+                    println!("  {db}: {}{derived}", marks.join(", "));
+                }
+            }
+            ":mapping" => match idl::transparency::install_two_level_mapping(&mut engine) {
+                Ok(()) => println!("  installed dbI + dbE/dbC/dbO + update programs"),
+                Err(e) => println!("  error: {e}"),
+            },
+            _ if line.to_ascii_lowercase().starts_with("select")
+                || line.to_ascii_lowercase().starts_with("insert")
+                || line.to_ascii_lowercase().starts_with("delete") =>
+            {
+                match engine.execute_sql(line) {
+                    Ok(o) => println!("{o}"),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            _ if line.starts_with(":analyze") => {
+                let src = line.trim_start_matches(":analyze").trim();
+                match engine.analyze(src) {
+                    Ok(issues) if issues.is_empty() => println!("  no binding issues"),
+                    Ok(issues) => {
+                        for i in issues {
+                            println!("  warning: {i}");
+                        }
+                    }
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            src => match engine.execute(src) {
+                Ok(outcomes) => {
+                    for o in outcomes {
+                        match o {
+                            Outcome::Answers { .. } => println!("{o}"),
+                            other => println!("  {other}"),
+                        }
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,99 @@
+//! Stock-market integration at scale: the motivating scenario of §1 with a
+//! generated workload — value discrepancies between vendors, name-mapped
+//! stock codes, reconciliation, and cross-database analytics.
+//!
+//! ```text
+//! cargo run --example stock_integration
+//! ```
+
+use idl::{Engine, EngineError, Value};
+use idl_workload::stock::{generate, StockConfig};
+
+fn main() -> Result<(), EngineError> {
+    // A universe where the three vendors disagree: 10% of ource's quotes
+    // differ from euter's, and each vendor uses its own stock codes.
+    let cfg = StockConfig {
+        stocks: 12,
+        days: 60,
+        seed: 2026,
+        discrepancy_rate: 0.10,
+        name_mapped: true,
+        ..StockConfig::default()
+    };
+    let generated = generate(&cfg);
+    let mut engine = Engine::from_universe(generated.universe)?;
+
+    println!(
+        "universe: {} stocks x {} days, {} quotes per vendor, name-mapped codes",
+        cfg.stocks,
+        cfg.days,
+        cfg.quote_count()
+    );
+
+    // The name-mapped unified view (§6's final example): mapCE / mapOE
+    // translate chwab's `c_*` and ource's `o_*` codes to euter's.
+    engine.add_rules(
+        "
+        .dbI.p(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+        .dbI.p(.date=D,.stk=E,.clsPrice=P) <- .dbMaps.mapCE(.c=S,.e=E), .chwab.r(.date=D,.S=P) ;
+        .dbI.p(.date=D,.stk=E,.clsPrice=P) <- .dbMaps.mapOE(.o=S,.e=E), .ource.S(.date=D,.clsPrice=P) ;
+        ",
+    )?;
+
+    // Discrepancy report: (stock, date) pairs where vendors disagree —
+    // two distinct prices under the same unified key.
+    engine.add_rules(
+        "
+        .dbI.conflict(.stk=S, .date=D, .a=P1, .b=P2) <-
+            .dbI.p(.date=D,.stk=S,.clsPrice=P1),
+            .dbI.p(.date=D,.stk=S,.clsPrice=P2),
+            P1 < P2 ;
+        ",
+    )?;
+    let conflicts = engine.query("?.dbI.conflict(.stk=S,.date=D,.a=A,.b=B)")?;
+    println!("\nvendor discrepancies detected: {}", conflicts.len());
+    for s in conflicts.iter().take(5) {
+        println!("  {s}");
+    }
+
+    // Reconciliation (pnew): euter wins where it has a quote.
+    engine.add_rules(
+        "
+        .dbI.pnew(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+        .dbI.pnew(.date=D,.stk=S,.clsPrice=P) <-
+            .dbI.p(.date=D,.stk=S,.clsPrice=P), .euter.r¬(.date=D,.stkCode=S) ;
+        ",
+    )?;
+    let p = engine.query("?.dbI.p(.stk=stk000,.date=D,.clsPrice=P)")?;
+    let pnew = engine.query("?.dbI.pnew(.stk=stk000,.date=D,.clsPrice=P)")?;
+    println!(
+        "\nstk000: unified view has {} (date,price) pairs, reconciled view has {}",
+        p.len(),
+        pnew.len()
+    );
+
+    // Analytics over the reconciled view: all-time high per stock, the
+    // paper's negation idiom, for a few stocks.
+    println!("\nall-time highs (via ¬ exists-higher):");
+    for i in 0..4 {
+        let stk = format!("stk{i:03}");
+        let q = format!(
+            "?.dbI.pnew(.stk={stk},.clsPrice=P,.date=D), .dbI.pnew¬(.stk={stk},.clsPrice>P)"
+        );
+        let a = engine.query(&q)?;
+        println!("  {stk}: high = {:?} on {:?}", a.column("P"), a.column("D"));
+    }
+
+    // Cross-vendor audit: stocks quoted above a threshold *anywhere*,
+    // asked directly against the raw (name-mapped!) schemata.
+    let t = 160.0;
+    let mut offenders: Vec<Value> = Vec::new();
+    offenders.extend(engine.query(&format!("?.euter.r(.stkCode=S,.clsPrice>{t})"))?.column("S"));
+    offenders.extend(engine.query(&format!("?.chwab.r(.S>{t})"))?.column("S"));
+    offenders.extend(engine.query(&format!("?.ource.S(.clsPrice>{t})"))?.column("S"));
+    offenders.sort();
+    offenders.dedup();
+    println!("\nstocks above {t} in any vendor's coding: {offenders:?}");
+
+    Ok(())
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Collects Criterion medians from target/criterion into a flat table.
+
+Used to fill EXPERIMENTS.md after `cargo bench`:
+
+    python3 scripts/collect_bench.py
+"""
+import glob
+import json
+
+
+def fmt(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.0f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.1f} µs"
+    return f"{ns / 1e6:.2f} ms"
+
+
+def main() -> None:
+    rows = {}
+    for est in glob.glob("target/criterion/**/new/estimates.json", recursive=True):
+        parts = est.split("/")
+        label = "/".join(parts[2:-2])
+        with open(est) as f:
+            rows[label] = json.load(f)["median"]["point_estimate"]
+    for label in sorted(rows):
+        print(f"{label:68s} {fmt(rows[label])}")
+
+
+if __name__ == "__main__":
+    main()

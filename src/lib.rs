@@ -1,0 +1,13 @@
+//! Umbrella crate for the IDL reproduction workspace.
+//!
+//! This crate exists to host the top-level `examples/` and `tests/`
+//! directories; all functionality lives in the `crates/*` members and is
+//! re-exported here for convenience.
+
+pub use idl as engine;
+pub use idl_baseline as baseline;
+pub use idl_eval as eval;
+pub use idl_lang as lang;
+pub use idl_object as object;
+pub use idl_storage as storage;
+pub use idl_workload as workload;

@@ -1,0 +1,109 @@
+//! Experiment E8: the first-order inexpressibility demonstration
+//! (DESIGN.md; paper §1–§2), plus differential agreement between the IDL
+//! engine and the first-order baseline on queries both can express.
+
+use idl::{Engine, Value};
+use idl_baseline::datalog::{FoCmp, FoLiteral, FoQuery, FoTerm};
+use idl_baseline::encode::{encode, fo_above_query, run_above_binding, Schema};
+use idl_baseline::msql::Broadcast;
+use idl_object::Date;
+use idl_repro as _;
+use idl_workload::stock::{as_baseline_quotes, generate, generate_quotes, StockConfig};
+
+fn d(s: &str) -> Date {
+    s.parse().unwrap()
+}
+
+#[test]
+fn e8_fo_program_is_schema_state_dependent() {
+    let q1 = vec![(d("3/3/85"), "hp".to_string(), 50.0), (d("3/5/85"), "ibm".to_string(), 210.0)];
+    let mut q2 = q1.clone();
+    q2.push((d("3/6/85"), "sun".to_string(), 300.0));
+
+    // euter: fixed program
+    assert!(fo_above_query(Schema::Euter, &q1, 200.0).hardcoded.is_empty());
+    assert_eq!(
+        fo_above_query(Schema::Euter, &q1, 200.0).disjuncts.len(),
+        fo_above_query(Schema::Euter, &q2, 200.0).disjuncts.len()
+    );
+
+    // chwab/ource: program grows with the data
+    for schema in [Schema::Chwab, Schema::Ource] {
+        let p1 = fo_above_query(schema, &q1, 200.0);
+        let p2 = fo_above_query(schema, &q2, 200.0);
+        assert!(p2.disjuncts.len() > p1.disjuncts.len(), "{schema:?}");
+    }
+
+    // stale program misses the new stock; the IDL query is unchanged
+    let db2 = encode(Schema::Ource, &q2);
+    let stale = fo_above_query(Schema::Ource, &q1, 200.0);
+    assert!(!run_above_binding(&db2, &stale).contains(&Value::str("sun")));
+
+    let mut e = Engine::with_stock_universe(vec![
+        ("3/3/85", "hp", 50.0),
+        ("3/5/85", "ibm", 210.0),
+        ("3/6/85", "sun", 300.0),
+    ]);
+    let hits = e.query("?.ource.S(.clsPrice>200)").unwrap();
+    assert_eq!(hits.column("S"), vec![Value::str("ibm"), Value::str("sun")]);
+}
+
+#[test]
+fn e8_msql_broadcast_needs_matching_schemas() {
+    let quotes = vec![(d("3/3/85"), "hp".to_string(), 210.0)];
+    let mut b = Broadcast::new();
+    b.add_member("euter", encode(Schema::Euter, &quotes));
+    b.add_member("ource", encode(Schema::Ource, &quotes));
+    let template = FoQuery {
+        body: vec![
+            FoLiteral::Atom {
+                pred: "r".into(),
+                args: vec![FoTerm::v("D"), FoTerm::v("S"), FoTerm::v("P")],
+            },
+            FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(200.0)),
+        ],
+        outputs: vec!["S".into()],
+    };
+    let results = b.broadcast(&template);
+    assert!(results["euter"].is_ok());
+    assert!(results["ource"].is_err(), "template cannot address the discrepant schema");
+}
+
+/// B6's correctness side: on euter-shaped data, the IDL engine and the
+/// first-order engine agree for a sweep of thresholds and sizes.
+#[test]
+fn differential_idl_vs_fo_on_euter() {
+    for (stocks, days, seed) in [(5usize, 20usize, 1u64), (10, 30, 2), (15, 40, 3)] {
+        let cfg = StockConfig { seed, ..StockConfig::sized(stocks, days) };
+        let quotes = as_baseline_quotes(&generate_quotes(&cfg));
+        let db = encode(Schema::Euter, &quotes);
+        let mut e = Engine::from_universe(generate(&cfg).universe).unwrap();
+        for threshold in [0.0, 80.0, 120.0, 200.0, 10_000.0] {
+            let fo = run_above_binding(&db, &fo_above_query(Schema::Euter, &quotes, threshold));
+            let idl =
+                e.query(&format!("?.euter.r(.stkCode=S, .clsPrice>{threshold})")).unwrap();
+            let mut fo_stocks: Vec<Value> = fo.into_iter().collect();
+            fo_stocks.sort();
+            assert_eq!(
+                idl.column("S"),
+                fo_stocks,
+                "threshold {threshold} at {stocks}x{days}"
+            );
+        }
+    }
+}
+
+/// The three schemata also agree with each other *through IDL* — the same
+/// intention returns the same stock set regardless of representation.
+#[test]
+fn differential_idl_across_schemata() {
+    let cfg = StockConfig::sized(8, 25);
+    let mut e = Engine::from_universe(generate(&cfg).universe).unwrap();
+    for threshold in [50.0, 100.0, 150.0] {
+        let a = e.query(&format!("?.euter.r(.stkCode=S,.clsPrice>{threshold})")).unwrap();
+        let b = e.query(&format!("?.chwab.r(.S>{threshold})")).unwrap();
+        let c = e.query(&format!("?.ource.S(.clsPrice>{threshold})")).unwrap();
+        assert_eq!(a.column("S"), b.column("S"), "threshold {threshold}");
+        assert_eq!(a.column("S"), c.column("S"), "threshold {threshold}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Concurrency guarantees: the store is `Send + Sync` for shared read
+//! access (index/statistics caches are internally synchronised), so one
+//! universe can serve parallel query threads.
+
+use idl_eval::{EvalOptions, Evaluator};
+use idl_lang::{parse_statement, Statement};
+use idl_repro as _;
+use idl_storage::Store;
+use idl_workload::stock::{generate_store, StockConfig};
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn store_and_values_are_send_sync() {
+    assert_send_sync::<Store>();
+    assert_send_sync::<idl_object::Value>();
+    assert_send_sync::<idl_eval::AnswerSet>();
+}
+
+#[test]
+fn parallel_readers_share_one_store() {
+    let store = Arc::new(generate_store(&StockConfig::sized(8, 20)));
+    let queries = [
+        "?.euter.r(.stkCode=stk001, .clsPrice=P)",
+        "?.chwab.r(.S>0)",
+        "?.ource.S(.clsPrice>50)",
+        "?.X.Y(.clsPrice=P)",
+    ];
+    // Reference answers single-threaded.
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let Statement::Request(req) = parse_statement(q).unwrap() else { panic!() };
+            Evaluator::with_defaults(&store).query(&req).unwrap()
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for _round in 0..4 {
+        for (i, q) in queries.iter().enumerate() {
+            let store = Arc::clone(&store);
+            let q = q.to_string();
+            let expect = expected[i].clone();
+            handles.push(std::thread::spawn(move || {
+                let Statement::Request(req) = parse_statement(&q).unwrap() else { panic!() };
+                // half the threads stress the index-cache path
+                let opts = if i % 2 == 0 {
+                    EvalOptions::default()
+                } else {
+                    EvalOptions::naive()
+                };
+                let got = Evaluator::new(&store, opts).query(&req).unwrap();
+                assert_eq!(got, expect, "{q}");
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("reader thread panicked");
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration: parse → evaluate → store → persist, driven
+//! through the public `idl::Engine` API the way an embedding application
+//! would use it.
+
+use idl::{Engine, EngineError, Value};
+use idl_repro as _;
+use idl_workload::stock::{generate, StockConfig};
+
+#[test]
+fn full_script_lifecycle() {
+    // One source text carrying data loading, view definitions, programs,
+    // and queries — executed in order.
+    let mut e = Engine::new();
+    let outcomes = e
+        .execute(
+            "
+            % load a little base data
+            ?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50) ;
+            ?.euter.r+(.date=3/4/85,.stkCode=hp,.clsPrice=62) ;
+            ?.euter.r+(.date=3/3/85,.stkCode=ibm,.clsPrice=160) ;
+
+            % a view and a program
+            .dbI.p(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+            .dbU.del(.stk=S) -> .euter.r-(.stkCode=S) ;
+
+            % use both
+            ?.dbI.p(.stk=S, .clsPrice>100) ;
+            ?.dbU.del(.stk=ibm) ;
+            ?.dbI.p(.stk=S, .clsPrice>100) ;
+            ",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 8);
+    assert_eq!(
+        outcomes[5].answers().unwrap().column("S"),
+        vec![Value::str("ibm")],
+        "view sees the loaded data"
+    );
+    assert!(
+        outcomes[7].answers().unwrap().is_empty(),
+        "after del(ibm) the view reflects the change"
+    );
+}
+
+#[test]
+fn snapshot_persistence_with_views_reinstalled() {
+    let dir = std::env::temp_dir().join("idl-integration-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("universe.json");
+
+    let mut e = Engine::from_universe(generate(&StockConfig::sized(4, 6)).universe).unwrap();
+    idl::transparency::install_two_level_mapping(&mut e).unwrap();
+    let before = e.query("?.dbI.p(.stk=S,.date=D,.clsPrice=P)").unwrap();
+    e.save_snapshot(&path).unwrap();
+
+    // Snapshots carry the universe (including materialised views at save
+    // time); rules and programs are code and get reinstalled.
+    let mut e2 = Engine::load_snapshot(&path).unwrap();
+    idl::transparency::install_two_level_mapping(&mut e2).unwrap();
+    let after = e2.query("?.dbI.p(.stk=S,.date=D,.clsPrice=P)").unwrap();
+    assert_eq!(before, after);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn request_atomicity_spans_program_calls() {
+    let mut e = Engine::with_stock_universe(vec![("3/3/85", "hp", 50.0)]);
+    e.execute(idl::transparency::standard_update_programs()).unwrap();
+    // First item inserts via program; second item fails its signature
+    // check; the whole request must roll back.
+    let err = e
+        .update("?.dbU.insStk(.stk=a,.date=3/4/85,.price=1), .dbU.insStk(.stk=b)")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Eval(_)));
+    assert!(!e.query("?.euter.r(.stkCode=a)").unwrap().is_true(), "rolled back");
+}
+
+#[test]
+fn view_refresh_is_incremental_wrt_journal() {
+    let mut e = Engine::with_stock_universe(vec![("3/3/85", "hp", 50.0)]);
+    e.add_rules(".dbI.p(.stk=S) <- .euter.r(.stkCode=S) ;").unwrap();
+    e.query("?.dbI.p(.stk=S)").unwrap();
+    let v1 = e.store().version();
+    // queries do not re-materialise
+    e.query("?.dbI.p(.stk=S)").unwrap();
+    e.query("?.euter.r(.stkCode=S)").unwrap();
+    assert_eq!(e.store().version(), v1);
+    // an update does
+    e.update("?.euter.r+(.date=3/4/85,.stkCode=ibm,.clsPrice=1)").unwrap();
+    e.query("?.dbI.p(.stk=ibm)").unwrap();
+    assert!(e.store().version() > v1);
+}
+
+#[test]
+fn views_and_base_share_a_database() {
+    // §2's empMgr lives in the same database as its base relations; the
+    // derived catalog must protect exactly the view relation.
+    let mut e = Engine::from_store(idl_workload::empdept::generate_store(
+        &idl_workload::empdept::EmpDeptConfig { employees: 10, departments: 2, seed: 3 },
+    ));
+    e.add_rules(idl_workload::empdept::emp_mgr_rule()).unwrap();
+
+    // the view answers
+    assert!(e.query("?.hr.empMgr(.name=emp0001, .mgr=M)").unwrap().is_true());
+    // base updates still allowed
+    e.update("?.hr.emp+(.name=emp9999, .dno=0)").unwrap();
+    assert!(e.query("?.hr.empMgr(.name=emp9999, .mgr=M)").unwrap().is_true());
+    // view updates rejected
+    let err = e.update("?.hr.empMgr+(.name=x, .mgr=y)").unwrap_err();
+    assert!(matches!(err, EngineError::Eval(idl_eval::EvalError::UpdateOnDerived(_))));
+}
+
+#[test]
+fn analyze_matches_runtime_behaviour() {
+    let e = Engine::with_stock_universe(vec![("3/3/85", "hp", 50.0)]);
+    // what the analyzer flags, the runtime rejects; what it passes, runs
+    let flagged = e.analyze("?.euter.r(.clsPrice>P)").unwrap();
+    assert!(!flagged.is_empty());
+    let clean = e.analyze("?.euter.r(.clsPrice=P), .euter.r(.clsPrice>P)").unwrap();
+    assert!(clean.is_empty());
+
+    let mut e = e;
+    assert!(e.query("?.euter.r(.clsPrice>P)").is_err());
+    assert!(e.query("?.euter.r(.clsPrice=P), .euter.r(.clsPrice>P)").is_ok());
+}
+
+#[test]
+fn engine_options_toggle_evaluator_modes() {
+    use idl::EngineOptions;
+    let quotes = generate(&StockConfig::sized(6, 10));
+    let build = |opts: EngineOptions| {
+        let mut e = Engine::from_universe(quotes.universe.clone()).unwrap();
+        e.set_options(opts);
+        e
+    };
+    let q = "?.euter.r(.stkCode=stk002, .clsPrice>0, .date=D)";
+    let mut fast = build(EngineOptions::default());
+    let mut naive = build(EngineOptions {
+        eval: idl::EvalOptions::naive(),
+        ..EngineOptions::default()
+    });
+    assert_eq!(fast.query(q).unwrap(), naive.query(q).unwrap());
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let mut e = Engine::new();
+    let err = e.execute("?.euter.r(.a=").unwrap_err();
+    assert!(err.to_string().contains("expected a term"), "{err}");
+    let err = e.query("?.nodb.r+(.a=Q)").unwrap_err();
+    assert!(err.to_string().contains('Q'), "{err}");
+}

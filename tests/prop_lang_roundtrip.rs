@@ -1,0 +1,152 @@
+//! Property: the pretty-printer and the parser are inverse on every AST
+//! the parser can produce — `parse(print(x)) == x`.
+//!
+//! The strategies below generate exactly the parser-producible shapes
+//! (e.g. a field's sub-expression is never a multi-field tuple — surface
+//! syntax spells that `(.a…, .b…)`, which is a *set* expression).
+
+use idl_lang::{
+    parse_statement, AttrTerm, Expr, Field, RelOp, Request, Sign, Statement, Term, Var,
+};
+use idl_object::Value;
+use idl_repro as _;
+use proptest::prelude::*;
+
+fn atom_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-99i64..99).prop_map(Value::int),
+        (-999i64..999).prop_map(|i| Value::float(i as f64 / 4.0)),
+        prop::sample::select(vec!["hp", "ibm", "cat", "r2d2"]).prop_map(Value::str),
+        prop::sample::select(vec!["Hello World", "null", "TRUE-ish", ""])
+            .prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+        (1i64..28, 1i64..13).prop_map(|(d, m)| {
+            Value::date(idl_object::Date::new(1985, m as u8, d as u8).unwrap())
+        }),
+    ]
+}
+
+fn var_name() -> impl Strategy<Value = Var> {
+    prop::sample::select(vec!["X", "Y", "S", "P", "D2"]).prop_map(Var::new)
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![atom_value().prop_map(Term::Const), var_name().prop_map(Term::Var)];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (
+            prop::sample::select(vec![
+                idl_lang::ArithOp::Add,
+                idl_lang::ArithOp::Sub,
+                idl_lang::ArithOp::Mul,
+                idl_lang::ArithOp::Div,
+            ]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Term::Arith(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn relop() -> impl Strategy<Value = RelOp> {
+    prop::sample::select(vec![RelOp::Lt, RelOp::Le, RelOp::Eq, RelOp::Ne, RelOp::Gt, RelOp::Ge])
+}
+
+fn attr_term() -> impl Strategy<Value = AttrTerm> {
+    prop_oneof![
+        prop::sample::select(vec!["a", "b", "cc", "date"]).prop_map(AttrTerm::c),
+        var_name().prop_map(AttrTerm::Var),
+    ]
+}
+
+/// Expressions that may appear after an attribute (the parser's `suffix`).
+fn suffix_expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![
+            Just(Expr::Epsilon),
+            (relop(), term()).prop_map(|(op, t)| Expr::Atomic(op, t)),
+            (prop::sample::select(vec![Sign::Plus, Sign::Minus]), term())
+                .prop_map(|(s, t)| Expr::AtomicUpdate(s, t)),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            suffix_expr(0),
+            // path chaining: .a.b…
+            field(depth - 1).prop_map(|f| Expr::Tuple(vec![f])),
+            // (conjunct)
+            conjunct(depth - 1).prop_map(|e| Expr::Set(Box::new(e))),
+            // ±(conjunct)
+            (prop::sample::select(vec![Sign::Plus, Sign::Minus]), conjunct(depth - 1))
+                .prop_map(|(s, e)| Expr::SetUpdate(s, Box::new(e))),
+            // ¬suffix
+            suffix_expr(depth - 1).prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+        .boxed()
+    }
+}
+
+fn field(depth: u32) -> BoxedStrategy<Field> {
+    (
+        prop::option::of(prop::sample::select(vec![Sign::Plus, Sign::Minus])),
+        attr_term(),
+        suffix_expr(depth),
+    )
+        .prop_map(|(sign, attr, expr)| Field { sign, attr, expr })
+        .boxed()
+}
+
+/// What parentheses may contain: one non-field expression or 1–3 fields.
+fn conjunct(depth: u32) -> BoxedStrategy<Expr> {
+    prop_oneof![
+        (relop(), term()).prop_map(|(op, t)| Expr::Atomic(op, t)),
+        prop::collection::vec(field(depth), 1..=3).prop_map(Expr::Tuple),
+        Just(Expr::Epsilon),
+    ]
+    .boxed()
+}
+
+/// A top-level request item.
+fn item() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        // the ubiquitous `.db.rel…` shape
+        field(2).prop_map(|f| Expr::Tuple(vec![f])),
+        // constraints like `X = ource`
+        (term(), relop(), term()).prop_filter_map(
+            "constraint lhs must not start a field",
+            |(a, op, b)| Some(Expr::Constraint(a, op, b)),
+        ),
+        // negated items
+        field(1).prop_map(|f| Expr::Not(Box::new(Expr::Tuple(vec![f])))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(items in prop::collection::vec(item(), 1..=3)) {
+        let stmt = Statement::Request(Request::new(items));
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse\n  printed: {printed}\n  error: {e}"));
+        prop_assert_eq!(
+            &stmt, &reparsed,
+            "round-trip mismatch\n  printed: {}", printed
+        );
+    }
+
+    #[test]
+    fn printed_terms_reparse(t in term()) {
+        // terms round-trip through the constraint position
+        let stmt = Statement::Request(Request::new(vec![Expr::Constraint(
+            Term::v("X"),
+            RelOp::Eq,
+            t,
+        )]));
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
+    }
+}

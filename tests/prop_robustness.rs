@@ -1,0 +1,65 @@
+//! Robustness: the front end never panics — arbitrary input produces
+//! either a parse or a structured error; and the engine survives
+//! executing whatever does parse against a populated universe (any failure
+//! is a typed `EngineError`, never a panic, and failed requests leave the
+//! universe unchanged).
+
+use idl::Engine;
+use idl_lang::{parse_program, parse_statement, sugar::parse_sugar};
+use idl_repro as _;
+use proptest::prelude::*;
+
+/// Strings biased toward IDL-looking fragments so the parser's deeper
+/// states get exercised, not just the lexer's error paths.
+fn idl_soup() -> impl Strategy<Value = String> {
+    let frag = prop::sample::select(vec![
+        "?", ".", ",", ";", "(", ")", "+", "-", "¬", "<-", "->", "=", "<", ">", "<=", ">=",
+        "!=", "euter", "r", "X", "S", "stkCode", "hp", "3/3/85", "50", "50.5", "\"str\"",
+        "null", "true", "_", "%c\n", " ",
+    ]);
+    prop::collection::vec(frag, 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(s in "\\PC{0,60}") {
+        let _ = parse_statement(&s);
+        let _ = parse_program(&s);
+        let _ = parse_sugar(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_idl_soup(s in idl_soup()) {
+        let _ = parse_statement(&s);
+        let _ = parse_program(&s);
+    }
+
+    #[test]
+    fn engine_survives_whatever_parses(s in idl_soup()) {
+        if parse_program(&s).is_ok() {
+            let mut e = Engine::with_stock_universe(vec![
+                ("3/3/85", "hp", 50.0),
+                ("3/4/85", "ibm", 160.0),
+            ]);
+            let before = e.store().universe().clone();
+            match e.execute(&s) {
+                Ok(_) => {}
+                Err(_) => {
+                    // failed requests must not have mutated the universe
+                    prop_assert_eq!(&before, e.store().universe());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions_within_input(s in idl_soup()) {
+        if let Err(e) = parse_statement(&s) {
+            prop_assert!(e.span.start <= s.len().saturating_add(1));
+            let _ = e.to_string();
+            let _ = e.line_col(&s);
+        }
+    }
+}
