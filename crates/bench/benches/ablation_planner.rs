@@ -22,7 +22,7 @@ const DAYS: usize = 100;
 fn configs() -> [(&'static str, EvalOptions); 3] {
     [
         ("naive", EvalOptions::naive()),
-        ("planned", EvalOptions { use_indexes: false, reorder: true, max_results: None }),
+        ("planned", EvalOptions { use_indexes: false, reorder: true, ..EvalOptions::default() }),
         ("planned_idx", EvalOptions::default()),
     ]
 }

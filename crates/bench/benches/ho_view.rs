@@ -20,27 +20,33 @@ const RULES: &str = "
 
 const STOCK_COUNTS: &[usize] = &[5, 10, 20, 40, 80];
 const DAYS: usize = 20;
+const THREADS: &[usize] = &[1, 4];
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B4_ho_view_expansion");
     for &stocks in STOCK_COUNTS {
-        group.bench_function(BenchmarkId::new("derive_dbO", format!("{stocks}stk")), |b| {
-            b.iter_batched(
-                || {
-                    let mut e = Engine::from_store(stock_store(stocks, DAYS));
-                    e.add_rules(RULES).unwrap();
-                    e
-                },
-                |mut e| {
-                    let stats = e.refresh_views().unwrap();
-                    // sanity: one derived relation per stock
-                    let rels = e.store().relation_names("dbO").unwrap().len();
-                    assert_eq!(rels, stocks);
-                    black_box(stats.facts_added)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        for &threads in THREADS {
+            let id = BenchmarkId::new("derive_dbO", format!("{stocks}stk_{threads}thr"));
+            group.bench_function(id, |b| {
+                b.iter_batched(
+                    || {
+                        let mut e = Engine::from_store(stock_store(stocks, DAYS));
+                        let opts = e.options().with_threads(threads);
+                        e.set_options(opts);
+                        e.add_rules(RULES).unwrap();
+                        e
+                    },
+                    |mut e| {
+                        let stats = e.refresh_views().unwrap();
+                        // sanity: one derived relation per stock
+                        let rels = e.store().relation_names("dbO").unwrap().len();
+                        assert_eq!(rels, stocks);
+                        black_box(stats.facts_added)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
     }
     group.finish();
 }

@@ -20,6 +20,8 @@ const FROM_CHWAB: &str =
 const FROM_OURCE: &str =
     ".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .ource.S(.date=D,.clsPrice=P) ;";
 
+const THREADS: &[usize] = &[1, 4];
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B3_unified_view");
     for &(stocks, days) in SIZES {
@@ -30,17 +32,30 @@ fn bench(c: &mut Criterion) {
             ("ource_only", FROM_OURCE.to_string()),
         ];
         for (name, rules) in variants {
-            group.bench_function(BenchmarkId::new(*name, size_label(stocks, days)), |b| {
-                b.iter_batched(
-                    || {
-                        let mut e = Engine::from_store(stock_store(stocks, days));
-                        e.add_rules(rules).unwrap();
-                        e
-                    },
-                    |mut e| black_box(e.refresh_views().unwrap().facts_added),
-                    criterion::BatchSize::LargeInput,
-                )
-            });
+            // the threads axis only matters where several rules share a
+            // stratum — sweep it on the 3-rule union, pin single-rule
+            // variants to the sequential path
+            let threads: &[usize] = if *name == "all_sources" { THREADS } else { &[1] };
+            for &t in threads {
+                let label = if threads.len() > 1 {
+                    format!("{}_{t}thr", size_label(stocks, days))
+                } else {
+                    size_label(stocks, days)
+                };
+                group.bench_function(BenchmarkId::new(*name, label), |b| {
+                    b.iter_batched(
+                        || {
+                            let mut e = Engine::from_store(stock_store(stocks, days));
+                            let opts = e.options().with_threads(t);
+                            e.set_options(opts);
+                            e.add_rules(rules).unwrap();
+                            e
+                        },
+                        |mut e| black_box(e.refresh_views().unwrap().facts_added),
+                        criterion::BatchSize::LargeInput,
+                    )
+                });
+            }
         }
     }
     group.finish();

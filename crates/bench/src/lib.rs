@@ -8,7 +8,9 @@ use idl::Engine;
 use idl_eval::{EvalOptions, Evaluator};
 use idl_lang::{parse_statement, Request, Statement};
 use idl_storage::Store;
-use idl_workload::stock::{generate_store, StockConfig};
+use idl_workload::stock::{
+    generate_sharded_store, generate_store, sharded_union_rules, ShardedStockConfig, StockConfig,
+};
 
 /// The size sweep used by the scaling benches: (stocks, days).
 pub const SIZES: &[(usize, usize)] = &[(5, 20), (10, 50), (20, 100), (40, 150)];
@@ -33,6 +35,19 @@ pub fn stock_engine(stocks: usize, days: usize) -> Engine {
 pub fn mapped_engine(stocks: usize, days: usize) -> Engine {
     let mut e = stock_engine(stocks, days);
     idl::transparency::install_two_level_mapping(&mut e).expect("standard mapping installs");
+    e
+}
+
+/// An engine over the sharded multi-feed universe with the two-stratum
+/// per-shard view program installed (one independent rule per shard per
+/// stratum — the parallel-fixpoint workload), evaluating with `threads`
+/// fixpoint workers.
+pub fn sharded_engine(shards: usize, stocks: usize, days: usize, threads: usize) -> Engine {
+    let cfg = ShardedStockConfig::sized(shards, stocks, days);
+    let mut e = Engine::from_store(generate_sharded_store(&cfg));
+    let opts = e.options().with_threads(threads);
+    e.set_options(opts);
+    e.add_rules(&sharded_union_rules(&cfg)).expect("sharded rules install");
     e
 }
 
@@ -66,6 +81,24 @@ mod tests {
         assert_eq!(store.relation("euter", "r").unwrap().len(), 100);
         let req = request("?.euter.r(.stkCode=S, .clsPrice>0)");
         assert!(run_query(&store, &req, EvalOptions::default()) > 0);
+    }
+
+    #[test]
+    fn sharded_engine_saturates_workers() {
+        let mut e = sharded_engine(6, 3, 5, 4);
+        let stats = e.refresh_views().unwrap();
+        assert_eq!(stats.strata.len(), 2, "union then per-shard maxima");
+        for s in &stats.strata {
+            assert_eq!(s.rules, 6, "one rule per shard");
+            assert_eq!(s.workers, 4, "pool saturated at 4 threads");
+            assert_eq!(s.rule_evals_per_worker.len(), 4);
+        }
+        assert_eq!(e.store().relation("dbU", "q").unwrap().len(), 6 * 3 * 5);
+        // each dbHi.hN holds one maximum-price day per stock (modulo ties)
+        for si in 0..6 {
+            let hi = e.store().relation("dbHi", &format!("h{si}")).unwrap();
+            assert!(hi.len() >= 3 && hi.len() <= 5, "h{si}: {}", hi.len());
+        }
     }
 
     #[test]

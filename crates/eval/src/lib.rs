@@ -38,7 +38,7 @@ pub mod update;
 
 pub use error::{EvalError, EvalResult};
 pub use program::{ProgramKey, ProgramRegistry};
-pub use query::{EvalOptions, Evaluator};
+pub use query::{default_threads, EvalOptions, Evaluator};
 pub use request::{run_request, RequestOutcome};
-pub use rules::{RuleEngine, RuleSetError};
+pub use rules::{FixpointStats, RuleEngine, RuleSetError, StratumStats};
 pub use subst::{AnswerSet, Subst};

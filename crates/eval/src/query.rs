@@ -37,7 +37,8 @@ use idl_object::{Atom, Name, SetObj, Value};
 use idl_storage::{IndexKind, Store};
 use std::ops::Bound;
 
-/// Evaluation options (planner/index toggles, result limits).
+/// Evaluation options (planner/index toggles, result limits, fixpoint
+/// parallelism).
 #[derive(Clone, Copy, Debug)]
 pub struct EvalOptions {
     /// Consult storage indexes when scanning stored relations.
@@ -47,19 +48,47 @@ pub struct EvalOptions {
     /// Abort with [`EvalError::TooManyResults`] beyond this many
     /// substitutions in any intermediate result.
     pub max_results: Option<usize>,
+    /// Worker threads for intra-stratum fixpoint evaluation. `1` keeps the
+    /// sequential path; `0` is treated as `1`. Query evaluation itself is
+    /// unaffected — only `RuleEngine` materialisation fans out.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { use_indexes: true, reorder: true, max_results: None }
+        EvalOptions {
+            use_indexes: true,
+            reorder: true,
+            max_results: None,
+            threads: default_threads(),
+        }
     }
 }
 
 impl EvalOptions {
-    /// The naive reference configuration: no indexes, no reordering.
+    /// The naive reference configuration: no indexes, no reordering,
+    /// sequential fixpoint.
     pub fn naive() -> Self {
-        EvalOptions { use_indexes: false, reorder: false, max_results: None }
+        EvalOptions { use_indexes: false, reorder: false, max_results: None, threads: 1 }
     }
+
+    /// This configuration with a fixed fixpoint worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The default fixpoint worker count: the `IDL_TEST_THREADS` environment
+/// variable when set (how CI pins the thread matrix), otherwise the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("IDL_TEST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Where in the stored universe the walk currently is (for index probes).

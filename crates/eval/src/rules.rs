@@ -195,7 +195,13 @@ impl DerivedCatalog {
 }
 
 /// Statistics from one materialisation run.
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+///
+/// `iterations` / `rule_evals` depend on the evaluation schedule and so
+/// may differ between thread counts (the parallel schedule evaluates
+/// every runnable rule against the iteration-start snapshot, the
+/// sequential one sees intra-iteration writes); the derived *store
+/// contents* never do.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct FixpointStats {
     /// Fixpoint iterations across all strata.
     pub iterations: usize,
@@ -203,6 +209,25 @@ pub struct FixpointStats {
     pub rule_evals: usize,
     /// New facts (make-true operations that changed the universe).
     pub facts_added: usize,
+    /// Per-stratum telemetry, in evaluation (bottom-up) order. Masked-out
+    /// strata are skipped entirely.
+    pub strata: Vec<StratumStats>,
+}
+
+/// Telemetry for one stratum of one materialisation run.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct StratumStats {
+    /// Rules in the stratum after masking.
+    pub rules: usize,
+    /// Fixpoint iterations this stratum ran.
+    pub iterations: usize,
+    /// Most worker threads used by any iteration (1 = sequential path).
+    pub workers: usize,
+    /// Rule-body evaluations per worker, indexed by worker. The sequential
+    /// path accumulates everything into index 0.
+    pub rule_evals_per_worker: Vec<usize>,
+    /// Wall-clock time spent on this stratum.
+    pub wall: std::time::Duration,
 }
 
 /// Compiled, stratified rule set.
@@ -368,6 +393,21 @@ impl RuleEngine {
         Ok(stats)
     }
 
+    /// Runs one stratum to quiescence.
+    ///
+    /// With `opts.threads <= 1` this is the classic chaotic (Gauss-Seidel)
+    /// schedule: rules run in index order and each sees the writes of the
+    /// rules before it in the same iteration. With more threads each
+    /// iteration becomes a Jacobi step — every runnable rule's body is
+    /// evaluated by a worker pool against the *iteration-start* store
+    /// (readers share `&Store`; nothing writes during the scan), then the
+    /// per-rule substitution sets are merged **sequentially in ascending
+    /// rule index**. Within a stratum all intra-stratum dependencies are
+    /// positive, so both schedules are inflationary over set-valued state
+    /// and converge to the same least fixpoint; the deterministic merge
+    /// order makes even the non-monotone scalar-head edge case
+    /// (`make_true` with an `=` head, see DESIGN.md) independent of the
+    /// worker count.
     fn run_stratum(
         &self,
         store: &mut Store,
@@ -375,57 +415,168 @@ impl RuleEngine {
         opts: EvalOptions,
         stats: &mut FixpointStats,
     ) -> EvalResult<()> {
+        let started = std::time::Instant::now();
+        let thread_cap = opts.threads.max(1);
+        let mut sstats = StratumStats {
+            rules: stratum.len(),
+            workers: 1,
+            rule_evals_per_worker: vec![0],
+            ..StratumStats::default()
+        };
         // Patterns that changed in the previous iteration (semi-naive).
         let mut last_changed: Option<Vec<PredPat>> = None; // None = first round
-        loop {
+        let outcome = loop {
             stats.iterations += 1;
+            sstats.iterations += 1;
             if stats.iterations > self.max_iterations {
-                return Err(EvalError::FixpointDiverged(self.max_iterations));
+                break Err(EvalError::FixpointDiverged(self.max_iterations));
             }
+            // Which rules run this iteration (semi-naive filtering).
+            let runnable: Vec<usize> = stratum
+                .iter()
+                .copied()
+                .filter(|&ri| match &last_changed {
+                    Some(changed) if self.semi_naive => self.body_refs[ri]
+                        .iter()
+                        .any(|br| changed.iter().any(|c| br.pat.overlaps(c))),
+                    _ => true,
+                })
+                .collect();
+            if runnable.is_empty() {
+                break Ok(());
+            }
+            let workers = thread_cap.min(runnable.len());
             let mut changed_now: Vec<PredPat> = Vec::new();
             let mut any_new = false;
-            for &ri in stratum {
-                if let Some(changed) = &last_changed {
-                    let reads_changed = self.body_refs[ri]
-                        .iter()
-                        .any(|br| changed.iter().any(|c| br.pat.overlaps(c)));
-                    if self.semi_naive && !reads_changed {
-                        continue;
+            if workers <= 1 {
+                // Sequential: evaluate and merge rule by rule.
+                for &ri in &runnable {
+                    stats.rule_evals += 1;
+                    sstats.rule_evals_per_worker[0] += 1;
+                    let substs = {
+                        let ev = Evaluator::new(store, opts);
+                        ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?
+                    };
+                    let added = self.merge_rule_delta(store, ri, &substs)?;
+                    if added > 0 {
+                        stats.facts_added += added;
+                        any_new = true;
+                        changed_now.push(self.head_pats[ri].clone());
                     }
                 }
-                stats.rule_evals += 1;
-                let rule = &self.rules[ri];
-                // Evaluate the body against the current store contents.
-                let substs = {
-                    let ev = Evaluator::new(store, opts);
-                    ev.eval_items(&rule.body, vec![Subst::new()])?
-                };
-                let mut added_here = 0usize;
-                if !substs.is_empty() {
-                    let head = &rule.head;
-                    let scope = match &self.head_pats[ri].db {
-                        Some(db) => ChangeScope::Database { db: db.clone() },
-                        None => ChangeScope::Universe,
-                    };
-                    added_here = store.mutate(scope, |universe| -> EvalResult<usize> {
-                        let mut n = 0;
-                        for s in &substs {
-                            n += make_true(universe, head, s)?;
-                        }
-                        Ok(n)
-                    })?;
+            } else {
+                // Parallel: snapshot evaluation, then ordered merge.
+                sstats.workers = sstats.workers.max(workers);
+                if sstats.rule_evals_per_worker.len() < workers {
+                    sstats.rule_evals_per_worker.resize(workers, 0);
                 }
-                if added_here > 0 {
-                    stats.facts_added += added_here;
-                    any_new = true;
-                    changed_now.push(self.head_pats[ri].clone());
+                let deltas = self.eval_rules_parallel(
+                    store,
+                    &runnable,
+                    opts,
+                    workers,
+                    &mut sstats.rule_evals_per_worker,
+                );
+                for (slot, delta) in deltas.into_iter().enumerate() {
+                    let ri = runnable[slot];
+                    stats.rule_evals += 1;
+                    let substs = delta?;
+                    let added = self.merge_rule_delta(store, ri, &substs)?;
+                    if added > 0 {
+                        stats.facts_added += added;
+                        any_new = true;
+                        changed_now.push(self.head_pats[ri].clone());
+                    }
                 }
             }
             if !any_new {
-                return Ok(());
+                break Ok(());
             }
             last_changed = Some(changed_now);
+        };
+        sstats.wall = started.elapsed();
+        stats.strata.push(sstats);
+        outcome
+    }
+
+    /// Evaluates the bodies of `runnable` rules on a worker pool against
+    /// the shared read-only store. Workers pull rule slots from an atomic
+    /// cursor, so scheduling is dynamic, but the returned deltas are
+    /// re-assembled in `runnable` order — the caller's merge is fully
+    /// deterministic regardless of which worker evaluated what.
+    fn eval_rules_parallel(
+        &self,
+        store: &Store,
+        runnable: &[usize],
+        opts: EvalOptions,
+        workers: usize,
+        evals_per_worker: &mut [usize],
+    ) -> Vec<EvalResult<Vec<Subst>>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, EvalResult<Vec<Subst>>)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move |_| {
+                            let mut out: Vec<(usize, EvalResult<Vec<Subst>>)> = Vec::new();
+                            loop {
+                                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                                if slot >= runnable.len() {
+                                    break;
+                                }
+                                let rule = &self.rules[runnable[slot]];
+                                let ev = Evaluator::new(store, opts);
+                                out.push((slot, ev.eval_items(&rule.body, vec![Subst::new()])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fixpoint worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        let mut slots: Vec<Option<EvalResult<Vec<Subst>>>> =
+            (0..runnable.len()).map(|_| None).collect();
+        for (w, chunk) in per_worker.into_iter().enumerate() {
+            evals_per_worker[w] += chunk.len();
+            for (slot, delta) in chunk {
+                slots[slot] = Some(delta);
+            }
         }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every runnable rule evaluated exactly once"))
+            .collect()
+    }
+
+    /// Applies one rule's substitution set to the store under the rule's
+    /// change scope. Returns how many facts were new.
+    fn merge_rule_delta(
+        &self,
+        store: &mut Store,
+        ri: usize,
+        substs: &[Subst],
+    ) -> EvalResult<usize> {
+        if substs.is_empty() {
+            return Ok(0);
+        }
+        let head = &self.rules[ri].head;
+        let scope = match &self.head_pats[ri].db {
+            Some(db) => ChangeScope::Database { db: db.clone() },
+            None => ChangeScope::Universe,
+        };
+        store.mutate(scope, |universe| -> EvalResult<usize> {
+            let mut n = 0;
+            for s in substs {
+                n += make_true(universe, head, s)?;
+            }
+            Ok(n)
+        })
     }
 }
 

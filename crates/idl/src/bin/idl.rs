@@ -12,6 +12,8 @@
 //! * `--mapping` — install the paper's two-level mapping (views + programs).
 //! * `--sql` — treat `-e` input / script lines as the SQL-sugar dialect.
 //! * `--analyze` — run static binding analysis instead of executing.
+//! * `--threads N` — fixpoint worker threads for view materialisation
+//!   (default: available parallelism; `1` forces the sequential path).
 //! * `-e STMT` — execute one statement from the command line.
 //!
 //! Scripts are ordinary multi-statement IDL sources (`;`-separated).
@@ -27,6 +29,7 @@ struct Cli {
     mapping: bool,
     sql: bool,
     analyze: bool,
+    threads: Option<usize>,
     inline: Vec<String>,
     scripts: Vec<PathBuf>,
 }
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Cli, String> {
         mapping: false,
         sql: false,
         analyze: false,
+        threads: None,
         inline: Vec::new(),
         scripts: Vec::new(),
     };
@@ -54,9 +58,19 @@ fn parse_args() -> Result<Cli, String> {
             "--mapping" => cli.mapping = true,
             "--sql" => cli.sql = true,
             "--analyze" => cli.analyze = true,
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--threads needs a positive integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cli.threads = Some(n);
+            }
             "-e" => cli.inline.push(args.next().ok_or("-e needs a statement")?),
             "--help" | "-h" => {
-                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [-e STMT] [script.idl ...]");
+                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [--threads N] [-e STMT] [script.idl ...]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -93,6 +107,10 @@ fn main() -> ExitCode {
         ]),
         None => Engine::new(),
     };
+    if let Some(n) = cli.threads {
+        let opts = engine.options().with_threads(n);
+        engine.set_options(opts);
+    }
     if cli.mapping {
         if let Err(e) = idl::transparency::install_two_level_mapping(&mut engine) {
             eprintln!("idl: cannot install mapping: {e}");

@@ -41,6 +41,15 @@ impl Default for EngineOptions {
     }
 }
 
+impl EngineOptions {
+    /// This configuration with a fixed fixpoint worker count (the `idl`
+    /// CLI's `--threads`; `1` forces the sequential path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.eval = self.eval.with_threads(threads);
+        self
+    }
+}
+
 /// The IDL engine (see the crate docs for an overview).
 pub struct Engine {
     store: Store,

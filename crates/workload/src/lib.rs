@@ -22,4 +22,4 @@ pub mod empdept;
 pub mod random;
 pub mod stock;
 
-pub use stock::{Quote, StockConfig, StockUniverse};
+pub use stock::{Quote, ShardedStockConfig, StockConfig, StockUniverse};

@@ -269,6 +269,110 @@ pub fn as_baseline_quotes(quotes: &[Quote]) -> Vec<(Date, String, f64)> {
     quotes.iter().map(|q| (q.date, q.stock.clone(), q.price)).collect()
 }
 
+/// Configuration for the *sharded* multi-database universe: `shards`
+/// independent source databases (`feed00`, `feed01`, …), each holding a
+/// euter-style `r` relation over its own disjoint stock codes. Paired with
+/// [`sharded_union_rules`] this yields strata with one independent rule per
+/// shard — wide enough to saturate the parallel fixpoint's worker pool
+/// (the single-feed stock universe tops out at a handful of rules per
+/// stratum).
+#[derive(Clone, Debug)]
+pub struct ShardedStockConfig {
+    /// Number of independent source databases.
+    pub shards: usize,
+    /// Per-shard quote generation. The seed is offset per shard, so shards
+    /// carry genuinely different random walks.
+    pub per_shard: StockConfig,
+}
+
+impl Default for ShardedStockConfig {
+    fn default() -> Self {
+        ShardedStockConfig { shards: 8, per_shard: StockConfig::sized(4, 15) }
+    }
+}
+
+impl ShardedStockConfig {
+    /// Convenience: `shards` databases of `stocks × days` each.
+    pub fn sized(shards: usize, stocks: usize, days: usize) -> Self {
+        ShardedStockConfig { shards, per_shard: StockConfig::sized(stocks, days) }
+    }
+
+    /// Total quotes across all shards.
+    pub fn quote_count(&self) -> usize {
+        self.shards * self.per_shard.quote_count()
+    }
+}
+
+/// Database name of shard `si`: `feed00`, `feed01`, …
+pub fn shard_db(si: usize) -> String {
+    format!("feed{si:02}")
+}
+
+/// Stock code of stock `i` inside shard `si`. Codes are disjoint across
+/// shards so every shard's derived facts are distinct.
+pub fn shard_stock_code(si: usize, i: usize) -> String {
+    format!("f{si:02}{}", stock_code(i))
+}
+
+/// Builds the sharded universe: one `feedNN` database per shard, each with
+/// an euter-shaped `r` relation over shard-prefixed stock codes.
+pub fn generate_sharded(cfg: &ShardedStockConfig) -> Value {
+    let mut u = TupleObj::new();
+    for si in 0..cfg.shards {
+        let shard_cfg = StockConfig {
+            seed: cfg.per_shard.seed.wrapping_add((si as u64).wrapping_mul(0x9E37_79B9)),
+            ..cfg.per_shard.clone()
+        };
+        let mut rel = idl_object::SetObj::new();
+        for q in generate_quotes(&shard_cfg) {
+            let mut t = TupleObj::new();
+            t.insert("date", Value::date(q.date));
+            t.insert("stkCode", Value::str(format!("f{si:02}{}", q.stock)));
+            t.insert("clsPrice", Value::float(q.price));
+            rel.insert(Value::Tuple(t));
+        }
+        let mut db = TupleObj::new();
+        db.insert("r", Value::Set(rel));
+        u.insert(Name::new(shard_db(si)), Value::Tuple(db));
+    }
+    Value::Tuple(u)
+}
+
+/// Builds a [`Store`] over the sharded universe directly.
+pub fn generate_sharded_store(cfg: &ShardedStockConfig) -> Store {
+    Store::from_universe(generate_sharded(cfg)).expect("sharded universe is a tuple")
+}
+
+/// Two-stratum view program over the sharded universe, one independent
+/// rule per shard in *each* stratum:
+///
+/// * stratum 1 — `dbU.q` unions every feed (`shards` rules, mutually
+///   independent: each reads only its own base feed);
+/// * stratum 2 — `dbHi.hNN` finds each shard's per-stock maximum-price
+///   day, checked against the global union via a negated subgoal
+///   (`shards` rules that all read `dbU.q`, so they stratify after it,
+///   but are independent of each other — and each is join-heavy, which is
+///   what makes the parallel-fixpoint speedup visible).
+///
+/// With `shards ≥ threads` every fixpoint iteration offers enough
+/// runnable rules to keep the whole worker pool busy.
+pub fn sharded_union_rules(cfg: &ShardedStockConfig) -> String {
+    let mut out = String::new();
+    for si in 0..cfg.shards {
+        let db = shard_db(si);
+        out.push_str(&format!(
+            ".dbU.q(.date=D,.stk=S,.clsPrice=P) <- .{db}.r(.date=D,.stkCode=S,.clsPrice=P) ;\n"
+        ));
+    }
+    for si in 0..cfg.shards {
+        let db = shard_db(si);
+        out.push_str(&format!(
+            ".dbHi.h{si}(.date=D,.stk=S,.clsPrice=P) <- .{db}.r(.date=D,.stkCode=S,.clsPrice=P), .dbU.q¬(.stk=S,.clsPrice>P) ;\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +439,37 @@ mod tests {
         assert_eq!(one, four);
         assert_eq!(one, many);
         assert_eq!(one.len(), 13 * 17);
+    }
+
+    #[test]
+    fn sharded_universe_shape() {
+        let cfg = ShardedStockConfig::sized(6, 3, 4);
+        let store = generate_sharded_store(&cfg);
+        for si in 0..6 {
+            let rel = store.relation(&shard_db(si), "r").unwrap();
+            assert_eq!(rel.len(), 12, "shard {si} holds stocks × days quotes");
+        }
+        // codes are disjoint across shards
+        assert_eq!(shard_stock_code(0, 1), "f00stk001");
+        assert_ne!(shard_stock_code(0, 1), shard_stock_code(1, 1));
+        // deterministic, and shards differ from each other
+        let again = generate_sharded(&cfg);
+        assert_eq!(generate_sharded(&cfg), again);
+        assert_ne!(
+            store.relation(&shard_db(0), "r").unwrap(),
+            store.relation(&shard_db(1), "r").unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_rules_cover_every_shard() {
+        let cfg = ShardedStockConfig::sized(5, 2, 3);
+        let rules = sharded_union_rules(&cfg);
+        assert_eq!(rules.matches("<-").count(), 10, "one rule per shard per stratum");
+        for si in 0..5 {
+            assert!(rules.contains(&format!(".{}.r", shard_db(si))));
+            assert!(rules.contains(&format!(".dbHi.h{si}")));
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ proptest! {
             let planned = answers(
                 &store,
                 src,
-                EvalOptions { use_indexes: false, reorder: true, max_results: None },
+                EvalOptions { use_indexes: false, reorder: true, ..EvalOptions::default() },
             );
             let indexed = answers(&store, src, EvalOptions::default());
             prop_assert_eq!(&naive, &planned, "planner changed answers for {} (seed {})", src, seed);

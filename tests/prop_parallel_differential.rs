@@ -1,0 +1,195 @@
+//! Differential battery for the parallel intra-stratum fixpoint
+//! (DESIGN.md "Parallel fixpoint").
+//!
+//! The worker count is an *evaluation knob*, never a semantic one:
+//!
+//! * materialising any view program with 2/4/8 threads yields exactly the
+//!   universe the sequential schedule yields, on hundreds of random
+//!   universes — for a wide single-stratum recursive program and for a
+//!   negation-stratified two-layer program;
+//! * the §4 query battery sees identical answer sets over the
+//!   materialised stores;
+//! * repeating one parallel refresh yields byte-identical snapshots
+//!   (no iteration-order or thread-interleaving leakage into the output).
+
+use idl_eval::rules::RuleEngine;
+use idl_eval::{EvalOptions, Evaluator};
+use idl_lang::{parse_program, parse_statement, Statement};
+use idl_repro as _;
+use idl_storage::Store;
+use idl_workload::random::{random_store, RandomConfig};
+use idl_workload::stock::{generate_sharded_store, sharded_union_rules, ShardedStockConfig};
+use proptest::prelude::*;
+
+/// §4-style query shapes run against the materialised stores: selection,
+/// higher-order enumeration, joins, negation, ranges.
+const BATTERY: &[&str] = &[
+    "?.db0.r0(.a=V)",
+    "?.D.R(.a=V)",
+    "?.D.R(.A=7)",
+    "?.db1.r1(.a=X, .b=Y)",
+    "?.db0.r0(.a=V), .db1.r1(.a=V)",
+    "?.db0.r0(.a=V), .db0.r0¬(.b=V)",
+    "?.D.R(.a>0)",
+    "?.db2.r2(.a>0, .a<20)",
+    "?.X.Y(.c=V), X != db0",
+    "?.agg.A(.val=V)",
+];
+
+/// One wide stratum: wildcard bodies make every rule's input overlap every
+/// head, so all five rules are mutually recursive and iterate together —
+/// the widest shape the worker pool sees.
+const WIDE_RECURSIVE: &str = "
+    .agg.pa(.db=D, .val=V) <- .D.R(.a=V) ;
+    .agg.pb(.db=D, .val=V) <- .D.R(.b=V) ;
+    .agg.pc(.db=D, .val=V) <- .D.R(.c=V) ;
+    .agg.pd(.db=D, .val=V) <- .D.R(.d=V) ;
+    .agg.ab(.val=V) <- .agg.pa(.val=V), .agg.pb(.val=V) ;
+";
+
+/// Two strata with concrete bodies: six independent collectors, then four
+/// consumers including a negated subgoal (which forces the stratification)
+/// and a comparison constraint.
+const STRATIFIED_NEGATION: &str = "
+    .agg.a00(.val=V) <- .db0.r0(.a=V) ;
+    .agg.a01(.val=V) <- .db0.r1(.b=V) ;
+    .agg.a02(.val=V) <- .db1.r0(.c=V) ;
+    .agg.a03(.val=V) <- .db1.r1(.a=V) ;
+    .agg.a04(.val=V) <- .db2.r0(.b=V) ;
+    .agg.a05(.val=V) <- .db2.r2(.d=V) ;
+    .top.join(.val=V) <- .agg.a00(.val=V), .agg.a03(.val=V) ;
+    .top.only0(.val=V) <- .agg.a00(.val=V), .agg.a04¬(.val=V) ;
+    .top.large(.val=V) <- .agg.a01(.val=V), V > 5 ;
+    .top.pair(.x=V, .y=W) <- .agg.a02(.val=V), .agg.a05(.val=W) ;
+";
+
+fn rule_engine(src: &str) -> RuleEngine {
+    let rules: Vec<_> = parse_program(src)
+        .unwrap()
+        .into_iter()
+        .map(|s| match s {
+            Statement::Rule(r) => r,
+            other => panic!("expected a rule, got {other}"),
+        })
+        .collect();
+    RuleEngine::new(rules).unwrap()
+}
+
+fn answers(store: &Store, src: &str) -> idl_eval::AnswerSet {
+    let Statement::Request(req) = parse_statement(src).unwrap() else { panic!("{src}") };
+    Evaluator::new(store, EvalOptions::default())
+        .query(&req)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+/// Materialises `program` over the seed's universe at a worker count.
+fn materialized(seed: u64, program: &RuleEngine, threads: usize) -> Store {
+    let mut store = random_store(seed, &RandomConfig::default());
+    let opts = EvalOptions::default().with_threads(threads);
+    program.materialize(&mut store, opts).unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parallel_fixpoint_matches_sequential(seed in 0u64..1_000_000) {
+        for program_src in [WIDE_RECURSIVE, STRATIFIED_NEGATION] {
+            let program = rule_engine(program_src);
+            let reference = materialized(seed, &program, 1);
+            for threads in [2usize, 4, 8] {
+                let parallel = materialized(seed, &program, threads);
+                prop_assert_eq!(
+                    reference.universe(),
+                    parallel.universe(),
+                    "universe diverged at {} threads (seed {})",
+                    threads,
+                    seed
+                );
+                for src in BATTERY {
+                    prop_assert_eq!(
+                        answers(&reference, src),
+                        answers(&parallel, src),
+                        "answers diverged for {} at {} threads (seed {})",
+                        src,
+                        threads,
+                        seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_are_coherent(seed in 0u64..1_000_000) {
+        let program = rule_engine(STRATIFIED_NEGATION);
+
+        let mut sequential = random_store(seed, &RandomConfig::default());
+        let seq_stats = program
+            .materialize(&mut sequential, EvalOptions::default().with_threads(1))
+            .unwrap();
+
+        let mut parallel = random_store(seed, &RandomConfig::default());
+        let par_stats = program
+            .materialize(&mut parallel, EvalOptions::default().with_threads(4))
+            .unwrap();
+
+        // Set-headed programs add exactly the distinct derived facts, so
+        // the count is schedule-independent even though rule_evals and
+        // iterations may not be.
+        prop_assert_eq!(seq_stats.facts_added, par_stats.facts_added);
+        prop_assert_eq!(par_stats.strata.len(), 2, "negation splits the program");
+        let mut per_worker_total = 0usize;
+        for s in &par_stats.strata {
+            prop_assert!(s.workers >= 1 && s.workers <= 4);
+            prop_assert_eq!(s.rule_evals_per_worker.len(), s.workers.max(1));
+            per_worker_total += s.rule_evals_per_worker.iter().sum::<usize>();
+        }
+        prop_assert_eq!(
+            per_worker_total, par_stats.rule_evals,
+            "per-worker telemetry must account for every rule evaluation"
+        );
+
+        // Idempotence under parallelism: re-deriving adds nothing.
+        let again = program
+            .materialize(&mut parallel, EvalOptions::default().with_threads(4))
+            .unwrap();
+        prop_assert_eq!(again.facts_added, 0);
+        prop_assert_eq!(sequential.universe(), parallel.universe());
+    }
+}
+
+/// Satellite determinism check: the *same* parallel refresh, repeated,
+/// produces byte-identical snapshots — thread interleavings never leak
+/// into the persisted universe.
+#[test]
+fn parallel_refresh_snapshots_are_byte_identical() {
+    let cfg = ShardedStockConfig::sized(8, 4, 10);
+    let rules = sharded_union_rules(&cfg);
+    let mut reference: Option<String> = None;
+    for run in 0..10 {
+        let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
+        let opts = engine.options().with_threads(4);
+        engine.set_options(opts);
+        engine.add_rules(&rules).unwrap();
+        engine.refresh_views().unwrap();
+        let json = idl_storage::persist::to_json(engine.store()).unwrap();
+        match &reference {
+            None => reference = Some(json),
+            Some(r) => assert_eq!(&json, r, "refresh {run} diverged from the first"),
+        }
+    }
+
+    // and the on-disk snapshot writer emits exactly those bytes
+    let path = std::env::temp_dir().join(format!("idl_par_det_{}.json", std::process::id()));
+    let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
+    let opts = engine.options().with_threads(4);
+    engine.set_options(opts);
+    engine.add_rules(&rules).unwrap();
+    engine.refresh_views().unwrap();
+    engine.save_snapshot(&path).unwrap();
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(Some(on_disk.trim_end().to_string()), reference.map(|r| r.trim_end().to_string()));
+}

@@ -1,0 +1,681 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the call surface this workspace's property tests use:
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`,
+//! `Strategy` with `prop_map` / `prop_filter_map` / `prop_recursive` /
+//! `boxed`, `BoxedStrategy`, `Just`, `any`, ranges-as-strategies,
+//! `prop::sample::select`, `prop::collection::vec`, `prop::option::of`,
+//! and `"\\PC{m,n}"` printable-string patterns.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its inputs via the panic message only), no persistence of regression
+//! seeds (`*.proptest-regressions` files are ignored), and generation
+//! streams differ. Each test function is deterministic: case `i` of test
+//! `name` always derives its RNG seed from `(name, i)`.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-test configuration. Only `cases` is meaningful here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failing (or rejected) test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// An assertion failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Result type the property body produces.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Value-generation state for one test case.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRunner { rng: StdRng::seed_from_u64(seed) }
+        }
+
+        /// The case's RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    /// Drives `body` over `config.cases` deterministic cases. Panics on
+    /// the first failing case, reporting its seed.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRunner) -> TestCaseResult,
+    {
+        for case in 0..config.cases {
+            // FNV-1a over the test name, mixed with the case index
+            let mut acc = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                acc = (acc ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let seed = acc ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut runner = TestRunner::from_seed(seed);
+            if let Err(e) = body(&mut runner) {
+                panic!(
+                    "proptest `{name}` failed at case {case}/{} (seed {seed:#x}): {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Maps through `f`, regenerating when it returns `None`.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap { source: self, whence, f }
+        }
+
+        /// Filters generated values, regenerating on `false`.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, whence, f }
+        }
+
+        /// Recursive strategies: `self` generates leaves, `recurse` wraps
+        /// an inner strategy into a branch, nesting at most `depth` deep.
+        /// The size hints of the real crate are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                // lean 2:1 toward leaves so sizes stay tame
+                current = Union::new(vec![leaf.clone(), leaf.clone(), branch]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0.new_value(runner)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.new_value(runner))
+        }
+    }
+
+    /// How many regenerations a filter gets before giving up.
+    const MAX_REJECTS: usize = 1000;
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            for _ in 0..MAX_REJECTS {
+                if let Some(v) = (self.f)(self.source.new_value(runner)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map rejected {MAX_REJECTS} values: {}", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..MAX_REJECTS {
+                let v = self.source.new_value(runner);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected {MAX_REJECTS} values: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice between alternatives (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            let idx = runner.rng().gen_range(0..self.options.len());
+            self.options[idx].new_value(runner)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A:0, B:1)
+        (A:0, B:1, C:2)
+        (A:0, B:1, C:2, D:3)
+        (A:0, B:1, C:2, D:3, E:4)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// String patterns: `&'static str` is a strategy like in real
+    /// proptest, but only the `\PC{m,n}` shape (m..=n printable chars)
+    /// is interpreted; anything else panics.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, runner: &mut TestRunner) -> String {
+            let counts = self
+                .strip_prefix("\\PC{")
+                .and_then(|rest| rest.strip_suffix('}'))
+                .and_then(|range| range.split_once(','))
+                .and_then(|(m, n)| Some((m.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            let (min, max) = counts.unwrap_or_else(|| {
+                panic!("proptest shim: unsupported string pattern {self:?} (only \\PC{{m,n}})")
+            });
+            let len = runner.rng().gen_range(min..=max);
+            (0..len).map(|_| printable_char(runner)).collect()
+        }
+    }
+
+    fn printable_char(runner: &mut TestRunner) -> char {
+        let rng = runner.rng();
+        if rng.gen_bool(0.9) {
+            // ASCII printable, space through tilde
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        } else {
+            // printable non-ASCII scalar
+            loop {
+                let cp = rng.gen_range(0xA0u32..0x2_0000);
+                if let Some(c) = char::from_u32(cp) {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng().gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            // finite, roughly centred floats — enough for property inputs
+            runner.rng().gen_range(-1e9f64..1e9)
+        }
+    }
+
+    /// The strategy [`any`] returns.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Uniformly picks one of `items` (cloned).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty list");
+        Select { items }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            let idx = runner.rng().gen_range(0..self.items.len());
+            self.items[idx].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Smallest allowed length.
+        pub min: usize,
+        /// Largest allowed length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// `None` or `Some(value from s)`, 50/50.
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: s }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().gen_bool(0.5) {
+                Some(self.inner.new_value(runner))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy constructors (`prop::sample::select`, …).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Defines property tests. Each inner `fn` keeps its own attributes
+/// (including `#[test]`); arguments are drawn from the strategies on the
+/// right of `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__runner| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __runner);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..5, y in 1usize..=3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(prop::sample::select(vec!["a", "bb"]), 0..4),
+            o in prop::option::of(0i64..10),
+            m in (0i64..10).prop_map(|n| n * 2),
+            u in prop_oneof![Just(1i64), 2i64..5],
+        ) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(o.is_none_or(|n| (0..10).contains(&n)));
+            prop_assert_eq!(m % 2, 0);
+            prop_assert!((1..5).contains(&u));
+        }
+
+        #[test]
+        fn string_pattern_sizes(s in "\\PC{0,8}") {
+            prop_assert!(s.chars().count() <= 8);
+            prop_assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0i64..1000, 3..=3);
+        let mut a = crate::test_runner::TestRunner::from_seed(9);
+        let mut b = crate::test_runner::TestRunner::from_seed(9);
+        assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        use crate::strategy::Strategy;
+        let strat = (0i64..100).prop_filter_map("even only", |n| (n % 2 == 0).then_some(n));
+        let mut r = crate::test_runner::TestRunner::from_seed(1);
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, values round-trip
+//! through an owned [`content::Content`] tree — a superset of the JSON
+//! data model. [`Serialize`] lowers a value into the tree; [`Deserialize`]
+//! rebuilds a value from it. `serde_json` (the only data format in this
+//! workspace) renders the tree to/from JSON text.
+//!
+//! The derive macros live in `serde_derive` and are re-exported here, so
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{Serialize,
+//! Deserialize}` work exactly as with the real crate. Supported container
+//! shapes: non-generic structs (named / tuple / unit) and enums with the
+//! externally-tagged representation, plus `#[serde(transparent)]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content {
+    //! The self-describing data model values serialise into.
+
+    use std::fmt;
+
+    /// A serialised value: the JSON data model plus distinct integer
+    /// variants so `i64`/`u64` round-trip losslessly.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Content {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A signed integer.
+        I64(i64),
+        /// An unsigned integer (only produced for values above `i64::MAX`).
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Seq(Vec<Content>),
+        /// An ordered map with string keys (JSON object).
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// A short label for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Content::Null => "null",
+                Content::Bool(_) => "bool",
+                Content::I64(_) | Content::U64(_) => "integer",
+                Content::F64(_) => "float",
+                Content::Str(_) => "string",
+                Content::Seq(_) => "sequence",
+                Content::Map(_) => "map",
+            }
+        }
+
+        /// The value under `key` if this is a map containing it.
+        pub fn get(&self, key: &str) -> Option<&Content> {
+            match self {
+                Content::Map(entries) => {
+                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Deserialisation failure: what was expected vs what the tree held.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Builds a mismatch error.
+        pub fn expected(what: &str, found: &Content) -> Self {
+            Error(format!("expected {what}, found {}", found.kind()))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use content::{Content, Error};
+
+/// A value that can be lowered into the [`Content`] data model.
+pub trait Serialize {
+    /// Lowers `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a content tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---- primitives -----------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if *self <= i64::MAX as u64 {
+            Content::I64(*self as i64)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::I64(v) if *v >= 0 => Ok(*v as u64),
+            Content::I64(v) => Err(Error(format!("negative integer {v} for u64"))),
+            Content::U64(v) => Ok(*v),
+            other => Err(Error::expected("integer", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ---- strings --------------------------------------------------------------
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(std::sync::Arc::from)
+    }
+}
+
+impl Serialize for std::rc::Rc<str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::rc::Rc<str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(std::rc::Rc::from)
+    }
+}
+
+// ---- smart pointers / option ----------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+// ---- sequences ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($({
+                            let slot = it
+                                .next()
+                                .ok_or_else(|| Error("tuple too short".into()))?;
+                            $name::from_content(slot)?
+                        },)+);
+                        if it.next().is_some() {
+                            return Err(Error("tuple too long".into()));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(Error::expected("sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+// ---- maps -----------------------------------------------------------------
+
+/// Serialises a map key: it must lower to a string.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_content() {
+        Content::Str(s) => s,
+        Content::I64(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        other => panic!("map keys must serialise to strings, got {}", other.kind()),
+    }
+}
+
+/// Deserialises a map key from its string form.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    K::from_content(&Content::Str(key.to_owned())).or_else(|_| {
+        // integer-keyed maps: retry as a number
+        key.parse::<i64>()
+            .ok()
+            .ok_or_else(|| Error(format!("cannot rebuild map key from {key:?}")))
+            .and_then(|v| K::from_content(&Content::I64(v)))
+    })
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // sort for deterministic output
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::content::Content;
+    use super::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let c = v.to_content();
+        let back = T::from_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42i64);
+        round_trip(-7i32);
+        round_trip(u64::MAX);
+        round_trip(2.5f64);
+        round_trip(true);
+        round_trip("hello".to_string());
+        round_trip(Some(3u8));
+        round_trip(Option::<u8>::None);
+        round_trip(vec![1i64, 2, 3]);
+        round_trip((1i64, "x".to_string()));
+    }
+
+    #[test]
+    fn maps_use_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        m.insert("b".to_string(), 2);
+        let c = m.to_content();
+        assert!(matches!(&c, Content::Map(e) if e.len() == 2));
+        round_trip(m);
+    }
+
+    #[test]
+    fn arc_str_round_trips() {
+        let a: std::sync::Arc<str> = std::sync::Arc::from("shared");
+        let c = a.to_content();
+        let back: std::sync::Arc<str> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(&*back, "shared");
+    }
+
+    #[test]
+    fn mismatches_error() {
+        assert!(i64::from_content(&Content::Str("x".into())).is_err());
+        assert!(bool::from_content(&Content::I64(1)).is_err());
+        assert!(Vec::<i64>::from_content(&Content::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! syn/quote: the item's `proc_macro::TokenStream` is walked directly and
+//! the impl is emitted as a string, then re-parsed. Covers what this
+//! workspace derives on — non-generic structs (named / tuple / unit) and
+//! enums in the externally-tagged representation, plus the container
+//! attribute `#[serde(transparent)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What shape the deriving item has.
+enum ItemKind {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — arity.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Arity of `V(A, ...)`.
+    Tuple(usize),
+    /// Field names of `V { a: A, ... }`.
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    let mut is_enum = false;
+
+    // Attributes and visibility precede the `struct` / `enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains("transparent") {
+                        transparent = true;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (deriving on `{name}`)");
+    }
+
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive: expected struct body for `{name}`, got {other:?}"),
+        }
+    };
+
+    Item { name, transparent, kind }
+}
+
+/// Splits a field/variant list on top-level commas. Groups are atomic
+/// tokens, so only angle-bracket depth (generic arguments in field types)
+/// needs tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Pulls the field name out of one `attrs vis name: Type` chunk.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // attr: `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) => return id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream).iter().map(|c| field_name(c)).collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut i = 0;
+            // skip variant attributes
+            while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                other => panic!(
+                    "serde_derive: unsupported variant shape for `{name}`: {other:?}"
+                ),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---- codegen helpers ------------------------------------------------------
+
+const CONTENT: &str = "serde::content::Content";
+const ERROR: &str = "serde::content::Error";
+
+fn ser_header(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> {CONTENT} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn de_header(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &{CONTENT}) -> Result<Self, {ERROR}> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// `to_content` expressions for a comma-joined field map literal.
+fn map_entries(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), serde::Serialize::to_content({})),",
+                access(f)
+            )
+        })
+        .collect()
+}
+
+/// `from_content` initialisers for a named-field constructor, reading each
+/// field out of the map `__m` (missing fields read as `Null`, which lets
+/// `Option` fields default to `None`).
+fn field_initialisers(owner: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_content({source}.get(\"{f}\")\
+                     .unwrap_or(&{CONTENT}::Null))\
+                     .map_err(|__e| {ERROR}(format!(\"{owner}.{f}: {{}}\", __e.0)))?,"
+            )
+        })
+        .collect()
+}
+
+// ---- Serialize ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        ItemKind::UnitStruct => ser_header(name, &format!("{CONTENT}::Null")),
+        ItemKind::TupleStruct(1) => {
+            // newtype structs (and `transparent`) delegate to the inner value
+            ser_header(name, "serde::Serialize::to_content(&self.0)")
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            ser_header(name, &format!("{CONTENT}::Seq(vec![{items}])"))
+        }
+        ItemKind::NamedStruct(fields) if item.transparent => {
+            assert_eq!(
+                fields.len(),
+                1,
+                "serde_derive shim: #[serde(transparent)] needs exactly one field on `{name}`"
+            );
+            ser_header(
+                name,
+                &format!("serde::Serialize::to_content(&self.{})", fields[0]),
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let entries = map_entries(fields, |f| format!("&self.{f}"));
+            ser_header(name, &format!("{CONTENT}::Map(vec![{entries}])"))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => {CONTENT}::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => {CONTENT}::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {CONTENT}::Map(vec![(\"{vn}\".to_string(), \
+                                 {CONTENT}::Seq(vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries = map_entries(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => {CONTENT}::Map(vec![(\"{vn}\".to_string(), \
+                                 {CONTENT}::Map(vec![{entries}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            ser_header(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+// ---- Deserialize ----------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        ItemKind::UnitStruct => de_header(
+            name,
+            &format!(
+                "match __c {{\n\
+                     {CONTENT}::Null => Ok({name}),\n\
+                     __other => Err({ERROR}::expected(\"null for unit struct {name}\", __other)),\n\
+                 }}"
+            ),
+        ),
+        ItemKind::TupleStruct(1) => de_header(
+            name,
+            &format!("Ok({name}(serde::Deserialize::from_content(__c)?))"),
+        ),
+        ItemKind::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_content(&__items[{i}])?,"))
+                .collect();
+            de_header(
+                name,
+                &format!(
+                    "match __c {{\n\
+                         {CONTENT}::Seq(__items) if __items.len() == {n} => \
+                             Ok({name}({items})),\n\
+                         __other => Err({ERROR}::expected(\
+                             \"sequence of {n} for tuple struct {name}\", __other)),\n\
+                     }}"
+                ),
+            )
+        }
+        ItemKind::NamedStruct(fields) if item.transparent => {
+            assert_eq!(
+                fields.len(),
+                1,
+                "serde_derive shim: #[serde(transparent)] needs exactly one field on `{name}`"
+            );
+            de_header(
+                name,
+                &format!(
+                    "Ok({name} {{ {}: serde::Deserialize::from_content(__c)? }})",
+                    fields[0]
+                ),
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let inits = field_initialisers(name, fields, "__c");
+            de_header(
+                name,
+                &format!(
+                    "match __c {{\n\
+                         {CONTENT}::Map(_) => Ok({name} {{ {inits} }}),\n\
+                         __other => Err({ERROR}::expected(\"map for struct {name}\", __other)),\n\
+                     }}"
+                ),
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_content(&__items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __v {{\n\
+                                     {CONTENT}::Seq(__items) if __items.len() == {n} => \
+                                         Ok({name}::{vn}({items})),\n\
+                                     __other => Err({ERROR}::expected(\
+                                         \"sequence of {n} for variant {name}::{vn}\", __other)),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits =
+                                field_initialisers(&format!("{name}::{vn}"), fields, "__v");
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"))
+                        }
+                    }
+                })
+                .collect();
+            de_header(
+                name,
+                &format!(
+                    "match __c {{\n\
+                         {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\n\
+                             __other => Err({ERROR}(format!(\
+                                 \"unknown variant `{{}}` for {name}\", __other))),\n\
+                         }},\n\
+                         {CONTENT}::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__k, __v) = &__entries[0];\n\
+                             match __k.as_str() {{\n\
+                                 {data_arms}\n\
+                                 __other => Err({ERROR}(format!(\
+                                     \"unknown variant `{{}}` for {name}\", __other))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => Err({ERROR}::expected(\
+                             \"string or single-key map for enum {name}\", __other)),\n\
+                     }}"
+                ),
+            )
+        }
+    }
+}
