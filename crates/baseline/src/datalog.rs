@@ -166,10 +166,8 @@ impl FoDatabase {
     /// Inserts a fact; panics on arity mismatch (programming error in the
     /// encoder — first-order schemas are rigid, that is the point).
     pub fn insert(&mut self, name: &str, fact: Vec<Value>) -> bool {
-        let arity = *self
-            .arities
-            .get(name)
-            .unwrap_or_else(|| panic!("relation {name} not declared"));
+        let arity =
+            *self.arities.get(name).unwrap_or_else(|| panic!("relation {name} not declared"));
         assert_eq!(fact.len(), arity, "arity mismatch inserting into {name}");
         self.relations.get_mut(name).expect("declared above").insert(fact)
     }
@@ -201,11 +199,7 @@ impl FoDatabase {
         for s in substs {
             let mut row = Vec::with_capacity(q.outputs.len());
             for o in &q.outputs {
-                row.push(
-                    s.get(o)
-                        .cloned()
-                        .ok_or_else(|| format!("output variable {o} unbound"))?,
-                );
+                row.push(s.get(o).cloned().ok_or_else(|| format!("output variable {o} unbound"))?);
             }
             out.insert(row);
         }
@@ -222,10 +216,8 @@ impl FoDatabase {
             let mut next = Vec::new();
             match lit {
                 FoLiteral::Atom { pred, args } => {
-                    let facts = self
-                        .relations
-                        .get(pred)
-                        .ok_or_else(|| format!("no relation {pred}"))?;
+                    let facts =
+                        self.relations.get(pred).ok_or_else(|| format!("no relation {pred}"))?;
                     for s in &current {
                         for fact in facts {
                             if fact.len() != args.len() {
@@ -238,14 +230,12 @@ impl FoDatabase {
                     }
                 }
                 FoLiteral::NegAtom { pred, args } => {
-                    let facts = self
-                        .relations
-                        .get(pred)
-                        .ok_or_else(|| format!("no relation {pred}"))?;
+                    let facts =
+                        self.relations.get(pred).ok_or_else(|| format!("no relation {pred}"))?;
                     for s in &current {
-                        let witnessed = facts.iter().any(|fact| {
-                            fact.len() == args.len() && unify(args, fact, s).is_some()
-                        });
+                        let witnessed = facts
+                            .iter()
+                            .any(|fact| fact.len() == args.len() && unify(args, fact, s).is_some());
                         if !witnessed {
                             next.push(s.clone());
                         }
@@ -387,11 +377,8 @@ mod tests {
     fn euter_db() -> FoDatabase {
         let mut db = FoDatabase::new();
         db.create_relation("r", 3); // (date, stk, price)
-        for (d, s, p) in [
-            ("3/3/85", "hp", 50.0),
-            ("3/3/85", "ibm", 160.0),
-            ("3/4/85", "hp", 62.0),
-        ] {
+        for (d, s, p) in [("3/3/85", "hp", 50.0), ("3/3/85", "ibm", 160.0), ("3/4/85", "hp", 62.0)]
+        {
             db.insert("r", vec![Value::str(d), Value::str(s), Value::float(p)]);
         }
         db

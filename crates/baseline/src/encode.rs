@@ -136,11 +136,7 @@ pub fn fo_above_query(schema: Schema, quotes: &[Quote], threshold: f64) -> FoAbo
                         body: vec![
                             FoLiteral::Atom { pred: "r".into(), args },
                             FoLiteral::Cmp(FoTerm::v("P"), FoCmp::Gt, FoTerm::c(threshold)),
-                            FoLiteral::Cmp(
-                                FoTerm::v("S"),
-                                FoCmp::Eq,
-                                FoTerm::c(Value::str(code)),
-                            ),
+                            FoLiteral::Cmp(FoTerm::v("S"), FoCmp::Eq, FoTerm::c(Value::str(code))),
                         ],
                         outputs: vec!["S".into()],
                     }
@@ -262,11 +258,7 @@ mod tests {
             let db = encode(schema, &q);
             let prog = fo_above_query(schema, &q, 200.0);
             let hits = run_above_binding(&db, &prog);
-            assert_eq!(
-                hits.into_iter().collect::<Vec<_>>(),
-                vec![Value::str("ibm")],
-                "{schema:?}"
-            );
+            assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![Value::str("ibm")], "{schema:?}");
         }
     }
 

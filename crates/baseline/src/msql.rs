@@ -54,7 +54,10 @@ impl Broadcast {
     /// does not fit the template (missing relation, wrong arity) yield an
     /// error entry rather than silently succeeding — MSQL required
     /// matching schemas.
-    pub fn broadcast(&self, template: &FoQuery) -> BTreeMap<String, Result<Vec<Vec<Value>>, String>> {
+    pub fn broadcast(
+        &self,
+        template: &FoQuery,
+    ) -> BTreeMap<String, Result<Vec<Vec<Value>>, String>> {
         self.members
             .iter()
             .map(|(name, db)| {

@@ -23,9 +23,7 @@ fn engine(stocks: usize, days: usize, incremental: bool) -> Engine {
     e.set_options(EngineOptions { incremental_refresh: incremental, ..Default::default() });
     idl::transparency::install_two_level_mapping(&mut e).unwrap();
     // an unrelated view family the point update never touches
-    e.store_mut()
-        .insert("audit", "log", idl_object::tuple! { id: 0i64 })
-        .unwrap();
+    e.store_mut().insert("audit", "log", idl_object::tuple! { id: 0i64 }).unwrap();
     e.add_rules(".vAudit.ids(.id=I) <- .audit.log(.id=I) ;").unwrap();
     e.refresh_views().unwrap();
     e
@@ -43,10 +41,8 @@ fn bench(c: &mut Criterion) {
                 let mut i = 0i64;
                 b.iter(|| {
                     i += 1;
-                    e.update(&format!(
-                        "?.euter.r+(.date=3/3/85,.stkCode=bench,.clsPrice={i})"
-                    ))
-                    .unwrap();
+                    e.update(&format!("?.euter.r+(.date=3/3/85,.stkCode=bench,.clsPrice={i})"))
+                        .unwrap();
                     let a = e.query("?.dbI.p(.stk=bench, .clsPrice=P)").unwrap();
                     black_box(a.len())
                 })

@@ -51,8 +51,7 @@ fn bench(c: &mut Criterion) {
                         (engine, stock_store(stocks, days))
                     },
                     |(engine, mut store)| {
-                        let stats =
-                            engine.materialize(&mut store, EvalOptions::default()).unwrap();
+                        let stats = engine.materialize(&mut store, EvalOptions::default()).unwrap();
                         black_box((stats.rule_evals, stats.facts_added))
                     },
                     criterion::BatchSize::LargeInput,

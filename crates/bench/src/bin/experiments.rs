@@ -95,10 +95,7 @@ fn e1_first_order_queries(r: &mut Report) {
     r.check(
         "dates hp>60 and ibm>150",
         a.column("D")
-            == vec![
-                Value::date("3/4/85".parse().unwrap()),
-                Value::date("3/5/85".parse().unwrap()),
-            ],
+            == vec![Value::date("3/4/85".parse().unwrap()), Value::date("3/5/85".parse().unwrap())],
         &format!("D = {:?}", a.column("D")),
     );
 
@@ -234,10 +231,7 @@ fn e3_update_expressions(r: &mut Report) {
     println!("    ?.chwab.r(.date=3/3/85, .hp-=C)");
     e.update("?.chwab.r(.date=3/3/85, .hp-=C)").unwrap();
     let nulled = !e.query("?.chwab.r(.date=3/3/85, .hp=P)").unwrap().is_true();
-    let attr_still_there = e
-        .query("?.chwab.r(.A=P), A = hp")
-        .map(|a| a.is_true())
-        .unwrap_or(false);
+    let attr_still_there = e.query("?.chwab.r(.A=P), A = hp").map(|a| a.is_true()).unwrap_or(false);
     r.check(
         "atomic minus nulls value, attribute survives",
         nulled && attr_still_there,
@@ -266,12 +260,10 @@ fn e3_update_expressions(r: &mut Report) {
     // order sensitivity (§5.2: "the ordering of these two update requests
     // is relevant")
     let mut e = paper_engine();
-    e.update("?.euter.r-(.stkCode=hp), .euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)")
-        .unwrap();
+    e.update("?.euter.r-(.stkCode=hp), .euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)").unwrap();
     let fwd = e.query("?.euter.r(.stkCode=hp,.clsPrice=P)").unwrap().column("P").len();
     let mut e = paper_engine();
-    e.update("?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99), .euter.r-(.stkCode=hp)")
-        .unwrap();
+    e.update("?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99), .euter.r-(.stkCode=hp)").unwrap();
     let rev = e.query("?.euter.r(.stkCode=hp,.clsPrice=P)").unwrap().column("P").len();
     r.check(
         "update order is significant",
@@ -454,11 +446,7 @@ fn e7_two_level_mapping(r: &mut Report) {
     // D_euter → U → D'_euter reproduces the source exactly
     let src = e.query("?.euter.r(.date=D,.stkCode=S,.clsPrice=P)").unwrap();
     let view = e.query("?.dbE.r(.date=D,.stkCode=S,.clsPrice=P)").unwrap();
-    r.check(
-        "dbE ≡ euter on shared stocks",
-        src == view,
-        &format!("{} answers each", src.len()),
-    );
+    r.check("dbE ≡ euter on shared stocks", src == view, &format!("{} answers each", src.len()));
 
     // the chwab-shaped view carries the same facts
     let c = e.query("?.dbC.r(.date=3/5/85, .ibm=P)").unwrap();
@@ -484,10 +472,8 @@ fn e7_two_level_mapping(r: &mut Report) {
 fn e8_inexpressibility(r: &mut Report) {
     println!("\n== E8: first-order inexpressibility (§1–§2) ==");
     let d = |s: &str| s.parse::<Date>().unwrap();
-    let quotes = vec![
-        (d("3/3/85"), "hp".to_string(), 50.0),
-        (d("3/5/85"), "ibm".to_string(), 210.0),
-    ];
+    let quotes =
+        vec![(d("3/3/85"), "hp".to_string(), 50.0), (d("3/5/85"), "ibm".to_string(), 210.0)];
 
     // The IDL query is one fixed string for every schema and state:
     let idl_queries =
@@ -506,7 +492,11 @@ fn e8_inexpressibility(r: &mut Report) {
     r.check(
         "FO chwab/ource programs hard-code the stocks",
         p_chwab.hardcoded.len() == 2 && p_ource.hardcoded.len() == 2,
-        &format!("chwab disjuncts: {}, ource disjuncts: {}", p_chwab.disjuncts.len(), p_ource.disjuncts.len()),
+        &format!(
+            "chwab disjuncts: {}, ource disjuncts: {}",
+            p_chwab.disjuncts.len(),
+            p_ource.disjuncts.len()
+        ),
     );
 
     // Add a stock: the stale FO program misses it; the IDL query does not.
@@ -547,12 +537,9 @@ fn e9_extensions(r: &mut Report) {
         "r",
         RelationSchema {
             key: vec![idl::Name::new("date"), idl::Name::new("stkCode")],
-            attrs: [(
-                idl::Name::new("clsPrice"),
-                AttrDecl { ty: TypeTag::Number, nullable: true },
-            )]
-            .into_iter()
-            .collect(),
+            attrs: [(idl::Name::new("clsPrice"), AttrDecl { ty: TypeTag::Number, nullable: true })]
+                .into_iter()
+                .collect(),
             foreign_keys: vec![],
         },
     )
@@ -578,9 +565,7 @@ fn e9_extensions(r: &mut Report) {
 
     // SQL sugar with a higher-order table name
     println!("    SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200");
-    let o = e
-        .execute_sql("SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200")
-        .unwrap();
+    let o = e.execute_sql("SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200").unwrap();
     r.check(
         "SQL sugar supports metadata querying",
         o.answers().map(|a| a.column("S")) == Some(vec![Value::str("ibm")]),

@@ -45,7 +45,9 @@ impl fmt::Display for BindingIssue {
         write!(
             f,
             "variable {} in item {} is {} before any binding occurrence",
-            self.var, self.item_index + 1, why
+            self.var,
+            self.item_index + 1,
+            why
         )
     }
 }

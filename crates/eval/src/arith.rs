@@ -19,10 +19,7 @@ use idl_object::{Atom, Value};
 pub fn eval_term(term: &Term, subst: &Subst) -> EvalResult<Value> {
     match term {
         Term::Const(v) => Ok(v.clone()),
-        Term::Var(v) => subst
-            .get(v)
-            .cloned()
-            .ok_or_else(|| EvalError::Uninstantiated(v.clone())),
+        Term::Var(v) => subst.get(v).cloned().ok_or_else(|| EvalError::Uninstantiated(v.clone())),
         Term::Arith(op, a, b) => {
             let av = eval_term(a, subst)?;
             let bv = eval_term(b, subst)?;
@@ -139,10 +136,7 @@ mod tests {
     fn constants_and_vars() {
         let s = subst(&[("C", Value::int(50))]);
         assert_eq!(eval_term(&Term::v("C"), &s).unwrap(), Value::int(50));
-        assert!(matches!(
-            eval_term(&Term::v("D"), &s),
-            Err(EvalError::Uninstantiated(_))
-        ));
+        assert!(matches!(eval_term(&Term::v("D"), &s), Err(EvalError::Uninstantiated(_))));
     }
 
     #[test]
@@ -169,11 +163,7 @@ mod tests {
         let d = Date::new(1985, 3, 3).unwrap();
         let t = arith(ArithOp::Add, Term::c(Value::date(d)), Term::c(1i64));
         assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::date(d.plus_days(1)));
-        let t = arith(
-            ArithOp::Sub,
-            Term::c(Value::date(d.plus_days(10))),
-            Term::c(Value::date(d)),
-        );
+        let t = arith(ArithOp::Sub, Term::c(Value::date(d.plus_days(10))), Term::c(Value::date(d)));
         assert_eq!(eval_term(&t, &Subst::new()).unwrap(), Value::int(10));
     }
 

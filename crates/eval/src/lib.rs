@@ -20,6 +20,10 @@
 //! * a **planner** that reorders conjuncts and exploits the storage layer's
 //!   indexes, with a naive reference mode kept for differential testing and
 //!   the ablation benchmarks ([`plan`], [`query::EvalOptions`]);
+//! * a **physical plan IR** compiled once per expression and executed many
+//!   times — across substitutions, fixpoint iterations and worker threads —
+//!   with a memoized plan cache keyed by canonical expression hash
+//!   ([`physical`], [`compile`]);
 //! * **static binding analysis** approximating the paper's "compile time
 //!   analysis … to check the validity of the call" ([`analyze`]).
 
@@ -27,7 +31,9 @@
 
 pub mod analyze;
 pub mod arith;
+pub mod compile;
 pub mod error;
+pub mod physical;
 pub mod plan;
 pub mod program;
 pub mod query;
@@ -36,9 +42,11 @@ pub mod rules;
 pub mod subst;
 pub mod update;
 
+pub use compile::{compile_expr, compile_items, PlanCache};
 pub use error::{EvalError, EvalResult};
+pub use physical::{CompiledItems, PhysOp};
 pub use program::{ProgramKey, ProgramRegistry};
-pub use query::{default_threads, EvalOptions, Evaluator};
-pub use request::{run_request, RequestOutcome};
+pub use query::{default_compile, default_threads, EvalOptions, Evaluator};
+pub use request::{run_request, run_request_cached, RequestOutcome};
 pub use rules::{FixpointStats, RuleEngine, RuleSetError, StratumStats};
 pub use subst::{AnswerSet, Subst};

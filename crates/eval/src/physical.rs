@@ -1,0 +1,399 @@
+//! Physical plan IR — the compiled form of §4.2–§4.3 query evaluation.
+//!
+//! [`crate::compile`] lowers a `lang::Expr` into a [`PhysOp`] operator tree
+//! *once*; [`Evaluator::eval_compiled`] then executes that tree any number
+//! of times. Everything the tree-walk interpreter decides per call is
+//! decided at compile time instead:
+//!
+//! * **conjunct order** — the planner's reordering is baked into the field
+//!   list, so no per-call clone of the AST;
+//! * **index-probe candidates** — a relation scan carries the ordered list
+//!   of probeable fields ([`ProbePlan`]); at run time the first candidate
+//!   whose key term is ground wins, exactly reproducing the interpreter's
+//!   probe choice;
+//! * **binder vs filter** — `= X` positions that can bind are split from
+//!   plain comparisons ([`PhysOp::Bind`] vs [`PhysOp::Filter`]).
+//!
+//! The executor is deliberately a method-for-method mirror of
+//! `Evaluator::satisfy_at`: the differential battery in
+//! `tests/prop_compile_differential.rs` holds the two pipelines to
+//! byte-identical universes and answer sets.
+
+use crate::arith::try_eval_term;
+use crate::error::EvalResult;
+use crate::query::{bound_ref, compare_query, numeric_twin, range_bounds, Evaluator, Loc};
+use crate::subst::Subst;
+use idl_lang::{RelOp, Term, Var};
+use idl_object::{Atom, Name, SetObj, Value};
+use idl_storage::IndexKind;
+use std::fmt;
+
+/// A compiled physical operator. One node per AST node of the (planned)
+/// source expression — compilation changes representation, never
+/// semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhysOp {
+    /// The empty expression: always satisfied.
+    Epsilon,
+    /// Negation as failure over the same object.
+    Not(Box<PhysOp>),
+    /// Atomic comparison `α t` against the current object; errors if the
+    /// term has unbound variables (it can never bind).
+    Filter(RelOp, Term),
+    /// `= X` against the current object: compares when `X` is bound,
+    /// binds `X` to the object (aggregates included, §4.1) when not.
+    Bind(Var),
+    /// Object-free comparison between two terms, `t₁ α t₂`; either side
+    /// may bind when `α` is `=` and the other side is ground.
+    Constraint(Term, RelOp, Term),
+    /// Conjunction over tuple fields, threaded left to right in the
+    /// (planner-chosen) order of the field list.
+    Tuple(Vec<PhysField>),
+    /// Set scan `(exp)`: some element satisfies the inner operator.
+    /// When the walk is at a stored relation, `probes` lists the index
+    /// access paths to try before falling back to the full scan.
+    Scan {
+        /// Operator each element is checked against.
+        inner: Box<PhysOp>,
+        /// Probe candidates in priority order (equalities before ranges,
+        /// field order within each class).
+        probes: Vec<ProbePlan>,
+    },
+}
+
+/// One compiled tuple field: attribute selector plus the operator applied
+/// to the attribute's value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysField {
+    /// Attribute position: a constant name, or a (possibly higher-order)
+    /// variable that enumerates attribute names when unbound (§4.3).
+    pub attr: PhysAttr,
+    /// Operator applied to the selected child object.
+    pub inner: PhysOp,
+}
+
+/// A compiled attribute selector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhysAttr {
+    /// A fixed attribute name.
+    Const(Name),
+    /// An attribute variable: looked up when bound, enumerating the
+    /// tuple's attribute names when not.
+    Var(Var),
+}
+
+/// A candidate index probe for a stored-relation scan. Chosen at run time:
+/// the first candidate whose key term evaluates to a ground value is used;
+/// probes yield supersets and every candidate tuple is re-checked.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbePlan {
+    /// The indexed attribute.
+    pub attr: Name,
+    /// Point lookup or range scan.
+    pub kind: ProbeKind,
+    /// The key term (evaluated under the ambient substitution).
+    pub term: Term,
+}
+
+/// The access-path class of a [`ProbePlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Hash-index point lookup (plus the numeric twin key).
+    Eq,
+    /// B-tree range scan for `attr op key`.
+    Range(RelOp),
+}
+
+/// A compiled request body or rule body: one plan per conjunct, threaded
+/// left to right over the substitution set exactly as
+/// [`Evaluator::eval_items`] threads raw items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledItems {
+    items: Vec<PhysOp>,
+}
+
+impl CompiledItems {
+    pub(crate) fn new(items: Vec<PhysOp>) -> Self {
+        CompiledItems { items }
+    }
+
+    /// The compiled per-conjunct plans.
+    pub fn items(&self) -> &[PhysOp] {
+        &self.items
+    }
+
+    /// Multi-line, indented rendering of the plan (what `idl --explain`
+    /// prints).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if self.items.len() > 1 {
+                out.push_str(&format!("conjunct {}:\n", i + 1));
+                item.render(&mut out, 1);
+            } else {
+                item.render(&mut out, 0);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CompiledItems {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+impl PhysOp {
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysOp::Epsilon => out.push_str(&format!("{pad}epsilon\n")),
+            PhysOp::Not(inner) => {
+                out.push_str(&format!("{pad}not\n"));
+                inner.render(out, depth + 1);
+            }
+            PhysOp::Filter(op, term) => out.push_str(&format!("{pad}filter {op} {term}\n")),
+            PhysOp::Bind(v) => out.push_str(&format!("{pad}bind {}\n", v.name())),
+            PhysOp::Constraint(a, op, b) => {
+                out.push_str(&format!("{pad}constraint {a} {op} {b}\n"))
+            }
+            PhysOp::Tuple(fields) => {
+                out.push_str(&format!("{pad}tuple\n"));
+                for f in fields {
+                    match &f.attr {
+                        PhysAttr::Const(n) => out.push_str(&format!("{pad}  .{n}:\n")),
+                        PhysAttr::Var(v) => {
+                            out.push_str(&format!("{pad}  .{} (enumerates attrs):\n", v.name()))
+                        }
+                    }
+                    f.inner.render(out, depth + 2);
+                }
+            }
+            PhysOp::Scan { inner, probes } => {
+                if probes.is_empty() {
+                    out.push_str(&format!("{pad}scan\n"));
+                } else {
+                    let specs: Vec<String> = probes
+                        .iter()
+                        .map(|p| match p.kind {
+                            ProbeKind::Eq => format!("eq(.{} = {})", p.attr, p.term),
+                            ProbeKind::Range(op) => format!("range(.{} {} {})", p.attr, op, p.term),
+                        })
+                        .collect();
+                    out.push_str(&format!("{pad}scan [probe {}]\n", specs.join(", ")));
+                }
+                inner.render(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Executes a compiled body: threads the per-conjunct plans over the
+    /// seed substitutions left to right, sorting and deduplicating after
+    /// each conjunct (the same determinism discipline as the tree walk).
+    pub fn eval_compiled(&self, plan: &CompiledItems, seed: Vec<Subst>) -> EvalResult<Vec<Subst>> {
+        let mut current = seed;
+        for item in plan.items() {
+            let mut next = Vec::new();
+            for s in &current {
+                self.exec_at(self.store.universe(), item, s, &Loc::Root, &mut next)?;
+                self.check_limit(next.len())?;
+            }
+            next.sort();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        Ok(current)
+    }
+
+    fn exec_at(
+        &self,
+        obj: &Value,
+        op: &PhysOp,
+        subst: &Subst,
+        loc: &Loc,
+        out: &mut Vec<Subst>,
+    ) -> EvalResult<()> {
+        match op {
+            PhysOp::Epsilon => {
+                out.push(subst.clone());
+                Ok(())
+            }
+            PhysOp::Not(inner) => {
+                let mut tmp = Vec::new();
+                self.exec_at(obj, inner, subst, loc, &mut tmp)?;
+                if tmp.is_empty() {
+                    out.push(subst.clone());
+                }
+                Ok(())
+            }
+            PhysOp::Filter(rel, term) => self.atomic(obj, *rel, term, subst, out),
+            PhysOp::Bind(v) => {
+                // The null atom satisfies no atomic expression (§5.2).
+                if obj.is_null() {
+                    return Ok(());
+                }
+                match subst.get(v) {
+                    Some(val) => {
+                        if compare_query(obj, RelOp::Eq, &val.clone()) {
+                            out.push(subst.clone());
+                        }
+                    }
+                    None => {
+                        if let Some(s2) = subst.bind(v, obj) {
+                            out.push(s2);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            PhysOp::Constraint(a, rel, b) => self.constraint(a, *rel, b, subst, out),
+            PhysOp::Tuple(fields) => {
+                if obj.as_tuple().is_none() {
+                    return Ok(());
+                }
+                self.exec_tuple(obj, fields, 0, subst, loc, out)
+            }
+            PhysOp::Scan { inner, probes } => {
+                let Some(s) = obj.as_set() else { return Ok(()) };
+                self.exec_scan(s, inner, probes, subst, loc, out)
+            }
+        }
+    }
+
+    fn exec_tuple(
+        &self,
+        obj: &Value,
+        fields: &[PhysField],
+        i: usize,
+        subst: &Subst,
+        loc: &Loc,
+        out: &mut Vec<Subst>,
+    ) -> EvalResult<()> {
+        if i == fields.len() {
+            out.push(subst.clone());
+            return Ok(());
+        }
+        let field = &fields[i];
+        let t = obj.as_tuple().expect("caller checked tuple kind");
+        match &field.attr {
+            PhysAttr::Const(name) => {
+                let Some(child) = t.get(name.as_str()) else { return Ok(()) };
+                let child_loc = loc.descend(name);
+                let mut exts = Vec::new();
+                self.exec_at(child, &field.inner, subst, &child_loc, &mut exts)?;
+                for s2 in exts {
+                    self.exec_tuple(obj, fields, i + 1, &s2, loc, out)?;
+                    self.check_limit(out.len())?;
+                }
+                Ok(())
+            }
+            PhysAttr::Var(v) => {
+                if let Some(bound) = subst.get(v) {
+                    // Bound higher-order variable: must name an attribute.
+                    let Value::Atom(Atom::Str(name)) = bound else {
+                        return Ok(()); // non-name binding satisfies nothing
+                    };
+                    let name = name.clone();
+                    let Some(child) = t.get(name.as_str()) else { return Ok(()) };
+                    let child_loc = loc.descend(&name);
+                    let mut exts = Vec::new();
+                    self.exec_at(child, &field.inner, subst, &child_loc, &mut exts)?;
+                    for s2 in exts {
+                        self.exec_tuple(obj, fields, i + 1, &s2, loc, out)?;
+                        self.check_limit(out.len())?;
+                    }
+                    Ok(())
+                } else {
+                    // §4.3: the higher-order variable ranges over the
+                    // tuple's attribute names.
+                    let attrs: Vec<(Name, Value)> =
+                        t.iter().map(|(k, v2)| (k.clone(), v2.clone())).collect();
+                    for (name, child) in &attrs {
+                        let Some(s1) = subst.bind(v, &Value::str(name.as_str())) else {
+                            continue;
+                        };
+                        let child_loc = loc.descend(name);
+                        let mut exts = Vec::new();
+                        self.exec_at(child, &field.inner, &s1, &child_loc, &mut exts)?;
+                        for s2 in exts {
+                            self.exec_tuple(obj, fields, i + 1, &s2, loc, out)?;
+                            self.check_limit(out.len())?;
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        set: &SetObj,
+        inner: &PhysOp,
+        probes: &[ProbePlan],
+        subst: &Subst,
+        loc: &Loc,
+        out: &mut Vec<Subst>,
+    ) -> EvalResult<()> {
+        // Index probe when scanning a stored relation: the first candidate
+        // whose key term is ground under the ambient substitution wins —
+        // the same choice `probe_spec` makes in the interpreter. Candidates
+        // are borrowed from the (Arc-held) index — no tuple cloning.
+        if self.opts.use_indexes {
+            if let Loc::Rel(db, rel) = loc {
+                for probe in probes {
+                    let Ok(key) = try_eval_term(&probe.term, subst) else { continue };
+                    match probe.kind {
+                        ProbeKind::Eq => {
+                            let index = self.store.index(
+                                db.as_str(),
+                                rel.as_str(),
+                                probe.attr.as_str(),
+                                IndexKind::Hash,
+                            )?;
+                            let mut keys = vec![key];
+                            if let Some(twin) = numeric_twin(&keys[0]) {
+                                keys.push(twin);
+                            }
+                            for key in &keys {
+                                for cand in index.lookup_eq(key) {
+                                    self.exec_at(cand, inner, subst, &Loc::Off, out)?;
+                                    self.check_limit(out.len())?;
+                                }
+                            }
+                        }
+                        ProbeKind::Range(op) => {
+                            let index = self.store.index(
+                                db.as_str(),
+                                rel.as_str(),
+                                probe.attr.as_str(),
+                                IndexKind::BTree,
+                            )?;
+                            for (lo, hi) in &range_bounds(op, &key) {
+                                if let Some(hits) = index.lookup_range(bound_ref(lo), bound_ref(hi))
+                                {
+                                    for cand in hits {
+                                        self.exec_at(cand, inner, subst, &Loc::Off, out)?;
+                                        self.check_limit(out.len())?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        for elem in set.iter() {
+            self.exec_at(elem, inner, subst, &Loc::Off, out)?;
+            self.check_limit(out.len())?;
+        }
+        Ok(())
+    }
+}

@@ -98,11 +98,7 @@ fn score(f: &Field, bound: &BTreeSet<Var>) -> u8 {
 fn expr_score(e: &Expr, bound: &BTreeSet<Var>) -> u8 {
     match e {
         Expr::Atomic(RelOp::Eq, t) if term_ground(t, bound) => 0,
-        Expr::Atomic(op, t)
-            if *op != RelOp::Eq && *op != RelOp::Ne && term_ground(t, bound) =>
-        {
-            1
-        }
+        Expr::Atomic(op, t) if *op != RelOp::Eq && *op != RelOp::Ne && term_ground(t, bound) => 1,
         Expr::Atomic(..) => 3,
         Expr::Set(_) | Expr::Tuple(_) if has_ground_eq(e, bound) => 1,
         Expr::Set(_) | Expr::Tuple(_) => 3,
@@ -118,9 +114,9 @@ fn expr_score(e: &Expr, bound: &BTreeSet<Var>) -> u8 {
 fn has_ground_eq(e: &Expr, bound: &BTreeSet<Var>) -> bool {
     match e {
         Expr::Set(inner) => has_ground_eq(inner, bound),
-        Expr::Tuple(fields) => fields.iter().any(|f| {
-            matches!(&f.expr, Expr::Atomic(RelOp::Eq, t) if term_ground(t, bound))
-        }),
+        Expr::Tuple(fields) => fields
+            .iter()
+            .any(|f| matches!(&f.expr, Expr::Atomic(RelOp::Eq, t) if term_ground(t, bound))),
         _ => false,
     }
 }
@@ -255,9 +251,7 @@ mod tests {
                 _ => None,
             }
         }
-        find(e)
-            .map(|fs| fs.iter().map(|f| f.attr.to_string()).collect())
-            .unwrap_or_default()
+        find(e).map(|fs| fs.iter().map(|f| f.attr.to_string()).collect()).unwrap_or_default()
     }
 
     #[test]

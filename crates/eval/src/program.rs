@@ -134,9 +134,7 @@ impl ProgramRegistry {
         let (path, sign, args) = call_shape(expr)?;
         let key = ProgramKey { path, sign };
         let rank = key.sign_rank();
-        self.programs
-            .get(&(key.path.clone(), rank))
-            .map(|(k, _)| (k.clone(), args))
+        self.programs.get(&(key.path.clone(), rank)).map(|(k, _)| (k.clone(), args))
     }
 
     /// Executes a program call: binds arguments to each clause's
@@ -254,9 +252,8 @@ impl ProgramRegistry {
             } else {
                 let scope = update_scope(item);
                 for s in &substs {
-                    let st = store.mutate(scope.clone(), |universe| {
-                        apply_update(universe, item, s)
-                    })?;
+                    let st =
+                        store.mutate(scope.clone(), |universe| apply_update(universe, item, s))?;
                     stats.merge(st);
                 }
             }
@@ -270,8 +267,7 @@ impl ProgramRegistry {
     /// supplied* (that is its runtime meaning). Returns human-readable
     /// problems; empty = the call shape is valid.
     pub fn static_call_issues(&self, key: &ProgramKey, args: &[Field]) -> Vec<String> {
-        let Some((_, clauses)) = self.programs.get(&(key.path.clone(), key.sign_rank()))
-        else {
+        let Some((_, clauses)) = self.programs.get(&(key.path.clone(), key.sign_rank())) else {
             return vec![format!("no update program named {key}")];
         };
         let mut issues = Vec::new();
@@ -286,9 +282,7 @@ impl ProgramRegistry {
                 Expr::Atomic(RelOp::Eq, _) => {
                     supplied.insert(pname.clone());
                 }
-                _ => issues.push(format!(
-                    "{key}: argument .{pname} must be `.{pname} = value`"
-                )),
+                _ => issues.push(format!("{key}: argument .{pname} must be `.{pname} = value`")),
             }
             if !clauses.iter().any(|c| c.params.contains_key(pname)) {
                 issues.push(format!("{key} has no parameter .{pname}"));
@@ -297,9 +291,7 @@ impl ProgramRegistry {
         for clause in clauses {
             for req in &clause.required {
                 if !supplied.contains(req) {
-                    issues.push(format!(
-                        "{key} requires parameter .{req} to be bound"
-                    ));
+                    issues.push(format!("{key} requires parameter .{req} to be bound"));
                 }
             }
         }
@@ -332,11 +324,7 @@ impl ProgramRegistry {
             Grey,
             Black,
         }
-        fn dfs(
-            v: usize,
-            edges: &[Vec<usize>],
-            marks: &mut [Mark],
-        ) -> Option<usize> {
+        fn dfs(v: usize, edges: &[Vec<usize>], marks: &mut [Mark]) -> Option<usize> {
             marks[v] = Mark::Grey;
             for &w in &edges[v] {
                 match marks[w] {
@@ -446,9 +434,7 @@ fn parse_head(head: &Expr) -> EvalResult<(ProgramKey, BTreeMap<Name, Var>)> {
     let mut params = BTreeMap::new();
     for f in args {
         let AttrTerm::Const(pname) = &f.attr else {
-            return Err(EvalError::Malformed(
-                "program parameters must have constant names".into(),
-            ));
+            return Err(EvalError::Malformed("program parameters must have constant names".into()));
         };
         let Expr::Atomic(RelOp::Eq, Term::Var(v)) = &f.expr else {
             return Err(EvalError::Malformed(format!(
@@ -556,11 +542,7 @@ mod tests {
         .dbU.insStk(.stk=S, .date=D, .price=P) -> .ource.S+(.date=D,.clsPrice=P) ;
     ";
 
-    fn call(
-        reg: &ProgramRegistry,
-        store: &mut Store,
-        src: &str,
-    ) -> EvalResult<UpdateStats> {
+    fn call(reg: &ProgramRegistry, store: &mut Store, src: &str) -> EvalResult<UpdateStats> {
         let Statement::Request(req) = parse_statement(src).unwrap() else { panic!() };
         let (key, args) = reg.match_call(&req.items[0]).expect("call should match");
         reg.call(store, &key, args, &Subst::new(), EvalOptions::default())
@@ -739,9 +721,7 @@ mod tests {
 
     #[test]
     fn update_scope_extraction() {
-        let Statement::Request(req) =
-            parse_statement("?.euter.r-(.stkCode=hp)").unwrap()
-        else {
+        let Statement::Request(req) = parse_statement("?.euter.r-(.stkCode=hp)").unwrap() else {
             panic!()
         };
         assert_eq!(

@@ -45,6 +45,10 @@ pub struct EvalOptions {
     pub use_indexes: bool,
     /// Reorder tuple-expression conjuncts before evaluation.
     pub reorder: bool,
+    /// Compile expressions to the physical plan IR before execution
+    /// ([`crate::physical`]). `false` keeps the tree-walking interpreter
+    /// as the reference mode for differential testing.
+    pub compile: bool,
     /// Abort with [`EvalError::TooManyResults`] beyond this many
     /// substitutions in any intermediate result.
     pub max_results: Option<usize>,
@@ -59,6 +63,7 @@ impl Default for EvalOptions {
         EvalOptions {
             use_indexes: true,
             reorder: true,
+            compile: default_compile(),
             max_results: None,
             threads: default_threads(),
         }
@@ -66,15 +71,27 @@ impl Default for EvalOptions {
 }
 
 impl EvalOptions {
-    /// The naive reference configuration: no indexes, no reordering,
-    /// sequential fixpoint.
+    /// The naive reference configuration: no indexes, no reordering, no
+    /// plan compilation (pure tree walk), sequential fixpoint.
     pub fn naive() -> Self {
-        EvalOptions { use_indexes: false, reorder: false, max_results: None, threads: 1 }
+        EvalOptions {
+            use_indexes: false,
+            reorder: false,
+            compile: false,
+            max_results: None,
+            threads: 1,
+        }
     }
 
     /// This configuration with a fixed fixpoint worker count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// This configuration with plan compilation switched on or off.
+    pub fn with_compile(mut self, compile: bool) -> Self {
+        self.compile = compile;
         self
     }
 }
@@ -91,6 +108,19 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The default for [`EvalOptions::compile`]: `true`, unless the
+/// `IDL_NO_COMPILE` environment variable is set to something other than
+/// `""`/`0` (how CI exercises the tree-walk reference interpreter).
+pub fn default_compile() -> bool {
+    match std::env::var("IDL_NO_COMPILE") {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
 /// Where in the stored universe the walk currently is (for index probes).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Loc {
@@ -105,7 +135,7 @@ pub enum Loc {
 }
 
 impl Loc {
-    fn descend(&self, attr: &Name) -> Loc {
+    pub(crate) fn descend(&self, attr: &Name) -> Loc {
         match self {
             Loc::Root => Loc::Db(attr.clone()),
             Loc::Db(db) => Loc::Rel(db.clone(), attr.clone()),
@@ -116,8 +146,8 @@ impl Loc {
 
 /// The query evaluator, borrowing the store it reads.
 pub struct Evaluator<'a> {
-    store: &'a Store,
-    opts: EvalOptions,
+    pub(crate) store: &'a Store,
+    pub(crate) opts: EvalOptions,
 }
 
 impl<'a> Evaluator<'a> {
@@ -152,13 +182,24 @@ impl<'a> Evaluator<'a> {
         let substs = self.eval_items(&request.items, vec![Subst::new()])?;
         let vars = request.vars();
         let named: std::collections::BTreeSet<_> =
-            vars.into_iter().filter(|v| !v.0.as_str().starts_with("_G")).collect();
+            vars.into_iter().filter(|v| !v.is_gensym()).collect();
         Ok(substs.into_iter().map(|s| s.project(&named)).collect())
     }
 
     /// Threads a list of universe-level conjuncts over a set of seed
     /// substitutions, left to right.
+    ///
+    /// With [`EvalOptions::compile`] set this compiles the items to the
+    /// physical plan IR and executes that (an uncached compile — callers
+    /// with a [`crate::compile::PlanCache`] should compile through it and
+    /// call [`Evaluator::eval_compiled`] directly); otherwise it
+    /// tree-walks the AST, re-planning per item as the reference
+    /// interpreter always has.
     pub fn eval_items(&self, items: &[Expr], seed: Vec<Subst>) -> EvalResult<Vec<Subst>> {
+        if self.opts.compile {
+            let plan = crate::compile::compile_items(items, self.opts)?;
+            return self.eval_compiled(&plan, seed);
+        }
         let mut current = seed;
         for item in items {
             let item = if self.opts.reorder { plan::plan_query_expr(item) } else { item.clone() };
@@ -196,7 +237,7 @@ impl<'a> Evaluator<'a> {
         Ok(!out.is_empty())
     }
 
-    fn check_limit(&self, n: usize) -> EvalResult<()> {
+    pub(crate) fn check_limit(&self, n: usize) -> EvalResult<()> {
         match self.opts.max_results {
             Some(limit) if n > limit => Err(EvalError::TooManyResults(limit)),
             _ => Ok(()),
@@ -235,15 +276,15 @@ impl<'a> Evaluator<'a> {
                 let Some(s) = obj.as_set() else { return Ok(()) };
                 self.set_scan(s, inner, subst, loc, out)
             }
-            Expr::AtomicUpdate(..) | Expr::SetUpdate(..) => Err(EvalError::Malformed(
-                "update expression in query position".into(),
-            )),
+            Expr::AtomicUpdate(..) | Expr::SetUpdate(..) => {
+                Err(EvalError::Malformed("update expression in query position".into()))
+            }
         }
     }
 
     // ---- atomic ---------------------------------------------------------
 
-    fn atomic(
+    pub(crate) fn atomic(
         &self,
         obj: &Value,
         op: RelOp,
@@ -278,7 +319,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn constraint(
+    pub(crate) fn constraint(
         &self,
         a: &Term,
         op: RelOp,
@@ -466,9 +507,8 @@ impl<'a> Evaluator<'a> {
             let AttrTerm::Const(attr) = &f.attr else { continue };
             let Expr::Atomic(RelOp::Eq, term) = &f.expr else { continue };
             let Ok(key) = try_eval_term(term, subst) else { continue };
-            let index = self
-                .store
-                .index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::Hash)?;
+            let index =
+                self.store.index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::Hash)?;
             let mut keys = vec![key];
             if let Some(twin) = numeric_twin(&keys[0]) {
                 keys.push(twin);
@@ -486,9 +526,8 @@ impl<'a> Evaluator<'a> {
                 continue;
             }
             let Ok(key) = try_eval_term(term, subst) else { continue };
-            let index = self
-                .store
-                .index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::BTree)?;
+            let index =
+                self.store.index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::BTree)?;
             return Ok(Some(ProbeSpec::Range { index, bounds: range_bounds(*op, &key) }));
         }
         Ok(None)
@@ -513,7 +552,7 @@ enum ProbeSpec {
     },
 }
 
-fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
+pub(crate) fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
     match b {
         Bound::Included(v) => Bound::Included(v),
         Bound::Excluded(v) => Bound::Excluded(v),
@@ -572,7 +611,7 @@ pub fn numeric_twin(v: &Value) -> Option<Value> {
 /// Superset range bounds for an index probe: one (lower, upper) pair per
 /// key type that could satisfy `attr op key`. Bounds are widened to
 /// inclusive where exactness is fiddly — candidates are re-checked.
-fn range_bounds(op: RelOp, key: &Value) -> Vec<(Bound<Value>, Bound<Value>)> {
+pub(crate) fn range_bounds(op: RelOp, key: &Value) -> Vec<(Bound<Value>, Bound<Value>)> {
     use Bound::*;
     let Some(atom) = key.as_atom() else { return vec![] };
     match atom {
@@ -814,5 +853,18 @@ mod tests {
         let s = store();
         let a = ask(&s, "?.euter.r(.stkCode=hp, .clsPrice=_)");
         assert_eq!(a.len(), 1, "anonymous variables are projected away");
+    }
+
+    #[test]
+    fn user_variable_named_like_gensym_survives() {
+        // Regression: `_G1` used to collide with the parser's fresh-variable
+        // names and was silently projected out of the answers. Gensyms now
+        // carry an unparseable marker, so this is an ordinary variable.
+        let s = store();
+        let a = ask(&s, "?.euter.r(.stkCode=_G1, .clsPrice>200)");
+        assert_eq!(a.column("_G1"), vec![Value::str("ibm")]);
+        // and it coexists with a real anonymous variable
+        let a = ask(&s, "?.euter.r(.stkCode=_G1, .clsPrice=_)");
+        assert_eq!(a.column("_G1").len(), 2, "hp and ibm, _ projected away");
     }
 }

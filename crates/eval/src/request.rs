@@ -12,6 +12,7 @@
 //! program is registered for that exact path and sign (§7.2); base updates
 //! go straight to the storage layer.
 
+use crate::compile::PlanCache;
 use crate::error::{EvalError, EvalResult};
 use crate::program::{update_scope, ProgramRegistry};
 use crate::query::{EvalOptions, Evaluator};
@@ -54,8 +55,22 @@ pub fn run_request(
     request: &Request,
     opts: EvalOptions,
 ) -> EvalResult<RequestOutcome> {
+    run_request_cached(store, registry, derived, request, opts, None)
+}
+
+/// [`run_request`] with a memoized plan cache: query items are compiled
+/// through `cache` (when [`EvalOptions::compile`] is on), so a repeated
+/// request re-uses its plans instead of re-compiling.
+pub fn run_request_cached(
+    store: &mut Store,
+    registry: &ProgramRegistry,
+    derived: &DerivedCatalog,
+    request: &Request,
+    opts: EvalOptions,
+    cache: Option<&mut PlanCache>,
+) -> EvalResult<RequestOutcome> {
     store.begin();
-    match run_inner(store, registry, derived, request, opts) {
+    match run_inner(store, registry, derived, request, opts, cache) {
         Ok(outcome) => {
             store.commit().expect("transaction opened above");
             Ok(outcome)
@@ -73,6 +88,7 @@ fn run_inner(
     derived: &DerivedCatalog,
     request: &Request,
     opts: EvalOptions,
+    mut cache: Option<&mut PlanCache>,
 ) -> EvalResult<RequestOutcome> {
     let mut substs = vec![Subst::new()];
     let mut stats = UpdateStats::default();
@@ -86,7 +102,13 @@ fn run_inner(
         }
         if item.is_query() {
             let ev = Evaluator::new(store, opts);
-            substs = ev.eval_items(std::slice::from_ref(item), substs)?;
+            substs = match cache.as_deref_mut() {
+                Some(cache) if opts.compile => {
+                    let plan = cache.get_or_compile(std::slice::from_ref(item), opts)?;
+                    ev.eval_compiled(&plan, substs)?
+                }
+                _ => ev.eval_items(std::slice::from_ref(item), substs)?,
+            };
             if substs.is_empty() {
                 break;
             }
@@ -104,10 +126,7 @@ fn run_inner(
     }
     // Project answers onto named variables.
     let vars = request.vars();
-    let named: BTreeSet<_> = vars
-        .into_iter()
-        .filter(|v| !v.0.as_str().starts_with("_G"))
-        .collect();
+    let named: BTreeSet<_> = vars.into_iter().filter(|v| !v.is_gensym()).collect();
     let answers: AnswerSet = substs.into_iter().map(|s| s.project(&named)).collect();
     Ok(RequestOutcome { answers, stats })
 }
@@ -204,13 +223,9 @@ mod tests {
             reg.register(&p).unwrap();
         }
         let derived = whole_db("dbE");
-        let out = run(
-            &mut store,
-            &reg,
-            &derived,
-            "?.dbE.r+(.date=3/9/85,.stkCode=sun,.clsPrice=5)",
-        )
-        .unwrap();
+        let out =
+            run(&mut store, &reg, &derived, "?.dbE.r+(.date=3/9/85,.stkCode=sun,.clsPrice=5)")
+                .unwrap();
         assert_eq!(out.stats.inserted, 1);
         assert_eq!(store.relation("euter", "r").unwrap().len(), 4, "routed to base table");
     }
@@ -229,13 +244,9 @@ mod tests {
         let mut store = base_store();
         let reg = ProgramRegistry::new();
         let derived = DerivedCatalog::empty();
-        let out = run(
-            &mut store,
-            &reg,
-            &derived,
-            "?.euter.r(.stkCode=nope,.date=D), .euter.r-(.date=D)",
-        )
-        .unwrap();
+        let out =
+            run(&mut store, &reg, &derived, "?.euter.r(.stkCode=nope,.date=D), .euter.r-(.date=D)")
+                .unwrap();
         assert_eq!(out.stats.total(), 0);
         assert!(!out.is_true());
         assert_eq!(store.relation("euter", "r").unwrap().len(), 3);

@@ -25,7 +25,9 @@
 //! version of semi-naive evaluation, which the ablation bench B8 compares
 //! against the naive re-run-everything mode.
 
+use crate::compile::{compile_items, PlanCache};
 use crate::error::{EvalError, EvalResult};
+use crate::physical::CompiledItems;
 use crate::query::{EvalOptions, Evaluator};
 use crate::subst::Subst;
 use crate::update::materialize;
@@ -34,6 +36,7 @@ use idl_object::{Atom, Name, Value};
 use idl_storage::{ChangeScope, Store};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors detected when a rule set is installed.
 #[derive(Clone, PartialEq, Debug)]
@@ -209,6 +212,16 @@ pub struct FixpointStats {
     pub rule_evals: usize,
     /// New facts (make-true operations that changed the universe).
     pub facts_added: usize,
+    /// Rule bodies compiled to the physical plan IR this run. At most one
+    /// compile per masked-in rule per refresh — plans are shared across
+    /// fixpoint iterations and worker threads.
+    pub plans_compiled: usize,
+    /// Rule bodies served from the caller's memoized [`PlanCache`]
+    /// ([`RuleEngine::materialize_cached`]).
+    pub plan_cache_hits: usize,
+    /// Rule bodies the memoized cache had to compile (equals
+    /// `plans_compiled` when a cache was supplied).
+    pub plan_cache_misses: usize,
     /// Per-stratum telemetry, in evaluation (bottom-up) order. Masked-out
     /// strata are skipped entirely.
     pub strata: Vec<StratumStats>,
@@ -332,11 +345,11 @@ impl RuleEngine {
                 if dirty[i] {
                     continue;
                 }
-                let reads_dirty = self.body_refs[i].iter().any(|br| {
-                    (0..n).any(|j| dirty[j] && br.pat.overlaps(&self.head_pats[j]))
-                });
-                let shares_dirty_head = (0..n)
-                    .any(|j| dirty[j] && self.head_pats[i].overlaps(&self.head_pats[j]));
+                let reads_dirty = self.body_refs[i]
+                    .iter()
+                    .any(|br| (0..n).any(|j| dirty[j] && br.pat.overlaps(&self.head_pats[j])));
+                let shares_dirty_head =
+                    (0..n).any(|j| dirty[j] && self.head_pats[i].overlaps(&self.head_pats[j]));
                 if reads_dirty || shares_dirty_head {
                     dirty[i] = true;
                     changed = true;
@@ -357,6 +370,62 @@ impl RuleEngine {
         store: &mut Store,
         opts: EvalOptions,
         mask: Option<&[bool]>,
+    ) -> EvalResult<FixpointStats> {
+        self.materialize_cached(store, opts, mask, None)
+    }
+
+    /// [`RuleEngine::materialize_masked`] with a memoized plan cache.
+    ///
+    /// When [`EvalOptions::compile`] is on, every masked-in rule body is
+    /// compiled (or fetched from `cache`) *once, up front*; the resulting
+    /// plans are shared by every fixpoint iteration and worker thread of
+    /// the run. The cache outlives refreshes, so a warm engine compiles
+    /// nothing at all — `FixpointStats::plan_cache_hits` accounts for it.
+    pub fn materialize_cached(
+        &self,
+        store: &mut Store,
+        opts: EvalOptions,
+        mask: Option<&[bool]>,
+        mut cache: Option<&mut PlanCache>,
+    ) -> EvalResult<FixpointStats> {
+        let mut stats = FixpointStats::default();
+        // Compile once per refresh: one plan per masked-in rule body,
+        // indexed like `rules`.
+        let mut plans: Vec<Option<Arc<CompiledItems>>> = vec![None; self.rules.len()];
+        if opts.compile {
+            for (i, rule) in self.rules.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                plans[i] = Some(match cache.as_deref_mut() {
+                    Some(cache) => {
+                        let misses = cache.misses();
+                        let plan = cache.get_or_compile(&rule.body, opts)?;
+                        if cache.misses() > misses {
+                            stats.plan_cache_misses += 1;
+                            stats.plans_compiled += 1;
+                        } else {
+                            stats.plan_cache_hits += 1;
+                        }
+                        plan
+                    }
+                    None => {
+                        stats.plans_compiled += 1;
+                        Arc::new(compile_items(&rule.body, opts)?)
+                    }
+                });
+            }
+        }
+        self.run_fixpoint(store, opts, mask, &plans, stats)
+    }
+
+    fn run_fixpoint(
+        &self,
+        store: &mut Store,
+        opts: EvalOptions,
+        mask: Option<&[bool]>,
+        plans: &[Option<Arc<CompiledItems>>],
+        mut stats: FixpointStats,
     ) -> EvalResult<FixpointStats> {
         // Views exist even when empty: create the skeleton of every head
         // whose (db, rel) is fully constant. (Data-dependent heads create
@@ -379,15 +448,11 @@ impl RuleEngine {
                 }
             }
         }
-        let mut stats = FixpointStats::default();
         for stratum in &self.strata {
-            let selected: Vec<usize> = stratum
-                .iter()
-                .copied()
-                .filter(|&i| mask.is_none_or(|m| m[i]))
-                .collect();
+            let selected: Vec<usize> =
+                stratum.iter().copied().filter(|&i| mask.is_none_or(|m| m[i])).collect();
             if !selected.is_empty() {
-                self.run_stratum(store, &selected, opts, &mut stats)?;
+                self.run_stratum(store, &selected, opts, plans, &mut stats)?;
             }
         }
         Ok(stats)
@@ -413,6 +478,7 @@ impl RuleEngine {
         store: &mut Store,
         stratum: &[usize],
         opts: EvalOptions,
+        plans: &[Option<Arc<CompiledItems>>],
         stats: &mut FixpointStats,
     ) -> EvalResult<()> {
         let started = std::time::Instant::now();
@@ -455,7 +521,10 @@ impl RuleEngine {
                     sstats.rule_evals_per_worker[0] += 1;
                     let substs = {
                         let ev = Evaluator::new(store, opts);
-                        ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?
+                        match &plans[ri] {
+                            Some(plan) => ev.eval_compiled(plan, vec![Subst::new()])?,
+                            None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?,
+                        }
                     };
                     let added = self.merge_rule_delta(store, ri, &substs)?;
                     if added > 0 {
@@ -474,6 +543,7 @@ impl RuleEngine {
                     store,
                     &runnable,
                     opts,
+                    plans,
                     workers,
                     &mut sstats.rule_evals_per_worker,
                 );
@@ -509,6 +579,7 @@ impl RuleEngine {
         store: &Store,
         runnable: &[usize],
         opts: EvalOptions,
+        plans: &[Option<Arc<CompiledItems>>],
         workers: usize,
         evals_per_worker: &mut [usize],
     ) -> Vec<EvalResult<Vec<Subst>>> {
@@ -526,18 +597,19 @@ impl RuleEngine {
                                 if slot >= runnable.len() {
                                     break;
                                 }
-                                let rule = &self.rules[runnable[slot]];
+                                let ri = runnable[slot];
                                 let ev = Evaluator::new(store, opts);
-                                out.push((slot, ev.eval_items(&rule.body, vec![Subst::new()])));
+                                let delta = match &plans[ri] {
+                                    Some(plan) => ev.eval_compiled(plan, vec![Subst::new()]),
+                                    None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()]),
+                                };
+                                out.push((slot, delta));
                             }
                             out
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fixpoint worker panicked"))
-                    .collect()
+                handles.into_iter().map(|h| h.join().expect("fixpoint worker panicked")).collect()
             })
             .expect("crossbeam scope");
         let mut slots: Vec<Option<EvalResult<Vec<Subst>>>> =
@@ -548,10 +620,7 @@ impl RuleEngine {
                 slots[slot] = Some(delta);
             }
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every runnable rule evaluated exactly once"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("every runnable rule evaluated exactly once")).collect()
     }
 
     /// Applies one rule's substitution set to the store under the rule's
@@ -584,12 +653,9 @@ impl RuleEngine {
 fn scope_overlaps(scope: &idl_storage::ChangeScope, pat: &PredPat) -> bool {
     match scope {
         idl_storage::ChangeScope::Universe => true,
-        idl_storage::ChangeScope::Database { db } => {
-            pat.db.as_ref().is_none_or(|d| d == db)
-        }
+        idl_storage::ChangeScope::Database { db } => pat.db.as_ref().is_none_or(|d| d == db),
         idl_storage::ChangeScope::Relation { db, rel } => {
-            pat.db.as_ref().is_none_or(|d| d == db)
-                && pat.rel.as_ref().is_none_or(|r| r == rel)
+            pat.db.as_ref().is_none_or(|d| d == db) && pat.rel.as_ref().is_none_or(|r| r == rel)
         }
     }
 }
@@ -837,10 +903,7 @@ mod tests {
             "?.dbI.p(.date=3/3/85,.stk=ibm,.clsPrice=160)",
         ] {
             let Statement::Request(q) = parse_statement(src).unwrap() else { panic!() };
-            assert!(
-                Evaluator::with_defaults(&store).query(&q).unwrap().is_true(),
-                "{src}"
-            );
+            assert!(Evaluator::with_defaults(&store).query(&q).unwrap().is_true(), "{src}");
         }
     }
 
@@ -848,9 +911,8 @@ mod tests {
     fn chwab_rule_needs_date_exclusion() {
         // With an explicit guard the date-attribute artefact disappears:
         let mut store = base_store();
-        let rules = vec![rule(
-            ".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .chwab.r(.date=D,.S=P), S != date",
-        )];
+        let rules =
+            vec![rule(".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .chwab.r(.date=D,.S=P), S != date")];
         let engine = RuleEngine::new(rules).unwrap();
         engine.materialize(&mut store, EvalOptions::default()).unwrap();
         let p = store.relation("dbI", "p").unwrap();
@@ -901,10 +963,8 @@ mod tests {
 
     #[test]
     fn negative_recursion_rejected() {
-        let rules = vec![
-            rule(".a.p(.x=X) <- .a.q(.x=X), .a.r¬(.x=X)"),
-            rule(".a.r(.x=X) <- .a.p(.x=X)"),
-        ];
+        let rules =
+            vec![rule(".a.p(.x=X) <- .a.q(.x=X), .a.r¬(.x=X)"), rule(".a.r(.x=X) <- .a.p(.x=X)")];
         let err = RuleEngine::new(rules).unwrap_err();
         assert!(matches!(err, RuleSetError::NotStratified(_)));
     }
@@ -912,10 +972,7 @@ mod tests {
     #[test]
     fn head_db_must_be_constant() {
         let rules = vec![rule(".X.p(.a=A) <- .euter.r(.stkCode=A), .euter.r(.stkCode=X)")];
-        assert!(matches!(
-            RuleEngine::new(rules),
-            Err(RuleSetError::HeadDbNotConstant(_))
-        ));
+        assert!(matches!(RuleEngine::new(rules), Err(RuleSetError::HeadDbNotConstant(_))));
     }
 
     #[test]

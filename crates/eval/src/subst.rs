@@ -74,7 +74,7 @@ impl Subst {
 
     /// Projects the substitution onto a set of variables (used to present
     /// answers over the query's named variables, dropping internals like
-    /// the parser's `_G…` fresh variables).
+    /// the parser's anonymous-`_` fresh variables, see [`Var::is_gensym`]).
     pub fn project(&self, vars: &BTreeSet<Var>) -> Subst {
         Subst {
             map: self
@@ -202,12 +202,9 @@ mod tests {
 
     #[test]
     fn projection() {
-        let s: Subst = [
-            (Var::new("X"), Value::int(1)),
-            (Var::new("_G1"), Value::int(9)),
-        ]
-        .into_iter()
-        .collect();
+        let s: Subst = [(Var::new("X"), Value::int(1)), (Var::new("_G1"), Value::int(9))]
+            .into_iter()
+            .collect();
         let keep: BTreeSet<Var> = [Var::new("X")].into_iter().collect();
         let p = s.project(&keep);
         assert_eq!(p.len(), 1);

@@ -92,9 +92,9 @@ fn has_plus(e: &Expr) -> bool {
         Expr::AtomicUpdate(Sign::Minus, _) => false,
         Expr::SetUpdate(Sign::Minus, inner) => has_plus(inner),
         Expr::Not(i) | Expr::Set(i) => has_plus(i),
-        Expr::Tuple(fields) => fields
-            .iter()
-            .any(|f| f.sign == Some(Sign::Plus) || has_plus(&f.expr)),
+        Expr::Tuple(fields) => {
+            fields.iter().any(|f| f.sign == Some(Sign::Plus) || has_plus(&f.expr))
+        }
         Expr::Epsilon | Expr::Atomic(..) | Expr::Constraint(..) => false,
     }
 }
@@ -136,15 +136,10 @@ fn apply_tuple(
         return Err(kind_err(Kind::Tuple, obj, "tuple update expression"));
     }
     // Split: pure-query fields filter & bind; update fields mutate.
-    let query_fields: Vec<Field> = fields
-        .iter()
-        .filter(|f| f.sign.is_none() && f.expr.is_query())
-        .cloned()
-        .collect();
-    let update_fields: Vec<&Field> = fields
-        .iter()
-        .filter(|f| f.sign.is_some() || !f.expr.is_query())
-        .collect();
+    let query_fields: Vec<Field> =
+        fields.iter().filter(|f| f.sign.is_none() && f.expr.is_query()).cloned().collect();
+    let update_fields: Vec<&Field> =
+        fields.iter().filter(|f| f.sign.is_some() || !f.expr.is_query()).collect();
 
     let substs = if query_fields.is_empty() {
         vec![subst.clone()]
@@ -181,21 +176,16 @@ fn apply_field(
             None if field.sign == Some(Sign::Plus) || has_plus(&field.expr) => {
                 return Err(EvalError::Uninstantiated(v.clone()));
             }
-            None => obj
-                .as_tuple()
-                .expect("checked by apply_tuple")
-                .keys()
-                .cloned()
-                .collect(),
+            None => obj.as_tuple().expect("checked by apply_tuple").keys().cloned().collect(),
         },
     };
     for name in names {
         // Extend σ with the attribute binding when the position was a
         // variable, so nested conditions can mention it.
         let s2 = match &field.attr {
-            AttrTerm::Var(v) if !subst.is_bound(v) => subst
-                .bind(v, &Value::str(name.as_str()))
-                .expect("fresh binding cannot conflict"),
+            AttrTerm::Var(v) if !subst.is_bound(v) => {
+                subst.bind(v, &Value::str(name.as_str())).expect("fresh binding cannot conflict")
+            }
             _ => subst.clone(),
         };
         let t = obj.as_tuple_mut().expect("checked by apply_tuple");
@@ -256,16 +246,10 @@ fn apply_set_filtered(
             "embedded updates inside a set expression require a tuple expression".into(),
         ));
     };
-    let query_fields: Vec<Field> = fields
-        .iter()
-        .filter(|f| f.sign.is_none() && f.expr.is_query())
-        .cloned()
-        .collect();
-    let update_fields: Vec<Field> = fields
-        .iter()
-        .filter(|f| f.sign.is_some() || !f.expr.is_query())
-        .cloned()
-        .collect();
+    let query_fields: Vec<Field> =
+        fields.iter().filter(|f| f.sign.is_none() && f.expr.is_query()).cloned().collect();
+    let update_fields: Vec<Field> =
+        fields.iter().filter(|f| f.sign.is_some() || !f.expr.is_query()).cloned().collect();
     if update_fields.is_empty() {
         return Ok(());
     }
@@ -275,9 +259,8 @@ fn apply_set_filtered(
     // Take matching elements out (BTreeSet elements are immutable in
     // place), mutate copies, re-insert.
     let mut staged: Vec<Value> = Vec::new();
-    let candidates = set.take_if(|elem| {
-        matches!(satisfy_plain(elem, &qexpr, subst), Ok(v) if !v.is_empty())
-    });
+    let candidates =
+        set.take_if(|elem| matches!(satisfy_plain(elem, &qexpr, subst), Ok(v) if !v.is_empty()));
     for elem in candidates {
         let substs = satisfy_plain(&elem, &qexpr, subst)?;
         let mut modified = elem;
@@ -435,9 +418,9 @@ pub fn materialize(expr: &Expr, subst: &Subst) -> EvalResult<Value> {
             }
             Ok(Value::Set(s))
         }
-        Expr::AtomicUpdate(Sign::Minus, _) | Expr::SetUpdate(Sign::Minus, _) => Err(
-            EvalError::Malformed("make-false expression inside a make-true payload".into()),
-        ),
+        Expr::AtomicUpdate(Sign::Minus, _) | Expr::SetUpdate(Sign::Minus, _) => {
+            Err(EvalError::Malformed("make-false expression inside a make-true payload".into()))
+        }
         Expr::Not(_) => Err(EvalError::Malformed("negation inside a make-true payload".into())),
         Expr::Constraint(..) => {
             Err(EvalError::Malformed("constraint inside a make-true payload".into()))
@@ -531,10 +514,7 @@ mod tests {
         let mut u = universe();
         run(&mut u, "?.chwab.r(.date=3/3/85, .hp-=C)");
         let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
-        let day = r
-            .iter()
-            .find(|t| t.attr("date") == Some(&dval("3/3/85")))
-            .unwrap();
+        let day = r.iter().find(|t| t.attr("date") == Some(&dval("3/3/85"))).unwrap();
         assert!(day.attr("hp").unwrap().is_null());
         // attribute still exists, but no query satisfies it
         assert!(day.attr("ibm").is_some());
@@ -547,14 +527,8 @@ mod tests {
         let st = run(&mut u, "?.chwab.r(.date=3/3/85, -.hp=C)");
         assert_eq!(st.deleted, 1);
         let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
-        let day33 = r
-            .iter()
-            .find(|t| t.attr("date") == Some(&dval("3/3/85")))
-            .unwrap();
-        let day34 = r
-            .iter()
-            .find(|t| t.attr("date") == Some(&dval("3/4/85")))
-            .unwrap();
+        let day33 = r.iter().find(|t| t.attr("date") == Some(&dval("3/3/85"))).unwrap();
+        let day34 = r.iter().find(|t| t.attr("date") == Some(&dval("3/4/85"))).unwrap();
         assert!(day33.attr("hp").is_none(), "attribute gone from the 3/3 tuple only");
         assert!(day34.attr("hp").is_some(), "heterogeneous set: other tuples keep it");
     }
@@ -567,9 +541,8 @@ mod tests {
             "?.chwab.r(.date=3/3/85,.hp=C), .chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)",
         );
         let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
-        let bumped = r
-            .iter()
-            .any(|t| t.attr("hp").map(|v| v == &Value::float(60.0)).unwrap_or(false));
+        let bumped =
+            r.iter().any(|t| t.attr("hp").map(|v| v == &Value::float(60.0)).unwrap_or(false));
         assert!(bumped, "hp on 3/3/85 bumped from 50 to 60: {u}");
     }
 
@@ -622,10 +595,8 @@ mod tests {
         let mut u = universe();
         run(&mut u, "?.chwab.r(.date=3/3/85, .S-=X)");
         let r = Path::new(["chwab", "r"]).get(&u).unwrap().as_set().unwrap();
-        let nulled = r
-            .iter()
-            .find(|t| t.as_tuple().unwrap().values().all(|v| v.is_null()))
-            .is_some();
+        let nulled =
+            r.iter().find(|t| t.as_tuple().unwrap().values().all(|v| v.is_null())).is_some();
         assert!(nulled, "one tuple fully nulled: {u}");
     }
 
@@ -639,9 +610,7 @@ mod tests {
 
     #[test]
     fn materialize_requires_ground() {
-        let Statement::Request(req) =
-            parse_statement("?.euter.r+(.stkCode=S)").unwrap()
-        else {
+        let Statement::Request(req) = parse_statement("?.euter.r+(.stkCode=S)").unwrap() else {
             panic!()
         };
         let mut u = universe();

@@ -12,6 +12,10 @@
 //! * `--mapping` — install the paper's two-level mapping (views + programs).
 //! * `--sql` — treat `-e` input / script lines as the SQL-sugar dialect.
 //! * `--analyze` — run static binding analysis instead of executing.
+//! * `--explain` — pretty-print the compiled physical plan for each
+//!   request instead of executing.
+//! * `--no-compile` — execute with the tree-walk reference interpreter
+//!   instead of compiled plans (what `IDL_NO_COMPILE=1` does in CI).
 //! * `--threads N` — fixpoint worker threads for view materialisation
 //!   (default: available parallelism; `1` forces the sequential path).
 //! * `-e STMT` — execute one statement from the command line.
@@ -29,6 +33,8 @@ struct Cli {
     mapping: bool,
     sql: bool,
     analyze: bool,
+    explain: bool,
+    no_compile: bool,
     threads: Option<usize>,
     inline: Vec<String>,
     scripts: Vec<PathBuf>,
@@ -42,6 +48,8 @@ fn parse_args() -> Result<Cli, String> {
         mapping: false,
         sql: false,
         analyze: false,
+        explain: false,
+        no_compile: false,
         threads: None,
         inline: Vec::new(),
         scripts: Vec::new(),
@@ -50,14 +58,15 @@ fn parse_args() -> Result<Cli, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--snapshot" => {
-                cli.snapshot =
-                    Some(args.next().ok_or("--snapshot needs a path")?.into())
+                cli.snapshot = Some(args.next().ok_or("--snapshot needs a path")?.into())
             }
             "--save" => cli.save = Some(args.next().ok_or("--save needs a path")?.into()),
             "--stock" => cli.stock = true,
             "--mapping" => cli.mapping = true,
             "--sql" => cli.sql = true,
             "--analyze" => cli.analyze = true,
+            "--explain" => cli.explain = true,
+            "--no-compile" => cli.no_compile = true,
             "--threads" => {
                 let n = args.next().ok_or("--threads needs a count")?;
                 let n: usize = n
@@ -70,7 +79,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "-e" => cli.inline.push(args.next().ok_or("-e needs a statement")?),
             "--help" | "-h" => {
-                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [--threads N] [-e STMT] [script.idl ...]");
+                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [--explain] [--no-compile] [--threads N] [-e STMT] [script.idl ...]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -111,6 +120,10 @@ fn main() -> ExitCode {
         let opts = engine.options().with_threads(n);
         engine.set_options(opts);
     }
+    if cli.no_compile {
+        let opts = engine.options().with_compile(false);
+        engine.set_options(opts);
+    }
     if cli.mapping {
         if let Err(e) = idl::transparency::install_two_level_mapping(&mut engine) {
             eprintln!("idl: cannot install mapping: {e}");
@@ -137,6 +150,16 @@ fn main() -> ExitCode {
     }
 
     for (label, text) in &sources {
+        if cli.explain {
+            match engine.explain(text) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         if cli.analyze {
             match engine.analyze(text) {
                 Ok(issues) if issues.is_empty() => println!("{label}: no binding issues"),
@@ -152,11 +175,8 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        let result = if cli.sql {
-            engine.execute_sql(text).map(|o| vec![o])
-        } else {
-            engine.execute(text)
-        };
+        let result =
+            if cli.sql { engine.execute_sql(text).map(|o| vec![o]) } else { engine.execute(text) };
         match result {
             Ok(outcomes) => {
                 for o in outcomes {

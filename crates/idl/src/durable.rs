@@ -63,11 +63,7 @@ impl DurableEngine {
         std::fs::create_dir_all(&dir)
             .map_err(|e| EngineError::Storage(format!("create {}: {e}", dir.display())))?;
         let snap = Self::snapshot_path(&dir);
-        let mut engine = if snap.exists() {
-            Engine::load_snapshot(&snap)?
-        } else {
-            Engine::new()
-        };
+        let mut engine = if snap.exists() { Engine::load_snapshot(&snap)? } else { Engine::new() };
         setup(&mut engine)?;
         // Replay the log (if any) against the snapshot state.
         let log_path = Self::log_path(&dir);
@@ -77,8 +73,7 @@ impl DurableEngine {
                     .map_err(|e| EngineError::Storage(format!("open log: {e}")))?,
             );
             for (no, line) in reader.lines().enumerate() {
-                let line =
-                    line.map_err(|e| EngineError::Storage(format!("read log: {e}")))?;
+                let line = line.map_err(|e| EngineError::Storage(format!("read log: {e}")))?;
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('%') {
                     continue;
@@ -149,9 +144,8 @@ impl DurableEngine {
         if !path.exists() {
             return Ok(0);
         }
-        let reader = BufReader::new(
-            File::open(&path).map_err(|e| EngineError::Storage(e.to_string()))?,
-        );
+        let reader =
+            BufReader::new(File::open(&path).map_err(|e| EngineError::Storage(e.to_string()))?);
         Ok(reader.lines().map_while(Result::ok).filter(|l| !l.trim().is_empty()).count())
     }
 }
@@ -239,9 +233,7 @@ mod tests {
         let dir = fresh_dir("programs");
         {
             let mut d = DurableEngine::open(&dir).unwrap();
-            d.engine()
-                .execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;")
-                .unwrap();
+            d.engine().execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;").unwrap();
             d.update("?.dbU.put(.k=a, .v=1)").unwrap();
             d.update("?.dbU.put(.k=b, .v=2)").unwrap();
         }

@@ -4,10 +4,10 @@ use crate::error::EngineError;
 use crate::outcome::Outcome;
 use idl_eval::analyze::BindingIssue;
 use idl_eval::rules::{DerivedCatalog, DerivedScope, FixpointStats};
-use idl_eval::{
-    run_request, AnswerSet, EvalOptions, ProgramRegistry, RuleEngine, Subst,
-};
 use idl_eval::update::UpdateStats;
+use idl_eval::{
+    run_request_cached, AnswerSet, EvalOptions, PlanCache, ProgramRegistry, RuleEngine, Subst,
+};
 use idl_lang::{parse_program, Request, Rule, Statement};
 use idl_object::Value;
 use idl_storage::schema::{self, RelationSchema, SchemaSet, Violation};
@@ -48,6 +48,13 @@ impl EngineOptions {
         self.eval = self.eval.with_threads(threads);
         self
     }
+
+    /// This configuration with plan compilation switched on or off (the
+    /// `idl` CLI's `--no-compile` selects the tree-walk interpreter).
+    pub fn with_compile(mut self, compile: bool) -> Self {
+        self.eval = self.eval.with_compile(compile);
+        self
+    }
 }
 
 /// The IDL engine (see the crate docs for an overview).
@@ -64,6 +71,9 @@ pub struct Engine {
     schemas: SchemaSet,
     /// Maintain the queryable `sys` catalog database.
     sys_enabled: bool,
+    /// Memoized physical plans, keyed by canonical expression hash; shared
+    /// by request execution and view refreshes.
+    plan_cache: PlanCache,
 }
 
 impl Default for Engine {
@@ -95,6 +105,7 @@ impl Engine {
             fresh_at: None,
             schemas: SchemaSet::new(),
             sys_enabled: false,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -194,7 +205,7 @@ impl Engine {
 
     /// Executes one statement of the SQL-flavoured sugar surface
     /// (§8's "language with enough syntactic sugar"), translating it to an
-    /// IDL request. Higher-order table names work: 
+    /// IDL request. Higher-order table names work:
     /// `SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200`.
     pub fn execute_sql(&mut self, src: &str) -> Result<Outcome, EngineError> {
         let stmt = idl_lang::sugar::parse_sugar(src)?;
@@ -219,17 +230,22 @@ impl Engine {
         if check_schemas {
             self.store.begin();
         }
-        let outcome =
-            match run_request(&mut self.store, &self.programs, &self.derived, req, self.options.eval)
-            {
-                Ok(o) => o,
-                Err(e) => {
-                    if check_schemas {
-                        self.store.rollback().expect("outer transaction open");
-                    }
-                    return Err(e.into());
+        let outcome = match run_request_cached(
+            &mut self.store,
+            &self.programs,
+            &self.derived,
+            req,
+            self.options.eval,
+            Some(&mut self.plan_cache),
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                if check_schemas {
+                    self.store.rollback().expect("outer transaction open");
                 }
-            };
+                return Err(e.into());
+            }
+        };
         if check_schemas {
             let violations = self.schemas.check(&self.store);
             if violations.is_empty() {
@@ -358,7 +374,12 @@ impl Engine {
                 }
             }
         }
-        let stats = compiled.materialize(&mut self.store, self.options.eval)?;
+        let stats = compiled.materialize_cached(
+            &mut self.store,
+            self.options.eval,
+            None,
+            Some(&mut self.plan_cache),
+        )?;
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
@@ -433,7 +454,12 @@ impl Engine {
             }
         }
         let compiled = self.compiled.as_ref().expect("checked above");
-        let stats = compiled.materialize_masked(&mut self.store, self.options.eval, Some(&mask))?;
+        let stats = compiled.materialize_cached(
+            &mut self.store,
+            self.options.eval,
+            Some(&mask),
+            Some(&mut self.plan_cache),
+        )?;
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
@@ -476,8 +502,10 @@ impl Engine {
         Ok(issues)
     }
 
-    /// Shows the planner's conjunct ordering for a request (for debugging
-    /// and the ablation write-ups).
+    /// Shows, for each request item, the planner's conjunct ordering and
+    /// the compiled physical plan (the `idl --explain` output; used for
+    /// debugging and the ablation write-ups). Update items execute through
+    /// the interpreter and are shown unplanned.
     pub fn explain(&self, src: &str) -> Result<String, EngineError> {
         let stmts = parse_program(src)?;
         let mut out = String::new();
@@ -486,16 +514,40 @@ impl Engine {
                 for (i, item) in req.items.iter().enumerate() {
                     let planned = idl_eval::plan::plan_query_expr(item);
                     out.push_str(&format!("item {}: {}\n", i + 1, planned));
+                    if item.is_query() {
+                        let plan = idl_eval::compile_items(
+                            std::slice::from_ref(item),
+                            self.options.eval.with_compile(true),
+                        )?;
+                        for line in plan.explain().lines() {
+                            out.push_str(&format!("  {line}\n"));
+                        }
+                    } else {
+                        out.push_str("  (update item: interpreted, not compiled)\n");
+                    }
                 }
             }
         }
         Ok(out)
     }
 
+    /// The memoized plan cache's counters (hits, misses, resident plans) —
+    /// what the B3/B4 benches report as the warm-refresh hit rate.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
     /// Evaluates a parsed request without the engine conveniences (no view
     /// refresh). Used by benches that control refresh manually.
     pub fn run_raw(&mut self, req: &Request) -> Result<(AnswerSet, UpdateStats), EngineError> {
-        let o = run_request(&mut self.store, &self.programs, &self.derived, req, self.options.eval)?;
+        let o = run_request_cached(
+            &mut self.store,
+            &self.programs,
+            &self.derived,
+            req,
+            self.options.eval,
+            Some(&mut self.plan_cache),
+        )?;
         if o.stats.total() > 0 {
             self.fresh_at = None;
         }
@@ -515,19 +567,20 @@ impl Engine {
 
     /// A seeded substitution variant of [`Engine::query`] for parameterised
     /// reuse of one parsed request.
-    pub fn query_with(
-        &mut self,
-        req: &Request,
-        seed: &Subst,
-    ) -> Result<AnswerSet, EngineError> {
+    pub fn query_with(&mut self, req: &Request, seed: &Subst) -> Result<AnswerSet, EngineError> {
         if self.options.auto_refresh {
             self.refresh_views_if_stale()?;
         }
-        let ev = idl_eval::Evaluator::new(&self.store, self.options.eval);
-        let substs = ev.eval_items(&req.items, vec![seed.clone()])?;
+        let substs = if self.options.eval.compile {
+            let plan = self.plan_cache.get_or_compile(&req.items, self.options.eval)?;
+            let ev = idl_eval::Evaluator::new(&self.store, self.options.eval);
+            ev.eval_compiled(&plan, vec![seed.clone()])?
+        } else {
+            let ev = idl_eval::Evaluator::new(&self.store, self.options.eval);
+            ev.eval_items(&req.items, vec![seed.clone()])?
+        };
         let vars = req.vars();
-        let named: BTreeSet<_> =
-            vars.into_iter().filter(|v| !v.0.as_str().starts_with("_G")).collect();
+        let named: BTreeSet<_> = vars.into_iter().filter(|v| !v.is_gensym()).collect();
         Ok(substs.into_iter().map(|s| s.project(&named)).collect())
     }
 }
@@ -666,15 +719,11 @@ mod tests {
         e.update("?.euter.r+(.date=3/9/85,.stkCode=x,.clsPrice=1)").unwrap();
         // key-violating insert is rolled back entirely
         let before = e.store().relation("euter", "r").unwrap().clone();
-        let err = e
-            .update("?.euter.r+(.date=3/9/85,.stkCode=x,.clsPrice=2)")
-            .unwrap_err();
+        let err = e.update("?.euter.r+(.date=3/9/85,.stkCode=x,.clsPrice=2)").unwrap_err();
         assert!(matches!(err, EngineError::Schema(_)), "{err}");
         assert_eq!(&before, e.store().relation("euter", "r").unwrap());
         // type-violating insert too
-        let err = e
-            .update("?.euter.r+(.date=3/10/85,.stkCode=y,.clsPrice=cheap)")
-            .unwrap_err();
+        let err = e.update("?.euter.r+(.date=3/10/85,.stkCode=y,.clsPrice=cheap)").unwrap_err();
         assert!(matches!(err, EngineError::Schema(_)));
     }
 
@@ -687,10 +736,7 @@ mod tests {
             .declare_schema(
                 "euter",
                 "r",
-                RelationSchema {
-                    key: vec![idl_object::Name::new("date")],
-                    ..Default::default()
-                },
+                RelationSchema { key: vec![idl_object::Name::new("date")], ..Default::default() },
             )
             .unwrap_err();
         assert!(matches!(err, EngineError::Schema(_)));
@@ -737,7 +783,7 @@ mod tests {
         let mut e = engine();
         e.add_rules(rules).unwrap();
         e.refresh_views().unwrap(); // full initial build
-        // touch only euter
+                                    // touch only euter
         e.update("?.euter.r+(.date=3/9/85,.stkCode=zz,.clsPrice=1)").unwrap();
         let stats = e.refresh_views_if_stale().unwrap();
         assert!(stats.rule_evals >= 1);
@@ -756,15 +802,54 @@ mod tests {
     }
 
     #[test]
+    fn rule_bodies_compile_once_per_refresh() {
+        let mut e = engine();
+        // Pin compile on so the counters are meaningful even when the
+        // suite runs under IDL_NO_COMPILE=1.
+        e.set_options(EngineOptions::default().with_compile(true));
+        e.add_rules(UNIFIED).unwrap();
+        e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;").unwrap();
+        // Cold refresh: each of the four bodies is compiled exactly once,
+        // even though the fixpoint runs more evaluations than that.
+        let cold = e.refresh_views().unwrap();
+        assert_eq!(cold.plans_compiled, 4, "{cold:?}");
+        assert_eq!(cold.plan_cache_misses, 4, "{cold:?}");
+        assert_eq!(cold.plan_cache_hits, 0, "{cold:?}");
+        assert!(cold.rule_evals >= cold.plans_compiled, "{cold:?}");
+        // Warm refresh: every body comes from the engine's memoized cache.
+        let warm = e.refresh_views().unwrap();
+        assert_eq!(warm.plans_compiled, 0, "{warm:?}");
+        assert_eq!(warm.plan_cache_hits, 4, "{warm:?}");
+        assert!(e.plan_cache().hits() >= 4);
+        // The tree-walk reference mode compiles nothing and derives the
+        // same views.
+        let mut interp = engine();
+        interp.set_options(EngineOptions::default().with_compile(false));
+        interp.add_rules(UNIFIED).unwrap();
+        let stats = interp.refresh_views().unwrap();
+        assert_eq!(stats.plans_compiled, 0, "{stats:?}");
+        assert_eq!(
+            e.query("?.dbI.p(.date=D,.stk=S,.clsPrice=P)").unwrap(),
+            interp.query("?.dbI.p(.date=D,.stk=S,.clsPrice=P)").unwrap()
+        );
+    }
+
+    #[test]
+    fn explain_shows_compiled_plan() {
+        let e = engine();
+        let plan = e.explain("?.euter.r(.clsPrice>60, .stkCode=hp)").unwrap();
+        assert!(plan.contains("scan [probe eq(.stkCode = hp)"), "{plan}");
+        assert!(plan.contains("filter > 60"), "{plan}");
+    }
+
+    #[test]
     fn incremental_matches_full_refresh() {
         let mk = |incremental: bool| {
             let mut e = engine();
             e.set_options(EngineOptions { incremental_refresh: incremental, ..Default::default() });
             e.add_rules(UNIFIED).unwrap();
-            e.add_rules(
-                ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;",
-            )
-            .unwrap();
+            e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;")
+                .unwrap();
             e
         };
         let mut inc = mk(true);
@@ -790,9 +875,7 @@ mod tests {
     fn sql_sugar_end_to_end() {
         let mut e = engine();
         // SELECT across all three schemata agrees with the IDL originals
-        let sugar = e
-            .execute_sql("SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200")
-            .unwrap();
+        let sugar = e.execute_sql("SELECT S, clsPrice FROM ource.S WHERE clsPrice > 200").unwrap();
         let direct = e.query("?.ource.S(.clsPrice=ClsPrice_), ClsPrice_ > 200").unwrap();
         assert_eq!(sugar.answers().unwrap().column("S"), direct.column("S"));
 
@@ -837,18 +920,12 @@ mod tests {
     fn higher_order_customized_views() {
         let mut e = engine();
         e.add_rules(UNIFIED).unwrap();
-        e.add_rules(
-            ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;",
-        )
-        .unwrap();
+        e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;").unwrap();
         let rels = e.query("?.dbO.Y").unwrap();
         assert_eq!(rels.column("Y"), vec![Value::str("hp"), Value::str("ibm")]);
         // adding a stock adds a relation — the data-dependent view count
         e.update("?.euter.r+(.date=3/5/85,.stkCode=sun,.clsPrice=30)").unwrap();
         let rels = e.query("?.dbO.Y").unwrap();
-        assert_eq!(
-            rels.column("Y"),
-            vec![Value::str("hp"), Value::str("ibm"), Value::str("sun")]
-        );
+        assert_eq!(rels.column("Y"), vec![Value::str("hp"), Value::str("ibm"), Value::str("sun")]);
     }
 }

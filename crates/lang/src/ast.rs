@@ -17,10 +17,27 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Var(pub Name);
 
+/// Name prefix of parser-generated fresh variables. Contains `·`
+/// (U+00B7), which the lexer rejects inside words, so no surface program
+/// can spell a variable that collides with a gensym — user variables like
+/// `_G1` are ordinary named variables.
+pub const GENSYM_PREFIX: &str = "_G\u{b7}";
+
 impl Var {
     /// Creates a variable from its name.
     pub fn new(name: impl Into<Name>) -> Self {
         Var(name.into())
+    }
+
+    /// The `n`-th parser-generated fresh variable (one per anonymous `_`).
+    pub fn gensym(n: u32) -> Self {
+        Var::new(format!("{GENSYM_PREFIX}{n}"))
+    }
+
+    /// Whether this is a parser-generated fresh variable. Gensyms are
+    /// existential: evaluation binds them but answers project them away.
+    pub fn is_gensym(&self) -> bool {
+        self.0.as_str().starts_with(GENSYM_PREFIX)
     }
 
     /// The variable's name.
@@ -31,6 +48,11 @@ impl Var {
 
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Gensyms print back as the anonymous `_` they came from; the
+        // parser re-derives equivalent fresh variables on re-parse.
+        if self.is_gensym() {
+            return write!(f, "_");
+        }
         write!(f, "{}", self.0)
     }
 }
@@ -348,9 +370,7 @@ impl Expr {
             Expr::AtomicUpdate(..) | Expr::SetUpdate(..) => false,
             Expr::Not(e) => e.is_query(),
             Expr::Set(e) => e.is_query(),
-            Expr::Tuple(fields) => {
-                fields.iter().all(|f| f.sign.is_none() && f.expr.is_query())
-            }
+            Expr::Tuple(fields) => fields.iter().all(|f| f.sign.is_none() && f.expr.is_query()),
         }
     }
 
@@ -388,9 +408,9 @@ impl Expr {
                 false
             }
             Expr::Not(e) | Expr::Set(e) | Expr::SetUpdate(_, e) => e.has_higher_order_var(),
-            Expr::Tuple(fields) => fields
-                .iter()
-                .any(|f| f.attr.is_var() || f.expr.has_higher_order_var()),
+            Expr::Tuple(fields) => {
+                fields.iter().any(|f| f.attr.is_var() || f.expr.has_higher_order_var())
+            }
         }
     }
 
@@ -613,10 +633,7 @@ mod tests {
     fn var_collection_includes_terms_and_attrs() {
         let e = Expr::path(
             ["chwab", "r"],
-            Expr::scan(vec![
-                Field::q("date", Expr::eq_var("D")),
-                Field::q("S", Expr::eq_var("P")),
-            ]),
+            Expr::scan(vec![Field::q("date", Expr::eq_var("D")), Field::q("S", Expr::eq_var("P"))]),
         );
         let vars = e.vars();
         let names: Vec<_> = vars.iter().map(|v| v.0.as_str()).collect();
@@ -641,10 +658,10 @@ mod tests {
     fn rule_validation_rejects_unsafe_head() {
         let head = Expr::Tuple(vec![Field::q(
             "dbI",
-            Expr::Tuple(vec![Field::q("p", Expr::Set(Box::new(Expr::Tuple(vec![Field::q(
-                "stk",
-                Expr::eq_var("S"),
-            )]))))]),
+            Expr::Tuple(vec![Field::q(
+                "p",
+                Expr::Set(Box::new(Expr::Tuple(vec![Field::q("stk", Expr::eq_var("S"))]))),
+            )]),
         )]);
         let body = vec![Expr::path(
             ["euter", "r"],
@@ -656,20 +673,18 @@ mod tests {
 
     #[test]
     fn rule_validation_rejects_nonsimple_head() {
-        let head = Expr::path(["dbI", "p"], Expr::scan(vec![Field::q(
-            "clsPrice",
-            Expr::cmp(RelOp::Gt, 10i64),
-        )]));
+        let head = Expr::path(
+            ["dbI", "p"],
+            Expr::scan(vec![Field::q("clsPrice", Expr::cmp(RelOp::Gt, 10i64))]),
+        );
         assert!(matches!(Rule::new(head, vec![]), Err(ClauseError::HeadNotSimple)));
     }
 
     #[test]
     fn rule_validation_rejects_update_in_body() {
         let head = Expr::path(["dbI", "p"], Expr::scan(vec![Field::q("a", Expr::eq(1i64))]));
-        let body = vec![Expr::path(
-            ["euter", "r"],
-            Expr::SetUpdate(Sign::Minus, Box::new(Expr::Epsilon)),
-        )];
+        let body =
+            vec![Expr::path(["euter", "r"], Expr::SetUpdate(Sign::Minus, Box::new(Expr::Epsilon)))];
         assert!(matches!(Rule::new(head, body), Err(ClauseError::UpdateInRuleBody)));
     }
 

@@ -1,0 +1,103 @@
+//! Canonical expression hashing.
+//!
+//! Plan caches key compiled plans by the *content* of an expression, so the
+//! hash must be stable across processes and runs — `std::collections`'
+//! default hasher is randomly seeded and unusable for that. This module
+//! provides a fixed-seed FNV-1a 64-bit hasher and convenience functions
+//! hashing through the AST's structural [`Hash`] impls.
+//!
+//! The hash is a fast *key*, not an identity: callers that memoize on it
+//! must still compare the expressions themselves on a bucket hit (the
+//! usual hash-map discipline, made explicit because the map key travels
+//! between layers).
+
+use crate::ast::Expr;
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fixed-seed FNV-1a 64-bit hasher: deterministic across processes, cheap
+/// for the short byte streams the AST `Hash` impls emit.
+#[derive(Clone, Debug)]
+pub struct CanonicalHasher {
+    state: u64,
+}
+
+impl CanonicalHasher {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        CanonicalHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for CanonicalHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Canonical (process-stable) hash of one expression.
+pub fn canonical_hash(expr: &Expr) -> u64 {
+    let mut h = CanonicalHasher::new();
+    expr.hash(&mut h);
+    h.finish()
+}
+
+/// Canonical hash of an expression sequence (a request body or rule body).
+/// Length-prefixed by the slice `Hash` impl, so `[a, b]` and `[ab]` cannot
+/// collide structurally.
+pub fn canonical_hash_items(items: &[Expr]) -> u64 {
+    let mut h = CanonicalHasher::new();
+    items.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expr;
+
+    #[test]
+    fn equal_expressions_hash_equal() {
+        let a = parse_expr(".euter.r(.stkCode=hp, .clsPrice>60)").unwrap();
+        let b = parse_expr(".euter.r(.stkCode=hp,  .clsPrice > 60)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn different_expressions_hash_differently() {
+        let a = parse_expr(".euter.r(.stkCode=hp)").unwrap();
+        let b = parse_expr(".euter.r(.stkCode=ibm)").unwrap();
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn item_sequences_are_order_sensitive() {
+        let a = parse_expr(".db.r(.a=1)").unwrap();
+        let b = parse_expr(".db.r(.b=2)").unwrap();
+        let ab = canonical_hash_items(&[a.clone(), b.clone()]);
+        let ba = canonical_hash_items(&[b, a]);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn hash_is_stable_across_hasher_instances() {
+        let e = parse_expr(".D.R(.A=V)").unwrap();
+        assert_eq!(canonical_hash(&e), canonical_hash(&e));
+    }
+}

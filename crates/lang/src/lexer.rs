@@ -213,8 +213,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 let text = &self.src[start..self.pos];
-                let date: Date =
-                    text.parse().map_err(|e| self.err(format!("{e}"), start))?;
+                let date: Date = text.parse().map_err(|e| self.err(format!("{e}"), start))?;
                 self.emit(Token::DateLit(date), start);
                 return Ok(());
             }
@@ -262,10 +261,7 @@ impl<'a> Lexer<'a> {
 
     fn word(&mut self) {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
             self.bump();
         }
         let text = &self.src[start..self.pos];

@@ -29,6 +29,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -40,4 +41,5 @@ pub use ast::{
     Statement, Term, Var,
 };
 pub use error::{ParseError, ParseResult};
+pub use hash::{canonical_hash, canonical_hash_items, CanonicalHasher};
 pub use parser::{parse_expr, parse_program, parse_statement};

@@ -122,7 +122,7 @@ impl<'a> Parser<'a> {
 
     fn fresh_var(&mut self) -> Var {
         self.fresh += 1;
-        Var::new(format!("_G{}", self.fresh))
+        Var::gensym(self.fresh)
     }
 
     // ---- statements -------------------------------------------------
@@ -144,11 +144,11 @@ impl<'a> Parser<'a> {
             Ok(Statement::Rule(rule))
         } else if self.eat(&Token::ProgArrow) {
             let body = self.items()?;
-            let clause =
-                ProgramClause::new(head, body).map_err(|e| self.err(e.to_string()))?;
+            let clause = ProgramClause::new(head, body).map_err(|e| self.err(e.to_string()))?;
             Ok(Statement::Program(clause))
         } else {
-            Err(self.err(format!("expected `<-` or `->` after clause head, found `{}`", self.peek())))
+            Err(self
+                .err(format!("expected `<-` or `->` after clause head, found `{}`", self.peek())))
         }
     }
 
@@ -179,9 +179,7 @@ impl<'a> Parser<'a> {
         // A parenthesised arithmetic lhs also starts a constraint;
         // `constraint_ahead` tells it apart from a set expression.
         let paren_start = self.check(&Token::LParen);
-        if (self.term_can_start() || minus_term_start || paren_start)
-            && self.constraint_ahead()
-        {
+        if (self.term_can_start() || minus_term_start || paren_start) && self.constraint_ahead() {
             let lhs = self.term()?;
             let op = self.relop().ok_or_else(|| self.err("expected comparison operator"))?;
             let rhs = self.term()?;
@@ -552,9 +550,7 @@ mod tests {
     #[test]
     fn paper_q1_first_order() {
         // ?.euter.r(.stkCode=hp, .clsPrice>60)
-        let Statement::Request(r) = ps("?.euter.r(.stkCode=hp, .clsPrice>60)") else {
-            panic!()
-        };
+        let Statement::Request(r) = ps("?.euter.r(.stkCode=hp, .clsPrice>60)") else { panic!() };
         assert_eq!(r.items.len(), 1);
         let expected = Expr::path(
             ["euter", "r"],
@@ -568,10 +564,9 @@ mod tests {
 
     #[test]
     fn paper_join_is_two_items() {
-        let Statement::Request(r) = ps(
-            "?.euter.r(.stkCode=hp,.clsPrice>60,.date=D), \
-              .euter.r(.stkCode=ibm,.clsPrice>150,.date=D)",
-        ) else {
+        let Statement::Request(r) = ps("?.euter.r(.stkCode=hp,.clsPrice>60,.date=D), \
+              .euter.r(.stkCode=ibm,.clsPrice>150,.date=D)")
+        else {
             panic!()
         };
         assert_eq!(r.items.len(), 2);
@@ -611,14 +606,15 @@ mod tests {
         // ?.X.Y, X = ource
         let Statement::Request(r) = ps("?.X.Y, X = ource") else { panic!() };
         assert_eq!(r.items.len(), 2);
-        assert!(matches!(&r.items[1], Expr::Constraint(Term::Var(v), RelOp::Eq, Term::Const(_)) if v.0 == "X"));
+        assert!(
+            matches!(&r.items[1], Expr::Constraint(Term::Var(v), RelOp::Eq, Term::Const(_)) if v.0 == "X")
+        );
     }
 
     #[test]
     fn update_insert_delete() {
         // ?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)
-        let Statement::Request(r) = ps("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)")
-        else {
+        let Statement::Request(r) = ps("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)") else {
             panic!()
         };
         let Expr::Tuple(fs) = &r.items[0] else { panic!() };
@@ -663,7 +659,8 @@ mod tests {
 
     #[test]
     fn rules_parse_and_validate() {
-        let src = ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)";
+        let src =
+            ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)";
         let Statement::Rule(rule) = ps(src) else { panic!() };
         assert!(!rule.is_higher_order());
         assert_eq!(rule.body.len(), 1);
@@ -740,6 +737,29 @@ mod tests {
         let e = pe(".euter.r(.stkCode=_, .clsPrice=_)");
         let vars = e.vars();
         assert_eq!(vars.len(), 2, "each _ is a distinct fresh variable");
+        assert!(vars.iter().all(|v| v.is_gensym()), "both are gensyms");
+    }
+
+    #[test]
+    fn gensyms_cannot_be_captured_by_user_variables() {
+        // `_G1` is an ordinary variable — the gensym namespace contains an
+        // unlexable character, so no surface name collides with it.
+        let e = pe(".euter.r(.stkCode=_G1, .clsPrice=_)");
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.iter().any(|v| v.name().as_str() == "_G1" && !v.is_gensym()));
+        assert_eq!(vars.iter().filter(|v| v.is_gensym()).count(), 1);
+        // gensyms print back as `_`, and re-parsing re-derives the same
+        // fresh variables — the round trip is exact
+        let printed = e.to_string();
+        assert_eq!(printed, ".euter.r(.stkCode = _G1, .clsPrice = _)");
+        assert_eq!(pe(&printed), e);
+    }
+
+    #[test]
+    fn gensym_names_do_not_lex() {
+        let gensym = Var::gensym(1);
+        assert!(parse_statement(&format!("?.euter.r(.a={})", gensym.name())).is_err());
     }
 
     #[test]

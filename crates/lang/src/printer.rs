@@ -130,7 +130,7 @@ impl fmt::Display for Statement {
 
 #[cfg(test)]
 mod tests {
-    use crate::parser::{parse_statement, parse_expr};
+    use crate::parser::{parse_expr, parse_statement};
 
     /// Print → parse must be the identity on these paper examples.
     #[test]
@@ -163,8 +163,9 @@ mod tests {
         for src in sources {
             let ast1 = parse_statement(src).unwrap_or_else(|e| panic!("{src}: {e}"));
             let printed = ast1.to_string();
-            let ast2 = parse_statement(&printed)
-                .unwrap_or_else(|e| panic!("reparse failed\n  src: {src}\n  printed: {printed}\n  err: {e}"));
+            let ast2 = parse_statement(&printed).unwrap_or_else(|e| {
+                panic!("reparse failed\n  src: {src}\n  printed: {printed}\n  err: {e}")
+            });
             assert_eq!(ast1, ast2, "round-trip mismatch for {src} (printed: {printed})");
         }
     }

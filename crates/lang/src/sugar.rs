@@ -194,11 +194,7 @@ impl<'a> Sugar<'a> {
         }
         self.expect(Token::RParen)?;
         if cols.len() != vals.len() {
-            return Err(self.err(format!(
-                "{} columns but {} values",
-                cols.len(),
-                vals.len()
-            )));
+            return Err(self.err(format!("{} columns but {} values", cols.len(), vals.len())));
         }
         let fields = cols
             .into_iter()
@@ -243,11 +239,7 @@ impl<'a> Sugar<'a> {
                         Expr::Atomic(RelOp::Eq, Term::Var(var.clone())),
                     ));
                     let _ = pre_items.len();
-                    constraints.push(Expr::Constraint(
-                        Term::Var(var),
-                        *op,
-                        Term::Const(v.clone()),
-                    ));
+                    constraints.push(Expr::Constraint(Term::Var(var), *op, Term::Const(v.clone())));
                 }
                 _ => return Err(self.err("unsupported DELETE condition")),
             }

@@ -1,6 +1,6 @@
 //! Atomic objects.
 
-use crate::{Date, F64, Name};
+use crate::{Date, Name, F64};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;

@@ -72,10 +72,7 @@ impl UniverseBuilder {
 
 /// Lists the database names of a universe (its top-level attributes).
 pub fn database_names(universe: &Value) -> Vec<Name> {
-    universe
-        .as_tuple()
-        .map(|t| t.keys().cloned().collect())
-        .unwrap_or_default()
+    universe.as_tuple().map(|t| t.keys().cloned().collect()).unwrap_or_default()
 }
 
 /// Lists the relation names of one database inside a universe.

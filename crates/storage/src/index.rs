@@ -71,11 +71,7 @@ impl Index {
     /// NB: bounds follow the *structural* order on [`Value`]. The evaluator
     /// only pushes range probes down when the key type matches the stored
     /// type, where structural and query order agree.
-    pub fn lookup_range(
-        &self,
-        lower: Bound<&Value>,
-        upper: Bound<&Value>,
-    ) -> Option<Vec<&Value>> {
+    pub fn lookup_range(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> Option<Vec<&Value>> {
         match self {
             Index::Hash(_) => None,
             Index::BTree(m) => {
@@ -134,9 +130,7 @@ mod tests {
     #[test]
     fn btree_range_lookup() {
         let idx = Index::build(IndexKind::BTree, &rel(), &Name::new("clsPrice"));
-        let hits = idx
-            .lookup_range(Bound::Excluded(&Value::int(50)), Bound::Unbounded)
-            .unwrap();
+        let hits = idx.lookup_range(Bound::Excluded(&Value::int(50)), Bound::Unbounded).unwrap();
         assert_eq!(hits.len(), 1);
         let hits = idx
             .lookup_range(Bound::Included(&Value::int(50)), Bound::Included(&Value::int(160)))

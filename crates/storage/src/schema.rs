@@ -202,9 +202,7 @@ impl SchemaSet {
                     match tuple.get(k.as_str()) {
                         Some(v) if !v.is_null() => kv.push(v),
                         _ => {
-                            out.push(violation(format!(
-                                "tuple {t} misses key attribute .{k}"
-                            )));
+                            out.push(violation(format!("tuple {t} misses key attribute .{k}")));
                             complete = false;
                             break;
                         }
@@ -230,9 +228,9 @@ impl SchemaSet {
                         decl.ty.name()
                     ))),
                     None if decl.nullable => {}
-                    None => out.push(violation(format!(
-                        "tuple {t} misses required attribute .{attr}"
-                    ))),
+                    None => {
+                        out.push(violation(format!("tuple {t} misses required attribute .{attr}")))
+                    }
                 }
             }
         }
@@ -249,10 +247,7 @@ impl SchemaSet {
                 .iter()
                 .filter_map(|t| {
                     let tuple = t.as_tuple()?;
-                    fk.ref_attrs
-                        .iter()
-                        .map(|a| tuple.get(a.as_str()))
-                        .collect::<Option<Vec<_>>>()
+                    fk.ref_attrs.iter().map(|a| tuple.get(a.as_str())).collect::<Option<Vec<_>>>()
                 })
                 .collect();
             for t in set.iter() {

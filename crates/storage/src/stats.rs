@@ -40,9 +40,7 @@ impl RelStats {
             cardinality: rel.len(),
             attrs: attrs
                 .into_iter()
-                .map(|(k, (occ, dv))| {
-                    (k, AttrStats { occurrences: occ, distinct: dv.len() })
-                })
+                .map(|(k, (occ, dv))| (k, AttrStats { occurrences: occ, distinct: dv.len() }))
                 .collect(),
         }
     }

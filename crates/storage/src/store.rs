@@ -94,13 +94,11 @@ impl Store {
 
     /// Relation names of `db` (sorted).
     pub fn relation_names(&self, db: &str) -> StorageResult<Vec<Name>> {
-        let dbv = self
-            .universe
-            .attr(db)
-            .ok_or_else(|| StorageError::NoSuchDatabase(Name::new(db)))?;
-        let t = dbv.as_tuple().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("database {db} is not a tuple"))
-        })?;
+        let dbv =
+            self.universe.attr(db).ok_or_else(|| StorageError::NoSuchDatabase(Name::new(db)))?;
+        let t = dbv
+            .as_tuple()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("database {db} is not a tuple")))?;
         Ok(t.keys().cloned().collect())
     }
 
@@ -111,16 +109,13 @@ impl Store {
 
     /// The relation `db.rel` as a set object.
     pub fn relation(&self, db: &str, rel: &str) -> StorageResult<&SetObj> {
-        let dbv = self
-            .universe
-            .attr(db)
-            .ok_or_else(|| StorageError::NoSuchDatabase(Name::new(db)))?;
+        let dbv =
+            self.universe.attr(db).ok_or_else(|| StorageError::NoSuchDatabase(Name::new(db)))?;
         let relv = dbv
             .attr(rel)
             .ok_or_else(|| StorageError::NoSuchRelation(Name::new(db), Name::new(rel)))?;
-        relv.as_set().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("{db}.{rel} is not a set"))
-        })
+        relv.as_set()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("{db}.{rel} is not a set")))
     }
 
     /// Creates an empty database.
@@ -155,9 +150,9 @@ impl Store {
         let rel = rel.into();
         let t = self.universe.as_tuple_mut().expect("universe is a tuple");
         let dbv = t.get_or_insert_with(db.clone(), Value::empty_tuple);
-        let dbt = dbv.as_tuple_mut().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("database {db} is not a tuple"))
-        })?;
+        let dbt = dbv
+            .as_tuple_mut()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("database {db} is not a tuple")))?;
         if dbt.contains(rel.as_str()) {
             return Err(StorageError::AlreadyExists(format!("relation {db}.{rel}")));
         }
@@ -171,9 +166,9 @@ impl Store {
         let dbv = Path::new([db])
             .get_mut(&mut self.universe)
             .ok_or_else(|| StorageError::NoSuchDatabase(Name::new(db)))?;
-        let dbt = dbv.as_tuple_mut().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("database {db} is not a tuple"))
-        })?;
+        let dbt = dbv
+            .as_tuple_mut()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("database {db} is not a tuple")))?;
         if dbt.remove(rel).is_none() {
             return Err(StorageError::NoSuchRelation(Name::new(db), Name::new(rel)));
         }
@@ -195,13 +190,13 @@ impl Store {
         let rel = rel.into();
         let t = self.universe.as_tuple_mut().expect("universe is a tuple");
         let dbv = t.get_or_insert_with(db.clone(), Value::empty_tuple);
-        let dbt = dbv.as_tuple_mut().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("database {db} is not a tuple"))
-        })?;
+        let dbt = dbv
+            .as_tuple_mut()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("database {db} is not a tuple")))?;
         let relv = dbt.get_or_insert_with(rel.clone(), Value::empty_set);
-        let rels = relv.as_set_mut().ok_or_else(|| {
-            StorageError::ShapeViolation(format!("{db}.{rel} is not a set"))
-        })?;
+        let rels = relv
+            .as_set_mut()
+            .ok_or_else(|| StorageError::ShapeViolation(format!("{db}.{rel} is not a set")))?;
         let grew = rels.insert(tuple);
         self.record(ChangeScope::Relation { db, rel });
         Ok(grew)
@@ -218,9 +213,9 @@ impl Store {
             let relv = Path::new([db, rel])
                 .get_mut(&mut self.universe)
                 .ok_or_else(|| StorageError::NoSuchRelation(Name::new(db), Name::new(rel)))?;
-            let rels = relv.as_set_mut().ok_or_else(|| {
-                StorageError::ShapeViolation(format!("{db}.{rel} is not a set"))
-            })?;
+            let rels = relv
+                .as_set_mut()
+                .ok_or_else(|| StorageError::ShapeViolation(format!("{db}.{rel} is not a set")))?;
             rels.remove_if(pred)
         };
         self.record(ChangeScope::Relation { db: Name::new(db), rel: Name::new(rel) });
@@ -250,11 +245,7 @@ impl Store {
         {
             let caches = self.caches.lock();
             if let Some((built_at, idx)) = caches.indexes.get(&key) {
-                let stale = self
-                    .journal
-                    .since(*built_at)
-                    .iter()
-                    .any(|c| c.scope.touches(db, rel));
+                let stale = self.journal.since(*built_at).iter().any(|c| c.scope.touches(db, rel));
                 if !stale {
                     return Ok(Arc::clone(idx));
                 }
@@ -262,10 +253,7 @@ impl Store {
         }
         let relset = self.relation(db, rel)?;
         let idx = Arc::new(Index::build(kind, relset, &Name::new(attr)));
-        self.caches
-            .lock()
-            .indexes
-            .insert(key, (self.version, Arc::clone(&idx)));
+        self.caches.lock().indexes.insert(key, (self.version, Arc::clone(&idx)));
         Ok(idx)
     }
 
@@ -275,11 +263,7 @@ impl Store {
         {
             let caches = self.caches.lock();
             if let Some((built_at, st)) = caches.stats.get(&key) {
-                let stale = self
-                    .journal
-                    .since(*built_at)
-                    .iter()
-                    .any(|c| c.scope.touches(db, rel));
+                let stale = self.journal.since(*built_at).iter().any(|c| c.scope.touches(db, rel));
                 if !stale {
                     return Ok(Arc::clone(st));
                 }
@@ -295,10 +279,8 @@ impl Store {
 
     /// Opens a (nestable) transaction: snapshots the universe.
     pub fn begin(&mut self) {
-        self.txns.push(TxnFrame {
-            saved_universe: self.universe.clone(),
-            saved_version: self.version,
-        });
+        self.txns
+            .push(TxnFrame { saved_universe: self.universe.clone(), saved_version: self.version });
     }
 
     /// Commits the innermost transaction (keeps changes).
@@ -321,10 +303,7 @@ impl Store {
     }
 
     /// Runs `f` inside a transaction; rolls back if it returns `Err`.
-    pub fn transact<R, E>(
-        &mut self,
-        f: impl FnOnce(&mut Store) -> Result<R, E>,
-    ) -> Result<R, E> {
+    pub fn transact<R, E>(&mut self, f: impl FnOnce(&mut Store) -> Result<R, E>) -> Result<R, E> {
         self.begin();
         match f(self) {
             Ok(r) => {
@@ -394,11 +373,8 @@ mod tests {
     fn insert_dedups_and_delete_where() {
         let mut s = seeded();
         assert!(!s.insert("euter", "r", tuple! { stkCode: "hp", clsPrice: 50i64 }).unwrap());
-        let n = s
-            .delete_where("euter", "r", |t| {
-                t.attr("stkCode") == Some(&Value::str("hp"))
-            })
-            .unwrap();
+        let n =
+            s.delete_where("euter", "r", |t| t.attr("stkCode") == Some(&Value::str("hp"))).unwrap();
         assert_eq!(n, 1);
         assert_eq!(s.relation("euter", "r").unwrap().len(), 1);
     }

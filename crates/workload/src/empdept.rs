@@ -46,10 +46,7 @@ pub fn generate(cfg: &EmpDeptConfig) -> Value {
         let mut t = TupleObj::new();
         t.insert("dno", Value::int(d as i64));
         // the manager is one of the employees
-        t.insert(
-            "mgr",
-            Value::str(format!("emp{:04}", rng.gen_range(0..cfg.employees.max(1)))),
-        );
+        t.insert("mgr", Value::str(format!("emp{:04}", rng.gen_range(0..cfg.employees.max(1)))));
         dept.insert(Value::Tuple(t));
     }
     let mut hr = TupleObj::new();

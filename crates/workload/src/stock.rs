@@ -408,12 +408,7 @@ mod tests {
     fn discrepancies_injected() {
         let cfg = StockConfig { discrepancy_rate: 0.5, ..StockConfig::sized(5, 20) };
         let g = generate(&cfg);
-        let diff = g
-            .quotes
-            .iter()
-            .zip(&g.ource_prices)
-            .filter(|(q, op)| q.price != **op)
-            .count();
+        let diff = g.quotes.iter().zip(&g.ource_prices).filter(|(q, op)| q.price != **op).count();
         assert!(diff > 20 && diff < 80, "≈50% of 100 quotes differ: {diff}");
     }
 

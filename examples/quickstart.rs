@@ -28,11 +28,9 @@ fn main() -> Result<(), EngineError> {
     //    queries; the variable S ranges over data, attribute names, and
     //    relation names respectively (§4.3).
     println!("-- higher-order queries --");
-    for q in [
-        "?.euter.r(.stkCode=S, .clsPrice>200)",
-        "?.chwab.r(.S>200)",
-        "?.ource.S(.clsPrice>200)",
-    ] {
+    for q in
+        ["?.euter.r(.stkCode=S, .clsPrice>200)", "?.chwab.r(.S>200)", "?.ource.S(.clsPrice>200)"]
+    {
         let answer = engine.query(q)?;
         println!("{q}\n  => S = {:?}", answer.column("S"));
     }
@@ -71,8 +69,10 @@ fn main() -> Result<(), EngineError> {
 
     // 7. And a view update, routed through the administrator's program.
     engine.update("?.dbE.r+(.date=3/6/85, .stkCode=dec, .clsPrice=80)")?;
-    println!("\nview insert via .dbE.r+ routed to all bases: ource.dec = {}",
-        engine.query("?.ource.dec(.clsPrice=80)")?.is_true());
+    println!(
+        "\nview insert via .dbE.r+ routed to all bases: ource.dec = {}",
+        engine.query("?.ource.dec(.clsPrice=80)")?.is_true()
+    );
 
     Ok(())
 }

@@ -58,10 +58,7 @@ fn main() {
             }
             ":schema" => {
                 for db in engine.store().database_names() {
-                    let rels = engine
-                        .store()
-                        .relation_names(db.as_str())
-                        .unwrap_or_default();
+                    let rels = engine.store().relation_names(db.as_str()).unwrap_or_default();
                     let marks: Vec<String> = rels
                         .iter()
                         .map(|r| {

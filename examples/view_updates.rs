@@ -8,8 +8,7 @@
 
 use idl::{Engine, EngineError};
 use idl_workload::empdept::{
-    change_dept_manager_program, emp_mgr_rule, generate_store, move_employee_program,
-    EmpDeptConfig,
+    change_dept_manager_program, emp_mgr_rule, generate_store, move_employee_program, EmpDeptConfig,
 };
 
 fn main() -> Result<(), EngineError> {

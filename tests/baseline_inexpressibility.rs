@@ -80,15 +80,10 @@ fn differential_idl_vs_fo_on_euter() {
         let mut e = Engine::from_universe(generate(&cfg).universe).unwrap();
         for threshold in [0.0, 80.0, 120.0, 200.0, 10_000.0] {
             let fo = run_above_binding(&db, &fo_above_query(Schema::Euter, &quotes, threshold));
-            let idl =
-                e.query(&format!("?.euter.r(.stkCode=S, .clsPrice>{threshold})")).unwrap();
+            let idl = e.query(&format!("?.euter.r(.stkCode=S, .clsPrice>{threshold})")).unwrap();
             let mut fo_stocks: Vec<Value> = fo.into_iter().collect();
             fo_stocks.sort();
-            assert_eq!(
-                idl.column("S"),
-                fo_stocks,
-                "threshold {threshold} at {stocks}x{days}"
-            );
+            assert_eq!(idl.column("S"), fo_stocks, "threshold {threshold} at {stocks}x{days}");
         }
     }
 }

@@ -9,7 +9,7 @@ use idl_lang::{parse_program, parse_statement, Statement};
 use idl_repro as _;
 use idl_storage::Store;
 use idl_workload::stock::{
-    generate_sharded_store, generate_store, sharded_union_rules, shard_db, ShardedStockConfig,
+    generate_sharded_store, generate_store, shard_db, sharded_union_rules, ShardedStockConfig,
     StockConfig,
 };
 use std::sync::{Arc, RwLock};
@@ -50,11 +50,7 @@ fn parallel_readers_share_one_store() {
             handles.push(std::thread::spawn(move || {
                 let Statement::Request(req) = parse_statement(&q).unwrap() else { panic!() };
                 // half the threads stress the index-cache path
-                let opts = if i % 2 == 0 {
-                    EvalOptions::default()
-                } else {
-                    EvalOptions::naive()
-                };
+                let opts = if i % 2 == 0 { EvalOptions::default() } else { EvalOptions::naive() };
                 let got = Evaluator::new(&store, opts).query(&req).unwrap();
                 assert_eq!(got, expect, "{q}");
             }));
@@ -89,11 +85,7 @@ fn parallel_refresh_races_concurrent_readers() {
     let reference = store.universe().clone();
     let shared = Arc::new(RwLock::new(store));
 
-    let queries = [
-        "?.dbU.q(.stk=S, .clsPrice=P)",
-        "?.dbHi.R(.stk=S)",
-        "?.feed02.r(.clsPrice>0)",
-    ];
+    let queries = ["?.dbU.q(.stk=S, .clsPrice=P)", "?.dbHi.R(.stk=S)", "?.feed02.r(.clsPrice>0)"];
     let expected: Vec<_> = {
         let guard = shared.read().unwrap();
         queries
@@ -152,12 +144,14 @@ fn incremental_masked_refresh_under_parallelism_propagates_deletions() {
     ];
 
     let mut inc = Engine::from_store(generate_sharded_store(&cfg));
-    inc.set_options(EngineOptions {
-        auto_refresh: false,
-        incremental_refresh: true,
-        ..EngineOptions::default()
-    }
-    .with_threads(4));
+    inc.set_options(
+        EngineOptions {
+            auto_refresh: false,
+            incremental_refresh: true,
+            ..EngineOptions::default()
+        }
+        .with_threads(4),
+    );
     inc.add_rules(&rules).unwrap();
     inc.refresh_views().unwrap();
     let union_before = inc.store().relation("dbU", "q").unwrap().len();

@@ -96,10 +96,7 @@ fn whole_tuple_and_whole_database_binding() {
 
 #[test]
 fn date_arithmetic_in_queries() {
-    let mut e = Engine::with_stock_universe(vec![
-        ("3/3/85", "hp", 50.0),
-        ("3/4/85", "hp", 51.0),
-    ]);
+    let mut e = Engine::with_stock_universe(vec![("3/3/85", "hp", 50.0), ("3/4/85", "hp", 51.0)]);
     // consecutive-day self join via D2 = D + 1
     let a = e
         .query(
@@ -142,8 +139,6 @@ fn update_then_query_same_request() {
     // items run left to right: an update's effect is visible to later
     // query items in the same request
     let mut e = empty();
-    let out = e
-        .query("?.db.r+(.a=1), .db.r(.a=X)")
-        .unwrap();
+    let out = e.query("?.db.r+(.a=1), .db.r(.a=X)").unwrap();
     assert_eq!(out.column("X"), vec![Value::int(1)]);
 }

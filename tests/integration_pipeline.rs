@@ -68,9 +68,8 @@ fn request_atomicity_spans_program_calls() {
     e.execute(idl::transparency::standard_update_programs()).unwrap();
     // First item inserts via program; second item fails its signature
     // check; the whole request must roll back.
-    let err = e
-        .update("?.dbU.insStk(.stk=a,.date=3/4/85,.price=1), .dbU.insStk(.stk=b)")
-        .unwrap_err();
+    let err =
+        e.update("?.dbU.insStk(.stk=a,.date=3/4/85,.price=1), .dbU.insStk(.stk=b)").unwrap_err();
     assert!(matches!(err, EngineError::Eval(_)));
     assert!(!e.query("?.euter.r(.stkCode=a)").unwrap().is_true(), "rolled back");
 }
@@ -135,10 +134,8 @@ fn engine_options_toggle_evaluator_modes() {
     };
     let q = "?.euter.r(.stkCode=stk002, .clsPrice>0, .date=D)";
     let mut fast = build(EngineOptions::default());
-    let mut naive = build(EngineOptions {
-        eval: idl::EvalOptions::naive(),
-        ..EngineOptions::default()
-    });
+    let mut naive =
+        build(EngineOptions { eval: idl::EvalOptions::naive(), ..EngineOptions::default() });
     assert_eq!(fast.query(q).unwrap(), naive.query(q).unwrap());
 }
 

@@ -73,15 +73,11 @@ fn e1_query2_per_day_maximum_all_schemata() {
     assert_eq!(a.column("D"), expect_days);
     assert_eq!(a.column("S"), vec![Value::str("ibm")]);
 
-    let a = e
-        .query("?.chwab.r(.date=D,.S=P), S != date, .chwab.r¬(.date=D,.S2>P)")
-        .unwrap();
+    let a = e.query("?.chwab.r(.date=D,.S=P), S != date, .chwab.r¬(.date=D,.S2>P)").unwrap();
     assert_eq!(a.column("D"), expect_days);
     assert_eq!(a.column("S"), vec![Value::str("ibm")]);
 
-    let a = e
-        .query("?.ource.S(.date=D,.clsPrice=P), .ource¬.S2(.date=D,.clsPrice>P)")
-        .unwrap();
+    let a = e.query("?.ource.S(.date=D,.clsPrice=P), .ource¬.S2(.date=D,.clsPrice>P)").unwrap();
     assert_eq!(a.column("D"), expect_days);
     assert_eq!(a.column("S"), vec![Value::str("ibm")]);
 }
@@ -92,15 +88,9 @@ fn e1_query2_per_day_maximum_all_schemata() {
 fn e2_database_and_relation_names() {
     let mut e = paper_engine();
     let a = e.query("?.X.Y").unwrap();
-    assert_eq!(
-        a.column("X"),
-        vec![Value::str("chwab"), Value::str("euter"), Value::str("ource")]
-    );
+    assert_eq!(a.column("X"), vec![Value::str("chwab"), Value::str("euter"), Value::str("ource")]);
     let a = e.query("?.ource.Y").unwrap();
-    assert_eq!(
-        a.column("Y"),
-        vec![Value::str("hp"), Value::str("ibm"), Value::str("sun")]
-    );
+    assert_eq!(a.column("Y"), vec![Value::str("hp"), Value::str("ibm"), Value::str("sun")]);
 }
 
 #[test]
@@ -197,13 +187,11 @@ fn e3_price_bump_with_arithmetic() {
 #[test]
 fn e3_update_order_significant() {
     let mut e1 = paper_engine();
-    e1.update("?.euter.r-(.stkCode=hp), .euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)")
-        .unwrap();
+    e1.update("?.euter.r-(.stkCode=hp), .euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)").unwrap();
     assert_eq!(e1.query("?.euter.r(.stkCode=hp,.clsPrice=P)").unwrap().column("P").len(), 1);
 
     let mut e2 = paper_engine();
-    e2.update("?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99), .euter.r-(.stkCode=hp)")
-        .unwrap();
+    e2.update("?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99), .euter.r-(.stkCode=hp)").unwrap();
     assert_eq!(e2.query("?.euter.r(.stkCode=hp,.clsPrice=P)").unwrap().column("P").len(), 0);
 }
 
@@ -269,12 +257,7 @@ fn e5_delstk_partial_bindings() {
     e.update("?.dbU.delStk(.stk=hp)").unwrap();
     assert!(!e.query("?.euter.r(.stkCode=hp)").unwrap().is_true());
     // structure preserved: ource.hp still a (now empty) relation
-    assert!(e
-        .store()
-        .relation_names("ource")
-        .unwrap()
-        .iter()
-        .any(|n| n.as_str() == "hp"));
+    assert!(e.store().relation_names("ource").unwrap().iter().any(|n| n.as_str() == "hp"));
 }
 
 #[test]

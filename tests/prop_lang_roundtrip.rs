@@ -17,8 +17,7 @@ fn atom_value() -> impl Strategy<Value = Value> {
         (-99i64..99).prop_map(Value::int),
         (-999i64..999).prop_map(|i| Value::float(i as f64 / 4.0)),
         prop::sample::select(vec!["hp", "ibm", "cat", "r2d2"]).prop_map(Value::str),
-        prop::sample::select(vec!["Hello World", "null", "TRUE-ish", ""])
-            .prop_map(Value::str),
+        prop::sample::select(vec!["Hello World", "null", "TRUE-ish", ""]).prop_map(Value::str),
         any::<bool>().prop_map(Value::bool),
         (1i64..28, 1i64..13).prop_map(|(d, m)| {
             Value::date(idl_object::Date::new(1985, m as u8, d as u8).unwrap())
@@ -111,10 +110,10 @@ fn item() -> BoxedStrategy<Expr> {
         // the ubiquitous `.db.rel…` shape
         field(2).prop_map(|f| Expr::Tuple(vec![f])),
         // constraints like `X = ource`
-        (term(), relop(), term()).prop_filter_map(
-            "constraint lhs must not start a field",
-            |(a, op, b)| Some(Expr::Constraint(a, op, b)),
-        ),
+        (term(), relop(), term())
+            .prop_filter_map("constraint lhs must not start a field", |(a, op, b)| Some(
+                Expr::Constraint(a, op, b)
+            ),),
         // negated items
         field(1).prop_map(|f| Expr::Not(Box::new(Expr::Tuple(vec![f])))),
     ]

@@ -13,9 +13,9 @@ use proptest::prelude::*;
 /// states get exercised, not just the lexer's error paths.
 fn idl_soup() -> impl Strategy<Value = String> {
     let frag = prop::sample::select(vec![
-        "?", ".", ",", ";", "(", ")", "+", "-", "¬", "<-", "->", "=", "<", ">", "<=", ">=",
-        "!=", "euter", "r", "X", "S", "stkCode", "hp", "3/3/85", "50", "50.5", "\"str\"",
-        "null", "true", "_", "%c\n", " ",
+        "?", ".", ",", ";", "(", ")", "+", "-", "¬", "<-", "->", "=", "<", ">", "<=", ">=", "!=",
+        "euter", "r", "X", "S", "stkCode", "hp", "3/3/85", "50", "50.5", "\"str\"", "null", "true",
+        "_", "%c\n", " ",
     ]);
     prop::collection::vec(frag, 0..24).prop_map(|v| v.concat())
 }
