@@ -4,12 +4,21 @@
 //! idl [--snapshot universe.json] [--save universe.json] [--sql] \
 //!     [--analyze] [script.idl ...]
 //! idl -e '?.euter.r(.stkCode=S, .clsPrice>200)'
+//! idl --durable ./stocks --mapping -e '?.dbU.insStk(.stk=hp, .date=3/3/85, .price=50)'
 //! ```
 //!
 //! * `--snapshot F` — load the universe from a JSON snapshot first.
 //! * `--save F` — write the universe back after all scripts ran.
 //! * `--stock` — preload the paper's miniature stock universe.
 //! * `--mapping` — install the paper's two-level mapping (views + programs).
+//! * `--durable DIR` — run against a crash-safe [`DurableEngine`] rooted
+//!   at `DIR` (snapshot + checksummed operation log); mutating requests
+//!   are logged and fsynced before their outcome prints. With
+//!   `--mapping`, the mapping installs before the log replays.
+//! * `--fsync always|off` — log/snapshot fsync policy under `--durable`
+//!   (default `always`; `off` is the unsafe ablation mode).
+//! * `--checkpoint` — after all scripts ran, write a snapshot and rotate
+//!   the log (requires `--durable`; may be the only action).
 //! * `--sql` — treat `-e` input / script lines as the SQL-sugar dialect.
 //! * `--analyze` — run static binding analysis instead of executing.
 //! * `--explain` — pretty-print the compiled physical plan for each
@@ -20,15 +29,28 @@
 //!   (default: available parallelism; `1` forces the sequential path).
 //! * `-e STMT` — execute one statement from the command line.
 //!
+//! The environment variable `IDL_SIM_FAULTS` (a fault plan such as
+//! `seed=7,crash_at=12`; see [`idl::FaultPlan`]) reroutes `--durable`
+//! onto the deterministic in-memory simulated VFS — nothing touches the
+//! real disk, and the scheduled fault fires mid-run. This is the manual
+//! counterpart of the crash battery in `tests/crash_recovery.rs`.
+//!
 //! Scripts are ordinary multi-statement IDL sources (`;`-separated).
 
-use idl::{Engine, Outcome};
-use std::path::PathBuf;
+use idl::{
+    DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, Outcome, RealVfs, SimVfs,
+    SyncPolicy, Vfs,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Cli {
     snapshot: Option<PathBuf>,
     save: Option<PathBuf>,
+    durable: Option<PathBuf>,
+    fsync: SyncPolicy,
+    checkpoint: bool,
     stock: bool,
     mapping: bool,
     sql: bool,
@@ -44,6 +66,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         snapshot: None,
         save: None,
+        durable: None,
+        fsync: SyncPolicy::Always,
+        checkpoint: false,
         stock: false,
         mapping: false,
         sql: false,
@@ -61,6 +86,14 @@ fn parse_args() -> Result<Cli, String> {
                 cli.snapshot = Some(args.next().ok_or("--snapshot needs a path")?.into())
             }
             "--save" => cli.save = Some(args.next().ok_or("--save needs a path")?.into()),
+            "--durable" => {
+                cli.durable = Some(args.next().ok_or("--durable needs a directory")?.into())
+            }
+            "--fsync" => {
+                let mode = args.next().ok_or("--fsync needs always|off")?;
+                cli.fsync = mode.parse()?;
+            }
+            "--checkpoint" => cli.checkpoint = true,
             "--stock" => cli.stock = true,
             "--mapping" => cli.mapping = true,
             "--sql" => cli.sql = true,
@@ -79,14 +112,75 @@ fn parse_args() -> Result<Cli, String> {
             }
             "-e" => cli.inline.push(args.next().ok_or("-e needs a statement")?),
             "--help" | "-h" => {
-                println!("usage: idl [--snapshot F] [--save F] [--stock] [--mapping] [--sql] [--analyze] [--explain] [--no-compile] [--threads N] [-e STMT] [script.idl ...]");
+                println!("usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] [--checkpoint] [--stock] [--mapping] [--sql] [--analyze] [--explain] [--no-compile] [--threads N] [-e STMT] [script.idl ...]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path => cli.scripts.push(path.into()),
         }
     }
+    if cli.durable.is_some() {
+        if cli.snapshot.is_some() || cli.save.is_some() || cli.stock {
+            return Err(
+                "--durable manages its own snapshot (drop --snapshot/--save/--stock)".into()
+            );
+        }
+        if cli.sql {
+            return Err(
+                "--sql mutations would bypass the operation log; not allowed with --durable".into(),
+            );
+        }
+    } else {
+        if cli.checkpoint {
+            return Err("--checkpoint requires --durable".into());
+        }
+        if cli.fsync != SyncPolicy::Always {
+            return Err("--fsync requires --durable".into());
+        }
+    }
     Ok(cli)
+}
+
+/// The engine behind the run loop: plain in-memory, or durable.
+enum Runner {
+    Plain(Box<Engine>),
+    Durable(Box<DurableEngine>),
+}
+
+impl Runner {
+    fn engine(&mut self) -> &mut Engine {
+        match self {
+            Runner::Plain(e) => e,
+            Runner::Durable(d) => d.engine(),
+        }
+    }
+
+    fn execute(&mut self, src: &str) -> Result<Vec<Outcome>, EngineError> {
+        match self {
+            Runner::Plain(e) => e.execute(src),
+            Runner::Durable(d) => d.execute(src),
+        }
+    }
+}
+
+fn open_durable(cli: &Cli, dir: &Path) -> Result<DurableEngine, String> {
+    let vfs: Arc<dyn Vfs> = match std::env::var("IDL_SIM_FAULTS") {
+        Ok(spec) => {
+            let plan: FaultPlan = spec.parse().map_err(|e| format!("bad IDL_SIM_FAULTS: {e}"))?;
+            eprintln!("idl: IDL_SIM_FAULTS set — running on the simulated VFS (plan: {plan}); the real disk is untouched");
+            Arc::new(SimVfs::new(plan))
+        }
+        Err(_) => Arc::new(RealVfs::new()),
+    };
+    let opts = DurabilityOptions::default().with_sync(cli.fsync);
+    let mapping = cli.mapping;
+    DurableEngine::open_with_vfs(dir.to_path_buf(), vfs, opts, |e| {
+        if mapping {
+            idl::transparency::install_two_level_mapping(e)?;
+        }
+        Ok(())
+    })
+    .map_err(|e| format!("cannot open durable engine at {}: {e}", dir.display()))
 }
 
 fn main() -> ExitCode {
@@ -98,34 +192,45 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut engine = match &cli.snapshot {
-        Some(path) => match Engine::load_snapshot(path) {
-            Ok(e) => e,
+    let mut runner = if let Some(dir) = &cli.durable {
+        match open_durable(&cli, dir) {
+            Ok(d) => Runner::Durable(Box::new(d)),
             Err(e) => {
-                eprintln!("idl: cannot load snapshot: {e}");
+                eprintln!("idl: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        None if cli.stock => Engine::with_stock_universe(vec![
-            ("3/3/85", "hp", 50.0),
-            ("3/3/85", "ibm", 160.0),
-            ("3/4/85", "hp", 62.0),
-            ("3/4/85", "ibm", 155.0),
-            ("3/5/85", "hp", 61.0),
-            ("3/5/85", "ibm", 210.0),
-        ]),
-        None => Engine::new(),
+        }
+    } else {
+        let engine = match &cli.snapshot {
+            Some(path) => match Engine::load_snapshot(path) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("idl: cannot load snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None if cli.stock => Engine::with_stock_universe(vec![
+                ("3/3/85", "hp", 50.0),
+                ("3/3/85", "ibm", 160.0),
+                ("3/4/85", "hp", 62.0),
+                ("3/4/85", "ibm", 155.0),
+                ("3/5/85", "hp", 61.0),
+                ("3/5/85", "ibm", 210.0),
+            ]),
+            None => Engine::new(),
+        };
+        Runner::Plain(Box::new(engine))
     };
     if let Some(n) = cli.threads {
-        let opts = engine.options().with_threads(n);
-        engine.set_options(opts);
+        let opts = runner.engine().options().with_threads(n);
+        runner.engine().set_options(opts);
     }
     if cli.no_compile {
-        let opts = engine.options().with_compile(false);
-        engine.set_options(opts);
+        let opts = runner.engine().options().with_compile(false);
+        runner.engine().set_options(opts);
     }
-    if cli.mapping {
-        if let Err(e) = idl::transparency::install_two_level_mapping(&mut engine) {
+    if cli.mapping && cli.durable.is_none() {
+        if let Err(e) = idl::transparency::install_two_level_mapping(runner.engine()) {
             eprintln!("idl: cannot install mapping: {e}");
             return ExitCode::FAILURE;
         }
@@ -144,14 +249,14 @@ fn main() -> ExitCode {
     for (i, stmt) in cli.inline.iter().enumerate() {
         sources.push((format!("-e #{}", i + 1), stmt.clone()));
     }
-    if sources.is_empty() {
+    if sources.is_empty() && !cli.checkpoint {
         eprintln!("idl: nothing to run (pass a script or -e; --help for usage)");
         return ExitCode::FAILURE;
     }
 
     for (label, text) in &sources {
         if cli.explain {
-            match engine.explain(text) {
+            match runner.engine().explain(text) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => {
                     eprintln!("{label}: {e}");
@@ -161,7 +266,7 @@ fn main() -> ExitCode {
             continue;
         }
         if cli.analyze {
-            match engine.analyze(text) {
+            match runner.engine().analyze(text) {
                 Ok(issues) if issues.is_empty() => println!("{label}: no binding issues"),
                 Ok(issues) => {
                     for i in issues {
@@ -175,8 +280,11 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        let result =
-            if cli.sql { engine.execute_sql(text).map(|o| vec![o]) } else { engine.execute(text) };
+        let result = if cli.sql {
+            runner.engine().execute_sql(text).map(|o| vec![o])
+        } else {
+            runner.execute(text)
+        };
         match result {
             Ok(outcomes) => {
                 for o in outcomes {
@@ -193,8 +301,19 @@ fn main() -> ExitCode {
         }
     }
 
+    if cli.checkpoint {
+        if let Runner::Durable(d) = &mut runner {
+            match d.checkpoint() {
+                Ok(o) => println!("-- {o}"),
+                Err(e) => {
+                    eprintln!("idl: checkpoint failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     if let Some(path) = &cli.save {
-        if let Err(e) = engine.save_snapshot(path) {
+        if let Err(e) = runner.engine().save_snapshot(path) {
             eprintln!("idl: cannot save snapshot: {e}");
             return ExitCode::FAILURE;
         }

@@ -1,20 +1,47 @@
-//! Durability: snapshot + operation log.
+//! Durability: snapshot + operation log, routed through a [`Vfs`].
 //!
 //! The storage layer persists point-in-time JSON snapshots
 //! ([`idl_storage::persist`]); this module adds the other half of the
 //! classic recipe — an **append-only operation log**. Every successful
-//! *mutating* request is appended in canonical IDL surface syntax (one
-//! statement per line, which is also pleasantly greppable), and recovery
-//! is snapshot + replay:
+//! *mutating* request is appended in canonical IDL surface syntax, and
+//! recovery is snapshot + replay:
 //!
 //! ```no_run
 //! use idl::durable::DurableEngine;
 //! let mut d = DurableEngine::open("./stocks")?;
 //! d.engine().execute(idl::transparency::standard_update_programs())?;
 //! d.update("?.dbU.insStk(.stk=hp, .date=3/3/85, .price=50)")?;  // logged
-//! d.checkpoint()?;                                // snapshot + truncate log
+//! d.checkpoint()?;                                // snapshot + rotate log
 //! # Ok::<(), idl::EngineError>(())
 //! ```
+//!
+//! # Crash safety
+//!
+//! All file I/O goes through a [`Vfs`] — the real disk in production, a
+//! deterministic fault-injecting simulation ([`idl_storage::SimVfs`]) in
+//! the crash battery (`tests/crash_recovery.rs`). The guarantees, under
+//! [`SyncPolicy::Always`]:
+//!
+//! * **sync before ack** — a mutating request returns `Ok` only after its
+//!   log record is appended *and* fsynced; a crash at any point loses no
+//!   acknowledged update;
+//! * **atomic records** — the log uses length-prefixed, CRC-32C-checksummed
+//!   framing ([`idl_storage::oplog`]); recovery truncates a torn tail
+//!   instead of failing or replaying garbage, so an unacknowledged update
+//!   is atomically absent;
+//! * **atomic snapshots** — checkpoints write through the
+//!   write→fsync(file)→rename→fsync(dir) discipline, and the snapshot
+//!   records the log LSN it covers, so a crash anywhere inside
+//!   [`DurableEngine::checkpoint`] replays each record at most once;
+//! * **fail-stop on log errors** — if an append or sync fails (`ENOSPC`,
+//!   I/O error), the engine truncates the partial record and **poisons**
+//!   itself: the in-memory state has a mutation the log could not
+//!   acknowledge, so further durable work is refused until a fresh
+//!   [`DurableEngine::open`] rebuilds state from disk.
+//!
+//! Logs written by older builds in the line-per-statement format are
+//! detected and migrated to the framed format on open (atomically, via a
+//! temp file and rename).
 //!
 //! Rules and update programs are *code*: they are not logged, and the
 //! application reinstalls them after `open` (the same policy as snapshot
@@ -23,17 +50,123 @@
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::outcome::Outcome;
-use idl_lang::{parse_statement, Statement};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use idl_lang::{parse_program, parse_statement, Statement};
+use idl_storage::oplog::{self, DurabilityStats, LogFormat};
+use idl_storage::persist;
+use idl_storage::vfs::{RealVfs, Vfs, VfsStats};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// When the operation log is fsynced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// Fsync the log before acknowledging every mutating request, and
+    /// fsync through the snapshot rename protocol. The crash-safe default.
+    Always,
+    /// Never fsync (the OS flushes when it pleases). For ablations and
+    /// bulk loads; a crash may lose acknowledged updates.
+    Never,
+}
+
+impl std::str::FromStr for SyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "off" | "never" => Ok(SyncPolicy::Never),
+            other => Err(format!("unknown sync policy '{other}' (expected always|off)")),
+        }
+    }
+}
+
+/// Durability knobs for [`DurableEngine::open_with_vfs`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DurabilityOptions {
+    /// Fsync policy for the log and snapshots.
+    pub sync: SyncPolicy,
+    /// Preferred on-disk log format for fresh logs (an existing framed
+    /// log is never downgraded; an existing legacy log is migrated when
+    /// this is [`LogFormat::Framed`]).
+    pub format: LogFormat,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions { sync: SyncPolicy::Always, format: LogFormat::Framed }
+    }
+}
+
+impl DurabilityOptions {
+    /// Sets the fsync policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the preferred log format.
+    pub fn with_format(mut self, format: LogFormat) -> Self {
+        self.format = format;
+        self
+    }
+}
+
+/// Counter distinguishing concurrent temp files within one process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Unique temp path next to `path` (same naming scheme as snapshot
+/// temps, so [`persist::clean_stale_temps`] sweeps both).
+fn temp_path(path: &Path) -> PathBuf {
+    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().map(|s| s.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!("{name}.{}.{n}.tmp", std::process::id()))
+}
+
+fn storage_err(ctx: &str, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Storage(format!("{ctx}: {e}"))
+}
+
+/// Replaces `path` atomically with `bytes` (temp + rename, fsyncs under
+/// `sync`). Used for log rotation and legacy migration.
+fn write_file_atomic(
+    vfs: &dyn Vfs,
+    path: &Path,
+    bytes: &[u8],
+    sync: bool,
+) -> Result<(), EngineError> {
+    let tmp = temp_path(path);
+    vfs.write(&tmp, bytes).map_err(|e| storage_err("write log temp", e))?;
+    if sync {
+        vfs.sync_file(&tmp).map_err(|e| storage_err("sync log temp", e))?;
+    }
+    vfs.rename(&tmp, path).map_err(|e| storage_err("rename log", e))?;
+    if sync {
+        if let Some(dir) = path.parent() {
+            vfs.sync_dir(dir).map_err(|e| storage_err("sync log dir", e))?;
+        }
+    }
+    Ok(())
+}
 
 /// An [`Engine`] wrapped with snapshot + operation-log durability rooted
-/// at a directory (`universe.json` + `ops.idl`).
+/// at a directory (`universe.json` + `ops.idl`), with all I/O routed
+/// through a [`Vfs`].
 pub struct DurableEngine {
     engine: Engine,
     dir: PathBuf,
-    log: File,
+    vfs: Arc<dyn Vfs>,
+    opts: DurabilityOptions,
+    /// On-disk format appends use (existing framed logs are never
+    /// downgraded even when `opts.format` prefers legacy).
+    write_format: LogFormat,
+    /// LSN of the last acknowledged record (or the snapshot's, if higher).
+    lsn: u64,
+    /// Byte length of the acknowledged log prefix — the truncation point
+    /// when an append or sync fails partway.
+    log_bytes: u64,
+    poisoned: Option<String>,
+    stats: DurabilityStats,
 }
 
 impl DurableEngine {
@@ -41,13 +174,17 @@ impl DurableEngine {
         dir.join("universe.json")
     }
 
-    fn log_path(dir: &Path) -> PathBuf {
+    fn log_path_in(dir: &Path) -> PathBuf {
         dir.join("ops.idl")
     }
 
-    /// Opens (or creates) a durable engine at `dir`: loads the snapshot if
-    /// present, replays the operation log, and keeps the log open for
-    /// appending.
+    fn log_path(&self) -> PathBuf {
+        Self::log_path_in(&self.dir)
+    }
+
+    /// Opens (or creates) a durable engine at `dir` on the real file
+    /// system: loads the snapshot if present and replays the operation
+    /// log.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
         Self::open_with(dir, |_| Ok(()))
     }
@@ -59,37 +196,121 @@ impl DurableEngine {
         dir: impl Into<PathBuf>,
         setup: impl FnOnce(&mut Engine) -> Result<(), EngineError>,
     ) -> Result<Self, EngineError> {
+        Self::open_with_vfs(dir, Arc::new(RealVfs::new()), DurabilityOptions::default(), setup)
+    }
+
+    /// The fully general open: explicit [`Vfs`] (real or simulated) and
+    /// [`DurabilityOptions`]. Recovery order: sweep stale temp files,
+    /// load snapshot, run `setup`, replay the log (skipping records the
+    /// snapshot's LSN already covers), truncate any torn tail, migrate a
+    /// legacy line-format log to framed when asked.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        opts: DurabilityOptions,
+        setup: impl FnOnce(&mut Engine) -> Result<(), EngineError>,
+    ) -> Result<Self, EngineError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| EngineError::Storage(format!("create {}: {e}", dir.display())))?;
+        let sync = opts.sync == SyncPolicy::Always;
+        let mut stats = DurabilityStats::default();
+        vfs.create_dir_all(&dir)
+            .map_err(|e| storage_err(&format!("create {}", dir.display()), e))?;
+        stats.stale_temps_removed = persist::clean_stale_temps(vfs.as_ref(), &dir)?;
+
         let snap = Self::snapshot_path(&dir);
-        let mut engine = if snap.exists() { Engine::load_snapshot(&snap)? } else { Engine::new() };
+        let (mut engine, snap_lsn) = if vfs.exists(&snap) {
+            let (store, lsn) = persist::load_snapshot_vfs(vfs.as_ref(), &snap)?;
+            (Engine::from_store(store), lsn)
+        } else {
+            (Engine::new(), 0)
+        };
         setup(&mut engine)?;
-        // Replay the log (if any) against the snapshot state.
-        let log_path = Self::log_path(&dir);
-        if log_path.exists() {
-            let reader = BufReader::new(
-                File::open(&log_path)
-                    .map_err(|e| EngineError::Storage(format!("open log: {e}")))?,
-            );
-            for (no, line) in reader.lines().enumerate() {
-                let line = line.map_err(|e| EngineError::Storage(format!("read log: {e}")))?;
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('%') {
+
+        let log = Self::log_path_in(&dir);
+        let mut lsn = snap_lsn;
+        let write_format;
+        let log_bytes;
+        if vfs.exists(&log) {
+            let bytes = vfs.read(&log).map_err(|e| storage_err("read log", e))?;
+            let mut recovered = oplog::decode_log(&bytes)?;
+            if recovered.format == LogFormat::LegacyLines {
+                // Legacy lines carry no LSNs; number them after the
+                // snapshot so the uniform skip logic below applies.
+                for (i, rec) in recovered.records.iter_mut().enumerate() {
+                    rec.lsn = snap_lsn + 1 + i as u64;
+                }
+            }
+            for rec in &recovered.records {
+                if rec.lsn <= lsn {
+                    // The snapshot (or an earlier duplicate) already
+                    // contains this record — the crash-mid-checkpoint
+                    // window, where the snapshot renamed but the log had
+                    // not yet rotated.
+                    stats.records_skipped += 1;
                     continue;
                 }
-                let stmt = parse_statement(line).map_err(|e| {
-                    EngineError::Storage(format!("corrupt log at line {}: {e}", no + 1))
+                let stmt = parse_statement(&rec.stmt).map_err(|e| {
+                    EngineError::Storage(format!("corrupt log at line {}: {e}", rec.line))
                 })?;
                 engine.execute_statement(stmt)?;
+                lsn = rec.lsn;
+                stats.records_recovered += 1;
             }
+            match (recovered.format, opts.format) {
+                (LogFormat::LegacyLines, LogFormat::Framed) => {
+                    // Migrate: rewrite the surviving records framed,
+                    // atomically, dropping any torn trailing fragment.
+                    let fresh = oplog::encode_log(
+                        recovered.records.iter().map(|r| (r.lsn, r.stmt.as_str())),
+                    );
+                    write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
+                    stats.migrated_legacy = !recovered.records.is_empty();
+                    stats.torn_bytes_truncated = recovered.torn_bytes;
+                    write_format = LogFormat::Framed;
+                    log_bytes = fresh.len() as u64;
+                }
+                (found, _) => {
+                    if found == LogFormat::Framed && recovered.valid_len < oplog::HEADER_LEN {
+                        // The header itself was torn — lay it down again.
+                        write_file_atomic(vfs.as_ref(), &log, &oplog::header_bytes(), sync)?;
+                        stats.torn_bytes_truncated = recovered.torn_bytes;
+                        log_bytes = oplog::HEADER_LEN;
+                    } else {
+                        if recovered.torn_bytes > 0 {
+                            vfs.set_len(&log, recovered.valid_len)
+                                .map_err(|e| storage_err("truncate torn log tail", e))?;
+                            stats.torn_bytes_truncated = recovered.torn_bytes;
+                        }
+                        log_bytes = recovered.valid_len;
+                    }
+                    write_format = found;
+                }
+            }
+        } else {
+            write_format = opts.format;
+            let fresh = match write_format {
+                LogFormat::Framed => oplog::header_bytes(),
+                LogFormat::LegacyLines => Vec::new(),
+            };
+            vfs.write(&log, &fresh).map_err(|e| storage_err("create log", e))?;
+            if sync {
+                vfs.sync_file(&log).map_err(|e| storage_err("sync fresh log", e))?;
+                vfs.sync_dir(&dir).map_err(|e| storage_err("sync log dir", e))?;
+            }
+            log_bytes = fresh.len() as u64;
         }
-        let log = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&log_path)
-            .map_err(|e| EngineError::Storage(format!("open log for append: {e}")))?;
-        Ok(DurableEngine { engine, dir, log })
+
+        Ok(DurableEngine {
+            engine,
+            dir,
+            vfs,
+            opts,
+            write_format,
+            lsn,
+            log_bytes,
+            poisoned: None,
+            stats,
+        })
     }
 
     /// The wrapped engine, for non-durable operations (queries, installing
@@ -103,61 +324,181 @@ impl DurableEngine {
         &self.engine
     }
 
-    /// Executes one request statement durably: on success *with mutations*
-    /// the canonical form is appended (and flushed) to the operation log.
-    pub fn update(&mut self, src: &str) -> Result<Outcome, EngineError> {
-        let stmt = parse_statement(src)?;
-        let canonical = match &stmt {
-            Statement::Request(r) => r.to_string(),
-            _ => {
-                return Err(EngineError::Usage(
-                    "durable update takes a request; install rules/programs via engine()".into(),
-                ))
-            }
-        };
-        let outcome = self.engine.execute_statement(stmt)?;
-        let mutated = matches!(&outcome, Outcome::Answers { stats, .. } if stats.total() > 0);
-        if mutated {
-            writeln!(self.log, "{canonical}")
-                .and_then(|()| self.log.flush())
-                .map_err(|e| EngineError::Storage(format!("append log: {e}")))?;
-        }
-        Ok(outcome)
+    /// The durability directory this engine is rooted at.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
-    /// Writes a fresh snapshot and truncates the operation log — recovery
-    /// afterwards starts from the snapshot alone.
-    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
-        self.engine.save_snapshot(&Self::snapshot_path(&self.dir))?;
-        self.log = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(Self::log_path(&self.dir))
-            .map_err(|e| EngineError::Storage(format!("truncate log: {e}")))?;
+    /// The options this engine was opened with.
+    pub fn options(&self) -> DurabilityOptions {
+        self.opts
+    }
+
+    /// The LSN of the last acknowledged record (or of the snapshot, if no
+    /// record follows it).
+    pub fn last_lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Durability counters (appends, syncs, recovery work at last open).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.stats
+    }
+
+    /// I/O counters from the underlying [`Vfs`].
+    pub fn vfs_stats(&self) -> VfsStats {
+        self.vfs.stats()
+    }
+
+    /// Whether a log failure has poisoned this engine (see module docs).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn check_poisoned(&self) -> Result<(), EngineError> {
+        match &self.poisoned {
+            Some(why) => Err(EngineError::Storage(format!(
+                "durable engine poisoned by an earlier log failure ({why}); reopen to recover"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Truncates a partial append so future readers see the last
+    /// acknowledged prefix, then refuses further durable work: the
+    /// in-memory engine holds a mutation the log could not acknowledge.
+    fn repair_and_poison(&mut self, why: String) {
+        let _ = self.vfs.set_len(&self.log_path(), self.log_bytes);
+        self.poisoned = Some(why);
+    }
+
+    /// Appends one record and — under [`SyncPolicy::Always`] — fsyncs it
+    /// *before* the caller acknowledges the mutation.
+    fn log_record(&mut self, canonical: &str) -> Result<(), EngineError> {
+        let next = self.lsn + 1;
+        let bytes = match self.write_format {
+            LogFormat::Framed => oplog::encode_record(next, canonical),
+            LogFormat::LegacyLines => format!("{canonical}\n").into_bytes(),
+        };
+        let log = self.log_path();
+        if let Err(e) = self.vfs.append(&log, &bytes) {
+            let why = format!("append log: {e}");
+            self.repair_and_poison(why.clone());
+            return Err(EngineError::Storage(why));
+        }
+        if self.opts.sync == SyncPolicy::Always {
+            if let Err(e) = self.vfs.sync_file(&log) {
+                // The record reached the file but not durably: un-ack it
+                // by truncation, or a clean restart would replay an
+                // update we reported as failed.
+                let why = format!("sync log: {e}");
+                self.repair_and_poison(why.clone());
+                return Err(EngineError::Storage(why));
+            }
+            self.stats.log_syncs += 1;
+        }
+        self.lsn = next;
+        self.log_bytes += bytes.len() as u64;
+        self.stats.records_appended += 1;
+        self.stats.bytes_appended += bytes.len() as u64;
         Ok(())
+    }
+
+    /// Executes one parsed statement durably. Requests append (and sync)
+    /// their canonical form when they mutate, *before* the outcome is
+    /// returned; rules and program clauses install in memory only
+    /// (reinstall them via `setup` at the next open).
+    pub fn apply(&mut self, stmt: Statement) -> Result<Outcome, EngineError> {
+        self.check_poisoned()?;
+        match stmt {
+            Statement::Request(r) => {
+                let canonical = r.to_string();
+                let outcome = self.engine.execute_statement(Statement::Request(r))?;
+                let mutated =
+                    matches!(&outcome, Outcome::Answers { stats, .. } if stats.total() > 0);
+                if mutated {
+                    self.log_record(&canonical)?;
+                }
+                Ok(outcome)
+            }
+            other => self.engine.execute_statement(other),
+        }
+    }
+
+    /// Executes a whole program (script) durably, statement by statement,
+    /// via [`DurableEngine::apply`].
+    pub fn execute(&mut self, src: &str) -> Result<Vec<Outcome>, EngineError> {
+        self.check_poisoned()?;
+        let stmts = parse_program(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.apply(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes one request statement durably: on success *with mutations*
+    /// the canonical form is appended and synced to the operation log
+    /// before the outcome is reported.
+    pub fn update(&mut self, src: &str) -> Result<Outcome, EngineError> {
+        self.check_poisoned()?;
+        let stmt = parse_statement(src)?;
+        match stmt {
+            Statement::Request(_) => self.apply(stmt),
+            _ => Err(EngineError::Usage(
+                "durable update takes a request; install rules/programs via engine()".into(),
+            )),
+        }
+    }
+
+    /// Writes a fresh snapshot (recording the covered LSN) and rotates in
+    /// an empty log — recovery afterwards starts from the snapshot alone.
+    /// Both steps are individually atomic, and replay skips records the
+    /// snapshot covers, so a crash anywhere in between is safe.
+    pub fn checkpoint(&mut self) -> Result<Outcome, EngineError> {
+        self.check_poisoned()?;
+        let sync = self.opts.sync == SyncPolicy::Always;
+        persist::save_snapshot_vfs(
+            self.vfs.as_ref(),
+            self.engine.store(),
+            &Self::snapshot_path(&self.dir),
+            Some(self.lsn),
+            sync,
+        )?;
+        let fresh = match self.write_format {
+            LogFormat::Framed => oplog::header_bytes(),
+            LogFormat::LegacyLines => Vec::new(),
+        };
+        write_file_atomic(self.vfs.as_ref(), &self.log_path(), &fresh, sync)?;
+        self.log_bytes = fresh.len() as u64;
+        Ok(Outcome::Checkpointed { lsn: self.lsn })
     }
 
     /// Number of statements currently in the operation log (diagnostics).
     pub fn log_len(&self) -> Result<usize, EngineError> {
-        let path = Self::log_path(&self.dir);
-        if !path.exists() {
+        let log = self.log_path();
+        if !self.vfs.exists(&log) {
             return Ok(0);
         }
-        let reader =
-            BufReader::new(File::open(&path).map_err(|e| EngineError::Storage(e.to_string()))?);
-        Ok(reader.lines().map_while(Result::ok).filter(|l| !l.trim().is_empty()).count())
+        let bytes = self.vfs.read(&log).map_err(|e| storage_err("read log", e))?;
+        Ok(oplog::decode_log(&bytes)?.records.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idl_storage::vfs::{FaultPlan, SimVfs};
 
     fn fresh_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("idl-durable-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn sim_open(vfs: &Arc<SimVfs>, opts: DurabilityOptions) -> Result<DurableEngine, EngineError> {
+        let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
+        DurableEngine::open_with_vfs("/d", v, opts, |_| Ok(()))
     }
 
     #[test]
@@ -169,11 +510,13 @@ mod tests {
             d.update("?.euter.r+(.date=3/4/85,.stkCode=hp,.clsPrice=62)").unwrap();
             d.update("?.euter.r-(.date=3/3/85,.stkCode=hp)").unwrap();
             assert_eq!(d.log_len().unwrap(), 3);
+            assert_eq!(d.last_lsn(), 3);
             // engine dropped without checkpoint: only the log survives
         }
         let mut d = DurableEngine::open(&dir).unwrap();
         assert!(d.engine().query("?.euter.r(.date=3/4/85,.stkCode=hp)").unwrap().is_true());
         assert!(!d.engine().query("?.euter.r(.date=3/3/85)").unwrap().is_true());
+        assert_eq!(d.durability_stats().records_recovered, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -183,7 +526,8 @@ mod tests {
         {
             let mut d = DurableEngine::open(&dir).unwrap();
             d.update("?.db.r+(.a=1)").unwrap();
-            d.checkpoint().unwrap();
+            let out = d.checkpoint().unwrap();
+            assert!(matches!(out, Outcome::Checkpointed { lsn: 1 }), "{out:?}");
             assert_eq!(d.log_len().unwrap(), 0);
             d.update("?.db.r+(.a=2)").unwrap();
             assert_eq!(d.log_len().unwrap(), 1);
@@ -242,6 +586,113 @@ mod tests {
         })
         .unwrap();
         assert_eq!(d.engine().query("?.kv.data(.k=K,.v=V)").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_log_is_framed_with_magic() {
+        let dir = fresh_dir("framed");
+        let mut d = DurableEngine::open(&dir).unwrap();
+        d.update("?.db.r+(.a=1)").unwrap();
+        let bytes = std::fs::read(dir.join("ops.idl")).unwrap();
+        assert!(bytes.starts_with(oplog::MAGIC), "fresh logs use the framed format");
+        let log = oplog::decode_log(&bytes).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.records[0].lsn, 1);
+        assert_eq!(log.records[0].stmt, "?.db.r+(.a = 1)", "canonical surface form logged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_line_log_replays_and_migrates_to_framed() {
+        let dir = fresh_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ops.idl"),
+            "?.db.r+(.a=1)\n% a comment\n?.db.r+(.a=2)\n?.db.r+(.a=",
+        )
+        .unwrap();
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        let stats = d.durability_stats();
+        assert!(stats.migrated_legacy);
+        assert_eq!(stats.records_recovered, 2);
+        assert_eq!(stats.torn_bytes_truncated, "?.db.r+(.a=".len() as u64);
+        let bytes = std::fs::read(dir.join("ops.idl")).unwrap();
+        assert!(bytes.starts_with(oplog::MAGIC), "log migrated to framed");
+        // appends continue after migration and everything replays again
+        d.update("?.db.r+(.a=3)").unwrap();
+        drop(d);
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_happens_before_ack() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(7)));
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        let before = vfs.stats().file_syncs;
+        d.update("?.db.r+(.a=1)").unwrap();
+        assert!(vfs.stats().file_syncs > before, "ack without a log fsync");
+        assert_eq!(d.durability_stats().log_syncs, 1);
+
+        // the Never policy skips the fsync (ablation mode)
+        let vfs2 = Arc::new(SimVfs::new(FaultPlan::none(8)));
+        let mut d2 =
+            sim_open(&vfs2, DurabilityOptions::default().with_sync(SyncPolicy::Never)).unwrap();
+        let before = vfs2.stats().file_syncs;
+        d2.update("?.db.r+(.a=1)").unwrap();
+        assert_eq!(vfs2.stats().file_syncs, before);
+        assert_eq!(d2.durability_stats().log_syncs, 0);
+    }
+
+    #[test]
+    fn failed_append_poisons_and_reopen_recovers() {
+        // ENOSPC on the log append: the update reports failure, the
+        // engine poisons, and a reopen sees none of the failed update.
+        // First a fault-free probe run to find the op index of the second
+        // update's append, then an armed run hitting exactly that op.
+        let (after_first_update, after_second_update) = {
+            let probe = Arc::new(SimVfs::new(FaultPlan::none(9)));
+            let mut p = sim_open(&probe, DurabilityOptions::default()).unwrap();
+            p.update("?.db.r+(.a=1)").unwrap();
+            let a = probe.op_count();
+            p.update("?.db.r+(.a=2)").unwrap();
+            (a, probe.op_count())
+        };
+        // the append is the first op of the second update's log window
+        let target = after_first_update + 1;
+        assert!(target <= after_second_update);
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(9).with_enospc_at(target)));
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        d.update("?.db.r+(.a=1)").unwrap();
+        let err = d.update("?.db.r+(.a=2)").unwrap_err();
+        assert!(err.to_string().contains("log"), "{err}");
+        assert!(d.is_poisoned());
+        assert!(d.update("?.db.r+(.a=3)").is_err(), "poisoned engine refuses work");
+        assert!(d.checkpoint().is_err(), "poisoned engine refuses checkpoints");
+        drop(d);
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        let col = d.engine().query("?.db.r(.a=X)").unwrap();
+        assert_eq!(col.column("X").len(), 1, "only the acknowledged update survives");
+    }
+
+    #[test]
+    fn execute_logs_requests_and_installs_rules() {
+        let dir = fresh_dir("script");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            let outs = d
+                .execute(
+                    ".v.all(.x=X) <- .db.r(.a=X) ;\n?.db.r+(.a=1) ;\n?.db.r+(.a=2) ;\n?.v.all(.x=X)",
+                )
+                .unwrap();
+            assert_eq!(outs.len(), 4);
+            assert_eq!(d.log_len().unwrap(), 2, "only the mutating requests are logged");
+        }
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -565,6 +565,13 @@ impl Engine {
         Ok(Engine::from_store(idl_storage::persist::load_snapshot(path)?))
     }
 
+    /// The universe serialised as canonical JSON — what a snapshot would
+    /// contain. The crash battery uses this for byte-identical
+    /// round-trip checks between a recovered engine and its reference.
+    pub fn universe_json(&self) -> Result<String, EngineError> {
+        Ok(idl_storage::persist::to_json(&self.store)?)
+    }
+
     /// A seeded substitution variant of [`Engine::query`] for parameterised
     /// reuse of one parsed request.
     pub fn query_with(&mut self, req: &Request, seed: &Subst) -> Result<AnswerSet, EngineError> {

@@ -48,6 +48,7 @@ mod error;
 mod outcome;
 pub mod transparency;
 
+pub use durable::{DurabilityOptions, DurableEngine, SyncPolicy};
 pub use engine::{Engine, EngineOptions};
 pub use error::EngineError;
 pub use outcome::Outcome;
@@ -58,7 +59,9 @@ pub use idl_eval::{AnswerSet, EvalOptions, Subst};
 pub use idl_lang::{parse_program, parse_statement, Statement};
 pub use idl_object::{Atom, Date, Name, SetObj, TupleObj, Value};
 pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};
-pub use idl_storage::Store;
+pub use idl_storage::{
+    DurabilityStats, FaultPlan, LogFormat, RealVfs, SimVfs, Store, Vfs, VfsStats,
+};
 
 /// Convenience prelude.
 pub mod prelude {

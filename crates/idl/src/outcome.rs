@@ -18,6 +18,11 @@ pub enum Outcome {
     RuleAdded,
     /// An update-program clause was registered.
     ProgramRegistered,
+    /// A durable checkpoint was written, covering log records up to `lsn`.
+    Checkpointed {
+        /// The last operation-log LSN the snapshot contains.
+        lsn: u64,
+    },
 }
 
 impl Outcome {
@@ -59,6 +64,7 @@ impl fmt::Display for Outcome {
             }
             Outcome::RuleAdded => write!(f, "rule added"),
             Outcome::ProgramRegistered => write!(f, "update program registered"),
+            Outcome::Checkpointed { lsn } => write!(f, "checkpoint written (covers lsn {lsn})"),
         }
     }
 }

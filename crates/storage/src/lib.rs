@@ -13,7 +13,13 @@
 //! * **transactions** with snapshot-based rollback — [`txn`];
 //! * a coarse **change journal** driving incremental view refresh —
 //!   [`journal`];
-//! * **persistence** as JSON snapshots — [`persist`].
+//! * **persistence** as JSON snapshots — [`persist`] — written with the
+//!   crash-safe write→fsync→rename→fsync(dir) discipline;
+//! * a **virtual file system** — [`vfs`] — routing all durability I/O so
+//!   it can run against the real disk or a deterministic fault-injecting
+//!   simulation ([`vfs::SimVfs`]);
+//! * checksummed **operation-log framing** — [`oplog`] — whose recovery
+//!   scan truncates torn tails instead of failing or replaying garbage.
 //!
 //! Because IDL updates may restructure *any* part of the universe (delete
 //! an attribute of one tuple, drop a whole relation by deleting a database
@@ -23,17 +29,22 @@
 
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod error;
 pub mod index;
 pub mod journal;
+pub mod oplog;
 pub mod persist;
 pub mod schema;
 pub mod stats;
 pub mod store;
 pub mod txn;
+pub mod vfs;
 
 pub use error::StorageError;
 pub use index::IndexKind;
 pub use journal::{ChangeRecord, ChangeScope};
+pub use oplog::{DurabilityStats, LogFormat};
 pub use schema::{RelationSchema, SchemaSet, TypeTag};
 pub use store::{Store, Version};
+pub use vfs::{FaultPlan, RealVfs, SimVfs, Vfs, VfsStats};

@@ -1,0 +1,332 @@
+//! Operation-log record framing.
+//!
+//! The durable engine's `ops.idl` moved from bare statement lines (format
+//! 1, still readable via the migration path) to checksummed binary
+//! framing (format 2):
+//!
+//! ```text
+//! header:  "IDLOPLG2"  version:u32le            (12 bytes)
+//! record:  len:u32le  crc:u32le  lsn:u64le  payload[len-8]
+//! ```
+//!
+//! * `len` counts the LSN plus the payload, so a record occupies
+//!   `8 + len` bytes on disk;
+//! * `crc` is CRC-32C over the LSN bytes followed by the payload;
+//! * `lsn` is a log sequence number, strictly increasing across the log's
+//!   lifetime (checkpoints included) — snapshots record the LSN they
+//!   cover, so replay after a crash mid-checkpoint skips exactly the
+//!   records the snapshot already contains, and duplicated records are
+//!   replayed at most once;
+//! * the payload is one request statement in canonical IDL surface
+//!   syntax, UTF-8.
+//!
+//! [`decode_log`] is the recovery-side reader: it stops at the first
+//! torn or checksum-failing record and reports the byte length of the
+//! valid prefix, so the caller can truncate the tail instead of failing
+//! recovery or replaying garbage. Legacy line-format logs (anything not
+//! starting with the magic) decode through the same entry point, with a
+//! trailing newline-less fragment treated as the torn tail.
+
+use crate::crc::crc32c;
+use crate::error::{StorageError, StorageResult};
+
+/// Magic bytes opening a framed log (format 2).
+pub const MAGIC: &[u8; 8] = b"IDLOPLG2";
+
+/// Current framing format version.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Bytes occupied by the file header.
+pub const HEADER_LEN: u64 = 12;
+
+/// Per-record header bytes (`len` + `crc`).
+const RECORD_HEADER: usize = 8;
+
+/// How the bytes of a log file were framed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogFormat {
+    /// Length-prefixed, CRC-32C-checksummed, LSN-stamped records.
+    Framed,
+    /// The pre-framing format: one statement per line, `%` comments.
+    LegacyLines,
+}
+
+/// One decoded log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Log sequence number (legacy lines are numbered 1..=n on read).
+    pub lsn: u64,
+    /// Canonical statement text.
+    pub stmt: String,
+    /// 1-based line number in the source file (legacy format only; framed
+    /// records report their ordinal). For error messages.
+    pub line: usize,
+}
+
+/// The result of scanning a log file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveredLog {
+    /// Valid records, in log order.
+    pub records: Vec<Record>,
+    /// Format the file was found in.
+    pub format: LogFormat,
+    /// Byte length of the valid prefix (framed logs; for tail truncation).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that must be truncated (torn tail).
+    pub torn_bytes: u64,
+}
+
+/// Durability counters kept by the durable engine (diagnostics and the
+/// B13 ablation bench).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Records appended since open.
+    pub records_appended: u64,
+    /// Log bytes appended since open.
+    pub bytes_appended: u64,
+    /// Log fsyncs issued since open.
+    pub log_syncs: u64,
+    /// Records replayed at the last open.
+    pub records_recovered: u64,
+    /// Records skipped at the last open because the snapshot (or an
+    /// earlier duplicate) already covered their LSN.
+    pub records_skipped: u64,
+    /// Torn-tail bytes truncated at the last open.
+    pub torn_bytes_truncated: u64,
+    /// Whether the last open migrated a legacy line-format log.
+    pub migrated_legacy: bool,
+    /// Stale snapshot temp files removed at the last open.
+    pub stale_temps_removed: u64,
+}
+
+/// The 12-byte file header for a fresh framed log.
+pub fn header_bytes() -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN as usize);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out
+}
+
+/// Encodes one record (`len | crc | lsn | payload`).
+pub fn encode_record(lsn: u64, stmt: &str) -> Vec<u8> {
+    let payload = stmt.as_bytes();
+    let lsn_bytes = lsn.to_le_bytes();
+    let mut body = Vec::with_capacity(8 + payload.len());
+    body.extend_from_slice(&lsn_bytes);
+    body.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(RECORD_HEADER + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes a whole log file (header plus records) — used by checkpoint
+/// rotation and legacy migration.
+pub fn encode_log<'a>(records: impl IntoIterator<Item = (u64, &'a str)>) -> Vec<u8> {
+    let mut out = header_bytes();
+    for (lsn, stmt) in records {
+        out.extend_from_slice(&encode_record(lsn, stmt));
+    }
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Scans a log file's bytes, auto-detecting the format.
+///
+/// Torn tails (truncated record, checksum mismatch, or a final line with
+/// no newline) terminate the scan *successfully*: the valid prefix is
+/// returned together with how many tail bytes to truncate. Only
+/// structurally impossible files (an unknown future version) are errors.
+pub fn decode_log(bytes: &[u8]) -> StorageResult<RecoveredLog> {
+    if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+        decode_framed(bytes)
+    } else if bytes.len() < MAGIC.len() && !bytes.is_empty() && MAGIC.starts_with(bytes) {
+        // a torn header write: treat as an empty framed log needing repair
+        Ok(RecoveredLog {
+            records: Vec::new(),
+            format: LogFormat::Framed,
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+        })
+    } else {
+        Ok(decode_legacy(bytes))
+    }
+}
+
+fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
+    if bytes.len() < HEADER_LEN as usize {
+        // magic present but the version bytes are torn
+        return Ok(RecoveredLog {
+            records: Vec::new(),
+            format: LogFormat::Framed,
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+        });
+    }
+    let version = read_u32(bytes, MAGIC.len());
+    if version > FORMAT_VERSION {
+        return Err(StorageError::Persist(format!(
+            "operation log format v{version} is newer than this build understands (v{FORMAT_VERSION})"
+        )));
+    }
+    let mut records = Vec::new();
+    let mut at = HEADER_LEN as usize;
+    loop {
+        if at + RECORD_HEADER > bytes.len() {
+            break; // torn record header (or clean EOF)
+        }
+        let len = read_u32(bytes, at) as usize;
+        let crc = read_u32(bytes, at + 4);
+        if len < 8 || at + RECORD_HEADER + len > bytes.len() {
+            break; // impossible length or torn body
+        }
+        let body = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+        if crc32c(body) != crc {
+            break; // bit rot or torn rewrite
+        }
+        let lsn = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        let Ok(stmt) = std::str::from_utf8(&body[8..]) else {
+            break; // checksummed garbage cannot happen, but stay safe
+        };
+        records.push(Record { lsn, stmt: to_owned_trimmed(stmt), line: records.len() + 1 });
+        at += RECORD_HEADER + len;
+    }
+    Ok(RecoveredLog {
+        records,
+        format: LogFormat::Framed,
+        valid_len: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+fn to_owned_trimmed(s: &str) -> String {
+    s.trim().to_string()
+}
+
+fn decode_legacy(bytes: &[u8]) -> RecoveredLog {
+    // Lossy decoding keeps a corrupt byte visible to the parser (which
+    // reports "corrupt log at line N") instead of failing the whole scan.
+    let text = String::from_utf8_lossy(bytes);
+    let mut records = Vec::new();
+    let mut valid = 0usize;
+    let mut lsn = 0u64;
+    let mut line_no = 0usize;
+    let mut rest = text.as_ref();
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        line_no += 1;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('%') {
+            lsn += 1;
+            records.push(Record { lsn, stmt: trimmed.to_string(), line: line_no });
+        }
+        valid += nl + 1;
+        rest = &rest[nl + 1..];
+    }
+    // anything after the last newline is a torn tail
+    RecoveredLog {
+        records,
+        format: LogFormat::LegacyLines,
+        valid_len: valid as u64,
+        torn_bytes: (bytes.len() - valid) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_round_trip() {
+        let stmts = ["?.db.r+(.a=1)", "?.db.r-(.a=1)", "?.dbU.ins(.k=x)"];
+        let bytes = encode_log(stmts.iter().enumerate().map(|(i, s)| (i as u64 + 1, *s)));
+        let log = decode_log(&bytes).unwrap();
+        assert_eq!(log.format, LogFormat::Framed);
+        assert_eq!(log.torn_bytes, 0);
+        assert_eq!(log.valid_len, bytes.len() as u64);
+        assert_eq!(log.records.len(), 3);
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64 + 1);
+            assert_eq!(rec.stmt, stmts[i]);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_not_fails() {
+        let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
+        let first_end = HEADER_LEN as usize + RECORD_HEADER + 8 + "?.db.r+(.a=1)".len();
+        // cut mid-way through the second record
+        for cut in first_end + 1..bytes.len() {
+            let log = decode_log(&bytes[..cut]).unwrap();
+            assert_eq!(log.records.len(), 1, "cut at {cut}");
+            assert_eq!(log.valid_len, first_end as u64);
+            assert_eq!(log.torn_bytes, (cut - first_end) as u64);
+        }
+    }
+
+    #[test]
+    fn bit_flip_stops_the_scan_at_the_flipped_record() {
+        let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
+        let first_end = HEADER_LEN as usize + RECORD_HEADER + 8 + "?.db.r+(.a=1)".len();
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40; // flip a payload bit in record 2
+        let log = decode_log(&corrupt).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.valid_len, first_end as u64);
+        assert!(log.torn_bytes > 0);
+    }
+
+    #[test]
+    fn torn_header_is_an_empty_repairable_log() {
+        for cut in 1..HEADER_LEN as usize {
+            let bytes = &header_bytes()[..cut];
+            let log = decode_log(bytes).unwrap();
+            assert_eq!(log.format, LogFormat::Framed, "cut at {cut}");
+            assert!(log.records.is_empty());
+            assert_eq!(log.valid_len, 0);
+            assert_eq!(log.torn_bytes, cut as u64);
+        }
+        let log = decode_log(&[]).unwrap();
+        assert!(log.records.is_empty());
+        assert_eq!(log.format, LogFormat::LegacyLines, "empty file reads as empty legacy log");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = header_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode_log(&bytes), Err(StorageError::Persist(_))));
+    }
+
+    #[test]
+    fn legacy_lines_decode_with_torn_tail() {
+        let text = "?.db.r+(.a=1)\n% comment\n\n?.db.r+(.a=2)\n?.db.r+(.a=";
+        let log = decode_log(text.as_bytes()).unwrap();
+        assert_eq!(log.format, LogFormat::LegacyLines);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.records[0], Record { lsn: 1, stmt: "?.db.r+(.a=1)".into(), line: 1 });
+        assert_eq!(log.records[1], Record { lsn: 2, stmt: "?.db.r+(.a=2)".into(), line: 4 });
+        assert_eq!(log.torn_bytes, "?.db.r+(.a=".len() as u64);
+        assert_eq!(log.valid_len, (text.len() - "?.db.r+(.a=".len()) as u64);
+    }
+
+    #[test]
+    fn every_prefix_of_a_framed_log_decodes_to_a_record_prefix() {
+        // the defining property of the framing: any crash prefix recovers
+        // an exact prefix of the appended records
+        let stmts: Vec<String> = (0..5).map(|i| format!("?.db.r+(.a={i})")).collect();
+        let bytes = encode_log(stmts.iter().enumerate().map(|(i, s)| (i as u64 + 1, s.as_str())));
+        for cut in 0..=bytes.len() {
+            let log = decode_log(&bytes[..cut]).unwrap();
+            for (i, rec) in log.records.iter().enumerate() {
+                assert_eq!(rec.stmt, stmts[i], "cut={cut}");
+            }
+            assert!(log.records.len() <= stmts.len());
+            assert_eq!(log.valid_len + log.torn_bytes, cut as u64);
+        }
+    }
+}

@@ -147,3 +147,144 @@ fn error_messages_name_the_problem() {
     let err = e.query("?.nodb.r+(.a=Q)").unwrap_err();
     assert!(err.to_string().contains('Q'), "{err}");
 }
+
+// ---------------------------------------------------------------------
+// Durable-engine recovery edges (snapshot + op log through the public
+// `DurableEngine` API; the crash battery proper is tests/crash_recovery.rs).
+// ---------------------------------------------------------------------
+
+mod recovery_edges {
+    use idl::{DurableEngine, Engine};
+    use idl_storage::oplog;
+    use idl_storage::persist;
+    use idl_storage::{RealVfs, Store};
+    use std::path::PathBuf;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("idl-recovery-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_log_file_opens_cleanly() {
+        let dir = fresh_dir("empty-log");
+        std::fs::write(dir.join("ops.idl"), b"").unwrap();
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.log_len().unwrap(), 0);
+        assert_eq!(d.durability_stats().records_recovered, 0);
+        d.update("?.db.r+(.a=1)").unwrap();
+        assert_eq!(d.log_len().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn log_only_recovery_without_a_snapshot() {
+        let dir = fresh_dir("log-only");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.update("?.db.r+(.a=2)").unwrap();
+        }
+        assert!(!dir.join("universe.json").exists(), "no checkpoint ran");
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_only_recovery_without_a_log() {
+        let dir = fresh_dir("snap-only");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+        }
+        std::fs::remove_file(dir.join("ops.idl")).unwrap();
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert!(d.engine().query("?.db.r(.a=1)").unwrap().is_true());
+        d.update("?.db.r+(.a=2)").unwrap();
+        assert_eq!(d.log_len().unwrap(), 1, "a fresh log accepts appends");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_lsns_replay_at_most_once() {
+        // A non-idempotent program call duplicated in the log (the
+        // crash-mid-rewrite shape): LSNs bound replay to once each.
+        let dir = fresh_dir("dup-lsn");
+        let stmts = [
+            (1u64, "?.dbU.bump(.k = a)"),
+            (1u64, "?.dbU.bump(.k = a)"), // duplicated record
+            (2u64, "?.dbU.bump(.k = b)"),
+        ];
+        std::fs::write(dir.join("ops.idl"), oplog::encode_log(stmts)).unwrap();
+        let setup = |e: &mut Engine| e.execute(".dbU.bump(.k=K) -> .db.hits+(.k=K) ;").map(|_| ());
+        let mut d = DurableEngine::open_with(&dir, setup).unwrap();
+        let stats = d.durability_stats();
+        assert_eq!(stats.records_recovered, 2);
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(d.engine().query("?.db.hits(.k=K)").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_lsn_skips_covered_records() {
+        // Snapshot at LSN 2 plus a stale pre-rotation log with LSNs 1..3:
+        // only record 3 replays (the crash-between-checkpoint-renames
+        // window).
+        let dir = fresh_dir("covered");
+        let mut covered = Store::new();
+        covered
+            .insert("db", "r", idl_object::tuple! { a: 1i64 })
+            .and_then(|_| covered.insert("db", "r", idl_object::tuple! { a: 2i64 }))
+            .unwrap();
+        let vfs = RealVfs::new();
+        persist::save_snapshot_vfs(&vfs, &covered, &dir.join("universe.json"), Some(2), true)
+            .unwrap();
+        let stale =
+            [(1u64, "?.db.r+(.a = 1)"), (2u64, "?.db.r+(.a = 2)"), (3u64, "?.db.r+(.a = 3)")];
+        std::fs::write(dir.join("ops.idl"), oplog::encode_log(stale)).unwrap();
+        let mut d = DurableEngine::open(&dir).unwrap();
+        let stats = d.durability_stats();
+        assert_eq!(stats.records_skipped, 2);
+        assert_eq!(stats.records_recovered, 1);
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+        assert_eq!(d.last_lsn(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paper_update_programs_recover_through_open() {
+        // §5 direct decrees and §7 update programs logged as calls,
+        // replayed through `open_with` with the mapping reinstalled.
+        let dir = fresh_dir("paper-programs");
+        let setup = |e: &mut Engine| idl::transparency::install_two_level_mapping(e);
+        {
+            let mut d = DurableEngine::open_with(&dir, setup).unwrap();
+            d.update("?.euter.r+(.date=3/3/85, .stkCode=hp, .clsPrice=50)").unwrap();
+            d.update("?.dbU.insStk(.stk=sun, .date=3/6/85, .price=30)").unwrap();
+            d.update("?.dbE.r+(.date=3/7/85, .stkCode=newco, .clsPrice=9)").unwrap();
+            d.update("?.dbU.delStk(.stk=hp, .date=3/3/85)").unwrap();
+        }
+        let mut d = DurableEngine::open_with(&dir, setup).unwrap();
+        assert!(d.engine().query("?.euter.r(.stkCode=sun)").unwrap().is_true());
+        assert!(d.engine().query("?.ource.sun(.clsPrice=30)").unwrap().is_true());
+        assert!(d.engine().query("?.dbE.r(.stkCode=newco)").unwrap().is_true());
+        assert!(!d.engine().query("?.euter.r(.stkCode=hp)").unwrap().is_true());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_line_log_accepted_and_migrated() {
+        let dir = fresh_dir("legacy");
+        std::fs::write(dir.join("ops.idl"), "?.db.r+(.a=1)\n?.db.r+(.a=2)\n").unwrap();
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert!(d.durability_stats().migrated_legacy);
+        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        let bytes = std::fs::read(dir.join("ops.idl")).unwrap();
+        assert!(bytes.starts_with(oplog::MAGIC), "rewritten in the framed format");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
