@@ -1,0 +1,127 @@
+//! B14 — copy-on-write structural sharing ablation.
+//!
+//! Builds an engine over the sharded universe and materialises the
+//! two-stratum view program with 4 parallel fixpoint workers (setup — this
+//! work is identical under either copy discipline, since the fixpoint
+//! always runs on the CoW engine). The measured region is the clone-heavy
+//! maintenance pipeline that follows a refresh: build a hash index over the
+//! derived union relation, take a checkpoint (snapshot copy + serialise),
+//! then a burst of transaction snapshots. Two copy disciplines:
+//!
+//! * `cow` — `Value::clone()` at every copy point, i.e. the O(1) Arc-handle
+//!   clones the engine performs today;
+//! * `deepcopy` — [`Value::deep_clone`] at the same points, reproducing the
+//!   pre-CoW cost model where every universe/relation copy rebuilt the
+//!   whole structure node by node (the index entry set, the
+//!   pre-serialisation checkpoint copy, and the full-universe snapshot
+//!   `Store::begin` used to take per transaction).
+//!
+//! Both arms perform identical index/serialise work, so the gap is purely
+//! the copy discipline. Differential correctness — byte-identical
+//! serialised stores across arms — is asserted as a side effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idl::Engine;
+use idl_object::{Name, Value};
+use idl_storage::index::{Index, IndexKind};
+use idl_storage::Store;
+use idl_workload::stock::{generate_sharded, sharded_union_rules, ShardedStockConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SHARDS: usize = 16;
+const STOCKS: usize = 8;
+const DAYS: usize = 40;
+const THREADS: usize = 4;
+/// Transaction snapshots taken per pipeline run (each one historically
+/// deep-copied the whole universe).
+const TXN_SNAPSHOTS: usize = 8;
+
+#[derive(Clone, Copy)]
+enum CopyMode {
+    Cow,
+    Deep,
+}
+
+impl CopyMode {
+    fn copy(self, v: &Value) -> Value {
+        match self {
+            CopyMode::Cow => v.clone(),
+            CopyMode::Deep => v.deep_clone(),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            CopyMode::Cow => "cow",
+            CopyMode::Deep => "deepcopy",
+        }
+    }
+}
+
+fn refreshed_engine(universe: &Value, rules: &str) -> Engine {
+    let store = Store::from_universe(universe.clone()).expect("sharded universe is a tuple");
+    let mut e = Engine::from_store(store);
+    let opts = e.options().with_threads(THREADS);
+    e.set_options(opts);
+    e.add_rules(rules).expect("sharded rules install");
+    e.refresh_views().expect("fixpoint converges");
+    e
+}
+
+/// The post-refresh maintenance pipeline under one copy discipline.
+/// Returns the serialised store so the differential check can compare arms.
+fn pipeline(e: &Engine, mode: CopyMode) -> String {
+    // Index build over the derived union relation. Pre-CoW, every entry
+    // clone was a structural copy of the tuple.
+    let rel_copy = mode.copy(&Value::Set(e.store().relation("dbU", "q").unwrap().clone()));
+    let idx = Index::build(IndexKind::Hash, rel_copy.as_set().unwrap(), &Name::new("stk"));
+    black_box(idx.entry_count());
+
+    // Checkpoint: snapshot the universe, then serialise.
+    let ckpt = mode.copy(e.store().universe());
+    black_box(&ckpt);
+    let json = idl_storage::persist::to_json(e.store()).expect("store serialises");
+
+    // Burst of transaction snapshots — what `Store::begin` takes per txn.
+    for _ in 0..TXN_SNAPSHOTS {
+        black_box(mode.copy(e.store().universe()));
+    }
+    json
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = ShardedStockConfig::sized(SHARDS, STOCKS, DAYS);
+    let universe = generate_sharded(&cfg);
+    let rules = sharded_union_rules(&cfg);
+    let engine = refreshed_engine(&universe, &rules);
+
+    // differential check: copy discipline must not change derived contents
+    let cow_json = pipeline(&engine, CopyMode::Cow);
+    let deep_json = pipeline(&engine, CopyMode::Deep);
+    assert_eq!(cow_json, deep_json, "copy discipline changed the serialised store");
+
+    let mut group = c.benchmark_group("B14_ablation_sharing");
+    for mode in [CopyMode::Cow, CopyMode::Deep] {
+        group.bench_function(BenchmarkId::new("pipeline", mode.label()), |b| {
+            b.iter(|| black_box(pipeline(&engine, mode).len()))
+        });
+    }
+    // Isolated snapshot cost: exactly the copy `Store::begin` takes.
+    for mode in [CopyMode::Cow, CopyMode::Deep] {
+        group.bench_function(BenchmarkId::new("txn_snapshot", mode.label()), |b| {
+            b.iter(|| black_box(mode.copy(engine.store().universe())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -418,9 +418,7 @@ impl<'a> Evaluator<'a> {
                 } else {
                     // §4.3: the higher-order variable ranges over the
                     // tuple's attribute names.
-                    let attrs: Vec<(Name, Value)> =
-                        t.iter().map(|(k, v2)| (k.clone(), v2.clone())).collect();
-                    for (name, child) in &attrs {
+                    for (name, child) in t.iter() {
                         let Some(s1) = subst.bind(v, &Value::str(name.as_str())) else {
                             continue;
                         };

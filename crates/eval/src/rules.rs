@@ -32,7 +32,7 @@ use crate::query::{EvalOptions, Evaluator};
 use crate::subst::Subst;
 use crate::update::materialize;
 use idl_lang::{AttrTerm, Expr, Field, RelOp, Rule};
-use idl_object::{Atom, Name, Value};
+use idl_object::{Atom, Name, SharingCounters, Value};
 use idl_storage::{ChangeScope, Store};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -225,6 +225,21 @@ pub struct FixpointStats {
     /// Per-stratum telemetry, in evaluation (bottom-up) order. Masked-out
     /// strata are skipped entirely.
     pub strata: Vec<StratumStats>,
+    /// Structural-sharing activity during this run: O(1) handle clones,
+    /// copy-on-write breaks, pointer-equality comparison hits — the delta
+    /// of the process-wide [`SharingCounters`] over the run (concurrent
+    /// engines in the same process bleed into it; in practice a refresh
+    /// dominates its own window).
+    pub sharing: SharingCounters,
+}
+
+impl FixpointStats {
+    /// Fraction of this run's O(1) handle clones whose sharing was never
+    /// broken by a copy-on-write deep copy (`1.0` = every clone stayed
+    /// shared; see [`SharingCounters::sharing_hit_rate`]).
+    pub fn sharing_hit_rate(&self) -> f64 {
+        self.sharing.sharing_hit_rate()
+    }
 }
 
 /// Telemetry for one stratum of one materialisation run.
@@ -241,6 +256,9 @@ pub struct StratumStats {
     pub rule_evals_per_worker: Vec<usize>,
     /// Wall-clock time spent on this stratum.
     pub wall: std::time::Duration,
+    /// Structural-sharing activity (clones / CoW breaks / pointer-equality
+    /// hits) during this stratum, as a process-wide counter delta.
+    pub sharing: SharingCounters,
 }
 
 /// Compiled, stratified rule set.
@@ -388,6 +406,7 @@ impl RuleEngine {
         mask: Option<&[bool]>,
         mut cache: Option<&mut PlanCache>,
     ) -> EvalResult<FixpointStats> {
+        let sharing_before = SharingCounters::snapshot();
         let mut stats = FixpointStats::default();
         // Compile once per refresh: one plan per masked-in rule body,
         // indexed like `rules`.
@@ -416,7 +435,9 @@ impl RuleEngine {
                 });
             }
         }
-        self.run_fixpoint(store, opts, mask, &plans, stats)
+        let mut stats = self.run_fixpoint(store, opts, mask, &plans, stats)?;
+        stats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
+        Ok(stats)
     }
 
     fn run_fixpoint(
@@ -482,6 +503,7 @@ impl RuleEngine {
         stats: &mut FixpointStats,
     ) -> EvalResult<()> {
         let started = std::time::Instant::now();
+        let sharing_before = SharingCounters::snapshot();
         let thread_cap = opts.threads.max(1);
         let mut sstats = StratumStats {
             rules: stratum.len(),
@@ -565,6 +587,7 @@ impl RuleEngine {
             last_changed = Some(changed_now);
         };
         sstats.wall = started.elapsed();
+        sstats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
         stats.strata.push(sstats);
         outcome
     }

@@ -27,6 +27,11 @@
 //!   instead of compiled plans (what `IDL_NO_COMPILE=1` does in CI).
 //! * `--threads N` — fixpoint worker threads for view materialisation
 //!   (default: available parallelism; `1` forces the sequential path).
+//! * `--stats` — after all scripts ran, print the statistics of the last
+//!   view materialisation: iterations, rule evaluations, facts added,
+//!   plan-cache traffic, per-stratum telemetry, and the structural-sharing
+//!   counters (O(1) clones, copy-on-write breaks, pointer-equality hits,
+//!   sharing hit rate).
 //! * `-e STMT` — execute one statement from the command line.
 //!
 //! The environment variable `IDL_SIM_FAULTS` (a fault plan such as
@@ -57,6 +62,7 @@ struct Cli {
     analyze: bool,
     explain: bool,
     no_compile: bool,
+    stats: bool,
     threads: Option<usize>,
     inline: Vec<String>,
     scripts: Vec<PathBuf>,
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Cli, String> {
         analyze: false,
         explain: false,
         no_compile: false,
+        stats: false,
         threads: None,
         inline: Vec::new(),
         scripts: Vec::new(),
@@ -100,6 +107,7 @@ fn parse_args() -> Result<Cli, String> {
             "--analyze" => cli.analyze = true,
             "--explain" => cli.explain = true,
             "--no-compile" => cli.no_compile = true,
+            "--stats" => cli.stats = true,
             "--threads" => {
                 let n = args.next().ok_or("--threads needs a count")?;
                 let n: usize = n
@@ -112,7 +120,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "-e" => cli.inline.push(args.next().ok_or("-e needs a statement")?),
             "--help" | "-h" => {
-                println!("usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] [--checkpoint] [--stock] [--mapping] [--sql] [--analyze] [--explain] [--no-compile] [--threads N] [-e STMT] [script.idl ...]");
+                println!("usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] [--checkpoint] [--stock] [--mapping] [--sql] [--analyze] [--explain] [--no-compile] [--stats] [--threads N] [-e STMT] [script.idl ...]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -312,6 +320,9 @@ fn main() -> ExitCode {
             }
         }
     }
+    if cli.stats {
+        print_stats(runner.engine().last_fixpoint_stats());
+    }
     if let Some(path) = &cli.save {
         if let Err(e) = runner.engine().save_snapshot(path) {
             eprintln!("idl: cannot save snapshot: {e}");
@@ -319,4 +330,34 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Prints the last view-materialisation statistics (the `--stats` output
+/// documented in LANGUAGE.md).
+fn print_stats(stats: &idl::FixpointStats) {
+    println!("-- fixpoint stats (last view materialisation)");
+    println!("   iterations:     {}", stats.iterations);
+    println!("   rule evals:     {}", stats.rule_evals);
+    println!("   facts added:    {}", stats.facts_added);
+    println!(
+        "   plans compiled: {} (plan cache: {} hits, {} misses)",
+        stats.plans_compiled, stats.plan_cache_hits, stats.plan_cache_misses
+    );
+    for (i, s) in stats.strata.iter().enumerate() {
+        println!(
+            "   stratum #{i}: rules={} iterations={} workers={} evals/worker={:?} wall={:?}",
+            s.rules, s.iterations, s.workers, s.rule_evals_per_worker, s.wall
+        );
+    }
+    let sh = &stats.sharing;
+    println!(
+        "   sharing: clones={} (tuple {}, set {}) cow-breaks={} ptr-eq-hits={} deep-clones={} hit-rate={:.1}%",
+        sh.cheap_clones(),
+        sh.tuple_clones,
+        sh.set_clones,
+        sh.cow_breaks,
+        sh.ptr_eq_hits,
+        sh.deep_clones,
+        stats.sharing_hit_rate() * 100.0
+    );
 }

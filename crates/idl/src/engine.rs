@@ -74,6 +74,9 @@ pub struct Engine {
     /// Memoized physical plans, keyed by canonical expression hash; shared
     /// by request execution and view refreshes.
     plan_cache: PlanCache,
+    /// Statistics of the most recent view materialisation (the `--stats`
+    /// CLI output); default until the first refresh actually runs rules.
+    last_stats: FixpointStats,
 }
 
 impl Default for Engine {
@@ -106,6 +109,7 @@ impl Engine {
             schemas: SchemaSet::new(),
             sys_enabled: false,
             plan_cache: PlanCache::new(),
+            last_stats: FixpointStats::default(),
         }
     }
 
@@ -384,7 +388,16 @@ impl Engine {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
         self.fresh_at = Some(self.store.version());
+        self.last_stats = stats.clone();
         Ok(stats)
+    }
+
+    /// Statistics of the most recent view materialisation that actually
+    /// ran rules (full or incremental). Default-valued until then. This is
+    /// what `idl --stats` prints, including the structural-sharing
+    /// counters ([`FixpointStats::sharing`]).
+    pub fn last_fixpoint_stats(&self) -> &FixpointStats {
+        &self.last_stats
     }
 
     /// Refreshes views only if base data changed since the last refresh.
@@ -464,6 +477,7 @@ impl Engine {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
         self.fresh_at = Some(self.store.version());
+        self.last_stats = stats.clone();
         Ok(stats)
     }
 

@@ -54,10 +54,11 @@ pub use error::EngineError;
 pub use outcome::Outcome;
 
 // Re-exports so downstream users need only this crate.
+pub use idl_eval::rules::{FixpointStats, StratumStats};
 pub use idl_eval::update::UpdateStats;
 pub use idl_eval::{AnswerSet, EvalOptions, Subst};
 pub use idl_lang::{parse_program, parse_statement, Statement};
-pub use idl_object::{Atom, Date, Name, SetObj, TupleObj, Value};
+pub use idl_object::{Atom, Date, Name, SetObj, SharingCounters, TupleObj, Value};
 pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};
 pub use idl_storage::{
     DurabilityStats, FaultPlan, LogFormat, RealVfs, SimVfs, Store, Vfs, VfsStats,

@@ -31,6 +31,7 @@ mod macros;
 pub mod name;
 pub mod path;
 pub mod set;
+pub mod sharing;
 pub mod tuple;
 pub mod universe;
 pub mod value;
@@ -41,5 +42,6 @@ pub use float::F64;
 pub use name::Name;
 pub use path::Path;
 pub use set::SetObj;
+pub use sharing::SharingCounters;
 pub use tuple::TupleObj;
 pub use value::{Kind, Value};

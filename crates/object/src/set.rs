@@ -1,8 +1,9 @@
 //! Set objects: value-based sets of heterogeneous objects.
 
-use crate::Value;
+use crate::{sharing, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::btree_set::{self, BTreeSet};
+use std::sync::Arc;
 
 /// A set object `{o1, o2, …}` (paper §3).
 ///
@@ -13,16 +14,31 @@ use std::collections::btree_set::{self, BTreeSet};
 ///   deletion from a *single* tuple (§5.2).
 /// * **Deterministic**: iteration is in the total `Ord` order on [`Value`],
 ///   so answers, displays and fixpoints are reproducible.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+///
+/// The interior set is behind an [`Arc`]: `clone` is an O(1) handle copy
+/// and every `&mut` accessor routes through copy-on-write
+/// (`Arc::make_mut`). Sharing is invisible to the value semantics —
+/// `Eq`/`Ord`/`Hash` stay structural (with a pointer-equality fast path)
+/// and the serde byte format is the bare set, unchanged.
+#[derive(Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SetObj {
-    elems: BTreeSet<Value>,
+    elems: Arc<BTreeSet<Value>>,
 }
 
 impl SetObj {
     /// An empty set.
     pub fn new() -> Self {
-        SetObj { elems: BTreeSet::new() }
+        SetObj { elems: Arc::new(BTreeSet::new()) }
+    }
+
+    /// Copy-on-write access to the interior set: deep-copies it first iff
+    /// it is shared with another handle (and counts the break).
+    fn elems_mut(&mut self) -> &mut BTreeSet<Value> {
+        if Arc::strong_count(&self.elems) > 1 {
+            sharing::record_cow_break();
+        }
+        Arc::make_mut(&mut self.elems)
     }
 
     /// Number of (distinct) elements.
@@ -37,7 +53,12 @@ impl SetObj {
 
     /// Inserts `value`; returns `true` if it was not already present.
     pub fn insert(&mut self, value: impl Into<Value>) -> bool {
-        self.elems.insert(value.into())
+        let value = value.into();
+        // Read-check first: a duplicate insert must not break sharing.
+        if self.elems.contains(&value) {
+            return false;
+        }
+        self.elems_mut().insert(value)
     }
 
     /// Structural membership test.
@@ -47,15 +68,27 @@ impl SetObj {
 
     /// Removes `value`; returns `true` if it was present.
     pub fn remove(&mut self, value: &Value) -> bool {
-        self.elems.remove(value)
+        // Read-check first: a miss must not break sharing.
+        if !self.elems.contains(value) {
+            return false;
+        }
+        self.elems_mut().remove(value)
     }
 
     /// Removes every element satisfying the predicate, returning how many
     /// were removed. This is the engine of the set-minus update `-(exp)`.
     pub fn remove_if(&mut self, mut pred: impl FnMut(&Value) -> bool) -> usize {
-        let before = self.elems.len();
-        self.elems.retain(|v| !pred(v));
-        before - self.elems.len()
+        if Arc::strong_count(&self.elems) > 1 {
+            // Scan read-only first so a no-match sweep keeps sharing intact.
+            if !self.elems.iter().any(&mut pred) {
+                return 0;
+            }
+            sharing::record_cow_break();
+        }
+        let elems = Arc::make_mut(&mut self.elems);
+        let before = elems.len();
+        elems.retain(|v| !pred(v));
+        before - elems.len()
     }
 
     /// Drains all elements satisfying the predicate, returning them. Used by
@@ -63,8 +96,12 @@ impl SetObj {
     /// since elements of a `BTreeSet` are immutable in place).
     pub fn take_if(&mut self, mut pred: impl FnMut(&Value) -> bool) -> Vec<Value> {
         let taken: Vec<Value> = self.elems.iter().filter(|v| pred(v)).cloned().collect();
+        if taken.is_empty() {
+            return taken;
+        }
+        let elems = self.elems_mut();
         for v in &taken {
-            self.elems.remove(v);
+            elems.remove(v);
         }
         taken
     }
@@ -76,9 +113,71 @@ impl SetObj {
 
     /// Set union (value-based).
     pub fn union_with(&mut self, other: &SetObj) {
-        for v in other.iter() {
-            self.elems.insert(v.clone());
+        if self.is_empty() {
+            // Adopt the other handle wholesale — keeps its sharing intact.
+            *self = other.clone();
+            return;
         }
+        // Read-check first: a no-op union must not break sharing.
+        if other.iter().all(|v| self.elems.contains(v)) {
+            return;
+        }
+        let elems = self.elems_mut();
+        for v in other.iter() {
+            elems.insert(v.clone());
+        }
+    }
+
+    /// Whether `self` and `other` share one interior allocation (their
+    /// equality is then decided without a structural walk). Test/telemetry
+    /// introspection only — never affects semantics.
+    pub fn shares_with(&self, other: &SetObj) -> bool {
+        Arc::ptr_eq(&self.elems, &other.elems)
+    }
+}
+
+impl Clone for SetObj {
+    /// O(1): bumps the interior reference count (counted by
+    /// [`sharing::SharingCounters::set_clones`]).
+    fn clone(&self) -> Self {
+        sharing::record_set_clone();
+        SetObj { elems: Arc::clone(&self.elems) }
+    }
+}
+
+impl PartialEq for SetObj {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            sharing::record_ptr_eq_hit();
+            return true;
+        }
+        self.elems == other.elems
+    }
+}
+
+impl Eq for SetObj {}
+
+impl PartialOrd for SetObj {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SetObj {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            sharing::record_ptr_eq_hit();
+            return std::cmp::Ordering::Equal;
+        }
+        self.elems.cmp(&other.elems)
+    }
+}
+
+impl std::hash::Hash for SetObj {
+    /// Structural: hashes the interior set, so a shared and an unshared
+    /// handle with equal contents hash identically.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (*self.elems).hash(state);
     }
 }
 
@@ -93,7 +192,13 @@ impl IntoIterator for SetObj {
     type IntoIter = btree_set::IntoIter<Value>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.elems.into_iter()
+        match Arc::try_unwrap(self.elems) {
+            Ok(set) => set.into_iter(),
+            Err(shared) => {
+                sharing::record_cow_break();
+                (*shared).clone().into_iter()
+            }
+        }
     }
 }
 
@@ -108,11 +213,7 @@ impl<'a> IntoIterator for &'a SetObj {
 
 impl<V: Into<Value>> FromIterator<V> for SetObj {
     fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
-        let mut s = SetObj::new();
-        for v in iter {
-            s.insert(v);
-        }
-        s
+        SetObj { elems: Arc::new(iter.into_iter().map(Into::into).collect()) }
     }
 }
 
@@ -171,5 +272,38 @@ mod tests {
         let b: SetObj = [2i64, 3].into_iter().map(Value::int).collect();
         a.union_with(&b);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a: SetObj = (0..4i64).map(Value::int).collect();
+        let mut b = a.clone();
+        assert!(a.shares_with(&b));
+        b.insert(Value::int(99));
+        assert!(!a.shares_with(&b), "write broke the sharing");
+        assert_eq!(a.len(), 4, "original untouched");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn noop_writes_keep_sharing() {
+        let a: SetObj = (0..4i64).map(Value::int).collect();
+        let mut b = a.clone();
+        assert!(!b.insert(Value::int(0)), "duplicate insert");
+        assert!(!b.remove(&Value::int(77)), "absent remove");
+        assert_eq!(b.remove_if(|v| v == &Value::int(77)), 0, "no-match sweep");
+        assert!(b.take_if(|v| v == &Value::int(77)).is_empty(), "no-match drain");
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert!(a.shares_with(&b), "no-op writes must not deep-copy");
+        assert!(a.shares_with(&c), "subset union must not deep-copy");
+    }
+
+    #[test]
+    fn into_iter_on_shared_handle() {
+        let a: SetObj = (0..3i64).map(Value::int).collect();
+        let b = a.clone();
+        assert_eq!(b.into_iter().count(), 3);
+        assert_eq!(a.len(), 3, "surviving handle unaffected");
     }
 }

@@ -1,0 +1,159 @@
+//! Process-wide structural-sharing telemetry.
+//!
+//! [`TupleObj`](crate::TupleObj) and [`SetObj`](crate::SetObj) are backed by
+//! `Arc`'d interiors: cloning is an O(1) reference-count bump and mutation
+//! goes through copy-on-write (`Arc::make_mut`). These counters make the
+//! sharing observable — every cheap handle clone, every CoW break (a
+//! mutation that had to deep-copy a shared interior), every comparison
+//! short-circuited by pointer equality, and every explicit
+//! [`Value::deep_clone`](crate::Value::deep_clone) bumps a global relaxed
+//! atomic. `FixpointStats` snapshots them before/after a refresh to report
+//! per-refresh deltas; benches use them to prove where copies still happen.
+//!
+//! The counters are process-global (mutation can happen on any worker
+//! thread) and monotone; readers take [`SharingCounters::snapshot`] and
+//! subtract with [`SharingCounters::delta_since`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TUPLE_CLONES: AtomicU64 = AtomicU64::new(0);
+static SET_CLONES: AtomicU64 = AtomicU64::new(0);
+static COW_BREAKS: AtomicU64 = AtomicU64::new(0);
+static PTR_EQ_HITS: AtomicU64 = AtomicU64::new(0);
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn record_tuple_clone() {
+    TUPLE_CLONES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_set_clone() {
+    SET_CLONES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_cow_break() {
+    COW_BREAKS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_ptr_eq_hit() {
+    PTR_EQ_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_deep_clone() {
+    DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time snapshot of the process-wide sharing counters.
+///
+/// Counters are cumulative since process start; compute a per-phase view
+/// with [`SharingCounters::delta_since`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharingCounters {
+    /// O(1) handle clones of tuple objects (`TupleObj::clone`).
+    pub tuple_clones: u64,
+    /// O(1) handle clones of set objects (`SetObj::clone`).
+    pub set_clones: u64,
+    /// Mutations that found their interior shared and had to deep-copy it
+    /// (`Arc::make_mut` with strong count > 1, or a by-value iteration of a
+    /// shared handle).
+    pub cow_breaks: u64,
+    /// Structural comparisons answered by pointer equality of shared
+    /// interiors without walking the trees.
+    pub ptr_eq_hits: u64,
+    /// Explicit [`Value::deep_clone`](crate::Value::deep_clone) calls
+    /// (deliberate sharing-free rebuilds; one count per call, not per node).
+    pub deep_clones: u64,
+}
+
+impl SharingCounters {
+    /// Reads the current values of all counters.
+    pub fn snapshot() -> Self {
+        SharingCounters {
+            tuple_clones: TUPLE_CLONES.load(Ordering::Relaxed),
+            set_clones: SET_CLONES.load(Ordering::Relaxed),
+            cow_breaks: COW_BREAKS.load(Ordering::Relaxed),
+            ptr_eq_hits: PTR_EQ_HITS.load(Ordering::Relaxed),
+            deep_clones: DEEP_CLONES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The counter increments between `earlier` and `self` (saturating, so
+    /// snapshots taken out of order never underflow).
+    pub fn delta_since(&self, earlier: &SharingCounters) -> SharingCounters {
+        SharingCounters {
+            tuple_clones: self.tuple_clones.saturating_sub(earlier.tuple_clones),
+            set_clones: self.set_clones.saturating_sub(earlier.set_clones),
+            cow_breaks: self.cow_breaks.saturating_sub(earlier.cow_breaks),
+            ptr_eq_hits: self.ptr_eq_hits.saturating_sub(earlier.ptr_eq_hits),
+            deep_clones: self.deep_clones.saturating_sub(earlier.deep_clones),
+        }
+    }
+
+    /// Total O(1) handle clones (tuples + sets).
+    pub fn cheap_clones(&self) -> u64 {
+        self.tuple_clones + self.set_clones
+    }
+
+    /// Fraction of handle clones whose sharing survived — i.e. was *not*
+    /// subsequently broken by a CoW deep copy. `1.0` when nothing cloned.
+    pub fn sharing_hit_rate(&self) -> f64 {
+        let clones = self.cheap_clones();
+        if clones == 0 {
+            1.0
+        } else {
+            1.0 - (self.cow_breaks.min(clones) as f64) / (clones as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SetObj, TupleObj, Value};
+
+    #[test]
+    fn clone_is_counted_and_cheap() {
+        let before = SharingCounters::snapshot();
+        let t = TupleObj::from_pairs([("a", 1i64)]);
+        let t2 = t.clone();
+        let s = SetObj::from_iter([Value::int(1)]);
+        let _s2 = s.clone();
+        let after = SharingCounters::snapshot();
+        let d = after.delta_since(&before);
+        assert!(d.tuple_clones >= 1, "tuple clone counted: {d:?}");
+        assert!(d.set_clones >= 1, "set clone counted: {d:?}");
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn mutating_a_shared_handle_breaks_sharing_once() {
+        let t = TupleObj::from_pairs([("a", 1i64)]);
+        let mut t2 = t.clone();
+        let before = SharingCounters::snapshot();
+        t2.insert("b", 2i64);
+        let after = SharingCounters::snapshot();
+        assert!(after.delta_since(&before).cow_breaks >= 1);
+        assert!(t.get("b").is_none(), "original unaffected by CoW write");
+        assert_eq!(t2.get("b"), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = SharingCounters { tuple_clones: 5, ..Default::default() };
+        let b = SharingCounters { tuple_clones: 9, ..Default::default() };
+        assert_eq!(a.delta_since(&b).tuple_clones, 0);
+        assert_eq!(b.delta_since(&a).tuple_clones, 4);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let none = SharingCounters::default();
+        assert_eq!(none.sharing_hit_rate(), 1.0);
+        let all_broken = SharingCounters { tuple_clones: 2, cow_breaks: 5, ..Default::default() };
+        assert_eq!(all_broken.sharing_hit_rate(), 0.0);
+    }
+}

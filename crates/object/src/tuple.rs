@@ -1,8 +1,9 @@
 //! Tuple objects: finite maps from attribute names to objects.
 
-use crate::{Name, Value};
+use crate::{sharing, Name, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::btree_map::{self, BTreeMap};
+use std::sync::Arc;
 
 /// A tuple object `(attr1:obj1, …, attrk:objk)` (paper §3).
 ///
@@ -10,16 +11,23 @@ use std::collections::btree_map::{self, BTreeMap};
 /// — which the `BTreeMap` representation gives for free, along with
 /// deterministic iteration. Arity is per-tuple: two tuples in the same set
 /// may have different attribute sets (heterogeneous sets, §3).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+///
+/// The interior map is behind an [`Arc`]: `clone` is an O(1) handle copy
+/// and every `&mut` accessor routes through copy-on-write
+/// (`Arc::make_mut`), so sharing is invisible to the value semantics —
+/// `Eq`/`Ord`/`Hash` stay structural (with a pointer-equality fast path)
+/// and the serde byte format is the bare map, unchanged
+/// (`#[serde(transparent)]` + serde's `Arc` delegation).
+#[derive(Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TupleObj {
-    fields: BTreeMap<Name, Value>,
+    fields: Arc<BTreeMap<Name, Value>>,
 }
 
 impl TupleObj {
     /// An empty tuple.
     pub fn new() -> Self {
-        TupleObj { fields: BTreeMap::new() }
+        TupleObj { fields: Arc::new(BTreeMap::new()) }
     }
 
     /// Builds a tuple from attribute/value pairs. Later duplicates win.
@@ -29,11 +37,18 @@ impl TupleObj {
         V: Into<Value>,
         I: IntoIterator<Item = (N, V)>,
     {
-        let mut t = TupleObj::new();
-        for (n, v) in pairs {
-            t.insert(n.into(), v.into());
+        TupleObj {
+            fields: Arc::new(pairs.into_iter().map(|(n, v)| (n.into(), v.into())).collect()),
         }
-        t
+    }
+
+    /// Copy-on-write access to the interior map: deep-copies it first iff
+    /// it is shared with another handle (and counts the break).
+    fn fields_mut(&mut self) -> &mut BTreeMap<Name, Value> {
+        if Arc::strong_count(&self.fields) > 1 {
+            sharing::record_cow_break();
+        }
+        Arc::make_mut(&mut self.fields)
     }
 
     /// Number of attributes.
@@ -53,7 +68,11 @@ impl TupleObj {
 
     /// Mutable access to the object associated with `attr`.
     pub fn get_mut(&mut self, attr: &str) -> Option<&mut Value> {
-        self.fields.get_mut(attr)
+        // Read-check first: a miss must not break sharing.
+        if !self.fields.contains_key(attr) {
+            return None;
+        }
+        self.fields_mut().get_mut(attr)
     }
 
     /// Whether the attribute exists.
@@ -63,12 +82,16 @@ impl TupleObj {
 
     /// Sets `attr` to `value`, returning the previous object if any.
     pub fn insert(&mut self, attr: impl Into<Name>, value: impl Into<Value>) -> Option<Value> {
-        self.fields.insert(attr.into(), value.into())
+        self.fields_mut().insert(attr.into(), value.into())
     }
 
     /// Removes `attr`, returning its object if it was present.
     pub fn remove(&mut self, attr: &str) -> Option<Value> {
-        self.fields.remove(attr)
+        // Read-check first: a miss must not break sharing.
+        if !self.fields.contains_key(attr) {
+            return None;
+        }
+        self.fields_mut().remove(attr)
     }
 
     /// Entry-style access: the object at `attr`, inserting `default` first
@@ -78,7 +101,7 @@ impl TupleObj {
         attr: impl Into<Name>,
         default: impl FnOnce() -> Value,
     ) -> &mut Value {
-        self.fields.entry(attr.into()).or_insert_with(default)
+        self.fields_mut().entry(attr.into()).or_insert_with(default)
     }
 
     /// Iterates attributes in name order.
@@ -88,7 +111,7 @@ impl TupleObj {
 
     /// Iterates attributes mutably in name order.
     pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, Name, Value> {
-        self.fields.iter_mut()
+        self.fields_mut().iter_mut()
     }
 
     /// Iterates attribute names in order.
@@ -103,14 +126,72 @@ impl TupleObj {
 
     /// Retains only the attributes for which the predicate holds.
     pub fn retain(&mut self, mut f: impl FnMut(&Name, &mut Value) -> bool) {
-        self.fields.retain(|k, v| f(k, v));
+        self.fields_mut().retain(|k, v| f(k, v));
     }
 
     /// Merges `other` into `self`; on conflict, `other` wins.
     pub fn merge(&mut self, other: TupleObj) {
-        for (k, v) in other.fields {
-            self.fields.insert(k, v);
+        if self.is_empty() {
+            // Adopt the other handle wholesale — keeps its sharing intact.
+            self.fields = other.fields;
+            return;
         }
+        let fields = self.fields_mut();
+        for (k, v) in other {
+            fields.insert(k, v);
+        }
+    }
+
+    /// Whether `self` and `other` share one interior allocation (their
+    /// equality is then decided without a structural walk). Test/telemetry
+    /// introspection only — never affects semantics.
+    pub fn shares_with(&self, other: &TupleObj) -> bool {
+        Arc::ptr_eq(&self.fields, &other.fields)
+    }
+}
+
+impl Clone for TupleObj {
+    /// O(1): bumps the interior reference count (counted by
+    /// [`sharing::SharingCounters::tuple_clones`]).
+    fn clone(&self) -> Self {
+        sharing::record_tuple_clone();
+        TupleObj { fields: Arc::clone(&self.fields) }
+    }
+}
+
+impl PartialEq for TupleObj {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.fields, &other.fields) {
+            sharing::record_ptr_eq_hit();
+            return true;
+        }
+        self.fields == other.fields
+    }
+}
+
+impl Eq for TupleObj {}
+
+impl PartialOrd for TupleObj {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TupleObj {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.fields, &other.fields) {
+            sharing::record_ptr_eq_hit();
+            return std::cmp::Ordering::Equal;
+        }
+        self.fields.cmp(&other.fields)
+    }
+}
+
+impl std::hash::Hash for TupleObj {
+    /// Structural: hashes the interior map, so a shared and an unshared
+    /// handle with equal contents hash identically.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (*self.fields).hash(state);
     }
 }
 
@@ -125,7 +206,13 @@ impl IntoIterator for TupleObj {
     type IntoIter = btree_map::IntoIter<Name, Value>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.fields.into_iter()
+        match Arc::try_unwrap(self.fields) {
+            Ok(map) => map.into_iter(),
+            Err(shared) => {
+                sharing::record_cow_break();
+                (*shared).clone().into_iter()
+            }
+        }
     }
 }
 
@@ -195,5 +282,34 @@ mod tests {
         t.retain(|_, v| v.as_atom().and_then(|a| a.as_int()).unwrap() % 2 == 1);
         assert_eq!(t.arity(), 2);
         assert!(t.contains("a") && t.contains("c"));
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = TupleObj::from_pairs([("x", 1i64)]);
+        let mut b = a.clone();
+        assert!(a.shares_with(&b), "clone is a shared handle");
+        b.insert("y", 2i64);
+        assert!(!a.shares_with(&b), "write broke the sharing");
+        assert!(!a.contains("y"), "original untouched");
+        assert_eq!(b.arity(), 2);
+    }
+
+    #[test]
+    fn read_misses_keep_sharing() {
+        let a = TupleObj::from_pairs([("x", 1i64)]);
+        let mut b = a.clone();
+        assert_eq!(b.remove("absent"), None);
+        assert!(b.get_mut("absent").is_none());
+        assert!(a.shares_with(&b), "failed remove/get_mut must not deep-copy");
+    }
+
+    #[test]
+    fn into_iter_on_shared_handle() {
+        let a = TupleObj::from_pairs([("x", 1i64), ("y", 2i64)]);
+        let b = a.clone();
+        let pairs: Vec<_> = b.into_iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(a.arity(), 2, "surviving handle unaffected");
     }
 }

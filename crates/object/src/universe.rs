@@ -104,16 +104,17 @@ where
 {
     let mut b = UniverseBuilder::new().database("euter").database("chwab").database("ource");
 
-    // euter: one tuple per quote
+    // euter: one tuple per quote (one-shot construction — the interior
+    // map is built once, not grown attribute-by-attribute)
     b = b.relation(
         "euter",
         "r",
         quotes.clone().into_iter().map(|(d, s, p)| {
-            let mut t = TupleObj::new();
-            t.insert("date", date_or_str(d));
-            t.insert("stkCode", Value::str(s));
-            t.insert("clsPrice", Value::float(p));
-            Value::Tuple(t)
+            Value::Tuple(TupleObj::from_pairs([
+                ("date", date_or_str(d)),
+                ("stkCode", Value::str(s)),
+                ("clsPrice", Value::float(p)),
+            ]))
         }),
     );
 
@@ -131,9 +132,7 @@ where
 
     // ource: one relation per stock
     for (d, s, p) in quotes {
-        let mut t = TupleObj::new();
-        t.insert("date", date_or_str(d));
-        t.insert("clsPrice", Value::float(p));
+        let t = TupleObj::from_pairs([("date", date_or_str(d)), ("clsPrice", Value::float(p))]);
         b = b.relation("ource", s, [Value::Tuple(t)]);
     }
 

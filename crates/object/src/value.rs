@@ -158,6 +158,29 @@ impl Value {
             Value::Set(s) => 1 + s.iter().map(Value::depth).max().unwrap_or(0),
         }
     }
+
+    /// A structurally equal copy that shares **no** interior allocation
+    /// with `self` — every tuple and set in the tree is rebuilt.
+    ///
+    /// Ordinary [`Clone`] is an O(1) copy-on-write handle bump; this is the
+    /// deliberate O(n) escape hatch for sharing-free reference builds
+    /// (differential tests, deep-copy bench baselines). Counted by
+    /// [`sharing::SharingCounters::deep_clones`](crate::SharingCounters)
+    /// (one count per call, not per node).
+    pub fn deep_clone(&self) -> Value {
+        crate::sharing::record_deep_clone();
+        self.deep_clone_rec()
+    }
+
+    fn deep_clone_rec(&self) -> Value {
+        match self {
+            Value::Atom(a) => Value::Atom(a.clone()),
+            Value::Tuple(t) => {
+                Value::Tuple(t.iter().map(|(k, v)| (k.clone(), v.deep_clone_rec())).collect())
+            }
+            Value::Set(s) => Value::Set(s.iter().map(Value::deep_clone_rec).collect()),
+        }
+    }
 }
 
 impl Default for Value {
@@ -298,6 +321,26 @@ mod tests {
         let s1 = set![a.clone(), a.clone()];
         assert_eq!(s1.as_set().unwrap().len(), 1, "sets deduplicate by value");
         assert_eq!(s1, set![b]);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let inner = set![Value::int(2)];
+        let v = set![tuple! { a: 1i64, b: inner }];
+        let shallow = v.clone();
+        let deep = v.deep_clone();
+        assert_eq!(deep, v, "structurally equal");
+        assert!(v.as_set().unwrap().shares_with(shallow.as_set().unwrap()));
+        assert!(!v.as_set().unwrap().shares_with(deep.as_set().unwrap()));
+        let vt = v.as_set().unwrap().iter().next().unwrap().as_tuple().unwrap();
+        let dt = deep.as_set().unwrap().iter().next().unwrap().as_tuple().unwrap();
+        assert!(!vt.shares_with(dt), "nested tuples rebuilt too");
+        assert!(!vt
+            .get("b")
+            .unwrap()
+            .as_set()
+            .unwrap()
+            .shares_with(dt.get("b").unwrap().as_set().unwrap()));
     }
 
     #[test]

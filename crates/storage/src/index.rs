@@ -6,6 +6,11 @@
 //! updates can restructure a relation arbitrarily, indexes are rebuilt from
 //! the relation's current contents whenever the store's journal shows the
 //! relation changed since the index was built (lazy maintenance).
+//!
+//! Index entries are copy-on-write *handles* onto the relation's own
+//! tuples (`Value` clones are O(1) Arc bumps), so building an index never
+//! deep-copies tuple contents, and lookups hand back borrowed slices over
+//! those shared handles — no cloning on the probe path either.
 
 use idl_object::{Name, SetObj, Value};
 use std::collections::{BTreeMap, HashMap};
@@ -142,5 +147,20 @@ mod tests {
     fn string_keys() {
         let idx = Index::build(IndexKind::Hash, &rel(), &Name::new("stkCode"));
         assert_eq!(idx.lookup_eq(&Value::str("hp")).len(), 1);
+    }
+
+    #[test]
+    fn entries_share_interiors_with_the_relation() {
+        let r = rel();
+        let idx = Index::build(IndexKind::Hash, &r, &Name::new("stkCode"));
+        let hit = &idx.lookup_eq(&Value::str("hp"))[0];
+        let orig = r
+            .iter()
+            .find(|t| t.as_tuple().is_some_and(|t| t.get("stkCode") == Some(&Value::str("hp"))))
+            .unwrap();
+        assert!(
+            hit.as_tuple().unwrap().shares_with(orig.as_tuple().unwrap()),
+            "index stores CoW handles, not deep copies"
+        );
     }
 }

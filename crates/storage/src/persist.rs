@@ -80,6 +80,9 @@ pub fn save_snapshot_vfs(
 ) -> StorageResult<()> {
     let json = match lsn {
         None => to_json(store)?,
+        // The universe clone is an O(1) copy-on-write handle (Arc-backed
+        // interiors, see `idl_object::sharing`) — the wrapper serialises
+        // straight from the live store's shared snapshot, no deep copy.
         Some(lsn) => serde_json::to_string(&SnapshotFile {
             format: SNAPSHOT_FORMAT,
             lsn,

@@ -277,7 +277,9 @@ impl Store {
 
     // ---- transactions ---------------------------------------------------
 
-    /// Opens a (nestable) transaction: snapshots the universe.
+    /// Opens a (nestable) transaction: snapshots the universe. The
+    /// snapshot is an O(1) copy-on-write handle (Arc-backed interiors);
+    /// later mutations deep-copy only the spine they touch.
     pub fn begin(&mut self) {
         self.txns
             .push(TxnFrame { saved_universe: self.universe.clone(), saved_version: self.version });

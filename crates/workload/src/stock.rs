@@ -134,11 +134,13 @@ pub fn generate(cfg: &StockConfig) -> StockUniverse {
     // euter
     let mut euter_rel = idl_object::SetObj::new();
     for q in &quotes {
-        let mut t = TupleObj::new();
-        t.insert("date", Value::date(q.date));
-        t.insert("stkCode", Value::str(&q.stock));
-        t.insert("clsPrice", Value::float(q.price));
-        euter_rel.insert(Value::Tuple(t));
+        // One-shot construction: the interior map is built once, not
+        // grown attribute-by-attribute.
+        euter_rel.insert(Value::Tuple(TupleObj::from_pairs([
+            ("date", Value::date(q.date)),
+            ("stkCode", Value::str(&q.stock)),
+            ("clsPrice", Value::float(q.price)),
+        ])));
     }
     let mut euter = TupleObj::new();
     euter.insert("r", Value::Set(euter_rel));
@@ -180,9 +182,8 @@ pub fn generate(cfg: &StockConfig) -> StockUniverse {
     let mut ource = TupleObj::new();
     for (q, op) in quotes.iter().zip(&ource_prices) {
         let rel = ource.get_or_insert_with(alias_o(&q.stock), Value::empty_set);
-        let mut t = TupleObj::new();
-        t.insert("date", Value::date(q.date));
-        t.insert("clsPrice", Value::float(*op));
+        let t =
+            TupleObj::from_pairs([("date", Value::date(q.date)), ("clsPrice", Value::float(*op))]);
         rel.as_set_mut().expect("relation is a set").insert(Value::Tuple(t));
     }
     u.insert("ource", Value::Tuple(ource));
@@ -192,14 +193,14 @@ pub fn generate(cfg: &StockConfig) -> StockUniverse {
         let mut map_ce = idl_object::SetObj::new();
         let mut map_oe = idl_object::SetObj::new();
         for i in 0..cfg.stocks {
-            let mut t = TupleObj::new();
-            t.insert("c", Value::str(chwab_code(i)));
-            t.insert("e", Value::str(stock_code(i)));
-            map_ce.insert(Value::Tuple(t));
-            let mut t = TupleObj::new();
-            t.insert("o", Value::str(ource_code(i)));
-            t.insert("e", Value::str(stock_code(i)));
-            map_oe.insert(Value::Tuple(t));
+            map_ce.insert(Value::Tuple(TupleObj::from_pairs([
+                ("c", Value::str(chwab_code(i))),
+                ("e", Value::str(stock_code(i))),
+            ])));
+            map_oe.insert(Value::Tuple(TupleObj::from_pairs([
+                ("o", Value::str(ource_code(i))),
+                ("e", Value::str(stock_code(i))),
+            ])));
         }
         let mut maps = TupleObj::new();
         maps.insert("mapCE", Value::Set(map_ce));
@@ -325,11 +326,11 @@ pub fn generate_sharded(cfg: &ShardedStockConfig) -> Value {
         };
         let mut rel = idl_object::SetObj::new();
         for q in generate_quotes(&shard_cfg) {
-            let mut t = TupleObj::new();
-            t.insert("date", Value::date(q.date));
-            t.insert("stkCode", Value::str(format!("f{si:02}{}", q.stock)));
-            t.insert("clsPrice", Value::float(q.price));
-            rel.insert(Value::Tuple(t));
+            rel.insert(Value::Tuple(TupleObj::from_pairs([
+                ("date", Value::date(q.date)),
+                ("stkCode", Value::str(format!("f{si:02}{}", q.stock))),
+                ("clsPrice", Value::float(q.price)),
+            ])));
         }
         let mut db = TupleObj::new();
         db.insert("r", Value::Set(rel));

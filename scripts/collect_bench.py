@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Collects Criterion medians from target/criterion into a flat table.
+"""Collects Criterion medians from target/criterion and emits evidence files.
 
 Used to fill EXPERIMENTS.md after `cargo bench`:
 
     python3 scripts/collect_bench.py
+
+Prints a flat table of every benchmark's median, then writes one
+`BENCH_<id>.json` per B-experiment (grouped by the `B<N>_` label prefix)
+into the repository root, so measured numbers can be committed alongside
+the write-up.
 """
+import collections
 import glob
 import json
+import re
 
 
 def fmt(ns: float) -> str:
@@ -26,6 +33,22 @@ def main() -> None:
             rows[label] = json.load(f)["median"]["point_estimate"]
     for label in sorted(rows):
         print(f"{label:68s} {fmt(rows[label])}")
+
+    by_bench = collections.defaultdict(dict)
+    for label, ns in rows.items():
+        m = re.match(r"(B\d+)_", label)
+        by_bench[m.group(1) if m else "misc"][label] = ns
+    for bid, entries in sorted(by_bench.items()):
+        path = f"BENCH_{bid}.json"
+        with open(path, "w") as f:
+            json.dump(
+                {"bench": bid, "median_ns": dict(sorted(entries.items()))},
+                f,
+                indent=2,
+                sort_keys=True,
+            )
+            f.write("\n")
+        print(f"wrote {path} ({len(entries)} benchmarks)")
 
 
 if __name__ == "__main__":

@@ -142,16 +142,66 @@ impl Criterion {
         f(&mut bencher);
         match (&bencher.report, self.test_mode) {
             (_, true) => println!("Testing {full_name} ... ok"),
-            (Some(r), false) => println!(
-                "{full_name:<60} time: [{} {} {}] ({} iterations)",
-                fmt_duration(r.min),
-                fmt_duration(r.mean),
-                fmt_duration(r.max),
-                r.iterations,
-            ),
+            (Some(r), false) => {
+                println!(
+                    "{full_name:<60} time: [{} {} {}] ({} iterations)",
+                    fmt_duration(r.min),
+                    fmt_duration(r.mean),
+                    fmt_duration(r.max),
+                    r.iterations,
+                );
+                write_estimates(full_name, r);
+            }
             (None, false) => println!("{full_name:<60} (no measurement recorded)"),
         }
     }
+}
+
+/// Locates `<target>/criterion`, honouring `CARGO_TARGET_DIR` and
+/// otherwise walking up from the CWD (the bench package root under
+/// `cargo bench`) to the workspace root's `Cargo.lock`.
+fn criterion_dir() -> Option<std::path::PathBuf> {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(std::path::PathBuf::from(dir).join("criterion"));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir.join("target").join("criterion"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Persists a report as `target/criterion/<name>/new/estimates.json` in
+/// the (subset of the) upstream criterion layout that downstream tooling
+/// reads (`scripts/collect_bench.py` globs `**/new/estimates.json` and
+/// takes `median.point_estimate`, in nanoseconds). Upstream computes a
+/// real median; this shim reports the mean under both keys. Best-effort:
+/// a read-only filesystem silently skips persistence.
+fn write_estimates(full_name: &str, r: &Report) {
+    let Some(root) = criterion_dir() else { return };
+    let dir = full_name.split('/').fold(root, |d, part| d.join(part)).join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mean_ns = r.mean.as_nanos() as f64;
+    let json = format!(
+        concat!(
+            "{{\"mean\":{{\"point_estimate\":{mean}}},",
+            "\"median\":{{\"point_estimate\":{mean}}},",
+            "\"min\":{{\"point_estimate\":{min}}},",
+            "\"max\":{{\"point_estimate\":{max}}},",
+            "\"iterations\":{iters}}}"
+        ),
+        mean = mean_ns,
+        min = r.min.as_nanos() as f64,
+        max = r.max.as_nanos() as f64,
+        iters = r.iterations,
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
 }
 
 fn fmt_duration(d: Duration) -> String {
