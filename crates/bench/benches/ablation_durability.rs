@@ -23,7 +23,7 @@
 //! loss. Recovery is linear in log length for both formats.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use idl::durable::{DurabilityOptions, DurableEngine, SyncPolicy};
+use idl::durable::{DurableEngine, SyncPolicy};
 use idl::{Engine, LogFormat};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -57,7 +57,7 @@ const MODES: &[(&str, LogFormat, SyncPolicy)] = &[
 ];
 
 fn open_mode(dir: PathBuf, format: LogFormat, sync: SyncPolicy) -> DurableEngine {
-    let opts = DurabilityOptions::default().with_format(format).with_sync(sync);
+    let opts = idl::EngineOptions::builder().log_format(format).sync(sync).durability();
     DurableEngine::open_with_vfs(dir, std::sync::Arc::new(idl::RealVfs::new()), opts, |_| Ok(()))
         .expect("open durable engine")
 }

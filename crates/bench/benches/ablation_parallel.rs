@@ -28,7 +28,7 @@ const THREADS: &[usize] = &[1, 2, 4];
 fn fresh_engine(universe: &idl_object::Value, rules: &str, threads: usize) -> Engine {
     let store = Store::from_universe(universe.clone()).expect("sharded universe is a tuple");
     let mut e = Engine::from_store(store);
-    let opts = e.options().with_threads(threads);
+    let opts = e.options().rebuild().threads(threads).build();
     e.set_options(opts);
     e.add_rules(rules).expect("sharded rules install");
     e

@@ -62,7 +62,7 @@ impl CopyMode {
 fn refreshed_engine(universe: &Value, rules: &str) -> Engine {
     let store = Store::from_universe(universe.clone()).expect("sharded universe is a tuple");
     let mut e = Engine::from_store(store);
-    let opts = e.options().with_threads(THREADS);
+    let opts = e.options().rebuild().threads(THREADS).build();
     e.set_options(opts);
     e.add_rules(rules).expect("sharded rules install");
     e.refresh_views().expect("fixpoint converges");

@@ -54,7 +54,7 @@ fn bench(c: &mut Criterion) {
                 b.iter_batched(
                     || {
                         let mut e = Engine::from_store(stock_store(stocks, DAYS));
-                        let opts = e.options().with_threads(threads);
+                        let opts = e.options().rebuild().threads(threads).build();
                         e.set_options(opts);
                         e.add_rules(RULES).unwrap();
                         e

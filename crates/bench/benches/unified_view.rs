@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
                     b.iter_batched(
                         || {
                             let mut e = Engine::from_store(stock_store(stocks, days));
-                            let opts = e.options().with_threads(t);
+                            let opts = e.options().rebuild().threads(t).build();
                             e.set_options(opts);
                             e.add_rules(rules).unwrap();
                             e

@@ -45,7 +45,7 @@ pub fn mapped_engine(stocks: usize, days: usize) -> Engine {
 pub fn sharded_engine(shards: usize, stocks: usize, days: usize, threads: usize) -> Engine {
     let cfg = ShardedStockConfig::sized(shards, stocks, days);
     let mut e = Engine::from_store(generate_sharded_store(&cfg));
-    let opts = e.options().with_threads(threads);
+    let opts = e.options().rebuild().threads(threads).build();
     e.set_options(opts);
     e.add_rules(&sharded_union_rules(&cfg)).expect("sharded rules install");
     e

@@ -8,6 +8,7 @@
 
 use idl_lang::Var;
 use idl_object::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -16,7 +17,12 @@ use std::fmt;
 /// Bindings are immutable once made; [`Subst::bind`] on an already-bound
 /// variable succeeds only if the values agree structurally (this is what
 /// makes repeated variables express joins).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+///
+/// Serialises as a JSON object mapping variable names to their bound
+/// values (`#[serde(transparent)]`), so answers travel over the
+/// `idl-server` wire unchanged.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
 pub struct Subst {
     map: BTreeMap<Var, Value>,
 }
@@ -107,7 +113,12 @@ impl FromIterator<(Var, Value)> for Subst {
 }
 
 /// The answer to a query: a *set* of grounding substitutions (§4.2).
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
+///
+/// Serialises as a JSON array of substitutions in deterministic
+/// (`BTreeSet`) order, so equality on both sides of a wire round-trip is
+/// structural equality.
+#[derive(Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
 pub struct AnswerSet {
     substs: BTreeSet<Subst>,
 }

@@ -36,9 +36,10 @@ use crate::subst::Subst;
 use idl_lang::{AttrTerm, Expr, Field, RelOp, Sign, Term};
 use idl_object::{Kind, Name, Value};
 use idl_storage::Store;
+use serde::{Deserialize, Serialize};
 
 /// Mutation counters returned by update application.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct UpdateStats {
     /// Set elements inserted.
     pub inserted: usize,

@@ -9,7 +9,7 @@
 //! ```no_run
 //! use idl::durable::DurableEngine;
 //! let mut d = DurableEngine::open("./stocks")?;
-//! d.engine().execute(idl::transparency::standard_update_programs())?;
+//! d.execute(idl::transparency::standard_update_programs())?;       // code: in-memory only
 //! d.update("?.dbU.insStk(.stk=hp, .date=3/3/85, .price=50)")?;  // logged
 //! d.checkpoint()?;                                // snapshot + rotate log
 //! # Ok::<(), idl::EngineError>(())
@@ -47,6 +47,7 @@
 //! application reinstalls them after `open` (the same policy as snapshot
 //! loading; see `tests/integration_pipeline.rs`).
 
+use crate::backend::{Backend, EngineSnapshot};
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::outcome::Outcome;
@@ -100,12 +101,14 @@ impl Default for DurabilityOptions {
 
 impl DurabilityOptions {
     /// Sets the fsync policy.
+    #[deprecated(note = "use EngineOptions::builder() and .sync(policy).durability()")]
     pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
         self.sync = sync;
         self
     }
 
     /// Sets the preferred log format.
+    #[deprecated(note = "use EngineOptions::builder() and .log_format(format).durability()")]
     pub fn with_format(mut self, format: LogFormat) -> Self {
         self.format = format;
         self
@@ -313,13 +316,22 @@ impl DurableEngine {
         })
     }
 
-    /// The wrapped engine, for non-durable operations (queries, installing
-    /// rules/programs, configuration).
+    /// The wrapped engine.
+    ///
+    /// Mutating the inner engine directly bypasses the operation log — a
+    /// crash then silently loses those mutations. Use the [`Backend`]
+    /// surface (`execute`/`query`/`update`/`set_options`) instead, and
+    /// install rules/programs via [`DurableEngine::open_with`]'s setup
+    /// callback so they are present *before* the log replays.
+    #[deprecated(
+        note = "direct engine access bypasses the operation log; use the Backend surface or open_with's setup callback"
+    )]
     pub fn engine(&mut self) -> &mut Engine {
         &mut self.engine
     }
 
     /// Read access to the wrapped engine.
+    #[deprecated(note = "use the Backend surface (stats/options/universe_json) instead")]
     pub fn engine_ref(&self) -> &Engine {
         &self.engine
     }
@@ -357,9 +369,7 @@ impl DurableEngine {
 
     fn check_poisoned(&self) -> Result<(), EngineError> {
         match &self.poisoned {
-            Some(why) => Err(EngineError::Storage(format!(
-                "durable engine poisoned by an earlier log failure ({why}); reopen to recover"
-            ))),
+            Some(why) => Err(EngineError::Poisoned(why.clone())),
             None => Ok(()),
         }
     }
@@ -485,6 +495,82 @@ impl DurableEngine {
     }
 }
 
+impl Backend for DurableEngine {
+    fn execute(&mut self, src: &str) -> Result<Vec<Outcome>, EngineError> {
+        DurableEngine::execute(self, src)
+    }
+
+    // Pure queries never touch the log, but a poisoned engine refuses
+    // them too: its in-memory state holds a mutation the log could not
+    // acknowledge, so answers would reflect un-durable data.
+    fn query(&mut self, src: &str) -> Result<idl_eval::AnswerSet, EngineError> {
+        self.check_poisoned()?;
+        self.engine.query(src)
+    }
+
+    fn update(&mut self, src: &str) -> Result<Outcome, EngineError> {
+        DurableEngine::update(self, src)
+    }
+
+    fn execute_sql(&mut self, _src: &str) -> Result<Outcome, EngineError> {
+        Err(EngineError::Usage(
+            "SQL-sugar mutations would bypass the operation log; not available on a durable backend"
+                .into(),
+        ))
+    }
+
+    fn refresh_views(&mut self) -> Result<idl_eval::rules::FixpointStats, EngineError> {
+        // Derived state is re-derivable code output, never logged.
+        self.engine.refresh_views()
+    }
+
+    fn stats(&self) -> &idl_eval::rules::FixpointStats {
+        self.engine.last_fixpoint_stats()
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, EngineError> {
+        self.check_poisoned()?;
+        self.engine.refresh_views_if_stale()?;
+        EngineSnapshot::of(&self.engine)
+    }
+
+    fn options(&self) -> crate::engine::EngineOptions {
+        self.engine.options()
+    }
+
+    fn set_options(&mut self, options: crate::engine::EngineOptions) {
+        self.engine.set_options(options)
+    }
+
+    fn checkpoint(&mut self) -> Result<Outcome, EngineError> {
+        DurableEngine::checkpoint(self)
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn is_poisoned(&self) -> bool {
+        DurableEngine::is_poisoned(self)
+    }
+
+    fn analyze(&self, src: &str) -> Result<Vec<idl_eval::analyze::BindingIssue>, EngineError> {
+        self.engine.analyze(src)
+    }
+
+    fn explain(&self, src: &str) -> Result<String, EngineError> {
+        self.engine.explain(src)
+    }
+
+    fn universe_json(&self) -> Result<String, EngineError> {
+        self.engine.universe_json()
+    }
+
+    fn save_snapshot(&self, path: &Path) -> Result<(), EngineError> {
+        self.engine.save_snapshot(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,8 +600,8 @@ mod tests {
             // engine dropped without checkpoint: only the log survives
         }
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert!(d.engine().query("?.euter.r(.date=3/4/85,.stkCode=hp)").unwrap().is_true());
-        assert!(!d.engine().query("?.euter.r(.date=3/3/85)").unwrap().is_true());
+        assert!(d.query("?.euter.r(.date=3/4/85,.stkCode=hp)").unwrap().is_true());
+        assert!(!d.query("?.euter.r(.date=3/3/85)").unwrap().is_true());
         assert_eq!(d.durability_stats().records_recovered, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -533,7 +619,7 @@ mod tests {
             assert_eq!(d.log_len().unwrap(), 1);
         }
         let mut d = DurableEngine::open(&dir).unwrap();
-        let a = d.engine().query("?.db.r(.a=X)").unwrap();
+        let a = d.query("?.db.r(.a=X)").unwrap();
         assert_eq!(a.column("X").len(), 2, "snapshot + log both replayed");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -577,7 +663,7 @@ mod tests {
         let dir = fresh_dir("programs");
         {
             let mut d = DurableEngine::open(&dir).unwrap();
-            d.engine().execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;").unwrap();
+            d.execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;").unwrap();
             d.update("?.dbU.put(.k=a, .v=1)").unwrap();
             d.update("?.dbU.put(.k=b, .v=2)").unwrap();
         }
@@ -585,7 +671,7 @@ mod tests {
             e.execute(".dbU.put(.k=K, .v=V) -> .kv.data+(.k=K, .v=V) ;").map(|_| ())
         })
         .unwrap();
-        assert_eq!(d.engine().query("?.kv.data(.k=K,.v=V)").unwrap().len(), 2);
+        assert_eq!(d.query("?.kv.data(.k=K,.v=V)").unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -613,7 +699,7 @@ mod tests {
         )
         .unwrap();
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
         let stats = d.durability_stats();
         assert!(stats.migrated_legacy);
         assert_eq!(stats.records_recovered, 2);
@@ -624,7 +710,7 @@ mod tests {
         d.update("?.db.r+(.a=3)").unwrap();
         drop(d);
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -640,7 +726,8 @@ mod tests {
         // the Never policy skips the fsync (ablation mode)
         let vfs2 = Arc::new(SimVfs::new(FaultPlan::none(8)));
         let mut d2 =
-            sim_open(&vfs2, DurabilityOptions::default().with_sync(SyncPolicy::Never)).unwrap();
+            sim_open(&vfs2, crate::EngineOptions::builder().sync(SyncPolicy::Never).durability())
+                .unwrap();
         let before = vfs2.stats().file_syncs;
         d2.update("?.db.r+(.a=1)").unwrap();
         assert_eq!(vfs2.stats().file_syncs, before);
@@ -674,7 +761,7 @@ mod tests {
         assert!(d.checkpoint().is_err(), "poisoned engine refuses checkpoints");
         drop(d);
         let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
-        let col = d.engine().query("?.db.r(.a=X)").unwrap();
+        let col = d.query("?.db.r(.a=X)").unwrap();
         assert_eq!(col.column("X").len(), 1, "only the acknowledged update survives");
     }
 
@@ -692,7 +779,7 @@ mod tests {
             assert_eq!(d.log_len().unwrap(), 2, "only the mutating requests are logged");
         }
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -42,18 +42,111 @@ impl Default for EngineOptions {
 }
 
 impl EngineOptions {
-    /// This configuration with a fixed fixpoint worker count (the `idl`
-    /// CLI's `--threads`; `1` forces the sequential path).
+    /// A builder starting from the default configuration. This is the one
+    /// construction path shared by CLI flag parsing and the server config
+    /// (see [`EngineOptionsBuilder`]).
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::default()
+    }
+
+    /// A builder seeded from this configuration — the idiom for adjusting
+    /// a live engine: `e.set_options(e.options().rebuild().threads(4).build())`.
+    pub fn rebuild(self) -> EngineOptionsBuilder {
+        EngineOptionsBuilder { engine: self, ..EngineOptionsBuilder::default() }
+    }
+
+    /// This configuration with a fixed fixpoint worker count.
+    #[deprecated(note = "use EngineOptions::builder()/rebuild() and .threads(n).build()")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.eval = self.eval.with_threads(threads);
         self
     }
 
-    /// This configuration with plan compilation switched on or off (the
-    /// `idl` CLI's `--no-compile` selects the tree-walk interpreter).
+    /// This configuration with plan compilation switched on or off.
+    #[deprecated(note = "use EngineOptions::builder()/rebuild() and .compile(on).build()")]
     pub fn with_compile(mut self, compile: bool) -> Self {
         self.eval = self.eval.with_compile(compile);
         self
+    }
+}
+
+/// The single builder behind every engine configuration path.
+///
+/// Collapses what used to be scattered `with_*` methods on
+/// [`EngineOptions`] and [`crate::DurabilityOptions`]: the CLI's flag
+/// parser, the server's config file/flags, and tests all construct from
+/// this one type, then split the result with [`EngineOptionsBuilder::build`]
+/// (engine side) and [`EngineOptionsBuilder::durability`] (log side).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptionsBuilder {
+    engine: EngineOptions,
+    durability: crate::durable::DurabilityOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Fixpoint worker threads for view materialisation (the CLI's
+    /// `--threads`; `1` forces the sequential path).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.engine.eval = self.engine.eval.with_threads(threads);
+        self
+    }
+
+    /// Plan compilation on/off (the CLI's `--no-compile` selects the
+    /// tree-walk reference interpreter).
+    pub fn compile(mut self, compile: bool) -> Self {
+        self.engine.eval = self.engine.eval.with_compile(compile);
+        self
+    }
+
+    /// Abort any request whose intermediate result exceeds this many
+    /// substitutions (`E-LIMIT`); the server sets this per config.
+    pub fn max_results(mut self, limit: Option<usize>) -> Self {
+        self.engine.eval.max_results = limit;
+        self
+    }
+
+    /// Automatic view refresh before requests that follow a base-data
+    /// change (on by default).
+    pub fn auto_refresh(mut self, on: bool) -> Self {
+        self.engine.auto_refresh = on;
+        self
+    }
+
+    /// Relation-granularity semi-naive fixpoints (on by default).
+    pub fn semi_naive(mut self, on: bool) -> Self {
+        self.engine.semi_naive = on;
+        self
+    }
+
+    /// Re-derive only rules affected by journalled changes (on by
+    /// default).
+    pub fn incremental_refresh(mut self, on: bool) -> Self {
+        self.engine.incremental_refresh = on;
+        self
+    }
+
+    /// Log/snapshot fsync policy for durable backends (the CLI's
+    /// `--fsync`).
+    pub fn sync(mut self, sync: crate::durable::SyncPolicy) -> Self {
+        self.durability.sync = sync;
+        self
+    }
+
+    /// Preferred on-disk log format for durable backends.
+    pub fn log_format(mut self, format: idl_storage::LogFormat) -> Self {
+        self.durability.format = format;
+        self
+    }
+
+    /// The engine-side configuration.
+    pub fn build(self) -> EngineOptions {
+        self.engine
+    }
+
+    /// The durability-side configuration (pass to
+    /// [`crate::DurableEngine::open_with_vfs`]).
+    pub fn durability(self) -> crate::durable::DurabilityOptions {
+        self.durability
     }
 }
 
@@ -827,7 +920,7 @@ mod tests {
         let mut e = engine();
         // Pin compile on so the counters are meaningful even when the
         // suite runs under IDL_NO_COMPILE=1.
-        e.set_options(EngineOptions::default().with_compile(true));
+        e.set_options(EngineOptions::builder().compile(true).build());
         e.add_rules(UNIFIED).unwrap();
         e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;").unwrap();
         // Cold refresh: each of the four bodies is compiled exactly once,
@@ -845,7 +938,7 @@ mod tests {
         // The tree-walk reference mode compiles nothing and derives the
         // same views.
         let mut interp = engine();
-        interp.set_options(EngineOptions::default().with_compile(false));
+        interp.set_options(EngineOptions::builder().compile(false).build());
         interp.add_rules(UNIFIED).unwrap();
         let stats = interp.refresh_views().unwrap();
         assert_eq!(stats.plans_compiled, 0, "{stats:?}");

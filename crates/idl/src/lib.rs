@@ -42,21 +42,23 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod durable;
 mod engine;
 mod error;
 mod outcome;
 pub mod transparency;
 
+pub use backend::{Backend, EngineSnapshot};
 pub use durable::{DurabilityOptions, DurableEngine, SyncPolicy};
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::EngineError;
 pub use outcome::Outcome;
 
 // Re-exports so downstream users need only this crate.
 pub use idl_eval::rules::{FixpointStats, StratumStats};
 pub use idl_eval::update::UpdateStats;
-pub use idl_eval::{AnswerSet, EvalOptions, Subst};
+pub use idl_eval::{AnswerSet, EvalOptions, PlanCache, Subst};
 pub use idl_lang::{parse_program, parse_statement, Statement};
 pub use idl_object::{Atom, Date, Name, SetObj, SharingCounters, TupleObj, Value};
 pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};

@@ -2,10 +2,15 @@
 
 use idl_eval::update::UpdateStats;
 use idl_eval::AnswerSet;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What executing one statement produced.
-#[derive(Clone, Debug)]
+///
+/// Serde-serializable (externally tagged) so outcomes travel over the
+/// `idl-server` wire verbatim — the client sees the same answers and
+/// counters a linked-in engine would return.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum Outcome {
     /// A request ran: its answers and any mutation counters.
     Answers {

@@ -1,0 +1,213 @@
+//! A blocking client for the `idl-server` wire protocol.
+//!
+//! One [`Client`] owns one TCP session; requests are strictly
+//! request/response, so a client is cheap and `Send` but not shareable —
+//! open one per thread (the server multiplexes sessions, not frames).
+
+use crate::protocol::{
+    self, EngineStatsWire, FrameError, StatsReply, WireRequest, WireResponse, MAGIC,
+};
+use idl::{AnswerSet, EngineError, Outcome};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure; the session is dead.
+    Io(std::io::Error),
+    /// Framing failure (checksum, size cap); the session is dead.
+    Frame(FrameError),
+    /// The server answered with an error frame. The session survives
+    /// (unless the code is connection-fatal, e.g. `E-TOO-LARGE`).
+    Server {
+        /// Stable machine-readable code (`E-PARSE`, `E-TIMEOUT`, …).
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The server answered with an unexpected (but valid) response kind.
+    Protocol(String),
+}
+
+impl ClientError {
+    /// The stable error code, when the server reported one.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Converts a server-reported error into the engine's error type
+    /// ([`EngineError::Remote`]), for callers programmed against the
+    /// engine surface.
+    pub fn into_engine_error(self) -> EngineError {
+        match self {
+            ClientError::Server { code, message } => EngineError::Remote { code, message },
+            other => EngineError::Remote { code: "E-IO".into(), message: other.to_string() },
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// A connected session speaking the `idl-server` protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects, exchanges the handshake magic, and reads the server's
+    /// greeting frame (so a server at its session cap fails here, with
+    /// `E-BUSY`, rather than on the first real call).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::connect_with(addr, protocol::DEFAULT_MAX_FRAME, None)
+    }
+
+    /// [`Client::connect`] with an explicit frame cap and optional
+    /// per-call read deadline (`None` blocks indefinitely).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        max_frame: u32,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(read_timeout)?;
+        stream.write_all(MAGIC)?;
+        let mut magic = [0u8; MAGIC.len()];
+        stream.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ClientError::Protocol(format!(
+                "peer is not an idl-server (bad magic {magic:02x?})"
+            )));
+        }
+        let mut client = Client { stream, max_frame };
+        match client.read_response()? {
+            WireResponse::Pong => Ok(client),
+            WireResponse::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected("a greeting", &other)),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<WireResponse, ClientError> {
+        let payload = protocol::read_frame(&mut self.stream, self.max_frame, &mut |_| None)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ClientError::Protocol(format!("non-UTF-8 response: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("unreadable response: {e}")))
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        protocol::send(&mut self.stream, req, self.max_frame)?;
+        match self.read_response()? {
+            WireResponse::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Evaluates one pure-query request against the server's published
+    /// snapshot (never blocks behind the writer).
+    pub fn query(&mut self, src: &str) -> Result<AnswerSet, ClientError> {
+        match self.call(&WireRequest::Query { src: src.into() })? {
+            WireResponse::Answers(a) => Ok(a),
+            other => Err(unexpected("Answers", &other)),
+        }
+    }
+
+    /// Executes a multi-statement source through the single writer.
+    pub fn execute(&mut self, src: &str) -> Result<Vec<Outcome>, ClientError> {
+        match self.call(&WireRequest::Execute { src: src.into() })? {
+            WireResponse::Outcomes(o) => Ok(o),
+            other => Err(unexpected("Outcomes", &other)),
+        }
+    }
+
+    /// Executes exactly one (usually mutating) request.
+    pub fn update(&mut self, src: &str) -> Result<Outcome, ClientError> {
+        match self.call(&WireRequest::Update { src: src.into() })? {
+            WireResponse::Outcomes(mut o) if o.len() == 1 => Ok(o.pop().unwrap()),
+            other => Err(unexpected("one Outcome", &other)),
+        }
+    }
+
+    /// Forces a view refresh and snapshot republication.
+    pub fn refresh_views(&mut self) -> Result<EngineStatsWire, ClientError> {
+        match self.call(&WireRequest::RefreshViews)? {
+            WireResponse::Refreshed(s) => Ok(s),
+            other => Err(unexpected("Refreshed", &other)),
+        }
+    }
+
+    /// Server, session and engine counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&WireRequest::Stats)? {
+            WireResponse::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// The universe as canonical JSON, from the published snapshot.
+    pub fn dump_universe(&mut self) -> Result<String, ClientError> {
+        match self.call(&WireRequest::DumpUniverse)? {
+            WireResponse::Universe { json } => Ok(json),
+            other => Err(unexpected("Universe", &other)),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Shutdown)? {
+            WireResponse::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// The underlying stream (escape hatch for tests and tooling).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+fn unexpected(wanted: &str, got: &WireResponse) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

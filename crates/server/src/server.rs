@@ -1,0 +1,591 @@
+//! The threaded TCP server: accept loop, session threads, and the
+//! published-snapshot concurrency discipline.
+//!
+//! # Concurrency model
+//!
+//! One engine, many sessions:
+//!
+//! * **Reads are snapshot-isolated and lock-free against the writer.**
+//!   The server keeps a *published* [`EngineSnapshot`] behind an
+//!   [`RwLock`]`<`[`Arc`]`<…>>`. A `Query` briefly clones the `Arc` and
+//!   evaluates against its own handle — outside every lock — so read
+//!   throughput scales with sessions and a slow view refresh never
+//!   stalls a read. Snapshots are O(1) copy-on-write handle clones of
+//!   the universe, so publishing is cheap no matter the data size.
+//! * **Writes serialize through a single writer.** `Execute`, `Update`
+//!   and `RefreshViews` take the writer mutex (with a deadline — a
+//!   stuck writer yields `E-TIMEOUT` frames, not hung sessions), apply
+//!   the mutation (through the durability layer when the backend is a
+//!   `DurableEngine`), refresh views, and publish a fresh snapshot.
+//!
+//! A session that sends a corrupt or oversized frame is closed with an
+//! error frame; other sessions — and the engine — are unaffected. A
+//! poisoned durable backend keeps answering: reads serve the last
+//! published (fully acknowledged) snapshot and writes return clean
+//! `E-POISONED` error frames.
+
+use crate::protocol::{
+    self, EngineStatsWire, FrameError, SessionStatsWire, StatsReply, WireRequest, WireResponse,
+    E_BUSY, E_FRAME, E_PROTO, E_TIMEOUT, E_TOO_LARGE, MAGIC,
+};
+use crate::stats::{ServerStats, ServerStatsSnapshot};
+use idl::{Backend, EngineError, EngineSnapshot, PlanCache};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a blocked socket read wakes to check drain/idle deadlines.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Socket write deadline (a peer that stops draining its receive buffer
+/// cannot pin a session thread forever).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Abort reasons surfaced through [`FrameError::Aborted`].
+const ABORT_DRAIN: &str = "server draining";
+const ABORT_IDLE: &str = "idle timeout";
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Concurrent-session cap; further connects get `E-BUSY`.
+    pub max_sessions: usize,
+    /// Per-frame payload cap in bytes, both directions.
+    pub max_frame: u32,
+    /// Close a session after this long without a request.
+    pub idle_timeout: Duration,
+    /// Deadline for one request (snapshot evaluation, or waiting for the
+    /// writer lock). Zero disables the deadline.
+    pub request_timeout: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for sessions to finish.
+    pub drain_timeout: Duration,
+    /// Whether a client `Shutdown` frame may stop the server.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 64,
+            max_frame: protocol::DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(300),
+            request_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            allow_remote_shutdown: true,
+        }
+    }
+}
+
+/// Why the server could not start (or a handle operation failed).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, accept).
+    Io(std::io::Error),
+    /// The backend could not produce its initial snapshot.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server I/O error: {e}"),
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+/// State shared between the accept loop, session threads and the handle.
+struct Shared {
+    cfg: ServerConfig,
+    local_addr: SocketAddr,
+    /// The single writer. Every mutation goes through here.
+    writer: Mutex<Box<dyn Backend + Send>>,
+    /// The read snapshot sessions evaluate against; swapped (never
+    /// mutated in place) by the writer after each acknowledged change.
+    published: RwLock<Arc<EngineSnapshot>>,
+    /// Summary of the engine's last materialisation, captured at publish
+    /// time so `Stats` never needs the writer lock.
+    engine_stats: Mutex<EngineStatsWire>,
+    /// Compiled plans shared by all snapshot reads (locked only around
+    /// plan lookup, never during evaluation).
+    plan_cache: Mutex<PlanCache>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn plan_cache_counters(&self) -> (u64, u64) {
+        let cache = self.plan_cache.lock().unwrap_or_else(|p| p.into_inner());
+        (cache.hits(), cache.misses())
+    }
+
+    fn server_stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot(self.plan_cache_counters())
+    }
+
+    /// Swaps in a fresh snapshot + engine-stats summary from the writer.
+    fn republish(&self, backend: &mut dyn Backend) -> Result<(), EngineError> {
+        let snap = backend.snapshot()?;
+        *self.engine_stats.lock().unwrap_or_else(|p| p.into_inner()) =
+            EngineStatsWire::from(backend.stats());
+        *self.published.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(snap);
+        Ok(())
+    }
+
+    fn published(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.published.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Acquires the writer lock within the request deadline.
+    fn lock_writer(&self) -> Option<MutexGuard<'_, Box<dyn Backend + Send>>> {
+        if self.cfg.request_timeout.is_zero() {
+            return Some(self.writer.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        loop {
+            match self.writer.try_lock() {
+                Ok(g) => return Some(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => return Some(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+    }
+
+    fn begin_drain(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop out of its blocking accept().
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A running server. Dropping the handle initiates a drain; call
+/// [`ServerHandle::shutdown`] for a synchronous drain with final stats.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Point-in-time global counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.server_stats()
+    }
+
+    /// Whether a drain has begun (locally or via a remote `Shutdown`).
+    pub fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections, lets in-flight sessions finish
+    /// (bounded by `drain_timeout`), and returns the final counters.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.drain_and_join();
+        self.shared.server_stats()
+    }
+
+    /// Blocks until a drain is initiated elsewhere (a remote `Shutdown`
+    /// frame), then finishes it. Used by `idl serve`.
+    pub fn wait(mut self) -> ServerStatsSnapshot {
+        while !self.is_draining() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.drain_and_join();
+        self.shared.server_stats()
+    }
+
+    fn drain_and_join(&mut self) {
+        self.shared.begin_drain();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + self.shared.cfg.drain_timeout;
+        while self.shared.stats.sessions_active.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain_and_join();
+    }
+}
+
+/// Starts serving `backend` on `cfg.addr`.
+///
+/// Takes the initial snapshot (materialising views) before accepting
+/// connections, so the first read never waits on the writer.
+pub fn serve(
+    mut backend: Box<dyn Backend + Send>,
+    cfg: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    let initial = backend.snapshot()?;
+    let engine_stats = EngineStatsWire::from(backend.stats());
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cfg,
+        local_addr,
+        writer: Mutex::new(backend),
+        published: RwLock::new(Arc::new(initial)),
+        engine_stats: Mutex::new(engine_stats),
+        plan_cache: Mutex::new(PlanCache::new()),
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("idl-accept".into())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(ServerHandle { shared, accept: Some(accept) })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut session_seq = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let active = shared.stats.sessions_active.load(Ordering::SeqCst);
+        if active as usize >= shared.cfg.max_sessions {
+            ServerStats::bump(&shared.stats.sessions_rejected, 1);
+            reject_busy(stream, &shared);
+            continue;
+        }
+        session_seq += 1;
+        ServerStats::bump(&shared.stats.sessions_opened, 1);
+        shared.stats.sessions_active.fetch_add(1, Ordering::SeqCst);
+        let session_shared = Arc::clone(&shared);
+        let id = session_seq;
+        let spawned =
+            std::thread::Builder::new().name(format!("idl-session-{id}")).spawn(move || {
+                run_session(&session_shared, stream, id);
+                session_shared.stats.sessions_active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.stats.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Over-capacity connection: complete the handshake, explain, hang up.
+fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+    if stream.write_all(MAGIC).is_err() {
+        return;
+    }
+    let resp = WireResponse::server_error(
+        E_BUSY,
+        format!("session limit ({}) reached", shared.cfg.max_sessions),
+    );
+    let _ = protocol::send(&mut stream, &resp, shared.cfg.max_frame);
+}
+
+/// Per-session mutable state (counters reported via `Stats`).
+struct Session {
+    id: u64,
+    requests: u64,
+    errors: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL)).ok();
+    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+    // Greeting: magic plus an immediate Pong frame, so connecting
+    // clients learn synchronously whether they were admitted (the
+    // over-capacity path greets with an E-BUSY error instead).
+    if stream.write_all(MAGIC).is_err()
+        || protocol::send(&mut stream, &WireResponse::Pong, shared.cfg.max_frame).is_err()
+    {
+        return;
+    }
+    let mut last_activity = Instant::now();
+    // Handshake: the peer must present the magic before anything else.
+    let mut magic = [0u8; MAGIC.len()];
+    {
+        let mut on_wait = wait_fn(shared, &last_activity);
+        if protocol::read_exact_retry(&mut stream, &mut magic, false, &mut on_wait).is_err()
+            || &magic != MAGIC
+        {
+            return;
+        }
+    }
+    let mut sess = Session { id, requests: 0, errors: 0, bytes_in: 0, bytes_out: 0 };
+    loop {
+        let frame = {
+            let mut on_wait = wait_fn(shared, &last_activity);
+            protocol::read_frame(&mut stream, shared.cfg.max_frame, &mut on_wait)
+        };
+        last_activity = Instant::now();
+        let payload = match frame {
+            Ok(p) => p,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Aborted(ABORT_DRAIN)) => {
+                respond(&mut stream, &WireResponse::ShuttingDown, shared, &mut sess);
+                break;
+            }
+            Err(FrameError::Aborted(_)) => break, // idle: close quietly
+            Err(FrameError::TooLarge { declared, max }) => {
+                ServerStats::bump(&shared.stats.frames_rejected, 1);
+                let resp = WireResponse::server_error(
+                    E_TOO_LARGE,
+                    format!("frame of {declared} bytes exceeds the {max}-byte cap"),
+                );
+                respond(&mut stream, &resp, shared, &mut sess);
+                break; // the oversized payload was never read; resync is impossible
+            }
+            Err(e @ FrameError::BadCrc { .. }) => {
+                ServerStats::bump(&shared.stats.frames_rejected, 1);
+                respond(
+                    &mut stream,
+                    &WireResponse::server_error(E_FRAME, e.to_string()),
+                    shared,
+                    &mut sess,
+                );
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        sess.bytes_in += (protocol::FRAME_HEADER + payload.len()) as u64;
+        ServerStats::bump(&shared.stats.bytes_in, (protocol::FRAME_HEADER + payload.len()) as u64);
+        let req = match std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<WireRequest>(s).map_err(|e| e.to_string()))
+        {
+            Ok(req) => req,
+            Err(why) => {
+                ServerStats::bump(&shared.stats.frames_rejected, 1);
+                let resp =
+                    WireResponse::server_error(E_PROTO, format!("unreadable request: {why}"));
+                respond(&mut stream, &resp, shared, &mut sess);
+                continue; // the frame boundary is intact; the session survives
+            }
+        };
+        let is_shutdown = matches!(req, WireRequest::Shutdown);
+        let started = Instant::now();
+        let resp = dispatch(shared, req, &sess);
+        shared.stats.latency.record(started.elapsed().as_micros() as u64);
+        sess.requests += 1;
+        ServerStats::bump(&shared.stats.requests, 1);
+        respond(&mut stream, &resp, shared, &mut sess);
+        if is_shutdown && matches!(resp, WireResponse::ShuttingDown) {
+            shared.begin_drain();
+            break;
+        }
+    }
+}
+
+/// Builds the read-wait callback checking drain and idle deadlines.
+fn wait_fn<'a>(
+    shared: &'a Arc<Shared>,
+    last_activity: &'a Instant,
+) -> impl FnMut(bool) -> Option<&'static str> + 'a {
+    move |_mid_frame| {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            Some(ABORT_DRAIN)
+        } else if last_activity.elapsed() > shared.cfg.idle_timeout {
+            Some(ABORT_IDLE)
+        } else {
+            None
+        }
+    }
+}
+
+/// Serializes and writes one response frame, tracking counters. A
+/// response too large for the frame cap degrades to an error frame.
+fn respond(stream: &mut TcpStream, resp: &WireResponse, shared: &Shared, sess: &mut Session) {
+    if matches!(resp, WireResponse::Error { .. }) {
+        sess.errors += 1;
+        ServerStats::bump(&shared.stats.errors, 1);
+        if matches!(resp, WireResponse::Error { code, .. } if code == E_TIMEOUT) {
+            ServerStats::bump(&shared.stats.timeouts, 1);
+        }
+    }
+    let sent = match protocol::send(stream, resp, shared.cfg.max_frame) {
+        Ok(n) => n,
+        Err(FrameError::TooLarge { declared, max }) => {
+            let fallback = WireResponse::server_error(
+                E_TOO_LARGE,
+                format!("response of {declared} bytes exceeds the {max}-byte cap"),
+            );
+            sess.errors += 1;
+            ServerStats::bump(&shared.stats.errors, 1);
+            protocol::send(stream, &fallback, shared.cfg.max_frame).unwrap_or(0)
+        }
+        Err(_) => 0,
+    };
+    sess.bytes_out += sent as u64;
+    ServerStats::bump(&shared.stats.bytes_out, sent as u64);
+}
+
+fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> WireResponse {
+    match req {
+        WireRequest::Ping => {
+            ServerStats::bump(&shared.stats.reads, 1);
+            WireResponse::Pong
+        }
+        WireRequest::Query { src } => {
+            ServerStats::bump(&shared.stats.reads, 1);
+            snapshot_query(shared, src)
+        }
+        WireRequest::DumpUniverse => {
+            ServerStats::bump(&shared.stats.reads, 1);
+            let snap = shared.published();
+            match idl_storage::persist::to_json(snap.store()) {
+                Ok(json) => WireResponse::Universe { json },
+                Err(e) => WireResponse::from_error(&EngineError::Storage(e.to_string())),
+            }
+        }
+        WireRequest::Stats => {
+            ServerStats::bump(&shared.stats.reads, 1);
+            WireResponse::Stats(StatsReply {
+                server: shared.server_stats(),
+                session: SessionStatsWire {
+                    session_id: sess.id,
+                    requests: sess.requests,
+                    errors: sess.errors,
+                    bytes_in: sess.bytes_in,
+                    bytes_out: sess.bytes_out,
+                },
+                engine: shared.engine_stats.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            })
+        }
+        WireRequest::Execute { src } => {
+            ServerStats::bump(&shared.stats.writes, 1);
+            with_writer(shared, |b| b.execute(&src).map(WireResponse::Outcomes))
+        }
+        WireRequest::Update { src } => {
+            ServerStats::bump(&shared.stats.writes, 1);
+            with_writer(shared, |b| b.update(&src).map(|o| WireResponse::Outcomes(vec![o])))
+        }
+        WireRequest::RefreshViews => {
+            ServerStats::bump(&shared.stats.writes, 1);
+            with_writer(shared, |b| {
+                b.refresh_views().map(|s| WireResponse::Refreshed(EngineStatsWire::from(&s)))
+            })
+        }
+        WireRequest::Shutdown => {
+            if shared.cfg.allow_remote_shutdown {
+                WireResponse::ShuttingDown
+            } else {
+                WireResponse::from_error(&EngineError::Usage(
+                    "remote shutdown is disabled on this server".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Runs a mutating operation under the writer lock, then republishes
+/// the read snapshot.
+///
+/// Republication happens even when the operation errors: a
+/// multi-statement `Execute` stops at the first failure but earlier
+/// statements have already been applied (and logged), and readers must
+/// see them. If republication itself fails — a poisoned durable backend
+/// refusing to snapshot — the previous snapshot stays published, so
+/// reads keep serving the last fully-acknowledged state.
+fn with_writer(
+    shared: &Arc<Shared>,
+    op: impl FnOnce(&mut dyn Backend) -> Result<WireResponse, EngineError>,
+) -> WireResponse {
+    let Some(mut guard) = shared.lock_writer() else {
+        return WireResponse::server_error(
+            E_TIMEOUT,
+            format!("writer busy for over {:?}", shared.cfg.request_timeout),
+        );
+    };
+    let backend: &mut dyn Backend = &mut **guard;
+    let result = op(backend);
+    let _ = shared.republish(backend);
+    match result {
+        Ok(resp) => resp,
+        Err(e) => WireResponse::from_error(&e),
+    }
+}
+
+/// Evaluates one query against the published snapshot, off-thread when
+/// a request deadline is configured.
+///
+/// On timeout the worker is abandoned, not killed: it holds its own
+/// `Arc` of the snapshot and a transient plan-cache lock, finishes
+/// harmlessly, and its result is dropped with the channel.
+fn snapshot_query(shared: &Arc<Shared>, src: String) -> WireResponse {
+    let snap = shared.published();
+    if shared.cfg.request_timeout.is_zero() {
+        return answer(query_snapshot(&snap, &src, shared));
+    }
+    let (tx, rx) = mpsc::channel();
+    let worker_shared = Arc::clone(shared);
+    let worker_snap = Arc::clone(&snap);
+    let worker_src = src.clone();
+    let spawned = std::thread::Builder::new().name("idl-query".into()).spawn(move || {
+        let _ = tx.send(query_snapshot(&worker_snap, &worker_src, &worker_shared));
+    });
+    if spawned.is_err() {
+        // Could not spawn a watchdog thread: fall back to inline evaluation.
+        return answer(query_snapshot(&snap, &src, shared));
+    }
+    match rx.recv_timeout(shared.cfg.request_timeout) {
+        Ok(result) => answer(result),
+        Err(_) => WireResponse::server_error(
+            E_TIMEOUT,
+            format!("query exceeded the {:?} deadline", shared.cfg.request_timeout),
+        ),
+    }
+}
+
+fn query_snapshot(
+    snap: &EngineSnapshot,
+    src: &str,
+    shared: &Shared,
+) -> Result<idl::AnswerSet, EngineError> {
+    snap.query_cached(src, Some(&shared.plan_cache))
+}
+
+fn answer(result: Result<idl::AnswerSet, EngineError>) -> WireResponse {
+    match result {
+        Ok(a) => WireResponse::Answers(a),
+        Err(e) => WireResponse::from_error(&e),
+    }
+}

@@ -150,7 +150,9 @@ fn incremental_masked_refresh_under_parallelism_propagates_deletions() {
             incremental_refresh: true,
             ..EngineOptions::default()
         }
-        .with_threads(4),
+        .rebuild()
+        .threads(4)
+        .build(),
     );
     inc.add_rules(&rules).unwrap();
     inc.refresh_views().unwrap();
@@ -174,7 +176,7 @@ fn incremental_masked_refresh_under_parallelism_propagates_deletions() {
 
     // sequential from-scratch rebuild over identically edited base data
     let mut full = Engine::from_store(generate_sharded_store(&cfg));
-    full.set_options(EngineOptions::default().with_threads(1));
+    full.set_options(EngineOptions::builder().threads(1).build());
     for d in &deletions {
         full.update(d).unwrap();
     }

@@ -25,7 +25,7 @@
 //! `idl --durable` CLI replays it by hand. `IDL_CRASH_SEED` perturbs all
 //! seeds in this file (CI pins it).
 
-use idl::{DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, SimVfs, Vfs};
+use idl::{Backend, DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, SimVfs, Vfs};
 use idl_repro as _;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -74,7 +74,7 @@ fn open(vfs: &Arc<SimVfs>, threads: usize, compile: bool) -> Result<DurableEngin
     let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
     DurableEngine::open_with_vfs("/crash", v, DurabilityOptions::default(), move |e| {
         idl::transparency::install_two_level_mapping(e)?;
-        let o = e.options().with_threads(threads).with_compile(compile);
+        let o = e.options().rebuild().threads(threads).compile(compile).build();
         e.set_options(o);
         Ok(())
     })
@@ -151,10 +151,8 @@ fn assert_recovery(
 ) {
     let mut d = open(vfs, threads, compile)
         .unwrap_or_else(|e| panic!("recovery must not fail (plan {plan}): {e}"));
-    d.engine()
-        .refresh_views()
-        .unwrap_or_else(|e| panic!("refresh after recovery (plan {plan}): {e}"));
-    let got = d.engine().universe_json().unwrap();
+    d.refresh_views().unwrap_or_else(|e| panic!("refresh after recovery (plan {plan}): {e}"));
+    let got = d.universe_json().unwrap();
     let acked_only = reference_json(&run.acked);
     let matches_acked = got == acked_only;
     let matches_with_in_flight = !matches_acked
@@ -173,15 +171,15 @@ fn assert_recovery(
     // the recovered engine continues accepting durable work ...
     d.update(EXTRA_UPDATE).unwrap_or_else(|e| panic!("update after recovery (plan {plan}): {e}"));
     d.checkpoint().unwrap_or_else(|e| panic!("checkpoint after recovery (plan {plan}): {e}"));
-    d.engine().refresh_views().unwrap();
-    let want = d.engine().universe_json().unwrap();
+    d.refresh_views().unwrap();
+    let want = d.universe_json().unwrap();
     drop(d);
     // ... and the checkpointed universe reopens byte-identically
     let mut d2 = open(vfs, threads, compile)
         .unwrap_or_else(|e| panic!("reopen after checkpoint (plan {plan}): {e}"));
-    d2.engine().refresh_views().unwrap();
+    d2.refresh_views().unwrap();
     assert_eq!(
-        d2.engine().universe_json().unwrap(),
+        d2.universe_json().unwrap(),
         want,
         "plan {plan}: snapshot round-trip is not byte-identical"
     );
@@ -292,8 +290,8 @@ proptest! {
         match open(&vfs, threads, compile) {
             Err(_) => {} // reported (a torn unsynced snapshot, say) — not silent
             Ok(mut d) => {
-                d.engine().refresh_views().unwrap();
-                let got = d.engine().universe_json().unwrap();
+                d.refresh_views().unwrap();
+                let got = d.universe_json().unwrap();
                 let consistent = (0..=executed.len())
                     .any(|k| got == reference_json(&executed[..k]));
                 prop_assert!(

@@ -154,7 +154,7 @@ fn error_messages_name_the_problem() {
 // ---------------------------------------------------------------------
 
 mod recovery_edges {
-    use idl::{DurableEngine, Engine};
+    use idl::{Backend, DurableEngine, Engine};
     use idl_storage::oplog;
     use idl_storage::persist;
     use idl_storage::{RealVfs, Store};
@@ -189,7 +189,7 @@ mod recovery_edges {
         }
         assert!(!dir.join("universe.json").exists(), "no checkpoint ran");
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -203,7 +203,7 @@ mod recovery_edges {
         }
         std::fs::remove_file(dir.join("ops.idl")).unwrap();
         let mut d = DurableEngine::open(&dir).unwrap();
-        assert!(d.engine().query("?.db.r(.a=1)").unwrap().is_true());
+        assert!(d.query("?.db.r(.a=1)").unwrap().is_true());
         d.update("?.db.r+(.a=2)").unwrap();
         assert_eq!(d.log_len().unwrap(), 1, "a fresh log accepts appends");
         std::fs::remove_dir_all(&dir).ok();
@@ -225,7 +225,7 @@ mod recovery_edges {
         let stats = d.durability_stats();
         assert_eq!(stats.records_recovered, 2);
         assert_eq!(stats.records_skipped, 1);
-        assert_eq!(d.engine().query("?.db.hits(.k=K)").unwrap().len(), 2);
+        assert_eq!(d.query("?.db.hits(.k=K)").unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -250,7 +250,7 @@ mod recovery_edges {
         let stats = d.durability_stats();
         assert_eq!(stats.records_skipped, 2);
         assert_eq!(stats.records_recovered, 1);
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
         assert_eq!(d.last_lsn(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -269,10 +269,10 @@ mod recovery_edges {
             d.update("?.dbU.delStk(.stk=hp, .date=3/3/85)").unwrap();
         }
         let mut d = DurableEngine::open_with(&dir, setup).unwrap();
-        assert!(d.engine().query("?.euter.r(.stkCode=sun)").unwrap().is_true());
-        assert!(d.engine().query("?.ource.sun(.clsPrice=30)").unwrap().is_true());
-        assert!(d.engine().query("?.dbE.r(.stkCode=newco)").unwrap().is_true());
-        assert!(!d.engine().query("?.euter.r(.stkCode=hp)").unwrap().is_true());
+        assert!(d.query("?.euter.r(.stkCode=sun)").unwrap().is_true());
+        assert!(d.query("?.ource.sun(.clsPrice=30)").unwrap().is_true());
+        assert!(d.query("?.dbE.r(.stkCode=newco)").unwrap().is_true());
+        assert!(!d.query("?.euter.r(.stkCode=hp)").unwrap().is_true());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -282,7 +282,7 @@ mod recovery_edges {
         std::fs::write(dir.join("ops.idl"), "?.db.r+(.a=1)\n?.db.r+(.a=2)\n").unwrap();
         let mut d = DurableEngine::open(&dir).unwrap();
         assert!(d.durability_stats().migrated_legacy);
-        assert_eq!(d.engine().query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
         let bytes = std::fs::read(dir.join("ops.idl")).unwrap();
         assert!(bytes.starts_with(oplog::MAGIC), "rewritten in the framed format");
         std::fs::remove_dir_all(&dir).ok();

@@ -160,7 +160,7 @@ fn compiled_and_interpreted_snapshots_are_byte_identical() {
     for compile in [false, true, true, false] {
         for threads in [1usize, 4] {
             let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
-            let opts = engine.options().with_threads(threads).with_compile(compile);
+            let opts = engine.options().rebuild().threads(threads).compile(compile).build();
             engine.set_options(opts);
             engine.add_rules(&rules).unwrap();
             engine.refresh_views().unwrap();

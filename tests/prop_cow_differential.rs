@@ -83,7 +83,7 @@ fn apply(e: &mut Engine, op: &Op) {
 fn engine_over(universe: Value, threads: usize, compile: bool) -> Engine {
     let store = Store::from_universe(universe).expect("universe is a tuple");
     let mut e = Engine::from_store(store);
-    let opts = e.options().with_threads(threads).with_compile(compile);
+    let opts = e.options().rebuild().threads(threads).compile(compile).build();
     e.set_options(opts);
     e.add_rules(VIEW_PROGRAM).expect("view program installs");
     e

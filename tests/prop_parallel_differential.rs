@@ -170,7 +170,7 @@ fn parallel_refresh_snapshots_are_byte_identical() {
     let mut reference: Option<String> = None;
     for run in 0..10 {
         let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
-        let opts = engine.options().with_threads(4);
+        let opts = engine.options().rebuild().threads(4).build();
         engine.set_options(opts);
         engine.add_rules(&rules).unwrap();
         engine.refresh_views().unwrap();
@@ -184,7 +184,7 @@ fn parallel_refresh_snapshots_are_byte_identical() {
     // and the on-disk snapshot writer emits exactly those bytes
     let path = std::env::temp_dir().join(format!("idl_par_det_{}.json", std::process::id()));
     let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
-    let opts = engine.options().with_threads(4);
+    let opts = engine.options().rebuild().threads(4).build();
     engine.set_options(opts);
     engine.add_rules(&rules).unwrap();
     engine.refresh_views().unwrap();

@@ -1,0 +1,314 @@
+//! The server battery: N concurrent client sessions against one
+//! `idl-server`, checked for oracle equivalence and operational
+//! robustness.
+//!
+//! * **Oracle equivalence** — 8 sessions issue a mixed read/update load
+//!   concurrently; the final universe must be byte-identical to a
+//!   single-threaded engine replaying the same updates. The per-client
+//!   workloads touch disjoint keys, so the final state is
+//!   order-independent and the comparison is exact.
+//! * **Snapshot concurrency** — reads must keep completing *while* a
+//!   view refresh holds the writer (the published-snapshot discipline).
+//! * **Session isolation** — a mid-stream disconnect or an oversized
+//!   frame kills its own session with a clean error frame; concurrent
+//!   sessions and the engine are unaffected.
+//! * **Durability over the wire** — updates through the server land in
+//!   the operation log and survive a restart; a poisoned durable
+//!   backend answers with clean `E-POISONED` frames while reads keep
+//!   serving the last acknowledged snapshot.
+//!
+//! The fixpoint worker count follows `IDL_TEST_THREADS` (the CI matrix
+//! runs 1 and 4), exercising the server over both the sequential and
+//! parallel refresh paths.
+
+use idl::{Backend, DurableEngine, Engine, EngineOptions, FaultPlan, SimVfs, Vfs};
+use idl_server::{protocol, serve, Client, ServerConfig, ServerHandle, WireResponse};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const OPS_PER_CLIENT: usize = 12;
+
+const RULES: &str = "
+    .v.all(.c=C, .k=K) <- .db.r(.c=C, .k=K) ;
+    .v.byclient(.c=C) <- .db.r(.c=C, .k=K) ;
+";
+
+fn serve_engine(setup: impl FnOnce(&mut Engine), cfg: ServerConfig) -> ServerHandle {
+    let mut engine = Engine::new();
+    setup(&mut engine);
+    serve(Box::new(engine), cfg).expect("server starts")
+}
+
+#[test]
+fn eight_concurrent_sessions_match_single_threaded_oracle() {
+    let handle = serve_engine(
+        |e| {
+            e.add_rules(RULES).unwrap();
+        },
+        ServerConfig::default(),
+    );
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (1..=CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                for k in 0..OPS_PER_CLIENT {
+                    let out = client.update(&format!("?.db.r+(.c={c}, .k={k})")).unwrap();
+                    assert_eq!(out.stats().unwrap().inserted, 1, "client {c} op {k}");
+                    // Read-your-writes: the snapshot published with the
+                    // ack already contains this client's whole history,
+                    // in base *and* view within one snapshot (the two
+                    // atoms evaluate against the same published handle).
+                    let answers = client
+                        .query(&format!("?.db.r(.c={c}, .k=K), .v.all(.c={c}, .k=K)"))
+                        .unwrap();
+                    assert_eq!(answers.len(), k + 1, "client {c} after op {k}");
+                    match k % 4 {
+                        0 => {
+                            client.refresh_views().unwrap();
+                        }
+                        1 => client.ping().unwrap(),
+                        _ => {}
+                    }
+                }
+                let stats = client.stats().unwrap();
+                assert_eq!(stats.session.errors, 0);
+                assert!(stats.session.requests >= (2 * OPS_PER_CLIENT) as u64);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panics propagate");
+    }
+
+    let served = Client::connect(addr).unwrap().dump_universe().unwrap();
+
+    // single-threaded oracle: same updates, any order (disjoint keys)
+    let mut oracle = Engine::new();
+    oracle.add_rules(RULES).unwrap();
+    for c in 1..=CLIENTS {
+        for k in 0..OPS_PER_CLIENT {
+            oracle.update(&format!("?.db.r+(.c={c}, .k={k})")).unwrap();
+        }
+    }
+    oracle.refresh_views().unwrap();
+    assert_eq!(served, oracle.universe_json().unwrap(), "served state diverged from oracle");
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.sessions_active, 0);
+    assert!(final_stats.sessions_opened >= CLIENTS as u64);
+    assert_eq!(final_stats.errors, 0);
+    assert!(final_stats.writes >= (CLIENTS * OPS_PER_CLIENT) as u64);
+    assert!(final_stats.reads >= (CLIENTS * OPS_PER_CLIENT) as u64);
+}
+
+#[test]
+fn snapshot_reads_proceed_while_a_refresh_is_in_flight() {
+    // enough facts and strata that a from-scratch refresh takes real time
+    let handle = serve_engine(
+        |e| {
+            let mut src = String::new();
+            for c in 0..5 {
+                for k in 0..400 {
+                    src.push_str(&format!("?.db.r+(.c={c}, .k={k}) ;\n"));
+                }
+            }
+            e.execute(&src).unwrap();
+            e.add_rules(
+                "
+                .v.a(.c=C, .k=K) <- .db.r(.c=C, .k=K) ;
+                .v.b(.c=C, .k=K) <- .v.a(.c=C, .k=K) ;
+                .v.c(.k=K) <- .v.b(.c=C, .k=K) ;
+                ",
+            )
+            .unwrap();
+        },
+        ServerConfig::default(),
+    );
+    let addr = handle.local_addr();
+
+    let refreshing = Arc::new(AtomicBool::new(true));
+    let refresher = {
+        let refreshing = Arc::clone(&refreshing);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut windows = Vec::new();
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                client.refresh_views().unwrap();
+                windows.push((t0, Instant::now()));
+            }
+            refreshing.store(false, Ordering::SeqCst);
+            windows
+        })
+    };
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut completions = Vec::new();
+    while refreshing.load(Ordering::SeqCst) {
+        let answers = client.query("?.db.r(.c=1, .k=K)").unwrap();
+        assert_eq!(answers.len(), 400);
+        completions.push(Instant::now());
+    }
+    let windows = refresher.join().unwrap();
+
+    let during_refresh = completions
+        .iter()
+        .filter(|t| windows.iter().any(|(t0, t1)| *t0 < **t && **t < *t1))
+        .count();
+    assert!(
+        during_refresh > 0,
+        "no snapshot read completed inside any refresh window \
+         ({} reads total, {} refresh windows)",
+        completions.len(),
+        windows.len(),
+    );
+    handle.shutdown();
+}
+
+/// Raw-socket handshake: exchange magic, consume the greeting frame.
+fn raw_handshake(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(protocol::MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    assert_eq!(&magic, protocol::MAGIC);
+    let greeting = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+    assert!(String::from_utf8(greeting).unwrap().contains("Pong"));
+    stream
+}
+
+#[test]
+fn disconnects_and_oversized_frames_do_not_poison_other_sessions() {
+    let cfg = ServerConfig { max_frame: 2048, ..ServerConfig::default() };
+    let handle = serve_engine(
+        |e| {
+            e.add_rules(RULES).unwrap();
+        },
+        cfg,
+    );
+    let addr = handle.local_addr();
+
+    // an honest session, kept open across both abuse cases
+    let mut honest = Client::connect_with(addr, 2048, None).unwrap();
+    honest.update("?.db.r+(.c=1, .k=1)").unwrap();
+
+    // abuse #1: a frame header promising 100 bytes, then a disconnect
+    {
+        let mut stream = raw_handshake(addr);
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&100u32.to_le_bytes());
+        partial.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        partial.extend_from_slice(b"tiny");
+        stream.write_all(&partial).unwrap();
+        drop(stream); // mid-frame EOF
+    }
+
+    // abuse #2: an oversized frame — rejected with a clean error frame
+    {
+        let mut stream = raw_handshake(addr);
+        protocol::write_frame(&mut stream, &vec![b'x'; 4096], 1 << 20).unwrap();
+        let payload = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+        let resp: idl_server::WireResponse =
+            serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        match resp {
+            WireResponse::Error { code, .. } => assert_eq!(code, protocol::E_TOO_LARGE),
+            other => panic!("expected an E-TOO-LARGE error frame, got {other:?}"),
+        }
+    }
+
+    // abuse #3: a valid frame that is not valid JSON — error, session lives
+    {
+        let mut stream = raw_handshake(addr);
+        protocol::write_frame(&mut stream, b"not json at all", 2048).unwrap();
+        let payload = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+        assert!(std::str::from_utf8(&payload).unwrap().contains(protocol::E_PROTO));
+        // same socket still answers a well-formed request afterwards
+        protocol::write_frame(&mut stream, b"\"Ping\"", 2048).unwrap();
+        let pong = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+        assert!(String::from_utf8(pong).unwrap().contains("Pong"));
+    }
+
+    // the honest session and the engine survived all of it
+    honest.update("?.db.r+(.c=1, .k=2)").unwrap();
+    let answers = honest.query("?.db.r(.c=1, .k=K), .v.all(.c=1, .k=K)").unwrap();
+    assert_eq!(answers.len(), 2);
+    let stats = honest.stats().unwrap();
+    assert!(stats.server.frames_rejected >= 2);
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.sessions_active, 0);
+}
+
+#[test]
+fn durable_backend_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("idl-server-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let backend = DurableEngine::open(&dir).unwrap();
+    let handle = serve(Box::new(backend), ServerConfig::default()).unwrap();
+    {
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.update("?.db.r+(.a=1)").unwrap();
+        client.update("?.db.r+(.a=2)").unwrap();
+        assert!(client.query("?.db.r(.a=2)").unwrap().is_true());
+    }
+    handle.shutdown();
+
+    // reopen the directory: both logged updates replay
+    let mut reopened = DurableEngine::open(&dir).unwrap();
+    assert_eq!(reopened.query("?.db.r(.a=X)").unwrap().len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_durable_backend_answers_with_clean_error_frames() {
+    // fault-free probe run to find the op index of the second update's
+    // log append (same technique as the crash battery)
+    let target = {
+        let probe = Arc::new(SimVfs::new(FaultPlan::none(17)));
+        let v: Arc<dyn Vfs> = Arc::clone(&probe) as Arc<dyn Vfs>;
+        let mut p = DurableEngine::open_with_vfs(
+            "/served",
+            v,
+            EngineOptions::builder().durability(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        p.update("?.db.r+(.a=1)").unwrap();
+        probe.op_count() + 1
+    };
+    let vfs = Arc::new(SimVfs::new(FaultPlan::none(17).with_enospc_at(target)));
+    let v: Arc<dyn Vfs> = Arc::clone(&vfs) as Arc<dyn Vfs>;
+    let backend =
+        DurableEngine::open_with_vfs("/served", v, EngineOptions::builder().durability(), |_| {
+            Ok(())
+        })
+        .unwrap();
+
+    let handle = serve(Box::new(backend), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.update("?.db.r+(.a=1)").unwrap();
+
+    // the armed fault fires on this append: the update fails cleanly …
+    let err = client.update("?.db.r+(.a=2)").unwrap_err();
+    assert!(err.code().is_some(), "expected an engine error frame, got {err}");
+
+    // … the engine is now poisoned: writes report E-POISONED …
+    let err = client.update("?.db.r+(.a=3)").unwrap_err();
+    assert_eq!(err.code(), Some("E-POISONED"), "{err}");
+
+    // … and reads keep serving the last acknowledged snapshot.
+    assert!(client.query("?.db.r(.a=1)").unwrap().is_true());
+    assert!(!client.query("?.db.r(.a=2)").unwrap().is_true());
+    client.ping().unwrap();
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.sessions_active, 0);
+    assert!(final_stats.errors >= 2);
+}
