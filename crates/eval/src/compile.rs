@@ -16,6 +16,7 @@ use crate::error::{EvalError, EvalResult};
 use crate::physical::{CompiledItems, PhysAttr, PhysField, PhysOp, ProbeKind, ProbePlan};
 use crate::plan;
 use crate::query::EvalOptions;
+use crate::rules::{read_patterns, PredPat};
 use idl_lang::{canonical_hash_items, AttrTerm, Expr, Field, RelOp, Term};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -112,9 +113,18 @@ fn eligible(f: &Field, op_ok: impl Fn(RelOp) -> bool) -> Option<(idl_object::Nam
     Some((attr.clone(), term.clone()))
 }
 
-/// One collision bucket: the source expressions (checked for structural
-/// equality on lookup) alongside their compiled plan.
-type Bucket = Vec<(Vec<Expr>, Arc<CompiledItems>)>;
+/// One cached plan: the source expressions (checked for structural
+/// equality on lookup), the relation patterns the plan reads (its
+/// *read set*, for schematic-delta invalidation), and the compiled plan.
+#[derive(Debug)]
+struct CacheEntry {
+    src: Vec<Expr>,
+    reads: Vec<PredPat>,
+    plan: Arc<CompiledItems>,
+}
+
+/// One collision bucket.
+type Bucket = Vec<CacheEntry>;
 
 /// A memoized plan cache: canonical expression hash (+ plan-shaping option
 /// bits) → compiled plan. Shared plans are `Arc`-held, so hits are a
@@ -150,14 +160,33 @@ impl PlanCache {
     ) -> EvalResult<Arc<CompiledItems>> {
         let key = (canonical_hash_items(items), plan_flags(opts));
         let bucket = self.buckets.entry(key).or_default();
-        if let Some((_, plan)) = bucket.iter().find(|(src, _)| src.as_slice() == items) {
+        if let Some(e) = bucket.iter().find(|e| e.src.as_slice() == items) {
             self.hits += 1;
-            return Ok(Arc::clone(plan));
+            return Ok(Arc::clone(&e.plan));
         }
         let plan = Arc::new(compile_items(items, opts)?);
-        bucket.push((items.to_vec(), Arc::clone(&plan)));
+        bucket.push(CacheEntry {
+            src: items.to_vec(),
+            reads: read_patterns(items),
+            plan: Arc::clone(&plan),
+        });
         self.misses += 1;
         Ok(plan)
+    }
+
+    /// Schematic-delta invalidation: drops exactly the cached plans whose
+    /// read set overlaps one of `pats` (e.g. a data-dependent relation
+    /// that materialised for the first time — a plan scanning `.dbO.S`
+    /// with a variable relation position must be recompiled, a plan
+    /// reading only `.dbO.hp` need not). Returns the number of plans
+    /// dropped.
+    pub fn invalidate_overlapping(&mut self, pats: &[PredPat]) -> usize {
+        let before = self.len();
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|e| !e.reads.iter().any(|r| pats.iter().any(|p| r.overlaps(p))));
+            !bucket.is_empty()
+        });
+        before - self.len()
     }
 
     /// Cache hits so far.

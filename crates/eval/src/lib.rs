@@ -32,6 +32,7 @@
 pub mod analyze;
 pub mod arith;
 pub mod compile;
+pub mod delta;
 pub mod error;
 pub mod physical;
 pub mod plan;
@@ -43,10 +44,11 @@ pub mod subst;
 pub mod update;
 
 pub use compile::{compile_expr, compile_items, PlanCache};
+pub use delta::{DeltaLog, DeltaSink};
 pub use error::{EvalError, EvalResult};
 pub use physical::{CompiledItems, PhysOp};
 pub use program::{ProgramKey, ProgramRegistry};
-pub use query::{default_compile, default_threads, EvalOptions, Evaluator};
+pub use query::{default_compile, default_semi_naive, default_threads, EvalOptions, Evaluator};
 pub use request::{run_request, run_request_cached, RequestOutcome};
-pub use rules::{FixpointStats, RuleEngine, RuleSetError, StratumStats};
+pub use rules::{FixpointStats, PredPat, RuleEngine, RuleSetError, StratumStats};
 pub use subst::{AnswerSet, Subst};

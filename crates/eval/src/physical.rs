@@ -22,6 +22,7 @@
 use crate::arith::try_eval_term;
 use crate::error::EvalResult;
 use crate::query::{bound_ref, compare_query, numeric_twin, range_bounds, Evaluator, Loc};
+use crate::rules::PredPat;
 use crate::subst::Subst;
 use idl_lang::{RelOp, Term, Var};
 use idl_object::{Atom, Name, SetObj, Value};
@@ -58,6 +59,16 @@ pub enum PhysOp {
         /// Probe candidates in priority order (equalities before ranges,
         /// field order within each class).
         probes: Vec<ProbePlan>,
+    },
+    /// Semi-naive delta scan: like [`PhysOp::Scan`] at a stored relation,
+    /// but only the facts first derived in the previous fixpoint
+    /// iteration (the evaluator's delta table, sliced to the evaluator's
+    /// shard) are enumerated. Outside the fixpoint — no delta table
+    /// installed — it degrades to the full scan, which is always a sound
+    /// superset. Deltas are small, so no index probes.
+    DeltaScan {
+        /// Operator each delta fact is checked against.
+        inner: Box<PhysOp>,
     },
 }
 
@@ -185,7 +196,110 @@ impl PhysOp {
                 }
                 inner.render(out, depth + 1);
             }
+            PhysOp::DeltaScan { inner } => {
+                out.push_str(&format!("{pad}delta-scan\n"));
+                inner.render(out, depth + 1);
+            }
         }
+    }
+}
+
+/// The statically-known level of the universe walk, tracked while
+/// analysing a plan (the compile-time mirror of [`Loc`]): attribute
+/// positions held by variables are `None` in the resulting pattern.
+#[derive(Clone, Debug)]
+enum Lvl {
+    Root,
+    Db(Option<Name>),
+    Rel(Option<Name>, Option<Name>),
+    Off,
+}
+
+impl Lvl {
+    fn descend(&self, attr: &PhysAttr) -> Lvl {
+        let name = match attr {
+            PhysAttr::Const(n) => Some(n.clone()),
+            PhysAttr::Var(_) => None,
+        };
+        match self {
+            Lvl::Root => Lvl::Db(name),
+            Lvl::Db(db) => Lvl::Rel(db.clone(), name),
+            Lvl::Rel(..) | Lvl::Off => Lvl::Off,
+        }
+    }
+}
+
+/// Pre-order collection of the positive relation-level scans a delta can
+/// be anchored at. Scans under negation are excluded: the delta
+/// restriction is only sound for positive occurrences (and stratification
+/// guarantees negated subgoals never change within a stratum).
+fn collect_occurrences(op: &PhysOp, lvl: Lvl, out: &mut Vec<PredPat>) {
+    match op {
+        PhysOp::Tuple(fields) => {
+            for f in fields {
+                collect_occurrences(&f.inner, lvl.descend(&f.attr), out);
+            }
+        }
+        PhysOp::Scan { .. } => {
+            if let Lvl::Rel(db, rel) = lvl {
+                out.push(PredPat { db, rel });
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_occurrence(op: &PhysOp, lvl: Lvl, counter: &mut usize, target: usize) -> PhysOp {
+    match op {
+        PhysOp::Tuple(fields) => PhysOp::Tuple(
+            fields
+                .iter()
+                .map(|f| PhysField {
+                    attr: f.attr.clone(),
+                    inner: rewrite_occurrence(&f.inner, lvl.descend(&f.attr), counter, target),
+                })
+                .collect(),
+        ),
+        PhysOp::Scan { inner, probes } => {
+            if matches!(lvl, Lvl::Rel(..)) {
+                let here = *counter;
+                *counter += 1;
+                if here == target {
+                    return PhysOp::DeltaScan { inner: inner.clone() };
+                }
+            }
+            PhysOp::Scan { inner: inner.clone(), probes: probes.clone() }
+        }
+        other => other.clone(),
+    }
+}
+
+impl CompiledItems {
+    /// The stored-relation scan occurrences a semi-naive delta can be
+    /// anchored at: every positive relation-level `Scan`, pre-order
+    /// across conjuncts, with the statically-known pattern of the
+    /// relation it scans. The index into the returned vector numbers the
+    /// occurrence for [`CompiledItems::delta_variant`].
+    pub fn delta_occurrences(&self) -> Vec<PredPat> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            collect_occurrences(item, Lvl::Root, &mut out);
+        }
+        out
+    }
+
+    /// A copy of this plan with the `occ`-th delta occurrence (as
+    /// numbered by [`CompiledItems::delta_occurrences`]) rewritten from a
+    /// full relation scan to a [`PhysOp::DeltaScan`] — the `(Δ ⋈ full)`
+    /// plan for that occurrence.
+    pub fn delta_variant(&self, occ: usize) -> CompiledItems {
+        let mut counter = 0usize;
+        let items = self
+            .items
+            .iter()
+            .map(|item| rewrite_occurrence(item, Lvl::Root, &mut counter, occ))
+            .collect();
+        CompiledItems::new(items)
     }
 }
 
@@ -262,6 +376,30 @@ impl<'a> Evaluator<'a> {
             PhysOp::Scan { inner, probes } => {
                 let Some(s) = obj.as_set() else { return Ok(()) };
                 self.exec_scan(s, inner, probes, subst, loc, out)
+            }
+            PhysOp::DeltaScan { inner } => {
+                let Some(s) = obj.as_set() else { return Ok(()) };
+                if let (Some(table), Loc::Rel(db, rel)) = (self.delta, loc) {
+                    if let Some(facts) = table.get(&(db.clone(), rel.clone())) {
+                        // This evaluator's shard of the delta; shards
+                        // tile the vector, so the union over shard tasks
+                        // is the whole delta.
+                        let (shard, shards) = self.chunk;
+                        let lo = shard * facts.len() / shards;
+                        let hi = ((shard + 1) * facts.len() / shards).min(facts.len());
+                        for fact in &facts[lo..hi] {
+                            self.exec_at(fact, inner, subst, &Loc::Off, out)?;
+                            self.check_limit(out.len())?;
+                        }
+                    }
+                    return Ok(());
+                }
+                // No delta table installed: degrade to the full scan.
+                for elem in s.iter() {
+                    self.exec_at(elem, inner, subst, &Loc::Off, out)?;
+                    self.check_limit(out.len())?;
+                }
+                Ok(())
             }
         }
     }
@@ -349,12 +487,7 @@ impl<'a> Evaluator<'a> {
                     let Ok(key) = try_eval_term(&probe.term, subst) else { continue };
                     match probe.kind {
                         ProbeKind::Eq => {
-                            let index = self.store.index(
-                                db.as_str(),
-                                rel.as_str(),
-                                probe.attr.as_str(),
-                                IndexKind::Hash,
-                            )?;
+                            let index = self.fetch_index(db, rel, &probe.attr, IndexKind::Hash)?;
                             let mut keys = vec![key];
                             if let Some(twin) = numeric_twin(&keys[0]) {
                                 keys.push(twin);
@@ -367,12 +500,7 @@ impl<'a> Evaluator<'a> {
                             }
                         }
                         ProbeKind::Range(op) => {
-                            let index = self.store.index(
-                                db.as_str(),
-                                rel.as_str(),
-                                probe.attr.as_str(),
-                                IndexKind::BTree,
-                            )?;
+                            let index = self.fetch_index(db, rel, &probe.attr, IndexKind::BTree)?;
                             for (lo, hi) in &range_bounds(op, &key) {
                                 if let Some(hits) = index.lookup_range(bound_ref(lo), bound_ref(hi))
                                 {

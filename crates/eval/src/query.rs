@@ -29,13 +29,18 @@
 //! naive reference mode used in differential tests and ablation benches.
 
 use crate::arith::try_eval_term;
+use crate::delta::DeltaTable;
 use crate::error::{EvalError, EvalResult};
 use crate::plan;
 use crate::subst::{AnswerSet, Subst};
 use idl_lang::{AttrTerm, Expr, Field, RelOp, Request, Term};
 use idl_object::{Atom, Name, SetObj, Value};
+use idl_storage::index::Index;
 use idl_storage::{IndexKind, Store};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// Evaluation options (planner/index toggles, result limits, fixpoint
 /// parallelism).
@@ -56,6 +61,12 @@ pub struct EvalOptions {
     /// sequential path; `0` is treated as `1`. Query evaluation itself is
     /// unaffected — only `RuleEngine` materialisation fans out.
     pub threads: usize,
+    /// Semi-naive (delta-driven) fixpoint scheduling: skip rules whose
+    /// body predicates saw no delta and join new facts against the full
+    /// store instead of re-deriving everything each iteration. `false`
+    /// keeps naive full re-evaluation as the reference mode for
+    /// differential testing. Query evaluation itself is unaffected.
+    pub semi_naive: bool,
 }
 
 impl Default for EvalOptions {
@@ -66,6 +77,7 @@ impl Default for EvalOptions {
             compile: default_compile(),
             max_results: None,
             threads: default_threads(),
+            semi_naive: default_semi_naive(),
         }
     }
 }
@@ -80,6 +92,7 @@ impl EvalOptions {
             compile: false,
             max_results: None,
             threads: 1,
+            semi_naive: false,
         }
     }
 
@@ -92,6 +105,13 @@ impl EvalOptions {
     /// This configuration with plan compilation switched on or off.
     pub fn with_compile(mut self, compile: bool) -> Self {
         self.compile = compile;
+        self
+    }
+
+    /// This configuration with semi-naive fixpoint scheduling switched on
+    /// or off.
+    pub fn with_semi_naive(mut self, semi_naive: bool) -> Self {
+        self.semi_naive = semi_naive;
         self
     }
 }
@@ -113,6 +133,19 @@ pub fn default_threads() -> usize {
 /// `""`/`0` (how CI exercises the tree-walk reference interpreter).
 pub fn default_compile() -> bool {
     match std::env::var("IDL_NO_COMPILE") {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
+/// The default for [`EvalOptions::semi_naive`]: `true`, unless the
+/// `IDL_NAIVE_FIXPOINT` environment variable is set to something other
+/// than `""`/`0` (how CI pins the naive reference fixpoint).
+pub fn default_semi_naive() -> bool {
+    match std::env::var("IDL_NAIVE_FIXPOINT") {
         Ok(v) => {
             let v = v.trim();
             v.is_empty() || v == "0"
@@ -148,12 +181,67 @@ impl Loc {
 pub struct Evaluator<'a> {
     pub(crate) store: &'a Store,
     pub(crate) opts: EvalOptions,
+    /// Previous-iteration delta relations for semi-naive fixpoint tasks:
+    /// [`crate::physical::PhysOp::DeltaScan`] reads these instead of the
+    /// stored relation. `None` outside the fixpoint (a delta scan then
+    /// degrades to the full scan, which is always a sound superset).
+    pub(crate) delta: Option<&'a DeltaTable>,
+    /// `(shard, shard_count)` slice of each delta relation this evaluator
+    /// sees — how one rule's delta work is split across workers.
+    pub(crate) chunk: (usize, usize),
+    /// Per-evaluator index memo: the store's index cache sits behind a
+    /// global mutex and re-checks journal staleness per call, which
+    /// dominates probe-heavy fixpoint iterations when several workers
+    /// hammer it. The store is borrowed immutably for this evaluator's
+    /// whole lifetime, so a fetched index can never go stale here.
+    index_memo: RefCell<HashMap<IndexMemoKey, Arc<Index>>>,
 }
+
+/// `(db, relation, attribute, kind)` — identifies one memoized index.
+type IndexMemoKey = (Name, Name, Name, IndexKind);
 
 impl<'a> Evaluator<'a> {
     /// Evaluator with the given options.
     pub fn new(store: &'a Store, opts: EvalOptions) -> Self {
-        Evaluator { store, opts }
+        Evaluator {
+            store,
+            opts,
+            delta: None,
+            chunk: (0, 1),
+            index_memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Evaluator for one semi-naive fixpoint task: delta scans read
+    /// `delta`, sliced to the `chunk = (shard, shard_count)` shard.
+    pub(crate) fn with_delta(
+        store: &'a Store,
+        opts: EvalOptions,
+        delta: &'a DeltaTable,
+        chunk: (usize, usize),
+    ) -> Self {
+        let mut ev = Evaluator::new(store, opts);
+        ev.delta = Some(delta);
+        ev.chunk = (chunk.0, chunk.1.max(1));
+        ev
+    }
+
+    /// A stored index, memoised for this evaluator's lifetime (see
+    /// `index_memo`).
+    pub(crate) fn fetch_index(
+        &self,
+        db: &Name,
+        rel: &Name,
+        attr: &Name,
+        kind: IndexKind,
+    ) -> EvalResult<Arc<Index>> {
+        let key = (db.clone(), rel.clone(), attr.clone(), kind);
+        if let Some(idx) = self.index_memo.borrow().get(&key) {
+            return Ok(Arc::clone(idx));
+        }
+        let idx = self.store.index(db.as_str(), rel.as_str(), attr.as_str(), kind)?;
+        self.index_memo.borrow_mut().insert(key, Arc::clone(&idx));
+        Ok(idx)
     }
 
     /// Evaluator with default options (planner + indexes on).
@@ -505,8 +593,7 @@ impl<'a> Evaluator<'a> {
             let AttrTerm::Const(attr) = &f.attr else { continue };
             let Expr::Atomic(RelOp::Eq, term) = &f.expr else { continue };
             let Ok(key) = try_eval_term(term, subst) else { continue };
-            let index =
-                self.store.index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::Hash)?;
+            let index = self.fetch_index(db, rel, attr, IndexKind::Hash)?;
             let mut keys = vec![key];
             if let Some(twin) = numeric_twin(&keys[0]) {
                 keys.push(twin);
@@ -524,8 +611,7 @@ impl<'a> Evaluator<'a> {
                 continue;
             }
             let Ok(key) = try_eval_term(term, subst) else { continue };
-            let index =
-                self.store.index(db.as_str(), rel.as_str(), attr.as_str(), IndexKind::BTree)?;
+            let index = self.fetch_index(db, rel, attr, IndexKind::BTree)?;
             return Ok(Some(ProbeSpec::Range { index, bounds: range_bounds(*op, &key) }));
         }
         Ok(None)

@@ -20,12 +20,17 @@
 //! Derived facts are written into the same store (the engine marks those
 //! databases as derived and guards them against direct updates, §7.1).
 //! Within a stratum, rules are iterated to quiescence. In *semi-naive*
-//! mode (default) a rule is re-evaluated in iteration *k* only if
-//! something it reads changed in iteration *k−1* — the relation-granularity
-//! version of semi-naive evaluation, which the ablation bench B8 compares
-//! against the naive re-run-everything mode.
+//! mode (default) evaluation is delta-driven: each iteration logs exactly
+//! which relations gained which rows ([`crate::delta`]), a rule is
+//! re-evaluated in iteration *k* only if something it reads changed in
+//! iteration *k−1*, and an eligible rule re-runs as `(Δ ⋈ full)` plan
+//! variants over just the new rows instead of the full body. The naive
+//! re-run-everything mode stays reachable via
+//! [`EvalOptions::semi_naive`] / `IDL_NAIVE_FIXPOINT=1` as the reference
+//! for the differential battery and the B8/B11 ablation benches.
 
 use crate::compile::{compile_items, PlanCache};
+use crate::delta::{DeltaLog, DeltaSink, DeltaTable};
 use crate::error::{EvalError, EvalResult};
 use crate::physical::CompiledItems;
 use crate::query::{EvalOptions, Evaluator};
@@ -65,7 +70,7 @@ impl std::error::Error for RuleSetError {}
 
 /// `(db, rel)` pattern; `None` components mean "any" (higher-order
 /// variable in that position).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PredPat {
     /// Database component (`None` = variable).
     pub db: Option<Name>,
@@ -74,7 +79,9 @@ pub struct PredPat {
 }
 
 impl PredPat {
-    fn overlaps(&self, other: &PredPat) -> bool {
+    /// Whether two patterns can denote a common `(db, rel)` predicate
+    /// (`None` components match anything).
+    pub fn overlaps(&self, other: &PredPat) -> bool {
         let db_ok = match (&self.db, &other.db) {
             (Some(a), Some(b)) => a == b,
             _ => true,
@@ -222,6 +229,27 @@ pub struct FixpointStats {
     /// Rule bodies the memoized cache had to compile (equals
     /// `plans_compiled` when a cache was supplied).
     pub plan_cache_misses: usize,
+    /// Rule evaluations *avoided* by semi-naive scheduling: a rule in an
+    /// iterating stratum whose body predicates saw no delta is skipped.
+    pub rules_skipped: usize,
+    /// Task evaluations that ran a `(Δ ⋈ full)` delta variant instead of
+    /// the full body (counting shards — see `StratumStats::workers`).
+    pub delta_evals: usize,
+    /// Task evaluations that ran a full body (first iterations, scalar
+    /// heads, coarse changes, and delta-ineligible plans).
+    pub full_evals: usize,
+    /// Schematic deltas this run: data-dependent relations (or
+    /// databases) that materialised for the *first time* (new stock in
+    /// `euter` → new `dbO` relation). Derived by the engine from
+    /// `new_relations` against what earlier refreshes already created.
+    pub schematic_deltas: usize,
+    /// Memoized plans dropped because their read set overlaps a
+    /// schematic delta (set by the engine after the run).
+    pub plan_invalidations: usize,
+    /// Every relation/database slot this run created as a side effect of
+    /// deriving facts (data-dependent heads only — constant-head
+    /// skeletons are pre-created and never listed). Sorted, deduplicated.
+    pub new_relations: Vec<PredPat>,
     /// Per-stratum telemetry, in evaluation (bottom-up) order. Masked-out
     /// strata are skipped entirely.
     pub strata: Vec<StratumStats>,
@@ -254,6 +282,10 @@ pub struct StratumStats {
     /// Rule-body evaluations per worker, indexed by worker. The sequential
     /// path accumulates everything into index 0.
     pub rule_evals_per_worker: Vec<usize>,
+    /// Rule evaluations skipped in this stratum (no body delta).
+    pub rules_skipped: usize,
+    /// `(Δ ⋈ full)` task evaluations in this stratum.
+    pub delta_evals: usize,
     /// Wall-clock time spent on this stratum.
     pub wall: std::time::Duration,
     /// Structural-sharing activity (clones / CoW breaks / pointer-equality
@@ -435,17 +467,66 @@ impl RuleEngine {
                 });
             }
         }
-        let mut stats = self.run_fixpoint(store, opts, mask, &plans, stats)?;
+        // (Δ ⋈ full) plan variants for semi-naive delta scheduling: one
+        // variant per positive relation-scan occurrence of the body. A
+        // rule is delta-eligible only when those occurrences line up
+        // one-to-one with its positive body references (the conservative
+        // check — aggregate bindings and other shapes the occurrence
+        // analysis cannot account for fall back to full re-evaluation)
+        // and its head has no scalar (`=`) write, whose last-write-wins
+        // semantics a restricted evaluation could reorder.
+        let mut delta_ok = vec![false; self.rules.len()];
+        let mut variants: Vec<Vec<(PredPat, Arc<CompiledItems>)>> =
+            vec![Vec::new(); self.rules.len()];
+        if self.semi_naive && opts.semi_naive {
+            for (i, rule) in self.rules.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                let Some(plan) = &plans[i] else { continue };
+                if head_is_scalar(&rule.head) {
+                    continue;
+                }
+                let occs = plan.delta_occurrences();
+                if occs.is_empty() {
+                    continue;
+                }
+                let mut occ_pats = occs.clone();
+                occ_pats.sort();
+                let mut pos_refs: Vec<PredPat> = self.body_refs[i]
+                    .iter()
+                    .filter(|b| !b.negated)
+                    .map(|b| b.pat.clone())
+                    .collect();
+                pos_refs.sort();
+                if occ_pats != pos_refs {
+                    continue;
+                }
+                delta_ok[i] = true;
+                variants[i] = occs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, pat)| (pat, Arc::new(plan.delta_variant(k))))
+                    .collect();
+            }
+        }
+        let mut stats =
+            self.run_fixpoint(store, opts, mask, &plans, &variants, &delta_ok, stats)?;
+        stats.new_relations.sort();
+        stats.new_relations.dedup();
         stats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
         Ok(stats)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_fixpoint(
         &self,
         store: &mut Store,
         opts: EvalOptions,
         mask: Option<&[bool]>,
         plans: &[Option<Arc<CompiledItems>>],
+        variants: &[Vec<(PredPat, Arc<CompiledItems>)>],
+        delta_ok: &[bool],
         mut stats: FixpointStats,
     ) -> EvalResult<FixpointStats> {
         // Views exist even when empty: create the skeleton of every head
@@ -473,37 +554,50 @@ impl RuleEngine {
             let selected: Vec<usize> =
                 stratum.iter().copied().filter(|&i| mask.is_none_or(|m| m[i])).collect();
             if !selected.is_empty() {
-                self.run_stratum(store, &selected, opts, plans, &mut stats)?;
+                self.run_stratum(store, &selected, opts, plans, variants, delta_ok, &mut stats)?;
             }
         }
         Ok(stats)
     }
 
-    /// Runs one stratum to quiescence.
+    /// Runs one stratum to quiescence with semi-naive, delta-driven task
+    /// scheduling (DESIGN.md "Semi-naive delta scheduling").
     ///
-    /// With `opts.threads <= 1` this is the classic chaotic (Gauss-Seidel)
-    /// schedule: rules run in index order and each sees the writes of the
-    /// rules before it in the same iteration. With more threads each
-    /// iteration becomes a Jacobi step — every runnable rule's body is
-    /// evaluated by a worker pool against the *iteration-start* store
-    /// (readers share `&Store`; nothing writes during the scan), then the
-    /// per-rule substitution sets are merged **sequentially in ascending
-    /// rule index**. Within a stratum all intra-stratum dependencies are
+    /// Each iteration builds a **task list**: rules whose body saw no
+    /// delta are skipped; an eligible rule with concrete row deltas
+    /// contributes one `(Δ ⋈ full)` task per overlapping body occurrence
+    /// (sharded across spare workers); everything else contributes one
+    /// full-evaluation task. With `opts.threads <= 1` tasks run in slot
+    /// order and each rule's merge lands before the next rule evaluates
+    /// (the classic chaotic / Gauss-Seidel schedule — a derivation that
+    /// misses the delta window is caught next iteration, since its
+    /// premise is in that iteration's delta). With more threads each
+    /// iteration is a Jacobi step: workers pull tasks from an atomic
+    /// cursor and evaluate against the *iteration-start* store (readers
+    /// share `&Store`; nothing writes during the scan); the worker that
+    /// finishes a rule's **last** task reduces that rule's task outputs
+    /// (concatenate, sort, deduplicate — order-independent), and the
+    /// reduced sets are merged into the store **sequentially in ascending
+    /// rule order**. Within a stratum all intra-stratum dependencies are
     /// positive, so both schedules are inflationary over set-valued state
-    /// and converge to the same least fixpoint; the deterministic merge
-    /// order makes even the non-monotone scalar-head edge case
-    /// (`make_true` with an `=` head, see DESIGN.md) independent of the
-    /// worker count.
+    /// and converge to the same least fixpoint; the deterministic
+    /// reduction + merge order keeps the result bit-identical across
+    /// worker counts, and rules with scalar (`=`) heads always run as
+    /// full evaluations so last-write-wins stays schedule-independent.
+    #[allow(clippy::too_many_arguments)]
     fn run_stratum(
         &self,
         store: &mut Store,
         stratum: &[usize],
         opts: EvalOptions,
         plans: &[Option<Arc<CompiledItems>>],
+        variants: &[Vec<(PredPat, Arc<CompiledItems>)>],
+        delta_ok: &[bool],
         stats: &mut FixpointStats,
     ) -> EvalResult<()> {
         let started = std::time::Instant::now();
         let sharing_before = SharingCounters::snapshot();
+        let semi = self.semi_naive && opts.semi_naive;
         let thread_cap = opts.threads.max(1);
         let mut sstats = StratumStats {
             rules: stratum.len(),
@@ -511,80 +605,169 @@ impl RuleEngine {
             rule_evals_per_worker: vec![0],
             ..StratumStats::default()
         };
-        // Patterns that changed in the previous iteration (semi-naive).
-        let mut last_changed: Option<Vec<PredPat>> = None; // None = first round
+        // What the previous iteration changed. `None` = first round (or
+        // naive mode, which re-runs everything until quiescence).
+        let mut last_delta: Option<DeltaLog> = None;
         let outcome = loop {
             stats.iterations += 1;
             sstats.iterations += 1;
             if stats.iterations > self.max_iterations {
                 break Err(EvalError::FixpointDiverged(self.max_iterations));
             }
-            // Which rules run this iteration (semi-naive filtering).
+            // Which rules run this iteration (semi-naive wake filter,
+            // on the concrete relations + coarse patterns that changed).
+            let changed: Option<Vec<PredPat>> = last_delta.as_ref().map(DeltaLog::changed_patterns);
             let runnable: Vec<usize> = stratum
                 .iter()
                 .copied()
-                .filter(|&ri| match &last_changed {
-                    Some(changed) if self.semi_naive => self.body_refs[ri]
-                        .iter()
-                        .any(|br| changed.iter().any(|c| br.pat.overlaps(c))),
+                .filter(|&ri| match &changed {
+                    Some(ch) if semi => {
+                        self.body_refs[ri].iter().any(|br| ch.iter().any(|c| br.pat.overlaps(c)))
+                    }
                     _ => true,
                 })
                 .collect();
+            if semi && changed.is_some() {
+                let skipped = stratum.len() - runnable.len();
+                stats.rules_skipped += skipped;
+                sstats.rules_skipped += skipped;
+            }
             if runnable.is_empty() {
                 break Ok(());
             }
-            let workers = thread_cap.min(runnable.len());
-            let mut changed_now: Vec<PredPat> = Vec::new();
-            let mut any_new = false;
-            if workers <= 1 {
-                // Sequential: evaluate and merge rule by rule.
-                for &ri in &runnable {
-                    stats.rule_evals += 1;
-                    sstats.rule_evals_per_worker[0] += 1;
-                    let substs = {
-                        let ev = Evaluator::new(store, opts);
-                        match &plans[ri] {
-                            Some(plan) => ev.eval_compiled(plan, vec![Subst::new()])?,
-                            None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?,
+            // Per rule: delta occurrences to run, or `None` = full
+            // evaluation. Delta mode requires eligibility, concrete row
+            // deltas, and no coarse (non-row-representable) change
+            // overlapping the body.
+            let slot_occs: Vec<Option<Vec<usize>>> = runnable
+                .iter()
+                .map(|&ri| {
+                    let d = last_delta.as_ref()?;
+                    if !(semi && delta_ok[ri]) || d.rels.is_empty() {
+                        return None;
+                    }
+                    if self.body_refs[ri].iter().any(|br| !br.negated && d.coarse_overlaps(&br.pat))
+                    {
+                        return None;
+                    }
+                    let concrete: Vec<PredPat> = d
+                        .rels
+                        .keys()
+                        .map(|(db, rel)| PredPat { db: Some(db.clone()), rel: Some(rel.clone()) })
+                        .collect();
+                    let occs: Vec<usize> = variants[ri]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (pat, _))| concrete.iter().any(|c| pat.overlaps(c)))
+                        .map(|(k, _)| k)
+                        .collect();
+                    if occs.is_empty() {
+                        None
+                    } else {
+                        Some(occs)
+                    }
+                })
+                .collect();
+            let occ_count: usize = slot_occs.iter().filter_map(|o| o.as_ref().map(Vec::len)).sum();
+            let full_count = slot_occs.iter().filter(|o| o.is_none()).count();
+            // Shard delta occurrences across spare worker capacity: with
+            // fewer tasks than workers, each occurrence's delta vector is
+            // tiled into `shards` slices so the pool still saturates.
+            let shards = if thread_cap > 1 && occ_count > 0 && occ_count + full_count < thread_cap {
+                thread_cap.div_ceil(occ_count)
+            } else {
+                1
+            };
+            let mut tasks: Vec<Task> = Vec::new();
+            for (slot, occs) in slot_occs.iter().enumerate() {
+                match occs {
+                    None => tasks.push(Task { slot, pos: 0, kind: TaskKind::Full }),
+                    Some(occs) => {
+                        let mut pos = 0;
+                        for &occ in occs {
+                            for shard in 0..shards {
+                                tasks.push(Task {
+                                    slot,
+                                    pos,
+                                    kind: TaskKind::Delta { occ, shard, shards },
+                                });
+                                pos += 1;
+                            }
                         }
-                    };
-                    let added = self.merge_rule_delta(store, ri, &substs)?;
+                    }
+                }
+            }
+            stats.rule_evals += tasks.len();
+            stats.full_evals += full_count;
+            stats.delta_evals += tasks.len() - full_count;
+            sstats.delta_evals += tasks.len() - full_count;
+
+            let mut sink = if semi { DeltaSink::new() } else { DeltaSink::disabled() };
+            let mut any_new = false;
+            let workers = thread_cap.min(tasks.len());
+            if workers <= 1 {
+                // Sequential: a slot's tasks are contiguous; evaluate
+                // them, reduce, and merge before the next rule runs.
+                let mut i = 0;
+                while i < tasks.len() {
+                    let slot = tasks[i].slot;
+                    let mut union: Vec<Subst> = Vec::new();
+                    while i < tasks.len() && tasks[i].slot == slot {
+                        let substs = self.eval_task(
+                            store,
+                            opts,
+                            &runnable,
+                            plans,
+                            variants,
+                            last_delta.as_ref().map(|d| &d.rels),
+                            &tasks[i],
+                        )?;
+                        union.extend(substs);
+                        sstats.rule_evals_per_worker[0] += 1;
+                        i += 1;
+                    }
+                    union.sort();
+                    union.dedup();
+                    let added = self.merge_rule_delta(store, runnable[slot], &union, &mut sink)?;
                     if added > 0 {
                         stats.facts_added += added;
                         any_new = true;
-                        changed_now.push(self.head_pats[ri].clone());
                     }
                 }
             } else {
-                // Parallel: snapshot evaluation, then ordered merge.
+                // Parallel: snapshot evaluation with a per-rule
+                // last-finisher reduction, then ordered merge.
                 sstats.workers = sstats.workers.max(workers);
                 if sstats.rule_evals_per_worker.len() < workers {
                     sstats.rule_evals_per_worker.resize(workers, 0);
                 }
-                let deltas = self.eval_rules_parallel(
+                let reduced = self.eval_tasks_parallel(
                     store,
                     &runnable,
                     opts,
                     plans,
+                    variants,
+                    last_delta.as_ref().map(|d| &d.rels),
+                    &tasks,
                     workers,
                     &mut sstats.rule_evals_per_worker,
                 );
-                for (slot, delta) in deltas.into_iter().enumerate() {
-                    let ri = runnable[slot];
-                    stats.rule_evals += 1;
-                    let substs = delta?;
-                    let added = self.merge_rule_delta(store, ri, &substs)?;
+                for (slot, result) in reduced.into_iter().enumerate() {
+                    let substs = result?;
+                    let added = self.merge_rule_delta(store, runnable[slot], &substs, &mut sink)?;
                     if added > 0 {
                         stats.facts_added += added;
                         any_new = true;
-                        changed_now.push(self.head_pats[ri].clone());
                     }
                 }
             }
             if !any_new {
                 break Ok(());
             }
-            last_changed = Some(changed_now);
+            if semi {
+                stats.new_relations.extend(sink.log.new_rels.iter().cloned());
+                last_delta = Some(sink.log);
+            }
         };
         sstats.wall = started.elapsed();
         sstats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
@@ -592,67 +775,150 @@ impl RuleEngine {
         outcome
     }
 
-    /// Evaluates the bodies of `runnable` rules on a worker pool against
-    /// the shared read-only store. Workers pull rule slots from an atomic
-    /// cursor, so scheduling is dynamic, but the returned deltas are
-    /// re-assembled in `runnable` order — the caller's merge is fully
-    /// deterministic regardless of which worker evaluated what.
-    fn eval_rules_parallel(
+    /// Evaluates one fixpoint task — a full body, or one shard of one
+    /// `(Δ ⋈ full)` variant — returning the sorted, deduplicated
+    /// substitution set.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_task(
+        &self,
+        store: &Store,
+        opts: EvalOptions,
+        runnable: &[usize],
+        plans: &[Option<Arc<CompiledItems>>],
+        variants: &[Vec<(PredPat, Arc<CompiledItems>)>],
+        table: Option<&DeltaTable>,
+        task: &Task,
+    ) -> EvalResult<Vec<Subst>> {
+        let ri = runnable[task.slot];
+        let mut out = match &task.kind {
+            TaskKind::Full => {
+                let ev = Evaluator::new(store, opts);
+                match &plans[ri] {
+                    Some(plan) => ev.eval_compiled(plan, vec![Subst::new()])?,
+                    None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?,
+                }
+            }
+            TaskKind::Delta { occ, shard, shards } => {
+                let table = table.expect("delta tasks require a previous iteration's delta");
+                let ev = Evaluator::with_delta(store, opts, table, (*shard, *shards));
+                ev.eval_compiled(&variants[ri][*occ].1, vec![Subst::new()])?
+            }
+        };
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Evaluates the iteration's tasks on a worker pool against the shared
+    /// read-only store. Workers pull tasks from an atomic cursor, so
+    /// scheduling is dynamic; the worker that completes a rule's *last*
+    /// task reduces that rule's outputs (concatenate, sort, dedup —
+    /// deterministic no matter which worker runs it), replacing the old
+    /// single-threaded reassembly barrier. Results come back in `runnable`
+    /// slot order for the caller's ascending merge.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_tasks_parallel(
         &self,
         store: &Store,
         runnable: &[usize],
         opts: EvalOptions,
         plans: &[Option<Arc<CompiledItems>>],
+        variants: &[Vec<(PredPat, Arc<CompiledItems>)>],
+        table: Option<&DeltaTable>,
+        tasks: &[Task],
         workers: usize,
         evals_per_worker: &mut [usize],
     ) -> Vec<EvalResult<Vec<Subst>>> {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let cursor = AtomicUsize::new(0);
-        let per_worker: Vec<Vec<(usize, EvalResult<Vec<Subst>>)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let cursor = &cursor;
-                        scope.spawn(move |_| {
-                            let mut out: Vec<(usize, EvalResult<Vec<Subst>>)> = Vec::new();
-                            loop {
-                                let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                                if slot >= runnable.len() {
-                                    break;
-                                }
-                                let ri = runnable[slot];
-                                let ev = Evaluator::new(store, opts);
-                                let delta = match &plans[ri] {
-                                    Some(plan) => ev.eval_compiled(plan, vec![Subst::new()]),
-                                    None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()]),
-                                };
-                                out.push((slot, delta));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("fixpoint worker panicked")).collect()
-            })
-            .expect("crossbeam scope");
-        let mut slots: Vec<Option<EvalResult<Vec<Subst>>>> =
-            (0..runnable.len()).map(|_| None).collect();
-        for (w, chunk) in per_worker.into_iter().enumerate() {
-            evals_per_worker[w] += chunk.len();
-            for (slot, delta) in chunk {
-                slots[slot] = Some(delta);
-            }
+        use std::sync::Mutex;
+        let mut task_counts = vec![0usize; runnable.len()];
+        for t in tasks {
+            task_counts[t.slot] += 1;
         }
-        slots.into_iter().map(|s| s.expect("every runnable rule evaluated exactly once")).collect()
+        type TaskSlot = Mutex<Option<EvalResult<Vec<Subst>>>>;
+        let outputs: Vec<Vec<TaskSlot>> =
+            task_counts.iter().map(|&n| (0..n).map(|_| Mutex::new(None)).collect()).collect();
+        let remaining: Vec<AtomicUsize> =
+            task_counts.iter().map(|&n| AtomicUsize::new(n)).collect();
+        let reduced: Vec<TaskSlot> = (0..runnable.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let counts: Vec<usize> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let outputs = &outputs;
+                    let remaining = &remaining;
+                    let reduced = &reduced;
+                    scope.spawn(move |_| {
+                        let mut n = 0usize;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks.len() {
+                                break;
+                            }
+                            let task = &tasks[i];
+                            let result =
+                                self.eval_task(store, opts, runnable, plans, variants, table, task);
+                            *outputs[task.slot][task.pos].lock().expect("output slot") =
+                                Some(result);
+                            n += 1;
+                            if remaining[task.slot].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                // Last finisher for this rule: reduce.
+                                let mut union: Vec<Subst> = Vec::new();
+                                let mut err = None;
+                                for cell in &outputs[task.slot] {
+                                    let taken = cell
+                                        .lock()
+                                        .expect("output slot")
+                                        .take()
+                                        .expect("task output present");
+                                    match taken {
+                                        Ok(substs) => union.extend(substs),
+                                        Err(e) => {
+                                            if err.is_none() {
+                                                err = Some(e);
+                                            }
+                                        }
+                                    }
+                                }
+                                let result = match err {
+                                    Some(e) => Err(e),
+                                    None => {
+                                        union.sort();
+                                        union.dedup();
+                                        Ok(union)
+                                    }
+                                };
+                                *reduced[task.slot].lock().expect("reduced slot") = Some(result);
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fixpoint worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        for (w, n) in counts.into_iter().enumerate() {
+            evals_per_worker[w] += n;
+        }
+        reduced
+            .into_iter()
+            .map(|m| {
+                m.into_inner().expect("reduced lock").expect("every rule reduced exactly once")
+            })
+            .collect()
     }
 
     /// Applies one rule's substitution set to the store under the rule's
-    /// change scope. Returns how many facts were new.
+    /// change scope, recording what changed into `sink`. Returns how many
+    /// facts were new.
     fn merge_rule_delta(
         &self,
         store: &mut Store,
         ri: usize,
         substs: &[Subst],
+        sink: &mut DeltaSink,
     ) -> EvalResult<usize> {
         if substs.is_empty() {
             return Ok(0);
@@ -665,11 +931,29 @@ impl RuleEngine {
         store.mutate(scope, |universe| -> EvalResult<usize> {
             let mut n = 0;
             for s in substs {
-                n += make_true(universe, head, s)?;
+                n += make_true_logged(universe, head, s, sink)?;
             }
             Ok(n)
         })
     }
+}
+
+/// One unit of fixpoint work inside an iteration.
+struct Task {
+    /// Index into the iteration's `runnable` vector.
+    slot: usize,
+    /// Position among this slot's tasks (stable output ordering for the
+    /// reduction).
+    pos: usize,
+    kind: TaskKind,
+}
+
+enum TaskKind {
+    /// Evaluate the full rule body.
+    Full,
+    /// Evaluate the `occ`-th `(Δ ⋈ full)` variant over the `shard`-th of
+    /// `shards` slices of each delta relation.
+    Delta { occ: usize, shard: usize, shards: usize },
 }
 
 /// Whether a journalled change scope can intersect a predicate pattern.
@@ -803,12 +1087,26 @@ fn stratify(
 /// Makes `headσ` true in the universe (§6's recursive definition), creating
 /// intermediate objects as needed. Returns how many facts were *new*.
 pub fn make_true(universe: &mut Value, head: &Expr, subst: &Subst) -> EvalResult<usize> {
+    let mut sink = DeltaSink::disabled();
+    make_true_logged(universe, head, subst, &mut sink)
+}
+
+/// [`make_true`] with delta logging: every new row insert, scalar
+/// overwrite and freshly created relation slot is recorded into `sink`
+/// (the fixpoint's semi-naive bookkeeping). A disabled sink makes this
+/// exactly `make_true`.
+pub fn make_true_logged(
+    universe: &mut Value,
+    head: &Expr,
+    subst: &Subst,
+    sink: &mut DeltaSink,
+) -> EvalResult<usize> {
     match head {
         Expr::Epsilon => Ok(0),
         Expr::Tuple(fields) => {
             let mut added = 0;
             for f in fields {
-                added += make_true_field(universe, f, subst)?;
+                added += make_true_field(universe, f, subst, sink)?;
             }
             Ok(added)
         }
@@ -821,7 +1119,11 @@ pub fn make_true(universe: &mut Value, head: &Expr, subst: &Subst) -> EvalResult
                 });
             };
             let fact = materialize(inner, subst)?;
+            let logged = if sink.enabled() { Some(fact.clone()) } else { None };
             if set.insert(fact) {
+                if let Some(fact) = logged {
+                    sink.set_inserted(fact);
+                }
                 Ok(1)
             } else {
                 Ok(0)
@@ -833,6 +1135,7 @@ pub fn make_true(universe: &mut Value, head: &Expr, subst: &Subst) -> EvalResult
                 Ok(0)
             } else {
                 *universe = v;
+                sink.scalar_written();
                 Ok(1)
             }
         }
@@ -840,7 +1143,12 @@ pub fn make_true(universe: &mut Value, head: &Expr, subst: &Subst) -> EvalResult
     }
 }
 
-fn make_true_field(obj: &mut Value, field: &Field, subst: &Subst) -> EvalResult<usize> {
+fn make_true_field(
+    obj: &mut Value,
+    field: &Field,
+    subst: &Subst,
+    sink: &mut DeltaSink,
+) -> EvalResult<usize> {
     let Some(t) = obj.as_tuple_mut() else {
         return Err(EvalError::KindMismatch {
             expected: idl_object::Kind::Tuple,
@@ -865,12 +1173,48 @@ fn make_true_field(obj: &mut Value, field: &Field, subst: &Subst) -> EvalResult<
             None => return Err(EvalError::Uninstantiated(v.clone())),
         },
     };
+    // A slot that did not exist before this fact is a schematic delta at
+    // relation/database depth (constant-head skeletons are pre-created by
+    // the fixpoint, so only data-dependent heads ever trip this).
+    let existed = !sink.enabled() || t.get(name.as_str()).is_some();
+    sink.enter(&name);
     let slot = t.get_or_insert_with(name, || match &field.expr {
         Expr::Tuple(_) => Value::empty_tuple(),
         Expr::Set(_) => Value::empty_set(),
         _ => Value::null(),
     });
-    make_true(slot, &field.expr, subst)
+    if !existed {
+        sink.created_slot();
+    }
+    let added = make_true_logged(slot, &field.expr, subst, sink);
+    sink.leave();
+    added
+}
+
+/// Whether a head contains a scalar (`=`) write anywhere above set level:
+/// those have overwrite (last-write-wins) semantics, so the rule must
+/// always evaluate in full — a delta-restricted subset could change which
+/// write lands last. Set heads are row inserts and never scalar.
+fn head_is_scalar(head: &Expr) -> bool {
+    match head {
+        Expr::Atomic(..) => true,
+        Expr::Tuple(fields) => fields.iter().any(|f| head_is_scalar(&f.expr)),
+        _ => false,
+    }
+}
+
+/// The `(db, rel)` patterns a body reads — positive *and* negated (a read
+/// is a read for schematic invalidation). Used by the plan cache to track
+/// per-plan read sets.
+pub(crate) fn read_patterns(items: &[Expr]) -> Vec<PredPat> {
+    let mut refs = Vec::new();
+    for item in items {
+        collect_refs(item, false, &mut refs);
+    }
+    let mut out: Vec<PredPat> = refs.into_iter().map(|r| r.pat).collect();
+    out.sort();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]
@@ -1024,5 +1368,105 @@ mod tests {
         assert_eq!(s1.relation("dbC2", "tot").unwrap(), s2.relation("dbC2", "tot").unwrap());
         assert!(semi.rule_evals <= naive.rule_evals);
         assert_eq!(semi.facts_added, naive.facts_added);
+    }
+
+    /// Pinned options for the delta-scheduling counter tests: one worker
+    /// (no sharding), compiled plans (delta variants exist), semi-naive on
+    /// regardless of the `IDL_NAIVE_FIXPOINT` CI leg.
+    fn semi_opts() -> EvalOptions {
+        EvalOptions::default().with_threads(1).with_compile(true).with_semi_naive(true)
+    }
+
+    #[test]
+    fn unchanged_rules_are_skipped_and_changed_rules_run_on_deltas() {
+        // Same stratum: rule 0 reads only base data (never part of any
+        // iteration's delta), rule 1 reads rule 0's head.
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".dbI.q(.stk=S) <- .dbI.p(.stk=S)"),
+        ];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        let stats = engine.materialize(&mut store, semi_opts()).unwrap();
+        assert_eq!(store.relation("dbI", "q").unwrap().len(), 2, "hp, ibm");
+        // Iteration 1 runs both rules in full. Iteration 2: the delta is
+        // {(dbI,p), (dbI,q)} — rule 0's body (euter,r) did not change, so
+        // it is skipped; rule 1 re-runs over Δ(dbI,p) only, derives
+        // nothing new, and the stratum quiesces.
+        assert_eq!(stats.iterations, 2, "{stats:?}");
+        assert_eq!(stats.full_evals, 2, "{stats:?}");
+        assert_eq!(stats.delta_evals, 1, "{stats:?}");
+        assert_eq!(stats.rules_skipped, 1, "{stats:?}");
+        assert_eq!(stats.rule_evals, 3, "{stats:?}");
+        // Per-stratum mirrors of the same counters.
+        assert_eq!(stats.strata.len(), 1);
+        assert_eq!(stats.strata[0].rules_skipped, 1);
+        assert_eq!(stats.strata[0].delta_evals, 1);
+    }
+
+    #[test]
+    fn naive_mode_reevaluates_everything_every_iteration() {
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".dbI.q(.stk=S) <- .dbI.p(.stk=S)"),
+        ];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        let opts = semi_opts().with_semi_naive(false);
+        let stats = engine.materialize(&mut store, opts).unwrap();
+        assert_eq!(store.relation("dbI", "q").unwrap().len(), 2);
+        // Both rules run in full on both iterations: no skips, no deltas.
+        assert_eq!(stats.iterations, 2, "{stats:?}");
+        assert_eq!(stats.rule_evals, 4, "{stats:?}");
+        assert_eq!(stats.rules_skipped, 0, "{stats:?}");
+        assert_eq!(stats.delta_evals, 0, "{stats:?}");
+        assert_eq!(stats.full_evals, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn schematic_delta_reports_data_dependent_relations() {
+        // A higher-order head materialises one relation per stock — each
+        // is a schematic event the engine layer filters against its
+        // seen-set. The constant `dbO` database skeleton is pre-created,
+        // so only genuine relation creations are logged.
+        let mut rules = unified_rules();
+        rules.push(rule(
+            ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date",
+        ));
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        let stats = engine.materialize(&mut store, semi_opts()).unwrap();
+        let dbo: Vec<PredPat> = stats
+            .new_relations
+            .iter()
+            .filter(|p| p.db.as_ref().is_some_and(|d| d.as_str() == "dbO"))
+            .cloned()
+            .collect();
+        let expect = |rel: &str| PredPat { db: Some(Name::new("dbO")), rel: Some(Name::new(rel)) };
+        assert_eq!(dbo, vec![expect("hp"), expect("ibm")], "{stats:?}");
+        // Constant-head skeletons (dbI.p) never count as schematic.
+        assert!(
+            !stats.new_relations.iter().any(|p| p.db.as_ref().is_some_and(|d| d.as_str() == "dbI")),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_heads_always_reevaluate_in_full() {
+        // A scalar (`=`) head has last-write-wins semantics, so the rule
+        // is never delta-eligible: every one of its runs is a full
+        // evaluation even when its input changed via a concrete delta.
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".agg.hi=P <- .dbI.p(.stk=hp), .euter.r(.stkCode=hp,.clsPrice=P)"),
+        ];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        let stats = engine.materialize(&mut store, semi_opts()).unwrap();
+        // However many iterations ran, no delta task ever targeted the
+        // scalar rule — and the value is still derived.
+        assert_eq!(stats.delta_evals, 0, "{stats:?}");
+        assert!(stats.full_evals >= 2, "{stats:?}");
+        assert!(store.relation("agg", "hi").is_err(), "hi is an atom, not a relation");
     }
 }

@@ -5,6 +5,7 @@ use crate::outcome::Outcome;
 use idl_eval::analyze::BindingIssue;
 use idl_eval::rules::{DerivedCatalog, DerivedScope, FixpointStats};
 use idl_eval::update::UpdateStats;
+use idl_eval::PredPat;
 use idl_eval::{
     run_request_cached, AnswerSet, EvalOptions, PlanCache, ProgramRegistry, RuleEngine, Subst,
 };
@@ -112,9 +113,12 @@ impl EngineOptionsBuilder {
         self
     }
 
-    /// Relation-granularity semi-naive fixpoints (on by default).
+    /// Relation-granularity semi-naive fixpoints (on by default). An
+    /// explicit choice here overrides the `IDL_NAIVE_FIXPOINT` environment
+    /// knob, which only steers the [`EvalOptions`] default.
     pub fn semi_naive(mut self, on: bool) -> Self {
         self.engine.semi_naive = on;
+        self.engine.eval = self.engine.eval.with_semi_naive(on);
         self
     }
 
@@ -170,6 +174,12 @@ pub struct Engine {
     /// Statistics of the most recent view materialisation (the `--stats`
     /// CLI output); default until the first refresh actually runs rules.
     last_stats: FixpointStats,
+    /// Data-dependent derived relations known from earlier refreshes.
+    /// A refresh whose fixpoint materialises a relation *not* in this set
+    /// saw a *schematic delta* (§6: a new stock in `euter` data creates a
+    /// new `ource`-style relation) — those plans in [`PlanCache`] whose
+    /// read set overlaps the newcomer are invalidated.
+    seen_derived_rels: BTreeSet<PredPat>,
 }
 
 impl Default for Engine {
@@ -203,6 +213,7 @@ impl Engine {
             sys_enabled: false,
             plan_cache: PlanCache::new(),
             last_stats: FixpointStats::default(),
+            seen_derived_rels: BTreeSet::new(),
         }
     }
 
@@ -471,18 +482,46 @@ impl Engine {
                 }
             }
         }
-        let stats = compiled.materialize_cached(
+        let mut stats = compiled.materialize_cached(
             &mut self.store,
             self.options.eval,
             None,
             Some(&mut self.plan_cache),
         )?;
+        // A full rebuild re-creates every data-dependent relation, so the
+        // seen-set is *replaced*, not unioned: relations that vanished
+        // (e.g. the last row of a stock deleted) drop out and would count
+        // as schematic again if they come back.
+        self.apply_schematic_deltas(&mut stats, true);
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
         self.fresh_at = Some(self.store.version());
         self.last_stats = stats.clone();
         Ok(stats)
+    }
+
+    /// Filters the fixpoint's raw created-relation log against the
+    /// seen-set: what survives is a *schematic delta* — a relation (or
+    /// whole database) that exists now but did not after the previous
+    /// refresh. Fresh ones invalidate exactly the overlapping plan-cache
+    /// entries (a plan scanning `.dbO.S` with a variable relation position
+    /// must see the newcomer; a plan reading only `.dbO.hp` keeps its
+    /// compiled form). The first refresh reports all of its data-dependent
+    /// relations as schematic — there was no schema before it.
+    fn apply_schematic_deltas(&mut self, stats: &mut FixpointStats, replace_seen: bool) {
+        let created: BTreeSet<PredPat> = stats.new_relations.iter().cloned().collect();
+        let fresh: Vec<PredPat> =
+            created.iter().filter(|p| !self.seen_derived_rels.contains(*p)).cloned().collect();
+        stats.schematic_deltas = fresh.len();
+        if !fresh.is_empty() {
+            stats.plan_invalidations = self.plan_cache.invalidate_overlapping(&fresh);
+        }
+        if replace_seen {
+            self.seen_derived_rels = created;
+        } else {
+            self.seen_derived_rels.extend(created);
+        }
     }
 
     /// Statistics of the most recent view materialisation that actually
@@ -560,12 +599,16 @@ impl Engine {
             }
         }
         let compiled = self.compiled.as_ref().expect("checked above");
-        let stats = compiled.materialize_cached(
+        let mut stats = compiled.materialize_cached(
             &mut self.store,
             self.options.eval,
             Some(&mask),
             Some(&mut self.plan_cache),
         )?;
+        // Masked refresh: rules outside the mask never ran, so their
+        // data-dependent relations are absent from this run's log — the
+        // seen-set is unioned, not replaced.
+        self.apply_schematic_deltas(&mut stats, false);
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
@@ -1028,6 +1071,46 @@ mod tests {
         // unbound variable argument = not supplied
         let issues = e.analyze_calls("?.dbU.insStk(.stk=S, .date=3/9/85, .price=1)").unwrap();
         assert!(issues.iter().any(|m| m.contains(".stk")), "{issues:?}");
+    }
+
+    #[test]
+    fn schematic_delta_invalidates_only_overlapping_plans() {
+        let mut e = engine();
+        // Pin compile + semi-naive so the schematic counters are live
+        // under the IDL_NO_COMPILE / IDL_NAIVE_FIXPOINT CI legs too.
+        e.set_options(EngineOptions::builder().compile(true).semi_naive(true).build());
+        e.add_rules(UNIFIED).unwrap();
+        e.add_rules(
+            ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date ;",
+        )
+        .unwrap();
+        // First build: there was no schema before it, so every
+        // data-dependent relation is schematic.
+        let first = e.refresh_views().unwrap();
+        assert_eq!(first.schematic_deltas, 2, "dbO.hp and dbO.ibm: {first:?}");
+        // Warm two query plans: one with a higher-order (variable)
+        // relation position over dbO, one pinned to dbO.hp.
+        e.query("?.dbO.Y(.clsPrice=P)").unwrap();
+        e.query("?.dbO.hp(.clsPrice=P)").unwrap();
+        let resident = e.plan_cache().len();
+        // A price update for an existing stock re-materialises the same
+        // relations: nothing is schematic, nothing is invalidated.
+        e.update("?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=70)").unwrap();
+        let s = e.refresh_views_if_stale().unwrap();
+        assert_eq!(s.schematic_deltas, 0, "{s:?}");
+        assert_eq!(s.plan_invalidations, 0, "{s:?}");
+        assert_eq!(e.plan_cache().len(), resident);
+        // A brand-new stock materialises dbO.sun for the first time: the
+        // variable-relation plan must be recompiled (it now has one more
+        // relation to scan), the dbO.hp-only plan keeps its compiled form.
+        e.update("?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=30)").unwrap();
+        let s = e.refresh_views_if_stale().unwrap();
+        assert_eq!(s.schematic_deltas, 1, "only dbO.sun is new: {s:?}");
+        assert_eq!(s.plan_invalidations, 1, "only the .dbO.Y plan: {s:?}");
+        assert_eq!(e.plan_cache().len(), resident - 1);
+        // And the recompiled plan sees the newcomer.
+        let rels = e.query("?.dbO.Y(.clsPrice=P)").unwrap();
+        assert!(rels.column("Y").contains(&Value::str("sun")), "{rels}");
     }
 
     #[test]

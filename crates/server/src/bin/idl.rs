@@ -483,6 +483,11 @@ fn run_client(addr: &str, cli: &Cli) -> Result<(), String> {
             e.plan_cache_misses,
             e.sharing_hit_rate * 100.0
         );
+        println!(
+            "-- engine semi-naive: {} delta evals, {} full evals, {} rules skipped, \
+             {} schematic deltas, {} plan invalidations",
+            e.delta_evals, e.full_evals, e.rules_skipped, e.schematic_deltas, e.plan_invalidations
+        );
     }
     if cli.shutdown {
         client.shutdown_server().map_err(|e| e.to_string())?;
@@ -499,13 +504,28 @@ fn print_stats(stats: &idl::FixpointStats) {
     println!("   rule evals:     {}", stats.rule_evals);
     println!("   facts added:    {}", stats.facts_added);
     println!(
+        "   semi-naive:     {} delta evals, {} full evals, {} rules skipped",
+        stats.delta_evals, stats.full_evals, stats.rules_skipped
+    );
+    println!(
+        "   schematic:      {} new relations, {} plan invalidations",
+        stats.schematic_deltas, stats.plan_invalidations
+    );
+    println!(
         "   plans compiled: {} (plan cache: {} hits, {} misses)",
         stats.plans_compiled, stats.plan_cache_hits, stats.plan_cache_misses
     );
     for (i, s) in stats.strata.iter().enumerate() {
         println!(
-            "   stratum #{i}: rules={} iterations={} workers={} evals/worker={:?} wall={:?}",
-            s.rules, s.iterations, s.workers, s.rule_evals_per_worker, s.wall
+            "   stratum #{i}: rules={} iterations={} workers={} evals/worker={:?} \
+             skipped={} delta={} wall={:?}",
+            s.rules,
+            s.iterations,
+            s.workers,
+            s.rule_evals_per_worker,
+            s.rules_skipped,
+            s.delta_evals,
+            s.wall
         );
     }
     let sh = &stats.sharing;

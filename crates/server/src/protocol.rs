@@ -131,6 +131,23 @@ pub struct EngineStatsWire {
     pub rule_evals: u64,
     /// New facts derived.
     pub facts_added: u64,
+    /// Rule evaluations skipped because no body predicate changed
+    /// (semi-naive scheduling).
+    #[serde(default)]
+    pub rules_skipped: u64,
+    /// Task evaluations that probed a delta shard instead of full inputs.
+    #[serde(default)]
+    pub delta_evals: u64,
+    /// Task evaluations over full inputs.
+    #[serde(default)]
+    pub full_evals: u64,
+    /// Data-dependent relations that materialised for the first time
+    /// (schematic deltas).
+    #[serde(default)]
+    pub schematic_deltas: u64,
+    /// Cached plans invalidated by those schematic deltas.
+    #[serde(default)]
+    pub plan_invalidations: u64,
     /// Rule bodies compiled to the plan IR.
     pub plans_compiled: u64,
     /// Rule plans served from the memoized cache.
@@ -147,6 +164,11 @@ impl From<&FixpointStats> for EngineStatsWire {
             iterations: s.iterations as u64,
             rule_evals: s.rule_evals as u64,
             facts_added: s.facts_added as u64,
+            rules_skipped: s.rules_skipped as u64,
+            delta_evals: s.delta_evals as u64,
+            full_evals: s.full_evals as u64,
+            schematic_deltas: s.schematic_deltas as u64,
+            plan_invalidations: s.plan_invalidations as u64,
             plans_compiled: s.plans_compiled as u64,
             plan_cache_hits: s.plan_cache_hits as u64,
             plan_cache_misses: s.plan_cache_misses as u64,

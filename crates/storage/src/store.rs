@@ -242,18 +242,19 @@ impl Store {
         kind: IndexKind,
     ) -> StorageResult<Arc<Index>> {
         let key = (Name::new(db), Name::new(rel), Name::new(attr), kind);
-        {
-            let caches = self.caches.lock();
-            if let Some((built_at, idx)) = caches.indexes.get(&key) {
-                let stale = self.journal.since(*built_at).iter().any(|c| c.scope.touches(db, rel));
-                if !stale {
-                    return Ok(Arc::clone(idx));
-                }
+        // Build while holding the caches lock: concurrent fixpoint workers
+        // that race for the same missing index then build it once and share
+        // the Arc, instead of each paying the O(n) build redundantly.
+        let mut caches = self.caches.lock();
+        if let Some((built_at, idx)) = caches.indexes.get(&key) {
+            let stale = self.journal.since(*built_at).iter().any(|c| c.scope.touches(db, rel));
+            if !stale {
+                return Ok(Arc::clone(idx));
             }
         }
         let relset = self.relation(db, rel)?;
         let idx = Arc::new(Index::build(kind, relset, &Name::new(attr)));
-        self.caches.lock().indexes.insert(key, (self.version, Arc::clone(&idx)));
+        caches.indexes.insert(key, (self.version, Arc::clone(&idx)));
         Ok(idx)
     }
 

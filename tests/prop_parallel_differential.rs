@@ -1,11 +1,15 @@
-//! Differential battery for the parallel intra-stratum fixpoint
-//! (DESIGN.md "Parallel fixpoint").
+//! Cross-mode differential battery for the semi-naive parallel fixpoint
+//! (DESIGN.md "Parallel fixpoint", "Semi-naive delta scheduling").
 //!
-//! The worker count is an *evaluation knob*, never a semantic one:
+//! Neither the worker count, the delta scheduling, nor plan compilation
+//! is allowed to be a *semantic* knob:
 //!
-//! * materialising any view program with 2/4/8 threads yields exactly the
-//!   universe the sequential schedule yields, on hundreds of random
-//!   universes — for a wide single-stratum recursive program and for a
+//! * the naive reference schedule (re-run every rule every iteration, one
+//!   worker, tree-walk interpreter — reachable via
+//!   [`EvalOptions::with_semi_naive`] or `IDL_NAIVE_FIXPOINT=1`)
+//!   materialises, on hundreds of random universes, **byte-identical**
+//!   universes to semi-naive runs at {1, 2, 4, 8} threads, compiled and
+//!   tree-walk — for a wide single-stratum recursive program and for a
 //!   negation-stratified two-layer program;
 //! * the §4 query battery sees identical answer sets over the
 //!   materialised stores;
@@ -82,40 +86,62 @@ fn answers(store: &Store, src: &str) -> idl_eval::AnswerSet {
         .unwrap_or_else(|e| panic!("{src}: {e}"))
 }
 
-/// Materialises `program` over the seed's universe at a worker count.
-fn materialized(seed: u64, program: &RuleEngine, threads: usize) -> Store {
+/// Materialises `program` over the seed's universe under the given options.
+fn materialized(seed: u64, program: &RuleEngine, opts: EvalOptions) -> Store {
     let mut store = random_store(seed, &RandomConfig::default());
-    let opts = EvalOptions::default().with_threads(threads);
-    program.materialize(&mut store, opts).unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+    program.materialize(&mut store, opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
     store
+}
+
+/// The canonical-JSON bytes a snapshot of `store` would contain.
+fn universe_json(store: &Store) -> String {
+    idl_storage::persist::to_json(store).unwrap()
+}
+
+/// The naive reference schedule: every rule, every iteration, one worker,
+/// tree-walk interpreter.
+fn naive_reference() -> EvalOptions {
+    EvalOptions::default().with_threads(1).with_compile(false).with_semi_naive(false)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// The cross-mode leg: naive ≡ semi-naive over
+    /// {1, 2, 4, 8} threads × {compiled, tree-walk}, down to the bytes a
+    /// snapshot would persist, plus identical §4 battery answers.
     #[test]
-    fn parallel_fixpoint_matches_sequential(seed in 0u64..1_000_000) {
+    fn seminaive_matches_naive_across_modes(seed in 0u64..1_000_000) {
         for program_src in [WIDE_RECURSIVE, STRATIFIED_NEGATION] {
             let program = rule_engine(program_src);
-            let reference = materialized(seed, &program, 1);
-            for threads in [2usize, 4, 8] {
-                let parallel = materialized(seed, &program, threads);
-                prop_assert_eq!(
-                    reference.universe(),
-                    parallel.universe(),
-                    "universe diverged at {} threads (seed {})",
-                    threads,
-                    seed
-                );
-                for src in BATTERY {
+            let naive = materialized(seed, &program, naive_reference());
+            let reference = universe_json(&naive);
+            for threads in [1usize, 2, 4, 8] {
+                for compile in [true, false] {
+                    let opts = EvalOptions::default()
+                        .with_threads(threads)
+                        .with_compile(compile)
+                        .with_semi_naive(true);
+                    let semi = materialized(seed, &program, opts);
                     prop_assert_eq!(
-                        answers(&reference, src),
-                        answers(&parallel, src),
-                        "answers diverged for {} at {} threads (seed {})",
-                        src,
+                        &universe_json(&semi),
+                        &reference,
+                        "universe bytes diverged from naive at {} threads, compile={} (seed {})",
                         threads,
+                        compile,
                         seed
                     );
+                    for src in BATTERY {
+                        prop_assert_eq!(
+                            answers(&naive, src),
+                            answers(&semi, src),
+                            "answers diverged for {} at {} threads, compile={} (seed {})",
+                            src,
+                            threads,
+                            compile,
+                            seed
+                        );
+                    }
                 }
             }
         }
@@ -150,6 +176,15 @@ proptest! {
             per_worker_total, par_stats.rule_evals,
             "per-worker telemetry must account for every rule evaluation"
         );
+        // Every task evaluation is either a full body or a delta shard.
+        for stats in [&seq_stats, &par_stats] {
+            prop_assert_eq!(
+                stats.full_evals + stats.delta_evals,
+                stats.rule_evals,
+                "task accounting must partition rule_evals: {:?}",
+                stats
+            );
+        }
 
         // Idempotence under parallelism: re-deriving adds nothing.
         let again = program
@@ -180,6 +215,15 @@ fn parallel_refresh_snapshots_are_byte_identical() {
             Some(r) => assert_eq!(&json, r, "refresh {run} diverged from the first"),
         }
     }
+
+    // the naive reference schedule persists exactly those bytes too
+    let mut engine = idl::Engine::from_store(generate_sharded_store(&cfg));
+    let opts = engine.options().rebuild().threads(1).semi_naive(false).build();
+    engine.set_options(opts);
+    engine.add_rules(&rules).unwrap();
+    engine.refresh_views().unwrap();
+    let naive_json = idl_storage::persist::to_json(engine.store()).unwrap();
+    assert_eq!(Some(&naive_json), reference.as_ref(), "naive refresh diverged");
 
     // and the on-disk snapshot writer emits exactly those bytes
     let path = std::env::temp_dir().join(format!("idl_par_det_{}.json", std::process::id()));

@@ -171,6 +171,112 @@ fn snapshot_reads_proceed_while_a_refresh_is_in_flight() {
     handle.shutdown();
 }
 
+#[test]
+fn concurrent_reads_stay_on_published_snapshot_during_seminaive_refresh() {
+    // The same slow-refresh shape as above, plus an oracle replica per
+    // committed state: while the writer runs a semi-naive refresh for an
+    // update, every concurrent read must serve bytes equal to *some*
+    // fully-published state — never a torn universe with one view layer
+    // refreshed and the next not.
+    let mut seed_src = String::new();
+    for c in 0..5 {
+        for k in 0..400 {
+            seed_src.push_str(&format!("?.db.r+(.c={c}, .k={k}) ;\n"));
+        }
+    }
+    let layered = "
+        .v.a(.c=C, .k=K) <- .db.r(.c=C, .k=K) ;
+        .v.b(.c=C, .k=K) <- .v.a(.c=C, .k=K) ;
+        .v.c(.k=K) <- .v.b(.c=C, .k=K) ;
+    ";
+    let updates: Vec<String> = (0..3).map(|i| format!("?.db.r+(.c=9, .k={})", 9990 + i)).collect();
+
+    // Oracle JSONs for state 0 (seed only) through state 3 (all updates),
+    // each with views fully refreshed.
+    let mut oracle = Engine::new();
+    oracle.execute(&seed_src).unwrap();
+    oracle.add_rules(layered).unwrap();
+    oracle.refresh_views().unwrap();
+    let mut states = vec![oracle.universe_json().unwrap()];
+    for u in &updates {
+        oracle.update(u).unwrap();
+        oracle.refresh_views().unwrap();
+        states.push(oracle.universe_json().unwrap());
+    }
+
+    let handle = serve_engine(
+        |e| {
+            e.execute(&seed_src).unwrap();
+            e.add_rules(layered).unwrap();
+        },
+        ServerConfig::default(),
+    );
+    let addr = handle.local_addr();
+
+    // the first published snapshot is exactly state 0
+    let mut reader = Client::connect(addr).unwrap();
+    assert_eq!(reader.dump_universe().unwrap(), states[0], "initial publish");
+
+    let updating = Arc::new(AtomicBool::new(true));
+    let updater = {
+        let updating = Arc::clone(&updating);
+        let updates = updates.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut windows = Vec::new();
+            for (i, u) in updates.iter().enumerate() {
+                let t0 = Instant::now();
+                client.update(u).unwrap();
+                windows.push((t0, Instant::now()));
+                // Read-your-writes after republish: the snapshot that
+                // acknowledged this update already serves the new fact
+                // through every view layer.
+                let k = 9990 + i;
+                assert!(client.query(&format!("?.v.c(.k={k})")).unwrap().is_true());
+            }
+            updating.store(false, Ordering::SeqCst);
+            windows
+        })
+    };
+
+    let mut dumps = Vec::new();
+    while updating.load(Ordering::SeqCst) {
+        let t0 = Instant::now();
+        let json = reader.dump_universe().unwrap();
+        dumps.push((t0, Instant::now(), json));
+    }
+    let windows = updater.join().unwrap();
+
+    for (i, (_, _, json)) in dumps.iter().enumerate() {
+        assert!(
+            states.contains(json),
+            "read {i} served bytes matching no fully-published state (torn snapshot)"
+        );
+    }
+    // At least one read that ran entirely inside an update window served
+    // the *previous* published state: reads neither block on the writer's
+    // semi-naive refresh nor observe its in-progress derivation.
+    let stale_reads_in_window = dumps
+        .iter()
+        .filter(|(r0, r1, json)| {
+            windows
+                .iter()
+                .enumerate()
+                .any(|(w, (t0, t1))| t0 < r0 && r1 < t1 && **json == states[w])
+        })
+        .count();
+    assert!(
+        stale_reads_in_window > 0,
+        "no read inside any refresh window served the last published snapshot \
+         ({} reads, {} windows)",
+        dumps.len(),
+        windows.len(),
+    );
+    // After the last republish every reader sees the final state.
+    assert_eq!(reader.dump_universe().unwrap(), states[3], "final publish");
+    handle.shutdown();
+}
+
 /// Raw-socket handshake: exchange magic, consume the greeting frame.
 fn raw_handshake(addr: std::net::SocketAddr) -> TcpStream {
     let mut stream = TcpStream::connect(addr).unwrap();
