@@ -88,25 +88,63 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(idl_bench::run_query(e.store(), &req, opts)))
         });
     }
-    // small-delta refresh: one new quote lands in one feed, then the
-    // staleness-driven incremental path re-derives. The union head is
-    // shared by every stratum-1 rule and stratum 2 negates over it, so
-    // the dirty closure covers the program — the delta-driven scheduler's
-    // skip/delta counters are what keep this cheaper than `refresh`.
+    // small-delta refresh: one new quote lands in one feed while
+    // maintenance is off, then the staleness-driven repair path absorbs
+    // it. With maintenance re-enabled the repair diffs against the
+    // freshness snapshot and runs the delta pass — strata with no
+    // overlapping deltas are skipped entirely — instead of the
+    // drop-and-rebuild that used to ~match a full refresh here.
     for &t in &[1usize, 4] {
         group.bench_function(BenchmarkId::new("refresh_incremental", format!("{t}thr")), |b| {
             b.iter_batched(
                 || {
                     let mut e = fresh_engine(&universe, &rules, t);
-                    let opts = e.options().rebuild().auto_refresh(false).build();
+                    let opts = e.options().rebuild().auto_refresh(false).maintain(false).build();
                     e.set_options(opts);
                     e.refresh_views().unwrap();
                     e.update("?.feed00.r+(.date=9/9/99, .stkCode=f0099, .clsPrice=500)").unwrap();
+                    let opts = e.options().rebuild().maintain(true).build();
+                    e.set_options(opts);
                     e
                 },
                 |mut e| black_box(e.refresh_views_if_stale().unwrap().facts_added),
                 criterion::BatchSize::LargeInput,
             )
+        });
+    }
+    // write-path maintenance: the same one-quote update absorbed inside
+    // the write itself (`maintain_update`), and a query against the
+    // already-maintained views (`query_maintained`) — together the
+    // update-then-read cost that RefreshViews + query used to pay.
+    {
+        let mut e = fresh_engine(&universe, &rules, 1);
+        e.refresh_views().unwrap();
+        e.update("?.feed00.r+(.date=9/9/99, .stkCode=f0099, .clsPrice=500)").unwrap();
+        assert!(e.views_fresh_now(), "maintenance must absorb the bench update");
+    }
+    for &t in &[1usize, 4] {
+        group.bench_function(BenchmarkId::new("maintain_update", format!("{t}thr")), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = fresh_engine(&universe, &rules, t);
+                    e.refresh_views().unwrap();
+                    e
+                },
+                |mut e| {
+                    e.update("?.feed00.r+(.date=9/9/99, .stkCode=f0099, .clsPrice=500)").unwrap();
+                    black_box(e.last_fixpoint_stats().maintenance.views_maintained)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("query_maintained", format!("{t}thr")), |b| {
+            let mut e = fresh_engine(&universe, &rules, t);
+            e.refresh_views().unwrap();
+            e.update("?.feed00.r+(.date=9/9/99, .stkCode=f0099, .clsPrice=500)").unwrap();
+            assert!(e.views_fresh_now());
+            let opts = EvalOptions::default();
+            let req = idl_bench::request("?.dbU.q(.stk=S, .clsPrice>100)");
+            b.iter(|| black_box(idl_bench::run_query(e.store(), &req, opts)))
         });
     }
     group.finish();

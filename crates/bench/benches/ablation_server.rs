@@ -54,11 +54,20 @@ fn seeded_engine() -> Engine {
 }
 
 fn start_server() -> ServerHandle {
+    start_server_maintain(true)
+}
+
+/// `maintain = false` pins the refresh-the-world reference mode: every
+/// update leaves the views stale and the pre-ack republish rebuilds them.
+fn start_server_maintain(maintain: bool) -> ServerHandle {
     let cfg = ServerConfig {
         request_timeout: Duration::ZERO, // inline evaluation, no watchdog
         ..ServerConfig::default()
     };
-    serve(Box::new(seeded_engine()), cfg).expect("server starts")
+    let mut engine = seeded_engine();
+    let opts = engine.options().rebuild().maintain(maintain).build();
+    engine.set_options(opts);
+    serve(Box::new(engine), cfg).expect("server starts")
 }
 
 fn query_src(c: usize) -> String {
@@ -115,10 +124,62 @@ fn bench_serving(c: &mut Criterion) {
             b.iter(|| black_box(drive(addr, sessions, 4)))
         });
     }
+    // Write-path maintenance vs refresh-the-world at the wire: every
+    // request is a *real* one-row delta (insert/delete toggle of a
+    // sentinel row, so the universe stays constant-size). With
+    // maintenance on (`maintain_update`) the update is absorbed
+    // in-transaction and the republished snapshot is already fresh; with
+    // it off (`update_refresh`) each republish pays the stale-refresh
+    // rebuild before the ack. `query_maintained` reads against the
+    // maintained published snapshot.
+    for maintain in [true, false] {
+        let handle = start_server_maintain(maintain);
+        let addr = handle.local_addr();
+        let name = if maintain { "maintain_update" } else { "update_refresh" };
+        group.bench_function(BenchmarkId::new(name, "clients_1"), |b| {
+            b.iter(|| black_box(drive_toggle(addr, 1)))
+        });
+        if maintain {
+            group.bench_function(BenchmarkId::new("query_maintained", "clients_1"), |b| {
+                b.iter(|| black_box(drive(addr, 1, 0)))
+            });
+            let mut probe = Client::connect(addr).expect("probe connects");
+            let reply = probe.stats().expect("stats");
+            let m = reply.engine.maintenance.expect("maintenance counters published");
+            assert!(m.views_maintained > 0, "toggle updates must be maintained: {m:?}");
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.errors, 0, "maintenance bench load must be error-free");
+    }
     group.finish();
 
     let stats = handle.shutdown();
     assert_eq!(stats.errors, 0, "bench load must be error-free");
+}
+
+/// Every request is an update toggling a per-session sentinel row in and
+/// out — a real one-row delta each time, with no net universe growth.
+fn drive_toggle(addr: std::net::SocketAddr, sessions: usize) -> usize {
+    let per_session = OPS / sessions;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    for i in 0..per_session {
+                        let src = if i % 2 == 0 {
+                            format!("?.db.r+(.c={s}, .k=999)")
+                        } else {
+                            format!("?.db.r-(.c={s}, .k=999)")
+                        };
+                        client.update(&src).expect("update");
+                    }
+                    per_session
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("session thread")).sum()
+    })
 }
 
 criterion_group! {

@@ -34,6 +34,7 @@ pub mod arith;
 pub mod compile;
 pub mod delta;
 pub mod error;
+pub mod maintain;
 pub mod physical;
 pub mod plan;
 pub mod program;
@@ -46,9 +47,12 @@ pub mod update;
 pub use compile::{compile_expr, compile_items, PlanCache};
 pub use delta::{DeltaLog, DeltaSink};
 pub use error::{EvalError, EvalResult};
+pub use maintain::{diff_update, MaintainOutcome, MaintainedViews, UpdateDelta, ViewSupport};
 pub use physical::{CompiledItems, PhysOp};
 pub use program::{ProgramKey, ProgramRegistry};
-pub use query::{default_compile, default_semi_naive, default_threads, EvalOptions, Evaluator};
+pub use query::{
+    default_compile, default_maintain, default_semi_naive, default_threads, EvalOptions, Evaluator,
+};
 pub use request::{run_request, run_request_cached, RequestOutcome};
-pub use rules::{FixpointStats, PredPat, RuleEngine, RuleSetError, StratumStats};
+pub use rules::{FixpointStats, MaintenanceStats, PredPat, RuleEngine, RuleSetError, StratumStats};
 pub use subst::{AnswerSet, Subst};

@@ -1,0 +1,1060 @@
+//! Write-path incremental view maintenance (DESIGN.md "Write-path view
+//! maintenance").
+//!
+//! After an update commits, the engine hands the update's own row-level
+//! delta to [`RuleEngine::maintain_cached`], which drives it through the
+//! stratified rule set *bottom-up* instead of re-deriving the world:
+//!
+//! * **inserts** reuse the semi-naive machinery — the stratum fixpoint is
+//!   seeded with the update's Δ⁺ rows, so woken rules run their
+//!   `(Δ ⋈ full)` plan variants over just the new rows
+//!   (`RuleEngine::run_stratum` with a seed delta);
+//! * **retractions** run a DRed-style deletion cascade: for every rule
+//!   whose body reads a deleted row positively (or a freshly inserted row
+//!   through negation), a *victim query* — the rule body with that subgoal
+//!   replaced by a scan over a temporary delta relation — is evaluated
+//!   against the *pre-round* store to over-approximate the derived rows
+//!   that may have lost support; victims are deleted, then exactly
+//!   **rederived** from the remaining facts, and only the unsupported
+//!   remainder stays deleted and cascades;
+//! * **schematic deltas** are first-class: a delta that materialises a
+//!   data-dependent relation is reported through
+//!   [`FixpointStats::new_relations`] so the engine can register it with
+//!   the plan cache, and a retraction that empties one garbage-collects
+//!   the slot ([`MaintainOutcome::gcd`]) so the maintained store stays
+//!   byte-identical to a full rebuild.
+//!
+//! The pass is *sound but partial*: any shape it cannot maintain exactly
+//! (scalar heads, coarse writes, non-row base changes, unsupported
+//! subgoal shapes) makes it bail with `Ok(None)`, and the engine falls
+//! back to marking the world stale for the refresh/repair path. Bailing
+//! late is safe — a half-applied pass only ever leaves state the full
+//! rebuild recomputes from scratch.
+
+use crate::compile::PlanCache;
+use crate::delta::{DeltaLog, DeltaTable};
+use crate::error::{EvalError, EvalResult};
+use crate::query::{EvalOptions, Evaluator};
+use crate::rules::{FixpointStats, MaintenanceStats, PredPat, RuleEngine};
+use crate::subst::Subst;
+use crate::update::materialize;
+use idl_lang::{AttrTerm, Expr, Field, RelOp, Rule, Term};
+use idl_object::{Atom, Name, Value};
+use idl_storage::Store;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Prefix for the temporary databases holding one round's delta rows
+/// during victim-query evaluation. Contains a control character no parsed
+/// IDL name can contain, so it never collides with user data.
+const DELTA_DB_MARKER: &str = "\u{1}delta:";
+
+/// Rows per `(db, rel)` a deletion-cascade rederivation still derives.
+type RederivedRows = BTreeMap<(Name, Name), BTreeSet<Value>>;
+
+fn marker_db(db: &Name) -> Name {
+    Name::new(format!("{DELTA_DB_MARKER}{}", db.as_str()))
+}
+
+/// The row-level difference one update request made to *base* relations:
+/// the seed of a maintenance pass.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateDelta {
+    /// Rows the update inserted, grouped by `(db, rel)`.
+    pub plus: DeltaTable,
+    /// Rows the update deleted, grouped by `(db, rel)`.
+    pub minus: DeltaTable,
+}
+
+impl UpdateDelta {
+    /// Whether the update changed any rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.plus.values().all(Vec::is_empty) && self.minus.values().all(Vec::is_empty)
+    }
+}
+
+/// What a successful maintenance pass did to the derived state.
+#[derive(Clone, Debug, Default)]
+pub struct MaintainOutcome {
+    /// Run telemetry, including [`FixpointStats::maintenance`] counters.
+    pub stats: FixpointStats,
+    /// Derived relations the pass emptied and garbage-collected.
+    pub gcd: Vec<PredPat>,
+    /// Net derived-row inserts, grouped by `(db, rel)`.
+    pub plus: DeltaTable,
+    /// Net derived-row deletions, grouped by `(db, rel)`.
+    pub minus: DeltaTable,
+}
+
+/// Extracts the row-level [`UpdateDelta`] of an update from the pre/post
+/// universes and the journalled change scopes, or `None` when the change
+/// is not expressible as relation-row edits (universe-scoped writes,
+/// created or dropped database/relation slots, scalar or nested-value
+/// changes) — the caller then falls back to the refresh path.
+pub fn diff_update(
+    pre: &Value,
+    post: &Value,
+    changes: &[idl_storage::ChangeScope],
+) -> Option<UpdateDelta> {
+    use idl_storage::ChangeScope;
+    let mut delta = UpdateDelta::default();
+    let mut seen: BTreeSet<(Name, Option<Name>)> = BTreeSet::new();
+    for scope in changes {
+        match scope {
+            ChangeScope::Universe => return None,
+            ChangeScope::Relation { db, rel } => {
+                if !seen.insert((db.clone(), Some(rel.clone()))) {
+                    continue;
+                }
+                diff_relation(pre, post, db, rel, &mut delta)?;
+            }
+            ChangeScope::Database { db } => {
+                if !seen.insert((db.clone(), None)) {
+                    continue;
+                }
+                let pre_db = pre.attr(db.as_str())?.as_tuple()?;
+                let post_db = post.attr(db.as_str())?.as_tuple()?;
+                let pre_rels: Vec<&Name> = pre_db.keys().collect();
+                let post_rels: Vec<&Name> = post_db.keys().collect();
+                if pre_rels != post_rels {
+                    return None; // relation slot created or dropped
+                }
+                for rel in pre_rels {
+                    diff_relation(pre, post, db, rel, &mut delta)?;
+                }
+            }
+        }
+    }
+    delta.plus.retain(|_, rows| !rows.is_empty());
+    delta.minus.retain(|_, rows| !rows.is_empty());
+    Some(delta)
+}
+
+/// Row-diffs one relation slot into `delta`; `None` when either side is
+/// missing or not a set (slot created/dropped, or a scalar "relation").
+fn diff_relation(
+    pre: &Value,
+    post: &Value,
+    db: &Name,
+    rel: &Name,
+    delta: &mut UpdateDelta,
+) -> Option<()> {
+    let pre_v = pre.attr(db.as_str())?.attr(rel.as_str())?;
+    let post_v = post.attr(db.as_str())?.attr(rel.as_str())?;
+    if pre_v == post_v {
+        return Some(());
+    }
+    let pre_set = pre_v.as_set()?;
+    let post_set = post_v.as_set()?;
+    let plus: Vec<Value> = post_set.iter().filter(|v| !pre_set.contains(v)).cloned().collect();
+    let minus: Vec<Value> = pre_set.iter().filter(|v| !post_set.contains(v)).cloned().collect();
+    if !plus.is_empty() {
+        delta.plus.entry((db.clone(), rel.clone())).or_default().extend(plus);
+    }
+    if !minus.is_empty() {
+        delta.minus.entry((db.clone(), rel.clone())).or_default().extend(minus);
+    }
+    Some(())
+}
+
+/// Per-view support bookkeeping carried by the engine (and persisted by
+/// the durable layer) so a restart can resume incremental maintenance
+/// instead of silently falling back to a full rebuild.
+///
+/// The counts are *coarse* — row counts per maintained view, not
+/// per-derivation multiplicities. Retraction correctness never depends on
+/// them: the deletion cascade rederives exactly. They exist so state
+/// handoff (snapshot → restart) is checkable: a fingerprint mismatch with
+/// the installed rules discards the state and rebuilds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaintainedViews {
+    /// Fingerprint of the rule set the state was computed under (each
+    /// rule's canonical display form, in installation order).
+    pub rules: Vec<String>,
+    /// One entry per maintained derived relation.
+    pub views: Vec<ViewSupport>,
+}
+
+/// Support entry for one maintained derived relation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ViewSupport {
+    /// Database name.
+    pub db: String,
+    /// Relation name.
+    pub rel: String,
+    /// Rows currently derived into the relation.
+    pub rows: usize,
+}
+
+impl MaintainedViews {
+    /// Recomputes the state from a freshly materialised store: one entry
+    /// per derived relation the catalog covers.
+    pub fn recompute(
+        store: &Store,
+        catalog: &crate::rules::DerivedCatalog,
+        rules: &[Rule],
+    ) -> MaintainedViews {
+        let mut views = Vec::new();
+        for db in store.database_names() {
+            if !catalog.touches_db(db.as_str()) {
+                continue;
+            }
+            let Ok(rels) = store.relation_names(db.as_str()) else { continue };
+            for rel in rels {
+                if !catalog.covers_relation(db.as_str(), rel.as_str()) {
+                    continue;
+                }
+                if let Ok(set) = store.relation(db.as_str(), rel.as_str()) {
+                    views.push(ViewSupport {
+                        db: db.as_str().to_string(),
+                        rel: rel.as_str().to_string(),
+                        rows: set.len(),
+                    });
+                }
+            }
+        }
+        MaintainedViews { rules: rules.iter().map(|r| r.to_string()).collect(), views }
+    }
+
+    /// Whether this state was computed under exactly these rules.
+    pub fn matches_rules(&self, rules: &[Rule]) -> bool {
+        self.rules.len() == rules.len()
+            && self.rules.iter().zip(rules).all(|(s, r)| *s == r.to_string())
+    }
+
+    /// Applies one maintenance pass's net row changes and GCs.
+    pub fn apply(&mut self, outcome: &MaintainOutcome) {
+        let mut index: BTreeMap<(String, String), usize> = self
+            .views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ((v.db.clone(), v.rel.clone()), i))
+            .collect();
+        for ((db, rel), rows) in &outcome.plus {
+            let key = (db.as_str().to_string(), rel.as_str().to_string());
+            match index.get(&key) {
+                Some(&i) => self.views[i].rows += rows.len(),
+                None => {
+                    index.insert(key.clone(), self.views.len());
+                    self.views.push(ViewSupport { db: key.0, rel: key.1, rows: rows.len() });
+                }
+            }
+        }
+        for ((db, rel), rows) in &outcome.minus {
+            let key = (db.as_str().to_string(), rel.as_str().to_string());
+            if let Some(&i) = index.get(&key) {
+                self.views[i].rows = self.views[i].rows.saturating_sub(rows.len());
+            }
+        }
+        for pat in &outcome.gcd {
+            if let (Some(db), Some(rel)) = (&pat.db, &pat.rel) {
+                self.views.retain(|v| !(v.db == db.as_str() && v.rel == rel.as_str()));
+            }
+        }
+        self.views.sort_by(|a, b| (&a.db, &a.rel).cmp(&(&b.db, &b.rel)));
+    }
+
+    /// Number of support entries currently tracked.
+    pub fn entry_count(&self) -> usize {
+        self.views.len()
+    }
+}
+
+impl RuleEngine {
+    /// Incrementally maintains the derived views after one update, given
+    /// the update's row-level [`UpdateDelta`]. Returns `Ok(None)` when
+    /// the pass cannot maintain exactly (the caller must fall back to a
+    /// full refresh) and `Ok(Some(outcome))` when the store now matches
+    /// what a full rebuild would produce.
+    pub fn maintain_cached(
+        &self,
+        store: &mut Store,
+        delta: &UpdateDelta,
+        opts: EvalOptions,
+        cache: Option<&mut PlanCache>,
+    ) -> EvalResult<Option<MaintainOutcome>> {
+        if !(self.semi_naive && opts.semi_naive) {
+            return Ok(None);
+        }
+        let mut stats = FixpointStats::default();
+        let set = self.build_plan_set(opts, None, cache, &mut stats)?;
+        // Stratum index per rule, for the rederive cross-stratum guard.
+        let mut rule_stratum = vec![0usize; self.rules.len()];
+        for (si, stratum) in self.strata.iter().enumerate() {
+            for &ri in stratum {
+                rule_stratum[ri] = si;
+            }
+        }
+        // Deltas carried into each stratum: the base update's rows plus
+        // every derived change made by the strata already maintained.
+        let mut carry_plus: DeltaTable = delta.plus.clone();
+        let mut carry_minus: DeltaTable = delta.minus.clone();
+        let mut out = MaintainOutcome::default();
+        let mut m = MaintenanceStats::default();
+        for (si, stratum) in self.strata.iter().enumerate() {
+            let carry_pats: Vec<PredPat> = carry_plus
+                .keys()
+                .chain(carry_minus.keys())
+                .map(|(db, rel)| PredPat { db: Some(db.clone()), rel: Some(rel.clone()) })
+                .collect();
+            let woken = stratum.iter().any(|&ri| {
+                self.body_refs[ri].iter().any(|br| carry_pats.iter().any(|c| br.pat.overlaps(c)))
+            });
+            if !woken {
+                // Nothing this stratum reads changed: skip it entirely.
+                stats.rules_skipped += stratum.len();
+                continue;
+            }
+            if stratum.iter().any(|&ri| head_is_scalar_rule(&self.rules[ri])) {
+                // Scalar (`=`) heads have last-write-wins semantics a
+                // delta pass cannot maintain — and an intra-stratum delta
+                // could wake one mid-fixpoint, so the whole stratum bails.
+                return Ok(None);
+            }
+            // --- deletion cascade (DRed: over-approximate, rederive) ---
+            let mut pend_plus: DeltaTable = carry_plus.clone();
+            let mut pend_minus: DeltaTable = carry_minus.clone();
+            loop {
+                let victims = match self.find_victims(
+                    store,
+                    stratum,
+                    &pend_plus,
+                    &pend_minus,
+                    opts,
+                    &mut stats,
+                )? {
+                    Some(v) => v,
+                    None => return Ok(None),
+                };
+                // Keep only victims actually present in the store.
+                let mut present: BTreeMap<(Name, Name), Vec<Value>> = BTreeMap::new();
+                for ((db, rel), rows) in victims {
+                    let Ok(set) = store.relation(db.as_str(), rel.as_str()) else { continue };
+                    let rows: Vec<Value> = rows.into_iter().filter(|r| set.contains(r)).collect();
+                    if !rows.is_empty() {
+                        present.insert((db, rel), rows);
+                    }
+                }
+                if present.is_empty() {
+                    break;
+                }
+                // Overestimate: delete every victim, then rederive from
+                // what remains (cyclic self-support cannot save a row).
+                for ((db, rel), rows) in &present {
+                    store
+                        .delete_where(db.as_str(), rel.as_str(), |v| rows.contains(v))
+                        .map_err(|e| EvalError::Storage(e.to_string()))?;
+                }
+                let survivors = match self.rederive(
+                    store,
+                    &present,
+                    &rule_stratum,
+                    si,
+                    &set.plans,
+                    opts,
+                    &mut stats,
+                )? {
+                    Some(s) => s,
+                    None => return Ok(None),
+                };
+                let mut next_minus: DeltaTable = BTreeMap::new();
+                for ((db, rel), rows) in present {
+                    let kept = survivors.get(&(db.clone(), rel.clone()));
+                    let mut gone: Vec<Value> = Vec::new();
+                    for row in rows {
+                        if kept.is_some_and(|k| k.contains(&row)) {
+                            store
+                                .insert(db.clone(), rel.clone(), row)
+                                .map_err(|e| EvalError::Storage(e.to_string()))?;
+                        } else {
+                            gone.push(row);
+                        }
+                    }
+                    if !gone.is_empty() {
+                        next_minus.insert((db, rel), gone);
+                    }
+                }
+                if next_minus.is_empty() {
+                    break;
+                }
+                for ((db, rel), rows) in &next_minus {
+                    carry_minus
+                        .entry((db.clone(), rel.clone()))
+                        .or_default()
+                        .extend(rows.iter().cloned());
+                    out.minus
+                        .entry((db.clone(), rel.clone()))
+                        .or_default()
+                        .extend(rows.iter().cloned());
+                }
+                pend_plus = BTreeMap::new();
+                pend_minus = next_minus;
+            }
+            // --- insert pass: seeded semi-naive fixpoint -------------
+            // Deletions are seeded as *coarse* patterns: a rule reading a
+            // shrunk relation through negation may now derive new rows,
+            // and only a full evaluation can find them.
+            let seed = DeltaLog {
+                rels: carry_plus.clone(),
+                coarse: carry_minus
+                    .keys()
+                    .map(|(db, rel)| PredPat { db: Some(db.clone()), rel: Some(rel.clone()) })
+                    .collect(),
+                new_rels: Vec::new(),
+            };
+            let mut accum = DeltaLog::default();
+            self.run_stratum(
+                store,
+                stratum,
+                opts,
+                &set.plans,
+                &set.variants,
+                &set.delta_ok,
+                &mut stats,
+                Some(seed),
+                Some(&mut accum),
+            )?;
+            if !accum.coarse.is_empty() {
+                // The pass produced writes the delta model cannot carry
+                // (nested sets, whole-db effects): hand over to repair.
+                return Ok(None);
+            }
+            for ((db, rel), rows) in accum.rels {
+                carry_plus
+                    .entry((db.clone(), rel.clone()))
+                    .or_default()
+                    .extend(rows.iter().cloned());
+                out.plus.entry((db, rel)).or_default().extend(rows);
+            }
+            // --- schematic GC: deleted-from, now-empty, data-dependent -
+            let catalog = self.derived_catalog();
+            let deleted_rels: Vec<(Name, Name)> = carry_minus.keys().cloned().collect();
+            for (db, rel) in deleted_rels {
+                let Ok(set) = store.relation(db.as_str(), rel.as_str()) else { continue };
+                if !set.is_empty() || !catalog.covers_relation(db.as_str(), rel.as_str()) {
+                    continue;
+                }
+                let constant_head = self
+                    .head_pats
+                    .iter()
+                    .any(|p| p.db.as_ref() == Some(&db) && p.rel.as_ref() == Some(&rel));
+                if constant_head {
+                    continue; // constant-head skeletons exist even empty
+                }
+                store
+                    .drop_relation(db.as_str(), rel.as_str())
+                    .map_err(|e| EvalError::Storage(e.to_string()))?;
+                out.gcd.push(PredPat { db: Some(db.clone()), rel: Some(rel.clone()) });
+                m.schematic_gcs += 1;
+            }
+        }
+        out.gcd.sort();
+        out.gcd.dedup();
+        stats.new_relations.sort();
+        stats.new_relations.dedup();
+        m.delta_rules_run = stats.rule_evals;
+        let touched: BTreeSet<&(Name, Name)> = out.plus.keys().chain(out.minus.keys()).collect();
+        m.views_maintained = touched.len()
+            + out
+                .gcd
+                .iter()
+                .filter(|p| match (&p.db, &p.rel) {
+                    (Some(db), Some(rel)) => !touched.contains(&(db.clone(), rel.clone())),
+                    _ => true,
+                })
+                .count();
+        stats.maintenance = m;
+        out.stats = stats;
+        Ok(Some(out))
+    }
+
+    /// One deletion-cascade round's victim over-approximation: evaluates
+    /// every triggered rule's victim queries against the *pre-round*
+    /// store and extracts candidate head facts. `Ok(None)` = a triggered
+    /// occurrence had a shape the rewriter cannot handle (bail).
+    #[allow(clippy::too_many_arguments)]
+    fn find_victims(
+        &self,
+        store: &Store,
+        woken: &[usize],
+        pend_plus: &DeltaTable,
+        pend_minus: &DeltaTable,
+        opts: EvalOptions,
+        stats: &mut FixpointStats,
+    ) -> EvalResult<Option<DeltaTable>> {
+        // Collect (rule, changed rel, polarity) triggers first; if none,
+        // skip the old-store restoration entirely.
+        let mut triggers: Vec<(usize, Name, Name, bool)> = Vec::new();
+        for &ri in woken {
+            for br in &self.body_refs[ri] {
+                let pend = if br.negated { pend_plus } else { pend_minus };
+                for (db, rel) in pend.keys() {
+                    let concrete = PredPat { db: Some(db.clone()), rel: Some(rel.clone()) };
+                    if br.pat.overlaps(&concrete) {
+                        triggers.push((ri, db.clone(), rel.clone(), br.negated));
+                    }
+                }
+            }
+        }
+        triggers.sort();
+        triggers.dedup();
+        if triggers.is_empty() {
+            return Ok(Some(BTreeMap::new()));
+        }
+        // Pre-round store: O(1) universe clone with the pending frontier
+        // restored (Δ⁺ removed, Δ⁻ re-added) so a derivation whose *other*
+        // premises also changed this round is still found, plus marker
+        // databases holding the delta rows the victim queries scan.
+        let mut old = Store::from_universe(store.universe().clone())
+            .map_err(|e| EvalError::Storage(e.to_string()))?;
+        for ((db, rel), rows) in pend_plus {
+            if old.relation(db.as_str(), rel.as_str()).is_ok() {
+                old.delete_where(db.as_str(), rel.as_str(), |v| rows.contains(v))
+                    .map_err(|e| EvalError::Storage(e.to_string()))?;
+            }
+        }
+        for ((db, rel), rows) in pend_minus {
+            if old.relation(db.as_str(), rel.as_str()).is_err() {
+                old.create_relation(db.clone(), rel.clone())
+                    .map_err(|e| EvalError::Storage(e.to_string()))?;
+            }
+            for row in rows {
+                old.insert(db.clone(), rel.clone(), row.clone())
+                    .map_err(|e| EvalError::Storage(e.to_string()))?;
+            }
+        }
+        let mut marker_filled: BTreeSet<(Name, Name)> = BTreeSet::new();
+        for (_, db, rel, negated) in &triggers {
+            if !marker_filled.insert((db.clone(), rel.clone())) {
+                continue;
+            }
+            let mdb = marker_db(db);
+            old.create_relation(mdb.clone(), rel.clone())
+                .map_err(|e| EvalError::Storage(e.to_string()))?;
+            let rows = if *negated { pend_plus.get(&(db.clone(), rel.clone())) } else { None }
+                .or_else(|| pend_minus.get(&(db.clone(), rel.clone())))
+                .or_else(|| pend_plus.get(&(db.clone(), rel.clone())));
+            if let Some(rows) = rows {
+                for row in rows {
+                    old.insert(mdb.clone(), rel.clone(), row.clone())
+                        .map_err(|e| EvalError::Storage(e.to_string()))?;
+                }
+            }
+        }
+        let mut victims: BTreeMap<(Name, Name), Vec<Value>> = BTreeMap::new();
+        let ev = Evaluator::new(&old, opts);
+        for (ri, db, rel, negated) in &triggers {
+            let rule = &self.rules[*ri];
+            let Some(bodies) = victim_bodies(rule, db, rel, *negated) else {
+                return Ok(None);
+            };
+            for body in bodies {
+                stats.rule_evals += 1;
+                stats.full_evals += 1;
+                // A moding break the placement heuristic missed is a shape
+                // the rewriter cannot handle: bail to the refresh path.
+                let substs = match ev.eval_items(&body, vec![Subst::new()]) {
+                    Ok(s) => s,
+                    Err(EvalError::Uninstantiated(_)) => return Ok(None),
+                    Err(e) => return Err(e),
+                };
+                for s in &substs {
+                    let Some((vdb, vrel, row)) = head_fact(&rule.head, s) else {
+                        return Ok(None);
+                    };
+                    victims.entry((vdb, vrel)).or_default().push(row);
+                }
+            }
+        }
+        for rows in victims.values_mut() {
+            rows.sort();
+            rows.dedup();
+        }
+        Ok(Some(victims))
+    }
+
+    /// Exact rederivation of deletion-cascade victims: every rule whose
+    /// head overlaps a victim relation re-runs in full against the
+    /// post-deletion store; rows it still derives survive. `Ok(None)` =
+    /// an overlapping rule cannot be head-extracted or lives in a later
+    /// stratum (bail).
+    #[allow(clippy::too_many_arguments)]
+    fn rederive(
+        &self,
+        store: &Store,
+        present: &DeltaTable,
+        rule_stratum: &[usize],
+        current_stratum: usize,
+        plans: &[Option<std::sync::Arc<crate::physical::CompiledItems>>],
+        opts: EvalOptions,
+        stats: &mut FixpointStats,
+    ) -> EvalResult<Option<RederivedRows>> {
+        let victim_pats: Vec<PredPat> = present
+            .keys()
+            .map(|(db, rel)| PredPat { db: Some(db.clone()), rel: Some(rel.clone()) })
+            .collect();
+        let deriving: Vec<usize> = (0..self.rules.len())
+            .filter(|&ri| victim_pats.iter().any(|p| self.head_pats[ri].overlaps(p)))
+            .collect();
+        if deriving.iter().any(|&ri| rule_stratum[ri] > current_stratum) {
+            return Ok(None);
+        }
+        let mut survivors: BTreeMap<(Name, Name), BTreeSet<Value>> = BTreeMap::new();
+        let ev = Evaluator::new(store, opts);
+        for &ri in &deriving {
+            stats.rule_evals += 1;
+            stats.full_evals += 1;
+            let substs = match &plans[ri] {
+                Some(plan) => ev.eval_compiled(plan, vec![Subst::new()])?,
+                None => ev.eval_items(&self.rules[ri].body, vec![Subst::new()])?,
+            };
+            for s in &substs {
+                let Some((db, rel, row)) = head_fact(&self.rules[ri].head, s) else {
+                    return Ok(None);
+                };
+                let key = (db, rel);
+                if present.get(&key).is_some_and(|rows| rows.contains(&row)) {
+                    survivors.entry(key).or_default().insert(row);
+                }
+            }
+        }
+        Ok(Some(survivors))
+    }
+}
+
+/// Whether a rule's head contains a scalar (`=`) write (not maintainable).
+fn head_is_scalar_rule(rule: &Rule) -> bool {
+    fn scan(e: &Expr) -> bool {
+        match e {
+            Expr::Atomic(..) => true,
+            Expr::Tuple(fields) => fields.iter().any(|f| scan(&f.expr)),
+            _ => false,
+        }
+    }
+    scan(&rule.head)
+}
+
+/// Extracts the concrete `(db, rel, row)` a head produces under one
+/// grounding substitution. `None` for head shapes the maintenance pass
+/// cannot decompose (multi-field heads, non-set leaves, unbindable
+/// attribute variables) — the caller bails to the refresh path.
+fn head_fact(head: &Expr, subst: &Subst) -> Option<(Name, Name, Value)> {
+    let Expr::Tuple(fields) = head else { return None };
+    let [f] = fields.as_slice() else { return None };
+    let db = attr_name(&f.attr, subst)?;
+    let Expr::Tuple(inner) = &f.expr else { return None };
+    let [g] = inner.as_slice() else { return None };
+    let rel = attr_name(&g.attr, subst)?;
+    let Expr::Set(row) = &g.expr else { return None };
+    let row = materialize(row, subst).ok()?;
+    Some((db, rel, row))
+}
+
+/// Resolves a head attribute position to a name under a substitution,
+/// with the same displayable-atom coercion as `make_true`.
+fn attr_name(attr: &AttrTerm, subst: &Subst) -> Option<Name> {
+    match attr {
+        AttrTerm::Const(n) => Some(n.clone()),
+        AttrTerm::Var(v) => match subst.get(v)? {
+            Value::Atom(Atom::Str(n)) => Some(n.clone()),
+            Value::Atom(a) if !a.is_null() => Some(Name::new(a.to_string())),
+            _ => None,
+        },
+    }
+}
+
+/// Whether a rewritten marker scan can ground itself when evaluated
+/// first: every atomic either unifies (`=` binds its variable from the
+/// scanned row) or compares against a fully-ground term. A non-equality
+/// comparison with a variable (or arithmetic) operand needs bindings
+/// from *other* subgoals, so the scan cannot lead the join.
+fn self_grounding(expr: &Expr) -> bool {
+    match expr {
+        Expr::Atomic(op, term) => match term {
+            Term::Const(_) => true,
+            Term::Var(_) => *op == RelOp::Eq,
+            Term::Arith(..) => false,
+        },
+        Expr::Tuple(fields) => fields.iter().all(|f| self_grounding(&f.expr)),
+        Expr::Not(inner) | Expr::Set(inner) => self_grounding(inner),
+        Expr::Constraint(..) => false,
+        Expr::Epsilon => true,
+        _ => false,
+    }
+}
+
+/// Builds the victim-query bodies for one `(rule, changed relation,
+/// polarity)` trigger: one body per matching subgoal occurrence, each
+/// being the rule body with that occurrence replaced by a *positive* scan
+/// over the marker database holding the round's delta rows (placed first,
+/// so the tiny Δ relation drives the join). `None` = an occurrence sits
+/// in a shape the rewriter cannot handle.
+fn victim_bodies(rule: &Rule, db: &Name, rel: &Name, negated: bool) -> Option<Vec<Vec<Expr>>> {
+    let mdb = marker_db(db);
+    // (item index, field index, inner index or None for db-level `¬`)
+    let mut occurrences: Vec<(usize, usize, Option<usize>)> = Vec::new();
+    for (ii, item) in rule.body.iter().enumerate() {
+        match item {
+            Expr::Tuple(fields) => {
+                for (fi, f) in fields.iter().enumerate() {
+                    let fdb = match &f.attr {
+                        AttrTerm::Const(n) => Some(n),
+                        AttrTerm::Var(_) => None,
+                    };
+                    let db_overlaps = fdb.is_none_or(|d| d == db);
+                    match &f.expr {
+                        Expr::Tuple(inner) => {
+                            for (gi, g) in inner.iter().enumerate() {
+                                let grel = match &g.attr {
+                                    AttrTerm::Const(n) => Some(n),
+                                    AttrTerm::Var(_) => None,
+                                };
+                                let gneg = matches!(g.expr, Expr::Not(_));
+                                if gneg == negated && db_overlaps && grel.is_none_or(|r| r == rel) {
+                                    // bail on a variable db position
+                                    fdb?;
+                                    occurrences.push((ii, fi, Some(gi)));
+                                }
+                            }
+                        }
+                        Expr::Not(inner) => match inner.as_ref() {
+                            Expr::Tuple(inner_fields) => {
+                                for g in inner_fields {
+                                    let grel = match &g.attr {
+                                        AttrTerm::Const(n) => Some(n),
+                                        AttrTerm::Var(_) => None,
+                                    };
+                                    if negated && db_overlaps && grel.is_none_or(|r| r == rel) {
+                                        if fdb.is_none() || inner_fields.len() != 1 {
+                                            return None;
+                                        }
+                                        occurrences.push((ii, fi, None));
+                                    }
+                                }
+                            }
+                            _ => {
+                                if negated && db_overlaps {
+                                    return None;
+                                }
+                            }
+                        },
+                        _ => {
+                            // Fallback reference `{db, rel: None}` at the
+                            // outer polarity: a matching trigger cannot be
+                            // rewritten.
+                            if !negated && db_overlaps {
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::Not(_) | Expr::Set(_) => {
+                // References inside whole-item negation/set shapes: check
+                // whether the trigger could hide in here; if so, bail.
+                let mut refs = Vec::new();
+                crate::rules::collect_refs(item, false, &mut refs);
+                let concrete = PredPat { db: Some(db.clone()), rel: Some(rel.clone()) };
+                if refs.iter().any(|br| br.negated == negated && br.pat.overlaps(&concrete)) {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut bodies = Vec::new();
+    for (ii, fi, gi) in occurrences {
+        let mut body = rule.body.clone();
+        let Expr::Tuple(fields) = &mut body[ii] else { unreachable!() };
+        let f = &fields[fi];
+        let marker_item = match gi {
+            Some(gi) => {
+                let Expr::Tuple(inner) = &f.expr else { unreachable!() };
+                let g = &inner[gi];
+                let rewritten = Field {
+                    sign: g.sign,
+                    attr: g.attr.clone(),
+                    expr: match &g.expr {
+                        Expr::Not(x) => (**x).clone(),
+                        other => other.clone(),
+                    },
+                };
+                let marker = Expr::Tuple(vec![Field {
+                    sign: None,
+                    attr: AttrTerm::Const(mdb.clone()),
+                    expr: Expr::Tuple(vec![rewritten]),
+                }]);
+                // Remove the replaced subgoal from the original field.
+                let mut rest = inner.clone();
+                rest.remove(gi);
+                if rest.is_empty() {
+                    fields.remove(fi);
+                } else {
+                    fields[fi].expr = Expr::Tuple(rest);
+                }
+                marker
+            }
+            None => {
+                let Expr::Not(inner) = &f.expr else { unreachable!() };
+                let Expr::Tuple(inner_fields) = inner.as_ref() else { unreachable!() };
+                let g = inner_fields[0].clone();
+                let marker = Expr::Tuple(vec![Field {
+                    sign: None,
+                    attr: AttrTerm::Const(mdb.clone()),
+                    expr: Expr::Tuple(vec![g]),
+                }]);
+                fields.remove(fi);
+                marker
+            }
+        };
+        if let Expr::Tuple(fields) = &body[ii] {
+            if fields.is_empty() {
+                body.remove(ii);
+            }
+        }
+        // The tiny Δ scan drives the join from the front — but only when
+        // it can ground itself. A subgoal like `.clsPrice>P` compares
+        // against a variable another subgoal binds, so hoisting it would
+        // break the rule's moding; keep it at its original position
+        // instead (anything it reads was bound before it in the source
+        // order).
+        let at = if self_grounding(&marker_item) { 0 } else { ii.min(body.len()) };
+        body.insert(at, marker_item);
+        bodies.push(body);
+    }
+    Some(bodies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleEngine;
+    use idl_lang::{parse_statement, Statement};
+    use idl_object::universe::stock_universe;
+
+    fn rule(src: &str) -> Rule {
+        match parse_statement(src).unwrap() {
+            Statement::Rule(r) => r,
+            _ => panic!("not a rule: {src}"),
+        }
+    }
+
+    fn base_store() -> Store {
+        Store::from_universe(stock_universe(vec![
+            ("3/3/85", "hp", 50.0),
+            ("3/3/85", "ibm", 160.0),
+            ("3/4/85", "hp", 62.0),
+        ]))
+        .unwrap()
+    }
+
+    fn opts() -> EvalOptions {
+        EvalOptions::default().with_threads(1).with_compile(true).with_semi_naive(true)
+    }
+
+    fn fingerprint(store: &Store) -> String {
+        idl_storage::persist::to_json(store).unwrap()
+    }
+
+    /// Runs an update request against a store, returning its row diff.
+    fn apply(store: &mut Store, src: &str) -> UpdateDelta {
+        let Statement::Request(req) = parse_statement(src).unwrap() else { panic!() };
+        let pre = store.universe().clone();
+        let v = store.version();
+        crate::request::run_request(
+            store,
+            &crate::program::ProgramRegistry::new(),
+            &crate::rules::DerivedCatalog::empty(),
+            &req,
+            opts(),
+        )
+        .unwrap();
+        let scopes: Vec<_> = store.changes_since(v).iter().map(|c| c.scope.clone()).collect();
+        diff_update(&pre, store.universe(), &scopes).expect("row diff extractable")
+    }
+
+    /// The differential harness: maintain must land on the exact store a
+    /// full rebuild produces.
+    fn check_maintain(rules: Vec<Rule>, updates: &[&str]) -> MaintenanceStats {
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut maintained = base_store();
+        engine.materialize(&mut maintained, opts()).unwrap();
+        let mut last = MaintenanceStats::default();
+        for update in updates {
+            let delta = apply(&mut maintained, update);
+            let outcome = engine
+                .maintain_cached(&mut maintained, &delta, opts(), None)
+                .unwrap()
+                .expect("maintainable");
+            last = outcome.stats.maintenance.clone();
+
+            // Reference: rebuild from the same base data.
+            let mut reference = base_store();
+            for done in updates.iter().take_while(|u| *u != update).chain([update]) {
+                apply(&mut reference, done);
+            }
+            // Rebuild derived state from scratch.
+            let mut fresh = Store::from_universe(reference.universe().clone()).unwrap();
+            for db in engine.derived_databases() {
+                if fresh.has_database(db.as_str()) {
+                    let rels = fresh.relation_names(db.as_str()).unwrap();
+                    for rel in rels {
+                        fresh.drop_relation(db.as_str(), rel.as_str()).unwrap();
+                    }
+                }
+            }
+            engine.materialize(&mut fresh, opts()).unwrap();
+            assert_eq!(
+                fingerprint(&maintained),
+                fingerprint(&fresh),
+                "maintained ≠ rebuilt after {update}"
+            );
+        }
+        last
+    }
+
+    #[test]
+    fn insert_maintains_union_view() {
+        let stats = check_maintain(
+            vec![rule(
+                ".dbI.p(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)",
+            )],
+            &["?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)"],
+        );
+        assert_eq!(stats.views_maintained, 1);
+        assert!(stats.delta_rules_run >= 1);
+    }
+
+    #[test]
+    fn delete_cascades_with_exact_rederivation() {
+        // hp appears on two dates; deleting one quote must keep the other
+        // derivation alive (rederive), deleting both must empty it.
+        check_maintain(
+            vec![rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)")],
+            &[
+                "?.euter.r-(.date=3/3/85,.stkCode=hp,.clsPrice=50)",
+                "?.euter.r-(.date=3/4/85,.stkCode=hp,.clsPrice=62)",
+            ],
+        );
+    }
+
+    #[test]
+    fn insert_through_negation_deletes_dependents() {
+        // `only` holds stocks absent from ource; inserting a new ource
+        // relation is a schema change (bails), but inserting a row into
+        // an *existing* negated relation must delete dependent rows.
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".dbI.lone(.stk=S) <- .dbI.p(.stk=S), .chwab.r¬(.S>0)"),
+        ];
+        check_maintain(rules, &["?.chwab.r+(.date=9/9/99, .hp=1, .ibm=2)"]);
+    }
+
+    #[test]
+    fn negated_comparison_against_body_variable_is_maintained() {
+        // The negated subgoal compares against P, bound by the positive
+        // subgoal: the victim rewrite must not hoist the Δ scan above
+        // P's binding (it stays at its source position instead).
+        let rules = vec![
+            rule(".dbU.q(.stk=S,.clsPrice=P) <- .euter.r(.stkCode=S,.clsPrice=P)"),
+            rule(
+                ".dbHi.h(.stk=S,.clsPrice=P) <- .euter.r(.stkCode=S,.clsPrice=P), \
+                 .dbU.q¬(.stk=S,.clsPrice>P)",
+            ),
+        ];
+        check_maintain(
+            rules,
+            &[
+                "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=70)",
+                "?.euter.r-(.date=3/9/85,.stkCode=hp,.clsPrice=70)",
+            ],
+        );
+    }
+
+    #[test]
+    fn delete_through_negation_derives_new_rows() {
+        // Deleting the last chwab row for a stock makes `lone` derive it.
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".dbI.lone(.stk=S) <- .dbI.p(.stk=S), .chwab.r¬(.S>0)"),
+        ];
+        check_maintain(rules, &["?.chwab.r-(.date=3/3/85)", "?.chwab.r-(.date=3/4/85)"]);
+    }
+
+    #[test]
+    fn schematic_create_and_gc_roundtrip() {
+        // A higher-order head derives one relation per stock: a new stock
+        // materialises a relation (schematic create), retracting its only
+        // quote GCs it again.
+        let rules =
+            vec![rule(".dbO.S(.date=D,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)")];
+        let create =
+            check_maintain(rules.clone(), &["?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)"]);
+        assert_eq!(create.schematic_gcs, 0);
+        let gc = check_maintain(
+            rules,
+            &[
+                "?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)",
+                "?.euter.r-(.date=3/9/85,.stkCode=sun,.clsPrice=7)",
+            ],
+        );
+        assert_eq!(gc.schematic_gcs, 1, "{gc:?}");
+    }
+
+    #[test]
+    fn scalar_heads_bail_to_refresh() {
+        let rules = vec![rule(".agg.hi=P <- .euter.r(.stkCode=hp,.clsPrice=P)")];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        engine.materialize(&mut store, opts()).unwrap();
+        let delta = apply(&mut store, "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99)");
+        let out = engine.maintain_cached(&mut store, &delta, opts(), None).unwrap();
+        assert!(out.is_none(), "scalar heads cannot be maintained");
+    }
+
+    #[test]
+    fn unrelated_strata_are_skipped() {
+        let rules = vec![
+            rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"),
+            rule(".dbI.q(.d=D) <- .chwab.r(.date=D)"),
+        ];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        engine.materialize(&mut store, opts()).unwrap();
+        let delta = apply(&mut store, "?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)");
+        let out =
+            engine.maintain_cached(&mut store, &delta, opts(), None).unwrap().expect("maintains");
+        // Only the euter-reading rule ran; the chwab rule was skipped.
+        assert!(out.stats.rules_skipped >= 1, "{:?}", out.stats);
+        assert_eq!(out.stats.maintenance.views_maintained, 1, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn maintained_views_bookkeeping_applies_deltas() {
+        let rules = vec![rule(".dbI.p(.stk=S) <- .euter.r(.stkCode=S)")];
+        let engine = RuleEngine::new(rules).unwrap();
+        let mut store = base_store();
+        engine.materialize(&mut store, opts()).unwrap();
+        let mut mv = MaintainedViews::recompute(&store, &engine.derived_catalog(), engine.rules());
+        assert_eq!(mv.entry_count(), 1);
+        assert_eq!(mv.views[0].rows, 2, "hp, ibm");
+        assert!(mv.matches_rules(engine.rules()));
+        let delta = apply(&mut store, "?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)");
+        let out =
+            engine.maintain_cached(&mut store, &delta, opts(), None).unwrap().expect("maintains");
+        mv.apply(&out);
+        assert_eq!(mv.views[0].rows, 3);
+        assert!(!mv.matches_rules(&[rule(".x.y(.a=A) <- .euter.r(.stkCode=A)")]));
+    }
+
+    #[test]
+    fn diff_update_bails_on_schema_changes() {
+        let mut store = base_store();
+        let pre = store.universe().clone();
+        let v = store.version();
+        // Creating a whole new relation slot is a schema change.
+        store.create_relation("euter", "extra").unwrap();
+        let scopes: Vec<_> = store.changes_since(v).iter().map(|c| c.scope.clone()).collect();
+        assert!(diff_update(&pre, store.universe(), &scopes).is_none());
+    }
+}

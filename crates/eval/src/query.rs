@@ -67,6 +67,12 @@ pub struct EvalOptions {
     /// keeps naive full re-evaluation as the reference mode for
     /// differential testing. Query evaluation itself is unaffected.
     pub semi_naive: bool,
+    /// Write-path incremental view maintenance: updates drive their own
+    /// deltas into the maintained views instead of marking the world
+    /// stale for a full re-derivation ([`crate::maintain`]). `false`
+    /// keeps refresh-the-world as the reference mode for differential
+    /// testing. Query evaluation itself is unaffected.
+    pub maintain: bool,
 }
 
 impl Default for EvalOptions {
@@ -78,6 +84,7 @@ impl Default for EvalOptions {
             max_results: None,
             threads: default_threads(),
             semi_naive: default_semi_naive(),
+            maintain: default_maintain(),
         }
     }
 }
@@ -93,6 +100,7 @@ impl EvalOptions {
             max_results: None,
             threads: 1,
             semi_naive: false,
+            maintain: false,
         }
     }
 
@@ -112,6 +120,13 @@ impl EvalOptions {
     /// or off.
     pub fn with_semi_naive(mut self, semi_naive: bool) -> Self {
         self.semi_naive = semi_naive;
+        self
+    }
+
+    /// This configuration with write-path view maintenance switched on or
+    /// off.
+    pub fn with_maintain(mut self, maintain: bool) -> Self {
+        self.maintain = maintain;
         self
     }
 }
@@ -146,6 +161,19 @@ pub fn default_compile() -> bool {
 /// than `""`/`0` (how CI pins the naive reference fixpoint).
 pub fn default_semi_naive() -> bool {
     match std::env::var("IDL_NAIVE_FIXPOINT") {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
+/// The default for [`EvalOptions::maintain`]: `true`, unless the
+/// `IDL_NO_MAINTENANCE` environment variable is set to something other
+/// than `""`/`0` (how CI pins the refresh-the-world reference mode).
+pub fn default_maintain() -> bool {
+    match std::env::var("IDL_NO_MAINTENANCE") {
         Ok(v) => {
             let v = v.trim();
             v.is_empty() || v == "0"

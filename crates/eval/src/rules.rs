@@ -96,9 +96,9 @@ impl PredPat {
 
 /// A reference to a predicate from a rule body, with polarity.
 #[derive(Clone, Debug)]
-struct BodyRef {
-    pat: PredPat,
-    negated: bool,
+pub(crate) struct BodyRef {
+    pub(crate) pat: PredPat,
+    pub(crate) negated: bool,
 }
 
 /// How much of a database is derived (view-materialised).
@@ -253,6 +253,9 @@ pub struct FixpointStats {
     /// Per-stratum telemetry, in evaluation (bottom-up) order. Masked-out
     /// strata are skipped entirely.
     pub strata: Vec<StratumStats>,
+    /// Write-path view maintenance counters ([`crate::maintain`]); all
+    /// zero when the run was a refresh rather than a maintenance pass.
+    pub maintenance: MaintenanceStats,
     /// Structural-sharing activity during this run: O(1) handle clones,
     /// copy-on-write breaks, pointer-equality comparison hits — the delta
     /// of the process-wide [`SharingCounters`] over the run (concurrent
@@ -267,6 +270,35 @@ impl FixpointStats {
     /// shared; see [`SharingCounters::sharing_hit_rate`]).
     pub fn sharing_hit_rate(&self) -> f64 {
         self.sharing.sharing_hit_rate()
+    }
+}
+
+/// Counters for one write-path view maintenance pass
+/// ([`crate::maintain`]): how much derived state an update touched
+/// without a full re-derivation.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Distinct derived `(db, rel)` slots whose contents this pass
+    /// changed (inserted into, deleted from, created or GC'd).
+    pub views_maintained: usize,
+    /// Rule evaluations the pass ran: `(Δ ⋈ full)` insert variants plus
+    /// deletion-cascade victim queries and rederivation checks.
+    pub delta_rules_run: usize,
+    /// Data-dependent relations the pass materialised for the first time
+    /// (schematic creates — a new stock defines a new relation).
+    pub schematic_creates: usize,
+    /// Data-dependent relations the pass emptied and garbage-collected
+    /// (schematic GCs — the last quote for a stock was retracted).
+    pub schematic_gcs: usize,
+    /// Entries in the engine's `MaintainedViews` support bookkeeping
+    /// after the pass (filled by the engine layer).
+    pub support_entries: usize,
+}
+
+impl MaintenanceStats {
+    /// Whether the pass did anything at all.
+    pub fn any(&self) -> bool {
+        *self != MaintenanceStats::default()
     }
 }
 
@@ -296,11 +328,11 @@ pub struct StratumStats {
 /// Compiled, stratified rule set.
 #[derive(Debug)]
 pub struct RuleEngine {
-    rules: Vec<Rule>,
-    head_pats: Vec<PredPat>,
-    body_refs: Vec<Vec<BodyRef>>,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) head_pats: Vec<PredPat>,
+    pub(crate) body_refs: Vec<Vec<BodyRef>>,
     /// Rule indices grouped by stratum, bottom-up.
-    strata: Vec<Vec<usize>>,
+    pub(crate) strata: Vec<Vec<usize>>,
     /// Use relation-granularity semi-naive iteration.
     pub semi_naive: bool,
     /// Iteration safety bound.
@@ -436,10 +468,29 @@ impl RuleEngine {
         store: &mut Store,
         opts: EvalOptions,
         mask: Option<&[bool]>,
-        mut cache: Option<&mut PlanCache>,
+        cache: Option<&mut PlanCache>,
     ) -> EvalResult<FixpointStats> {
         let sharing_before = SharingCounters::snapshot();
         let mut stats = FixpointStats::default();
+        let set = self.build_plan_set(opts, mask, cache, &mut stats)?;
+        let mut stats =
+            self.run_fixpoint(store, opts, mask, &set.plans, &set.variants, &set.delta_ok, stats)?;
+        stats.new_relations.sort();
+        stats.new_relations.dedup();
+        stats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
+        Ok(stats)
+    }
+
+    /// Compiles the plan (and `(Δ ⋈ full)` variant) set for one run:
+    /// shared by [`RuleEngine::materialize_cached`] and the write-path
+    /// maintenance pass ([`crate::maintain`]).
+    pub(crate) fn build_plan_set(
+        &self,
+        opts: EvalOptions,
+        mask: Option<&[bool]>,
+        mut cache: Option<&mut PlanCache>,
+        stats: &mut FixpointStats,
+    ) -> EvalResult<PlanSet> {
         // Compile once per refresh: one plan per masked-in rule body,
         // indexed like `rules`.
         let mut plans: Vec<Option<Arc<CompiledItems>>> = vec![None; self.rules.len()];
@@ -510,12 +561,7 @@ impl RuleEngine {
                     .collect();
             }
         }
-        let mut stats =
-            self.run_fixpoint(store, opts, mask, &plans, &variants, &delta_ok, stats)?;
-        stats.new_relations.sort();
-        stats.new_relations.dedup();
-        stats.sharing = SharingCounters::snapshot().delta_since(&sharing_before);
-        Ok(stats)
+        Ok(PlanSet { plans, variants, delta_ok })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -554,7 +600,9 @@ impl RuleEngine {
             let selected: Vec<usize> =
                 stratum.iter().copied().filter(|&i| mask.is_none_or(|m| m[i])).collect();
             if !selected.is_empty() {
-                self.run_stratum(store, &selected, opts, plans, variants, delta_ok, &mut stats)?;
+                self.run_stratum(
+                    store, &selected, opts, plans, variants, delta_ok, &mut stats, None, None,
+                )?;
             }
         }
         Ok(stats)
@@ -585,7 +633,7 @@ impl RuleEngine {
     /// worker counts, and rules with scalar (`=`) heads always run as
     /// full evaluations so last-write-wins stays schedule-independent.
     #[allow(clippy::too_many_arguments)]
-    fn run_stratum(
+    pub(crate) fn run_stratum(
         &self,
         store: &mut Store,
         stratum: &[usize],
@@ -594,6 +642,8 @@ impl RuleEngine {
         variants: &[Vec<(PredPat, Arc<CompiledItems>)>],
         delta_ok: &[bool],
         stats: &mut FixpointStats,
+        seed: Option<DeltaLog>,
+        mut accum: Option<&mut DeltaLog>,
     ) -> EvalResult<()> {
         let started = std::time::Instant::now();
         let sharing_before = SharingCounters::snapshot();
@@ -606,28 +656,39 @@ impl RuleEngine {
             ..StratumStats::default()
         };
         // What the previous iteration changed. `None` = first round (or
-        // naive mode, which re-runs everything until quiescence).
-        let mut last_delta: Option<DeltaLog> = None;
+        // naive mode, which re-runs everything until quiescence). A
+        // maintenance pass seeds this with the update's own delta so the
+        // very first round is already delta-driven.
+        let mut last_delta: Option<DeltaLog> = seed;
         let outcome = loop {
             stats.iterations += 1;
             sstats.iterations += 1;
             if stats.iterations > self.max_iterations {
                 break Err(EvalError::FixpointDiverged(self.max_iterations));
             }
-            // Which rules run this iteration (semi-naive wake filter,
-            // on the concrete relations + coarse patterns that changed).
-            let changed: Option<Vec<PredPat>> = last_delta.as_ref().map(DeltaLog::changed_patterns);
+            // Which rules run this iteration (semi-naive wake filter).
+            // Coarse patterns wake any body reference; concrete row-level
+            // deltas wake only *positive* references — within a stratum
+            // negated references never overlap the stratum's own deltas
+            // (stratification), and a maintenance seed encodes deletions
+            // feeding negation as coarse patterns, so row deltas reaching
+            // a negated reference can never enable a new derivation.
             let runnable: Vec<usize> = stratum
                 .iter()
                 .copied()
-                .filter(|&ri| match &changed {
-                    Some(ch) if semi => {
-                        self.body_refs[ri].iter().any(|br| ch.iter().any(|c| br.pat.overlaps(c)))
-                    }
+                .filter(|&ri| match last_delta.as_ref() {
+                    Some(d) if semi => self.body_refs[ri].iter().any(|br| {
+                        d.coarse_overlaps(&br.pat)
+                            || (!br.negated
+                                && d.rels.keys().any(|(db, rel)| {
+                                    br.pat.db.as_ref().is_none_or(|x| x == db)
+                                        && br.pat.rel.as_ref().is_none_or(|x| x == rel)
+                                }))
+                    }),
                     _ => true,
                 })
                 .collect();
-            if semi && changed.is_some() {
+            if semi && last_delta.is_some() {
                 let skipped = stratum.len() - runnable.len();
                 stats.rules_skipped += skipped;
                 sstats.rules_skipped += skipped;
@@ -646,8 +707,12 @@ impl RuleEngine {
                     if !(semi && delta_ok[ri]) || d.rels.is_empty() {
                         return None;
                     }
-                    if self.body_refs[ri].iter().any(|br| !br.negated && d.coarse_overlaps(&br.pat))
-                    {
+                    // A coarse change overlapping *any* body reference —
+                    // either polarity — forces a full evaluation: the
+                    // delta table cannot express what changed, and for a
+                    // negated reference the change may *enable* rows the
+                    // delta variants would never see.
+                    if self.body_refs[ri].iter().any(|br| d.coarse_overlaps(&br.pat)) {
                         return None;
                     }
                     let concrete: Vec<PredPat> = d
@@ -766,6 +831,16 @@ impl RuleEngine {
             }
             if semi {
                 stats.new_relations.extend(sink.log.new_rels.iter().cloned());
+                if let Some(acc) = accum.as_deref_mut() {
+                    for ((db, rel), rows) in &sink.log.rels {
+                        acc.rels
+                            .entry((db.clone(), rel.clone()))
+                            .or_default()
+                            .extend(rows.iter().cloned());
+                    }
+                    acc.coarse.extend(sink.log.coarse.iter().cloned());
+                    acc.new_rels.extend(sink.log.new_rels.iter().cloned());
+                }
                 last_delta = Some(sink.log);
             }
         };
@@ -938,6 +1013,15 @@ impl RuleEngine {
     }
 }
 
+/// The compiled artefacts of one run: a plan per masked-in rule plus its
+/// `(Δ ⋈ full)` variants and delta eligibility, indexed like
+/// [`RuleEngine::rules`].
+pub(crate) struct PlanSet {
+    pub(crate) plans: Vec<Option<Arc<CompiledItems>>>,
+    pub(crate) variants: Vec<Vec<(PredPat, Arc<CompiledItems>)>>,
+    pub(crate) delta_ok: Vec<bool>,
+}
+
 /// One unit of fixpoint work inside an iteration.
 struct Task {
     /// Index into the iteration's `runnable` vector.
@@ -990,7 +1074,7 @@ fn head_pattern(head: &Expr) -> PredPat {
 
 /// Collects `(db, rel)` references (with negation polarity) from a body
 /// conjunct. Only the top two attribute levels matter for stratification.
-fn collect_refs(expr: &Expr, negated: bool, out: &mut Vec<BodyRef>) {
+pub(crate) fn collect_refs(expr: &Expr, negated: bool, out: &mut Vec<BodyRef>) {
     fn attr_to_opt(a: &AttrTerm) -> Option<Name> {
         match a {
             AttrTerm::Const(n) => Some(n.clone()),

@@ -189,6 +189,7 @@ pub struct EngineSnapshot {
     store: Store,
     version: Version,
     opts: idl_eval::EvalOptions,
+    maintained: idl_eval::MaintainedViews,
 }
 
 impl EngineSnapshot {
@@ -199,12 +200,20 @@ impl EngineSnapshot {
             store: Store::from_universe(engine.store().universe().clone())?,
             version: engine.store().version(),
             opts: engine.options().eval,
+            maintained: engine.maintained_views().clone(),
         })
     }
 
     /// The store version this snapshot was taken at.
     pub fn version(&self) -> Version {
         self.version
+    }
+
+    /// Per-view support bookkeeping carried from the engine's write-path
+    /// maintenance state — the views this snapshot serves were maintained
+    /// (or rebuilt) up to [`EngineSnapshot::version`].
+    pub fn maintained(&self) -> &idl_eval::MaintainedViews {
+        &self.maintained
     }
 
     /// The snapshotted store (read-only by construction).

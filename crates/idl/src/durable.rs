@@ -99,22 +99,6 @@ impl Default for DurabilityOptions {
     }
 }
 
-impl DurabilityOptions {
-    /// Sets the fsync policy.
-    #[deprecated(note = "use EngineOptions::builder() and .sync(policy).durability()")]
-    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
-        self.sync = sync;
-        self
-    }
-
-    /// Sets the preferred log format.
-    #[deprecated(note = "use EngineOptions::builder() and .log_format(format).durability()")]
-    pub fn with_format(mut self, format: LogFormat) -> Self {
-        self.format = format;
-        self
-    }
-}
-
 /// Counter distinguishing concurrent temp files within one process.
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -221,13 +205,24 @@ impl DurableEngine {
         stats.stale_temps_removed = persist::clean_stale_temps(vfs.as_ref(), &dir)?;
 
         let snap = Self::snapshot_path(&dir);
-        let (mut engine, snap_lsn) = if vfs.exists(&snap) {
-            let (store, lsn) = persist::load_snapshot_vfs(vfs.as_ref(), &snap)?;
-            (Engine::from_store(store), lsn)
+        let (mut engine, snap_lsn, maint_state) = if vfs.exists(&snap) {
+            let (store, lsn, state) = persist::load_snapshot_vfs_with_state(vfs.as_ref(), &snap)?;
+            (Engine::from_store(store), lsn, state)
         } else {
-            (Engine::new(), 0)
+            (Engine::new(), 0, None)
         };
         setup(&mut engine)?;
+        // Adopt persisted maintenance state *after* setup installed the
+        // rules (the adopt checks the rule fingerprint) and *before*
+        // replay, so replayed updates maintain incrementally instead of
+        // silently falling back to a full rebuild. A blob this build
+        // cannot decode, or one whose rules changed, is dropped: the
+        // views stay stale and the refresh path recomputes everything.
+        if let Some(blob) = maint_state {
+            if let Ok(state) = serde_json::from_str::<idl_eval::MaintainedViews>(&blob) {
+                stats.maintenance_state_adopted = engine.adopt_maintained_views(state);
+            }
+        }
 
         let log = Self::log_path_in(&dir);
         let mut lsn = snap_lsn;
@@ -255,7 +250,17 @@ impl DurableEngine {
                 let stmt = parse_statement(&rec.stmt).map_err(|e| {
                     EngineError::Storage(format!("corrupt log at line {}: {e}", rec.line))
                 })?;
+                let runs_before = engine.maintenance_runs();
                 engine.execute_statement(stmt)?;
+                if rec.flags & oplog::FLAG_MAINTENANCE != 0 {
+                    stats.maintenance_records_replayed += 1;
+                    if engine.maintenance_runs() == runs_before {
+                        // The original run maintained this update but the
+                        // replay could not — surface the rebuild instead
+                        // of hiding it.
+                        stats.maintenance_fallbacks += 1;
+                    }
+                }
                 lsn = rec.lsn;
                 stats.records_recovered += 1;
             }
@@ -278,6 +283,18 @@ impl DurableEngine {
                         write_file_atomic(vfs.as_ref(), &log, &oplog::header_bytes(), sync)?;
                         stats.torn_bytes_truncated = recovered.torn_bytes;
                         log_bytes = oplog::HEADER_LEN;
+                    } else if found == LogFormat::Framed
+                        && recovered.version < oplog::FORMAT_VERSION
+                    {
+                        // Upgrade the framing in place (atomically) so
+                        // appends can carry the per-record flags byte —
+                        // mixing record layouts in one file cannot work.
+                        let fresh = oplog::encode_log_flagged(
+                            recovered.records.iter().map(|r| (r.lsn, r.flags, r.stmt.as_str())),
+                        );
+                        write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
+                        stats.torn_bytes_truncated = recovered.torn_bytes;
+                        log_bytes = fresh.len() as u64;
                     } else {
                         if recovered.torn_bytes > 0 {
                             vfs.set_len(&log, recovered.valid_len)
@@ -314,26 +331,6 @@ impl DurableEngine {
             poisoned: None,
             stats,
         })
-    }
-
-    /// The wrapped engine.
-    ///
-    /// Mutating the inner engine directly bypasses the operation log — a
-    /// crash then silently loses those mutations. Use the [`Backend`]
-    /// surface (`execute`/`query`/`update`/`set_options`) instead, and
-    /// install rules/programs via [`DurableEngine::open_with`]'s setup
-    /// callback so they are present *before* the log replays.
-    #[deprecated(
-        note = "direct engine access bypasses the operation log; use the Backend surface or open_with's setup callback"
-    )]
-    pub fn engine(&mut self) -> &mut Engine {
-        &mut self.engine
-    }
-
-    /// Read access to the wrapped engine.
-    #[deprecated(note = "use the Backend surface (stats/options/universe_json) instead")]
-    pub fn engine_ref(&self) -> &Engine {
-        &self.engine
     }
 
     /// The durability directory this engine is rooted at.
@@ -383,11 +380,12 @@ impl DurableEngine {
     }
 
     /// Appends one record and — under [`SyncPolicy::Always`] — fsyncs it
-    /// *before* the caller acknowledges the mutation.
-    fn log_record(&mut self, canonical: &str) -> Result<(), EngineError> {
+    /// *before* the caller acknowledges the mutation. `flags` tags the
+    /// record (legacy line logs cannot carry them and drop the tag).
+    fn log_record(&mut self, canonical: &str, flags: u8) -> Result<(), EngineError> {
         let next = self.lsn + 1;
         let bytes = match self.write_format {
-            LogFormat::Framed => oplog::encode_record(next, canonical),
+            LogFormat::Framed => oplog::encode_record_flagged(next, flags, canonical),
             LogFormat::LegacyLines => format!("{canonical}\n").into_bytes(),
         };
         let log = self.log_path();
@@ -423,11 +421,20 @@ impl DurableEngine {
         match stmt {
             Statement::Request(r) => {
                 let canonical = r.to_string();
+                let runs_before = self.engine.maintenance_runs();
                 let outcome = self.engine.execute_statement(Statement::Request(r))?;
                 let mutated =
                     matches!(&outcome, Outcome::Answers { stats, .. } if stats.total() > 0);
                 if mutated {
-                    self.log_record(&canonical)?;
+                    // Tag updates whose views were maintained in the same
+                    // transaction, so replay can detect a silent
+                    // fall-back to full rebuild.
+                    let maintained = self.engine.maintenance_runs() > runs_before;
+                    let flags = if maintained { oplog::FLAG_MAINTENANCE } else { 0 };
+                    self.log_record(&canonical, flags)?;
+                    if maintained {
+                        self.stats.maintenance_records_appended += 1;
+                    }
                 }
                 Ok(outcome)
             }
@@ -456,7 +463,8 @@ impl DurableEngine {
         match stmt {
             Statement::Request(_) => self.apply(stmt),
             _ => Err(EngineError::Usage(
-                "durable update takes a request; install rules/programs via engine()".into(),
+                "durable update takes a request; install rules/programs via open_with's setup callback"
+                    .into(),
             )),
         }
     }
@@ -468,12 +476,21 @@ impl DurableEngine {
     pub fn checkpoint(&mut self) -> Result<Outcome, EngineError> {
         self.check_poisoned()?;
         let sync = self.opts.sync == SyncPolicy::Always;
-        persist::save_snapshot_vfs(
+        // Persist the maintenance state only when the views actually
+        // match the universe being snapshotted — adopting stale support
+        // counts at the next open would claim freshness the data lacks.
+        let state = if self.engine.views_fresh_now() {
+            serde_json::to_string(self.engine.maintained_views()).ok()
+        } else {
+            None
+        };
+        persist::save_snapshot_vfs_with_state(
             self.vfs.as_ref(),
             self.engine.store(),
             &Self::snapshot_path(&self.dir),
             Some(self.lsn),
             sync,
+            state,
         )?;
         let fresh = match self.write_format {
             LogFormat::Framed => oplog::header_bytes(),
@@ -763,6 +780,57 @@ mod tests {
         let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
         let col = d.query("?.db.r(.a=X)").unwrap();
         assert_eq!(col.column("X").len(), 1, "only the acknowledged update survives");
+    }
+
+    fn install_view(e: &mut Engine) -> Result<(), EngineError> {
+        e.execute(".v.all(.x=X) <- .db.r(.a=X) ;").map(|_| ())
+    }
+
+    #[test]
+    fn checkpointed_maintenance_state_resumes_maintained_replay() {
+        let dir = fresh_dir("maint-ckpt");
+        {
+            let mut d = DurableEngine::open_with(&dir, install_view).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap(); // views stale: unflagged
+            d.query("?.v.all(.x=X)").unwrap(); // refresh materialises .v.all
+            d.update("?.db.r+(.a=2)").unwrap(); // maintained in-transaction
+            assert_eq!(d.durability_stats().maintenance_records_appended, 1);
+            d.checkpoint().unwrap(); // views fresh: state rides the snapshot
+            d.update("?.db.r+(.a=3)").unwrap(); // maintained, in the fresh log
+        }
+        let mut d = DurableEngine::open_with(&dir, install_view).unwrap();
+        let stats = d.durability_stats();
+        assert!(stats.maintenance_state_adopted, "snapshot state must be adopted");
+        assert_eq!(stats.maintenance_records_replayed, 1);
+        assert_eq!(stats.maintenance_fallbacks, 0, "replay maintained, no rebuild");
+        assert_eq!(d.query("?.v.all(.x=X)").unwrap().column("X").len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintenance_replay_fallback_is_detected_not_silent() {
+        let dir = fresh_dir("maint-fallback");
+        {
+            let mut d = DurableEngine::open_with(&dir, install_view).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.query("?.v.all(.x=X)").unwrap();
+            d.update("?.db.r+(.a=2)").unwrap(); // flagged
+        }
+        // Reopen configured without write-path maintenance (the reference
+        // mode): the flagged record replays through the rebuild path, and
+        // the stats must say so instead of pretending.
+        let mut d = DurableEngine::open_with(&dir, |e| {
+            install_view(e)?;
+            e.set_options(crate::engine::EngineOptions::builder().maintain(false).build());
+            Ok(())
+        })
+        .unwrap();
+        let stats = d.durability_stats();
+        assert!(!stats.maintenance_state_adopted, "nothing checkpointed to adopt");
+        assert_eq!(stats.maintenance_records_replayed, 1);
+        assert_eq!(stats.maintenance_fallbacks, 1);
+        assert_eq!(d.query("?.v.all(.x=X)").unwrap().column("X").len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

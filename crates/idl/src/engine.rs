@@ -5,7 +5,7 @@ use crate::outcome::Outcome;
 use idl_eval::analyze::BindingIssue;
 use idl_eval::rules::{DerivedCatalog, DerivedScope, FixpointStats};
 use idl_eval::update::UpdateStats;
-use idl_eval::PredPat;
+use idl_eval::{diff_update, MaintainedViews, PredPat};
 use idl_eval::{
     run_request_cached, AnswerSet, EvalOptions, PlanCache, ProgramRegistry, RuleEngine, Subst,
 };
@@ -54,20 +54,6 @@ impl EngineOptions {
     /// a live engine: `e.set_options(e.options().rebuild().threads(4).build())`.
     pub fn rebuild(self) -> EngineOptionsBuilder {
         EngineOptionsBuilder { engine: self, ..EngineOptionsBuilder::default() }
-    }
-
-    /// This configuration with a fixed fixpoint worker count.
-    #[deprecated(note = "use EngineOptions::builder()/rebuild() and .threads(n).build()")]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.eval = self.eval.with_threads(threads);
-        self
-    }
-
-    /// This configuration with plan compilation switched on or off.
-    #[deprecated(note = "use EngineOptions::builder()/rebuild() and .compile(on).build()")]
-    pub fn with_compile(mut self, compile: bool) -> Self {
-        self.eval = self.eval.with_compile(compile);
-        self
     }
 }
 
@@ -129,6 +115,17 @@ impl EngineOptionsBuilder {
         self
     }
 
+    /// Write-path incremental view maintenance (on by default): update
+    /// requests drive their own row deltas into the maintained views
+    /// instead of marking the world stale. An explicit choice here
+    /// overrides the `IDL_NO_MAINTENANCE=1` environment knob, which only
+    /// steers the [`EvalOptions`] default — that knob is the
+    /// refresh-the-world differential reference mode.
+    pub fn maintain(mut self, on: bool) -> Self {
+        self.engine.eval = self.engine.eval.with_maintain(on);
+        self
+    }
+
     /// Log/snapshot fsync policy for durable backends (the CLI's
     /// `--fsync`).
     pub fn sync(mut self, sync: crate::durable::SyncPolicy) -> Self {
@@ -164,6 +161,13 @@ pub struct Engine {
     options: EngineOptions,
     /// Store version when views were last known fresh; `None` = dirty.
     fresh_at: Option<Version>,
+    /// CoW snapshot of the universe captured when the views last became
+    /// fresh (an O(1) structural-sharing clone). The stale-refresh path
+    /// diffs against it to recover the row delta of whatever bypassed
+    /// write-path maintenance, so repair runs the same delta pass —
+    /// skipping strata with no overlapping deltas entirely — instead of
+    /// the drop-and-rebuild fallback.
+    fresh_universe: Option<(Version, Value)>,
     /// Declared keys/types/foreign-keys, checked after each update request.
     schemas: SchemaSet,
     /// Maintain the queryable `sys` catalog database.
@@ -180,6 +184,14 @@ pub struct Engine {
     /// new `ource`-style relation) — those plans in [`PlanCache`] whose
     /// read set overlaps the newcomer are invalidated.
     seen_derived_rels: BTreeSet<PredPat>,
+    /// Per-view support bookkeeping for write-path maintenance, carried
+    /// into [`crate::backend::EngineSnapshot`] and persisted by the
+    /// durable layer so a restart resumes maintaining instead of
+    /// rebuilding.
+    maintained: MaintainedViews,
+    /// How many updates were absorbed by incremental maintenance (vs
+    /// falling back to the refresh path) since startup.
+    maintenance_runs: u64,
 }
 
 impl Default for Engine {
@@ -209,11 +221,14 @@ impl Engine {
             derived: DerivedCatalog::empty(),
             options: EngineOptions::default(),
             fresh_at: None,
+            fresh_universe: None,
             schemas: SchemaSet::new(),
             sys_enabled: false,
             plan_cache: PlanCache::new(),
             last_stats: FixpointStats::default(),
             seen_derived_rels: BTreeSet::new(),
+            maintained: MaintainedViews::default(),
+            maintenance_runs: 0,
         }
     }
 
@@ -332,6 +347,20 @@ impl Engine {
         if self.options.auto_refresh {
             self.refresh_views_if_stale()?;
         }
+        // Write-path maintenance needs the pre-update universe (an O(1)
+        // CoW clone) to extract the update's row delta afterwards. Only
+        // captured when the views are fresh *now* — maintaining on top of
+        // stale views would bake the staleness in.
+        let pre = if self.options.eval.maintain
+            && self.compiled.is_some()
+            && self.options.semi_naive
+            && !req.is_pure_query()
+            && self.views_fresh_now()
+        {
+            Some((self.store.universe().clone(), self.store.version()))
+        } else {
+            None
+        };
         // Outer transaction so declared-schema enforcement can undo the
         // whole request (run_request's own transaction nests inside).
         let check_schemas = !self.schemas.is_empty() && !req.is_pure_query();
@@ -363,10 +392,126 @@ impl Engine {
                 return Err(EngineError::Schema(violations));
             }
         }
-        // Mutations need no explicit invalidation: staleness is detected
-        // from the storage journal, which also enables incremental
-        // re-derivation of exactly the affected views.
+        // Write-path maintenance: drive the update's own row delta into
+        // the maintained views. On any shape the pass cannot handle it
+        // leaves the views marked stale and the refresh path repairs them
+        // — staleness detection from the storage journal is unchanged and
+        // remains the fallback.
+        if let Some((pre_universe, pre_version)) = pre {
+            if outcome.stats.total() > 0 {
+                self.maintain_after_update(&pre_universe, pre_version)?;
+            }
+        }
         Ok(Outcome::Answers { answers: outcome.answers, stats: outcome.stats })
+    }
+
+    /// Whether the materialised views match the store right now (fresh
+    /// marker set and no base-data change journalled since). Durable
+    /// checkpoints use this to decide whether the maintenance state is
+    /// worth persisting alongside the universe.
+    pub fn views_fresh_now(&self) -> bool {
+        let Some(v) = self.fresh_at else { return false };
+        self.store.changes_since(v).iter().all(|c| {
+            let sys_write = matches!(
+                &c.scope,
+                idl_storage::ChangeScope::Database { db } if db.as_str() == "sys"
+            );
+            sys_write || !self.derived.is_base_change(&c.scope)
+        })
+    }
+
+    /// Marks the views fresh as of the store's current version and
+    /// captures the CoW universe snapshot the stale-refresh delta-repair
+    /// path diffs against.
+    fn mark_fresh(&mut self) {
+        let v = self.store.version();
+        self.fresh_at = Some(v);
+        self.fresh_universe = Some((v, self.store.universe().clone()));
+    }
+
+    /// Runs incremental maintenance for the update journalled between
+    /// `pre_version` and now. On success the views stay fresh and the
+    /// maintained-state bookkeeping advances; on any bail the views are
+    /// marked stale for the refresh/repair path.
+    fn maintain_after_update(
+        &mut self,
+        pre_universe: &Value,
+        pre_version: Version,
+    ) -> Result<(), EngineError> {
+        let scopes: Vec<idl_storage::ChangeScope> =
+            self.store.changes_since(pre_version).iter().map(|c| c.scope.clone()).collect();
+        let Some(delta) = diff_update(pre_universe, self.store.universe(), &scopes) else {
+            // Not expressible as row edits (schema-shaping update): the
+            // refresh path owns it.
+            self.fresh_at = None;
+            return Ok(());
+        };
+        if delta.is_empty() {
+            // No-op update (e.g. a retraction that matched nothing): the
+            // journal recorded a write scope but the contents are
+            // unchanged, so re-mark freshness at the current version —
+            // otherwise the stale check re-diffs this forever.
+            self.mark_fresh();
+            return Ok(());
+        }
+        let maintained = match &self.compiled {
+            Some(c) => c.maintain_cached(
+                &mut self.store,
+                &delta,
+                self.options.eval,
+                Some(&mut self.plan_cache),
+            )?,
+            None => None,
+        };
+        let Some(outcome) = maintained else {
+            self.fresh_at = None;
+            return Ok(());
+        };
+        let mut stats = outcome.stats.clone();
+        // Incrementally created relations are schematic deltas exactly
+        // like in a refresh: register them with the seen-set and
+        // invalidate overlapping plans; GCd ones leave the seen-set so a
+        // reappearance counts as schematic again.
+        self.apply_schematic_deltas(&mut stats, false);
+        stats.maintenance.schematic_creates = stats.schematic_deltas;
+        if !outcome.gcd.is_empty() {
+            for pat in &outcome.gcd {
+                self.seen_derived_rels.remove(pat);
+            }
+            stats.plan_invalidations += self.plan_cache.invalidate_overlapping(&outcome.gcd);
+        }
+        if self.sys_enabled {
+            schema::install_sys_catalog(&mut self.store, &self.schemas)?;
+        }
+        self.maintained.apply(&outcome);
+        stats.maintenance.support_entries = self.maintained.entry_count();
+        self.mark_fresh();
+        self.maintenance_runs += 1;
+        self.last_stats = stats;
+        Ok(())
+    }
+
+    /// Per-view support bookkeeping for write-path maintenance.
+    pub fn maintained_views(&self) -> &MaintainedViews {
+        &self.maintained
+    }
+
+    /// Installs maintenance state recovered by a durable backend. Returns
+    /// `false` (and leaves the views stale) when the state's rule
+    /// fingerprint does not match the installed rules — the refresh path
+    /// then rebuilds and recomputes it.
+    pub fn adopt_maintained_views(&mut self, state: MaintainedViews) -> bool {
+        if !state.matches_rules(&self.rules) {
+            return false;
+        }
+        self.maintained = state;
+        self.mark_fresh();
+        true
+    }
+
+    /// How many updates incremental maintenance absorbed since startup.
+    pub fn maintenance_runs(&self) -> u64 {
+        self.maintenance_runs
     }
 
     // ---- declared schemas & system catalog --------------------------------
@@ -455,7 +600,7 @@ impl Engine {
             if self.sys_enabled {
                 schema::install_sys_catalog(&mut self.store, &self.schemas)?;
             }
-            self.fresh_at = Some(self.store.version());
+            self.mark_fresh();
             return Ok(FixpointStats::default());
         };
         // Clear exactly the derived state: whole databases for
@@ -496,7 +641,9 @@ impl Engine {
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
-        self.fresh_at = Some(self.store.version());
+        self.maintained = MaintainedViews::recompute(&self.store, &self.derived, &self.rules);
+        stats.maintenance.support_entries = self.maintained.entry_count();
+        self.mark_fresh();
         self.last_stats = stats.clone();
         Ok(stats)
     }
@@ -555,6 +702,27 @@ impl Engine {
                 return Ok(FixpointStats::default());
             }
             if self.options.incremental_refresh && self.compiled.is_some() {
+                // Delta repair: diff the current universe against the CoW
+                // snapshot captured when the views were last fresh, and
+                // drive the recovered row delta through the same
+                // maintenance pass the write path uses — strata with no
+                // overlapping deltas are skipped entirely. Any shape the
+                // pass cannot absorb falls through to the masked
+                // drop-and-rebuild below (and with maintenance off this
+                // path is disabled wholesale: refresh-the-world stays the
+                // differential reference mode).
+                if self.options.eval.maintain {
+                    let pre = match &self.fresh_universe {
+                        Some((pv, u)) if *pv == v => Some((*pv, u.clone())),
+                        _ => None,
+                    };
+                    if let Some((pv, pre_universe)) = pre {
+                        self.maintain_after_update(&pre_universe, pv)?;
+                        if self.fresh_at.is_some() {
+                            return Ok(self.last_stats.clone());
+                        }
+                    }
+                }
                 return self.refresh_views_incremental(&changed);
             }
         }
@@ -576,7 +744,7 @@ impl Engine {
             if self.sys_enabled {
                 schema::install_sys_catalog(&mut self.store, &self.schemas)?;
             }
-            self.fresh_at = Some(self.store.version());
+            self.mark_fresh();
             return Ok(FixpointStats::default());
         }
         // Drop exactly the dirty heads so deletions propagate.
@@ -612,7 +780,9 @@ impl Engine {
         if self.sys_enabled {
             schema::install_sys_catalog(&mut self.store, &self.schemas)?;
         }
-        self.fresh_at = Some(self.store.version());
+        self.maintained = MaintainedViews::recompute(&self.store, &self.derived, &self.rules);
+        stats.maintenance.support_entries = self.maintained.entry_count();
+        self.mark_fresh();
         self.last_stats = stats.clone();
         Ok(stats)
     }
@@ -938,6 +1108,8 @@ mod tests {
             .vC.days(.d=D) <- .chwab.r(.date=D) ;
         ";
         let mut e = engine();
+        // Pin maintenance off: this test exercises the refresh path.
+        e.set_options(EngineOptions::builder().maintain(false).build());
         e.add_rules(rules).unwrap();
         e.refresh_views().unwrap(); // full initial build
                                     // touch only euter
@@ -956,6 +1128,29 @@ mod tests {
         e.update("?.euter.r-(.stkCode=zz)").unwrap();
         e.refresh_views_if_stale().unwrap();
         assert!(!e.query("?.vE.all(.stk=zz)").unwrap().is_true());
+    }
+
+    #[test]
+    fn stale_refresh_repairs_through_the_maintenance_pass() {
+        // An update applied with maintenance off leaves the views stale;
+        // re-enabling maintenance before the refresh lets the stale path
+        // recover the row delta from the freshness snapshot and absorb it
+        // as a maintenance pass instead of a drop-and-rebuild.
+        let mut e = engine();
+        e.add_rules(UNIFIED).unwrap();
+        e.refresh_views().unwrap();
+        e.set_options(EngineOptions::builder().maintain(false).build());
+        e.update("?.euter.r+(.date=3/9/85,.stkCode=zz,.clsPrice=7)").unwrap();
+        assert!(!e.views_fresh_now());
+        e.set_options(EngineOptions::builder().maintain(true).build());
+        let runs = e.maintenance_runs();
+        let stats = e.refresh_views_if_stale().unwrap();
+        assert_eq!(e.maintenance_runs(), runs + 1, "repair ran as maintenance: {stats:?}");
+        assert!(e.views_fresh_now());
+        assert!(e.query("?.dbI.p(.stk=zz,.clsPrice=7)").unwrap().is_true());
+        // A second refresh is a no-op — the repair re-marked freshness.
+        let again = e.refresh_views_if_stale().unwrap();
+        assert_eq!(again.iterations, 0, "{again:?}");
     }
 
     #[test]
@@ -1003,7 +1198,13 @@ mod tests {
     fn incremental_matches_full_refresh() {
         let mk = |incremental: bool| {
             let mut e = engine();
-            e.set_options(EngineOptions { incremental_refresh: incremental, ..Default::default() });
+            // Maintenance off on both sides: this differential targets
+            // incremental *refresh* vs full refresh (maintenance has its
+            // own differential battery).
+            e.set_options(EngineOptions {
+                incremental_refresh: incremental,
+                ..EngineOptions::builder().maintain(false).build()
+            });
             e.add_rules(UNIFIED).unwrap();
             e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;")
                 .unwrap();
@@ -1077,8 +1278,12 @@ mod tests {
     fn schematic_delta_invalidates_only_overlapping_plans() {
         let mut e = engine();
         // Pin compile + semi-naive so the schematic counters are live
-        // under the IDL_NO_COMPILE / IDL_NAIVE_FIXPOINT CI legs too.
-        e.set_options(EngineOptions::builder().compile(true).semi_naive(true).build());
+        // under the IDL_NO_COMPILE / IDL_NAIVE_FIXPOINT CI legs too, and
+        // maintenance off: this test exercises the refresh path's
+        // schematic-delta accounting.
+        e.set_options(
+            EngineOptions::builder().compile(true).semi_naive(true).maintain(false).build(),
+        );
         e.add_rules(UNIFIED).unwrap();
         e.add_rules(
             ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P), S != date ;",
@@ -1111,6 +1316,100 @@ mod tests {
         // And the recompiled plan sees the newcomer.
         let rels = e.query("?.dbO.Y(.clsPrice=P)").unwrap();
         assert!(rels.column("Y").contains(&Value::str("sun")), "{rels}");
+    }
+
+    #[test]
+    fn update_maintains_views_without_refresh() {
+        let mut e = engine();
+        e.set_options(EngineOptions::builder().maintain(true).build());
+        e.add_rules(UNIFIED).unwrap();
+        e.query("?.dbI.p(.stk=hp)").unwrap(); // initial build
+        assert_eq!(e.maintenance_runs(), 0);
+        e.update("?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=7)").unwrap();
+        // The update maintained in place: no staleness, no refresh later.
+        assert_eq!(e.maintenance_runs(), 1);
+        let v = e.store().version();
+        assert!(e.query("?.dbI.p(.stk=sun,.clsPrice=7)").unwrap().is_true());
+        assert_eq!(e.store().version(), v, "query did not re-materialise");
+        let m = &e.last_fixpoint_stats().maintenance;
+        assert_eq!(m.views_maintained, 1, "{m:?}");
+        assert!(m.delta_rules_run >= 1, "{m:?}");
+        assert_eq!(m.support_entries, 1, "{m:?}");
+        // Retraction maintains too (exact rederivation deletes the row).
+        e.update("?.euter.r-(.stkCode=sun)").unwrap();
+        assert_eq!(e.maintenance_runs(), 2);
+        let v = e.store().version();
+        assert!(!e.query("?.dbI.p(.stk=sun)").unwrap().is_true());
+        assert_eq!(e.store().version(), v);
+    }
+
+    #[test]
+    fn maintenance_matches_reference_mode() {
+        // The engine-level differential: maintain on vs the
+        // refresh-the-world reference mode, byte-identical universes.
+        let mk = |maintain: bool| {
+            let mut e = engine();
+            e.set_options(EngineOptions::builder().maintain(maintain).build());
+            e.add_rules(UNIFIED).unwrap();
+            e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;")
+                .unwrap();
+            e.query("?.dbI.p(.stk=hp)").unwrap();
+            e
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        for upd in [
+            "?.euter.r+(.date=3/9/85,.stkCode=zz,.clsPrice=7)",
+            "?.ource.hp-(.date=3/3/85)",
+            "?.euter.r-(.stkCode=zz)",
+            "?.euter.r-(.stkCode=hp)",
+        ] {
+            on.update(upd).unwrap();
+            off.update(upd).unwrap();
+            off.refresh_views_if_stale().unwrap();
+            assert_eq!(
+                on.universe_json().unwrap(),
+                off.universe_json().unwrap(),
+                "maintained ≠ reference after {upd}"
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_handles_schematic_create_and_gc() {
+        let mut e = engine();
+        e.set_options(EngineOptions::builder().maintain(true).build());
+        e.add_rules(UNIFIED).unwrap();
+        e.add_rules(".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P) ;").unwrap();
+        // Warm a higher-order plan so create/GC invalidation is visible.
+        e.query("?.dbO.Y(.clsPrice=P)").unwrap();
+        // New stock: maintenance materialises dbO.sun incrementally.
+        e.update("?.euter.r+(.date=3/9/85,.stkCode=sun,.clsPrice=30)").unwrap();
+        let m = e.last_fixpoint_stats().maintenance.clone();
+        assert_eq!(m.schematic_creates, 1, "{m:?}");
+        let v = e.store().version();
+        let rels = e.query("?.dbO.Y").unwrap();
+        assert!(rels.column("Y").contains(&Value::str("sun")), "{rels}");
+        assert_eq!(e.store().version(), v, "probe against maintained views");
+        // Retracting the stock's only quote GCs the relation again.
+        e.update("?.euter.r-(.stkCode=sun)").unwrap();
+        let m = e.last_fixpoint_stats().maintenance.clone();
+        assert_eq!(m.schematic_gcs, 1, "{m:?}");
+        let rels = e.query("?.dbO.Y").unwrap();
+        assert!(!rels.column("Y").contains(&Value::str("sun")), "{rels}");
+    }
+
+    #[test]
+    fn maintenance_falls_back_on_schema_shaping_updates() {
+        let mut e = engine();
+        e.set_options(EngineOptions::builder().maintain(true).build());
+        e.add_rules(UNIFIED).unwrap();
+        e.query("?.dbI.p(.stk=hp)").unwrap();
+        // Dropping a whole relation is not row-expressible: the update
+        // must fall back to the refresh path and still be correct.
+        e.update("?.chwab-.r").unwrap();
+        assert_eq!(e.maintenance_runs(), 0);
+        assert!(e.query("?.dbI.p(.stk=hp)").unwrap().is_true(), "hp survives via euter/ource");
     }
 
     #[test]

@@ -488,6 +488,17 @@ fn run_client(addr: &str, cli: &Cli) -> Result<(), String> {
              {} schematic deltas, {} plan invalidations",
             e.delta_evals, e.full_evals, e.rules_skipped, e.schematic_deltas, e.plan_invalidations
         );
+        if let Some(m) = &e.maintenance {
+            println!(
+                "-- engine maintenance: {} views maintained, {} delta rules run, \
+                 {} schematic creates, {} schematic GCs, {} support entries",
+                m.views_maintained,
+                m.delta_rules_run,
+                m.schematic_creates,
+                m.schematic_gcs,
+                m.support_entries
+            );
+        }
     }
     if cli.shutdown {
         client.shutdown_server().map_err(|e| e.to_string())?;
@@ -514,6 +525,16 @@ fn print_stats(stats: &idl::FixpointStats) {
     println!(
         "   plans compiled: {} (plan cache: {} hits, {} misses)",
         stats.plans_compiled, stats.plan_cache_hits, stats.plan_cache_misses
+    );
+    let m = &stats.maintenance;
+    println!(
+        "   maintenance:    {} views maintained, {} delta rules run, \
+         {} schematic creates, {} schematic GCs, {} support entries",
+        m.views_maintained,
+        m.delta_rules_run,
+        m.schematic_creates,
+        m.schematic_gcs,
+        m.support_entries
     );
     for (i, s) in stats.strata.iter().enumerate() {
         println!(

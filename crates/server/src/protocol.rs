@@ -156,10 +156,33 @@ pub struct EngineStatsWire {
     pub plan_cache_misses: u64,
     /// Fraction of O(1) handle clones whose sharing survived the run.
     pub sharing_hit_rate: f64,
+    /// Write-path view-maintenance counters. Optional for wire
+    /// compatibility: replies from servers predating maintenance decode
+    /// as `None`, and older clients ignore the field entirely.
+    #[serde(default)]
+    pub maintenance: Option<MaintenanceStatsWire>,
+}
+
+/// Wire-portable counters of the engine's write-path view maintenance
+/// (see `idl_eval::MaintenanceStats`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceStatsWire {
+    /// Distinct views touched by the last maintenance run.
+    pub views_maintained: u64,
+    /// Delta-rule evaluations the run performed.
+    pub delta_rules_run: u64,
+    /// Relations incrementally materialised for the first time
+    /// (schematic creates).
+    pub schematic_creates: u64,
+    /// Emptied data-dependent relations garbage-collected.
+    pub schematic_gcs: u64,
+    /// Support entries in the engine's maintained-view bookkeeping.
+    pub support_entries: u64,
 }
 
 impl From<&FixpointStats> for EngineStatsWire {
     fn from(s: &FixpointStats) -> Self {
+        let m = &s.maintenance;
         EngineStatsWire {
             iterations: s.iterations as u64,
             rule_evals: s.rule_evals as u64,
@@ -173,6 +196,13 @@ impl From<&FixpointStats> for EngineStatsWire {
             plan_cache_hits: s.plan_cache_hits as u64,
             plan_cache_misses: s.plan_cache_misses as u64,
             sharing_hit_rate: s.sharing_hit_rate(),
+            maintenance: Some(MaintenanceStatsWire {
+                views_maintained: m.views_maintained as u64,
+                delta_rules_run: m.delta_rules_run as u64,
+                schematic_creates: m.schematic_creates as u64,
+                schematic_gcs: m.schematic_gcs as u64,
+                support_entries: m.support_entries as u64,
+            }),
         }
     }
 }
@@ -408,5 +438,33 @@ mod tests {
         let back: WireResponse =
             serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn engine_stats_without_maintenance_field_still_parse() {
+        // Pin wire compatibility: a stats payload from a build predating
+        // write-path maintenance (no `maintenance` key at all) must
+        // decode, with the new field reading as None.
+        let old = r#"{"iterations":3,"rule_evals":7,"facts_added":11,
+            "rules_skipped":0,"delta_evals":2,"full_evals":5,
+            "schematic_deltas":1,"plan_invalidations":0,
+            "plans_compiled":4,"plan_cache_hits":9,"plan_cache_misses":4,
+            "sharing_hit_rate":0.5}"#;
+        let got: EngineStatsWire = serde_json::from_str(old).unwrap();
+        assert_eq!(got.iterations, 3);
+        assert_eq!(got.maintenance, None);
+
+        // and the new shape round-trips
+        let mut full = got.clone();
+        full.maintenance = Some(MaintenanceStatsWire {
+            views_maintained: 2,
+            delta_rules_run: 6,
+            schematic_creates: 1,
+            schematic_gcs: 1,
+            support_entries: 40,
+        });
+        let back: EngineStatsWire =
+            serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back, full);
     }
 }

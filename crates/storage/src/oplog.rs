@@ -2,16 +2,21 @@
 //!
 //! The durable engine's `ops.idl` moved from bare statement lines (format
 //! 1, still readable via the migration path) to checksummed binary
-//! framing (format 2):
+//! framing (format 2), then grew a per-record flags byte (format 3):
 //!
 //! ```text
-//! header:  "IDLOPLG2"  version:u32le            (12 bytes)
-//! record:  len:u32le  crc:u32le  lsn:u64le  payload[len-8]
+//! header:  "IDLOPLG2"  version:u32le                      (12 bytes)
+//! record:  len:u32le  crc:u32le  lsn:u64le  flags:u8  payload[len-9]
 //! ```
 //!
-//! * `len` counts the LSN plus the payload, so a record occupies
-//!   `8 + len` bytes on disk;
-//! * `crc` is CRC-32C over the LSN bytes followed by the payload;
+//! * `len` counts the LSN, flags and payload, so a record occupies
+//!   `8 + len` bytes on disk (format-2 records have no flags byte and
+//!   `len` counts LSN + payload; they decode with `flags = 0`);
+//! * `flags` tags the record — [`FLAG_MAINTENANCE`] marks an update whose
+//!   derived views were maintained incrementally in the same transaction,
+//!   so recovery can detect (and report) a silent fall-back to full
+//!   rebuild on replay;
+//! * `crc` is CRC-32C over the body (everything after itself);
 //! * `lsn` is a log sequence number, strictly increasing across the log's
 //!   lifetime (checkpoints included) — snapshots record the LSN they
 //!   cover, so replay after a crash mid-checkpoint skips exactly the
@@ -34,7 +39,14 @@ use crate::error::{StorageError, StorageResult};
 pub const MAGIC: &[u8; 8] = b"IDLOPLG2";
 
 /// Current framing format version.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The last framing version whose records carried no flags byte.
+const UNFLAGGED_VERSION: u32 = 2;
+
+/// Record flag: the update's derived views were maintained incrementally
+/// inside the same write transaction (not left for a later full refresh).
+pub const FLAG_MAINTENANCE: u8 = 1;
 
 /// Bytes occupied by the file header.
 pub const HEADER_LEN: u64 = 12;
@@ -56,6 +68,8 @@ pub enum LogFormat {
 pub struct Record {
     /// Log sequence number (legacy lines are numbered 1..=n on read).
     pub lsn: u64,
+    /// Record flags (see [`FLAG_MAINTENANCE`]; 0 for pre-format-3 logs).
+    pub flags: u8,
     /// Canonical statement text.
     pub stmt: String,
     /// 1-based line number in the source file (legacy format only; framed
@@ -70,6 +84,10 @@ pub struct RecoveredLog {
     pub records: Vec<Record>,
     /// Format the file was found in.
     pub format: LogFormat,
+    /// Framing version found in the header (legacy line logs report 1).
+    /// The durable engine rewrites pre-current framed logs on open, so
+    /// appends always use the current record layout.
+    pub version: u32,
     /// Byte length of the valid prefix (framed logs; for tail truncation).
     pub valid_len: u64,
     /// Bytes past the valid prefix that must be truncated (torn tail).
@@ -97,6 +115,20 @@ pub struct DurabilityStats {
     pub migrated_legacy: bool,
     /// Stale snapshot temp files removed at the last open.
     pub stale_temps_removed: u64,
+    /// Records appended with [`FLAG_MAINTENANCE`] since open (updates
+    /// whose views were maintained incrementally before the ack).
+    pub maintenance_records_appended: u64,
+    /// Replayed records that carried [`FLAG_MAINTENANCE`] at the last
+    /// open.
+    pub maintenance_records_replayed: u64,
+    /// Replayed maintenance-tagged records the engine could *not*
+    /// maintain incrementally this time (it fell back to marking views
+    /// stale). Non-zero means recovery lost the maintained state — e.g.
+    /// rules changed, or the snapshot predates this build's format.
+    pub maintenance_fallbacks: u64,
+    /// Whether the last open adopted persisted maintenance state from
+    /// the snapshot (replay then maintains instead of rebuilding).
+    pub maintenance_state_adopted: bool,
 }
 
 /// The 12-byte file header for a fresh framed log.
@@ -107,12 +139,17 @@ pub fn header_bytes() -> Vec<u8> {
     out
 }
 
-/// Encodes one record (`len | crc | lsn | payload`).
+/// Encodes one record with no flags set (`len | crc | lsn | flags=0 | payload`).
 pub fn encode_record(lsn: u64, stmt: &str) -> Vec<u8> {
+    encode_record_flagged(lsn, 0, stmt)
+}
+
+/// Encodes one record (`len | crc | lsn | flags | payload`).
+pub fn encode_record_flagged(lsn: u64, flags: u8, stmt: &str) -> Vec<u8> {
     let payload = stmt.as_bytes();
-    let lsn_bytes = lsn.to_le_bytes();
-    let mut body = Vec::with_capacity(8 + payload.len());
-    body.extend_from_slice(&lsn_bytes);
+    let mut body = Vec::with_capacity(9 + payload.len());
+    body.extend_from_slice(&lsn.to_le_bytes());
+    body.push(flags);
     body.extend_from_slice(payload);
     let mut out = Vec::with_capacity(RECORD_HEADER + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -124,9 +161,15 @@ pub fn encode_record(lsn: u64, stmt: &str) -> Vec<u8> {
 /// Encodes a whole log file (header plus records) — used by checkpoint
 /// rotation and legacy migration.
 pub fn encode_log<'a>(records: impl IntoIterator<Item = (u64, &'a str)>) -> Vec<u8> {
+    encode_log_flagged(records.into_iter().map(|(lsn, stmt)| (lsn, 0, stmt)))
+}
+
+/// [`encode_log`] with per-record flags — used when migrating an existing
+/// log to the current framing without losing its tags.
+pub fn encode_log_flagged<'a>(records: impl IntoIterator<Item = (u64, u8, &'a str)>) -> Vec<u8> {
     let mut out = header_bytes();
-    for (lsn, stmt) in records {
-        out.extend_from_slice(&encode_record(lsn, stmt));
+    for (lsn, flags, stmt) in records {
+        out.extend_from_slice(&encode_record_flagged(lsn, flags, stmt));
     }
     out
 }
@@ -149,6 +192,7 @@ pub fn decode_log(bytes: &[u8]) -> StorageResult<RecoveredLog> {
         Ok(RecoveredLog {
             records: Vec::new(),
             format: LogFormat::Framed,
+            version: FORMAT_VERSION,
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
         })
@@ -163,6 +207,7 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
         return Ok(RecoveredLog {
             records: Vec::new(),
             format: LogFormat::Framed,
+            version: FORMAT_VERSION,
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
         });
@@ -173,6 +218,9 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
             "operation log format v{version} is newer than this build understands (v{FORMAT_VERSION})"
         )));
     }
+    // Format-2 records have no flags byte between the LSN and payload.
+    let flagged = version > UNFLAGGED_VERSION;
+    let min_len = if flagged { 9 } else { 8 };
     let mut records = Vec::new();
     let mut at = HEADER_LEN as usize;
     loop {
@@ -181,7 +229,7 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
         }
         let len = read_u32(bytes, at) as usize;
         let crc = read_u32(bytes, at + 4);
-        if len < 8 || at + RECORD_HEADER + len > bytes.len() {
+        if len < min_len || at + RECORD_HEADER + len > bytes.len() {
             break; // impossible length or torn body
         }
         let body = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
@@ -189,15 +237,17 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
             break; // bit rot or torn rewrite
         }
         let lsn = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-        let Ok(stmt) = std::str::from_utf8(&body[8..]) else {
+        let (flags, payload) = if flagged { (body[8], &body[9..]) } else { (0, &body[8..]) };
+        let Ok(stmt) = std::str::from_utf8(payload) else {
             break; // checksummed garbage cannot happen, but stay safe
         };
-        records.push(Record { lsn, stmt: to_owned_trimmed(stmt), line: records.len() + 1 });
+        records.push(Record { lsn, flags, stmt: to_owned_trimmed(stmt), line: records.len() + 1 });
         at += RECORD_HEADER + len;
     }
     Ok(RecoveredLog {
         records,
         format: LogFormat::Framed,
+        version,
         valid_len: at as u64,
         torn_bytes: (bytes.len() - at) as u64,
     })
@@ -222,7 +272,7 @@ fn decode_legacy(bytes: &[u8]) -> RecoveredLog {
         let trimmed = line.trim();
         if !trimmed.is_empty() && !trimmed.starts_with('%') {
             lsn += 1;
-            records.push(Record { lsn, stmt: trimmed.to_string(), line: line_no });
+            records.push(Record { lsn, flags: 0, stmt: trimmed.to_string(), line: line_no });
         }
         valid += nl + 1;
         rest = &rest[nl + 1..];
@@ -231,6 +281,7 @@ fn decode_legacy(bytes: &[u8]) -> RecoveredLog {
     RecoveredLog {
         records,
         format: LogFormat::LegacyLines,
+        version: 1,
         valid_len: valid as u64,
         torn_bytes: (bytes.len() - valid) as u64,
     }
@@ -256,9 +307,45 @@ mod tests {
     }
 
     #[test]
+    fn flags_round_trip() {
+        let mut bytes = header_bytes();
+        bytes.extend_from_slice(&encode_record_flagged(1, 0, "?.db.r+(.a=1)"));
+        bytes.extend_from_slice(&encode_record_flagged(2, FLAG_MAINTENANCE, "?.db.r+(.a=2)"));
+        let log = decode_log(&bytes).unwrap();
+        assert_eq!(log.version, FORMAT_VERSION);
+        assert_eq!(log.records[0].flags, 0);
+        assert_eq!(log.records[1].flags, FLAG_MAINTENANCE);
+        assert_eq!(log.records[1].stmt, "?.db.r+(.a=2)");
+    }
+
+    #[test]
+    fn unflagged_v2_logs_still_decode() {
+        // hand-build a format-2 log: version 2 header, bodies without the
+        // flags byte (exactly what older builds wrote)
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        for (lsn, stmt) in [(1u64, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")] {
+            let mut body = Vec::new();
+            body.extend_from_slice(&lsn.to_le_bytes());
+            body.extend_from_slice(stmt.as_bytes());
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32c(&body).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        let log = decode_log(&bytes).unwrap();
+        assert_eq!(log.version, 2);
+        assert_eq!(log.torn_bytes, 0);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.records[0].stmt, "?.db.r+(.a=1)");
+        assert_eq!(log.records[1].lsn, 2);
+        assert!(log.records.iter().all(|r| r.flags == 0));
+    }
+
+    #[test]
     fn torn_tail_truncates_not_fails() {
         let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
-        let first_end = HEADER_LEN as usize + RECORD_HEADER + 8 + "?.db.r+(.a=1)".len();
+        let first_end = HEADER_LEN as usize + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
         // cut mid-way through the second record
         for cut in first_end + 1..bytes.len() {
             let log = decode_log(&bytes[..cut]).unwrap();
@@ -271,7 +358,7 @@ mod tests {
     #[test]
     fn bit_flip_stops_the_scan_at_the_flipped_record() {
         let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
-        let first_end = HEADER_LEN as usize + RECORD_HEADER + 8 + "?.db.r+(.a=1)".len();
+        let first_end = HEADER_LEN as usize + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
         let mut corrupt = bytes.clone();
         *corrupt.last_mut().unwrap() ^= 0x40; // flip a payload bit in record 2
         let log = decode_log(&corrupt).unwrap();
@@ -308,8 +395,14 @@ mod tests {
         let log = decode_log(text.as_bytes()).unwrap();
         assert_eq!(log.format, LogFormat::LegacyLines);
         assert_eq!(log.records.len(), 2);
-        assert_eq!(log.records[0], Record { lsn: 1, stmt: "?.db.r+(.a=1)".into(), line: 1 });
-        assert_eq!(log.records[1], Record { lsn: 2, stmt: "?.db.r+(.a=2)".into(), line: 4 });
+        assert_eq!(
+            log.records[0],
+            Record { lsn: 1, flags: 0, stmt: "?.db.r+(.a=1)".into(), line: 1 }
+        );
+        assert_eq!(
+            log.records[1],
+            Record { lsn: 2, flags: 0, stmt: "?.db.r+(.a=2)".into(), line: 4 }
+        );
         assert_eq!(log.torn_bytes, "?.db.r+(.a=".len() as u64);
         assert_eq!(log.valid_len, (text.len() - "?.db.r+(.a=".len()) as u64);
     }

@@ -44,12 +44,18 @@ pub fn from_json(json: &str) -> StorageResult<Store> {
     Store::from_universe(universe)
 }
 
-/// The versioned snapshot wrapper (format 2).
+/// The versioned snapshot wrapper (format 2). The optional `maintenance`
+/// blob is opaque JSON text to the storage layer: the engine above
+/// persists its incremental view-maintenance state here so a durable
+/// restart resumes maintaining instead of silently falling back to a
+/// full rebuild. Snapshots without the field (older builds) load as
+/// `None`, and older builds ignore the field when reading newer files.
 #[derive(Serialize, Deserialize)]
 struct SnapshotFile {
     format: u32,
     lsn: u64,
     universe: Value,
+    maintenance: Option<String>,
 }
 
 /// Counter distinguishing concurrent temp files within one process.
@@ -78,6 +84,20 @@ pub fn save_snapshot_vfs(
     lsn: Option<u64>,
     sync: bool,
 ) -> StorageResult<()> {
+    save_snapshot_vfs_with_state(vfs, store, path, lsn, sync, None)
+}
+
+/// [`save_snapshot_vfs`] carrying an opaque engine-state blob (view
+/// maintenance support counts, as JSON text) in the versioned wrapper.
+/// `state` is ignored for legacy bare-universe writes (`lsn: None`).
+pub fn save_snapshot_vfs_with_state(
+    vfs: &dyn Vfs,
+    store: &Store,
+    path: &Path,
+    lsn: Option<u64>,
+    sync: bool,
+    state: Option<String>,
+) -> StorageResult<()> {
     let json = match lsn {
         None => to_json(store)?,
         // The universe clone is an O(1) copy-on-write handle (Arc-backed
@@ -87,6 +107,7 @@ pub fn save_snapshot_vfs(
             format: SNAPSHOT_FORMAT,
             lsn,
             universe: store.universe().clone(),
+            maintenance: state,
         })
         .map_err(|e| StorageError::Persist(e.to_string()))?,
     };
@@ -107,6 +128,16 @@ pub fn save_snapshot_vfs(
 /// Loads a snapshot through `vfs`, returning the store and the op-log LSN
 /// the snapshot covers (0 for legacy bare-universe snapshots).
 pub fn load_snapshot_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Store, u64)> {
+    load_snapshot_vfs_with_state(vfs, path).map(|(store, lsn, _)| (store, lsn))
+}
+
+/// [`load_snapshot_vfs`] also returning the opaque engine-state blob, if
+/// the snapshot carries one (`None` for legacy snapshots and wrappers
+/// written without state).
+pub fn load_snapshot_vfs_with_state(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> StorageResult<(Store, u64, Option<String>)> {
     let bytes = vfs.read(path).map_err(|e| io_err("read snapshot", e))?;
     let json = std::str::from_utf8(&bytes)
         .map_err(|e| StorageError::Persist(format!("snapshot is not UTF-8: {e}")))?;
@@ -119,9 +150,9 @@ pub fn load_snapshot_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Store, u6
                 snap.format
             )));
         }
-        return Ok((Store::from_universe(snap.universe)?, snap.lsn));
+        return Ok((Store::from_universe(snap.universe)?, snap.lsn, snap.maintenance));
     }
-    Ok((from_json(json)?, 0))
+    Ok((from_json(json)?, 0, None))
 }
 
 /// Removes stale snapshot temp files (`*.tmp`) left in `dir` by crashed
@@ -212,6 +243,31 @@ mod tests {
     }
 
     #[test]
+    fn wrapper_state_blob_round_trips_and_stateless_wrappers_read_as_none() {
+        let vfs = SimVfs::new(FaultPlan::none(11));
+        let dir = Path::new("/snapdir");
+        vfs.create_dir_all(dir).unwrap();
+        let mut s = Store::new();
+        s.insert("db", "r", tuple! { a: 1i64 }).unwrap();
+
+        let path = dir.join("u.json");
+        let blob = r#"{"rules":["r1"],"views":[{"db":"v","rel":"x","rows":3}]}"#.to_string();
+        save_snapshot_vfs_with_state(&vfs, &s, &path, Some(5), true, Some(blob.clone())).unwrap();
+        let (s2, lsn, state) = load_snapshot_vfs_with_state(&vfs, &path).unwrap();
+        assert_eq!(lsn, 5);
+        assert_eq!(s.universe(), s2.universe());
+        assert_eq!(state, Some(blob));
+        // the plain loader still works on a state-carrying snapshot
+        let (_, lsn) = load_snapshot_vfs(&vfs, &path).unwrap();
+        assert_eq!(lsn, 5);
+
+        // a wrapper written without state (older build) reads back None
+        save_snapshot_vfs(&vfs, &s, &path, Some(6), true).unwrap();
+        let (_, _, state) = load_snapshot_vfs_with_state(&vfs, &path).unwrap();
+        assert_eq!(state, None);
+    }
+
+    #[test]
     fn snapshot_save_leaves_no_temp_behind() {
         let vfs = SimVfs::new(FaultPlan::none(2));
         let dir = Path::new("/snapdir");
@@ -248,6 +304,7 @@ mod tests {
             format: SNAPSHOT_FORMAT,
             lsn: 1,
             universe: s_old.universe().clone(),
+            maintenance: None,
         })
         .unwrap();
 

@@ -152,6 +152,9 @@ fn incremental_masked_refresh_under_parallelism_propagates_deletions() {
         }
         .rebuild()
         .threads(4)
+        // this test exercises the masked drop-and-rebuild repair, so keep
+        // write-path maintenance (and its delta-repair) out of the way
+        .maintain(false)
         .build(),
     );
     inc.add_rules(&rules).unwrap();

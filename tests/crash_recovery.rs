@@ -217,6 +217,103 @@ fn crash_at_every_fault_site_compiled() {
     }
 }
 
+/// A query that repairs stale views incrementally (via auto-refresh) but
+/// leaves maintained-fresh views untouched — unlike `refresh_views`,
+/// which would rebuild from scratch and mask corrupt maintained state.
+const PROBE_QUERY: &str = "?.dbI.p(.stk=S, .date=D, .clsPrice=P)";
+
+/// Like [`run_workload`], but views are materialised up front so every
+/// subsequent update is absorbed by write-path maintenance and every
+/// checkpoint persists the maintained state alongside the universe.
+/// The refresh call does no VFS I/O, so crash sites line up with
+/// [`workload_op_count`].
+fn run_workload_maintained(vfs: &Arc<SimVfs>, threads: usize) -> RunOutcome {
+    let mut d = match open(vfs, threads, true) {
+        Ok(d) => d,
+        Err(_) => return RunOutcome { acked: Vec::new(), in_flight: None, completed: false },
+    };
+    d.refresh_views().expect("in-memory view build cannot hit the VFS");
+    let mut acked = Vec::new();
+    for (i, step) in WORKLOAD.iter().enumerate() {
+        let res = match step {
+            Step::Update(src) => d.update(src).map(|_| ()),
+            Step::Checkpoint => d.checkpoint().map(|_| ()),
+        };
+        match res {
+            Ok(()) => {
+                if matches!(step, Step::Update(_)) {
+                    acked.push(i);
+                }
+            }
+            Err(_) => {
+                let in_flight = matches!(step, Step::Update(_)).then_some(i);
+                return RunOutcome { acked, in_flight, completed: false };
+            }
+        }
+    }
+    RunOutcome { acked, in_flight: None, completed: true }
+}
+
+/// Crash at every I/O op of a maintenance-heavy run, then recover
+/// *without* a forced rebuild: the recovered engine's views — adopted
+/// from the snapshot's maintenance state and advanced by maintained
+/// replay, with at most an incremental repair from the probe query —
+/// must equal the full-rebuild reference byte-for-byte.
+fn crash_at_every_fault_site_maintained(threads: usize) {
+    let seed = 0xABBA ^ base_seed();
+    let total = workload_op_count();
+    for crash_at in 1..=total {
+        let plan = FaultPlan::none(seed).with_crash_at(crash_at);
+        let vfs = Arc::new(SimVfs::new(plan));
+        let run = run_workload_maintained(&vfs, threads);
+        vfs.power_cycle();
+
+        let mut d = open(&vfs, threads, true)
+            .unwrap_or_else(|e| panic!("recovery must not fail (plan {plan}): {e}"));
+        d.query(PROBE_QUERY)
+            .unwrap_or_else(|e| panic!("probe query after recovery (plan {plan}): {e}"));
+        let got = d.universe_json().unwrap();
+        let matches_acked = got == reference_json(&run.acked);
+        let matches_with_in_flight = !matches_acked
+            && run.in_flight.is_some_and(|x| {
+                let mut with = run.acked.clone();
+                with.push(x);
+                got == reference_json(&with)
+            });
+        assert!(
+            matches_acked || matches_with_in_flight,
+            "plan {plan}: maintained recovery is neither the acked set {:?} nor acked + in-flight {:?}",
+            run.acked,
+            run.in_flight,
+        );
+
+        // keep working through the maintained write path, checkpoint the
+        // maintained state, and reopen byte-identically — still with no
+        // full rebuild anywhere
+        d.update(EXTRA_UPDATE)
+            .unwrap_or_else(|e| panic!("update after recovery (plan {plan}): {e}"));
+        d.checkpoint().unwrap_or_else(|e| panic!("checkpoint after recovery (plan {plan}): {e}"));
+        d.query(PROBE_QUERY).unwrap();
+        let want = d.universe_json().unwrap();
+        drop(d);
+        let mut d2 = open(&vfs, threads, true)
+            .unwrap_or_else(|e| panic!("reopen after checkpoint (plan {plan}): {e}"));
+        d2.query(PROBE_QUERY).unwrap();
+        assert_eq!(
+            d2.universe_json().unwrap(),
+            want,
+            "plan {plan}: maintained snapshot round-trip is not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn crash_at_every_fault_site_maintained_views() {
+    for threads in [1, 4] {
+        crash_at_every_fault_site_maintained(threads);
+    }
+}
+
 #[test]
 fn crash_at_every_fault_site_tree_walk() {
     for threads in [1, 4] {

@@ -1,0 +1,168 @@
+//! Differential battery for write-path view maintenance (DESIGN.md
+//! "Write-path view maintenance").
+//!
+//! Maintenance must not be a *semantic* knob: over hundreds of random
+//! insert/retract schedules, an engine that absorbs every update through
+//! the incremental maintenance pass (with the stale-refresh delta-repair
+//! backstop for the shapes it bails on) must land on **byte-identical**
+//! universe snapshots to the refresh-the-world reference mode
+//! (`maintain(false)` + a final full rebuild), across {1, 4} threads ×
+//! {compiled, tree-walk}. Dedicated legs pin the schematic lifecycle: an
+//! insert that materialises a brand-new derived relation (schematic
+//! create) and a retraction that empties one again (schematic GC).
+
+use idl::{Engine, EngineOptions};
+use idl_repro as _;
+use proptest::prelude::*;
+
+/// Union view, a schematic (data-dependent head) view deriving one
+/// relation per stock, and a negation view over a second schema — the
+/// three maintenance shapes: (Δ ⋈ full) inserts, DRed retraction
+/// cascades, and schematic create/GC.
+const RULES: &str = "
+    .dbI.p(.date=D,.stk=S,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+    .dbO.S(.date=D,.clsPrice=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P) ;
+    .dbI.lone(.stk=S) <- .dbI.p(.stk=S), .chwab.r¬(.S>0) ;
+";
+
+const DATES: &[&str] = &["3/3/85", "3/4/85", "9/9/99"];
+const STOCKS: &[&str] = &["hp", "ibm", "sun", "dec"];
+
+/// Queries run against both final stores: selection, higher-order
+/// enumeration over the schematic relations, and the negation view.
+const BATTERY: &[&str] =
+    &["?.dbI.p(.stk=S, .clsPrice=P)", "?.dbO.R(.date=D, .clsPrice=P)", "?.dbI.lone(.stk=S)"];
+
+fn base_engine() -> Engine {
+    Engine::with_stock_universe(vec![
+        ("3/3/85", "hp", 50.0),
+        ("3/3/85", "ibm", 160.0),
+        ("3/4/85", "hp", 62.0),
+    ])
+}
+
+/// One random update statement. Retractions may miss (no-op updates) and
+/// inserts may collide with existing rows (set semantics) — both are
+/// deliberate: the pass must treat empty deltas as freshness-preserving.
+fn op_strategy() -> impl Strategy<Value = String> {
+    (0usize..4, 0usize..DATES.len(), 0usize..STOCKS.len(), 1i64..50).prop_map(|(kind, d, s, p)| {
+        let (date, stk) = (DATES[d], STOCKS[s]);
+        match kind {
+            0 => format!("?.euter.r+(.date={date}, .stkCode={stk}, .clsPrice={p})"),
+            1 => format!("?.euter.r-(.date={date}, .stkCode={stk})"),
+            2 => format!("?.chwab.r+(.date={date}, .{stk}={p})"),
+            _ => format!("?.chwab.r-(.date={date})"),
+        }
+    })
+}
+
+fn universe_json(e: &Engine) -> String {
+    idl_storage::persist::to_json(e.store()).unwrap()
+}
+
+/// Applies the schedule update-by-update with maintenance on, then asks
+/// for freshness the way a published snapshot would (any update the pass
+/// bailed on is repaired here). Returns the engine for inspection.
+fn maintained_run(schedule: &[String], threads: usize, compile: bool) -> Engine {
+    let mut e = base_engine();
+    e.set_options(
+        EngineOptions::builder().threads(threads).compile(compile).maintain(true).build(),
+    );
+    e.add_rules(RULES).unwrap();
+    e.refresh_views().unwrap();
+    for stmt in schedule {
+        e.update(stmt).unwrap_or_else(|err| panic!("{stmt}: {err}"));
+    }
+    e.refresh_views_if_stale().unwrap();
+    assert!(e.views_fresh_now());
+    e
+}
+
+/// The refresh-the-world reference: same schedule with maintenance off,
+/// then one full rebuild.
+fn reference_run(schedule: &[String]) -> Engine {
+    let mut e = base_engine();
+    e.set_options(EngineOptions::builder().maintain(false).auto_refresh(false).build());
+    e.add_rules(RULES).unwrap();
+    for stmt in schedule {
+        e.update(stmt).unwrap_or_else(|err| panic!("{stmt}: {err}"));
+    }
+    e.refresh_views().unwrap();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The cross-mode leg: maintained ≡ rebuilt over {1, 4} threads ×
+    /// {compiled, tree-walk}, down to the bytes a snapshot would persist,
+    /// plus identical battery answers.
+    #[test]
+    fn maintained_matches_rebuilt_across_modes(
+        schedule in prop::collection::vec(op_strategy(), 1..12)
+    ) {
+        let mut reference = reference_run(&schedule);
+        let expected = universe_json(&reference);
+        for threads in [1usize, 4] {
+            for compile in [true, false] {
+                let mut maintained = maintained_run(&schedule, threads, compile);
+                prop_assert_eq!(
+                    &universe_json(&maintained),
+                    &expected,
+                    "maintained universe diverged from rebuilt at {} threads, compile={}\nschedule: {:?}",
+                    threads,
+                    compile,
+                    &schedule
+                );
+                for src in BATTERY {
+                    prop_assert_eq!(
+                        reference.query(src).unwrap(),
+                        maintained.query(src).unwrap(),
+                        "answers diverged for {} at {} threads, compile={}",
+                        src,
+                        threads,
+                        compile
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Schematic-create leg: a quote for a brand-new stock must be absorbed
+/// by the maintenance pass itself (no refresh fallback), materialising
+/// the new `dbO` relation incrementally.
+#[test]
+fn schematic_create_is_maintained_incrementally() {
+    for threads in [1usize, 4] {
+        for compile in [true, false] {
+            let schedule = vec!["?.euter.r+(.date=9/9/99, .stkCode=sun, .clsPrice=7)".into()];
+            let mut e = maintained_run(&schedule, threads, compile);
+            assert_eq!(e.maintenance_runs(), 1, "create must not fall back to refresh");
+            let m = e.last_fixpoint_stats().maintenance.clone();
+            assert_eq!(m.schematic_creates, 1, "{m:?}");
+            assert!(e.query("?.dbO.sun(.clsPrice=7)").unwrap().is_true());
+            assert_eq!(universe_json(&e), universe_json(&reference_run(&schedule)));
+        }
+    }
+}
+
+/// Schematic-GC leg: retracting the only quote of a stock must empty and
+/// garbage-collect its derived relation through the maintenance pass.
+#[test]
+fn schematic_gc_is_maintained_incrementally() {
+    for threads in [1usize, 4] {
+        for compile in [true, false] {
+            let schedule = vec![
+                "?.euter.r+(.date=9/9/99, .stkCode=sun, .clsPrice=7)".into(),
+                "?.euter.r-(.date=9/9/99, .stkCode=sun, .clsPrice=7)".into(),
+            ];
+            let mut e = maintained_run(&schedule, threads, compile);
+            assert_eq!(e.maintenance_runs(), 2, "GC must not fall back to refresh");
+            let m = e.last_fixpoint_stats().maintenance.clone();
+            assert_eq!(m.schematic_gcs, 1, "{m:?}");
+            assert!(!e.query("?.dbO.R(.clsPrice=7), R = sun").unwrap().is_true());
+            assert_eq!(universe_json(&e), universe_json(&reference_run(&schedule)));
+        }
+    }
+}

@@ -206,6 +206,12 @@ fn concurrent_reads_stay_on_published_snapshot_during_seminaive_refresh() {
 
     let handle = serve_engine(
         |e| {
+            // This test pins the *semi-naive refresh* publication window,
+            // so updates must pay a refresh rather than be absorbed by
+            // write-path maintenance (which shrinks the window to almost
+            // nothing and makes the timing assertions vacuous).
+            let opts = e.options().rebuild().maintain(false).build();
+            e.set_options(opts);
             e.execute(&seed_src).unwrap();
             e.add_rules(layered).unwrap();
         },
