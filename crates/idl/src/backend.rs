@@ -59,6 +59,17 @@ pub trait Backend {
     /// before acknowledging.
     fn update(&mut self, src: &str) -> Result<Outcome, EngineError>;
 
+    /// Executes a batch of independent single-request updates as one
+    /// group commit: each source is executed in order and a durable
+    /// backend coalesces every successful mutation into a single log
+    /// append and a single fsync before any of them is acknowledged
+    /// (all-or-prefix on crash — see `DurableEngine`). The default
+    /// implementation simply loops over [`Backend::update`]; the group
+    /// never aborts early, so callers get one result per source.
+    fn update_group(&mut self, srcs: &[String]) -> Vec<Result<Outcome, EngineError>> {
+        srcs.iter().map(|src| self.update(src)).collect()
+    }
+
     /// Executes one statement of the SQL-flavoured sugar surface.
     fn execute_sql(&mut self, src: &str) -> Result<Outcome, EngineError>;
 

@@ -469,6 +469,106 @@ impl DurableEngine {
         }
     }
 
+    /// Executes a batch of independent single-request updates with **one**
+    /// coalesced log append and **one** fsync covering every mutation in
+    /// the group (group commit). Results are positional; a failing entry
+    /// never aborts the rest, and no entry is acknowledged before the
+    /// whole group is durable. If the append or sync fails, every
+    /// mutating entry is un-acknowledged (its `Ok` becomes the durability
+    /// error), the partial append is truncated back to the last synced
+    /// prefix, and the engine poisons — the single-update fail-stop
+    /// discipline applied to the group as a unit. Crash-wise the log can
+    /// only hold an in-order *prefix* of the group's records (framed
+    /// records land sequentially and recovery truncates the torn tail),
+    /// so a crash inside the window loses only unacknowledged updates.
+    pub fn update_group(&mut self, srcs: &[String]) -> Vec<Result<Outcome, EngineError>> {
+        if let Some(why) = &self.poisoned {
+            let why = why.clone();
+            return srcs.iter().map(|_| Err(EngineError::Poisoned(why.clone()))).collect();
+        }
+        let mut results: Vec<Result<Outcome, EngineError>> = Vec::with_capacity(srcs.len());
+        // (result index, encoded record, maintained?) per mutating success
+        let mut pending: Vec<(usize, Vec<u8>, bool)> = Vec::new();
+        for (i, src) in srcs.iter().enumerate() {
+            let req = match parse_statement(src) {
+                Ok(Statement::Request(r)) => r,
+                Ok(_) => {
+                    results.push(Err(EngineError::Usage(
+                        "durable update takes a request; install rules/programs via open_with's setup callback"
+                            .into(),
+                    )));
+                    continue;
+                }
+                Err(e) => {
+                    results.push(Err(e.into()));
+                    continue;
+                }
+            };
+            let canonical = req.to_string();
+            let runs_before = self.engine.maintenance_runs();
+            match self.engine.execute_statement(Statement::Request(req)) {
+                Ok(outcome) => {
+                    let mutated =
+                        matches!(&outcome, Outcome::Answers { stats, .. } if stats.total() > 0);
+                    if mutated {
+                        let maintained = self.engine.maintenance_runs() > runs_before;
+                        let flags = if maintained { oplog::FLAG_MAINTENANCE } else { 0 };
+                        let next = self.lsn + pending.len() as u64 + 1;
+                        let bytes = match self.write_format {
+                            LogFormat::Framed => {
+                                oplog::encode_record_flagged(next, flags, &canonical)
+                            }
+                            LogFormat::LegacyLines => format!("{canonical}\n").into_bytes(),
+                        };
+                        pending.push((i, bytes, maintained));
+                    }
+                    results.push(Ok(outcome));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        if pending.is_empty() {
+            return results;
+        }
+        let mut buf = Vec::with_capacity(pending.iter().map(|(_, b, _)| b.len()).sum());
+        for (_, bytes, _) in &pending {
+            buf.extend_from_slice(bytes);
+        }
+        let log = self.log_path();
+        let committed =
+            self.vfs.append(&log, &buf).map_err(|e| format!("append log: {e}")).and_then(|_| {
+                match self.opts.sync {
+                    SyncPolicy::Always => {
+                        self.vfs.sync_file(&log).map_err(|e| format!("sync log: {e}"))
+                    }
+                    SyncPolicy::Never => Ok(()),
+                }
+            });
+        match committed {
+            Ok(()) => {
+                if self.opts.sync == SyncPolicy::Always {
+                    self.stats.log_syncs += 1;
+                }
+                self.lsn += pending.len() as u64;
+                self.log_bytes += buf.len() as u64;
+                self.stats.records_appended += pending.len() as u64;
+                self.stats.bytes_appended += buf.len() as u64;
+                self.stats.group_commits += 1;
+                self.stats.group_commit_records += pending.len() as u64;
+                self.stats.maintenance_records_appended +=
+                    pending.iter().filter(|(_, _, m)| *m).count() as u64;
+                results
+            }
+            Err(why) => {
+                self.repair_and_poison(why.clone());
+                for (i, _, _) in &pending {
+                    results[*i] = Err(EngineError::Storage(why.clone()));
+                }
+                results
+            }
+        }
+    }
+
     /// Writes a fresh snapshot (recording the covered LSN) and rotates in
     /// an empty log — recovery afterwards starts from the snapshot alone.
     /// Both steps are individually atomic, and replay skips records the
@@ -527,6 +627,10 @@ impl Backend for DurableEngine {
 
     fn update(&mut self, src: &str) -> Result<Outcome, EngineError> {
         DurableEngine::update(self, src)
+    }
+
+    fn update_group(&mut self, srcs: &[String]) -> Vec<Result<Outcome, EngineError>> {
+        DurableEngine::update_group(self, srcs)
     }
 
     fn execute_sql(&mut self, _src: &str) -> Result<Outcome, EngineError> {
@@ -831,6 +935,75 @@ mod tests {
         assert_eq!(stats.maintenance_fallbacks, 1);
         assert_eq!(d.query("?.v.all(.x=X)").unwrap().column("X").len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn update_group_coalesces_one_sync_for_all_records() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(11)));
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        let before = vfs.stats().file_syncs;
+        let srcs: Vec<String> = (0..4).map(|i| format!("?.db.r+(.a={i})")).collect();
+        let results = d.update_group(&srcs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(vfs.stats().file_syncs, before + 1, "one fsync for the whole group");
+        let stats = d.durability_stats();
+        assert_eq!(stats.group_commits, 1);
+        assert_eq!(stats.group_commit_records, 4);
+        assert_eq!(stats.records_appended, 4);
+        assert_eq!(stats.log_syncs, 1);
+        assert_eq!(d.last_lsn(), 4);
+        // mixed group: queries/no-ops don't log, a bad entry doesn't
+        // abort its neighbours
+        let mixed = vec![
+            "?.db.r(.a=X)".to_string(),         // pure query
+            "?.db.r+(.a=0)".to_string(),        // duplicate: zero mutations
+            ".a(.x=X) <- .b(.x=X)".to_string(), // clause: E-USAGE
+            "?.db.r+(.a=9)".to_string(),        // the only logged record
+        ];
+        let results = d.update_group(&mixed);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[3].is_ok());
+        assert_eq!(results[2].as_ref().unwrap_err().code(), "E-USAGE");
+        assert_eq!(d.durability_stats().group_commit_records, 5);
+        assert_eq!(d.last_lsn(), 5);
+    }
+
+    #[test]
+    fn update_group_replays_like_single_updates() {
+        let dir = fresh_dir("group-replay");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            let srcs: Vec<String> = (0..5).map(|i| format!("?.db.r+(.a={i})")).collect();
+            assert!(d.update_group(&srcs).iter().all(|r| r.is_ok()));
+        }
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert_eq!(d.durability_stats().records_recovered, 5);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_group_sync_unacks_every_member() {
+        // probe the op window of a 3-update group's single append+sync
+        let srcs: Vec<String> = (0..3).map(|i| format!("?.db.r+(.a={i})")).collect();
+        let (before_group, after_group) = {
+            let probe = Arc::new(SimVfs::new(FaultPlan::none(12)));
+            let mut p = sim_open(&probe, DurabilityOptions::default()).unwrap();
+            let a = probe.op_count();
+            assert!(p.update_group(&srcs).iter().all(|r| r.is_ok()));
+            (a, probe.op_count())
+        };
+        assert_eq!(after_group - before_group, 2, "group commit is append + sync");
+        // ENOSPC the coalesced append (a seeded partial application of
+        // the group's bytes lands, then the call fails): every member
+        // must be un-acked, and a reopen must see none of them
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(12).with_enospc_at(before_group + 1)));
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        let results = d.update_group(&srcs);
+        assert!(results.iter().all(|r| r.is_err()), "no member acked past a failed sync");
+        assert!(d.is_poisoned());
+        drop(d);
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        assert!(!d.query("?.db.r(.a=X)").unwrap().is_true(), "unacked group not resurrected");
     }
 
     #[test]

@@ -65,7 +65,7 @@ use idl::{
     Backend, DurableEngine, Engine, EngineOptions, FaultPlan, Outcome, RealVfs, SimVfs, SyncPolicy,
     Vfs,
 };
-use idl_server::{serve, Client, ServerConfig};
+use idl_server::{serve, Client, ServeMode, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -89,10 +89,15 @@ struct Cli {
     scripts: Vec<PathBuf>,
     // `serve` extras
     addr: String,
+    serve_mode: ServeMode,
     max_sessions: usize,
     max_frame: u32,
     request_timeout: Duration,
     no_remote_shutdown: bool,
+    workers: usize,
+    session_queue: usize,
+    pending_queue: usize,
+    group_commit: usize,
     // `connect` extras
     ping: bool,
     refresh: bool,
@@ -120,10 +125,15 @@ impl Default for Cli {
             inline: Vec::new(),
             scripts: Vec::new(),
             addr: server.addr,
+            serve_mode: server.mode,
             max_sessions: server.max_sessions,
             max_frame: server.max_frame,
             request_timeout: server.request_timeout,
             no_remote_shutdown: false,
+            workers: server.workers,
+            session_queue: server.session_queue,
+            pending_queue: server.pending_queue,
+            group_commit: server.group_commit,
             ping: false,
             refresh: false,
             dump_universe: false,
@@ -186,6 +196,41 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
                 cli.threads = Some(n);
             }
             "--addr" => cli.addr = args.next().ok_or("--addr needs host:port")?,
+            "--serve-mode" => {
+                let m = args.next().ok_or("--serve-mode needs threaded|event")?;
+                cli.serve_mode = m.parse()?;
+            }
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a count (0 = one per core)")?;
+                cli.workers =
+                    n.parse().map_err(|_| format!("--workers needs an integer, got {n:?}"))?;
+            }
+            "--session-queue" => {
+                let n = args.next().ok_or("--session-queue needs a request count")?;
+                cli.session_queue = n
+                    .parse()
+                    .map_err(|_| format!("--session-queue needs an integer, got {n:?}"))?;
+                if cli.session_queue == 0 {
+                    return Err("--session-queue must be at least 1".into());
+                }
+            }
+            "--pending-queue" => {
+                let n = args.next().ok_or("--pending-queue needs a request count")?;
+                cli.pending_queue = n
+                    .parse()
+                    .map_err(|_| format!("--pending-queue needs an integer, got {n:?}"))?;
+                if cli.pending_queue == 0 {
+                    return Err("--pending-queue must be at least 1".into());
+                }
+            }
+            "--group-commit" => {
+                let n = args.next().ok_or("--group-commit needs a batch size")?;
+                cli.group_commit =
+                    n.parse().map_err(|_| format!("--group-commit needs an integer, got {n:?}"))?;
+                if cli.group_commit == 0 {
+                    return Err("--group-commit must be at least 1".into());
+                }
+            }
             "--max-sessions" => {
                 let n = args.next().ok_or("--max-sessions needs a count")?;
                 cli.max_sessions =
@@ -214,8 +259,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
                     "usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] \
                      [--checkpoint] [--stock] [--mapping] [--sql] [--analyze] [--explain] \
                      [--no-compile] [--stats] [--threads N] [-e STMT] [script.idl ...]\n\
-                     \x20      idl serve [engine flags] [--addr HOST:PORT] [--max-sessions N] \
-                     [--max-frame BYTES] [--request-timeout SECS] [--no-remote-shutdown]\n\
+                     \x20      idl serve [engine flags] [--addr HOST:PORT] \
+                     [--serve-mode threaded|event] [--max-sessions N] [--max-frame BYTES] \
+                     [--request-timeout SECS] [--no-remote-shutdown] [--workers N] \
+                     [--session-queue N] [--pending-queue N] [--group-commit N]\n\
                      \x20      idl connect ADDR [-e STMT] [script.idl ...] [--ping] [--refresh] \
                      [--dump-universe] [--stats] [--shutdown]"
                 );
@@ -406,14 +453,19 @@ fn run_server(cli: Cli) -> Result<(), String> {
     let backend = build_backend(&cli)?;
     let config = ServerConfig {
         addr: cli.addr.clone(),
+        mode: cli.serve_mode,
         max_sessions: cli.max_sessions,
         max_frame: cli.max_frame,
         request_timeout: cli.request_timeout,
         allow_remote_shutdown: !cli.no_remote_shutdown,
+        workers: cli.workers,
+        session_queue: cli.session_queue,
+        pending_queue: cli.pending_queue,
+        group_commit: cli.group_commit,
         ..ServerConfig::default()
     };
     let handle = serve(backend, config).map_err(|e| format!("cannot start server: {e}"))?;
-    println!("idl-server listening on {}", handle.local_addr());
+    println!("idl-server listening on {} ({} mode)", handle.local_addr(), cli.serve_mode);
     let stats = handle.wait();
     println!(
         "-- served {} requests over {} sessions ({} reads, {} writes, {} errors, p50 {}us, p99 {}us)",
@@ -463,6 +515,15 @@ fn run_client(addr: &str, cli: &Cli) -> Result<(), String> {
             s.timeouts,
             s.p50_us,
             s.p99_us
+        );
+        println!(
+            "-- server queues: {} load-shed, peak {} queued, {} reaped idle sessions, \
+             {} group commits covering {} updates",
+            s.load_shed,
+            s.queue_depth_peak,
+            s.sessions_reaped,
+            s.group_commits,
+            s.group_commit_records
         );
         println!(
             "-- session #{}: {} requests, {} errors, {}B in, {}B out",

@@ -202,6 +202,21 @@ impl Client {
         }
     }
 
+    /// Sends one request frame without waiting for its reply, pipelining
+    /// it behind any earlier unanswered requests. The server answers in
+    /// request order; collect replies with [`Client::read_reply`].
+    pub fn send_request(&mut self, req: &WireRequest) -> Result<(), ClientError> {
+        protocol::send(&mut self.stream, req, self.max_frame)?;
+        Ok(())
+    }
+
+    /// Reads the next in-order reply frame. Unlike [`Client::call`],
+    /// error frames are returned as [`WireResponse::Error`] values, so a
+    /// pipelined caller can pair every reply with its request.
+    pub fn read_reply(&mut self) -> Result<WireResponse, ClientError> {
+        self.read_response()
+    }
+
     /// The underlying stream (escape hatch for tests and tooling).
     pub fn stream(&mut self) -> &mut TcpStream {
         &mut self.stream

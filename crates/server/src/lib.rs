@@ -17,16 +17,22 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Built on `std::net` only — a thread-per-session pool behind an accept
-//! loop, no async runtime. Reads evaluate against published O(1)
-//! copy-on-write snapshots without taking the writer lock; writes
-//! serialize through the single engine (and its durability layer). See
-//! [`server`] for the concurrency discipline and [`protocol`] for the
+//! Built on `std::net` only — no async runtime. Two serving
+//! architectures share one semantics ([`ServeMode`]): a readiness-driven
+//! event loop (the default — nonblocking sockets behind a vendored
+//! poller, per-session pipelining, group-committed writes) and the
+//! thread-per-session reference mode (`IDL_SERVE_THREADED=1`). Reads
+//! evaluate against published O(1) copy-on-write snapshots without
+//! taking the writer lock; writes serialize through the single engine
+//! (and its durability layer). See [`server`] for the concurrency
+//! discipline, `event` for the event loop, and [`protocol`] for the
 //! wire format.
 
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+mod event;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -35,7 +41,7 @@ pub use client::{Client, ClientError};
 pub use protocol::{
     EngineStatsWire, FrameError, SessionStatsWire, StatsReply, WireRequest, WireResponse,
 };
-pub use server::{serve, ServerConfig, ServerError, ServerHandle};
+pub use server::{serve, ServeMode, ServerConfig, ServerError, ServerHandle};
 pub use stats::{LatencyRing, ServerStats, ServerStatsSnapshot};
 
 #[cfg(test)]

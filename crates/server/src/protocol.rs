@@ -47,6 +47,9 @@ pub const E_BUSY: &str = "E-BUSY";
 pub const E_PROTO: &str = "E-PROTO";
 /// Server-level error code: server is draining and refuses new work.
 pub const E_SHUTDOWN: &str = "E-SHUTDOWN";
+/// Server-level error code: the request was load-shed at the global
+/// pending-queue cap (event mode admission control); retry later.
+pub const E_OVERLOAD: &str = "E-OVERLOAD";
 
 /// One client request frame.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

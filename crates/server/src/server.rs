@@ -43,17 +43,63 @@ const POLL: Duration = Duration::from_millis(25);
 
 /// Socket write deadline (a peer that stops draining its receive buffer
 /// cannot pin a session thread forever).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Abort reasons surfaced through [`FrameError::Aborted`].
 const ABORT_DRAIN: &str = "server draining";
 const ABORT_IDLE: &str = "idle timeout";
+
+/// Which serving architecture [`serve`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One blocking thread per session (the PR 5 reference mode): simple,
+    /// byte-identical semantics, a thread + stack per idle client.
+    Threaded,
+    /// A readiness-driven event loop (reactor + worker pool): thousands
+    /// of idle sessions cost one poller, requests pipeline per session,
+    /// and concurrent updates coalesce into group commits.
+    Event,
+}
+
+impl Default for ServeMode {
+    /// Event unless `IDL_SERVE_THREADED=1` selects the reference mode.
+    fn default() -> Self {
+        match std::env::var("IDL_SERVE_THREADED") {
+            Ok(v) if v == "1" => ServeMode::Threaded,
+            _ => ServeMode::Event,
+        }
+    }
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(ServeMode::Threaded),
+            "event" => Ok(ServeMode::Event),
+            other => Err(format!("unknown serve mode '{other}' (expected threaded|event)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeMode::Threaded => "threaded",
+            ServeMode::Event => "event",
+        })
+    }
+}
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Listen address; use port 0 for an ephemeral port.
     pub addr: String,
+    /// Serving architecture (defaults to [`ServeMode::Event`];
+    /// `IDL_SERVE_THREADED=1` flips the default to the reference mode).
+    pub mode: ServeMode,
     /// Concurrent-session cap; further connects get `E-BUSY`.
     pub max_sessions: usize,
     /// Per-frame payload cap in bytes, both directions.
@@ -67,18 +113,35 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// Whether a client `Shutdown` frame may stop the server.
     pub allow_remote_shutdown: bool,
+    /// Event mode: read-worker threads executing snapshot queries
+    /// (0 = one per available core, at least 2).
+    pub workers: usize,
+    /// Event mode: pipelined requests one session may have outstanding
+    /// before the server stops reading its socket (TCP backpressure).
+    pub session_queue: usize,
+    /// Event mode: queued-request cap across all sessions; past it new
+    /// requests are answered with in-order `E-OVERLOAD` load-shed frames.
+    pub pending_queue: usize,
+    /// Event mode: most updates coalesced into one group commit (one
+    /// log append + one fsync acknowledging the whole batch).
+    pub group_commit: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            mode: ServeMode::default(),
             max_sessions: 64,
             max_frame: protocol::DEFAULT_MAX_FRAME,
             idle_timeout: Duration::from_secs(300),
             request_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
             allow_remote_shutdown: true,
+            workers: 0,
+            session_queue: 32,
+            pending_queue: 1024,
+            group_commit: 64,
         }
     }
 }
@@ -116,22 +179,22 @@ impl From<EngineError> for ServerError {
 }
 
 /// State shared between the accept loop, session threads and the handle.
-struct Shared {
-    cfg: ServerConfig,
-    local_addr: SocketAddr,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) local_addr: SocketAddr,
     /// The single writer. Every mutation goes through here.
-    writer: Mutex<Box<dyn Backend + Send>>,
+    pub(crate) writer: Mutex<Box<dyn Backend + Send>>,
     /// The read snapshot sessions evaluate against; swapped (never
     /// mutated in place) by the writer after each acknowledged change.
-    published: RwLock<Arc<EngineSnapshot>>,
+    pub(crate) published: RwLock<Arc<EngineSnapshot>>,
     /// Summary of the engine's last materialisation, captured at publish
     /// time so `Stats` never needs the writer lock.
-    engine_stats: Mutex<EngineStatsWire>,
+    pub(crate) engine_stats: Mutex<EngineStatsWire>,
     /// Compiled plans shared by all snapshot reads (locked only around
     /// plan lookup, never during evaluation).
-    plan_cache: Mutex<PlanCache>,
-    stats: ServerStats,
-    shutdown: AtomicBool,
+    pub(crate) plan_cache: Mutex<PlanCache>,
+    pub(crate) stats: ServerStats,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -140,12 +203,12 @@ impl Shared {
         (cache.hits(), cache.misses())
     }
 
-    fn server_stats(&self) -> ServerStatsSnapshot {
+    pub(crate) fn server_stats(&self) -> ServerStatsSnapshot {
         self.stats.snapshot(self.plan_cache_counters())
     }
 
     /// Swaps in a fresh snapshot + engine-stats summary from the writer.
-    fn republish(&self, backend: &mut dyn Backend) -> Result<(), EngineError> {
+    pub(crate) fn republish(&self, backend: &mut dyn Backend) -> Result<(), EngineError> {
         let snap = backend.snapshot()?;
         *self.engine_stats.lock().unwrap_or_else(|p| p.into_inner()) =
             EngineStatsWire::from(backend.stats());
@@ -153,12 +216,12 @@ impl Shared {
         Ok(())
     }
 
-    fn published(&self) -> Arc<EngineSnapshot> {
+    pub(crate) fn published(&self) -> Arc<EngineSnapshot> {
         Arc::clone(&self.published.read().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Acquires the writer lock within the request deadline.
-    fn lock_writer(&self) -> Option<MutexGuard<'_, Box<dyn Backend + Send>>> {
+    pub(crate) fn lock_writer(&self) -> Option<MutexGuard<'_, Box<dyn Backend + Send>>> {
         if self.cfg.request_timeout.is_zero() {
             return Some(self.writer.lock().unwrap_or_else(|p| p.into_inner()));
         }
@@ -177,9 +240,10 @@ impl Shared {
         }
     }
 
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the accept loop out of its blocking accept().
+            // Wake the accept loop out of its blocking accept() (the
+            // event reactor notices via its poll tick).
             let _ = TcpStream::connect(self.local_addr);
         }
     }
@@ -189,7 +253,7 @@ impl Shared {
 /// [`ServerHandle::shutdown`] for a synchronous drain with final stats.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -227,7 +291,7 @@ impl ServerHandle {
 
     fn drain_and_join(&mut self) {
         self.shared.begin_drain();
-        if let Some(h) = self.accept.take() {
+        for h in self.threads.drain(..) {
             let _ = h.join();
         }
         let deadline = Instant::now() + self.shared.cfg.drain_timeout;
@@ -245,7 +309,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts serving `backend` on `cfg.addr`.
+/// Starts serving `backend` on `cfg.addr`, in the architecture
+/// [`ServerConfig::mode`] selects.
 ///
 /// Takes the initial snapshot (materialising views) before accepting
 /// connections, so the first read never waits on the writer.
@@ -257,6 +322,7 @@ pub fn serve(
     let engine_stats = EngineStatsWire::from(backend.stats());
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
+    let mode = cfg.mode;
     let shared = Arc::new(Shared {
         cfg,
         local_addr,
@@ -267,13 +333,24 @@ pub fn serve(
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
-    let accept = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("idl-accept".into())
-            .spawn(move || accept_loop(listener, shared))?
+    let threads = match mode {
+        #[cfg(unix)]
+        ServeMode::Event => crate::event::spawn(listener, Arc::clone(&shared))?,
+        #[cfg(not(unix))]
+        ServeMode::Event => spawn_threaded(listener, Arc::clone(&shared))?,
+        ServeMode::Threaded => spawn_threaded(listener, Arc::clone(&shared))?,
     };
-    Ok(ServerHandle { shared, accept: Some(accept) })
+    Ok(ServerHandle { shared, threads })
+}
+
+fn spawn_threaded(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> Result<Vec<JoinHandle<()>>, ServerError> {
+    let accept = std::thread::Builder::new()
+        .name("idl-accept".into())
+        .spawn(move || accept_loop(listener, shared))?;
+    Ok(vec![accept])
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -306,7 +383,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// Over-capacity connection: complete the handshake, explain, hang up.
-fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+pub(crate) fn reject_busy(mut stream: TcpStream, shared: &Shared) {
     stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
     if stream.write_all(MAGIC).is_err() {
         return;
@@ -364,7 +441,11 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64) {
                 respond(&mut stream, &WireResponse::ShuttingDown, shared, &mut sess);
                 break;
             }
-            Err(FrameError::Aborted(_)) => break, // idle: close quietly
+            Err(FrameError::Aborted(_)) => {
+                // idle deadline: close quietly, counted for the reaper
+                ServerStats::bump(&shared.stats.sessions_reaped, 1);
+                break;
+            }
             Err(FrameError::TooLarge { declared, max }) => {
                 ServerStats::bump(&shared.stats.frames_rejected, 1);
                 let resp = WireResponse::server_error(
@@ -575,7 +656,7 @@ fn snapshot_query(shared: &Arc<Shared>, src: String) -> WireResponse {
     }
 }
 
-fn query_snapshot(
+pub(crate) fn query_snapshot(
     snap: &EngineSnapshot,
     src: &str,
     shared: &Shared,
@@ -583,7 +664,7 @@ fn query_snapshot(
     snap.query_cached(src, Some(&shared.plan_cache))
 }
 
-fn answer(result: Result<idl::AnswerSet, EngineError>) -> WireResponse {
+pub(crate) fn answer(result: Result<idl::AnswerSet, EngineError>) -> WireResponse {
     match result {
         Ok(a) => WireResponse::Answers(a),
         Err(e) => WireResponse::from_error(&e),

@@ -86,6 +86,20 @@ pub struct ServerStats {
     pub bytes_in: AtomicU64,
     /// Framing + payload bytes sent.
     pub bytes_out: AtomicU64,
+    /// Requests answered with an in-order `E-OVERLOAD` load-shed frame
+    /// at the global pending-queue cap (event mode).
+    pub load_shed: AtomicU64,
+    /// Sessions closed by the idle reaper.
+    pub sessions_reaped: AtomicU64,
+    /// Coalesced write batches committed through the group-commit path
+    /// (event mode; one log append + one fsync per batch).
+    pub group_commits: AtomicU64,
+    /// Updates acknowledged through those batches. Fsyncs saved by
+    /// coalescing is `group_commit_records - group_commits`.
+    pub group_commit_records: AtomicU64,
+    /// High-water mark of requests queued across all sessions awaiting
+    /// dispatch (event mode).
+    pub queue_depth_peak: AtomicU64,
     /// Request latency window.
     pub latency: LatencyRing,
 }
@@ -113,10 +127,26 @@ impl ServerStats {
             frames_rejected: get(&self.frames_rejected),
             bytes_in: get(&self.bytes_in),
             bytes_out: get(&self.bytes_out),
+            load_shed: get(&self.load_shed),
+            sessions_reaped: get(&self.sessions_reaped),
+            group_commits: get(&self.group_commits),
+            group_commit_records: get(&self.group_commit_records),
+            queue_depth_peak: get(&self.queue_depth_peak),
             p50_us,
             p99_us,
             plan_cache_hits: plan_cache.0,
             plan_cache_misses: plan_cache.1,
+        }
+    }
+
+    /// Raises a high-water-mark counter to at least `depth`.
+    pub fn raise_peak(counter: &AtomicU64, depth: u64) {
+        let mut seen = counter.load(Ordering::Relaxed);
+        while seen < depth {
+            match counter.compare_exchange_weak(seen, depth, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
         }
     }
 }
@@ -147,6 +177,23 @@ pub struct ServerStatsSnapshot {
     pub bytes_in: u64,
     /// Bytes sent.
     pub bytes_out: u64,
+    /// In-order `E-OVERLOAD` load-shed answers (event mode). Optional on
+    /// the wire: replies from servers predating the event loop decode
+    /// as zero, and older clients ignore the field.
+    #[serde(default)]
+    pub load_shed: u64,
+    /// Sessions closed by the idle reaper.
+    #[serde(default)]
+    pub sessions_reaped: u64,
+    /// Coalesced write batches committed (event mode).
+    #[serde(default)]
+    pub group_commits: u64,
+    /// Updates acknowledged through coalesced batches.
+    #[serde(default)]
+    pub group_commit_records: u64,
+    /// High-water mark of queued requests across all sessions.
+    #[serde(default)]
+    pub queue_depth_peak: u64,
     /// Median request latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds.

@@ -129,6 +129,12 @@ pub struct DurabilityStats {
     /// Whether the last open adopted persisted maintenance state from
     /// the snapshot (replay then maintains instead of rebuilding).
     pub maintenance_state_adopted: bool,
+    /// Coalesced write groups committed since open (each group is one
+    /// log append plus one fsync covering every record in it).
+    pub group_commits: u64,
+    /// Records committed through coalesced groups since open. The
+    /// fsyncs saved by batching is `group_commit_records - group_commits`.
+    pub group_commit_records: u64,
 }
 
 /// The 12-byte file header for a fresh framed log.

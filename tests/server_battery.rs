@@ -22,12 +22,15 @@
 //! parallel refresh paths.
 
 use idl::{Backend, DurableEngine, Engine, EngineOptions, FaultPlan, SimVfs, Vfs};
-use idl_server::{protocol, serve, Client, ServerConfig, ServerHandle, WireResponse};
+use idl_server::{
+    protocol, serve, Client, ServeMode, ServerConfig, ServerHandle, ServerStatsSnapshot,
+    WireRequest, WireResponse,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 const OPS_PER_CLIENT: usize = 12;
@@ -281,6 +284,183 @@ fn concurrent_reads_stay_on_published_snapshot_during_seminaive_refresh() {
     // After the last republish every reader sees the final state.
     assert_eq!(reader.dump_universe().unwrap(), states[3], "final publish");
     handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_with_read_your_writes() {
+    let handle = serve_engine(
+        |e| {
+            e.add_rules(RULES).unwrap();
+        },
+        ServerConfig { mode: ServeMode::Event, ..ServerConfig::default() },
+    );
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Fire the whole interleaved update/query workload without reading a
+    // single reply: every frame sits in the session's pipeline.
+    const N: usize = 16;
+    for k in 0..N {
+        client
+            .send_request(&WireRequest::Update { src: format!("?.db.r+(.c=7, .k={k})") })
+            .unwrap();
+        client.send_request(&WireRequest::Query { src: "?.db.r(.c=7, .k=K)".into() }).unwrap();
+    }
+    // Replies come back strictly in request order, and each pipelined
+    // query observes every update that preceded it in the pipeline
+    // (read-your-writes across the whole burst).
+    for k in 0..N {
+        match client.read_reply().unwrap() {
+            WireResponse::Outcomes(o) => {
+                assert_eq!(o[0].stats().unwrap().inserted, 1, "update {k}")
+            }
+            other => panic!("reply {k}: expected the update's Outcomes, got {other:?}"),
+        }
+        match client.read_reply().unwrap() {
+            WireResponse::Answers(a) => {
+                assert_eq!(a.len(), k + 1, "query pipelined after update {k}")
+            }
+            other => panic!("reply {k}: expected the query's Answers, got {other:?}"),
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.session.errors, 0);
+    assert_eq!(stats.session.requests, 2 * N as u64);
+    drop(client);
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.errors, 0);
+}
+
+/// Pipelined-writer oracle leg, shared by both serve modes: every client
+/// bursts its whole update workload down the pipe before collecting a
+/// single ack, so concurrent updates pile up at the writer (in event
+/// mode, coalescing into group commits). The final universe must still
+/// be byte-identical to the single-threaded oracle.
+fn pipelined_writers_match_oracle(mode: ServeMode) -> ServerStatsSnapshot {
+    let handle = serve_engine(
+        |e| {
+            e.add_rules(RULES).unwrap();
+        },
+        ServerConfig { mode, ..ServerConfig::default() },
+    );
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (1..=CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                for k in 0..OPS_PER_CLIENT {
+                    client
+                        .send_request(&WireRequest::Update {
+                            src: format!("?.db.r+(.c={c}, .k={k})"),
+                        })
+                        .unwrap();
+                }
+                for k in 0..OPS_PER_CLIENT {
+                    match client.read_reply().unwrap() {
+                        WireResponse::Outcomes(o) => {
+                            assert_eq!(o[0].stats().unwrap().inserted, 1, "client {c} op {k}")
+                        }
+                        other => panic!("client {c} op {k}: expected Outcomes, got {other:?}"),
+                    }
+                }
+                // Read-your-writes across the pipeline boundary: a query
+                // issued after the last ack sees the whole burst, in base
+                // and view within one snapshot.
+                let answers =
+                    client.query(&format!("?.db.r(.c={c}, .k=K), .v.all(.c={c}, .k=K)")).unwrap();
+                assert_eq!(answers.len(), OPS_PER_CLIENT, "client {c} read-your-writes");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panics propagate");
+    }
+
+    let served = Client::connect(addr).unwrap().dump_universe().unwrap();
+    let mut oracle = Engine::new();
+    oracle.add_rules(RULES).unwrap();
+    for c in 1..=CLIENTS {
+        for k in 0..OPS_PER_CLIENT {
+            oracle.update(&format!("?.db.r+(.c={c}, .k={k})")).unwrap();
+        }
+    }
+    oracle.refresh_views().unwrap();
+    assert_eq!(
+        served,
+        oracle.universe_json().unwrap(),
+        "pipelined {mode} state diverged from oracle"
+    );
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.errors, 0);
+    assert_eq!(final_stats.sessions_active, 0);
+    assert!(final_stats.writes >= (CLIENTS * OPS_PER_CLIENT) as u64);
+    final_stats
+}
+
+#[test]
+fn pipelined_writers_match_oracle_in_event_mode() {
+    let stats = pipelined_writers_match_oracle(ServeMode::Event);
+    // Every update travelled through the group-commit path; the batch
+    // count tells how much coalescing the schedule happened to yield.
+    assert_eq!(stats.group_commit_records, (CLIENTS * OPS_PER_CLIENT) as u64);
+    assert!(stats.group_commits >= 1);
+    assert!(stats.group_commits <= stats.group_commit_records);
+}
+
+#[test]
+fn pipelined_writers_match_oracle_in_threaded_mode() {
+    let stats = pipelined_writers_match_oracle(ServeMode::Threaded);
+    // The reference mode has no write batching at all.
+    assert_eq!(stats.group_commits, 0);
+}
+
+#[test]
+fn oversized_response_degrades_to_error_frame_in_event_mode() {
+    let cfg = ServerConfig { mode: ServeMode::Event, max_frame: 1024, ..ServerConfig::default() };
+    let handle = serve_engine(
+        |e| {
+            let mut src = String::new();
+            for k in 0..200 {
+                src.push_str(&format!("?.db.big+(.k={k}, .pad=xxxxxxxxxxxxxxxxxxxx{k}) ;\n"));
+            }
+            e.execute(&src).unwrap();
+        },
+        cfg,
+    );
+    let mut client = Client::connect_with(handle.local_addr(), 1024, None).unwrap();
+    // The universe dump cannot fit one frame: the response degrades to a
+    // clean E-TOO-LARGE error frame instead of killing the session.
+    let err = client.dump_universe().unwrap_err();
+    assert_eq!(err.code(), Some(protocol::E_TOO_LARGE), "{err}");
+    client.ping().unwrap();
+    assert!(client.query("?.db.big(.k=1, .pad=P)").unwrap().is_true());
+    let final_stats = handle.shutdown();
+    assert!(final_stats.errors >= 1);
+    assert_eq!(final_stats.sessions_active, 0);
+}
+
+#[test]
+fn idle_sessions_are_reaped_in_event_mode() {
+    let cfg = ServerConfig {
+        mode: ServeMode::Event,
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = serve_engine(
+        |e| {
+            e.add_rules(RULES).unwrap();
+        },
+        cfg,
+    );
+    let mut idle = Client::connect(handle.local_addr()).unwrap();
+    idle.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    // The reaper closed the quiet session; the next call finds EOF.
+    assert!(idle.ping().is_err(), "idle session survived past its deadline");
+    let final_stats = handle.shutdown();
+    assert!(final_stats.sessions_reaped >= 1);
+    assert_eq!(final_stats.sessions_active, 0);
 }
 
 /// Raw-socket handshake: exchange magic, consume the greeting frame.

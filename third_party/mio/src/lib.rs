@@ -1,0 +1,715 @@
+//! Offline API-compatible subset of `mio`: a readiness-driven I/O event
+//! queue over raw file descriptors.
+//!
+//! Provides the registration surface the workspace's event-loop server
+//! uses — [`Poll`], [`Registry`], [`Events`], [`Token`], [`Interest`],
+//! [`unix::SourceFd`] and a cross-thread [`Waker`] — implemented on
+//! `epoll(7)` on Linux and on portable `poll(2)` elsewhere, with no
+//! dependency beyond the platform C library the Rust runtime already
+//! links.
+//!
+//! Differences from the real `mio`, chosen for this workspace:
+//!
+//! * Registration is **level-triggered by default** (the server's frame
+//!   state machines re-arm naturally); edge-triggered readiness is
+//!   available through [`Registry::register_with`] and
+//!   [`Trigger::Edge`]. The `poll(2)` fallback approximates edge as
+//!   level (readiness is recomputed per call, so the approximation is
+//!   safe: callers may see extra events, never fewer).
+//! * Only `RawFd` sources are supported, via [`unix::SourceFd`] — which
+//!   is how the workspace registers `std::net` sockets.
+//! * [`Waker`] events are drained internally before being reported, so
+//!   a level-triggered waker never spins the loop.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Token associating a readiness event with its registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (combine with `|`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer hang-up).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether this interest includes reads.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether this interest includes writes.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// How readiness is reported: on every poll while the condition holds
+/// (level), or once per transition into readiness (edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Trigger {
+    /// Report while ready (the default; never misses buffered bytes).
+    #[default]
+    Level,
+    /// Report on transitions only (`EPOLLET`; the caller must drain).
+    Edge,
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    closed: bool,
+}
+
+impl Event {
+    /// The token the ready source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (data, or a hang-up that `read` will report).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Error condition on the source (`EPOLLERR`).
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// Peer closed its end (`EPOLLHUP`/`EPOLLRDHUP`).
+    pub fn is_read_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Event buffer filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { buf: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.buf.iter()
+    }
+
+    /// Whether the last poll returned no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+pub mod unix {
+    //! Adapters for registering raw file descriptors.
+    use std::os::fd::RawFd;
+
+    /// Adapter registering a borrowed `RawFd` with the poller (the only
+    /// source kind this shim supports).
+    pub struct SourceFd<'a>(pub &'a RawFd);
+}
+
+/// Handle for registering sources; obtained from [`Poll::registry`].
+///
+/// Registration is thread-safe; polling itself stays on one thread.
+pub struct Registry {
+    backend: sys::Backend,
+    /// Waker fds by token, drained before their events are reported so
+    /// level-triggered wakers never spin the loop.
+    wakers: Mutex<HashMap<usize, RawFd>>,
+}
+
+impl Registry {
+    /// Registers `source` for `interest` under `token`, level-triggered.
+    pub fn register(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.backend.register(*source.0, token, interest, Trigger::Level)
+    }
+
+    /// [`Registry::register`] with an explicit [`Trigger`].
+    pub fn register_with(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        self.backend.register(*source.0, token, interest, trigger)
+    }
+
+    /// Changes the interest (and trigger back to level) of a registered
+    /// source.
+    pub fn reregister(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.backend.reregister(*source.0, token, interest, Trigger::Level)
+    }
+
+    /// [`Registry::reregister`] with an explicit [`Trigger`].
+    pub fn reregister_with(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        self.backend.reregister(*source.0, token, interest, trigger)
+    }
+
+    /// Removes a source from the poller.
+    pub fn deregister(&self, source: &mut unix::SourceFd<'_>) -> io::Result<()> {
+        self.backend.deregister(*source.0)
+    }
+}
+
+/// The readiness queue: `epoll` on Linux, `poll(2)` elsewhere.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh poller.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry { backend: sys::Backend::new()?, wakers: Mutex::new(HashMap::new()) },
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` blocks indefinitely), or a signal interrupts the
+    /// wait (reported as zero events, like a timeout).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.buf.clear();
+        self.registry.backend.poll(&mut events.buf, events.capacity, timeout)?;
+        // Drain waker fds so their level-triggered readiness resets.
+        let wakers = self.registry.wakers.lock().unwrap_or_else(|p| p.into_inner());
+        for ev in &events.buf {
+            if let Some(&fd) = wakers.get(&ev.token().0) {
+                sys::drain(fd);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread.
+///
+/// Implemented with an `eventfd` (Linux) or a self-pipe; the fd is
+/// registered under `token` and delivered as an ordinary readable event,
+/// pre-drained by the poller.
+pub struct Waker {
+    write_fd: RawFd,
+    /// The registered (read) end, closed on drop when distinct.
+    read_fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker delivering events under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::waker_pair()?;
+        registry.backend.register(read_fd, token, Interest::READABLE, Trigger::Level)?;
+        registry.wakers.lock().unwrap_or_else(|p| p.into_inner()).insert(token.0, read_fd);
+        Ok(Waker { write_fd, read_fd })
+    }
+
+    /// Queues one wake-up (idempotent while unconsumed).
+    pub fn wake(&self) -> io::Result<()> {
+        sys::wake(self.write_fd)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.write_fd);
+        if self.read_fd != self.write_fd {
+            sys::close_fd(self.read_fd);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ sys
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Linux backend: `epoll(7)` + `eventfd(2)`, declared directly
+    //! against the C library (no `libc` crate in this offline build).
+    use super::{Event, Interest, Token, Trigger};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest, trigger: Trigger) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.is_readable() {
+            m |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            m |= EPOLLOUT;
+        }
+        if trigger == Trigger::Edge {
+            m |= EPOLLET;
+        }
+        m
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            trigger: Trigger,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, mask(interest, trigger), token.0 as u64)
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            trigger: Trigger,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, mask(interest, trigger), token.0 as u64)
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn poll(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            let timeout_ms = match timeout {
+                None => -1,
+                // round up so a 1ns timeout does not busy-spin at 0ms
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32
+                    + if d.subsec_nanos() % 1_000_000 != 0 { 1 } else { 0 },
+            };
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), capacity as i32, timeout_ms) };
+            let n = match cvt(n) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: Token(ev.data as usize),
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+                    error: bits & EPOLLERR != 0,
+                    closed: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// `(read_fd, write_fd)` — one eventfd serving both roles.
+    pub(super) fn waker_pair() -> io::Result<(RawFd, RawFd)> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok((fd, fd))
+    }
+
+    pub(super) fn wake(fd: RawFd) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { write(fd, &one as *const u64 as *const u8, 8) };
+        if ret == 8 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            // counter saturated: readiness is already pending
+            return Ok(());
+        }
+        Err(err)
+    }
+
+    pub(super) fn drain(fd: RawFd) {
+        let mut buf = [0u8; 8];
+        unsafe { read(fd, buf.as_mut_ptr(), 8) };
+    }
+
+    pub(super) fn close_fd(fd: RawFd) {
+        unsafe { close(fd) };
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Portable backend: `poll(2)` over a registration table, waker via
+    //! self-pipe. Edge triggering degrades to level (see module docs).
+    use super::{Event, Interest, Token, Trigger};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0x4;
+
+    pub(super) struct Backend {
+        table: Mutex<BTreeMap<RawFd, (Token, Interest)>>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Ok(Backend { table: Mutex::new(BTreeMap::new()) })
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            _trigger: Trigger,
+        ) -> io::Result<()> {
+            self.table.lock().unwrap_or_else(|p| p.into_inner()).insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+            trigger: Trigger,
+        ) -> io::Result<()> {
+            self.register(fd, token, interest, trigger)
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.table.lock().unwrap_or_else(|p| p.into_inner()).remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn poll(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, Token, Interest)> = {
+                let table = self.table.lock().unwrap_or_else(|p| p.into_inner());
+                table.iter().map(|(fd, (t, i))| (*fd, *t, *i)).collect()
+            };
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.is_readable() { POLLIN } else { 0 }
+                        | if interest.is_writable() { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32
+                    + if d.subsec_nanos() % 1_000_000 != 0 { 1 } else { 0 },
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pf, (_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                if pf.revents == 0 || out.len() >= capacity {
+                    continue;
+                }
+                out.push(Event {
+                    token: *token,
+                    readable: pf.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: pf.revents & (POLLOUT | POLLERR) != 0,
+                    error: pf.revents & POLLERR != 0,
+                    closed: pf.revents & POLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    pub(super) fn waker_pair() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        unsafe {
+            fcntl(fds[0], F_SETFL, O_NONBLOCK);
+            fcntl(fds[1], F_SETFL, O_NONBLOCK);
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub(super) fn wake(fd: RawFd) -> io::Result<()> {
+        let one = [1u8];
+        let ret = unsafe { write(fd, one.as_ptr(), 1) };
+        if ret == 1 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        Err(err)
+    }
+
+    pub(super) fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 || (n as usize) < buf.len() {
+                break;
+            }
+        }
+    }
+
+    pub(super) fn close_fd(fd: RawFd) {
+        unsafe { close(fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    const LISTENER: Token = Token(0);
+    const WAKER: Token = Token(1);
+    const CONN: Token = Token(2);
+
+    #[test]
+    fn listener_and_stream_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let fd = listener.as_raw_fd();
+        poll.registry().register(&mut unix::SourceFd(&fd), LISTENER, Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "no connection yet");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == LISTENER && e.is_readable()));
+
+        let (mut served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+        let sfd = served.as_raw_fd();
+        poll.registry()
+            .register(&mut unix::SourceFd(&sfd), CONN, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        // level-triggered: the byte stays readable until consumed
+        for _ in 0..2 {
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(events.iter().any(|e| e.token() == CONN && e.is_readable()));
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 4);
+
+        // interest can drop write readiness
+        poll.registry().reregister(&mut unix::SourceFd(&sfd), CONN, Interest::READABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(!events.iter().any(|e| e.token() == CONN && e.is_writable()));
+
+        // peer hang-up reports as readable + closed
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let hup = events.iter().find(|e| e.token() == CONN).expect("hang-up event");
+        assert!(hup.is_readable());
+    }
+
+    #[test]
+    fn waker_wakes_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER && e.is_readable()));
+        handle.join().unwrap();
+        // drained internally: no further waker event without a new wake()
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(!events.iter().any(|e| e.token() == WAKER));
+        waker.wake().unwrap();
+        waker.wake().unwrap(); // coalesces
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.iter().filter(|e| e.token() == WAKER).count(), 1);
+    }
+
+    #[test]
+    fn edge_trigger_reports_transitions_once_on_epoll() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+        let sfd = served.as_raw_fd();
+
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register_with(&mut unix::SourceFd(&sfd), CONN, Interest::READABLE, Trigger::Edge)
+            .unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == CONN && e.is_readable()));
+        if cfg!(target_os = "linux") {
+            // without consuming, an edge-triggered fd does not re-report
+            poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+            assert!(events.is_empty(), "edge must not re-fire while unconsumed");
+        }
+    }
+}
