@@ -4,11 +4,17 @@
 //! predicate deletes, index build + probe, statistics, snapshot
 //! save/load. These numbers contextualise B1–B8 (how much of a query is
 //! language overhead vs storage work).
+//!
+//! The snapshot roundtrips run twice — once through the legacy JSON
+//! wrapper and once through the binary codec — so `BENCH_B9.json` keeps
+//! the serialization-tax comparison honest. `BENCH_B9_SIZES=1` skips
+//! criterion and emits one JSON line per universe size with the on-disk
+//! blob sizes of both encodings (the size axis in `BENCH_B9.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use idl_bench::stock_store;
 use idl_object::{tuple, Value};
-use idl_storage::{persist, IndexKind};
+use idl_storage::{codec, persist, IndexKind, Store};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -80,6 +86,16 @@ fn bench(c: &mut Criterion) {
             })
         });
 
+        group.bench_function(BenchmarkId::new("snapshot_binary_roundtrip", &label), |b| {
+            let store = stock_store(stocks, days);
+            b.iter(|| {
+                let blob = codec::encode_snapshot(store.universe(), 1, 0, None);
+                let snap = codec::decode_snapshot(&blob).unwrap();
+                let back = Store::from_universe(snap.universe).unwrap();
+                black_box(back.database_names().len())
+            })
+        });
+
         group.bench_function(BenchmarkId::new("txn_snapshot_rollback", &label), |b| {
             let mut store = stock_store(stocks, days);
             b.iter(|| {
@@ -93,6 +109,28 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// The size axis behind `BENCH_B9.json`: one JSON line per universe
+/// size, on-disk bytes of the JSON wrapper vs the binary container.
+fn run_sizes() {
+    println!("[");
+    let mut first = true;
+    for &(stocks, days) in B9_SIZES {
+        let store = stock_store(stocks, days);
+        let json = persist::to_json(&store).unwrap().len();
+        let binary = codec::encode_snapshot(store.universe(), 1, 0, None).len();
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "  {{\"size\": \"{stocks}stk_x_{days}d\", \"json_bytes\": {json}, \
+             \"binary_bytes\": {binary}, \"ratio\": {:.2}}}",
+            json as f64 / binary as f64
+        );
+    }
+    println!("\n]");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -101,4 +139,11 @@ criterion_group! {
         .measurement_time(Duration::from_millis(900));
     targets = bench
 }
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var("BENCH_B9_SIZES").is_ok() {
+        run_sizes();
+        return;
+    }
+    benches();
+}

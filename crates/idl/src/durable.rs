@@ -52,9 +52,14 @@ use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::outcome::Outcome;
 use idl_lang::{parse_program, parse_statement, Statement};
+use idl_object::Name;
+use idl_storage::codec::{self, DeltaBlob, DeltaEntry, SnapshotCodec};
+use idl_storage::journal::ChangeScope;
 use idl_storage::oplog::{self, DurabilityStats, LogFormat};
 use idl_storage::persist;
+use idl_storage::store::Store;
 use idl_storage::vfs::{RealVfs, Vfs, VfsStats};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,6 +87,40 @@ impl std::str::FromStr for SyncPolicy {
     }
 }
 
+/// How [`DurableEngine::checkpoint`] decides between a full snapshot and
+/// an incremental delta.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointPolicy {
+    /// Write a delta checkpoint (only the relations/databases dirtied
+    /// since the last checkpoint) while the chain stays under `max_chain`;
+    /// compact to a full snapshot when it would grow past that, when the
+    /// universe was mutated unscoped, or when the base is not binary.
+    Auto {
+        /// Chain-length cap before the next checkpoint compacts.
+        max_chain: usize,
+    },
+    /// Every checkpoint writes a full snapshot (and clears any chain).
+    Full,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::Auto { max_chain: 8 }
+    }
+}
+
+impl std::str::FromStr for CheckpointPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(CheckpointPolicy::default()),
+            "full" => Ok(CheckpointPolicy::Full),
+            other => Err(format!("unknown checkpoint policy '{other}' (expected auto|full)")),
+        }
+    }
+}
+
 /// Durability knobs for [`DurableEngine::open_with_vfs`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DurabilityOptions {
@@ -91,11 +130,27 @@ pub struct DurabilityOptions {
     /// log is never downgraded; an existing legacy log is migrated when
     /// this is [`LogFormat::Framed`]).
     pub format: LogFormat,
+    /// Snapshot encoding checkpoints are written in. Binary by default;
+    /// an existing JSON directory is migrated to binary on open. Opening
+    /// with `Json` never rewrites a binary base on open — the next
+    /// checkpoint simply writes JSON (and clears any delta chain).
+    pub codec: SnapshotCodec,
+    /// Full-vs-delta checkpoint policy (deltas need the binary codec).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> Self {
-        DurabilityOptions { sync: SyncPolicy::Always, format: LogFormat::Framed }
+        // IDL_CODEC=json keeps the whole durable path on the legacy
+        // encoding (the CI compatibility leg and the B17 ablation).
+        let codec =
+            std::env::var("IDL_CODEC").ok().and_then(|s| s.parse().ok()).unwrap_or_default();
+        DurabilityOptions {
+            sync: SyncPolicy::Always,
+            format: LogFormat::Framed,
+            codec,
+            checkpoint: CheckpointPolicy::default(),
+        }
     }
 }
 
@@ -152,6 +207,23 @@ pub struct DurableEngine {
     /// Byte length of the acknowledged log prefix — the truncation point
     /// when an append or sync fails partway.
     log_bytes: u64,
+    /// Whether a base snapshot file exists on disk.
+    has_base: bool,
+    /// Encoding of the on-disk base snapshot (meaningful when `has_base`).
+    disk_codec: SnapshotCodec,
+    /// Checkpoint generation of the on-disk base (deltas chain-link to it).
+    gen: u64,
+    /// Length of the on-disk delta chain.
+    chain_len: u64,
+    /// LSN covered by the newest checkpoint artifact (base or last delta)
+    /// — the `prev_lsn` the next delta links to.
+    ckpt_lsn: u64,
+    /// Store journal version covered by the newest checkpoint artifact;
+    /// `changes_since(ckpt_version)` is exactly what the next delta must
+    /// record. 0 at open: the artifacts on disk predate every in-process
+    /// mutation (setup and replay included), and the store journal is
+    /// never truncated outside its own tests.
+    ckpt_version: u64,
     poisoned: Option<String>,
     stats: DurabilityStats,
 }
@@ -161,12 +233,35 @@ impl DurableEngine {
         dir.join("universe.json")
     }
 
+    fn delta_path(dir: &Path, seq: u64) -> PathBuf {
+        dir.join(format!("universe.delta.{seq}"))
+    }
+
     fn log_path_in(dir: &Path) -> PathBuf {
         dir.join("ops.idl")
     }
 
     fn log_path(&self) -> PathBuf {
         Self::log_path_in(&self.dir)
+    }
+
+    fn codec_hint(snapshot_codec: SnapshotCodec) -> u32 {
+        match snapshot_codec {
+            SnapshotCodec::Json => oplog::CODEC_HINT_JSON,
+            SnapshotCodec::Binary => oplog::CODEC_HINT_BINARY,
+        }
+    }
+
+    /// Best-effort removal of delta files from `from_seq` upward (stale
+    /// chain members from an older generation or a cleared chain).
+    fn sweep_deltas(vfs: &dyn Vfs, dir: &Path, from_seq: u64) {
+        let mut k = from_seq;
+        while vfs.exists(&Self::delta_path(dir, k)) {
+            if vfs.remove_file(&Self::delta_path(dir, k)).is_err() {
+                break;
+            }
+            k += 1;
+        }
     }
 
     /// Opens (or creates) a durable engine at `dir` on the real file
@@ -204,13 +299,71 @@ impl DurableEngine {
             .map_err(|e| storage_err(&format!("create {}", dir.display()), e))?;
         stats.stale_temps_removed = persist::clean_stale_temps(vfs.as_ref(), &dir)?;
 
+        stats.codec = opts.codec;
         let snap = Self::snapshot_path(&dir);
+        let mut gen = 0u64;
+        let mut disk_codec = opts.codec;
+        let mut chain_len = 0u64;
+        let mut has_base = false;
         let (mut engine, snap_lsn, maint_state) = if vfs.exists(&snap) {
-            let (store, lsn, state) = persist::load_snapshot_vfs_with_state(vfs.as_ref(), &snap)?;
-            (Engine::from_store(store), lsn, state)
+            has_base = true;
+            let (store, meta) = persist::load_snapshot_vfs_meta(vfs.as_ref(), &snap)?;
+            gen = meta.gen;
+            disk_codec = meta.codec;
+            let mut covered = meta.lsn;
+            let mut maint = meta.maintenance;
+            // Replay the delta chain: universe.delta.1, .2, … as long as
+            // each member links to what came before (same generation,
+            // consecutive seq, prev_lsn = the LSN covered so far). A
+            // member failing any of those is a stale leftover — a crash
+            // window between a full checkpoint and its chain sweep — and
+            // ends the chain.
+            let mut universe = store.universe().clone();
+            if meta.codec == SnapshotCodec::Binary {
+                loop {
+                    let path = Self::delta_path(&dir, chain_len + 1);
+                    if !vfs.exists(&path) {
+                        break;
+                    }
+                    let Ok(delta) = persist::load_delta_vfs(vfs.as_ref(), &path) else { break };
+                    if delta.gen != gen || delta.seq != chain_len + 1 || delta.prev_lsn != covered {
+                        break;
+                    }
+                    codec::apply_delta(&mut universe, &delta)?;
+                    covered = delta.lsn;
+                    maint = delta.maintenance;
+                    chain_len += 1;
+                }
+            }
+            Self::sweep_deltas(vfs.as_ref(), &dir, chain_len + 1);
+            let store = if chain_len > 0 { Store::from_universe(universe)? } else { store };
+            if opts.codec == SnapshotCodec::Binary && meta.codec == SnapshotCodec::Json {
+                // One-shot migration: re-save the recovered checkpoint
+                // state (base + any impossible chain — JSON bases have
+                // none) as a binary base covering the same LSN, before
+                // replaying the log tail. A crash mid-write leaves the
+                // old JSON base intact (atomic rename), so migration
+                // simply re-runs at the next open.
+                gen = 1;
+                let bytes = persist::save_snapshot_vfs_codec(
+                    vfs.as_ref(),
+                    &store,
+                    &snap,
+                    SnapshotCodec::Binary,
+                    gen,
+                    covered,
+                    sync,
+                    maint.clone(),
+                )?;
+                disk_codec = SnapshotCodec::Binary;
+                stats.migrated_snapshot = true;
+                stats.snapshot_bytes_written += bytes;
+            }
+            (Engine::from_store(store), covered, maint)
         } else {
             (Engine::new(), 0, None)
         };
+        stats.chain_len = chain_len;
         setup(&mut engine)?;
         // Adopt persisted maintenance state *after* setup installed the
         // rules (the adopt checks the rule fingerprint) and *before*
@@ -225,6 +378,7 @@ impl DurableEngine {
         }
 
         let log = Self::log_path_in(&dir);
+        let hint = Self::codec_hint(opts.codec);
         let mut lsn = snap_lsn;
         let write_format;
         let log_bytes;
@@ -247,6 +401,18 @@ impl DurableEngine {
                     stats.records_skipped += 1;
                     continue;
                 }
+                if rec.lsn > lsn + 1 {
+                    // The records between `lsn` and this one are nowhere:
+                    // not in a checkpoint artifact, not in the log. That
+                    // only happens when a disk dropped the fsync of a
+                    // snapshot or delta the log rotation then trusted.
+                    // Refuse to assemble a gapped history — report it.
+                    return Err(EngineError::Storage(format!(
+                        "recovery gap: log record lsn {} follows state covered to lsn {} — \
+                         a checkpoint artifact is missing (unsynced or lost)",
+                        rec.lsn, lsn
+                    )));
+                }
                 let stmt = parse_statement(&rec.stmt).map_err(|e| {
                     EngineError::Storage(format!("corrupt log at line {}: {e}", rec.line))
                 })?;
@@ -268,8 +434,9 @@ impl DurableEngine {
                 (LogFormat::LegacyLines, LogFormat::Framed) => {
                     // Migrate: rewrite the surviving records framed,
                     // atomically, dropping any torn trailing fragment.
-                    let fresh = oplog::encode_log(
-                        recovered.records.iter().map(|r| (r.lsn, r.stmt.as_str())),
+                    let fresh = oplog::encode_log_flagged_hint(
+                        hint,
+                        recovered.records.iter().map(|r| (r.lsn, 0, r.stmt.as_str())),
                     );
                     write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
                     stats.migrated_legacy = !recovered.records.is_empty();
@@ -280,16 +447,23 @@ impl DurableEngine {
                 (found, _) => {
                     if found == LogFormat::Framed && recovered.valid_len < oplog::HEADER_LEN {
                         // The header itself was torn — lay it down again.
-                        write_file_atomic(vfs.as_ref(), &log, &oplog::header_bytes(), sync)?;
+                        write_file_atomic(
+                            vfs.as_ref(),
+                            &log,
+                            &oplog::header_bytes_hint(hint),
+                            sync,
+                        )?;
                         stats.torn_bytes_truncated = recovered.torn_bytes;
-                        log_bytes = oplog::HEADER_LEN;
+                        log_bytes = oplog::HEADER_LEN_V4;
                     } else if found == LogFormat::Framed
                         && recovered.version < oplog::FORMAT_VERSION
                     {
                         // Upgrade the framing in place (atomically) so
-                        // appends can carry the per-record flags byte —
-                        // mixing record layouts in one file cannot work.
-                        let fresh = oplog::encode_log_flagged(
+                        // appends can carry the per-record flags byte and
+                        // the v4 header — mixing layouts in one file
+                        // cannot work.
+                        let fresh = oplog::encode_log_flagged_hint(
+                            hint,
                             recovered.records.iter().map(|r| (r.lsn, r.flags, r.stmt.as_str())),
                         );
                         write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
@@ -309,7 +483,7 @@ impl DurableEngine {
         } else {
             write_format = opts.format;
             let fresh = match write_format {
-                LogFormat::Framed => oplog::header_bytes(),
+                LogFormat::Framed => oplog::header_bytes_hint(hint),
                 LogFormat::LegacyLines => Vec::new(),
             };
             vfs.write(&log, &fresh).map_err(|e| storage_err("create log", e))?;
@@ -328,6 +502,12 @@ impl DurableEngine {
             write_format,
             lsn,
             log_bytes,
+            has_base,
+            disk_codec,
+            gen,
+            chain_len,
+            ckpt_lsn: snap_lsn,
+            ckpt_version: 0,
             poisoned: None,
             stats,
         })
@@ -569,31 +749,152 @@ impl DurableEngine {
         }
     }
 
-    /// Writes a fresh snapshot (recording the covered LSN) and rotates in
-    /// an empty log — recovery afterwards starts from the snapshot alone.
-    /// Both steps are individually atomic, and replay skips records the
-    /// snapshot covers, so a crash anywhere in between is safe.
+    /// Collects the post-images (or tombstones) of every database/relation
+    /// dirtied since the last checkpoint artifact, from the store's change
+    /// journal. `None` means a delta cannot represent the changes (an
+    /// unscoped universe mutation, e.g. a rollback) and the checkpoint
+    /// must be full.
+    fn delta_entries(&self) -> Option<Vec<DeltaEntry>> {
+        let store = self.engine.store();
+        let mut dbs: BTreeSet<Name> = BTreeSet::new();
+        let mut rels: BTreeMap<Name, BTreeSet<Name>> = BTreeMap::new();
+        for rec in store.changes_since(self.ckpt_version) {
+            match &rec.scope {
+                ChangeScope::Universe => return None,
+                ChangeScope::Database { db } => {
+                    dbs.insert(db.clone());
+                }
+                ChangeScope::Relation { db, rel } => {
+                    rels.entry(db.clone()).or_default().insert(rel.clone());
+                }
+            }
+        }
+        let universe = store.universe();
+        let mut entries = Vec::new();
+        for db in &dbs {
+            // database granularity subsumes its relations' entries
+            rels.remove(db);
+            match universe.attr(db.as_str()) {
+                // O(1) copy-on-write clones — the delta shares the live
+                // store's interiors until either side mutates
+                Some(v) => {
+                    entries.push(DeltaEntry::PutDatabase { db: db.clone(), value: v.clone() })
+                }
+                None => entries.push(DeltaEntry::DropDatabase { db: db.clone() }),
+            }
+        }
+        for (db, dirty) in &rels {
+            match universe.attr(db.as_str()) {
+                None => entries.push(DeltaEntry::DropDatabase { db: db.clone() }),
+                Some(dbv) => {
+                    for rel in dirty {
+                        match dbv.attr(rel.as_str()) {
+                            Some(v) => entries.push(DeltaEntry::PutRelation {
+                                db: db.clone(),
+                                rel: rel.clone(),
+                                value: v.clone(),
+                            }),
+                            None => entries.push(DeltaEntry::DropRelation {
+                                db: db.clone(),
+                                rel: rel.clone(),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        Some(entries)
+    }
+
+    /// Checkpoints under the configured [`CheckpointPolicy`]: an
+    /// incremental delta (only the slots dirtied since the last artifact)
+    /// when the policy, codec, and chain length allow; a full snapshot
+    /// otherwise. Either way the log rotates empty afterwards — recovery
+    /// is base + delta chain + log tail, each step individually atomic,
+    /// and replay skips records the artifacts cover, so a crash anywhere
+    /// in between is safe.
     pub fn checkpoint(&mut self) -> Result<Outcome, EngineError> {
+        self.do_checkpoint(false)
+    }
+
+    /// Forces a full-snapshot checkpoint, compacting any delta chain
+    /// (the `--checkpoint full` escape hatch).
+    pub fn checkpoint_full(&mut self) -> Result<Outcome, EngineError> {
+        self.do_checkpoint(true)
+    }
+
+    fn do_checkpoint(&mut self, force_full: bool) -> Result<Outcome, EngineError> {
         self.check_poisoned()?;
         let sync = self.opts.sync == SyncPolicy::Always;
         // Persist the maintenance state only when the views actually
         // match the universe being snapshotted — adopting stale support
         // counts at the next open would claim freshness the data lacks.
+        // The chain's newest artifact wins on recovery, so the blob (or
+        // its absence) rides every checkpoint.
         let state = if self.engine.views_fresh_now() {
             serde_json::to_string(self.engine.maintained_views()).ok()
         } else {
             None
         };
-        persist::save_snapshot_vfs_with_state(
-            self.vfs.as_ref(),
-            self.engine.store(),
-            &Self::snapshot_path(&self.dir),
-            Some(self.lsn),
-            sync,
-            state,
-        )?;
+        let store_version = self.engine.store().version();
+        let max_chain = match self.opts.checkpoint {
+            CheckpointPolicy::Auto { max_chain } => max_chain,
+            CheckpointPolicy::Full => 0,
+        };
+        let delta_ok = !force_full
+            && self.opts.codec == SnapshotCodec::Binary
+            && self.has_base
+            && self.disk_codec == SnapshotCodec::Binary
+            && (self.chain_len as usize) < max_chain;
+        match if delta_ok { self.delta_entries() } else { None } {
+            Some(entries) => {
+                let seq = self.chain_len + 1;
+                let blob = DeltaBlob {
+                    gen: self.gen,
+                    seq,
+                    prev_lsn: self.ckpt_lsn,
+                    lsn: self.lsn,
+                    maintenance: state,
+                    entries,
+                };
+                let bytes = persist::save_delta_vfs(
+                    self.vfs.as_ref(),
+                    &Self::delta_path(&self.dir, seq),
+                    &blob,
+                    sync,
+                )?;
+                self.chain_len = seq;
+                self.stats.delta_checkpoints += 1;
+                self.stats.snapshot_bytes_written += bytes;
+            }
+            None => {
+                // The new base gets a fresh generation, so any chain
+                // member surviving a crash before the sweep below is
+                // rejected (and removed) at the next open.
+                let bytes = persist::save_snapshot_vfs_codec(
+                    self.vfs.as_ref(),
+                    self.engine.store(),
+                    &Self::snapshot_path(&self.dir),
+                    self.opts.codec,
+                    self.gen + 1,
+                    self.lsn,
+                    sync,
+                    state,
+                )?;
+                self.gen += 1;
+                self.has_base = true;
+                self.disk_codec = self.opts.codec;
+                Self::sweep_deltas(self.vfs.as_ref(), &self.dir, 1);
+                self.chain_len = 0;
+                self.stats.full_checkpoints += 1;
+                self.stats.snapshot_bytes_written += bytes;
+            }
+        }
+        self.stats.chain_len = self.chain_len;
+        self.ckpt_lsn = self.lsn;
+        self.ckpt_version = store_version;
         let fresh = match self.write_format {
-            LogFormat::Framed => oplog::header_bytes(),
+            LogFormat::Framed => oplog::header_bytes_hint(Self::codec_hint(self.opts.codec)),
             LogFormat::LegacyLines => Vec::new(),
         };
         write_file_atomic(self.vfs.as_ref(), &self.log_path(), &fresh, sync)?;
@@ -1004,6 +1305,273 @@ mod tests {
         drop(d);
         let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
         assert!(!d.query("?.db.r(.a=X)").unwrap().is_true(), "unacked group not resurrected");
+    }
+
+    #[test]
+    fn checkpoints_default_to_binary_snapshots() {
+        // The subject here is the *default*; the IDL_CODEC override
+        // legitimately changes it, so this test only runs unset.
+        if std::env::var_os("IDL_CODEC").is_some() {
+            return;
+        }
+        let dir = fresh_dir("binary-ckpt");
+        {
+            let mut d = DurableEngine::open(&dir).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+        }
+        let bytes = std::fs::read(dir.join("universe.json")).unwrap();
+        assert!(bytes.starts_with(idl_storage::codec::SNAPSHOT_MAGIC));
+        let log = std::fs::read(dir.join("ops.idl")).unwrap();
+        let recovered = oplog::decode_log(&log).unwrap();
+        assert_eq!(recovered.version, oplog::FORMAT_VERSION);
+        assert_eq!(recovered.codec_hint, oplog::CODEC_HINT_BINARY);
+        let mut d = DurableEngine::open(&dir).unwrap();
+        assert!(d.query("?.db.r(.a=1)").unwrap().is_true());
+        assert_eq!(d.durability_stats().codec, SnapshotCodec::Binary);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn json_opts() -> DurabilityOptions {
+        DurabilityOptions { codec: SnapshotCodec::Json, ..DurabilityOptions::default() }
+    }
+
+    // Tests below assert codec-specific artifacts, so they pin the
+    // codec instead of inheriting the IDL_CODEC-sensitive default.
+    fn bin_opts() -> DurabilityOptions {
+        DurabilityOptions { codec: SnapshotCodec::Binary, ..DurabilityOptions::default() }
+    }
+
+    #[test]
+    fn second_checkpoint_is_a_delta_and_recovery_replays_the_chain() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(31)));
+        {
+            let mut d = sim_open(&vfs, bin_opts()).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            for i in 0..50 {
+                d.update(&format!("?.bulk.rows+(.k={i}, .payload=somelongatomvalue{i})")).unwrap();
+            }
+            d.checkpoint().unwrap(); // full: no base yet
+            assert_eq!(d.durability_stats().full_checkpoints, 1);
+            d.update("?.db.r+(.a=2)").unwrap();
+            d.update("?.other.s+(.b=1)").unwrap();
+            d.checkpoint().unwrap(); // delta 1
+            d.update("?.db.r-(.a=1)").unwrap();
+            d.checkpoint().unwrap(); // delta 2
+            let stats = d.durability_stats();
+            assert_eq!(stats.delta_checkpoints, 2);
+            assert_eq!(stats.chain_len, 2);
+            assert!(vfs.exists(Path::new("/d/universe.delta.1")));
+            assert!(vfs.exists(Path::new("/d/universe.delta.2")));
+            // the deltas only carry the dirtied slots, not the universe
+            let base = vfs.read(Path::new("/d/universe.json")).unwrap();
+            let d2 = vfs.read(Path::new("/d/universe.delta.2")).unwrap();
+            assert!(d2.len() < base.len());
+            d.update("?.tail.t+(.c=9)").unwrap(); // rides the log tail
+        }
+        let mut d = sim_open(&vfs, bin_opts()).unwrap();
+        assert_eq!(d.durability_stats().chain_len, 2, "chain adopted at open");
+        assert!(!d.query("?.db.r(.a=1)").unwrap().is_true(), "delta-2 delete applied");
+        assert!(d.query("?.db.r(.a=2)").unwrap().is_true());
+        assert!(d.query("?.other.s(.b=1)").unwrap().is_true());
+        assert!(d.query("?.tail.t(.c=9)").unwrap().is_true(), "log tail replayed on top");
+        assert_eq!(d.durability_stats().records_recovered, 1, "only the tail replays");
+    }
+
+    #[test]
+    fn chain_compacts_at_the_cap_and_on_demand() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(32)));
+        let opts =
+            DurabilityOptions { checkpoint: CheckpointPolicy::Auto { max_chain: 2 }, ..bin_opts() };
+        let mut d = sim_open(&vfs, opts).unwrap();
+        d.update("?.db.r+(.a=0)").unwrap();
+        d.checkpoint().unwrap(); // full
+        for i in 1..=2 {
+            d.update(&format!("?.db.r+(.a={i})")).unwrap();
+            d.checkpoint().unwrap(); // deltas 1, 2
+        }
+        assert_eq!(d.durability_stats().chain_len, 2);
+        d.update("?.db.r+(.a=3)").unwrap();
+        d.checkpoint().unwrap(); // chain at cap: compacts to a new full
+        let stats = d.durability_stats();
+        assert_eq!(stats.full_checkpoints, 2);
+        assert_eq!(stats.chain_len, 0);
+        assert!(!vfs.exists(Path::new("/d/universe.delta.1")), "chain swept");
+        // explicit full compaction regardless of chain headroom
+        d.update("?.db.r+(.a=4)").unwrap();
+        d.checkpoint().unwrap(); // delta again (fresh chain)
+        assert_eq!(d.durability_stats().chain_len, 1);
+        d.checkpoint_full().unwrap();
+        assert_eq!(d.durability_stats().chain_len, 0);
+        assert!(!vfs.exists(Path::new("/d/universe.delta.1")));
+        // policy Full never writes deltas
+        let vfs2 = Arc::new(SimVfs::new(FaultPlan::none(33)));
+        let opts2 = DurabilityOptions {
+            checkpoint: CheckpointPolicy::Full,
+            ..DurabilityOptions::default()
+        };
+        let mut d2 = sim_open(&vfs2, opts2).unwrap();
+        d2.update("?.db.r+(.a=1)").unwrap();
+        d2.checkpoint().unwrap();
+        d2.update("?.db.r+(.a=2)").unwrap();
+        d2.checkpoint().unwrap();
+        let stats = d2.durability_stats();
+        assert_eq!((stats.full_checkpoints, stats.delta_checkpoints), (2, 0));
+    }
+
+    #[test]
+    fn lost_chain_member_reports_recovery_gap() {
+        // A lying disk can lose a delta the log rotation already
+        // trusted; recovery must refuse to assemble the gapped history
+        // (base + log tail skipping the delta's updates), not silently
+        // serve a non-prefix state.
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(37)));
+        let opts =
+            DurabilityOptions { codec: SnapshotCodec::Binary, ..DurabilityOptions::default() };
+        {
+            let mut d = sim_open(&vfs, opts).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap(); // full base, covers lsn 1
+            d.update("?.db.r+(.a=2)").unwrap();
+            d.checkpoint().unwrap(); // delta 1, covers lsn 2
+            d.update("?.db.r+(.a=3)").unwrap(); // lsn 3, log tail
+            assert_eq!(d.durability_stats().chain_len, 1);
+        }
+        vfs.remove_file(Path::new("/d/universe.delta.1")).unwrap();
+        let Err(err) = sim_open(&vfs, opts) else { panic!("gapped history must not open") };
+        assert!(
+            err.to_string().contains("recovery gap"),
+            "expected a recovery-gap report, got: {err}"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_dir_migrates_to_binary_on_open() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(34)));
+        {
+            let mut d = sim_open(&vfs, json_opts()).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+            d.update("?.db.r+(.a=2)").unwrap(); // in the log tail
+            let bytes = vfs.read(Path::new("/d/universe.json")).unwrap();
+            assert!(bytes.starts_with(b"{"), "json codec writes the JSON wrapper");
+            assert_eq!(d.durability_stats().codec, SnapshotCodec::Json);
+        }
+        // reopen with the binary codec: one-shot migration
+        let mut d = sim_open(&vfs, bin_opts()).unwrap();
+        let stats = d.durability_stats();
+        assert!(stats.migrated_snapshot);
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        let bytes = vfs.read(Path::new("/d/universe.json")).unwrap();
+        assert!(bytes.starts_with(idl_storage::codec::SNAPSHOT_MAGIC));
+        // and the migrated base supports delta checkpoints immediately
+        d.update("?.db.r+(.a=3)").unwrap();
+        d.checkpoint().unwrap();
+        assert_eq!(d.durability_stats().delta_checkpoints, 1);
+        drop(d);
+        let mut d = sim_open(&vfs, bin_opts()).unwrap();
+        assert!(!d.durability_stats().migrated_snapshot, "migration is one-shot");
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+    }
+
+    #[test]
+    fn opening_binary_dir_with_json_codec_keeps_working() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(35)));
+        {
+            let mut d = sim_open(&vfs, bin_opts()).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+            d.update("?.db.r+(.a=2)").unwrap();
+            d.checkpoint().unwrap(); // delta 1
+            assert_eq!(d.durability_stats().chain_len, 1);
+        }
+        // no downgrade on open; the next checkpoint writes JSON and
+        // clears the chain
+        let mut d = sim_open(&vfs, json_opts()).unwrap();
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 2);
+        d.update("?.db.r+(.a=3)").unwrap();
+        d.checkpoint().unwrap();
+        assert_eq!(d.durability_stats().delta_checkpoints, 0);
+        assert!(vfs.read(Path::new("/d/universe.json")).unwrap().starts_with(b"{"));
+        assert!(!vfs.exists(Path::new("/d/universe.delta.1")), "chain cleared");
+        drop(d);
+        let mut d = sim_open(&vfs, json_opts()).unwrap();
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+    }
+
+    #[test]
+    fn unscoped_universe_changes_force_a_full_checkpoint() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(36)));
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        d.update("?.db.r+(.a=1)").unwrap();
+        d.checkpoint().unwrap();
+        // a failing request rolls its transaction back, recording
+        // ChangeScope::Universe in the store journal
+        assert!(d.update("?.db.r+(.a=X)").is_err(), "unbound insert must fail");
+        d.update("?.db.r+(.a=3)").unwrap();
+        d.checkpoint().unwrap();
+        let stats = d.durability_stats();
+        assert_eq!(stats.full_checkpoints, 2, "universe scope cannot ride a delta");
+        assert_eq!(stats.delta_checkpoints, 0);
+    }
+
+    #[test]
+    fn stale_deltas_from_an_older_generation_are_ignored_and_swept() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(37)));
+        {
+            let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap();
+            d.update("?.db.r+(.a=2)").unwrap();
+            d.checkpoint().unwrap(); // delta 1 (gen 1)
+        }
+        // simulate the crash window of a later full checkpoint: the new
+        // base (gen 2) renamed into place but the chain sweep never ran
+        {
+            let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+            d.update("?.db.r+(.a=3)").unwrap();
+            let entries = d.delta_entries().unwrap();
+            assert!(!entries.is_empty());
+            persist::save_snapshot_vfs_codec(
+                d.vfs.as_ref(),
+                d.engine.store(),
+                &DurableEngine::snapshot_path(Path::new("/d")),
+                SnapshotCodec::Binary,
+                2,
+                d.last_lsn(),
+                true,
+                None,
+            )
+            .unwrap();
+            // delta 1 still on disk, now stale (gen 1 != 2)
+        }
+        let mut d = sim_open(&vfs, DurabilityOptions::default()).unwrap();
+        assert_eq!(d.durability_stats().chain_len, 0, "stale delta rejected");
+        assert!(!vfs.exists(Path::new("/d/universe.delta.1")), "stale delta swept");
+        assert_eq!(d.query("?.db.r(.a=X)").unwrap().column("X").len(), 3);
+    }
+
+    #[test]
+    fn maintenance_state_rides_the_newest_chain_artifact() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(38)));
+        let open = |vfs: &Arc<SimVfs>| {
+            let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
+            DurableEngine::open_with_vfs("/d", v, bin_opts(), install_view)
+        };
+        {
+            let mut d = open(&vfs).unwrap();
+            d.update("?.db.r+(.a=1)").unwrap();
+            d.checkpoint().unwrap(); // full, views stale: no blob
+            d.query("?.v.all(.x=X)").unwrap(); // materialise
+            d.update("?.db.r+(.a=2)").unwrap(); // maintained
+            d.checkpoint().unwrap(); // delta 1 carries the blob
+            assert_eq!(d.durability_stats().delta_checkpoints, 1);
+        }
+        let d = open(&vfs).unwrap();
+        assert!(
+            d.durability_stats().maintenance_state_adopted,
+            "state from the newest delta adopted"
+        );
     }
 
     #[test]

@@ -139,6 +139,19 @@ impl EngineOptionsBuilder {
         self
     }
 
+    /// Snapshot encoding for durable backends (the CLI's `--codec`).
+    pub fn codec(mut self, codec: idl_storage::codec::SnapshotCodec) -> Self {
+        self.durability.codec = codec;
+        self
+    }
+
+    /// Full-vs-delta checkpoint policy for durable backends (the CLI's
+    /// `--checkpoint full`).
+    pub fn checkpoint_policy(mut self, policy: crate::durable::CheckpointPolicy) -> Self {
+        self.durability.checkpoint = policy;
+        self
+    }
+
     /// The engine-side configuration.
     pub fn build(self) -> EngineOptions {
         self.engine

@@ -50,7 +50,7 @@ mod outcome;
 pub mod transparency;
 
 pub use backend::{Backend, EngineSnapshot};
-pub use durable::{DurabilityOptions, DurableEngine, SyncPolicy};
+pub use durable::{CheckpointPolicy, DurabilityOptions, DurableEngine, SyncPolicy};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::EngineError;
 pub use outcome::Outcome;
@@ -61,6 +61,7 @@ pub use idl_eval::update::UpdateStats;
 pub use idl_eval::{AnswerSet, EvalOptions, PlanCache, Subst};
 pub use idl_lang::{parse_program, parse_statement, Statement};
 pub use idl_object::{Atom, Date, Name, SetObj, SharingCounters, TupleObj, Value};
+pub use idl_storage::codec::SnapshotCodec;
 pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};
 pub use idl_storage::{
     DurabilityStats, FaultPlan, LogFormat, RealVfs, SimVfs, Store, Vfs, VfsStats,

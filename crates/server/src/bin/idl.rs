@@ -21,8 +21,14 @@
 //!   `--mapping`, the mapping installs before the log replays.
 //! * `--fsync always|off` — log/snapshot fsync policy under `--durable`
 //!   (default `always`; `off` is the unsafe ablation mode).
-//! * `--checkpoint` — after all scripts ran, write a snapshot and rotate
-//!   the log (requires `--durable`; may be the only action).
+//! * `--codec json|binary` — snapshot encoding under `--durable`
+//!   (default `binary`, or the `IDL_CODEC` environment knob; a JSON
+//!   directory migrates to binary on open when binary is in effect).
+//! * `--checkpoint [auto|full]` — after all scripts ran, write a
+//!   checkpoint and rotate the log (requires `--durable`; may be the
+//!   only action). Bare or `auto` lets the engine write an incremental
+//!   delta when it can; `full` forces a full snapshot, compacting any
+//!   delta chain.
 //! * `--sql` — treat `-e` input / script lines as the SQL-sugar dialect.
 //! * `--analyze` — run static binding analysis instead of executing.
 //! * `--explain` — pretty-print the compiled physical plan for each
@@ -62,8 +68,8 @@
 //! Scripts are ordinary multi-statement IDL sources (`;`-separated).
 
 use idl::{
-    Backend, DurableEngine, Engine, EngineOptions, FaultPlan, Outcome, RealVfs, SimVfs, SyncPolicy,
-    Vfs,
+    Backend, CheckpointPolicy, DurableEngine, Engine, EngineOptions, FaultPlan, Outcome, RealVfs,
+    SimVfs, SnapshotCodec, SyncPolicy, Vfs,
 };
 use idl_server::{serve, Client, ServeMode, ServerConfig};
 use std::path::{Path, PathBuf};
@@ -76,7 +82,9 @@ struct Cli {
     save: Option<PathBuf>,
     durable: Option<PathBuf>,
     fsync: SyncPolicy,
+    codec: Option<SnapshotCodec>,
     checkpoint: bool,
+    checkpoint_policy: Option<CheckpointPolicy>,
     stock: bool,
     mapping: bool,
     sql: bool,
@@ -113,7 +121,9 @@ impl Default for Cli {
             save: None,
             durable: None,
             fsync: SyncPolicy::Always,
+            codec: None,
             checkpoint: false,
+            checkpoint_policy: None,
             stock: false,
             mapping: false,
             sql: false,
@@ -177,7 +187,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
                 let mode = args.next().ok_or("--fsync needs always|off")?;
                 cli.fsync = mode.parse()?;
             }
-            "--checkpoint" => cli.checkpoint = true,
+            "--codec" => {
+                let c = args.next().ok_or("--codec needs json|binary")?;
+                cli.codec = Some(c.parse()?);
+            }
+            "--checkpoint" => {
+                cli.checkpoint = true;
+                // Optional bare value: `--checkpoint full` compacts any
+                // delta chain, `--checkpoint auto` (= bare `--checkpoint`)
+                // lets the engine pick delta vs full.
+                if let Some(policy) = args.peek().and_then(|next| next.parse().ok()) {
+                    cli.checkpoint_policy = Some(policy);
+                    args.next();
+                }
+            }
             "--stock" => cli.stock = true,
             "--mapping" => cli.mapping = true,
             "--sql" => cli.sql = true,
@@ -257,8 +280,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
             "--help" | "-h" => {
                 println!(
                     "usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] \
-                     [--checkpoint] [--stock] [--mapping] [--sql] [--analyze] [--explain] \
-                     [--no-compile] [--stats] [--threads N] [-e STMT] [script.idl ...]\n\
+                     [--codec json|binary] [--checkpoint [auto|full]] [--stock] [--mapping] \
+                     [--sql] [--analyze] [--explain] [--no-compile] [--stats] [--threads N] \
+                     [-e STMT] [script.idl ...]\n\
                      \x20      idl serve [engine flags] [--addr HOST:PORT] \
                      [--serve-mode threaded|event] [--max-sessions N] [--max-frame BYTES] \
                      [--request-timeout SECS] [--no-remote-shutdown] [--workers N] \
@@ -290,6 +314,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
         if cli.fsync != SyncPolicy::Always {
             return Err("--fsync requires --durable".into());
         }
+        if cli.codec.is_some() {
+            return Err("--codec requires --durable".into());
+        }
     }
     Ok((mode, cli))
 }
@@ -315,7 +342,14 @@ fn open_durable(cli: &Cli, dir: &Path) -> Result<DurableEngine, String> {
         }
         Err(_) => Arc::new(RealVfs::new()),
     };
-    let opts = EngineOptions::builder().sync(cli.fsync).durability();
+    let mut builder = EngineOptions::builder().sync(cli.fsync);
+    if let Some(codec) = cli.codec {
+        builder = builder.codec(codec);
+    }
+    if let Some(policy) = cli.checkpoint_policy {
+        builder = builder.checkpoint_policy(policy);
+    }
+    let opts = builder.durability();
     let mapping = cli.mapping;
     let threads = cli.threads;
     let no_compile = cli.no_compile;

@@ -5,9 +5,10 @@
 //! open one per thread (the server multiplexes sessions, not frames).
 
 use crate::protocol::{
-    self, EngineStatsWire, FrameError, StatsReply, WireRequest, WireResponse, MAGIC,
+    self, EngineStatsWire, FrameError, StatsReply, WireRequest, WireResponse, MAGIC, MAGIC_V2,
 };
 use idl::{AnswerSet, EngineError, Outcome};
+use idl_storage::codec;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -84,12 +85,15 @@ impl From<FrameError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame: u32,
+    /// Whether the server granted the v2 handshake: `DumpUniverse`
+    /// replies arrive as compact binary frames, decoded locally.
+    binary: bool,
 }
 
 impl Client {
-    /// Connects, exchanges the handshake magic, and reads the server's
-    /// greeting frame (so a server at its session cap fails here, with
-    /// `E-BUSY`, rather than on the first real call).
+    /// Connects with the v2 handshake, and reads the server's greeting
+    /// frame (so a server at its session cap fails here, with `E-BUSY`,
+    /// rather than on the first real call).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         Self::connect_with(addr, protocol::DEFAULT_MAX_FRAME, None)
     }
@@ -101,27 +105,72 @@ impl Client {
         max_frame: u32,
         read_timeout: Option<Duration>,
     ) -> Result<Client, ClientError> {
+        Self::handshake(addr, max_frame, read_timeout, MAGIC_V2)
+    }
+
+    /// Connects with the legacy v1 handshake: everything — including
+    /// `DumpUniverse` replies — travels as JSON, exactly as clients
+    /// predating the binary codec behave.
+    pub fn connect_json(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::connect_json_with(addr, protocol::DEFAULT_MAX_FRAME, None)
+    }
+
+    /// [`Client::connect_json`] with an explicit frame cap and optional
+    /// per-call read deadline.
+    pub fn connect_json_with(
+        addr: impl ToSocketAddrs,
+        max_frame: u32,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        Self::handshake(addr, max_frame, read_timeout, MAGIC)
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        max_frame: u32,
+        read_timeout: Option<Duration>,
+        ours: &[u8; 8],
+    ) -> Result<Client, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(read_timeout)?;
-        stream.write_all(MAGIC)?;
+        stream.write_all(ours)?;
         let mut magic = [0u8; MAGIC.len()];
         stream.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        // A server past its session cap greets every peer with the v1
+        // magic and an E-BUSY frame, so either magic is acceptable; the
+        // session is binary only when the server echoed MAGIC_V2.
+        if &magic != MAGIC && &magic != MAGIC_V2 {
             return Err(ClientError::Protocol(format!(
                 "peer is not an idl-server (bad magic {magic:02x?})"
             )));
         }
-        let mut client = Client { stream, max_frame };
+        let mut client = Client { stream, max_frame, binary: &magic == MAGIC_V2 };
         match client.read_response()? {
-            WireResponse::Pong => Ok(client),
+            WireResponse::Pong | WireResponse::Hello { .. } => Ok(client),
             WireResponse::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(unexpected("a greeting", &other)),
         }
     }
 
+    /// Whether the server granted the v2 (binary-universe) handshake.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
     fn read_response(&mut self) -> Result<WireResponse, ClientError> {
         let payload = protocol::read_frame(&mut self.stream, self.max_frame, &mut |_| None)?;
+        if let [protocol::BINARY_UNIVERSE_MARKER, blob @ ..] = payload.as_slice() {
+            // A binary universe frame: decode the codec blob, then
+            // re-serialize to the same canonical JSON the server's JSON
+            // path produces, so `dump_universe` returns identical bytes
+            // on both handshakes.
+            let value = codec::decode_value(blob)
+                .map_err(|e| ClientError::Protocol(format!("corrupt binary universe: {e}")))?;
+            let json = serde_json::to_string(&value)
+                .map_err(|e| ClientError::Protocol(format!("unserializable universe: {e}")))?;
+            return Ok(WireResponse::Universe { json });
+        }
         let text = std::str::from_utf8(&payload)
             .map_err(|e| ClientError::Protocol(format!("non-UTF-8 response: {e}")))?;
         serde_json::from_str(text)
@@ -187,6 +236,10 @@ impl Client {
     }
 
     /// The universe as canonical JSON, from the published snapshot.
+    ///
+    /// On a v2 session the reply travels as a compact binary frame and
+    /// is decoded locally; the returned JSON is byte-identical to what
+    /// a v1 (JSON-only) session receives.
     pub fn dump_universe(&mut self) -> Result<String, ClientError> {
         match self.call(&WireRequest::DumpUniverse)? {
             WireResponse::Universe { json } => Ok(json),

@@ -51,9 +51,9 @@
 
 use crate::protocol::{
     self, SessionStatsWire, StatsReply, WireRequest, WireResponse, E_FRAME, E_OVERLOAD, E_PROTO,
-    E_TIMEOUT, E_TOO_LARGE, MAGIC,
+    E_TIMEOUT, E_TOO_LARGE, MAGIC, MAGIC_V2,
 };
-use crate::server::{self, ServerError, Shared};
+use crate::server::{self, Reply, ServerError, Shared};
 use crate::stats::ServerStats;
 use idl::{Backend, EngineError};
 use idl_storage::crc::crc32c;
@@ -92,7 +92,7 @@ struct Job {
 struct Completion {
     token: usize,
     generation: u64,
-    resp: WireResponse,
+    resp: Reply,
 }
 
 /// Worker → reactor channel: a locked vector plus a poller waker.
@@ -129,7 +129,7 @@ enum Entry {
     /// response is boxed so a queue of mostly-`Pending` entries does not
     /// pay the largest variant's footprint per slot.
     Ready {
-        resp: Box<WireResponse>,
+        resp: Box<Reply>,
         /// Whether this answers a parsed request (counts toward the
         /// request counters) or a framing-level error (counts only as a
         /// rejected frame, mirroring the threaded path).
@@ -146,6 +146,8 @@ struct Session {
     generation: u64,
     /// Whether the peer has presented the 8-byte protocol magic.
     handshaken: bool,
+    /// Whether the peer negotiated the v2 handshake (binary universes).
+    binary: bool,
     /// Unparsed inbound bytes (partial frames accumulate here).
     in_buf: Vec<u8>,
     /// Serialized outbound frames not yet accepted by the socket.
@@ -246,16 +248,15 @@ fn read_worker(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, mail: A
         let resp = match &job.req {
             WireRequest::Query { src } => {
                 let snap = shared.published();
-                server::answer(server::query_snapshot(&snap, src, &shared))
+                Reply::Wire(server::answer(server::query_snapshot(&snap, src, &shared)))
             }
             WireRequest::DumpUniverse => {
+                // O(1) copy-on-write handle clone; the reactor encodes
+                // it in the codec the session negotiated.
                 let snap = shared.published();
-                match idl_storage::persist::to_json(snap.store()) {
-                    Ok(json) => WireResponse::Universe { json },
-                    Err(e) => WireResponse::from_error(&EngineError::Storage(e.to_string())),
-                }
+                Reply::Universe(snap.store().universe().clone())
             }
-            _ => WireResponse::server_error(E_PROTO, "not a read request"),
+            _ => Reply::Wire(WireResponse::server_error(E_PROTO, "not a read request")),
         };
         mail.post(vec![Completion { token: job.token, generation: job.generation, resp }]);
     }
@@ -279,10 +280,10 @@ fn write_worker(shared: Arc<Shared>, rx: mpsc::Receiver<Job>, mail: Arc<Mailbox>
                     out.push(Completion {
                         token: job.token,
                         generation: job.generation,
-                        resp: WireResponse::server_error(
+                        resp: Reply::Wire(WireResponse::server_error(
                             E_TIMEOUT,
                             format!("writer busy for over {:?}", shared.cfg.request_timeout),
-                        ),
+                        )),
                     });
                 }
             }
@@ -310,10 +311,10 @@ fn write_worker(shared: Arc<Shared>, rx: mpsc::Receiver<Job>, mail: Arc<Mailbox>
                     ServerStats::bump(&shared.stats.group_commits, 1);
                     ServerStats::bump(&shared.stats.group_commit_records, srcs.len() as u64);
                     for (&i, result) in update_idx.iter().zip(results) {
-                        let resp = match result {
+                        let resp = Reply::Wire(match result {
                             Ok(o) => WireResponse::Outcomes(vec![o]),
                             Err(e) => WireResponse::from_error(&e),
-                        };
+                        });
                         out.push(Completion {
                             token: batch[i].token,
                             generation: batch[i].generation,
@@ -322,7 +323,7 @@ fn write_worker(shared: Arc<Shared>, rx: mpsc::Receiver<Job>, mail: Arc<Mailbox>
                     }
                 }
                 for job in &batch {
-                    let resp = match &job.req {
+                    let resp = Reply::Wire(match &job.req {
                         WireRequest::Update { .. } => continue, // group-committed above
                         WireRequest::Execute { src } => match backend.execute(src) {
                             Ok(o) => WireResponse::Outcomes(o),
@@ -333,7 +334,7 @@ fn write_worker(shared: Arc<Shared>, rx: mpsc::Receiver<Job>, mail: Arc<Mailbox>
                             Err(e) => WireResponse::from_error(&e),
                         },
                         _ => WireResponse::server_error(E_PROTO, "not a write request"),
-                    };
+                    });
                     out.push(Completion { token: job.token, generation: job.generation, resp });
                 }
                 // Republish before any ack leaves: a session's next
@@ -442,11 +443,15 @@ impl Reactor {
         self.generation += 1;
         ServerStats::bump(&self.shared.stats.sessions_opened, 1);
         self.shared.stats.sessions_active.fetch_add(1, Ordering::SeqCst);
-        let mut session = Session {
+        // The greeting waits for the client's magic (parsed in
+        // `parse_frames`), so it can match the negotiated version —
+        // the same read-first contract as the threaded mode.
+        let session = Session {
             stream,
             id: self.session_seq,
             generation: self.generation,
             handshaken: false,
+            binary: false,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
             out_at: 0,
@@ -459,13 +464,6 @@ impl Reactor {
             bytes_in: 0,
             bytes_out: 0,
         };
-        // Greeting: magic + an immediate Pong frame (the same admission
-        // contract as the threaded mode; greeting bytes are uncounted
-        // there too).
-        session.out_buf.extend_from_slice(MAGIC);
-        if let Ok(json) = serde_json::to_string(&WireResponse::Pong) {
-            push_frame(&mut session.out_buf, json.as_bytes());
-        }
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx] = Some(session);
@@ -558,7 +556,8 @@ impl Reactor {
                 if buf.len() < MAGIC.len() {
                     break;
                 }
-                if &buf[..MAGIC.len()] != MAGIC {
+                let head = &buf[..MAGIC.len()];
+                if head != MAGIC && head != MAGIC_V2 {
                     // Not a protocol peer: hang up (threaded mode closes
                     // silently on a bad handshake too).
                     session.read_closed = true;
@@ -568,6 +567,21 @@ impl Reactor {
                     at = session.in_buf.len();
                     progressed = true;
                     break;
+                }
+                session.binary = head == MAGIC_V2;
+                // Greeting: echo the negotiated magic plus one frame —
+                // Pong for v1 peers (byte-identical to pre-codec
+                // releases), Hello advertising codecs for v2 peers
+                // (the same admission contract as the threaded mode;
+                // greeting bytes are uncounted there too).
+                let (echo, greeting): (&[u8], WireResponse) = if session.binary {
+                    (MAGIC_V2, server::hello())
+                } else {
+                    (MAGIC, WireResponse::Pong)
+                };
+                session.out_buf.extend_from_slice(echo);
+                if let Ok(json) = serde_json::to_string(&greeting) {
+                    push_frame(&mut session.out_buf, json.as_bytes());
                 }
                 at += MAGIC.len();
                 session.handshaken = true;
@@ -585,10 +599,10 @@ impl Reactor {
             if declared > max_frame {
                 ServerStats::bump(&self.shared.stats.frames_rejected, 1);
                 session.queue.push_back(Entry::Ready {
-                    resp: Box::new(WireResponse::server_error(
+                    resp: Box::new(Reply::Wire(WireResponse::server_error(
                         E_TOO_LARGE,
                         format!("frame of {declared} bytes exceeds the {max_frame}-byte cap"),
-                    )),
+                    ))),
                     is_request: false,
                 });
                 // The oversized payload was never read; resync is
@@ -609,12 +623,12 @@ impl Reactor {
             if got != want {
                 ServerStats::bump(&self.shared.stats.frames_rejected, 1);
                 session.queue.push_back(Entry::Ready {
-                    resp: Box::new(WireResponse::server_error(
+                    resp: Box::new(Reply::Wire(WireResponse::server_error(
                         E_FRAME,
                         format!(
                             "frame checksum mismatch (header {want:#010x}, payload {got:#010x})"
                         ),
-                    )),
+                    ))),
                     is_request: false,
                 });
                 session.read_closed = true;
@@ -632,10 +646,10 @@ impl Reactor {
                     // The frame boundary is intact; the session survives.
                     ServerStats::bump(&self.shared.stats.frames_rejected, 1);
                     session.queue.push_back(Entry::Ready {
-                        resp: Box::new(WireResponse::server_error(
+                        resp: Box::new(Reply::Wire(WireResponse::server_error(
                             E_PROTO,
                             format!("unreadable request: {why}"),
-                        )),
+                        ))),
                         is_request: false,
                     });
                 }
@@ -643,12 +657,12 @@ impl Reactor {
                     if self.pending_total + new_pending >= pending_cap {
                         ServerStats::bump(&self.shared.stats.load_shed, 1);
                         session.queue.push_back(Entry::Ready {
-                            resp: Box::new(WireResponse::server_error(
+                            resp: Box::new(Reply::Wire(WireResponse::server_error(
                                 E_OVERLOAD,
                                 format!(
                                     "server overloaded ({pending_cap} requests pending); retry"
                                 ),
-                            )),
+                            ))),
                             is_request: true,
                         });
                     } else {
@@ -685,7 +699,7 @@ impl Reactor {
                         session.requests += 1;
                         ServerStats::bump(&self.shared.stats.requests, 1);
                     }
-                    self.write_response(idx, &resp);
+                    self.write_reply(idx, &resp);
                     progressed = true;
                 }
                 Some(Entry::Pending { req, .. }) => {
@@ -782,6 +796,31 @@ impl Reactor {
             other => {
                 debug_assert!(false, "not inline: {other:?}");
                 WireResponse::server_error(E_PROTO, "not an inline request")
+            }
+        }
+    }
+
+    /// Writes one answered request, encoding `Universe` replies in the
+    /// session's negotiated codec (binary sessions retry the compact
+    /// codec before any `E-TOO-LARGE` degradation).
+    fn write_reply(&mut self, idx: usize, reply: &Reply) {
+        match reply {
+            Reply::Wire(resp) => self.write_response(idx, resp),
+            Reply::Universe(value) => {
+                let max_frame = self.shared.cfg.max_frame;
+                let binary = self.slots.get(idx).and_then(Option::as_ref).is_some_and(|s| s.binary);
+                match server::encode_universe(value, binary, max_frame) {
+                    Ok(payload) => {
+                        let Some(session) = self.slots.get_mut(idx).and_then(Option::as_mut) else {
+                            return;
+                        };
+                        let sent = protocol::FRAME_HEADER + payload.len();
+                        push_frame(&mut session.out_buf, &payload);
+                        session.bytes_out += sent as u64;
+                        ServerStats::bump(&self.shared.stats.bytes_out, sent as u64);
+                    }
+                    Err(resp) => self.write_response(idx, &resp),
+                }
             }
         }
     }
@@ -911,6 +950,8 @@ impl Reactor {
             ServerStats::bump(&self.shared.stats.requests, 1);
             session.queue.pop_front();
             session.queue.push_front(Entry::Ready { resp: Box::new(done.resp), is_request: false });
+            // (the boxed reply may be a still-unencoded Universe handle;
+            // write_reply encodes it when it reaches the queue head)
             session.last_activity = Instant::now();
             self.progress(idx);
         }
@@ -944,10 +985,10 @@ impl Reactor {
                             // Never dispatched, so an error answer is
                             // safe — nothing executed.
                             *entry = Entry::Ready {
-                                resp: Box::new(WireResponse::server_error(
+                                resp: Box::new(Reply::Wire(WireResponse::server_error(
                                     E_TIMEOUT,
                                     format!("request queued for over {request_timeout:?}"),
-                                )),
+                                ))),
                                 is_request: true,
                             };
                             timed_out += 1;
@@ -974,7 +1015,7 @@ impl Reactor {
             }
             session.read_closed = true;
             session.queue.push_back(Entry::Ready {
-                resp: Box::new(WireResponse::ShuttingDown),
+                resp: Box::new(Reply::Wire(WireResponse::ShuttingDown)),
                 is_request: false,
             });
             self.progress(idx);

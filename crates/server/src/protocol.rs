@@ -10,11 +10,19 @@
 //!
 //! where the payload is the UTF-8 JSON encoding of one [`WireRequest`]
 //! or [`WireResponse`] (externally tagged). A connection opens with an
-//! 8-byte magic exchange ([`MAGIC`], both directions) so either side can
-//! reject a non-protocol peer before parsing anything; the server then
-//! greets with one frame — [`WireResponse::Pong`] when the session is
-//! admitted, an [`E_BUSY`] error at the session cap — so admission is
-//! decided at connect time.
+//! 8-byte magic exchange so either side can reject a non-protocol peer
+//! before parsing anything: the client writes [`MAGIC`] (v1, JSON-only)
+//! or [`MAGIC_V2`] (codec-aware), the server echoes the negotiated magic
+//! and greets with one frame — [`WireResponse::Pong`] for v1 peers
+//! (byte-identical to pre-codec releases), [`WireResponse::Hello`]
+//! advertising the supported codecs for v2 peers, or an [`E_BUSY`] error
+//! at the session cap — so admission is decided at connect time.
+//!
+//! On a v2 session the reply to [`WireRequest::DumpUniverse`] is a
+//! *binary* frame: one [`BINARY_UNIVERSE_MARKER`] byte followed by an
+//! `idl_storage::codec` value blob. JSON text never begins with NUL, so
+//! the marker disambiguates without out-of-band state; every other
+//! response stays JSON.
 //!
 //! Errors travel as [`WireResponse::Error`] carrying the engine's stable
 //! machine-readable code (`E-PARSE`, `E-POISONED`, …; see
@@ -28,6 +36,16 @@ use std::io::{self, Read, Write};
 
 /// Handshake magic written by both peers on connect ("IDL net v1").
 pub const MAGIC: &[u8; 8] = b"IDLNET01";
+
+/// Handshake magic of codec-aware clients ("IDL net v2"). A server
+/// answering it echoes `MAGIC_V2` and greets with
+/// [`WireResponse::Hello`]; the session's `DumpUniverse` replies then
+/// carry binary payloads.
+pub const MAGIC_V2: &[u8; 8] = b"IDLNET02";
+
+/// First payload byte of a binary `DumpUniverse` reply frame. JSON
+/// responses are UTF-8 text and can never begin with NUL.
+pub const BINARY_UNIVERSE_MARKER: u8 = 0x00;
 
 /// Default cap on a single frame's payload (4 MiB).
 pub const DEFAULT_MAX_FRAME: u32 = 4 * 1024 * 1024;
@@ -87,6 +105,12 @@ pub enum WireRequest {
 pub enum WireResponse {
     /// Reply to [`WireRequest::Ping`].
     Pong,
+    /// Greeting of a v2 ([`MAGIC_V2`]) session: the codecs this server
+    /// can serve `DumpUniverse` replies in.
+    Hello {
+        /// Supported universe codecs, e.g. `["json", "binary"]`.
+        codecs: Vec<String>,
+    },
     /// Outcomes of an `Execute` or `Update` (one element for `Update`).
     Outcomes(Vec<Outcome>),
     /// Answers of a snapshot `Query`.

@@ -26,10 +26,11 @@
 
 use crate::protocol::{
     self, EngineStatsWire, FrameError, SessionStatsWire, StatsReply, WireRequest, WireResponse,
-    E_BUSY, E_FRAME, E_PROTO, E_TIMEOUT, E_TOO_LARGE, MAGIC,
+    E_BUSY, E_FRAME, E_PROTO, E_TIMEOUT, E_TOO_LARGE, MAGIC, MAGIC_V2,
 };
 use crate::stats::{ServerStats, ServerStatsSnapshot};
-use idl::{Backend, EngineError, EngineSnapshot, PlanCache};
+use idl::{Backend, EngineError, EngineSnapshot, PlanCache, Value};
+use idl_storage::codec;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -398,6 +399,8 @@ pub(crate) fn reject_busy(mut stream: TcpStream, shared: &Shared) {
 /// Per-session mutable state (counters reported via `Stats`).
 struct Session {
     id: u64,
+    /// Whether the peer negotiated the v2 handshake (binary universes).
+    binary: bool,
     requests: u64,
     errors: u64,
     bytes_in: u64,
@@ -408,26 +411,33 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64) {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(POLL)).ok();
     stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
-    // Greeting: magic plus an immediate Pong frame, so connecting
-    // clients learn synchronously whether they were admitted (the
-    // over-capacity path greets with an E-BUSY error instead).
-    if stream.write_all(MAGIC).is_err()
-        || protocol::send(&mut stream, &WireResponse::Pong, shared.cfg.max_frame).is_err()
+    let last_activity = Instant::now();
+    // Handshake: the peer must present its magic before anything else,
+    // so the greeting can match the negotiated protocol version.
+    let mut magic = [0u8; MAGIC.len()];
+    {
+        let mut on_wait = wait_fn(shared, &last_activity);
+        if protocol::read_exact_retry(&mut stream, &mut magic, false, &mut on_wait).is_err() {
+            return;
+        }
+    }
+    let binary = match &magic {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V2 => true,
+        _ => return,
+    };
+    // Greeting: the echoed magic plus one frame, so connecting clients
+    // learn synchronously whether they were admitted (the over-capacity
+    // path greets with an E-BUSY error instead). v1 peers get the exact
+    // pre-codec bytes; v2 peers get a Hello advertising the codecs.
+    let (echo, greeting) = if binary { (MAGIC_V2, hello()) } else { (MAGIC, WireResponse::Pong) };
+    if stream.write_all(echo).is_err()
+        || protocol::send(&mut stream, &greeting, shared.cfg.max_frame).is_err()
     {
         return;
     }
     let mut last_activity = Instant::now();
-    // Handshake: the peer must present the magic before anything else.
-    let mut magic = [0u8; MAGIC.len()];
-    {
-        let mut on_wait = wait_fn(shared, &last_activity);
-        if protocol::read_exact_retry(&mut stream, &mut magic, false, &mut on_wait).is_err()
-            || &magic != MAGIC
-        {
-            return;
-        }
-    }
-    let mut sess = Session { id, requests: 0, errors: 0, bytes_in: 0, bytes_out: 0 };
+    let mut sess = Session { id, binary, requests: 0, errors: 0, bytes_in: 0, bytes_out: 0 };
     loop {
         let frame = {
             let mut on_wait = wait_fn(shared, &last_activity);
@@ -484,12 +494,12 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64) {
         };
         let is_shutdown = matches!(req, WireRequest::Shutdown);
         let started = Instant::now();
-        let resp = dispatch(shared, req, &sess);
+        let reply = dispatch(shared, req, &sess);
         shared.stats.latency.record(started.elapsed().as_micros() as u64);
         sess.requests += 1;
         ServerStats::bump(&shared.stats.requests, 1);
-        respond(&mut stream, &resp, shared, &mut sess);
-        if is_shutdown && matches!(resp, WireResponse::ShuttingDown) {
+        respond_reply(&mut stream, &reply, shared, &mut sess);
+        if is_shutdown && matches!(reply, Reply::Wire(WireResponse::ShuttingDown)) {
             shared.begin_drain();
             break;
         }
@@ -509,6 +519,112 @@ fn wait_fn<'a>(
         } else {
             None
         }
+    }
+}
+
+/// The v2 greeting frame: which universe codecs this server speaks.
+pub(crate) fn hello() -> WireResponse {
+    WireResponse::Hello { codecs: vec!["json".into(), "binary".into()] }
+}
+
+/// An answered request on its way to the session's write site.
+///
+/// `DumpUniverse` does not serialize at dispatch time: the reply carries
+/// the snapshot's universe as an O(1) copy-on-write handle, and the
+/// write site encodes it in the codec *that session* negotiated.
+// One short-lived Reply per answered request; boxing the response to
+// even out the variant sizes would buy nothing but an allocation.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Reply {
+    /// Any ordinary response, serialized as one JSON frame.
+    Wire(WireResponse),
+    /// A `DumpUniverse` answer awaiting per-session encoding.
+    Universe(Value),
+}
+
+/// Encodes a universe reply for one session's negotiated codec,
+/// returning the ready frame payload or the error frame to degrade to.
+///
+/// Binary (v2) sessions get a [`protocol::BINARY_UNIVERSE_MARKER`] byte
+/// followed by the `idl_storage::codec` value blob; JSON sessions get
+/// the classic [`WireResponse::Universe`] frame. An encoding that
+/// exceeds the frame cap degrades to `E-TOO-LARGE` — binary sessions
+/// retry the compact codec before degrading, and the JSON-side error
+/// notes when the binary codec would have fit.
+// The Err arm is the error frame itself, written to the socket right
+// where it is returned — not a propagated error worth boxing.
+#[allow(clippy::result_large_err)]
+pub(crate) fn encode_universe(
+    value: &Value,
+    binary: bool,
+    max_frame: u32,
+) -> Result<Vec<u8>, WireResponse> {
+    if binary {
+        let blob = codec::encode_value(value);
+        let mut payload = Vec::with_capacity(1 + blob.len());
+        payload.push(protocol::BINARY_UNIVERSE_MARKER);
+        payload.extend_from_slice(&blob);
+        if payload.len() as u64 > max_frame as u64 {
+            return Err(WireResponse::server_error(
+                E_TOO_LARGE,
+                format!(
+                    "universe of {} bytes exceeds the {max_frame}-byte cap \
+                     even with the binary codec",
+                    payload.len()
+                ),
+            ));
+        }
+        return Ok(payload);
+    }
+    let json = match serde_json::to_string(value) {
+        Ok(j) => j,
+        Err(e) => {
+            return Err(WireResponse::server_error(
+                E_PROTO,
+                format!("unserializable universe: {e}"),
+            ))
+        }
+    };
+    let resp = WireResponse::Universe { json };
+    let text = match serde_json::to_string(&resp) {
+        Ok(t) => t,
+        Err(e) => {
+            return Err(WireResponse::server_error(
+                E_PROTO,
+                format!("unserializable universe: {e}"),
+            ))
+        }
+    };
+    if text.len() as u64 > max_frame as u64 {
+        let binary_len = 1 + codec::encode_value(value).len();
+        let hint = if binary_len as u64 <= max_frame as u64 {
+            format!("; the binary codec needs only {binary_len} bytes — reconnect with a v2 client")
+        } else {
+            String::new()
+        };
+        return Err(WireResponse::server_error(
+            E_TOO_LARGE,
+            format!("response of {} bytes exceeds the {max_frame}-byte cap{hint}", text.len()),
+        ));
+    }
+    Ok(text.into_bytes())
+}
+
+/// Writes one answered request, encoding `Universe` replies in the
+/// session's negotiated codec.
+fn respond_reply(stream: &mut TcpStream, reply: &Reply, shared: &Shared, sess: &mut Session) {
+    match reply {
+        Reply::Wire(resp) => respond(stream, resp, shared, sess),
+        Reply::Universe(value) => match encode_universe(value, sess.binary, shared.cfg.max_frame) {
+            Ok(payload) => {
+                if protocol::write_frame(stream, &payload, shared.cfg.max_frame).is_ok() {
+                    let sent = (protocol::FRAME_HEADER + payload.len()) as u64;
+                    sess.bytes_out += sent;
+                    ServerStats::bump(&shared.stats.bytes_out, sent);
+                }
+            }
+            Err(resp) => respond(stream, &resp, shared, sess),
+        },
     }
 }
 
@@ -539,8 +655,8 @@ fn respond(stream: &mut TcpStream, resp: &WireResponse, shared: &Shared, sess: &
     ServerStats::bump(&shared.stats.bytes_out, sent as u64);
 }
 
-fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> WireResponse {
-    match req {
+fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> Reply {
+    Reply::Wire(match req {
         WireRequest::Ping => {
             ServerStats::bump(&shared.stats.reads, 1);
             WireResponse::Pong
@@ -551,11 +667,9 @@ fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> WireRespo
         }
         WireRequest::DumpUniverse => {
             ServerStats::bump(&shared.stats.reads, 1);
-            let snap = shared.published();
-            match idl_storage::persist::to_json(snap.store()) {
-                Ok(json) => WireResponse::Universe { json },
-                Err(e) => WireResponse::from_error(&EngineError::Storage(e.to_string())),
-            }
+            // O(1) copy-on-write handle clone; encoding happens at the
+            // write site, in the session's negotiated codec.
+            return Reply::Universe(shared.published().store().universe().clone());
         }
         WireRequest::Stats => {
             ServerStats::bump(&shared.stats.reads, 1);
@@ -594,7 +708,7 @@ fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> WireRespo
                 ))
             }
         }
-    }
+    })
 }
 
 /// Runs a mutating operation under the writer lock, then republishes

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod crc;
 pub mod error;
 pub mod index;

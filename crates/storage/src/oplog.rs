@@ -2,12 +2,18 @@
 //!
 //! The durable engine's `ops.idl` moved from bare statement lines (format
 //! 1, still readable via the migration path) to checksummed binary
-//! framing (format 2), then grew a per-record flags byte (format 3):
+//! framing (format 2), grew a per-record flags byte (format 3), and a
+//! snapshot-codec hint in the header (format 4):
 //!
 //! ```text
-//! header:  "IDLOPLG2"  version:u32le                      (12 bytes)
+//! header:  "IDLOPLG2"  version:u32le  codec:u32le         (16 bytes; v≤3: 12)
 //! record:  len:u32le  crc:u32le  lsn:u64le  flags:u8  payload[len-9]
 //! ```
+//!
+//! The `codec` header field (v4+) records which snapshot encoding the
+//! directory's checkpoints pair with ([`CODEC_HINT_JSON`] /
+//! [`CODEC_HINT_BINARY`]); it is diagnostic — recovery sniffs the
+//! snapshot file itself — but makes a durable directory self-describing.
 //!
 //! * `len` counts the LSN, flags and payload, so a record occupies
 //!   `8 + len` bytes on disk (format-2 records have no flags byte and
@@ -39,17 +45,38 @@ use crate::error::{StorageError, StorageResult};
 pub const MAGIC: &[u8; 8] = b"IDLOPLG2";
 
 /// Current framing format version.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The last framing version whose records carried no flags byte.
 const UNFLAGGED_VERSION: u32 = 2;
+
+/// The last framing version with the 12-byte header (no codec hint).
+const SHORT_HEADER_VERSION: u32 = 3;
 
 /// Record flag: the update's derived views were maintained incrementally
 /// inside the same write transaction (not left for a later full refresh).
 pub const FLAG_MAINTENANCE: u8 = 1;
 
-/// Bytes occupied by the file header.
+/// Bytes occupied by the file header in formats ≤ 3.
 pub const HEADER_LEN: u64 = 12;
+
+/// Bytes occupied by the file header in format 4 (adds the codec hint).
+pub const HEADER_LEN_V4: u64 = 16;
+
+/// Header codec hint: checkpoints in this directory are JSON.
+pub const CODEC_HINT_JSON: u32 = 0;
+
+/// Header codec hint: checkpoints in this directory are binary format 3.
+pub const CODEC_HINT_BINARY: u32 = 1;
+
+/// Header length for a given framing version.
+pub fn header_len(version: u32) -> u64 {
+    if version <= SHORT_HEADER_VERSION {
+        HEADER_LEN
+    } else {
+        HEADER_LEN_V4
+    }
+}
 
 /// Per-record header bytes (`len` + `crc`).
 const RECORD_HEADER: usize = 8;
@@ -88,6 +115,9 @@ pub struct RecoveredLog {
     /// The durable engine rewrites pre-current framed logs on open, so
     /// appends always use the current record layout.
     pub version: u32,
+    /// Snapshot-codec hint from a v4 header ([`CODEC_HINT_JSON`] for
+    /// every older format, which only had JSON snapshots).
+    pub codec_hint: u32,
     /// Byte length of the valid prefix (framed logs; for tail truncation).
     pub valid_len: u64,
     /// Bytes past the valid prefix that must be truncated (torn tail).
@@ -135,13 +165,34 @@ pub struct DurabilityStats {
     /// Records committed through coalesced groups since open. The
     /// fsyncs saved by batching is `group_commit_records - group_commits`.
     pub group_commit_records: u64,
+    /// Snapshot codec this engine writes checkpoints in.
+    pub codec: crate::codec::SnapshotCodec,
+    /// Incremental delta checkpoints written since open.
+    pub delta_checkpoints: u64,
+    /// Full snapshot checkpoints written since open.
+    pub full_checkpoints: u64,
+    /// Current delta-chain length (deltas the next recovery replays on
+    /// top of the base snapshot before the op-log tail).
+    pub chain_len: u64,
+    /// Checkpoint bytes written since open (snapshots plus deltas).
+    pub snapshot_bytes_written: u64,
+    /// Whether the last open migrated a legacy JSON snapshot to the
+    /// binary format.
+    pub migrated_snapshot: bool,
 }
 
-/// The 12-byte file header for a fresh framed log.
+/// The v4 file header for a fresh framed log, defaulting the codec hint
+/// to binary (the write default).
 pub fn header_bytes() -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN as usize);
+    header_bytes_hint(CODEC_HINT_BINARY)
+}
+
+/// The 16-byte v4 file header with an explicit snapshot-codec hint.
+pub fn header_bytes_hint(codec_hint: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN_V4 as usize);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&codec_hint.to_le_bytes());
     out
 }
 
@@ -173,7 +224,15 @@ pub fn encode_log<'a>(records: impl IntoIterator<Item = (u64, &'a str)>) -> Vec<
 /// [`encode_log`] with per-record flags — used when migrating an existing
 /// log to the current framing without losing its tags.
 pub fn encode_log_flagged<'a>(records: impl IntoIterator<Item = (u64, u8, &'a str)>) -> Vec<u8> {
-    let mut out = header_bytes();
+    encode_log_flagged_hint(CODEC_HINT_BINARY, records)
+}
+
+/// [`encode_log_flagged`] with an explicit snapshot-codec header hint.
+pub fn encode_log_flagged_hint<'a>(
+    codec_hint: u32,
+    records: impl IntoIterator<Item = (u64, u8, &'a str)>,
+) -> Vec<u8> {
+    let mut out = header_bytes_hint(codec_hint);
     for (lsn, flags, stmt) in records {
         out.extend_from_slice(&encode_record_flagged(lsn, flags, stmt));
     }
@@ -199,6 +258,7 @@ pub fn decode_log(bytes: &[u8]) -> StorageResult<RecoveredLog> {
             records: Vec::new(),
             format: LogFormat::Framed,
             version: FORMAT_VERSION,
+            codec_hint: CODEC_HINT_JSON,
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
         })
@@ -208,15 +268,19 @@ pub fn decode_log(bytes: &[u8]) -> StorageResult<RecoveredLog> {
 }
 
 fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
-    if bytes.len() < HEADER_LEN as usize {
-        // magic present but the version bytes are torn
-        return Ok(RecoveredLog {
+    let torn_header = |version| {
+        Ok(RecoveredLog {
             records: Vec::new(),
             format: LogFormat::Framed,
-            version: FORMAT_VERSION,
+            version,
+            codec_hint: CODEC_HINT_JSON,
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
-        });
+        })
+    };
+    if bytes.len() < HEADER_LEN as usize {
+        // magic present but the version bytes are torn
+        return torn_header(FORMAT_VERSION);
     }
     let version = read_u32(bytes, MAGIC.len());
     if version > FORMAT_VERSION {
@@ -224,11 +288,21 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
             "operation log format v{version} is newer than this build understands (v{FORMAT_VERSION})"
         )));
     }
+    let header = header_len(version) as usize;
+    if bytes.len() < header {
+        // a v4 header torn between the version and the codec hint
+        return torn_header(version);
+    }
+    let codec_hint = if version > SHORT_HEADER_VERSION {
+        read_u32(bytes, HEADER_LEN as usize)
+    } else {
+        CODEC_HINT_JSON
+    };
     // Format-2 records have no flags byte between the LSN and payload.
     let flagged = version > UNFLAGGED_VERSION;
     let min_len = if flagged { 9 } else { 8 };
     let mut records = Vec::new();
-    let mut at = HEADER_LEN as usize;
+    let mut at = header;
     loop {
         if at + RECORD_HEADER > bytes.len() {
             break; // torn record header (or clean EOF)
@@ -254,6 +328,7 @@ fn decode_framed(bytes: &[u8]) -> StorageResult<RecoveredLog> {
         records,
         format: LogFormat::Framed,
         version,
+        codec_hint,
         valid_len: at as u64,
         torn_bytes: (bytes.len() - at) as u64,
     })
@@ -288,6 +363,7 @@ fn decode_legacy(bytes: &[u8]) -> RecoveredLog {
         records,
         format: LogFormat::LegacyLines,
         version: 1,
+        codec_hint: CODEC_HINT_JSON,
         valid_len: valid as u64,
         torn_bytes: (bytes.len() - valid) as u64,
     }
@@ -351,7 +427,7 @@ mod tests {
     #[test]
     fn torn_tail_truncates_not_fails() {
         let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
-        let first_end = HEADER_LEN as usize + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
+        let first_end = header_bytes().len() + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
         // cut mid-way through the second record
         for cut in first_end + 1..bytes.len() {
             let log = decode_log(&bytes[..cut]).unwrap();
@@ -364,7 +440,7 @@ mod tests {
     #[test]
     fn bit_flip_stops_the_scan_at_the_flipped_record() {
         let bytes = encode_log([(1, "?.db.r+(.a=1)"), (2, "?.db.r+(.a=2)")]);
-        let first_end = HEADER_LEN as usize + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
+        let first_end = header_bytes().len() + RECORD_HEADER + 9 + "?.db.r+(.a=1)".len();
         let mut corrupt = bytes.clone();
         *corrupt.last_mut().unwrap() ^= 0x40; // flip a payload bit in record 2
         let log = decode_log(&corrupt).unwrap();
@@ -375,7 +451,7 @@ mod tests {
 
     #[test]
     fn torn_header_is_an_empty_repairable_log() {
-        for cut in 1..HEADER_LEN as usize {
+        for cut in 1..header_bytes().len() {
             let bytes = &header_bytes()[..cut];
             let log = decode_log(bytes).unwrap();
             assert_eq!(log.format, LogFormat::Framed, "cut at {cut}");
@@ -393,6 +469,35 @@ mod tests {
         let mut bytes = header_bytes();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(decode_log(&bytes), Err(StorageError::Persist(_))));
+    }
+
+    #[test]
+    fn v3_logs_without_the_codec_hint_still_decode() {
+        // hand-build a format-3 log: 12-byte header, flagged records
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&encode_record_flagged(1, FLAG_MAINTENANCE, "?.db.r+(.a=1)"));
+        bytes.extend_from_slice(&encode_record(2, "?.db.r+(.a=2)"));
+        let log = decode_log(&bytes).unwrap();
+        assert_eq!(log.version, 3);
+        assert_eq!(log.codec_hint, CODEC_HINT_JSON);
+        assert_eq!(log.torn_bytes, 0);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.records[0].flags, FLAG_MAINTENANCE);
+        assert_eq!(log.records[1].stmt, "?.db.r+(.a=2)");
+    }
+
+    #[test]
+    fn v4_header_carries_the_codec_hint() {
+        for hint in [CODEC_HINT_JSON, CODEC_HINT_BINARY] {
+            let mut bytes = header_bytes_hint(hint);
+            bytes.extend_from_slice(&encode_record(1, "?.db.r+(.a=1)"));
+            let log = decode_log(&bytes).unwrap();
+            assert_eq!(log.version, FORMAT_VERSION);
+            assert_eq!(log.codec_hint, hint);
+            assert_eq!(log.records.len(), 1);
+        }
     }
 
     #[test]

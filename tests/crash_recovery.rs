@@ -25,7 +25,10 @@
 //! `idl --durable` CLI replays it by hand. `IDL_CRASH_SEED` perturbs all
 //! seeds in this file (CI pins it).
 
-use idl::{Backend, DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, SimVfs, Vfs};
+use idl::{
+    Backend, DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, SimVfs,
+    SnapshotCodec, Vfs,
+};
 use idl_repro as _;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -429,6 +432,180 @@ fn group_commit_crash_battery_acks_all_or_prefix() {
              ({total} sites probed)"
         );
     }
+}
+
+/// Like [`open`], but with an explicit snapshot codec (bypassing the
+/// `IDL_CODEC` environment default — the migration leg needs to script
+/// a JSON era followed by a binary era regardless of the CI matrix).
+fn open_codec(vfs: &Arc<SimVfs>, codec: SnapshotCodec) -> Result<DurableEngine, EngineError> {
+    let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
+    let opts = DurabilityOptions { codec, ..DurabilityOptions::default() };
+    DurableEngine::open_with_vfs("/crash", v, opts, |e| {
+        idl::transparency::install_two_level_mapping(e)
+    })
+}
+
+/// The chained workload: a checkpoint after *every* update, so the
+/// directory grows a base snapshot plus a delta chain (compacted when it
+/// hits the policy cap) — crash sites land between, inside, and after
+/// chain members.
+fn run_workload_chained(vfs: &Arc<SimVfs>) -> RunOutcome {
+    let mut d = match open(vfs, 1, true) {
+        Ok(d) => d,
+        Err(_) => return RunOutcome { acked: Vec::new(), in_flight: None, completed: false },
+    };
+    let mut acked = Vec::new();
+    for (i, step) in WORKLOAD.iter().enumerate() {
+        // the scripted Checkpoint steps are redundant here
+        let Step::Update(src) = step else { continue };
+        match d.update(src) {
+            Ok(_) => acked.push(i),
+            Err(_) => return RunOutcome { acked, in_flight: Some(i), completed: false },
+        }
+        if d.checkpoint().is_err() {
+            return RunOutcome { acked, in_flight: None, completed: false };
+        }
+    }
+    RunOutcome { acked, in_flight: None, completed: true }
+}
+
+/// Power-cycle at every I/O op of the chained workload: recovery replays
+/// base + delta chain + log tail and must land on exactly the acked set,
+/// whatever chain prefix survived the crash.
+#[test]
+fn crash_mid_delta_chain_recovers_exactly() {
+    let seed = 0xDE17A ^ base_seed();
+    let total = {
+        let probe = Arc::new(SimVfs::new(FaultPlan::none(seed)));
+        let run = run_workload_chained(&probe);
+        assert!(run.completed, "fault-free chained workload must complete");
+        probe.op_count()
+    };
+    // the leg is vacuous unless the fault-free run really grew a chain
+    {
+        let probe = Arc::new(SimVfs::new(FaultPlan::none(seed)));
+        let _ = run_workload_chained(&probe);
+        let d = open(&probe, 1, true).unwrap();
+        let stats = d.durability_stats();
+        if stats.codec == SnapshotCodec::Binary {
+            assert!(stats.chain_len > 0, "chained workload left no delta chain to recover");
+        }
+    }
+    for crash_at in 1..=total {
+        let plan = FaultPlan::none(seed).with_crash_at(crash_at);
+        let vfs = Arc::new(SimVfs::new(plan));
+        let run = run_workload_chained(&vfs);
+        vfs.power_cycle();
+        assert_recovery(&vfs, &run, 1, true, &plan);
+    }
+}
+
+/// Boundary between the eras in [`run_workload_migration`]: workload
+/// steps before it run under the JSON codec, the rest under binary.
+const MIGRATION_SPLIT: usize = 6;
+
+/// Two-era workload: a JSON-codec engine runs the first half (including
+/// a checkpoint, so a legacy JSON snapshot exists on disk), then a
+/// binary-codec engine opens the same directory — migrating the base on
+/// open — and runs the second half.
+fn run_workload_migration(vfs: &Arc<SimVfs>) -> RunOutcome {
+    let mut acked = Vec::new();
+    {
+        let mut d = match open_codec(vfs, SnapshotCodec::Json) {
+            Ok(d) => d,
+            Err(_) => return RunOutcome { acked, in_flight: None, completed: false },
+        };
+        for (i, step) in WORKLOAD.iter().enumerate().take(MIGRATION_SPLIT) {
+            let res = match step {
+                Step::Update(src) => d.update(src).map(|_| ()),
+                Step::Checkpoint => d.checkpoint().map(|_| ()),
+            };
+            match res {
+                Ok(()) => {
+                    if matches!(step, Step::Update(_)) {
+                        acked.push(i);
+                    }
+                }
+                Err(_) => {
+                    let in_flight = matches!(step, Step::Update(_)).then_some(i);
+                    return RunOutcome { acked, in_flight, completed: false };
+                }
+            }
+        }
+    }
+    let mut d = match open_codec(vfs, SnapshotCodec::Binary) {
+        Ok(d) => d,
+        Err(_) => return RunOutcome { acked, in_flight: None, completed: false },
+    };
+    for (i, step) in WORKLOAD.iter().enumerate().skip(MIGRATION_SPLIT) {
+        let res = match step {
+            Step::Update(src) => d.update(src).map(|_| ()),
+            Step::Checkpoint => d.checkpoint().map(|_| ()),
+        };
+        match res {
+            Ok(()) => {
+                if matches!(step, Step::Update(_)) {
+                    acked.push(i);
+                }
+            }
+            Err(_) => {
+                let in_flight = matches!(step, Step::Update(_)).then_some(i);
+                return RunOutcome { acked, in_flight, completed: false };
+            }
+        }
+    }
+    RunOutcome { acked, in_flight: None, completed: true }
+}
+
+/// Power-cycle at every I/O op across a JSON era, the one-shot migration
+/// to binary, and the binary era that follows. Recovery (with the
+/// session-default options, whatever codec they select) must land on
+/// exactly the acked set: the migration is atomic — the directory is
+/// never half JSON, half binary in a way replay cannot read.
+#[test]
+fn legacy_json_migration_survives_crashes_at_every_site() {
+    let seed = 0x1093 ^ base_seed();
+    let total = {
+        let probe = Arc::new(SimVfs::new(FaultPlan::none(seed)));
+        let run = run_workload_migration(&probe);
+        assert!(run.completed, "fault-free migration workload must complete");
+        let total = probe.op_count();
+        // the binary-era open really migrated a JSON base
+        let d = open_codec(&probe, SnapshotCodec::Binary).unwrap();
+        assert!(
+            d.durability_stats().codec == SnapshotCodec::Binary,
+            "binary era must write binary checkpoints"
+        );
+        total
+    };
+    for crash_at in 1..=total {
+        let plan = FaultPlan::none(seed).with_crash_at(crash_at);
+        let vfs = Arc::new(SimVfs::new(plan));
+        let run = run_workload_migration(&vfs);
+        vfs.power_cycle();
+        assert_recovery(&vfs, &run, 1, true, &plan);
+    }
+}
+
+/// The migration itself is observable and one-shot: opening a JSON-era
+/// directory with the binary codec reports `migrated_snapshot` once,
+/// rewrites the base, and the next open is a plain binary open.
+#[test]
+fn legacy_json_migration_is_one_shot() {
+    let vfs = Arc::new(SimVfs::new(FaultPlan::none(7 ^ base_seed())));
+    {
+        let mut d = open_codec(&vfs, SnapshotCodec::Json).unwrap();
+        let Step::Update(src) = WORKLOAD[0] else { unreachable!() };
+        d.update(src).unwrap();
+        d.checkpoint().unwrap();
+    }
+    let first = open_codec(&vfs, SnapshotCodec::Binary).unwrap();
+    assert!(first.durability_stats().migrated_snapshot, "first binary open must migrate");
+    let want = first.universe_json().unwrap();
+    drop(first);
+    let second = open_codec(&vfs, SnapshotCodec::Binary).unwrap();
+    assert!(!second.durability_stats().migrated_snapshot, "migration must not repeat");
+    assert_eq!(second.universe_json().unwrap(), want);
 }
 
 #[test]

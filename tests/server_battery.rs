@@ -26,6 +26,7 @@ use idl_server::{
     protocol, serve, Client, ServeMode, ServerConfig, ServerHandle, ServerStatsSnapshot,
     WireRequest, WireResponse,
 };
+use idl_storage::codec;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -535,6 +536,168 @@ fn disconnects_and_oversized_frames_do_not_poison_other_sessions() {
 
     let final_stats = handle.shutdown();
     assert_eq!(final_stats.sessions_active, 0);
+}
+
+/// Old-client pin: a peer speaking the v1 handshake must see, byte for
+/// byte, what it saw before the binary codec existed — the v1 magic
+/// echoed, the exact `"Pong"` greeting frame, and `DumpUniverse`
+/// replies as plain JSON with no binary marker.
+fn v1_clients_see_the_legacy_wire_bytes(mode: ServeMode) {
+    let handle = serve_engine(
+        |e| {
+            e.execute("?.db.r+(.a=1) ; ?.db.r+(.a=2)").unwrap();
+        },
+        ServerConfig { mode, ..ServerConfig::default() },
+    );
+    let addr = handle.local_addr();
+    let mut oracle = Engine::new();
+    oracle.execute("?.db.r+(.a=1) ; ?.db.r+(.a=2)").unwrap();
+    let want = oracle.universe_json().unwrap();
+
+    // raw socket: the greeting is pinned to the pre-codec bytes
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(protocol::MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    assert_eq!(&magic, protocol::MAGIC, "v1 client must get the v1 magic back");
+    let greeting = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+    assert_eq!(greeting, b"\"Pong\"", "v1 greeting changed");
+    protocol::write_frame(&mut stream, b"\"DumpUniverse\"", 1 << 20).unwrap();
+    let payload = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+    assert_ne!(payload[0], protocol::BINARY_UNIVERSE_MARKER, "v1 session got a binary frame");
+    let resp: WireResponse = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    match resp {
+        WireResponse::Universe { json } => assert_eq!(json, want),
+        other => panic!("expected a JSON Universe, got {other:?}"),
+    }
+    drop(stream);
+
+    // the convenience constructor pins the same behaviour
+    let mut old = Client::connect_json(addr).unwrap();
+    assert!(!old.is_binary());
+    assert_eq!(old.dump_universe().unwrap(), want);
+    handle.shutdown();
+}
+
+#[test]
+fn v1_clients_see_the_legacy_wire_bytes_in_threaded_mode() {
+    v1_clients_see_the_legacy_wire_bytes(ServeMode::Threaded);
+}
+
+#[test]
+fn v1_clients_see_the_legacy_wire_bytes_in_event_mode() {
+    v1_clients_see_the_legacy_wire_bytes(ServeMode::Event);
+}
+
+/// v2 negotiation: the server echoes the v2 magic, greets with `Hello`
+/// advertising both codecs, and ships `DumpUniverse` as a marker-tagged
+/// binary frame that decodes to the same universe a v1 session gets.
+fn v2_handshake_negotiates_binary_universes(mode: ServeMode) {
+    let handle = serve_engine(
+        |e| {
+            e.execute("?.db.r+(.a=1) ; ?.db.r+(.a=2)").unwrap();
+        },
+        ServerConfig { mode, ..ServerConfig::default() },
+    );
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(protocol::MAGIC_V2).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    assert_eq!(&magic, protocol::MAGIC_V2);
+    let greeting = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+    let hello: WireResponse =
+        serde_json::from_str(std::str::from_utf8(&greeting).unwrap()).unwrap();
+    match hello {
+        WireResponse::Hello { codecs } => {
+            assert!(codecs.iter().any(|c| c == "json"), "{codecs:?}");
+            assert!(codecs.iter().any(|c| c == "binary"), "{codecs:?}");
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    protocol::write_frame(&mut stream, b"\"DumpUniverse\"", 1 << 20).unwrap();
+    let payload = protocol::read_frame(&mut stream, 1 << 20, &mut |_| None).unwrap();
+    assert_eq!(payload[0], protocol::BINARY_UNIVERSE_MARKER, "v2 dump must travel binary");
+    let value = codec::decode_value(&payload[1..]).unwrap();
+    drop(stream);
+
+    // the decoded universe re-serializes to exactly the v1 JSON
+    let mut v1 = Client::connect_json(addr).unwrap();
+    let mut v2 = Client::connect(addr).unwrap();
+    assert!(v2.is_binary());
+    let json = v2.dump_universe().unwrap();
+    assert_eq!(json, v1.dump_universe().unwrap(), "codecs must agree byte-for-byte");
+    assert_eq!(serde_json::to_string(&value).unwrap(), json);
+    handle.shutdown();
+}
+
+#[test]
+fn v2_handshake_negotiates_binary_universes_in_threaded_mode() {
+    v2_handshake_negotiates_binary_universes(ServeMode::Threaded);
+}
+
+#[test]
+fn v2_handshake_negotiates_binary_universes_in_event_mode() {
+    v2_handshake_negotiates_binary_universes(ServeMode::Event);
+}
+
+/// The frame cap squeezes out a JSON dump but not the binary one: a v1
+/// session degrades to `E-TOO-LARGE` (hinting at the binary codec and
+/// surviving), while a v2 session retries nothing — its dump simply fits.
+fn oversized_json_universe_fits_in_binary(mode: ServeMode) {
+    const MAX: u32 = 8192;
+    // one long atom repeated across rows: the codec interns it once,
+    // JSON repeats it 200 times
+    let mut src = String::new();
+    for k in 0..200 {
+        src.push_str(&format!(
+            "?.db.big+(.k={k}, .pad=abcdefghijabcdefghijabcdefghijabcdefghijabcdefghij) ;\n"
+        ));
+    }
+    let mut oracle = Engine::new();
+    oracle.execute(&src).unwrap();
+    let want = oracle.universe_json().unwrap();
+    let binary = codec::encode_value(oracle.store().universe());
+    assert!(
+        want.len() > MAX as usize,
+        "precondition: JSON dump ({}B) must exceed the cap",
+        want.len()
+    );
+    assert!(
+        binary.len() + 1 < MAX as usize,
+        "precondition: binary dump ({}B) must fit",
+        binary.len()
+    );
+
+    let handle = serve_engine(
+        |e| {
+            e.execute(&src).unwrap();
+        },
+        ServerConfig { mode, max_frame: MAX, ..ServerConfig::default() },
+    );
+    let addr = handle.local_addr();
+
+    let mut old = Client::connect_json_with(addr, MAX, None).unwrap();
+    let err = old.dump_universe().unwrap_err();
+    assert_eq!(err.code(), Some(protocol::E_TOO_LARGE), "{err}");
+    assert!(err.to_string().contains("binary"), "the error must hint at the binary codec: {err}");
+    old.ping().unwrap(); // clean degradation, not a dead session
+
+    let mut new = Client::connect_with(addr, MAX, None).unwrap();
+    assert!(new.is_binary());
+    assert_eq!(new.dump_universe().unwrap(), want);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_json_universe_fits_in_binary_in_threaded_mode() {
+    oversized_json_universe_fits_in_binary(ServeMode::Threaded);
+}
+
+#[test]
+fn oversized_json_universe_fits_in_binary_in_event_mode() {
+    oversized_json_universe_fits_in_binary(ServeMode::Event);
 }
 
 #[test]
