@@ -98,6 +98,19 @@ pub trait Backend {
     /// Whether mutations are durably logged.
     fn is_durable(&self) -> bool;
 
+    /// Durability counters (log appends/syncs, checkpoints, recovery
+    /// work, storage backend and buffer-pool telemetry) for durable
+    /// backends; `None` without durability.
+    fn durability_stats(&self) -> Option<idl_storage::DurabilityStats> {
+        None
+    }
+
+    /// The configured checkpoint-storage backend of a durable backend;
+    /// `None` without durability.
+    fn storage_spec(&self) -> Option<idl_storage::StorageSpec> {
+        None
+    }
+
     /// Whether a durability failure has poisoned this backend (always
     /// `false` without durability).
     fn is_poisoned(&self) -> bool;

@@ -53,15 +53,15 @@ use crate::error::EngineError;
 use crate::outcome::Outcome;
 use idl_lang::{parse_program, parse_statement, Statement};
 use idl_object::Name;
-use idl_storage::codec::{self, DeltaBlob, DeltaEntry, SnapshotCodec};
+use idl_storage::codec::{DeltaEntry, SnapshotCodec};
+use idl_storage::engine::{open_storage, CommitKind, CommitSeal, StorageEngine, StorageSpec};
 use idl_storage::journal::ChangeScope;
 use idl_storage::oplog::{self, DurabilityStats, LogFormat};
-use idl_storage::persist;
+use idl_storage::session::Session;
 use idl_storage::store::Store;
 use idl_storage::vfs::{RealVfs, Vfs, VfsStats};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// When the operation log is fsynced.
@@ -134,89 +134,107 @@ pub struct DurabilityOptions {
     /// an existing JSON directory is migrated to binary on open. Opening
     /// with `Json` never rewrites a binary base on open — the next
     /// checkpoint simply writes JSON (and clears any delta chain).
+    /// Ignored by the paged backend, which always writes page formats.
     pub codec: SnapshotCodec,
     /// Full-vs-delta checkpoint policy (deltas need the binary codec).
     pub checkpoint: CheckpointPolicy,
+    /// Storage backend checkpoints commit through: the in-memory
+    /// snapshot+delta-chain representation ([`StorageSpec::Mem`], the
+    /// default) or the paged file with a buffer pool
+    /// ([`StorageSpec::Paged`]).
+    pub storage: StorageSpec,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> Self {
         // IDL_CODEC=json keeps the whole durable path on the legacy
-        // encoding (the CI compatibility leg and the B17 ablation).
+        // encoding (the CI compatibility leg and the B17 ablation);
+        // IDL_STORAGE=paged[:N] routes it through the paged backend.
         let codec =
             std::env::var("IDL_CODEC").ok().and_then(|s| s.parse().ok()).unwrap_or_default();
+        let storage =
+            std::env::var("IDL_STORAGE").ok().and_then(|s| s.parse().ok()).unwrap_or_default();
         DurabilityOptions {
             sync: SyncPolicy::Always,
             format: LogFormat::Framed,
             codec,
             checkpoint: CheckpointPolicy::default(),
+            storage,
         }
     }
 }
 
-/// Counter distinguishing concurrent temp files within one process.
-static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+impl DurabilityOptions {
+    /// A builder seeded from [`DurabilityOptions::default`] (which reads
+    /// the `IDL_CODEC`/`IDL_STORAGE` environment overrides).
+    pub fn builder() -> DurabilityOptionsBuilder {
+        DurabilityOptionsBuilder { opts: DurabilityOptions::default() }
+    }
+}
 
-/// Unique temp path next to `path` (same naming scheme as snapshot
-/// temps, so [`persist::clean_stale_temps`] sweeps both).
-fn temp_path(path: &Path) -> PathBuf {
-    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let name = path.file_name().map(|s| s.to_string_lossy()).unwrap_or_default();
-    path.with_file_name(format!("{name}.{}.{n}.tmp", std::process::id()))
+/// Fluent construction for [`DurabilityOptions`]:
+/// `DurabilityOptions::builder().storage(StorageSpec::paged()).build()`.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptionsBuilder {
+    opts: DurabilityOptions,
+}
+
+impl DurabilityOptionsBuilder {
+    /// Sets the fsync policy.
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.opts.sync = sync;
+        self
+    }
+
+    /// Sets the preferred log format for fresh logs.
+    pub fn format(mut self, format: LogFormat) -> Self {
+        self.opts.format = format;
+        self
+    }
+
+    /// Sets the snapshot codec (mem backend only).
+    pub fn codec(mut self, codec: SnapshotCodec) -> Self {
+        self.opts.codec = codec;
+        self
+    }
+
+    /// Sets the full-vs-delta checkpoint policy.
+    pub fn checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.opts.checkpoint = checkpoint;
+        self
+    }
+
+    /// Sets the storage backend.
+    pub fn storage(mut self, storage: StorageSpec) -> Self {
+        self.opts.storage = storage;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DurabilityOptions {
+        self.opts
+    }
 }
 
 fn storage_err(ctx: &str, e: impl std::fmt::Display) -> EngineError {
     EngineError::Storage(format!("{ctx}: {e}"))
 }
 
-/// Replaces `path` atomically with `bytes` (temp + rename, fsyncs under
-/// `sync`). Used for log rotation and legacy migration.
-fn write_file_atomic(
-    vfs: &dyn Vfs,
-    path: &Path,
-    bytes: &[u8],
-    sync: bool,
-) -> Result<(), EngineError> {
-    let tmp = temp_path(path);
-    vfs.write(&tmp, bytes).map_err(|e| storage_err("write log temp", e))?;
-    if sync {
-        vfs.sync_file(&tmp).map_err(|e| storage_err("sync log temp", e))?;
-    }
-    vfs.rename(&tmp, path).map_err(|e| storage_err("rename log", e))?;
-    if sync {
-        if let Some(dir) = path.parent() {
-            vfs.sync_dir(dir).map_err(|e| storage_err("sync log dir", e))?;
-        }
-    }
-    Ok(())
-}
-
 /// An [`Engine`] wrapped with snapshot + operation-log durability rooted
-/// at a directory (`universe.json` + `ops.idl`), with all I/O routed
-/// through a [`Vfs`].
+/// at a directory, with all I/O routed through a [`Vfs`]. Checkpoints
+/// commit through a pluggable [`StorageEngine`] (snapshot+delta files or
+/// a paged file, per [`DurabilityOptions::storage`]); log appends go
+/// through a [`Session`].
 pub struct DurableEngine {
     engine: Engine,
     dir: PathBuf,
     vfs: Arc<dyn Vfs>,
     opts: DurabilityOptions,
-    /// On-disk format appends use (existing framed logs are never
-    /// downgraded even when `opts.format` prefers legacy).
-    write_format: LogFormat,
-    /// LSN of the last acknowledged record (or the snapshot's, if higher).
-    lsn: u64,
-    /// Byte length of the acknowledged log prefix — the truncation point
-    /// when an append or sync fails partway.
-    log_bytes: u64,
-    /// Whether a base snapshot file exists on disk.
-    has_base: bool,
-    /// Encoding of the on-disk base snapshot (meaningful when `has_base`).
-    disk_codec: SnapshotCodec,
-    /// Checkpoint generation of the on-disk base (deltas chain-link to it).
-    gen: u64,
-    /// Length of the on-disk delta chain.
-    chain_len: u64,
-    /// LSN covered by the newest checkpoint artifact (base or last delta)
-    /// — the `prev_lsn` the next delta links to.
+    /// Checkpoint representation (mem or paged; see [`StorageSpec`]).
+    storage: Box<dyn StorageEngine>,
+    /// The operation log: append/sync/rotate/truncate, LSN numbering.
+    log: Session,
+    /// LSN covered by the newest checkpoint artifact.
     ckpt_lsn: u64,
     /// Store journal version covered by the newest checkpoint artifact;
     /// `changes_since(ckpt_version)` is exactly what the next delta must
@@ -229,38 +247,19 @@ pub struct DurableEngine {
 }
 
 impl DurableEngine {
+    #[cfg(test)]
     fn snapshot_path(dir: &Path) -> PathBuf {
         dir.join("universe.json")
-    }
-
-    fn delta_path(dir: &Path, seq: u64) -> PathBuf {
-        dir.join(format!("universe.delta.{seq}"))
     }
 
     fn log_path_in(dir: &Path) -> PathBuf {
         dir.join("ops.idl")
     }
 
-    fn log_path(&self) -> PathBuf {
-        Self::log_path_in(&self.dir)
-    }
-
     fn codec_hint(snapshot_codec: SnapshotCodec) -> u32 {
         match snapshot_codec {
             SnapshotCodec::Json => oplog::CODEC_HINT_JSON,
             SnapshotCodec::Binary => oplog::CODEC_HINT_BINARY,
-        }
-    }
-
-    /// Best-effort removal of delta files from `from_seq` upward (stale
-    /// chain members from an older generation or a cleared chain).
-    fn sweep_deltas(vfs: &dyn Vfs, dir: &Path, from_seq: u64) {
-        let mut k = from_seq;
-        while vfs.exists(&Self::delta_path(dir, k)) {
-            if vfs.remove_file(&Self::delta_path(dir, k)).is_err() {
-                break;
-            }
-            k += 1;
         }
     }
 
@@ -282,10 +281,12 @@ impl DurableEngine {
     }
 
     /// The fully general open: explicit [`Vfs`] (real or simulated) and
-    /// [`DurabilityOptions`]. Recovery order: sweep stale temp files,
-    /// load snapshot, run `setup`, replay the log (skipping records the
-    /// snapshot's LSN already covers), truncate any torn tail, migrate a
-    /// legacy line-format log to framed when asked.
+    /// [`DurabilityOptions`]. Recovery order: the storage backend
+    /// recovers its committed universe (sweeping stale temp files and
+    /// replaying/migrating its own artifacts), `setup` runs, then the
+    /// log session opens and the tail replays (skipping records the
+    /// recovered state already covers, truncating any torn tail,
+    /// migrating a legacy line-format log to framed when asked).
     pub fn open_with_vfs(
         dir: impl Into<PathBuf>,
         vfs: Arc<dyn Vfs>,
@@ -297,73 +298,20 @@ impl DurableEngine {
         let mut stats = DurabilityStats::default();
         vfs.create_dir_all(&dir)
             .map_err(|e| storage_err(&format!("create {}", dir.display()), e))?;
-        stats.stale_temps_removed = persist::clean_stale_temps(vfs.as_ref(), &dir)?;
 
         stats.codec = opts.codec;
-        let snap = Self::snapshot_path(&dir);
-        let mut gen = 0u64;
-        let mut disk_codec = opts.codec;
-        let mut chain_len = 0u64;
-        let mut has_base = false;
-        let (mut engine, snap_lsn, maint_state) = if vfs.exists(&snap) {
-            has_base = true;
-            let (store, meta) = persist::load_snapshot_vfs_meta(vfs.as_ref(), &snap)?;
-            gen = meta.gen;
-            disk_codec = meta.codec;
-            let mut covered = meta.lsn;
-            let mut maint = meta.maintenance;
-            // Replay the delta chain: universe.delta.1, .2, … as long as
-            // each member links to what came before (same generation,
-            // consecutive seq, prev_lsn = the LSN covered so far). A
-            // member failing any of those is a stale leftover — a crash
-            // window between a full checkpoint and its chain sweep — and
-            // ends the chain.
-            let mut universe = store.universe().clone();
-            if meta.codec == SnapshotCodec::Binary {
-                loop {
-                    let path = Self::delta_path(&dir, chain_len + 1);
-                    if !vfs.exists(&path) {
-                        break;
-                    }
-                    let Ok(delta) = persist::load_delta_vfs(vfs.as_ref(), &path) else { break };
-                    if delta.gen != gen || delta.seq != chain_len + 1 || delta.prev_lsn != covered {
-                        break;
-                    }
-                    codec::apply_delta(&mut universe, &delta)?;
-                    covered = delta.lsn;
-                    maint = delta.maintenance;
-                    chain_len += 1;
-                }
-            }
-            Self::sweep_deltas(vfs.as_ref(), &dir, chain_len + 1);
-            let store = if chain_len > 0 { Store::from_universe(universe)? } else { store };
-            if opts.codec == SnapshotCodec::Binary && meta.codec == SnapshotCodec::Json {
-                // One-shot migration: re-save the recovered checkpoint
-                // state (base + any impossible chain — JSON bases have
-                // none) as a binary base covering the same LSN, before
-                // replaying the log tail. A crash mid-write leaves the
-                // old JSON base intact (atomic rename), so migration
-                // simply re-runs at the next open.
-                gen = 1;
-                let bytes = persist::save_snapshot_vfs_codec(
-                    vfs.as_ref(),
-                    &store,
-                    &snap,
-                    SnapshotCodec::Binary,
-                    gen,
-                    covered,
-                    sync,
-                    maint.clone(),
-                )?;
-                disk_codec = SnapshotCodec::Binary;
-                stats.migrated_snapshot = true;
-                stats.snapshot_bytes_written += bytes;
-            }
-            (Engine::from_store(store), covered, maint)
-        } else {
-            (Engine::new(), 0, None)
+        let mut storage = open_storage(opts.storage, Arc::clone(&vfs), &dir, opts.codec, sync);
+        let recovered = storage.recover()?;
+        stats.stale_temps_removed = recovered.stale_temps_removed;
+        stats.chain_len = recovered.chain_len;
+        stats.migrated_snapshot = recovered.migrated_snapshot;
+        stats.snapshot_bytes_written += recovered.migration_bytes;
+        let snap_lsn = recovered.lsn;
+        let maint_state = recovered.maintenance;
+        let mut engine = match recovered.universe {
+            Some(universe) => Engine::from_store(Store::from_universe(universe)?),
+            None => Engine::new(),
         };
-        stats.chain_len = chain_len;
         setup(&mut engine)?;
         // Adopt persisted maintenance state *after* setup installed the
         // rules (the adopt checks the rule fingerprint) and *before*
@@ -377,121 +325,54 @@ impl DurableEngine {
             }
         }
 
-        let log = Self::log_path_in(&dir);
-        let hint = Self::codec_hint(opts.codec);
+        let (log, opened) = Session::open(
+            Arc::clone(&vfs),
+            Self::log_path_in(&dir),
+            opts.format,
+            Self::codec_hint(opts.codec),
+            sync,
+            snap_lsn,
+        )?;
+        stats.migrated_legacy = opened.migrated_legacy;
+        stats.torn_bytes_truncated = opened.torn_bytes_truncated;
         let mut lsn = snap_lsn;
-        let write_format;
-        let log_bytes;
-        if vfs.exists(&log) {
-            let bytes = vfs.read(&log).map_err(|e| storage_err("read log", e))?;
-            let mut recovered = oplog::decode_log(&bytes)?;
-            if recovered.format == LogFormat::LegacyLines {
-                // Legacy lines carry no LSNs; number them after the
-                // snapshot so the uniform skip logic below applies.
-                for (i, rec) in recovered.records.iter_mut().enumerate() {
-                    rec.lsn = snap_lsn + 1 + i as u64;
+        for rec in &opened.records {
+            if rec.lsn <= lsn {
+                // The checkpoint state (or an earlier duplicate) already
+                // contains this record — the crash-mid-checkpoint
+                // window, where the artifact committed but the log had
+                // not yet rotated.
+                stats.records_skipped += 1;
+                continue;
+            }
+            if rec.lsn > lsn + 1 {
+                // The records between `lsn` and this one are nowhere:
+                // not in a checkpoint artifact, not in the log. That
+                // only happens when a disk dropped the fsync of a
+                // checkpoint artifact the log rotation then trusted.
+                // Refuse to assemble a gapped history — report it.
+                return Err(EngineError::Storage(format!(
+                    "recovery gap: log record lsn {} follows state covered to lsn {} — \
+                     a checkpoint artifact is missing (unsynced or lost)",
+                    rec.lsn, lsn
+                )));
+            }
+            let stmt = parse_statement(&rec.stmt).map_err(|e| {
+                EngineError::Storage(format!("corrupt log at line {}: {e}", rec.line))
+            })?;
+            let runs_before = engine.maintenance_runs();
+            engine.execute_statement(stmt)?;
+            if rec.flags & oplog::FLAG_MAINTENANCE != 0 {
+                stats.maintenance_records_replayed += 1;
+                if engine.maintenance_runs() == runs_before {
+                    // The original run maintained this update but the
+                    // replay could not — surface the rebuild instead
+                    // of hiding it.
+                    stats.maintenance_fallbacks += 1;
                 }
             }
-            for rec in &recovered.records {
-                if rec.lsn <= lsn {
-                    // The snapshot (or an earlier duplicate) already
-                    // contains this record — the crash-mid-checkpoint
-                    // window, where the snapshot renamed but the log had
-                    // not yet rotated.
-                    stats.records_skipped += 1;
-                    continue;
-                }
-                if rec.lsn > lsn + 1 {
-                    // The records between `lsn` and this one are nowhere:
-                    // not in a checkpoint artifact, not in the log. That
-                    // only happens when a disk dropped the fsync of a
-                    // snapshot or delta the log rotation then trusted.
-                    // Refuse to assemble a gapped history — report it.
-                    return Err(EngineError::Storage(format!(
-                        "recovery gap: log record lsn {} follows state covered to lsn {} — \
-                         a checkpoint artifact is missing (unsynced or lost)",
-                        rec.lsn, lsn
-                    )));
-                }
-                let stmt = parse_statement(&rec.stmt).map_err(|e| {
-                    EngineError::Storage(format!("corrupt log at line {}: {e}", rec.line))
-                })?;
-                let runs_before = engine.maintenance_runs();
-                engine.execute_statement(stmt)?;
-                if rec.flags & oplog::FLAG_MAINTENANCE != 0 {
-                    stats.maintenance_records_replayed += 1;
-                    if engine.maintenance_runs() == runs_before {
-                        // The original run maintained this update but the
-                        // replay could not — surface the rebuild instead
-                        // of hiding it.
-                        stats.maintenance_fallbacks += 1;
-                    }
-                }
-                lsn = rec.lsn;
-                stats.records_recovered += 1;
-            }
-            match (recovered.format, opts.format) {
-                (LogFormat::LegacyLines, LogFormat::Framed) => {
-                    // Migrate: rewrite the surviving records framed,
-                    // atomically, dropping any torn trailing fragment.
-                    let fresh = oplog::encode_log_flagged_hint(
-                        hint,
-                        recovered.records.iter().map(|r| (r.lsn, 0, r.stmt.as_str())),
-                    );
-                    write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
-                    stats.migrated_legacy = !recovered.records.is_empty();
-                    stats.torn_bytes_truncated = recovered.torn_bytes;
-                    write_format = LogFormat::Framed;
-                    log_bytes = fresh.len() as u64;
-                }
-                (found, _) => {
-                    if found == LogFormat::Framed && recovered.valid_len < oplog::HEADER_LEN {
-                        // The header itself was torn — lay it down again.
-                        write_file_atomic(
-                            vfs.as_ref(),
-                            &log,
-                            &oplog::header_bytes_hint(hint),
-                            sync,
-                        )?;
-                        stats.torn_bytes_truncated = recovered.torn_bytes;
-                        log_bytes = oplog::HEADER_LEN_V4;
-                    } else if found == LogFormat::Framed
-                        && recovered.version < oplog::FORMAT_VERSION
-                    {
-                        // Upgrade the framing in place (atomically) so
-                        // appends can carry the per-record flags byte and
-                        // the v4 header — mixing layouts in one file
-                        // cannot work.
-                        let fresh = oplog::encode_log_flagged_hint(
-                            hint,
-                            recovered.records.iter().map(|r| (r.lsn, r.flags, r.stmt.as_str())),
-                        );
-                        write_file_atomic(vfs.as_ref(), &log, &fresh, sync)?;
-                        stats.torn_bytes_truncated = recovered.torn_bytes;
-                        log_bytes = fresh.len() as u64;
-                    } else {
-                        if recovered.torn_bytes > 0 {
-                            vfs.set_len(&log, recovered.valid_len)
-                                .map_err(|e| storage_err("truncate torn log tail", e))?;
-                            stats.torn_bytes_truncated = recovered.torn_bytes;
-                        }
-                        log_bytes = recovered.valid_len;
-                    }
-                    write_format = found;
-                }
-            }
-        } else {
-            write_format = opts.format;
-            let fresh = match write_format {
-                LogFormat::Framed => oplog::header_bytes_hint(hint),
-                LogFormat::LegacyLines => Vec::new(),
-            };
-            vfs.write(&log, &fresh).map_err(|e| storage_err("create log", e))?;
-            if sync {
-                vfs.sync_file(&log).map_err(|e| storage_err("sync fresh log", e))?;
-                vfs.sync_dir(&dir).map_err(|e| storage_err("sync log dir", e))?;
-            }
-            log_bytes = fresh.len() as u64;
+            lsn = rec.lsn;
+            stats.records_recovered += 1;
         }
 
         Ok(DurableEngine {
@@ -499,13 +380,8 @@ impl DurableEngine {
             dir,
             vfs,
             opts,
-            write_format,
-            lsn,
-            log_bytes,
-            has_base,
-            disk_codec,
-            gen,
-            chain_len,
+            storage,
+            log,
             ckpt_lsn: snap_lsn,
             ckpt_version: 0,
             poisoned: None,
@@ -523,15 +399,35 @@ impl DurableEngine {
         self.opts
     }
 
-    /// The LSN of the last acknowledged record (or of the snapshot, if no
-    /// record follows it).
+    /// The LSN of the last acknowledged record (or of the checkpoint
+    /// state, if no record follows it).
     pub fn last_lsn(&self) -> u64 {
-        self.lsn
+        self.log.lsn()
     }
 
-    /// Durability counters (appends, syncs, recovery work at last open).
+    /// The storage backend this engine commits checkpoints through.
+    pub fn storage_spec(&self) -> StorageSpec {
+        self.storage.spec()
+    }
+
+    /// Durability counters (appends, syncs, recovery work at last open),
+    /// with the storage backend's buffer-pool counters merged in.
     pub fn durability_stats(&self) -> DurabilityStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.pool = self.storage.pool_stats();
+        stats.storage_pages = self.storage.file_pages();
+        stats
+    }
+
+    /// Reads one relation's committed value straight off the storage
+    /// backend, bypassing the in-memory engine (diagnostics; for the
+    /// paged backend this exercises the buffer pool).
+    pub fn storage_read_relation(
+        &mut self,
+        db: &str,
+        rel: &str,
+    ) -> Result<Option<idl_object::Value>, EngineError> {
+        Ok(self.storage.read_relation(db, rel)?)
     }
 
     /// I/O counters from the underlying [`Vfs`].
@@ -555,7 +451,7 @@ impl DurableEngine {
     /// acknowledged prefix, then refuses further durable work: the
     /// in-memory engine holds a mutation the log could not acknowledge.
     fn repair_and_poison(&mut self, why: String) {
-        let _ = self.vfs.set_len(&self.log_path(), self.log_bytes);
+        self.log.repair_truncate();
         self.poisoned = Some(why);
     }
 
@@ -563,33 +459,21 @@ impl DurableEngine {
     /// *before* the caller acknowledges the mutation. `flags` tags the
     /// record (legacy line logs cannot carry them and drop the tag).
     fn log_record(&mut self, canonical: &str, flags: u8) -> Result<(), EngineError> {
-        let next = self.lsn + 1;
-        let bytes = match self.write_format {
-            LogFormat::Framed => oplog::encode_record_flagged(next, flags, canonical),
-            LogFormat::LegacyLines => format!("{canonical}\n").into_bytes(),
-        };
-        let log = self.log_path();
-        if let Err(e) = self.vfs.append(&log, &bytes) {
-            let why = format!("append log: {e}");
-            self.repair_and_poison(why.clone());
-            return Err(EngineError::Storage(why));
-        }
-        if self.opts.sync == SyncPolicy::Always {
-            if let Err(e) = self.vfs.sync_file(&log) {
-                // The record reached the file but not durably: un-ack it
-                // by truncation, or a clean restart would replay an
-                // update we reported as failed.
-                let why = format!("sync log: {e}");
-                self.repair_and_poison(why.clone());
-                return Err(EngineError::Storage(why));
+        match self.log.append(flags, canonical) {
+            Ok(bytes) => {
+                if self.opts.sync == SyncPolicy::Always {
+                    self.stats.log_syncs += 1;
+                }
+                self.stats.records_appended += 1;
+                self.stats.bytes_appended += bytes;
+                Ok(())
             }
-            self.stats.log_syncs += 1;
+            Err(e) => {
+                let why = e.to_string();
+                self.repair_and_poison(why.clone());
+                Err(EngineError::Storage(why))
+            }
         }
-        self.lsn = next;
-        self.log_bytes += bytes.len() as u64;
-        self.stats.records_appended += 1;
-        self.stats.bytes_appended += bytes.len() as u64;
-        Ok(())
     }
 
     /// Executes one parsed statement durably. Requests append (and sync)
@@ -667,8 +551,8 @@ impl DurableEngine {
             return srcs.iter().map(|_| Err(EngineError::Poisoned(why.clone()))).collect();
         }
         let mut results: Vec<Result<Outcome, EngineError>> = Vec::with_capacity(srcs.len());
-        // (result index, encoded record, maintained?) per mutating success
-        let mut pending: Vec<(usize, Vec<u8>, bool)> = Vec::new();
+        // (result index, flags, canonical text, maintained?) per mutating success
+        let mut pending: Vec<(usize, u8, String, bool)> = Vec::new();
         for (i, src) in srcs.iter().enumerate() {
             let req = match parse_statement(src) {
                 Ok(Statement::Request(r)) => r,
@@ -693,14 +577,7 @@ impl DurableEngine {
                     if mutated {
                         let maintained = self.engine.maintenance_runs() > runs_before;
                         let flags = if maintained { oplog::FLAG_MAINTENANCE } else { 0 };
-                        let next = self.lsn + pending.len() as u64 + 1;
-                        let bytes = match self.write_format {
-                            LogFormat::Framed => {
-                                oplog::encode_record_flagged(next, flags, &canonical)
-                            }
-                            LogFormat::LegacyLines => format!("{canonical}\n").into_bytes(),
-                        };
-                        pending.push((i, bytes, maintained));
+                        pending.push((i, flags, canonical, maintained));
                     }
                     results.push(Ok(outcome));
                 }
@@ -710,38 +587,25 @@ impl DurableEngine {
         if pending.is_empty() {
             return results;
         }
-        let mut buf = Vec::with_capacity(pending.iter().map(|(_, b, _)| b.len()).sum());
-        for (_, bytes, _) in &pending {
-            buf.extend_from_slice(bytes);
-        }
-        let log = self.log_path();
-        let committed =
-            self.vfs.append(&log, &buf).map_err(|e| format!("append log: {e}")).and_then(|_| {
-                match self.opts.sync {
-                    SyncPolicy::Always => {
-                        self.vfs.sync_file(&log).map_err(|e| format!("sync log: {e}"))
-                    }
-                    SyncPolicy::Never => Ok(()),
-                }
-            });
-        match committed {
-            Ok(()) => {
+        let records: Vec<(u8, String)> =
+            pending.iter().map(|(_, flags, stmt, _)| (*flags, stmt.clone())).collect();
+        match self.log.append_group(&records) {
+            Ok(bytes) => {
                 if self.opts.sync == SyncPolicy::Always {
                     self.stats.log_syncs += 1;
                 }
-                self.lsn += pending.len() as u64;
-                self.log_bytes += buf.len() as u64;
                 self.stats.records_appended += pending.len() as u64;
-                self.stats.bytes_appended += buf.len() as u64;
+                self.stats.bytes_appended += bytes;
                 self.stats.group_commits += 1;
                 self.stats.group_commit_records += pending.len() as u64;
                 self.stats.maintenance_records_appended +=
-                    pending.iter().filter(|(_, _, m)| *m).count() as u64;
+                    pending.iter().filter(|(_, _, _, m)| *m).count() as u64;
                 results
             }
-            Err(why) => {
+            Err(e) => {
+                let why = e.to_string();
                 self.repair_and_poison(why.clone());
-                for (i, _, _) in &pending {
+                for (i, _, _, _) in &pending {
                     results[*i] = Err(EngineError::Storage(why.clone()));
                 }
                 results
@@ -829,8 +693,8 @@ impl DurableEngine {
         // Persist the maintenance state only when the views actually
         // match the universe being snapshotted — adopting stale support
         // counts at the next open would claim freshness the data lacks.
-        // The chain's newest artifact wins on recovery, so the blob (or
-        // its absence) rides every checkpoint.
+        // The newest artifact wins on recovery, so the blob (or its
+        // absence) rides every checkpoint.
         let state = if self.engine.views_fresh_now() {
             serde_json::to_string(self.engine.maintained_views()).ok()
         } else {
@@ -841,75 +705,29 @@ impl DurableEngine {
             CheckpointPolicy::Auto { max_chain } => max_chain,
             CheckpointPolicy::Full => 0,
         };
-        let delta_ok = !force_full
-            && self.opts.codec == SnapshotCodec::Binary
-            && self.has_base
-            && self.disk_codec == SnapshotCodec::Binary
-            && (self.chain_len as usize) < max_chain;
-        match if delta_ok { self.delta_entries() } else { None } {
-            Some(entries) => {
-                let seq = self.chain_len + 1;
-                let blob = DeltaBlob {
-                    gen: self.gen,
-                    seq,
-                    prev_lsn: self.ckpt_lsn,
-                    lsn: self.lsn,
-                    maintenance: state,
-                    entries,
-                };
-                let bytes = persist::save_delta_vfs(
-                    self.vfs.as_ref(),
-                    &Self::delta_path(&self.dir, seq),
-                    &blob,
-                    sync,
-                )?;
-                self.chain_len = seq;
-                self.stats.delta_checkpoints += 1;
-                self.stats.snapshot_bytes_written += bytes;
-            }
-            None => {
-                // The new base gets a fresh generation, so any chain
-                // member surviving a crash before the sweep below is
-                // rejected (and removed) at the next open.
-                let bytes = persist::save_snapshot_vfs_codec(
-                    self.vfs.as_ref(),
-                    self.engine.store(),
-                    &Self::snapshot_path(&self.dir),
-                    self.opts.codec,
-                    self.gen + 1,
-                    self.lsn,
-                    sync,
-                    state,
-                )?;
-                self.gen += 1;
-                self.has_base = true;
-                self.disk_codec = self.opts.codec;
-                Self::sweep_deltas(self.vfs.as_ref(), &self.dir, 1);
-                self.chain_len = 0;
-                self.stats.full_checkpoints += 1;
-                self.stats.snapshot_bytes_written += bytes;
-            }
-        }
-        self.stats.chain_len = self.chain_len;
-        self.ckpt_lsn = self.lsn;
-        self.ckpt_version = store_version;
-        let fresh = match self.write_format {
-            LogFormat::Framed => oplog::header_bytes_hint(Self::codec_hint(self.opts.codec)),
-            LogFormat::LegacyLines => Vec::new(),
+        let seal = CommitSeal { lsn: self.log.lsn(), maintenance: state, sync };
+        let delta_ok = !force_full && self.storage.can_delta(max_chain);
+        // `delta_entries` is None when the journal recorded an unscoped
+        // universe mutation — only a full commit can represent that.
+        let info = match if delta_ok { self.delta_entries() } else { None } {
+            Some(entries) => self.storage.apply_delta(&entries, &seal)?,
+            None => self.storage.apply_full(self.engine.store(), &seal)?,
         };
-        write_file_atomic(self.vfs.as_ref(), &self.log_path(), &fresh, sync)?;
-        self.log_bytes = fresh.len() as u64;
-        Ok(Outcome::Checkpointed { lsn: self.lsn })
+        match info.kind {
+            CommitKind::Delta => self.stats.delta_checkpoints += 1,
+            CommitKind::Full => self.stats.full_checkpoints += 1,
+        }
+        self.stats.snapshot_bytes_written += info.bytes_written;
+        self.stats.chain_len = info.chain_len;
+        self.ckpt_lsn = seal.lsn;
+        self.ckpt_version = store_version;
+        self.log.rotate(Self::codec_hint(self.opts.codec))?;
+        Ok(Outcome::Checkpointed { lsn: seal.lsn })
     }
 
     /// Number of statements currently in the operation log (diagnostics).
     pub fn log_len(&self) -> Result<usize, EngineError> {
-        let log = self.log_path();
-        if !self.vfs.exists(&log) {
-            return Ok(0);
-        }
-        let bytes = self.vfs.read(&log).map_err(|e| storage_err("read log", e))?;
-        Ok(oplog::decode_log(&bytes)?.records.len())
+        Ok(self.log.len()?)
     }
 }
 
@@ -972,6 +790,14 @@ impl Backend for DurableEngine {
         true
     }
 
+    fn durability_stats(&self) -> Option<DurabilityStats> {
+        Some(DurableEngine::durability_stats(self))
+    }
+
+    fn storage_spec(&self) -> Option<StorageSpec> {
+        Some(DurableEngine::storage_spec(self))
+    }
+
     fn is_poisoned(&self) -> bool {
         DurableEngine::is_poisoned(self)
     }
@@ -996,6 +822,7 @@ impl Backend for DurableEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idl_storage::persist;
     use idl_storage::vfs::{FaultPlan, SimVfs};
 
     fn fresh_dir(name: &str) -> PathBuf {
@@ -1309,14 +1136,21 @@ mod tests {
 
     #[test]
     fn checkpoints_default_to_binary_snapshots() {
-        // The subject here is the *default*; the IDL_CODEC override
-        // legitimately changes it, so this test only runs unset.
+        // The subject here is the *default codec*; the IDL_CODEC
+        // override legitimately changes it, so this test only runs
+        // unset. Storage is pinned to mem — the snapshot file under
+        // inspection only exists on that backend.
         if std::env::var_os("IDL_CODEC").is_some() {
             return;
         }
+        let mem_default =
+            || DurabilityOptions { storage: StorageSpec::Mem, ..DurabilityOptions::default() };
+        let open_mem = |dir: &std::path::Path| {
+            DurableEngine::open_with_vfs(dir, Arc::new(RealVfs::new()), mem_default(), |_| Ok(()))
+        };
         let dir = fresh_dir("binary-ckpt");
         {
-            let mut d = DurableEngine::open(&dir).unwrap();
+            let mut d = open_mem(&dir).unwrap();
             d.update("?.db.r+(.a=1)").unwrap();
             d.checkpoint().unwrap();
         }
@@ -1326,20 +1160,30 @@ mod tests {
         let recovered = oplog::decode_log(&log).unwrap();
         assert_eq!(recovered.version, oplog::FORMAT_VERSION);
         assert_eq!(recovered.codec_hint, oplog::CODEC_HINT_BINARY);
-        let mut d = DurableEngine::open(&dir).unwrap();
+        let mut d = open_mem(&dir).unwrap();
         assert!(d.query("?.db.r(.a=1)").unwrap().is_true());
         assert_eq!(d.durability_stats().codec, SnapshotCodec::Binary);
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // Tests below assert snapshot-file and codec-specific artifacts
+    // that only the mem backend produces, so they pin both the codec
+    // and the storage backend instead of inheriting the IDL_CODEC- /
+    // IDL_STORAGE-sensitive defaults.
     fn json_opts() -> DurabilityOptions {
-        DurabilityOptions { codec: SnapshotCodec::Json, ..DurabilityOptions::default() }
+        DurabilityOptions {
+            codec: SnapshotCodec::Json,
+            storage: StorageSpec::Mem,
+            ..DurabilityOptions::default()
+        }
     }
 
-    // Tests below assert codec-specific artifacts, so they pin the
-    // codec instead of inheriting the IDL_CODEC-sensitive default.
     fn bin_opts() -> DurabilityOptions {
-        DurabilityOptions { codec: SnapshotCodec::Binary, ..DurabilityOptions::default() }
+        DurabilityOptions {
+            codec: SnapshotCodec::Binary,
+            storage: StorageSpec::Mem,
+            ..DurabilityOptions::default()
+        }
     }
 
     #[test]
@@ -1406,10 +1250,7 @@ mod tests {
         assert!(!vfs.exists(Path::new("/d/universe.delta.1")));
         // policy Full never writes deltas
         let vfs2 = Arc::new(SimVfs::new(FaultPlan::none(33)));
-        let opts2 = DurabilityOptions {
-            checkpoint: CheckpointPolicy::Full,
-            ..DurabilityOptions::default()
-        };
+        let opts2 = DurabilityOptions { checkpoint: CheckpointPolicy::Full, ..bin_opts() };
         let mut d2 = sim_open(&vfs2, opts2).unwrap();
         d2.update("?.db.r+(.a=1)").unwrap();
         d2.checkpoint().unwrap();
@@ -1426,8 +1267,7 @@ mod tests {
         // (base + log tail skipping the delta's updates), not silently
         // serve a non-prefix state.
         let vfs = Arc::new(SimVfs::new(FaultPlan::none(37)));
-        let opts =
-            DurabilityOptions { codec: SnapshotCodec::Binary, ..DurabilityOptions::default() };
+        let opts = bin_opts();
         {
             let mut d = sim_open(&vfs, opts).unwrap();
             d.update("?.db.r+(.a=1)").unwrap();
@@ -1516,6 +1356,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // forges a legacy on-disk layout by hand
     fn stale_deltas_from_an_older_generation_are_ignored_and_swept() {
         let vfs = Arc::new(SimVfs::new(FaultPlan::none(37)));
         {

@@ -152,6 +152,22 @@ impl EngineOptionsBuilder {
         self
     }
 
+    /// Storage backend for durable backends (the CLI's `--storage`):
+    /// the in-memory engine with snapshot/delta checkpoint files
+    /// (default) or the paged engine — slotted pages, B-trees and a
+    /// buffer pool over one page file.
+    pub fn storage(mut self, spec: idl_storage::StorageSpec) -> Self {
+        self.durability.storage = spec;
+        self
+    }
+
+    /// Buffer-pool capacity in pages (the CLI's `--pool-pages`);
+    /// selects the paged storage backend.
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.durability.storage = idl_storage::StorageSpec::Paged { pool_pages: pages };
+        self
+    }
+
     /// The engine-side configuration.
     pub fn build(self) -> EngineOptions {
         self.engine

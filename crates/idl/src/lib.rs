@@ -64,7 +64,8 @@ pub use idl_object::{Atom, Date, Name, SetObj, SharingCounters, TupleObj, Value}
 pub use idl_storage::codec::SnapshotCodec;
 pub use idl_storage::schema::{AttrDecl, ForeignKey, RelationSchema, SchemaSet, TypeTag};
 pub use idl_storage::{
-    DurabilityStats, FaultPlan, LogFormat, RealVfs, SimVfs, Store, Vfs, VfsStats,
+    BufferPoolStats, DurabilityStats, FaultPlan, LogFormat, RealVfs, SimVfs, StorageSpec, Store,
+    Vfs, VfsStats,
 };
 
 /// Convenience prelude.

@@ -24,6 +24,14 @@
 //! * `--codec json|binary` — snapshot encoding under `--durable`
 //!   (default `binary`, or the `IDL_CODEC` environment knob; a JSON
 //!   directory migrates to binary on open when binary is in effect).
+//! * `--storage mem|paged[:N]` — checkpoint storage backend under
+//!   `--durable` (default `mem`, or the `IDL_STORAGE` environment
+//!   knob): `mem` keeps the universe in memory and checkpoints to
+//!   snapshot + delta-chain files; `paged` commits into a single
+//!   shadow-paged file of slotted pages and B-trees, fronted by a
+//!   buffer pool of `N` pages (default 1024).
+//! * `--pool-pages N` — buffer-pool capacity for `--storage paged`
+//!   (shorthand for `--storage paged:N`).
 //! * `--checkpoint [auto|full]` — after all scripts ran, write a
 //!   checkpoint and rotate the log (requires `--durable`; may be the
 //!   only action). Bare or `auto` lets the engine write an incremental
@@ -41,7 +49,9 @@
 //!   view materialisation: iterations, rule evaluations, facts added,
 //!   plan-cache traffic, per-stratum telemetry, and the structural-sharing
 //!   counters (O(1) clones, copy-on-write breaks, pointer-equality hits,
-//!   sharing hit rate).
+//!   sharing hit rate). Under `--durable` the durability counters
+//!   follow: log appends/syncs, checkpoints, recovery work, and — on
+//!   the paged backend — the buffer-pool hit/miss/eviction telemetry.
 //! * `-e STMT` — execute one statement from the command line.
 //!
 //! # `idl serve`
@@ -68,8 +78,8 @@
 //! Scripts are ordinary multi-statement IDL sources (`;`-separated).
 
 use idl::{
-    Backend, CheckpointPolicy, DurableEngine, Engine, EngineOptions, FaultPlan, Outcome, RealVfs,
-    SimVfs, SnapshotCodec, SyncPolicy, Vfs,
+    Backend, CheckpointPolicy, DurabilityStats, DurableEngine, Engine, EngineOptions, FaultPlan,
+    Outcome, RealVfs, SimVfs, SnapshotCodec, StorageSpec, SyncPolicy, Vfs,
 };
 use idl_server::{serve, Client, ServeMode, ServerConfig};
 use std::path::{Path, PathBuf};
@@ -83,6 +93,8 @@ struct Cli {
     durable: Option<PathBuf>,
     fsync: SyncPolicy,
     codec: Option<SnapshotCodec>,
+    storage: Option<StorageSpec>,
+    pool_pages: Option<usize>,
     checkpoint: bool,
     checkpoint_policy: Option<CheckpointPolicy>,
     stock: bool,
@@ -122,6 +134,8 @@ impl Default for Cli {
             durable: None,
             fsync: SyncPolicy::Always,
             codec: None,
+            storage: None,
+            pool_pages: None,
             checkpoint: false,
             checkpoint_policy: None,
             stock: false,
@@ -190,6 +204,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
             "--codec" => {
                 let c = args.next().ok_or("--codec needs json|binary")?;
                 cli.codec = Some(c.parse()?);
+            }
+            "--storage" => {
+                let s = args.next().ok_or("--storage needs mem|paged[:N]")?;
+                cli.storage = Some(s.parse().map_err(|e| format!("--storage: {e}"))?);
+            }
+            "--pool-pages" => {
+                let n = args.next().ok_or("--pool-pages needs a page count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--pool-pages needs a positive integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--pool-pages must be at least 1".into());
+                }
+                cli.pool_pages = Some(n);
             }
             "--checkpoint" => {
                 cli.checkpoint = true;
@@ -280,7 +308,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
             "--help" | "-h" => {
                 println!(
                     "usage: idl [--snapshot F] [--save F] [--durable DIR] [--fsync always|off] \
-                     [--codec json|binary] [--checkpoint [auto|full]] [--stock] [--mapping] \
+                     [--codec json|binary] [--storage mem|paged[:N]] [--pool-pages N] \
+                     [--checkpoint [auto|full]] [--stock] [--mapping] \
                      [--sql] [--analyze] [--explain] [--no-compile] [--stats] [--threads N] \
                      [-e STMT] [script.idl ...]\n\
                      \x20      idl serve [engine flags] [--addr HOST:PORT] \
@@ -317,6 +346,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, Cli), String>
         if cli.codec.is_some() {
             return Err("--codec requires --durable".into());
         }
+        if cli.storage.is_some() {
+            return Err("--storage requires --durable".into());
+        }
+        if cli.pool_pages.is_some() {
+            return Err("--pool-pages requires --durable".into());
+        }
+    }
+    if cli.pool_pages.is_some() && matches!(cli.storage, Some(StorageSpec::Mem)) {
+        return Err("--pool-pages needs the paged backend (--storage paged)".into());
     }
     Ok((mode, cli))
 }
@@ -348,6 +386,14 @@ fn open_durable(cli: &Cli, dir: &Path) -> Result<DurableEngine, String> {
     }
     if let Some(policy) = cli.checkpoint_policy {
         builder = builder.checkpoint_policy(policy);
+    }
+    if let Some(spec) = cli.storage {
+        builder = builder.storage(spec);
+    }
+    if let Some(pages) = cli.pool_pages {
+        // `--pool-pages N` alone selects the paged backend outright;
+        // combined with `--storage paged[:M]` the explicit count wins.
+        builder = builder.pool_pages(pages);
     }
     let opts = builder.durability();
     let mapping = cli.mapping;
@@ -470,6 +516,9 @@ fn run_scripts(cli: &Cli) -> Result<(), String> {
     }
     if cli.stats {
         print_stats(backend.stats());
+        if let Some(d) = backend.durability_stats() {
+            print_durability_stats(&d);
+        }
     }
     if let Some(path) = &cli.save {
         backend.save_snapshot(path).map_err(|e| format!("cannot save snapshot: {e}"))?;
@@ -594,12 +643,59 @@ fn run_client(addr: &str, cli: &Cli) -> Result<(), String> {
                 m.support_entries
             );
         }
+        if let Some(st) = &reply.storage {
+            println!(
+                "-- storage: {} backend, {} pages, {} full / {} delta checkpoints, chain {}",
+                st.backend, st.pages, st.full_checkpoints, st.delta_checkpoints, st.chain_len
+            );
+            if let Some(p) = &st.pool {
+                println!(
+                    "-- buffer pool: {}/{} resident, {} hits / {} misses, {} evictions, \
+                     {} dirty write-backs",
+                    p.resident, p.capacity, p.hits, p.misses, p.evictions, p.dirty_writebacks
+                );
+            }
+        }
     }
     if cli.shutdown {
         client.shutdown_server().map_err(|e| e.to_string())?;
         println!("-- server draining");
     }
     Ok(())
+}
+
+/// Prints the durability counters (the `--stats` output under
+/// `--durable`, documented in LANGUAGE.md).
+fn print_durability_stats(d: &DurabilityStats) {
+    println!("-- durability stats");
+    println!(
+        "   log:            {} records appended ({}B, {} fsyncs), {} group commits covering {} records",
+        d.records_appended, d.bytes_appended, d.log_syncs, d.group_commits, d.group_commit_records
+    );
+    println!(
+        "   recovery:       {} records replayed, {} skipped, {}B torn tail truncated",
+        d.records_recovered, d.records_skipped, d.torn_bytes_truncated
+    );
+    println!(
+        "   checkpoints:    {} full, {} delta ({}B written, chain length {}, codec {:?})",
+        d.full_checkpoints, d.delta_checkpoints, d.snapshot_bytes_written, d.chain_len, d.codec
+    );
+    match &d.pool {
+        Some(p) => {
+            println!("   storage:        paged, {} pages in the page file", d.storage_pages);
+            let total = p.hits + p.misses;
+            let rate = if total == 0 { 0.0 } else { p.hits as f64 / total as f64 * 100.0 };
+            println!(
+                "   buffer pool:    {}/{} pages resident, {} hits / {} misses ({rate:.1}% hit rate)",
+                p.resident, p.capacity, p.hits, p.misses
+            );
+            println!(
+                "   buffer pool:    {} evictions, {} dirty write-backs",
+                p.evictions, p.dirty_writebacks
+            );
+        }
+        None => println!("   storage:        mem (snapshot + delta chain; no buffer pool)"),
+    }
 }
 
 /// Prints the last view-materialisation statistics (the `--stats` output

@@ -230,7 +230,7 @@ impl Client {
     /// Server, session and engine counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.call(&WireRequest::Stats)? {
-            WireResponse::Stats(s) => Ok(s),
+            WireResponse::Stats(s) => Ok(*s),
             other => Err(unexpected("Stats", &other)),
         }
     }

@@ -755,7 +755,7 @@ impl Reactor {
                 let Some(session) = self.slots.get_mut(idx).and_then(Option::as_mut) else {
                     return WireResponse::Pong;
                 };
-                WireResponse::Stats(StatsReply {
+                WireResponse::Stats(Box::new(StatsReply {
                     server: self.shared.server_stats(),
                     session: SessionStatsWire {
                         session_id: session.id,
@@ -770,7 +770,8 @@ impl Reactor {
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
                         .clone(),
-                })
+                    storage: self.shared.storage_stats(),
+                }))
             }
             WireRequest::Shutdown => {
                 if self.shared.cfg.allow_remote_shutdown {

@@ -29,7 +29,7 @@
 //! [`idl::EngineError::code`]) or one of the server-level codes below
 //! (`E-FRAME`, `E-TOO-LARGE`, `E-TIMEOUT`, `E-BUSY`, `E-PROTO`).
 
-use idl::{AnswerSet, FixpointStats, Outcome};
+use idl::{AnswerSet, DurabilityStats, FixpointStats, Outcome};
 use idl_storage::crc::crc32c;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -117,8 +117,9 @@ pub enum WireResponse {
     Answers(AnswerSet),
     /// Fixpoint summary of an explicit `RefreshViews`.
     Refreshed(EngineStatsWire),
-    /// Reply to [`WireRequest::Stats`].
-    Stats(StatsReply),
+    /// Reply to [`WireRequest::Stats`]. Boxed to keep the response enum
+    /// small; `Box<T>` serializes identically to `T`.
+    Stats(Box<StatsReply>),
     /// Reply to [`WireRequest::DumpUniverse`].
     Universe {
         /// Canonical JSON of the snapshotted universe.
@@ -258,6 +259,72 @@ pub struct StatsReply {
     pub session: SessionStatsWire,
     /// Summary of the engine's most recent materialisation.
     pub engine: EngineStatsWire,
+    /// Storage-backend telemetry of a durable backend. Optional for
+    /// wire compatibility: replies from servers predating the paged
+    /// storage engine (or without `--durable`) decode as `None`, and
+    /// older clients ignore the field entirely.
+    #[serde(default)]
+    pub storage: Option<StorageStatsWire>,
+}
+
+/// Wire-portable storage-backend telemetry of a durable backend (see
+/// `idl_storage::DurabilityStats` / `idl_storage::BufferPoolStats`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageStatsWire {
+    /// The configured backend, as its spec string (`mem` / `paged:N`).
+    pub backend: String,
+    /// Page-file size in pages (0 on the mem backend).
+    pub pages: u64,
+    /// Delta checkpoints written since open.
+    pub delta_checkpoints: u64,
+    /// Full checkpoints written since open.
+    pub full_checkpoints: u64,
+    /// Current delta-chain length (mem backend; 0 on paged).
+    pub chain_len: u64,
+    /// Buffer-pool counters (`None` on the mem backend — no page file
+    /// to cache).
+    #[serde(default)]
+    pub pool: Option<BufferPoolStatsWire>,
+}
+
+/// Wire-portable buffer-pool counters (see `idl_storage::BufferPoolStats`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BufferPoolStatsWire {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the page file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to the page file at eviction time.
+    pub dirty_writebacks: u64,
+    /// Configured capacity, in pages.
+    pub capacity: u64,
+    /// Frames currently resident.
+    pub resident: u64,
+}
+
+impl StorageStatsWire {
+    /// Summarises a durable backend's counters for the wire (the
+    /// `backend` spec string comes from the caller, which knows the
+    /// configured [`idl::StorageSpec`]).
+    pub fn from_stats(backend: String, d: &DurabilityStats) -> Self {
+        StorageStatsWire {
+            backend,
+            pages: d.storage_pages,
+            delta_checkpoints: d.delta_checkpoints,
+            full_checkpoints: d.full_checkpoints,
+            chain_len: d.chain_len,
+            pool: d.pool.map(|p| BufferPoolStatsWire {
+                hits: p.hits,
+                misses: p.misses,
+                evictions: p.evictions,
+                dirty_writebacks: p.dirty_writebacks,
+                capacity: p.capacity,
+                resident: p.resident,
+            }),
+        }
+    }
 }
 
 /// Why a frame could not be read or written.
@@ -491,6 +558,47 @@ mod tests {
             support_entries: 40,
         });
         let back: EngineStatsWire =
+            serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn stats_reply_without_storage_field_still_parses() {
+        // Pin wire compatibility: a stats payload from a server build
+        // predating the paged storage engine carries no `storage` key at
+        // all — it must decode, with the new field reading as None.
+        let reply = StatsReply {
+            server: Default::default(),
+            session: SessionStatsWire { session_id: 3, requests: 5, ..Default::default() },
+            engine: EngineStatsWire { iterations: 2, ..Default::default() },
+            storage: None,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        let old = json.replace(",\"storage\":null", "");
+        assert_ne!(old, json, "forged an old-format payload (no `storage` key)");
+        let got: StatsReply = serde_json::from_str(&old).unwrap();
+        assert_eq!(got, reply);
+
+        // and the new shape — paged backend with pool counters — round-trips
+        let full = StatsReply {
+            storage: Some(StorageStatsWire {
+                backend: "paged:64".into(),
+                pages: 130,
+                delta_checkpoints: 4,
+                full_checkpoints: 1,
+                chain_len: 0,
+                pool: Some(BufferPoolStatsWire {
+                    hits: 900,
+                    misses: 77,
+                    evictions: 13,
+                    dirty_writebacks: 6,
+                    capacity: 64,
+                    resident: 64,
+                }),
+            }),
+            ..reply
+        };
+        let back: StatsReply =
             serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
         assert_eq!(back, full);
     }

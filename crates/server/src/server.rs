@@ -25,8 +25,8 @@
 //! `E-POISONED` error frames.
 
 use crate::protocol::{
-    self, EngineStatsWire, FrameError, SessionStatsWire, StatsReply, WireRequest, WireResponse,
-    E_BUSY, E_FRAME, E_PROTO, E_TIMEOUT, E_TOO_LARGE, MAGIC, MAGIC_V2,
+    self, EngineStatsWire, FrameError, SessionStatsWire, StatsReply, StorageStatsWire, WireRequest,
+    WireResponse, E_BUSY, E_FRAME, E_PROTO, E_TIMEOUT, E_TOO_LARGE, MAGIC, MAGIC_V2,
 };
 use crate::stats::{ServerStats, ServerStatsSnapshot};
 use idl::{Backend, EngineError, EngineSnapshot, PlanCache, Value};
@@ -191,6 +191,9 @@ pub(crate) struct Shared {
     /// Summary of the engine's last materialisation, captured at publish
     /// time so `Stats` never needs the writer lock.
     pub(crate) engine_stats: Mutex<EngineStatsWire>,
+    /// Storage-backend telemetry of a durable backend (`None` without
+    /// durability), captured at publish time like `engine_stats`.
+    pub(crate) storage_stats: Mutex<Option<StorageStatsWire>>,
     /// Compiled plans shared by all snapshot reads (locked only around
     /// plan lookup, never during evaluation).
     pub(crate) plan_cache: Mutex<PlanCache>,
@@ -213,8 +216,13 @@ impl Shared {
         let snap = backend.snapshot()?;
         *self.engine_stats.lock().unwrap_or_else(|p| p.into_inner()) =
             EngineStatsWire::from(backend.stats());
+        *self.storage_stats.lock().unwrap_or_else(|p| p.into_inner()) = storage_stats_wire(backend);
         *self.published.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(snap);
         Ok(())
+    }
+
+    pub(crate) fn storage_stats(&self) -> Option<StorageStatsWire> {
+        self.storage_stats.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     pub(crate) fn published(&self) -> Arc<EngineSnapshot> {
@@ -248,6 +256,14 @@ impl Shared {
             let _ = TcpStream::connect(self.local_addr);
         }
     }
+}
+
+/// Snapshots a durable backend's storage telemetry for the `Stats`
+/// frame (`None` without durability).
+pub(crate) fn storage_stats_wire(backend: &dyn Backend) -> Option<StorageStatsWire> {
+    let stats = backend.durability_stats()?;
+    let spec = backend.storage_spec().unwrap_or_default();
+    Some(StorageStatsWire::from_stats(spec.to_string(), &stats))
 }
 
 /// A running server. Dropping the handle initiates a drain; call
@@ -321,6 +337,7 @@ pub fn serve(
 ) -> Result<ServerHandle, ServerError> {
     let initial = backend.snapshot()?;
     let engine_stats = EngineStatsWire::from(backend.stats());
+    let storage_stats = storage_stats_wire(backend.as_mut());
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
     let mode = cfg.mode;
@@ -330,6 +347,7 @@ pub fn serve(
         writer: Mutex::new(backend),
         published: RwLock::new(Arc::new(initial)),
         engine_stats: Mutex::new(engine_stats),
+        storage_stats: Mutex::new(storage_stats),
         plan_cache: Mutex::new(PlanCache::new()),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
@@ -673,7 +691,7 @@ fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> Reply {
         }
         WireRequest::Stats => {
             ServerStats::bump(&shared.stats.reads, 1);
-            WireResponse::Stats(StatsReply {
+            WireResponse::Stats(Box::new(StatsReply {
                 server: shared.server_stats(),
                 session: SessionStatsWire {
                     session_id: sess.id,
@@ -683,7 +701,8 @@ fn dispatch(shared: &Arc<Shared>, req: WireRequest, sess: &Session) -> Reply {
                     bytes_out: sess.bytes_out,
                 },
                 engine: shared.engine_stats.lock().unwrap_or_else(|p| p.into_inner()).clone(),
-            })
+                storage: shared.storage_stats(),
+            }))
         }
         WireRequest::Execute { src } => {
             ServerStats::bump(&shared.stats.writes, 1);

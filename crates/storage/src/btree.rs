@@ -1,0 +1,671 @@
+//! Copy-on-write B+tree over the [`Pager`].
+//!
+//! Keys and values are byte strings. Leaf cells are
+//! `varint(klen) key varint(vlen) value`; inner cells are
+//! `varint(klen) sepkey  pid:u64  lsn:u64`, where `sepkey` is a **lower
+//! bound** on every key in the child. Lower-bound separators never need
+//! updating when a child's minimum changes (a deletion can only raise the
+//! minimum, which keeps the bound valid), which keeps the shadow-copy
+//! write path small. Descent picks the last cell whose separator is
+//! `<= key`, defaulting to the first.
+//!
+//! Every structural change **shadow-copies** the path from the touched
+//! leaf to the root: modified pages move to freshly allocated pids, the
+//! old pages are freed (deferred to commit), and the caller gets a new
+//! root [`PageRef`]. Until the meta page is flipped to the new root, the
+//! previous tree is untouched on disk — crash recovery is "read the old
+//! meta".
+//!
+//! There is no merge/rebalance on deletion: emptied pages are freed and
+//! unlinked, sparse pages persist until a full checkpoint rebuilds the
+//! tree ([`bulk_build`]). That trades disk tightness for a simpler
+//! crash-surface, matching the op-log's compact-on-checkpoint policy.
+
+use crate::buffer_pool::Pager;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{self, PageId, PageRef, KIND_INNER, KIND_LEAF};
+
+/// Largest cell the tree accepts. Any two max-size cells must share a
+/// page, so splits always succeed.
+pub const MAX_CELL: usize = 2000;
+
+fn corrupt(what: impl std::fmt::Display) -> StorageError {
+    StorageError::Persist(format!("b-tree corruption: {what}"))
+}
+
+// ----------------------------------------------------------------- cells
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(b: &[u8], pos: &mut usize) -> StorageResult<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *b.get(*pos).ok_or_else(|| corrupt("truncated varint in cell"))?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt("oversized varint in cell"));
+        }
+    }
+}
+
+fn leaf_cell(key: &[u8], val: &[u8]) -> Vec<u8> {
+    let mut c = Vec::with_capacity(key.len() + val.len() + 4);
+    put_varint(&mut c, key.len() as u64);
+    c.extend_from_slice(key);
+    put_varint(&mut c, val.len() as u64);
+    c.extend_from_slice(val);
+    c
+}
+
+fn decode_leaf(cell: &[u8]) -> StorageResult<(&[u8], &[u8])> {
+    let mut pos = 0;
+    let klen = get_varint(cell, &mut pos)? as usize;
+    let key = cell.get(pos..pos + klen).ok_or_else(|| corrupt("leaf key overruns cell"))?;
+    pos += klen;
+    let vlen = get_varint(cell, &mut pos)? as usize;
+    let val = cell.get(pos..pos + vlen).ok_or_else(|| corrupt("leaf value overruns cell"))?;
+    Ok((key, val))
+}
+
+fn inner_cell(sep: &[u8], child: PageRef) -> Vec<u8> {
+    let mut c = Vec::with_capacity(sep.len() + 20);
+    put_varint(&mut c, sep.len() as u64);
+    c.extend_from_slice(sep);
+    c.extend_from_slice(&child.pid.to_le_bytes());
+    c.extend_from_slice(&child.lsn.to_le_bytes());
+    c
+}
+
+fn decode_inner(cell: &[u8]) -> StorageResult<(&[u8], PageRef)> {
+    let mut pos = 0;
+    let klen = get_varint(cell, &mut pos)? as usize;
+    let sep = cell.get(pos..pos + klen).ok_or_else(|| corrupt("separator overruns cell"))?;
+    pos += klen;
+    let rest = cell.get(pos..pos + 16).ok_or_else(|| corrupt("child pointer overruns cell"))?;
+    let pid = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes"));
+    let lsn = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+    Ok((sep, PageRef { pid, lsn }))
+}
+
+/// Binary search among leaf cells: `(index, exact_match)`.
+fn leaf_search(p: &[u8], key: &[u8]) -> StorageResult<(usize, bool)> {
+    let mut lo = 0;
+    let mut hi = page::count(p);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (k, _) = decode_leaf(page::cell(p, mid))?;
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Equal => return Ok((mid, true)),
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    Ok((lo, false))
+}
+
+/// Index of the child to descend into: last separator `<= key`, min 0.
+fn inner_search(p: &[u8], key: &[u8]) -> StorageResult<usize> {
+    let mut lo = 0;
+    let mut hi = page::count(p);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (sep, _) = decode_inner(page::cell(p, mid))?;
+        if sep <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo.saturating_sub(1))
+}
+
+// ---------------------------------------------------------------- lookup
+
+/// Point lookup; `None` when the key is absent.
+pub fn lookup(pager: &mut Pager, root: PageRef, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+    if !root.is_some() {
+        return Ok(None);
+    }
+    let mut r = root;
+    let mut depth = 0;
+    loop {
+        depth += 1;
+        if depth > 64 {
+            return Err(corrupt("descent deeper than 64 levels"));
+        }
+        let data = pager.get_checked(r)?;
+        match page::kind(&data) {
+            KIND_INNER => {
+                let idx = inner_search(&data, key)?;
+                let (_, child) = decode_inner(page::cell(&data, idx))?;
+                r = child;
+            }
+            KIND_LEAF => {
+                let (idx, found) = leaf_search(&data, key)?;
+                if !found {
+                    return Ok(None);
+                }
+                let (_, v) = decode_leaf(page::cell(&data, idx))?;
+                return Ok(Some(v.to_vec()));
+            }
+            k => return Err(corrupt(format!("page {} has kind {k} inside a tree", r.pid))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- insert
+
+enum Ins {
+    Done(PageRef),
+    /// `(left, right_min_key, right)` — the caller links both halves.
+    Split(PageRef, Vec<u8>, PageRef),
+}
+
+/// All `(key, value)` pairs of a leaf page.
+fn leaf_entries(p: &[u8]) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    (0..page::count(p))
+        .map(|i| decode_leaf(page::cell(p, i)).map(|(k, v)| (k.to_vec(), v.to_vec())))
+        .collect()
+}
+
+/// All `(sep, child)` pairs of an inner page.
+fn inner_entries(p: &[u8]) -> StorageResult<Vec<(Vec<u8>, PageRef)>> {
+    (0..page::count(p))
+        .map(|i| decode_inner(page::cell(p, i)).map(|(s, c)| (s.to_vec(), c)))
+        .collect()
+}
+
+/// Builds a page of `kind` from pre-encoded cells (must fit).
+fn build_page(pager: &mut Pager, kind: u8, cells: &[Vec<u8>]) -> StorageResult<PageId> {
+    let mut p = page::init(kind, 0);
+    for (i, c) in cells.iter().enumerate() {
+        if !page::insert(&mut p, i, c) {
+            return Err(corrupt("split half does not fit a fresh page"));
+        }
+    }
+    pager.alloc(p)
+}
+
+/// Splits `cells` at the byte-balanced midpoint (both halves non-empty).
+fn split_point(cells: &[Vec<u8>]) -> usize {
+    let total: usize = cells.iter().map(|c| c.len()).sum();
+    let mut acc = 0;
+    for (i, c) in cells.iter().enumerate() {
+        acc += c.len();
+        if acc * 2 >= total {
+            return (i + 1).min(cells.len() - 1).max(1);
+        }
+    }
+    cells.len() / 2
+}
+
+fn insert_rec(pager: &mut Pager, r: PageRef, key: &[u8], val: &[u8]) -> StorageResult<Ins> {
+    let data = pager.get_checked(r)?;
+    let lsn = pager.txn_lsn();
+    match page::kind(&data) {
+        KIND_LEAF => {
+            let (idx, found) = leaf_search(&data, key)?;
+            let cell = leaf_cell(key, val);
+            let pid = pager.shadow(r)?;
+            let mut fit = false;
+            pager.update(pid, |p| {
+                fit =
+                    if found { page::replace(p, idx, &cell) } else { page::insert(p, idx, &cell) };
+            })?;
+            if fit {
+                return Ok(Ins::Done(PageRef { pid, lsn }));
+            }
+            // overflow: gather everything (with the new entry applied) and
+            // rebuild as two halves
+            let full = pager.get(pid)?;
+            let mut entries = leaf_entries(&full)?;
+            if found {
+                entries[idx] = (key.to_vec(), val.to_vec());
+            } else {
+                entries.insert(idx, (key.to_vec(), val.to_vec()));
+            }
+            let cells: Vec<Vec<u8>> = entries.iter().map(|(k, v)| leaf_cell(k, v)).collect();
+            let at = split_point(&cells);
+            pager.free_page(pid);
+            let left = build_page(pager, KIND_LEAF, &cells[..at])?;
+            let right = build_page(pager, KIND_LEAF, &cells[at..])?;
+            Ok(Ins::Split(
+                PageRef { pid: left, lsn },
+                entries[at].0.clone(),
+                PageRef { pid: right, lsn },
+            ))
+        }
+        KIND_INNER => {
+            let idx = inner_search(&data, key)?;
+            let (sep, child) = decode_inner(page::cell(&data, idx))?;
+            let sep = sep.to_vec();
+            drop(data);
+            let res = insert_rec(pager, child, key, val)?;
+            let pid = pager.shadow(r)?;
+            match res {
+                Ins::Done(c) => {
+                    let cell = inner_cell(&sep, c);
+                    let mut fit = false;
+                    pager.update(pid, |p| fit = page::replace(p, idx, &cell))?;
+                    debug_assert!(fit, "same-size child-pointer replace always fits");
+                    Ok(Ins::Done(PageRef { pid, lsn }))
+                }
+                Ins::Split(l, rk, rr) => {
+                    let lcell = inner_cell(&sep, l);
+                    let rcell = inner_cell(&rk, rr);
+                    let mut fit = false;
+                    pager.update(pid, |p| {
+                        let ok = page::replace(p, idx, &lcell);
+                        debug_assert!(ok);
+                        fit = page::insert(p, idx + 1, &rcell);
+                    })?;
+                    if fit {
+                        return Ok(Ins::Done(PageRef { pid, lsn }));
+                    }
+                    let full = pager.get(pid)?;
+                    let mut entries = inner_entries(&full)?;
+                    entries.insert(idx + 1, (rk, rr));
+                    let cells: Vec<Vec<u8>> =
+                        entries.iter().map(|(s, c)| inner_cell(s, *c)).collect();
+                    let at = split_point(&cells);
+                    pager.free_page(pid);
+                    let left = build_page(pager, KIND_INNER, &cells[..at])?;
+                    let right = build_page(pager, KIND_INNER, &cells[at..])?;
+                    Ok(Ins::Split(
+                        PageRef { pid: left, lsn },
+                        entries[at].0.clone(),
+                        PageRef { pid: right, lsn },
+                    ))
+                }
+            }
+        }
+        k => Err(corrupt(format!("page {} has kind {k} inside a tree", r.pid))),
+    }
+}
+
+/// Inserts (or overwrites) `key` → `val`; returns the new root.
+pub fn insert(pager: &mut Pager, root: PageRef, key: &[u8], val: &[u8]) -> StorageResult<PageRef> {
+    if leaf_cell(key, val).len() > MAX_CELL {
+        return Err(StorageError::Persist(format!(
+            "b-tree entry of {} bytes exceeds the {MAX_CELL}-byte cell cap",
+            key.len() + val.len()
+        )));
+    }
+    let lsn = pager.txn_lsn();
+    if !root.is_some() {
+        let mut p = page::init(KIND_LEAF, 0);
+        let ok = page::insert(&mut p, 0, &leaf_cell(key, val));
+        debug_assert!(ok, "a single capped cell fits an empty page");
+        let pid = pager.alloc(p)?;
+        return Ok(PageRef { pid, lsn });
+    }
+    match insert_rec(pager, root, key, val)? {
+        Ins::Done(r) => Ok(r),
+        Ins::Split(l, rk, rr) => {
+            // grow a new root; the left separator is the -inf lower bound
+            let cells = vec![inner_cell(&[], l), inner_cell(&rk, rr)];
+            let pid = build_page(pager, KIND_INNER, &cells)?;
+            Ok(PageRef { pid, lsn })
+        }
+    }
+}
+
+// ---------------------------------------------------------------- remove
+
+enum Rm {
+    NotFound,
+    Done(PageRef),
+    /// The whole subtree emptied and was freed.
+    Empty,
+}
+
+fn remove_rec(pager: &mut Pager, r: PageRef, key: &[u8]) -> StorageResult<Rm> {
+    let data = pager.get_checked(r)?;
+    let lsn = pager.txn_lsn();
+    match page::kind(&data) {
+        KIND_LEAF => {
+            let (idx, found) = leaf_search(&data, key)?;
+            if !found {
+                return Ok(Rm::NotFound);
+            }
+            if page::count(&data) == 1 {
+                pager.free_page(r.pid);
+                return Ok(Rm::Empty);
+            }
+            let pid = pager.shadow(r)?;
+            pager.update(pid, |p| page::remove(p, idx))?;
+            Ok(Rm::Done(PageRef { pid, lsn }))
+        }
+        KIND_INNER => {
+            let idx = inner_search(&data, key)?;
+            let (sep, child) = decode_inner(page::cell(&data, idx))?;
+            let sep = sep.to_vec();
+            let n = page::count(&data);
+            drop(data);
+            match remove_rec(pager, child, key)? {
+                Rm::NotFound => Ok(Rm::NotFound),
+                Rm::Done(c) => {
+                    let pid = pager.shadow(r)?;
+                    let cell = inner_cell(&sep, c);
+                    pager.update(pid, |p| {
+                        let ok = page::replace(p, idx, &cell);
+                        debug_assert!(ok);
+                    })?;
+                    Ok(Rm::Done(PageRef { pid, lsn }))
+                }
+                Rm::Empty => {
+                    if n == 1 {
+                        pager.free_page(r.pid);
+                        return Ok(Rm::Empty);
+                    }
+                    let pid = pager.shadow(r)?;
+                    pager.update(pid, |p| page::remove(p, idx))?;
+                    Ok(Rm::Done(PageRef { pid, lsn }))
+                }
+            }
+        }
+        k => Err(corrupt(format!("page {} has kind {k} inside a tree", r.pid))),
+    }
+}
+
+/// Removes `key`; returns `(new_root, removed)`. A root inner page left
+/// with a single child collapses into that child.
+pub fn remove(pager: &mut Pager, root: PageRef, key: &[u8]) -> StorageResult<(PageRef, bool)> {
+    if !root.is_some() {
+        return Ok((root, false));
+    }
+    match remove_rec(pager, root, key)? {
+        Rm::NotFound => Ok((root, false)),
+        Rm::Empty => Ok((PageRef::NULL, true)),
+        Rm::Done(mut r) => {
+            loop {
+                let data = pager.get_checked(r)?;
+                if page::kind(&data) == KIND_INNER && page::count(&data) == 1 {
+                    let (_, child) = decode_inner(page::cell(&data, 0))?;
+                    drop(data);
+                    pager.free_page(r.pid);
+                    r = child;
+                } else {
+                    break;
+                }
+            }
+            Ok((r, true))
+        }
+    }
+}
+
+// ------------------------------------------------------------- traversal
+
+/// In-order visit of every `(key, value)` pair.
+pub fn for_each(
+    pager: &mut Pager,
+    root: PageRef,
+    f: &mut impl FnMut(&[u8], &[u8]) -> StorageResult<()>,
+) -> StorageResult<()> {
+    if !root.is_some() {
+        return Ok(());
+    }
+    let data = pager.get_checked(root)?;
+    match page::kind(&data) {
+        KIND_LEAF => {
+            for i in 0..page::count(&data) {
+                let (k, v) = decode_leaf(page::cell(&data, i))?;
+                f(k, v)?;
+            }
+            Ok(())
+        }
+        KIND_INNER => {
+            let children: Vec<PageRef> =
+                inner_entries(&data)?.into_iter().map(|(_, c)| c).collect();
+            drop(data);
+            for c in children {
+                for_each(pager, c, f)?;
+            }
+            Ok(())
+        }
+        k => Err(corrupt(format!("page {} has kind {k} inside a tree", root.pid))),
+    }
+}
+
+/// All `(key, value)` pairs in key order.
+pub fn iter_all(pager: &mut Pager, root: PageRef) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut out = Vec::new();
+    for_each(pager, root, &mut |k, v| {
+        out.push((k.to_vec(), v.to_vec()));
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Appends every page of the tree to `out` (reachability sweeps).
+pub fn pages(pager: &mut Pager, root: PageRef, out: &mut Vec<PageId>) -> StorageResult<()> {
+    if !root.is_some() {
+        return Ok(());
+    }
+    out.push(root.pid);
+    let data = pager.get_checked(root)?;
+    if page::kind(&data) == KIND_INNER {
+        let children: Vec<PageRef> = inner_entries(&data)?.into_iter().map(|(_, c)| c).collect();
+        drop(data);
+        for c in children {
+            pages(pager, c, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Frees every page of the tree (deferred to commit by the pager).
+pub fn free_tree(pager: &mut Pager, root: PageRef) -> StorageResult<()> {
+    let mut ps = Vec::new();
+    pages(pager, root, &mut ps)?;
+    for pid in ps {
+        pager.free_page(pid);
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ bulk build
+
+/// Builds a tree from `items`, which must be sorted by key and free of
+/// duplicates. Leaves pack full; checkpoints rebuilt this way are as
+/// tight as the cell sizes allow.
+pub fn bulk_build(pager: &mut Pager, items: &[(Vec<u8>, Vec<u8>)]) -> StorageResult<PageRef> {
+    let lsn = pager.txn_lsn();
+    if items.is_empty() {
+        return Ok(PageRef::NULL);
+    }
+    debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "bulk_build input must be sorted");
+    // leaves
+    let mut level: Vec<(Vec<u8>, PageRef)> = Vec::new();
+    let mut p = page::init(KIND_LEAF, 0);
+    let mut first: Option<Vec<u8>> = None;
+    for (k, v) in items {
+        let cell = leaf_cell(k, v);
+        if cell.len() > MAX_CELL {
+            return Err(StorageError::Persist(format!(
+                "b-tree entry of {} bytes exceeds the {MAX_CELL}-byte cell cap",
+                k.len() + v.len()
+            )));
+        }
+        let n = page::count(&p);
+        if !page::insert(&mut p, n, &cell) {
+            let pid = pager.alloc(std::mem::replace(&mut p, page::init(KIND_LEAF, 0)))?;
+            level.push((first.take().expect("page non-empty"), PageRef { pid, lsn }));
+            let ok = page::insert(&mut p, 0, &cell);
+            debug_assert!(ok);
+        }
+        if first.is_none() {
+            first = Some(k.clone());
+        }
+    }
+    let pid = pager.alloc(p)?;
+    level.push((first.expect("items non-empty"), PageRef { pid, lsn }));
+    // inner levels
+    while level.len() > 1 {
+        let mut next: Vec<(Vec<u8>, PageRef)> = Vec::new();
+        let mut p = page::init(KIND_INNER, 0);
+        let mut first: Option<Vec<u8>> = None;
+        for (sep, child) in &level {
+            let cell = inner_cell(sep, *child);
+            let n = page::count(&p);
+            if !page::insert(&mut p, n, &cell) {
+                let pid = pager.alloc(std::mem::replace(&mut p, page::init(KIND_INNER, 0)))?;
+                next.push((first.take().expect("page non-empty"), PageRef { pid, lsn }));
+                let ok = page::insert(&mut p, 0, &cell);
+                debug_assert!(ok);
+            }
+            if first.is_none() {
+                first = Some(sep.clone());
+            }
+        }
+        let pid = pager.alloc(p)?;
+        next.push((first.expect("level non-empty"), PageRef { pid, lsn }));
+        level = next;
+    }
+    Ok(level.remove(0).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer_pool::BufferPool;
+    use crate::vfs::{FaultPlan, SimVfs, Vfs};
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    fn pager(cap: usize) -> (Arc<SimVfs>, Pager) {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(7)));
+        let pool =
+            BufferPool::new(vfs.clone() as Arc<dyn Vfs>, PathBuf::from("/db/pages.idb"), cap);
+        (vfs, Pager::new(pool, page::META_SLOTS, vec![]))
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_lookup_overwrite_many() {
+        let (_vfs, mut pager) = pager(256);
+        pager.begin(1);
+        let mut root = PageRef::NULL;
+        for i in 0..500u64 {
+            root = insert(&mut pager, root, &key(i * 7 % 500), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..500u64 {
+            let got = lookup(&mut pager, root, &key(i * 7 % 500)).unwrap();
+            assert_eq!(got.as_deref(), Some(&i.to_le_bytes()[..]), "key {i}");
+        }
+        assert_eq!(lookup(&mut pager, root, b"absent").unwrap(), None);
+        // overwrite
+        root = insert(&mut pager, root, &key(3), b"NEW").unwrap();
+        assert_eq!(lookup(&mut pager, root, &key(3)).unwrap().as_deref(), Some(&b"NEW"[..]));
+        // iteration is key-sorted and complete
+        let all = iter_all(&mut pager, root).unwrap();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let (_vfs, mut pager) = pager(256);
+        pager.begin(1);
+        let mut root = PageRef::NULL;
+        for i in 0..300u64 {
+            root = insert(&mut pager, root, &key(i), &[1]).unwrap();
+        }
+        let (r, hit) = remove(&mut pager, root, b"absent").unwrap();
+        assert!(!hit);
+        assert_eq!(r, root);
+        for i in (0..300u64).rev() {
+            let (nr, hit) = remove(&mut pager, root, &key(i)).unwrap();
+            assert!(hit, "key {i}");
+            root = nr;
+        }
+        assert!(!root.is_some(), "tree collapses to NULL");
+        // every page the tree used went back to the free list (all fresh)
+        assert_eq!(pager.page_count() as usize - 2, pager.free_len());
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let (_vfs, mut pager) = pager(512);
+        pager.begin(1);
+        let items: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..1000u64).map(|i| (key(i), format!("val-{i}").into_bytes())).collect();
+        let bulk = bulk_build(&mut pager, &items).unwrap();
+        let mut inc = PageRef::NULL;
+        for (k, v) in items.iter().rev() {
+            inc = insert(&mut pager, inc, k, v).unwrap();
+        }
+        assert_eq!(iter_all(&mut pager, bulk).unwrap(), iter_all(&mut pager, inc).unwrap());
+        // bulk trees pack tighter than insert-built ones
+        let (mut bp, mut ip) = (Vec::new(), Vec::new());
+        pages(&mut pager, bulk, &mut bp).unwrap();
+        pages(&mut pager, inc, &mut ip).unwrap();
+        assert!(bp.len() <= ip.len(), "bulk {} vs incremental {}", bp.len(), ip.len());
+    }
+
+    #[test]
+    fn shadow_copy_preserves_the_old_root() {
+        let (vfs, mut pager) = pager(512);
+        pager.begin(1);
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..400u64).map(|i| (key(i), vec![7])).collect();
+        let old = bulk_build(&mut pager, &items).unwrap();
+        pager.flush_sync(vfs.as_ref(), Path::new("/db/pages.idb")).unwrap();
+        pager.commit();
+
+        pager.begin(2);
+        let new = insert(&mut pager, old, &key(777), b"fresh").unwrap();
+        let new = remove(&mut pager, new, &key(5)).unwrap().0;
+        // the old tree still reads exactly as before the mutation
+        let before = iter_all(&mut pager, old).unwrap();
+        assert_eq!(before.len(), 400);
+        assert!(before.iter().any(|(k, _)| k == &key(5)));
+        let after = iter_all(&mut pager, new).unwrap();
+        assert_eq!(after.len(), 400);
+        assert!(after.iter().any(|(k, _)| k == &key(777)));
+        assert!(!after.iter().any(|(k, _)| k == &key(5)));
+    }
+
+    #[test]
+    fn survives_tiny_pool_eviction() {
+        let (_vfs, mut pager) = pager(3);
+        pager.begin(1);
+        let mut root = PageRef::NULL;
+        for i in 0..300u64 {
+            root = insert(&mut pager, root, &key(i), &i.to_le_bytes()).unwrap();
+        }
+        assert!(pager.pool_stats().evictions > 0);
+        for i in 0..300u64 {
+            assert_eq!(
+                lookup(&mut pager, root, &key(i)).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..])
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_cells_are_rejected() {
+        let (_vfs, mut pager) = pager(8);
+        pager.begin(1);
+        let err = insert(&mut pager, PageRef::NULL, &vec![0u8; MAX_CELL + 1], b"").unwrap_err();
+        assert!(format!("{err}").contains("cell cap"), "{err}");
+    }
+}

@@ -1,0 +1,511 @@
+//! Fixed-capacity buffer pool with SIEVE eviction, plus the [`Pager`] —
+//! the shadow-paging transaction layer the paged storage engine runs on.
+//!
+//! ## The pool
+//!
+//! The pool caches up to `capacity` page frames keyed by [`PageId`].
+//! Frames hold `Arc<Vec<u8>>`, so a read hands out a cheap clone that
+//! stays valid after eviction, and an in-place update goes through
+//! `Arc::make_mut` (copy-on-write only if a reader still holds the old
+//! frame). Eviction is **SIEVE**: a clock hand sweeps frames, clearing
+//! the `visited` bit of recently touched frames and evicting the first
+//! unvisited one — scan-resistant like CLOCK but with the hand parked at
+//! the eviction point rather than re-sweeping from the head.
+//!
+//! Evicting a **dirty** frame writes it back to the page file
+//! immediately (sealed with its CRC) — this is safe *before* commit
+//! because the engine shadow-pages: a dirty frame is always a freshly
+//! allocated page that no durable meta references, so a crash after the
+//! write-back just leaves unreachable bytes. Ordering against the op-log
+//! is enforced at commit time, not write-back time: the meta flip that
+//! makes those pages reachable happens only after the page file is
+//! synced, and the op-log rotation happens only after the meta flip.
+//!
+//! ## The pager
+//!
+//! [`Pager`] owns the pool plus the shadow-paging bookkeeping: which
+//! pids were freshly allocated by the open transaction (and may be
+//! updated in place), the free list, and the pages freed by the open
+//! transaction (reusable only after *commit*, because until the meta
+//! flip the previous tree still needs them for crash fallback).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{self, PageId, PageRef, PAGE_SIZE};
+use crate::vfs::Vfs;
+
+/// Counters describing buffer-pool behaviour since open.
+///
+/// Cheap to copy; surfaced through `DurabilityStats` → `idl --stats` →
+/// the server `Stats` frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the page file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to the page file at eviction time.
+    pub dirty_writebacks: u64,
+    /// Configured capacity, in pages.
+    pub capacity: u64,
+    /// Frames currently resident.
+    pub resident: u64,
+}
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    visited: bool,
+}
+
+/// Fixed-capacity page cache with SIEVE eviction over a [`Vfs`] page file.
+pub struct BufferPool {
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    /// FIFO of resident pids; the SIEVE hand walks it from the front.
+    order: VecDeque<PageId>,
+    stats: BufferPoolStats,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> StorageError {
+    StorageError::Persist(format!("{what}: {e}"))
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over the page file at `path`.
+    pub fn new(vfs: Arc<dyn Vfs>, path: PathBuf, capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            vfs,
+            path,
+            capacity,
+            frames: HashMap::new(),
+            order: VecDeque::new(),
+            stats: BufferPoolStats { capacity: capacity as u64, ..BufferPoolStats::default() },
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        let mut s = self.stats;
+        s.resident = self.frames.len() as u64;
+        s
+    }
+
+    /// Fetches `pid`, reading (and CRC-verifying) from the page file on a
+    /// miss. The returned `Arc` stays valid across later evictions.
+    pub fn get(&mut self, pid: PageId) -> StorageResult<Arc<Vec<u8>>> {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            f.visited = true;
+            self.stats.hits += 1;
+            return Ok(Arc::clone(&f.data));
+        }
+        self.stats.misses += 1;
+        let bytes = self
+            .vfs
+            .read_at(&self.path, pid * PAGE_SIZE as u64, PAGE_SIZE)
+            .map_err(|e| io_err("page read", e))?;
+        page::verify(&bytes, pid)?;
+        let data = Arc::new(bytes);
+        self.admit(pid, Frame { data: Arc::clone(&data), dirty: false, visited: false })?;
+        Ok(data)
+    }
+
+    /// Installs a brand-new dirty page (freshly allocated; not read from
+    /// disk).
+    pub fn put_new(&mut self, pid: PageId, data: Vec<u8>) -> StorageResult<()> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        self.admit(pid, Frame { data: Arc::new(data), dirty: true, visited: true })
+    }
+
+    /// Mutates a resident-or-fetched page in place and marks it dirty.
+    /// Only valid for shadow pages (fresh this transaction).
+    pub fn update(&mut self, pid: PageId, f: impl FnOnce(&mut Vec<u8>)) -> StorageResult<()> {
+        if !self.frames.contains_key(&pid) {
+            // evicted mid-transaction: reload the written-back copy
+            self.get(pid)?;
+        }
+        let frame = self.frames.get_mut(&pid).expect("just admitted");
+        f(Arc::make_mut(&mut frame.data));
+        frame.dirty = true;
+        frame.visited = true;
+        Ok(())
+    }
+
+    /// Drops `pid` from the pool without write-back (freed pages).
+    pub fn forget(&mut self, pid: PageId) {
+        if self.frames.remove(&pid).is_some() {
+            self.order.retain(|p| *p != pid);
+        }
+    }
+
+    /// Seals and writes back every dirty frame (no sync; the caller
+    /// orders the sync against the meta flip). Returns the number of
+    /// pages written.
+    pub fn flush(&mut self) -> StorageResult<u64> {
+        let mut dirty: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
+        dirty.sort_unstable();
+        let written = dirty.len() as u64;
+        for pid in dirty {
+            let frame = self.frames.get_mut(&pid).expect("listed above");
+            let bytes = Arc::make_mut(&mut frame.data);
+            page::seal(bytes);
+            self.vfs
+                .write_at(&self.path, pid * PAGE_SIZE as u64, bytes)
+                .map_err(|e| io_err("page write", e))?;
+            frame.dirty = false;
+        }
+        Ok(written)
+    }
+
+    /// Empties the pool (recovery discards all cached state).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.order.clear();
+    }
+
+    fn admit(&mut self, pid: PageId, frame: Frame) -> StorageResult<()> {
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        if self.frames.insert(pid, frame).is_none() {
+            self.order.push_back(pid);
+        }
+        Ok(())
+    }
+
+    /// SIEVE: sweep from the hand (front of `order`), second-chancing
+    /// visited frames, evicting the first unvisited one.
+    fn evict_one(&mut self) -> StorageResult<()> {
+        loop {
+            let pid = self.order.pop_front().expect("pool non-empty when over capacity");
+            let frame = self.frames.get_mut(&pid).expect("order tracks frames");
+            if frame.visited {
+                frame.visited = false;
+                self.order.push_back(pid);
+                continue;
+            }
+            if frame.dirty {
+                let bytes = Arc::make_mut(&mut frame.data);
+                page::seal(bytes);
+                self.vfs
+                    .write_at(&self.path, pid * PAGE_SIZE as u64, bytes)
+                    .map_err(|e| io_err("page write-back", e))?;
+                self.stats.dirty_writebacks += 1;
+            }
+            self.frames.remove(&pid);
+            self.stats.evictions += 1;
+            return Ok(());
+        }
+    }
+}
+
+/// The shadow-paging transaction layer: page allocation, fresh-page
+/// tracking, lost-write checking, and the free list.
+pub struct Pager {
+    /// The pool (public so the engine can surface its stats).
+    pool: BufferPool,
+    /// Pages free for reuse.
+    free: Vec<PageId>,
+    /// Pages freed by the open transaction; move to `free` at commit,
+    /// back to limbo-reachable on abort.
+    pending_free: Vec<PageId>,
+    /// Logical page-file length in pages (includes meta pages 0..2).
+    page_count: u64,
+    /// Pages allocated by the open transaction — these are shadow copies
+    /// no durable meta references, so in-place update is safe.
+    fresh: BTreeSet<PageId>,
+    /// LSN stamped onto pages written by the open transaction.
+    txn_lsn: u64,
+}
+
+impl Pager {
+    /// A pager over `pool`, with the file currently `page_count` pages
+    /// long and `free` reusable pages.
+    pub fn new(pool: BufferPool, page_count: u64, free: Vec<PageId>) -> Pager {
+        Pager {
+            pool,
+            free,
+            pending_free: Vec::new(),
+            page_count: page_count.max(page::META_SLOTS),
+            fresh: BTreeSet::new(),
+            txn_lsn: 0,
+        }
+    }
+
+    /// Pool counters.
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.pool.stats()
+    }
+
+    /// Logical page-file length, in pages.
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// Number of reusable pages on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Begins a transaction stamping new pages with `lsn`.
+    pub fn begin(&mut self, lsn: u64) {
+        self.txn_lsn = lsn;
+        debug_assert!(self.fresh.is_empty() && self.pending_free.is_empty());
+    }
+
+    /// The LSN of the open transaction.
+    pub fn txn_lsn(&self) -> u64 {
+        self.txn_lsn
+    }
+
+    /// Whether `pid` was allocated by the open transaction (and may be
+    /// updated in place).
+    pub fn is_fresh(&self, pid: PageId) -> bool {
+        self.fresh.contains(&pid)
+    }
+
+    /// Fetches a page without an LSN check (only for pages whose LSN the
+    /// caller validates itself, e.g. fresh pages).
+    pub fn get(&mut self, pid: PageId) -> StorageResult<Arc<Vec<u8>>> {
+        self.pool.get(pid)
+    }
+
+    /// Fetches the page `r` references and fails closed if the on-disk
+    /// LSN does not match — a lost page write would otherwise silently
+    /// serve a stale tree.
+    pub fn get_checked(&mut self, r: PageRef) -> StorageResult<Arc<Vec<u8>>> {
+        let data = self.pool.get(r.pid)?;
+        let got = page::lsn(&data);
+        if got != r.lsn {
+            return Err(StorageError::Persist(format!(
+                "lost page write detected: page {} carries lsn {got}, reference expects {}",
+                r.pid, r.lsn
+            )));
+        }
+        Ok(data)
+    }
+
+    /// Allocates a page for the open transaction, preferring the free
+    /// list, and installs `data` (stamped with the txn LSN) in the pool.
+    pub fn alloc(&mut self, mut data: Vec<u8>) -> StorageResult<PageId> {
+        let pid = match self.free.pop() {
+            Some(pid) => pid,
+            None => {
+                let pid = self.page_count;
+                self.page_count += 1;
+                pid
+            }
+        };
+        page::set_lsn(&mut data, self.txn_lsn);
+        self.pool.put_new(pid, data)?;
+        self.fresh.insert(pid);
+        Ok(pid)
+    }
+
+    /// Marks `pid` as freed by the open transaction. Fresh pages return
+    /// to the free list at once (they were never durable); pre-existing
+    /// pages wait for commit, since the crash-fallback meta still
+    /// references them.
+    pub fn free_page(&mut self, pid: PageId) {
+        if self.fresh.remove(&pid) {
+            self.pool.forget(pid);
+            self.free.push(pid);
+        } else {
+            self.pending_free.push(pid);
+        }
+    }
+
+    /// Updates a fresh page in place (shadow pages only).
+    pub fn update(&mut self, pid: PageId, f: impl FnOnce(&mut Vec<u8>)) -> StorageResult<()> {
+        debug_assert!(self.fresh.contains(&pid), "in-place update of a non-shadow page");
+        self.pool.update(pid, f)
+    }
+
+    /// Shadow-copies the page `r` references: frees the old page and
+    /// returns a fresh pid holding a copy the caller may mutate.
+    pub fn shadow(&mut self, r: PageRef) -> StorageResult<PageId> {
+        if self.fresh.contains(&r.pid) {
+            return Ok(r.pid);
+        }
+        let data = self.get_checked(r)?;
+        let pid = self.alloc(data.as_ref().clone())?;
+        self.pending_free.push(r.pid);
+        Ok(pid)
+    }
+
+    /// Flushes all dirty frames without syncing (the `SyncPolicy::Never`
+    /// write path). Returns the number of pages written.
+    pub fn flush(&mut self) -> StorageResult<u64> {
+        self.pool.flush()
+    }
+
+    /// Flushes all dirty frames and syncs the page file. After this the
+    /// transaction's pages are durable (but unreachable until the caller
+    /// commits the meta flip). Returns the number of pages written.
+    pub fn flush_sync(&mut self, vfs: &dyn Vfs, path: &std::path::Path) -> StorageResult<u64> {
+        let written = self.pool.flush()?;
+        // An empty-universe commit writes no data pages (the catalog
+        // root is `PageRef::NULL`), so on a fresh directory the page
+        // file may not exist yet — it first materialises at the meta
+        // write that follows, and there is nothing to make durable.
+        if written == 0 && !vfs.exists(path) {
+            return Ok(0);
+        }
+        vfs.sync_file(path).map_err(|e| io_err("page file sync", e))?;
+        Ok(written)
+    }
+
+    /// Commit point (call after the meta flip is durable): pages the
+    /// transaction freed become reusable, the fresh set resets.
+    pub fn commit(&mut self) {
+        for pid in self.pending_free.drain(..) {
+            self.pool.forget(pid);
+            self.free.push(pid);
+        }
+        self.fresh.clear();
+    }
+
+    /// Abort: fresh pages go back to the free list, pending frees are
+    /// forgotten (the old tree keeps them), cached shadow frames drop.
+    pub fn abort(&mut self) {
+        for pid in std::mem::take(&mut self.fresh) {
+            self.pool.forget(pid);
+            self.free.push(pid);
+        }
+        self.pending_free.clear();
+    }
+
+    /// Resets the pager to recovered state: pool emptied, free list and
+    /// page count replaced.
+    pub fn reset(&mut self, page_count: u64, free: Vec<PageId>) {
+        self.pool.clear();
+        self.free = free;
+        self.pending_free.clear();
+        self.fresh.clear();
+        self.page_count = page_count.max(page::META_SLOTS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{KIND_LEAF, KIND_META};
+    use crate::vfs::{FaultPlan, SimVfs};
+    use std::path::Path;
+
+    fn pool(cap: usize) -> (Arc<SimVfs>, BufferPool) {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(7)));
+        let p = BufferPool::new(vfs.clone() as Arc<dyn Vfs>, PathBuf::from("/db/pages.idb"), cap);
+        (vfs, p)
+    }
+
+    fn sealed(kind: u8, lsn: u64, tag: u8) -> Vec<u8> {
+        let mut p = page::init(kind, lsn);
+        assert!(page::insert(&mut p, 0, &[tag; 8]));
+        p
+    }
+
+    #[test]
+    fn hits_misses_and_arc_survives_eviction() {
+        let (vfs, mut pool) = pool(2);
+        for pid in 2..6u64 {
+            let mut bytes = sealed(KIND_LEAF, pid, pid as u8);
+            page::seal(&mut bytes);
+            vfs.write_at(Path::new("/db/pages.idb"), pid * PAGE_SIZE as u64, &bytes).unwrap();
+        }
+        let held = pool.get(2).unwrap();
+        assert_eq!(pool.get(2).unwrap()[0], KIND_LEAF); // hit
+        pool.get(3).unwrap();
+        pool.get(4).unwrap(); // forces eviction
+        pool.get(5).unwrap(); // forces eviction
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 4);
+        assert!(s.evictions >= 2);
+        assert!(s.resident <= 2);
+        // the Arc handed out before eviction still reads fine
+        assert_eq!(page::cell(&held, 0), &[2u8; 8]);
+    }
+
+    #[test]
+    fn sieve_second_chances_visited_frames() {
+        let (vfs, mut pool) = pool(2);
+        for pid in 2..5u64 {
+            let mut bytes = sealed(KIND_LEAF, pid, pid as u8);
+            page::seal(&mut bytes);
+            vfs.write_at(Path::new("/db/pages.idb"), pid * PAGE_SIZE as u64, &bytes).unwrap();
+        }
+        pool.get(2).unwrap();
+        pool.get(3).unwrap();
+        pool.get(2).unwrap(); // marks 2 visited
+        pool.get(4).unwrap(); // evicts 3 (2 gets a second chance)
+        assert!(pool.frames.contains_key(&2));
+        assert!(!pool.frames.contains_key(&3));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_reload_verifies() {
+        let (_vfs, mut pool) = pool(1);
+        pool.put_new(2, sealed(KIND_LEAF, 1, 0xAA)).unwrap();
+        pool.put_new(3, sealed(KIND_LEAF, 1, 0xBB)).unwrap(); // evicts 2 dirty
+        let s = pool.stats();
+        assert_eq!(s.dirty_writebacks, 1);
+        // reading 2 back goes to disk and passes CRC verification
+        let back = pool.get(2).unwrap();
+        assert_eq!(page::cell(&back, 0), &[0xAA; 8]);
+    }
+
+    #[test]
+    fn pager_shadow_alloc_free_cycle() {
+        let (vfs, pool) = pool(8);
+        let mut pager = Pager::new(pool, page::META_SLOTS, vec![]);
+        pager.begin(10);
+        let pid = pager.alloc(page::init(KIND_LEAF, 0)).unwrap();
+        assert_eq!(pid, 2);
+        assert!(pager.is_fresh(pid));
+        pager.update(pid, |p| assert!(page::insert(p, 0, b"row"))).unwrap();
+        pager.flush_sync(vfs.as_ref(), Path::new("/db/pages.idb")).unwrap();
+        pager.commit();
+        assert!(!pager.is_fresh(pid));
+
+        // shadowing a committed page allocates a new pid and defers the free
+        pager.begin(11);
+        let r = PageRef { pid, lsn: 10 };
+        let new_pid = pager.shadow(r).unwrap();
+        assert_ne!(new_pid, pid);
+        assert!(pager.is_fresh(new_pid));
+        assert_eq!(pager.free_len(), 0, "old page not reusable before commit");
+        pager.flush_sync(vfs.as_ref(), Path::new("/db/pages.idb")).unwrap();
+        pager.commit();
+        assert_eq!(pager.free_len(), 1, "old page reusable after commit");
+
+        // lost-write detection: stale lsn in the reference fails closed
+        let err = pager.get_checked(PageRef { pid: new_pid, lsn: 99 }).unwrap_err();
+        assert!(format!("{err}").contains("lost page write"), "{err}");
+    }
+
+    #[test]
+    fn pager_abort_returns_fresh_pages() {
+        let (_vfs, pool) = pool(8);
+        let mut pager = Pager::new(pool, page::META_SLOTS, vec![]);
+        pager.begin(5);
+        let a = pager.alloc(page::init(KIND_LEAF, 0)).unwrap();
+        let b = pager.alloc(page::init(KIND_META, 0)).unwrap();
+        assert_eq!(pager.page_count(), 4);
+        pager.abort();
+        assert_eq!(pager.free_len(), 2);
+        pager.begin(6);
+        let c = pager.alloc(page::init(KIND_LEAF, 0)).unwrap();
+        assert!(c == a || c == b, "aborted pages are reused");
+        assert_eq!(pager.page_count(), 4, "no growth when the free list serves");
+    }
+}

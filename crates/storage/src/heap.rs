@@ -1,0 +1,157 @@
+//! Blob heap: variable-length byte strings as chains of heap pages.
+//!
+//! Blobs hold values too large (or too oddly shaped) for B-tree cells:
+//! whole-relation fallbacks for jumbo rows, non-tuple database values,
+//! and the maintenance-state blob. A blob is **immutable** — written
+//! whole inside one transaction, so every segment of the chain carries
+//! the same LSN and the chain walk can lost-write-check each page
+//! against the head's [`BlobRef::lsn`].
+//!
+//! Layout: one segment per page, in slot 0. The segment cell is
+//! `next_pid: u64 LE` followed by up to [`MAX_SEG`] payload bytes;
+//! `next_pid == 0` ends the chain. Segments are written in reverse so
+//! each already knows its successor's pid.
+
+use crate::buffer_pool::Pager;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{self, BlobRef, PageId, PageRef, KIND_HEAP, PAGE_SIZE};
+
+/// Maximum payload bytes per segment (page minus header, one slot, and
+/// the 8-byte next pointer).
+pub const MAX_SEG: usize = PAGE_SIZE - 20 - 4 - 8;
+
+fn corrupt(what: impl std::fmt::Display) -> StorageError {
+    StorageError::Persist(format!("blob heap corruption: {what}"))
+}
+
+/// Writes `data` as a fresh blob chain inside the open transaction.
+pub fn write_blob(pager: &mut Pager, data: &[u8]) -> StorageResult<BlobRef> {
+    let lsn = pager.txn_lsn();
+    let mut next: PageId = 0;
+    let chunks: Vec<&[u8]> =
+        if data.is_empty() { vec![&[][..]] } else { data.chunks(MAX_SEG).collect() };
+    for chunk in chunks.iter().rev() {
+        let mut p = page::init(KIND_HEAP, lsn);
+        let mut cell = Vec::with_capacity(8 + chunk.len());
+        cell.extend_from_slice(&next.to_le_bytes());
+        cell.extend_from_slice(chunk);
+        let ok = page::insert(&mut p, 0, &cell);
+        debug_assert!(ok, "MAX_SEG guarantees the segment fits");
+        next = pager.alloc(p)?;
+    }
+    Ok(BlobRef { pid: next, slot: 0, lsn, len: data.len() as u64 })
+}
+
+/// Reads a whole blob back, verifying each page against the head LSN.
+pub fn read_blob(pager: &mut Pager, r: BlobRef) -> StorageResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(r.len as usize);
+    let mut pid = r.pid;
+    let mut hops = 0u64;
+    while pid != 0 {
+        hops += 1;
+        if hops > r.len / MAX_SEG as u64 + 2 {
+            return Err(corrupt("segment chain longer than the blob length allows"));
+        }
+        let p = pager.get_checked(PageRef { pid, lsn: r.lsn })?;
+        if page::kind(&p) != KIND_HEAP || page::count(&p) == 0 {
+            return Err(corrupt(format!("page {pid} is not a blob segment")));
+        }
+        let cell = page::cell(&p, 0);
+        if cell.len() < 8 {
+            return Err(corrupt(format!("segment on page {pid} is truncated")));
+        }
+        pid = u64::from_le_bytes(cell[0..8].try_into().expect("8 bytes"));
+        out.extend_from_slice(&cell[8..]);
+    }
+    if out.len() != r.len as usize {
+        return Err(corrupt(format!(
+            "blob is {} bytes on disk, reference says {}",
+            out.len(),
+            r.len
+        )));
+    }
+    Ok(out)
+}
+
+/// Appends every page of the blob chain to `out` (reachability sweeps).
+pub fn blob_pages(pager: &mut Pager, r: BlobRef, out: &mut Vec<PageId>) -> StorageResult<()> {
+    let mut pid = r.pid;
+    while pid != 0 {
+        out.push(pid);
+        let p = pager.get_checked(PageRef { pid, lsn: r.lsn })?;
+        let cell = page::cell(&p, 0);
+        pid = u64::from_le_bytes(cell[0..8].try_into().expect("8 bytes"));
+    }
+    Ok(())
+}
+
+/// Frees every page of the blob chain (deferred to commit by the pager).
+pub fn free_blob(pager: &mut Pager, r: BlobRef) -> StorageResult<()> {
+    let mut pages = Vec::new();
+    blob_pages(pager, r, &mut pages)?;
+    for pid in pages {
+        pager.free_page(pid);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer_pool::BufferPool;
+    use crate::vfs::{FaultPlan, SimVfs, Vfs};
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    fn pager(cap: usize) -> (Arc<SimVfs>, Pager) {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(7)));
+        let pool =
+            BufferPool::new(vfs.clone() as Arc<dyn Vfs>, PathBuf::from("/db/pages.idb"), cap);
+        (vfs, Pager::new(pool, page::META_SLOTS, vec![]))
+    }
+
+    #[test]
+    fn empty_small_and_multi_segment_roundtrip() {
+        let (_vfs, mut pager) = pager(64);
+        pager.begin(3);
+        for len in [0usize, 1, 100, MAX_SEG, MAX_SEG + 1, 3 * MAX_SEG + 17] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let r = write_blob(&mut pager, &data).unwrap();
+            assert_eq!(r.len, len as u64);
+            assert_eq!(read_blob(&mut pager, r).unwrap(), data);
+            let mut pages = Vec::new();
+            blob_pages(&mut pager, r, &mut pages).unwrap();
+            assert_eq!(pages.len(), len.div_ceil(MAX_SEG).max(1));
+        }
+    }
+
+    #[test]
+    fn blob_survives_eviction_through_the_page_file() {
+        let (vfs, mut pager) = pager(2); // pool far smaller than the chain
+        pager.begin(9);
+        let data: Vec<u8> = (0..10 * MAX_SEG).map(|i| (i % 251) as u8).collect();
+        let r = write_blob(&mut pager, &data).unwrap();
+        pager.flush_sync(vfs.as_ref(), Path::new("/db/pages.idb")).unwrap();
+        assert!(pager.pool_stats().dirty_writebacks > 0, "eviction had to write back");
+        assert_eq!(read_blob(&mut pager, r).unwrap(), data);
+    }
+
+    #[test]
+    fn free_blob_recycles_all_pages() {
+        let (_vfs, mut pager) = pager(64);
+        pager.begin(1);
+        let r = write_blob(&mut pager, &vec![0x5A; 2 * MAX_SEG]).unwrap();
+        free_blob(&mut pager, r).unwrap();
+        // freed-while-fresh pages are immediately reusable
+        assert_eq!(pager.free_len(), 2);
+    }
+
+    #[test]
+    fn wrong_lsn_fails_closed() {
+        let (_vfs, mut pager) = pager(8);
+        pager.begin(4);
+        let mut r = write_blob(&mut pager, b"hello").unwrap();
+        r.lsn = 999;
+        assert!(read_blob(&mut pager, r).is_err());
+    }
+}

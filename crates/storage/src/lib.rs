@@ -29,23 +29,32 @@
 
 #![warn(missing_docs)]
 
+pub mod btree;
+pub mod buffer_pool;
 pub mod codec;
 pub mod crc;
+pub mod engine;
 pub mod error;
+pub mod heap;
 pub mod index;
 pub mod journal;
 pub mod oplog;
+pub mod page;
 pub mod persist;
 pub mod schema;
+pub mod session;
 pub mod stats;
 pub mod store;
 pub mod txn;
 pub mod vfs;
 
+pub use buffer_pool::BufferPoolStats;
+pub use engine::{CommitSeal, MemStorage, PagedStorage, StorageEngine, StorageSpec};
 pub use error::StorageError;
 pub use index::IndexKind;
 pub use journal::{ChangeRecord, ChangeScope};
 pub use oplog::{DurabilityStats, LogFormat};
 pub use schema::{RelationSchema, SchemaSet, TypeTag};
+pub use session::Session;
 pub use store::{Store, Version};
 pub use vfs::{FaultPlan, RealVfs, SimVfs, Vfs, VfsStats};

@@ -179,6 +179,11 @@ pub struct DurabilityStats {
     /// Whether the last open migrated a legacy JSON snapshot to the
     /// binary format.
     pub migrated_snapshot: bool,
+    /// Buffer-pool counters (`None` for backends without a pool — the
+    /// mem backend has no page file to cache).
+    pub pool: Option<crate::buffer_pool::BufferPoolStats>,
+    /// Page-file size in pages (0 for backends without a page file).
+    pub storage_pages: u64,
 }
 
 /// The v4 file header for a fresh framed log, defaulting the codec hint

@@ -1,0 +1,382 @@
+//! On-disk page formats for the paged storage engine.
+//!
+//! The page file (`pages.idb`) is an array of fixed 4 KiB pages accessed
+//! through [`crate::Vfs::read_at`] / [`crate::Vfs::write_at`]. Four page
+//! kinds exist:
+//!
+//! * **meta** — pages 0 and 1 are alternating meta slots. A commit writes
+//!   the new roots into slot `(epoch + 1) % 2`; recovery picks the valid
+//!   slot with the higher epoch. This is the shadow-paging commit point:
+//!   until the meta write is durable, every page the transaction wrote is
+//!   unreachable garbage and a crash recovers the previous state exactly.
+//! * **B-tree leaf / inner** — slotted pages holding sorted byte-string
+//!   cells (see [`crate::btree`]).
+//! * **heap** — slotted pages holding blob segments (see [`crate::heap`]).
+//!
+//! Every non-meta page carries a CRC-32C over its content and the LSN of
+//! the commit that wrote it. Parents reference children as
+//! [`PageRef`]`{pid, lsn}` pairs; a fetch validates the stored LSN against
+//! the reference, so a lost page write (a lying disk acknowledging a write
+//! it dropped) surfaces as a fail-closed error instead of silently serving
+//! a stale page — the page-level analogue of the op-log's recovery-gap
+//! check.
+//!
+//! ## Slotted layout
+//!
+//! ```text
+//! byte 0        kind (META=1, LEAF=2, INNER=3, HEAP=4)
+//! byte 1        unused
+//! bytes 2..4    slot count, u16 LE
+//! bytes 4..8    CRC-32C (over bytes 0..4 ++ 8..4096 with this field zero)
+//! bytes 8..16   LSN of the writing commit, u64 LE
+//! bytes 16..18  cell-area start (grows down), u16 LE
+//! bytes 18..20  unused
+//! bytes 20..    slot directory: per slot, offset u16 + len u16
+//! ...cells grow down from byte 4096
+//! ```
+//!
+//! Cells are kept in slot order (the B-tree keeps them key-sorted);
+//! removal leaves a hole that in-page compaction reclaims on demand.
+
+use crate::crc::crc32c;
+use crate::error::{StorageError, StorageResult};
+
+/// Page size in bytes. Everything in the page file is aligned to this.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Logical page number (byte offset = `pid * PAGE_SIZE`).
+pub type PageId = u64;
+
+/// Meta slot A lives in page 0, slot B in page 1.
+pub const META_SLOTS: u64 = 2;
+
+/// Page kind tags (byte 0).
+pub const KIND_META: u8 = 1;
+/// B-tree leaf page.
+pub const KIND_LEAF: u8 = 2;
+/// B-tree inner page.
+pub const KIND_INNER: u8 = 3;
+/// Heap (blob segment) page.
+pub const KIND_HEAP: u8 = 4;
+
+const HEADER: usize = 20;
+const SLOT: usize = 4;
+
+/// A checked reference to a page: the id plus the LSN its content must
+/// carry. Catching a mismatch is how lost page writes fail closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PageRef {
+    /// Page number; `0` means "no page" (pages 0/1 are meta, so a real
+    /// data page never has pid < 2).
+    pub pid: PageId,
+    /// LSN the page header must match.
+    pub lsn: u64,
+}
+
+impl PageRef {
+    /// The null reference (empty tree / absent page).
+    pub const NULL: PageRef = PageRef { pid: 0, lsn: 0 };
+
+    /// Whether this reference points at an actual page.
+    pub fn is_some(&self) -> bool {
+        self.pid != 0
+    }
+}
+
+/// A reference to a heap blob: head segment plus total byte length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct BlobRef {
+    /// Page holding the head segment.
+    pub pid: PageId,
+    /// Slot of the head segment within that page.
+    pub slot: u16,
+    /// LSN the head page must carry.
+    pub lsn: u64,
+    /// Total blob length in bytes (across all segments).
+    pub len: u64,
+}
+
+fn corrupt(what: impl std::fmt::Display) -> StorageError {
+    StorageError::Persist(format!("page file corruption: {what}"))
+}
+
+/// A freshly initialised empty page of `kind` stamped with `lsn`.
+pub fn init(kind: u8, lsn: u64) -> Vec<u8> {
+    let mut p = vec![0u8; PAGE_SIZE];
+    p[0] = kind;
+    p[8..16].copy_from_slice(&lsn.to_le_bytes());
+    p[16..18].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+    p
+}
+
+/// The page's kind byte.
+pub fn kind(p: &[u8]) -> u8 {
+    p[0]
+}
+
+/// The LSN of the commit that wrote this page.
+pub fn lsn(p: &[u8]) -> u64 {
+    u64::from_le_bytes(p[8..16].try_into().expect("8 bytes"))
+}
+
+/// Number of cells on the page.
+pub fn count(p: &[u8]) -> usize {
+    u16::from_le_bytes(p[2..4].try_into().expect("2 bytes")) as usize
+}
+
+fn cell_start(p: &[u8]) -> usize {
+    u16::from_le_bytes(p[16..18].try_into().expect("2 bytes")) as usize
+}
+
+fn slot_at(p: &[u8], i: usize) -> (usize, usize) {
+    let base = HEADER + i * SLOT;
+    let off = u16::from_le_bytes(p[base..base + 2].try_into().expect("2 bytes")) as usize;
+    let len = u16::from_le_bytes(p[base + 2..base + 4].try_into().expect("2 bytes")) as usize;
+    (off, len)
+}
+
+/// The `i`-th cell's bytes.
+pub fn cell(p: &[u8], i: usize) -> &[u8] {
+    let (off, len) = slot_at(p, i);
+    &p[off..off + len]
+}
+
+/// Bytes still free for new cells (after an implicit compaction).
+pub fn free_space(p: &[u8]) -> usize {
+    let n = count(p);
+    let used: usize = (0..n).map(|i| slot_at(p, i).1).sum();
+    PAGE_SIZE - HEADER - n * SLOT - used
+}
+
+/// Rewrites the page with its cells laid out contiguously (reclaims the
+/// holes `remove`/`replace` leave behind).
+fn compact(p: &mut [u8]) {
+    let n = count(p);
+    let cells: Vec<Vec<u8>> = (0..n).map(|i| cell(p, i).to_vec()).collect();
+    let mut top = PAGE_SIZE;
+    for (i, c) in cells.iter().enumerate() {
+        top -= c.len();
+        p[top..top + c.len()].copy_from_slice(c);
+        let base = HEADER + i * SLOT;
+        p[base..base + 2].copy_from_slice(&(top as u16).to_le_bytes());
+        p[base + 2..base + 4].copy_from_slice(&(c.len() as u16).to_le_bytes());
+    }
+    p[16..18].copy_from_slice(&(top as u16).to_le_bytes());
+}
+
+/// Inserts `data` as the cell at index `i` (shifting later slots up).
+/// Returns `false` — leaving the page untouched — when it cannot fit
+/// even after compaction (the caller splits).
+pub fn insert(p: &mut [u8], i: usize, data: &[u8]) -> bool {
+    let n = count(p);
+    debug_assert!(i <= n);
+    let slots_end = HEADER + (n + 1) * SLOT;
+    if free_space(p) < SLOT + data.len() {
+        return false;
+    }
+    if cell_start(p).saturating_sub(slots_end) < data.len() {
+        compact(p);
+    }
+    let top = cell_start(p) - data.len();
+    p[top..top + data.len()].copy_from_slice(data);
+    p[16..18].copy_from_slice(&(top as u16).to_le_bytes());
+    // shift slots [i..n) up one place
+    p.copy_within(HEADER + i * SLOT..HEADER + n * SLOT, HEADER + (i + 1) * SLOT);
+    let base = HEADER + i * SLOT;
+    p[base..base + 2].copy_from_slice(&(top as u16).to_le_bytes());
+    p[base + 2..base + 4].copy_from_slice(&(data.len() as u16).to_le_bytes());
+    p[2..4].copy_from_slice(&((n + 1) as u16).to_le_bytes());
+    true
+}
+
+/// Removes the cell at index `i` (the hole is reclaimed lazily).
+pub fn remove(p: &mut [u8], i: usize) {
+    let n = count(p);
+    debug_assert!(i < n);
+    p.copy_within(HEADER + (i + 1) * SLOT..HEADER + n * SLOT, HEADER + i * SLOT);
+    p[2..4].copy_from_slice(&((n - 1) as u16).to_le_bytes());
+}
+
+/// Replaces the cell at index `i` with `data`; `false` (page untouched)
+/// when it cannot fit even counting the space the old cell gives back.
+pub fn replace(p: &mut [u8], i: usize, data: &[u8]) -> bool {
+    let (_, old_len) = slot_at(p, i);
+    if free_space(p) + old_len < data.len() {
+        return false;
+    }
+    remove(p, i);
+    let ok = insert(p, i, data);
+    debug_assert!(ok, "sized check above guarantees the insert fits");
+    ok
+}
+
+/// Re-stamps the page LSN (shadow copies adopt the writing commit's LSN).
+pub fn set_lsn(p: &mut [u8], lsn: u64) {
+    p[8..16].copy_from_slice(&lsn.to_le_bytes());
+}
+
+fn checksum(p: &[u8]) -> u32 {
+    let mut c = crc32c(&p[0..4]);
+    c = crate::crc::crc32c_append(c, &p[8..]);
+    c
+}
+
+/// Computes and stores the page CRC (call just before write-back).
+pub fn seal(p: &mut [u8]) {
+    let c = checksum(p);
+    p[4..8].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Verifies length, CRC and kind of a page fetched from disk.
+pub fn verify(p: &[u8], pid: PageId) -> StorageResult<()> {
+    if p.len() != PAGE_SIZE {
+        return Err(corrupt(format!("page {pid} is {} bytes, want {PAGE_SIZE}", p.len())));
+    }
+    let want = u32::from_le_bytes(p[4..8].try_into().expect("4 bytes"));
+    let got = checksum(p);
+    if got != want {
+        return Err(corrupt(format!("page {pid} checksum mismatch")));
+    }
+    if !matches!(p[0], KIND_META | KIND_LEAF | KIND_INNER | KIND_HEAP) {
+        return Err(corrupt(format!("page {pid} has unknown kind {}", p[0])));
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------- meta
+
+/// Magic opening both meta slots.
+pub const META_MAGIC: &[u8; 8] = b"IDLPAGE1";
+
+/// The decoded content of a meta slot: everything recovery needs to find
+/// the live tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Meta {
+    /// Commit counter; the valid slot with the higher epoch is live.
+    pub epoch: u64,
+    /// Op-log LSN this storage state covers.
+    pub lsn: u64,
+    /// Logical length of the page file, in pages.
+    pub page_count: u64,
+    /// Root of the catalog B-tree ([`PageRef::NULL`] = empty universe).
+    pub catalog: PageRef,
+    /// Maintenance-state blob (`pid == 0` = none).
+    pub maintenance: BlobRef,
+}
+
+impl Meta {
+    /// Encodes this meta into a sealed meta page.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_SIZE];
+        p[0..8].copy_from_slice(META_MAGIC);
+        p[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        p[16..24].copy_from_slice(&self.lsn.to_le_bytes());
+        p[24..32].copy_from_slice(&self.page_count.to_le_bytes());
+        p[32..40].copy_from_slice(&self.catalog.pid.to_le_bytes());
+        p[40..48].copy_from_slice(&self.catalog.lsn.to_le_bytes());
+        p[48..56].copy_from_slice(&self.maintenance.pid.to_le_bytes());
+        p[56..58].copy_from_slice(&self.maintenance.slot.to_le_bytes());
+        p[58..66].copy_from_slice(&self.maintenance.lsn.to_le_bytes());
+        p[66..74].copy_from_slice(&self.maintenance.len.to_le_bytes());
+        let crc = crc32c(&p[0..74]);
+        p[74..78].copy_from_slice(&crc.to_le_bytes());
+        p
+    }
+
+    /// Decodes a meta slot; `None` when the slot is invalid (never
+    /// written, or torn by a crash mid-commit).
+    pub fn decode(p: &[u8]) -> Option<Meta> {
+        if p.len() < 78 || &p[0..8] != META_MAGIC {
+            return None;
+        }
+        let want = u32::from_le_bytes(p[74..78].try_into().expect("4 bytes"));
+        if crc32c(&p[0..74]) != want {
+            return None;
+        }
+        let u = |r: std::ops::Range<usize>| u64::from_le_bytes(p[r].try_into().expect("8 bytes"));
+        Some(Meta {
+            epoch: u(8..16),
+            lsn: u(16..24),
+            page_count: u(24..32),
+            catalog: PageRef { pid: u(32..40), lsn: u(40..48) },
+            maintenance: BlobRef {
+                pid: u(48..56),
+                slot: u16::from_le_bytes(p[56..58].try_into().expect("2 bytes")),
+                lsn: u(58..66),
+                len: u(66..74),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slotted_page_insert_remove_replace() {
+        let mut p = init(KIND_LEAF, 7);
+        assert_eq!(kind(&p), KIND_LEAF);
+        assert_eq!(lsn(&p), 7);
+        assert!(insert(&mut p, 0, b"bb"));
+        assert!(insert(&mut p, 0, b"aa"));
+        assert!(insert(&mut p, 2, b"cc"));
+        assert_eq!(count(&p), 3);
+        assert_eq!((cell(&p, 0), cell(&p, 1), cell(&p, 2)), (&b"aa"[..], &b"bb"[..], &b"cc"[..]));
+        assert!(replace(&mut p, 1, b"BBBB"));
+        assert_eq!(cell(&p, 1), b"BBBB");
+        remove(&mut p, 0);
+        assert_eq!(count(&p), 2);
+        assert_eq!(cell(&p, 0), b"BBBB");
+    }
+
+    #[test]
+    fn page_fills_then_rejects_then_compacts() {
+        let mut p = init(KIND_LEAF, 1);
+        let cell_bytes = vec![0xAB; 100];
+        let mut n = 0;
+        while insert(&mut p, n, &cell_bytes) {
+            n += 1;
+        }
+        assert!(n >= 38, "a 4K page fits many 100B cells, got {n}");
+        // freeing one makes room again (via compaction)
+        remove(&mut p, 0);
+        assert!(insert(&mut p, 0, &cell_bytes));
+        assert!(!insert(&mut p, 0, &cell_bytes));
+    }
+
+    #[test]
+    fn seal_verify_roundtrip_and_corruption() {
+        let mut p = init(KIND_HEAP, 42);
+        assert!(insert(&mut p, 0, b"payload"));
+        seal(&mut p);
+        verify(&p, 5).unwrap();
+        assert_eq!(lsn(&p), 42);
+        let mut broken = p.clone();
+        broken[100] ^= 1;
+        assert!(verify(&broken, 5).is_err());
+        assert!(verify(&p[..100], 5).is_err(), "short page fails closed");
+    }
+
+    #[test]
+    fn meta_roundtrip_and_torn_slot_rejected() {
+        let m = Meta {
+            epoch: 9,
+            lsn: 1234,
+            page_count: 77,
+            catalog: PageRef { pid: 5, lsn: 1200 },
+            maintenance: BlobRef { pid: 6, slot: 2, lsn: 1234, len: 999 },
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        assert_eq!(Meta::decode(&bytes), Some(m));
+        for cut in [0, 40, 77] {
+            let mut torn = bytes.clone();
+            torn.truncate(cut);
+            assert_eq!(Meta::decode(&torn), None);
+        }
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 1;
+        assert_eq!(Meta::decode(&flipped), None);
+    }
+}

@@ -95,6 +95,10 @@ fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
 /// versioned wrapper format is written; `None` writes the legacy bare
 /// universe. `sync` off skips both fsyncs (for ablations; crash safety is
 /// then up to the OS).
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
+#[allow(deprecated)]
 pub fn save_snapshot_vfs(
     vfs: &dyn Vfs,
     store: &Store,
@@ -108,6 +112,9 @@ pub fn save_snapshot_vfs(
 /// [`save_snapshot_vfs`] carrying an opaque engine-state blob (view
 /// maintenance support counts, as JSON text) in the versioned wrapper.
 /// `state` is ignored for legacy bare-universe writes (`lsn: None`).
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn save_snapshot_vfs_with_state(
     vfs: &dyn Vfs,
     store: &Store,
@@ -155,6 +162,9 @@ pub fn write_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8], sync: bool) -> Sto
 /// the legacy versioned wrapper (`gen` is dropped — JSON directories never
 /// carry delta chains).
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn save_snapshot_vfs_codec(
     vfs: &dyn Vfs,
     store: &Store,
@@ -183,6 +193,9 @@ pub fn save_snapshot_vfs_codec(
 }
 
 /// Writes a delta-checkpoint container atomically, returning bytes written.
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn save_delta_vfs(
     vfs: &dyn Vfs,
     path: &Path,
@@ -195,6 +208,9 @@ pub fn save_delta_vfs(
 }
 
 /// Reads and decodes a delta-checkpoint container.
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn load_delta_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<DeltaBlob> {
     let bytes = vfs.read(path).map_err(|e| io_err("read delta checkpoint", e))?;
     codec::decode_delta(&bytes)
@@ -202,6 +218,10 @@ pub fn load_delta_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<DeltaBlob> {
 
 /// Loads a snapshot through `vfs`, returning the store and the op-log LSN
 /// the snapshot covers (0 for legacy bare-universe snapshots).
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
+#[allow(deprecated)]
 pub fn load_snapshot_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Store, u64)> {
     load_snapshot_vfs_with_state(vfs, path).map(|(store, lsn, _)| (store, lsn))
 }
@@ -209,6 +229,10 @@ pub fn load_snapshot_vfs(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Store, u6
 /// [`load_snapshot_vfs`] also returning the opaque engine-state blob, if
 /// the snapshot carries one (`None` for legacy snapshots and wrappers
 /// written without state).
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
+#[allow(deprecated)]
 pub fn load_snapshot_vfs_with_state(
     vfs: &dyn Vfs,
     path: &Path,
@@ -218,6 +242,9 @@ pub fn load_snapshot_vfs_with_state(
 
 /// The full loader: any of the three encodings, plus everything the file
 /// says about itself ([`SnapshotMeta`]).
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn load_snapshot_vfs_meta(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Store, SnapshotMeta)> {
     let bytes = vfs.read(path).map_err(|e| io_err("read snapshot", e))?;
     // Binary detection runs before the UTF-8 check — a binary container is
@@ -258,6 +285,9 @@ pub fn load_snapshot_vfs_meta(vfs: &dyn Vfs, path: &Path) -> StorageResult<(Stor
 /// Removes stale snapshot temp files (`*.tmp`) left in `dir` by crashed
 /// or concurrent writers that never reached their rename. Returns how
 /// many were removed.
+#[deprecated(
+    note = "superseded by the StorageEngine trait (`crate::engine`) — open a\nMemStorage/PagedStorage and commit through apply_full/apply_delta instead"
+)]
 pub fn clean_stale_temps(vfs: &dyn Vfs, dir: &Path) -> StorageResult<u64> {
     let mut removed = 0;
     let entries = match vfs.list_dir(dir) {
@@ -275,16 +305,19 @@ pub fn clean_stale_temps(vfs: &dyn Vfs, dir: &Path) -> StorageResult<u64> {
 
 /// Writes a snapshot atomically (temp file + fsync + rename + dir fsync)
 /// on the real file system, in the legacy bare-universe encoding.
+#[allow(deprecated)]
 pub fn save_snapshot(store: &Store, path: &Path) -> StorageResult<()> {
     save_snapshot_vfs(&RealVfs::new(), store, path, None, true)
 }
 
 /// Loads a snapshot written by [`save_snapshot`] (either encoding).
+#[allow(deprecated)]
 pub fn load_snapshot(path: &Path) -> StorageResult<Store> {
     load_snapshot_vfs(&RealVfs::new(), path).map(|(store, _)| store)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::vfs::{FaultPlan, SimVfs};

@@ -1,0 +1,355 @@
+//! [`Session`] — the operation-log file handle.
+//!
+//! Historically the durable engine manipulated `ops.idl` through loose
+//! [`crate::oplog`] framing functions plus its own file bookkeeping
+//! (recovery scan, legacy migration, torn-tail truncation, header
+//! rewrites, rotation). `Session` collapses that surface into one handle
+//! owning the log file's lifecycle:
+//!
+//! * **open** — scan the existing log (any historical format), migrate
+//!   legacy line logs and pre-current framed layouts atomically, truncate
+//!   torn tails, or lay down a fresh header;
+//! * **append / append_group** — frame, append, and (under sync) fsync
+//!   records before the caller acknowledges them;
+//! * **rotate** — reset to an empty log after a checkpoint;
+//! * **repair_truncate** — drop a partial append back to the last
+//!   acknowledged prefix (the caller then poisons itself).
+//!
+//! The session tracks the acknowledged byte length and the last appended
+//! LSN; replay policy (which records to skip, gap detection) stays with
+//! the engine, which sees the scanned records via [`SessionOpen`].
+
+use crate::error::{StorageError, StorageResult};
+use crate::oplog::{self, LogFormat, Record};
+use crate::persist::write_atomic;
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
+    StorageError::Persist(format!("{ctx}: {e}"))
+}
+
+/// What [`Session::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct SessionOpen {
+    /// Valid records, in log order, LSN-numbered (legacy lines are
+    /// numbered after the base LSN the caller passed).
+    pub records: Vec<Record>,
+    /// Whether a legacy line-format log was migrated to framing.
+    pub migrated_legacy: bool,
+    /// Torn-tail bytes truncated (or dropped by a migration rewrite).
+    pub torn_bytes_truncated: u64,
+}
+
+/// An open handle on one operation-log file (see module docs).
+pub struct Session {
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+    /// Format appends use (an existing framed log is never downgraded).
+    format: LogFormat,
+    hint: u32,
+    sync: bool,
+    lsn: u64,
+    /// Acknowledged byte length — the truncation point after a failed
+    /// append.
+    bytes: u64,
+}
+
+impl Session {
+    /// Opens (or creates) the log at `path`. `prefer` is the format for a
+    /// *fresh* log; an existing framed log is never downgraded, and an
+    /// existing legacy log is migrated when `prefer` is framed. `hint` is
+    /// the snapshot-codec header hint, `base_lsn` numbers legacy-line
+    /// records (which carry none).
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        path: PathBuf,
+        prefer: LogFormat,
+        hint: u32,
+        sync: bool,
+        base_lsn: u64,
+    ) -> StorageResult<(Session, SessionOpen)> {
+        let mut info = SessionOpen::default();
+        let format;
+        let bytes_len;
+        if vfs.exists(&path) {
+            let bytes = vfs.read(&path).map_err(|e| io_err("read log", e))?;
+            let mut recovered = oplog::decode_log(&bytes)?;
+            if recovered.format == LogFormat::LegacyLines {
+                for (i, rec) in recovered.records.iter_mut().enumerate() {
+                    rec.lsn = base_lsn + 1 + i as u64;
+                }
+            }
+            match (recovered.format, prefer) {
+                (LogFormat::LegacyLines, LogFormat::Framed) => {
+                    // migrate: rewrite the surviving records framed,
+                    // atomically, dropping any torn trailing fragment
+                    let fresh = oplog::encode_log_flagged_hint(
+                        hint,
+                        recovered.records.iter().map(|r| (r.lsn, 0, r.stmt.as_str())),
+                    );
+                    write_atomic(vfs.as_ref(), &path, &fresh, sync)?;
+                    info.migrated_legacy = !recovered.records.is_empty();
+                    info.torn_bytes_truncated = recovered.torn_bytes;
+                    format = LogFormat::Framed;
+                    bytes_len = fresh.len() as u64;
+                }
+                (found, _) => {
+                    if found == LogFormat::Framed && recovered.valid_len < oplog::HEADER_LEN {
+                        // the header itself was torn — lay it down again
+                        write_atomic(vfs.as_ref(), &path, &oplog::header_bytes_hint(hint), sync)?;
+                        info.torn_bytes_truncated = recovered.torn_bytes;
+                        bytes_len = oplog::HEADER_LEN_V4;
+                    } else if found == LogFormat::Framed
+                        && recovered.version < oplog::FORMAT_VERSION
+                    {
+                        // upgrade the framing in place (atomically) —
+                        // mixing record layouts in one file cannot work
+                        let fresh = oplog::encode_log_flagged_hint(
+                            hint,
+                            recovered.records.iter().map(|r| (r.lsn, r.flags, r.stmt.as_str())),
+                        );
+                        write_atomic(vfs.as_ref(), &path, &fresh, sync)?;
+                        info.torn_bytes_truncated = recovered.torn_bytes;
+                        bytes_len = fresh.len() as u64;
+                    } else {
+                        if recovered.torn_bytes > 0 {
+                            vfs.set_len(&path, recovered.valid_len)
+                                .map_err(|e| io_err("truncate torn log tail", e))?;
+                            info.torn_bytes_truncated = recovered.torn_bytes;
+                        }
+                        bytes_len = recovered.valid_len;
+                    }
+                    format = found;
+                }
+            }
+            info.records = recovered.records;
+        } else {
+            format = prefer;
+            let fresh = match format {
+                LogFormat::Framed => oplog::header_bytes_hint(hint),
+                LogFormat::LegacyLines => Vec::new(),
+            };
+            vfs.write(&path, &fresh).map_err(|e| io_err("create log", e))?;
+            if sync {
+                vfs.sync_file(&path).map_err(|e| io_err("sync fresh log", e))?;
+                if let Some(dir) = path.parent() {
+                    vfs.sync_dir(dir).map_err(|e| io_err("sync log dir", e))?;
+                }
+            }
+            bytes_len = fresh.len() as u64;
+        }
+        let lsn = info.records.last().map(|r| r.lsn).max(Some(base_lsn)).unwrap_or(base_lsn);
+        Ok((Session { vfs, path, format, hint, sync, lsn, bytes: bytes_len }, info))
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Format appends are written in.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// LSN of the last appended (or scanned) record.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Overrides the session LSN (after the engine skipped or replayed
+    /// records and knows the true acknowledged position).
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.lsn = lsn;
+    }
+
+    /// Acknowledged log length in bytes.
+    pub fn acked_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether appends fsync before returning.
+    pub fn synced(&self) -> bool {
+        self.sync
+    }
+
+    fn encode(&self, lsn: u64, flags: u8, stmt: &str) -> Vec<u8> {
+        match self.format {
+            LogFormat::Framed => oplog::encode_record_flagged(lsn, flags, stmt),
+            LogFormat::LegacyLines => format!("{stmt}\n").into_bytes(),
+        }
+    }
+
+    /// Appends one record and — under sync — fsyncs it before returning.
+    /// On success the session LSN advances and the byte count of the
+    /// append is returned. On error nothing is acknowledged: call
+    /// [`Session::repair_truncate`] and stop using the log.
+    pub fn append(&mut self, flags: u8, stmt: &str) -> StorageResult<u64> {
+        let next = self.lsn + 1;
+        let bytes = self.encode(next, flags, stmt);
+        self.vfs.append(&self.path, &bytes).map_err(|e| io_err("append log", e))?;
+        if self.sync {
+            self.vfs.sync_file(&self.path).map_err(|e| io_err("sync log", e))?;
+        }
+        self.lsn = next;
+        self.bytes += bytes.len() as u64;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Appends a batch of records as **one** write plus (under sync) one
+    /// fsync — the group-commit primitive. No record is acknowledged
+    /// before the whole group is durable; on error none are.
+    pub fn append_group(&mut self, records: &[(u8, String)]) -> StorageResult<u64> {
+        let mut buf = Vec::new();
+        for (i, (flags, stmt)) in records.iter().enumerate() {
+            buf.extend_from_slice(&self.encode(self.lsn + 1 + i as u64, *flags, stmt));
+        }
+        self.vfs.append(&self.path, &buf).map_err(|e| io_err("append log", e))?;
+        if self.sync {
+            self.vfs.sync_file(&self.path).map_err(|e| io_err("sync log", e))?;
+        }
+        self.lsn += records.len() as u64;
+        self.bytes += buf.len() as u64;
+        Ok(buf.len() as u64)
+    }
+
+    /// Rotates the log empty (after a checkpoint made its records
+    /// redundant), updating the snapshot-codec header hint.
+    pub fn rotate(&mut self, hint: u32) -> StorageResult<()> {
+        self.hint = hint;
+        let fresh = match self.format {
+            LogFormat::Framed => oplog::header_bytes_hint(hint),
+            LogFormat::LegacyLines => Vec::new(),
+        };
+        write_atomic(self.vfs.as_ref(), &self.path, &fresh, self.sync)?;
+        self.bytes = fresh.len() as u64;
+        Ok(())
+    }
+
+    /// Best-effort truncation back to the acknowledged prefix after a
+    /// failed append, so future readers never see the partial record.
+    pub fn repair_truncate(&self) {
+        let _ = self.vfs.set_len(&self.path, self.bytes);
+    }
+
+    /// Number of records currently in the log (diagnostics).
+    pub fn len(&self) -> StorageResult<usize> {
+        if !self.vfs.exists(&self.path) {
+            return Ok(0);
+        }
+        let bytes = self.vfs.read(&self.path).map_err(|e| io_err("read log", e))?;
+        Ok(oplog::decode_log(&bytes)?.records.len())
+    }
+
+    /// Whether the log currently holds no records.
+    pub fn is_empty(&self) -> StorageResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultPlan, SimVfs};
+
+    fn open(vfs: &Arc<SimVfs>, base_lsn: u64) -> (Session, SessionOpen) {
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        Session::open(
+            Arc::clone(vfs) as Arc<dyn Vfs>,
+            PathBuf::from("/d/ops.idl"),
+            LogFormat::Framed,
+            oplog::CODEC_HINT_BINARY,
+            true,
+            base_lsn,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_append_reopen_rotate() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(1)));
+        let (mut s, info) = open(&vfs, 0);
+        assert!(info.records.is_empty());
+        s.append(0, "?.db.r+(.a=1)").unwrap();
+        s.append(oplog::FLAG_MAINTENANCE, "?.db.r+(.a=2)").unwrap();
+        assert_eq!(s.lsn(), 2);
+        assert_eq!(s.len().unwrap(), 2);
+
+        let (mut s, info) = open(&vfs, 0);
+        assert_eq!(info.records.len(), 2);
+        assert_eq!(info.records[1].flags, oplog::FLAG_MAINTENANCE);
+        assert_eq!(s.lsn(), 2);
+        s.rotate(oplog::CODEC_HINT_BINARY).unwrap();
+        assert_eq!(s.len().unwrap(), 0);
+        assert_eq!(s.lsn(), 2, "rotation never rewinds the LSN");
+        s.append(0, "?.db.r+(.a=3)").unwrap();
+        let (_, info) = open(&vfs, 0);
+        assert_eq!(info.records.len(), 1);
+        assert_eq!(info.records[0].lsn, 3);
+    }
+
+    #[test]
+    fn group_append_is_one_write_one_sync() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(2)));
+        let (mut s, _) = open(&vfs, 0);
+        let before = vfs.stats();
+        let recs: Vec<(u8, String)> = (0..4).map(|i| (0u8, format!("?.db.r+(.a={i})"))).collect();
+        s.append_group(&recs).unwrap();
+        let after = vfs.stats();
+        assert_eq!(after.appends - before.appends, 1);
+        assert_eq!(after.file_syncs - before.file_syncs, 1);
+        assert_eq!(s.lsn(), 4);
+        let (_, info) = open(&vfs, 0);
+        assert_eq!(info.records.len(), 4);
+        assert_eq!(info.records[3].lsn, 4);
+    }
+
+    #[test]
+    fn legacy_lines_migrate_with_base_numbering() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(3)));
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        vfs.write(Path::new("/d/ops.idl"), b"?.db.r+(.a=1)\n?.db.r+(.a=2)\n?.torn").unwrap();
+        let (s, info) = open(&vfs, 10);
+        assert!(info.migrated_legacy);
+        assert_eq!(info.torn_bytes_truncated, "?.torn".len() as u64);
+        assert_eq!(info.records.len(), 2);
+        assert_eq!((info.records[0].lsn, info.records[1].lsn), (11, 12));
+        assert_eq!(s.lsn(), 12);
+        let bytes = vfs.read(Path::new("/d/ops.idl")).unwrap();
+        assert!(bytes.starts_with(oplog::MAGIC));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(4)));
+        let (mut s, _) = open(&vfs, 0);
+        s.append(0, "?.db.r+(.a=1)").unwrap();
+        let full = vfs.read(Path::new("/d/ops.idl")).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[0x55; 7]); // half a record header
+        vfs.write(Path::new("/d/ops.idl"), &torn).unwrap();
+        let (s, info) = open(&vfs, 0);
+        assert_eq!(info.torn_bytes_truncated, 7);
+        assert_eq!(info.records.len(), 1);
+        assert_eq!(s.acked_bytes(), full.len() as u64);
+        assert_eq!(vfs.read(Path::new("/d/ops.idl")).unwrap(), full);
+    }
+
+    #[test]
+    fn failed_append_leaves_state_unacknowledged() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(5)));
+        let (mut s, _) = open(&vfs, 0);
+        s.append(0, "?.db.r+(.a=1)").unwrap();
+        let acked = s.acked_bytes();
+        // simulate a partial append scribbled past the acked prefix,
+        // then repair back to it
+        vfs.append(Path::new("/d/ops.idl"), &[0xAB; 5]).unwrap();
+        s.repair_truncate();
+        assert_eq!(vfs.file_len(Path::new("/d/ops.idl")).unwrap(), acked);
+        assert_eq!(s.lsn(), 1);
+        let (_, info) = open(&vfs, 0);
+        assert_eq!(info.records.len(), 1);
+    }
+}

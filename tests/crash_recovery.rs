@@ -27,7 +27,7 @@
 
 use idl::{
     Backend, DurabilityOptions, DurableEngine, Engine, EngineError, FaultPlan, SimVfs,
-    SnapshotCodec, Vfs,
+    SnapshotCodec, StorageSpec, Vfs,
 };
 use idl_repro as _;
 use proptest::prelude::*;
@@ -74,13 +74,31 @@ fn base_seed() -> u64 {
 }
 
 fn open(vfs: &Arc<SimVfs>, threads: usize, compile: bool) -> Result<DurableEngine, EngineError> {
+    open_opts(vfs, DurabilityOptions::default(), threads, compile)
+}
+
+fn open_opts(
+    vfs: &Arc<SimVfs>,
+    opts: DurabilityOptions,
+    threads: usize,
+    compile: bool,
+) -> Result<DurableEngine, EngineError> {
     let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
-    DurableEngine::open_with_vfs("/crash", v, DurabilityOptions::default(), move |e| {
+    DurableEngine::open_with_vfs("/crash", v, opts, move |e| {
         idl::transparency::install_two_level_mapping(e)?;
         let o = e.options().rebuild().threads(threads).compile(compile).build();
         e.set_options(o);
         Ok(())
     })
+}
+
+/// Default options with the storage backend pinned to mem: the
+/// delta-chain and snapshot-migration legs assert mem-only artifacts
+/// (base snapshot + delta files), so they must not inherit an
+/// `IDL_STORAGE=paged` matrix default. The paged backend has its own
+/// every-fault-site leg below.
+fn mem_default() -> DurabilityOptions {
+    DurabilityOptions { storage: StorageSpec::Mem, ..DurabilityOptions::default() }
 }
 
 /// What a (possibly crashing) workload run acknowledged.
@@ -152,8 +170,18 @@ fn assert_recovery(
     compile: bool,
     plan: &FaultPlan,
 ) {
-    let mut d = open(vfs, threads, compile)
-        .unwrap_or_else(|e| panic!("recovery must not fail (plan {plan}): {e}"));
+    assert_recovery_with(vfs, run, plan, |v| open(v, threads, compile));
+}
+
+/// [`assert_recovery`] parameterised on how to (re)open the directory —
+/// the paged legs recover through the paged storage backend.
+fn assert_recovery_with(
+    vfs: &Arc<SimVfs>,
+    run: &RunOutcome,
+    plan: &FaultPlan,
+    opener: impl Fn(&Arc<SimVfs>) -> Result<DurableEngine, EngineError>,
+) {
+    let mut d = opener(vfs).unwrap_or_else(|e| panic!("recovery must not fail (plan {plan}): {e}"));
     d.refresh_views().unwrap_or_else(|e| panic!("refresh after recovery (plan {plan}): {e}"));
     let got = d.universe_json().unwrap();
     let acked_only = reference_json(&run.acked);
@@ -178,8 +206,8 @@ fn assert_recovery(
     let want = d.universe_json().unwrap();
     drop(d);
     // ... and the checkpointed universe reopens byte-identically
-    let mut d2 = open(vfs, threads, compile)
-        .unwrap_or_else(|e| panic!("reopen after checkpoint (plan {plan}): {e}"));
+    let mut d2 =
+        opener(vfs).unwrap_or_else(|e| panic!("reopen after checkpoint (plan {plan}): {e}"));
     d2.refresh_views().unwrap();
     assert_eq!(
         d2.universe_json().unwrap(),
@@ -439,7 +467,7 @@ fn group_commit_crash_battery_acks_all_or_prefix() {
 /// a JSON era followed by a binary era regardless of the CI matrix).
 fn open_codec(vfs: &Arc<SimVfs>, codec: SnapshotCodec) -> Result<DurableEngine, EngineError> {
     let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
-    let opts = DurabilityOptions { codec, ..DurabilityOptions::default() };
+    let opts = DurabilityOptions { codec, ..mem_default() };
     DurableEngine::open_with_vfs("/crash", v, opts, |e| {
         idl::transparency::install_two_level_mapping(e)
     })
@@ -450,7 +478,7 @@ fn open_codec(vfs: &Arc<SimVfs>, codec: SnapshotCodec) -> Result<DurableEngine, 
 /// hits the policy cap) — crash sites land between, inside, and after
 /// chain members.
 fn run_workload_chained(vfs: &Arc<SimVfs>) -> RunOutcome {
-    let mut d = match open(vfs, 1, true) {
+    let mut d = match open_opts(vfs, mem_default(), 1, true) {
         Ok(d) => d,
         Err(_) => return RunOutcome { acked: Vec::new(), in_flight: None, completed: false },
     };
@@ -485,7 +513,7 @@ fn crash_mid_delta_chain_recovers_exactly() {
     {
         let probe = Arc::new(SimVfs::new(FaultPlan::none(seed)));
         let _ = run_workload_chained(&probe);
-        let d = open(&probe, 1, true).unwrap();
+        let d = open_opts(&probe, mem_default(), 1, true).unwrap();
         let stats = d.durability_stats();
         if stats.codec == SnapshotCodec::Binary {
             assert!(stats.chain_len > 0, "chained workload left no delta chain to recover");
@@ -496,7 +524,83 @@ fn crash_mid_delta_chain_recovers_exactly() {
         let vfs = Arc::new(SimVfs::new(plan));
         let run = run_workload_chained(&vfs);
         vfs.power_cycle();
-        assert_recovery(&vfs, &run, 1, true, &plan);
+        assert_recovery_with(&vfs, &run, &plan, |v| open_opts(v, mem_default(), 1, true));
+    }
+}
+
+/// Buffer pool for the paged crash legs: small enough that the
+/// workload's page file outgrows it, so commits and recovery evict and
+/// write back dirty frames under pressure.
+const PAGED_POOL: usize = 4;
+
+/// Like [`open`], but on the paged storage backend with the tiny
+/// eviction-forcing pool.
+fn open_paged(vfs: &Arc<SimVfs>) -> Result<DurableEngine, EngineError> {
+    let v: Arc<dyn Vfs> = Arc::clone(vfs) as Arc<dyn Vfs>;
+    let opts = DurabilityOptions {
+        storage: StorageSpec::Paged { pool_pages: PAGED_POOL },
+        ..DurabilityOptions::default()
+    };
+    DurableEngine::open_with_vfs("/crash", v, opts, |e| {
+        idl::transparency::install_two_level_mapping(e)
+    })
+}
+
+/// The paged workload: a checkpoint after every update, so most VFS ops
+/// are shadow-page writes, dirty write-backs and meta flips against the
+/// page file — crash sites land *inside* the page-file commit protocol.
+fn run_workload_paged(vfs: &Arc<SimVfs>) -> RunOutcome {
+    let mut d = match open_paged(vfs) {
+        Ok(d) => d,
+        Err(_) => return RunOutcome { acked: Vec::new(), in_flight: None, completed: false },
+    };
+    let mut acked = Vec::new();
+    for (i, step) in WORKLOAD.iter().enumerate() {
+        let Step::Update(src) = step else { continue };
+        match d.update(src) {
+            Ok(_) => acked.push(i),
+            Err(_) => return RunOutcome { acked, in_flight: Some(i), completed: false },
+        }
+        if d.checkpoint().is_err() {
+            return RunOutcome { acked, in_flight: None, completed: false };
+        }
+    }
+    RunOutcome { acked, in_flight: None, completed: true }
+}
+
+/// Power-cycle at every I/O op of the paged workload — including every
+/// page write, write-back and meta flip of `pages.idb` — then recover
+/// through the paged backend. The shadow-paging commit protocol must
+/// make every crash land on the previous or the new epoch, never
+/// between: recovery lands on exactly the acked set, keeps accepting
+/// work, and its next checkpoint reopens byte-identically.
+#[test]
+fn paged_crash_at_every_fault_site() {
+    let seed = 0x9A6ED ^ base_seed();
+    let total = {
+        let probe = Arc::new(SimVfs::new(FaultPlan::none(seed)));
+        let run = run_workload_paged(&probe);
+        assert!(run.completed, "fault-free paged workload must complete");
+        let total = probe.op_count();
+        // the leg is vacuous unless the page file really outgrew the
+        // pool and commits evicted under pressure
+        let d = open_paged(&probe).unwrap();
+        let stats = d.durability_stats();
+        assert!(
+            stats.storage_pages > PAGED_POOL as u64,
+            "page file ({} pages) must exceed the pool ({PAGED_POOL} pages)",
+            stats.storage_pages
+        );
+        let pool = stats.pool.expect("paged backend reports pool stats");
+        assert!(pool.evictions > 0, "recovery under a {PAGED_POOL}-page pool must evict");
+        total
+    };
+    for crash_at in 1..=total {
+        let plan = FaultPlan::none(seed).with_crash_at(crash_at);
+        let vfs = Arc::new(SimVfs::new(plan));
+        let run = run_workload_paged(&vfs);
+        vfs.power_cycle();
+        assert_recovery_with(&vfs, &run, &plan, open_paged);
     }
 }
 
@@ -583,7 +687,8 @@ fn legacy_json_migration_survives_crashes_at_every_site() {
         let vfs = Arc::new(SimVfs::new(plan));
         let run = run_workload_migration(&vfs);
         vfs.power_cycle();
-        assert_recovery(&vfs, &run, 1, true, &plan);
+        // recovery reopens through the migration target (the binary era)
+        assert_recovery_with(&vfs, &run, &plan, |v| open_codec(v, SnapshotCodec::Binary));
     }
 }
 

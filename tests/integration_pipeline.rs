@@ -156,9 +156,9 @@ fn error_messages_name_the_problem() {
 mod recovery_edges {
     use idl::{Backend, DurableEngine, Engine};
     use idl_storage::oplog;
-    use idl_storage::persist;
-    use idl_storage::{RealVfs, Store};
+    use idl_storage::{CommitSeal, MemStorage, RealVfs, StorageEngine, Store, Vfs};
     use std::path::PathBuf;
+    use std::sync::Arc;
 
     fn fresh_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("idl-recovery-{name}-{}", std::process::id()));
@@ -240,13 +240,24 @@ mod recovery_edges {
             .insert("db", "r", idl_object::tuple! { a: 1i64 })
             .and_then(|_| covered.insert("db", "r", idl_object::tuple! { a: 2i64 }))
             .unwrap();
-        let vfs = RealVfs::new();
-        persist::save_snapshot_vfs(&vfs, &covered, &dir.join("universe.json"), Some(2), true)
+        let vfs: Arc<dyn Vfs> = Arc::new(RealVfs::new());
+        let mut storage = MemStorage::new(vfs, &dir, Default::default(), true);
+        storage.recover().unwrap();
+        storage
+            .apply_full(&covered, &CommitSeal { lsn: 2, maintenance: None, sync: true })
             .unwrap();
         let stale =
             [(1u64, "?.db.r+(.a = 1)"), (2u64, "?.db.r+(.a = 2)"), (3u64, "?.db.r+(.a = 3)")];
         std::fs::write(dir.join("ops.idl"), oplog::encode_log(stale)).unwrap();
-        let mut d = DurableEngine::open(&dir).unwrap();
+        // the snapshot above was written through MemStorage, so the
+        // reopen pins the mem backend (an IDL_STORAGE=paged default
+        // would look for a page file instead)
+        let opts = idl::DurabilityOptions {
+            storage: idl::StorageSpec::Mem,
+            ..idl::DurabilityOptions::default()
+        };
+        let mut d =
+            DurableEngine::open_with_vfs(&dir, Arc::new(RealVfs::new()), opts, |_| Ok(())).unwrap();
         let stats = d.durability_stats();
         assert_eq!(stats.records_skipped, 2);
         assert_eq!(stats.records_recovered, 1);

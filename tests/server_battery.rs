@@ -722,6 +722,51 @@ fn durable_backend_survives_a_server_restart() {
 }
 
 #[test]
+fn paged_backend_serves_and_reports_pool_stats_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("idl-server-paged-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let open = |dir: &std::path::Path| {
+        DurableEngine::open_with_vfs(
+            dir.to_path_buf(),
+            Arc::new(idl::RealVfs::new()),
+            EngineOptions::builder()
+                .storage(idl::StorageSpec::Paged { pool_pages: 8 })
+                .durability(),
+            |_| Ok(()),
+        )
+        .unwrap()
+    };
+    let handle = serve(Box::new(open(&dir)), ServerConfig::default()).unwrap();
+    {
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for k in 0..4 {
+            client.update(&format!("?.db.r+(.a={k})")).unwrap();
+        }
+        // the Stats frame carries the paged backend's telemetry as the
+        // optional `storage` field
+        let reply = client.stats().unwrap();
+        let storage = reply.storage.expect("durable backend reports storage stats");
+        assert_eq!(storage.backend, "paged:8");
+        let pool = storage.pool.expect("paged backend reports pool stats");
+        assert_eq!(pool.capacity, 8);
+    }
+    handle.shutdown();
+
+    // checkpoint into the page file, then serve the recovered state
+    open(&dir).checkpoint().unwrap();
+    let handle = serve(Box::new(open(&dir)), ServerConfig::default()).unwrap();
+    {
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        assert_eq!(client.query("?.db.r(.a=X)").unwrap().len(), 4);
+        let storage = client.stats().unwrap().storage.expect("storage stats after recovery");
+        assert!(storage.pages > 0, "page file materialised: {storage:?}");
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn poisoned_durable_backend_answers_with_clean_error_frames() {
     // fault-free probe run to find the op index of the second update's
     // log append (same technique as the crash battery)
