@@ -710,7 +710,14 @@ impl DurableEngine {
         // `delta_entries` is None when the journal recorded an unscoped
         // universe mutation — only a full commit can represent that.
         let info = match if delta_ok { self.delta_entries() } else { None } {
-            Some(entries) => self.storage.apply_delta(&entries, &seal)?,
+            // A failed delta aborts without touching the committed
+            // state, and a full commit can represent anything a delta
+            // can — fall back instead of failing the checkpoint (and
+            // poisoning the engine) on a delta-only limitation.
+            Some(entries) => match self.storage.apply_delta(&entries, &seal) {
+                Ok(info) => info,
+                Err(_) => self.storage.apply_full(self.engine.store(), &seal)?,
+            },
             None => self.storage.apply_full(self.engine.store(), &seal)?,
         };
         match info.kind {

@@ -202,17 +202,29 @@ fn build_page(pager: &mut Pager, kind: u8, cells: &[Vec<u8>]) -> StorageResult<P
     pager.alloc(p)
 }
 
-/// Splits `cells` at the byte-balanced midpoint (both halves non-empty).
+/// Splits `cells` at the most byte-balanced point where **both** halves
+/// fit a fresh page (both non-empty). Such a point always exists: the
+/// overflowing page held at most a page's worth of cells plus one more,
+/// and every cell is capped well under half a page ([`MAX_CELL`]), so
+/// the largest prefix that fits leaves a remainder that fits too.
 fn split_point(cells: &[Vec<u8>]) -> usize {
-    let total: usize = cells.iter().map(|c| c.len()).sum();
-    let mut acc = 0;
-    for (i, c) in cells.iter().enumerate() {
-        acc += c.len();
-        if acc * 2 >= total {
-            return (i + 1).min(cells.len() - 1).max(1);
+    let cost = |c: &[u8]| page::CELL_OVERHEAD + c.len();
+    let total: usize = cells.iter().map(|c| cost(c)).sum();
+    let mut best = cells.len() / 2;
+    let mut best_diff = usize::MAX;
+    let mut left = 0;
+    for at in 1..cells.len() {
+        left += cost(&cells[at - 1]);
+        let right = total - left;
+        if left <= page::CAPACITY && right <= page::CAPACITY {
+            let diff = left.abs_diff(right);
+            if diff < best_diff {
+                best = at;
+                best_diff = diff;
+            }
         }
     }
-    cells.len() / 2
+    best.clamp(1, cells.len() - 1)
 }
 
 fn insert_rec(pager: &mut Pager, r: PageRef, key: &[u8], val: &[u8]) -> StorageResult<Ins> {
@@ -657,6 +669,32 @@ mod tests {
             assert_eq!(
                 lookup(&mut pager, root, &key(i)).unwrap().as_deref(),
                 Some(&i.to_le_bytes()[..])
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_size_split_fits_both_halves() {
+        // A leaf packed with small cells plus one near-cap cell landing
+        // at any position must split so both halves fit a fresh page
+        // (the byte-balanced midpoint alone can overload the left half).
+        for jumbo_at in [0u64, 10, 26, 30, 38] {
+            let (_vfs, mut pager) = pager(64);
+            pager.begin(1);
+            let mut root = PageRef::NULL;
+            for i in 0..38u64 {
+                // ~100-byte cells
+                root = insert(&mut pager, root, &key(i * 10), &[0xAA; 86]).unwrap();
+            }
+            let jumbo = vec![0xBB; MAX_CELL - key(0).len() - 4];
+            root = insert(&mut pager, root, &key(jumbo_at * 10 + 1), &jumbo)
+                .unwrap_or_else(|e| panic!("jumbo at {jumbo_at}: {e}"));
+            for i in 0..38u64 {
+                assert!(lookup(&mut pager, root, &key(i * 10)).unwrap().is_some(), "key {i}");
+            }
+            assert_eq!(
+                lookup(&mut pager, root, &key(jumbo_at * 10 + 1)).unwrap().as_deref(),
+                Some(&jumbo[..])
             );
         }
     }

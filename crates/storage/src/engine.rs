@@ -667,6 +667,35 @@ impl PagedStorage {
         Meta::decode(&bytes)
     }
 
+    /// Loads the committed state `meta` describes: free-list sweep,
+    /// universe materialization, maintenance blob. On error the pager
+    /// holds partial state — the caller resets before trying another
+    /// slot. `out` is only written on success.
+    fn load_meta(&mut self, meta: Meta, out: &mut RecoveredState) -> StorageResult<()> {
+        self.meta = meta;
+        self.pager.reset(meta.page_count, Vec::new());
+        // Mark-and-sweep the free list: everything under the live meta
+        // is reachable; every other page id below page_count belongs to
+        // overwritten epochs (or commits that never landed) and is free.
+        let reachable = self.reachable(&meta)?;
+        let free: Vec<PageId> =
+            (page::META_SLOTS..meta.page_count).filter(|pid| !reachable.contains(pid)).collect();
+        self.pager.reset(meta.page_count, free);
+        let (universe, blob) = self.materialize()?;
+        let maintenance = if meta.maintenance.pid != 0 {
+            let bytes = heap::read_blob(&mut self.pager, meta.maintenance)?;
+            Some(String::from_utf8(bytes).map_err(|_| corrupt("maintenance blob is not UTF-8"))?)
+        } else {
+            None
+        };
+        self.universe_blob = blob;
+        self.has_base = true;
+        out.universe = Some(universe);
+        out.lsn = meta.lsn;
+        out.maintenance = maintenance;
+        Ok(())
+    }
+
     /// Every page reachable from `meta` (catalog tree, row trees, blob
     /// chains, maintenance blob).
     fn reachable(&mut self, meta: &Meta) -> StorageResult<BTreeSet<PageId>> {
@@ -1025,7 +1054,8 @@ impl PagedStorage {
                 )));
             }
         }
-        heap::free_blob(&mut self.pager, b)?;
+        // drop_db frees the entry's blob chain; freeing `b` here too
+        // would put the same pages on the free list twice.
         self.drop_db(catalog, db)?;
         self.put_db(catalog, db, &dbv)
     }
@@ -1163,36 +1193,27 @@ impl StorageEngine for PagedStorage {
             return Ok(out);
         }
         self.dir_synced = true;
-        // Pick the valid meta slot with the higher epoch. Both invalid
-        // means no commit ever completed (a crash during the very first
-        // one): start empty, the log replays everything.
-        let live = match (self.read_meta_slot(0), self.read_meta_slot(1)) {
-            (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { a } else { b }),
-            (a, b) => a.or(b),
-        };
-        let Some(meta) = live else {
-            return Ok(out);
-        };
-        self.meta = meta;
-        self.pager.reset(meta.page_count, Vec::new());
-        // Mark-and-sweep the free list: everything under the live meta
-        // is reachable; every other page id below page_count belongs to
-        // overwritten epochs (or commits that never landed) and is free.
-        let reachable = self.reachable(&meta)?;
-        let free: Vec<PageId> =
-            (page::META_SLOTS..meta.page_count).filter(|pid| !reachable.contains(pid)).collect();
-        self.pager.reset(meta.page_count, free);
-        let (universe, blob) = self.materialize()?;
-        self.universe_blob = blob;
-        self.has_base = true;
-        out.universe = Some(universe);
-        out.lsn = meta.lsn;
-        if meta.maintenance.pid != 0 {
-            let bytes = heap::read_blob(&mut self.pager, meta.maintenance)?;
-            out.maintenance = Some(
-                String::from_utf8(bytes).map_err(|_| corrupt("maintenance blob is not UTF-8"))?,
-            );
+        // Valid meta slots, newest epoch first. Both invalid means no
+        // commit ever completed (a crash during the very first one):
+        // start empty, the log replays everything.
+        let mut candidates: Vec<Meta> =
+            [self.read_meta_slot(0), self.read_meta_slot(1)].into_iter().flatten().collect();
+        candidates.sort_by_key(|m| std::cmp::Reverse(m.epoch));
+        for meta in candidates {
+            // A CRC-valid meta can still point at pages that never hit
+            // the disk (an unsynced commit torn by a crash, e.g. under
+            // SyncPolicy::Never): when its tree does not read back,
+            // fall back to the previous epoch's slot — losing recent
+            // commits beats refusing to open. Both slots unreadable
+            // degrades to "no base"; the op log replays what it holds.
+            if self.load_meta(meta, &mut out).is_ok() {
+                return Ok(out);
+            }
         }
+        self.has_base = false;
+        self.universe_blob = false;
+        self.meta = Meta { page_count: page::META_SLOTS, ..Meta::default() };
+        self.pager.reset(page::META_SLOTS, Vec::new());
         Ok(out)
     }
 
@@ -1411,6 +1432,40 @@ mod tests {
         // warm read after recovery
         let r = p2.read_relation("db", "r").unwrap().unwrap();
         assert_eq!(Some(&r), store.universe().attr("db").unwrap().attr("r"));
+    }
+
+    #[test]
+    fn recovery_falls_back_to_the_older_meta_slot() {
+        let vfs = Arc::new(SimVfs::new(FaultPlan::none(15)));
+        let store1 = store_ab();
+        let mut store2 = store_ab();
+        store2.insert("gamma", "s", tuple! { d: 1i64 }).unwrap();
+        let mut p = paged(&vfs, 64);
+        p.recover().unwrap();
+        p.apply_full(&store1, &seal(1)).unwrap();
+        let first_pages = p.file_pages();
+        p.apply_full(&store2, &seal(2)).unwrap();
+        let all_pages = p.file_pages();
+        drop(p);
+        // Zero every page the second commit wrote: its meta slot is
+        // intact but its tree is gone (the shape an unsynced commit
+        // torn by a power cut leaves behind).
+        let path = Path::new("/db/pages.idb");
+        for pid in first_pages..all_pages {
+            vfs.write_at(path, pid * PAGE_SIZE as u64, &vec![0u8; PAGE_SIZE]).unwrap();
+        }
+        let mut p2 = paged(&vfs, 64);
+        let rec = p2.recover().unwrap();
+        assert_eq!(rec.lsn, 1, "recovery fell back to the previous epoch");
+        assert_eq!(rec.universe.as_ref(), Some(store1.universe()));
+        // both slots unreadable degrades to "no base", not a hard error
+        for pid in page::META_SLOTS..all_pages {
+            vfs.write_at(path, pid * PAGE_SIZE as u64, &vec![0u8; PAGE_SIZE]).unwrap();
+        }
+        let mut p3 = paged(&vfs, 64);
+        let rec = p3.recover().unwrap();
+        assert_eq!(rec.universe, None);
+        assert_eq!(rec.lsn, 0);
     }
 
     #[test]

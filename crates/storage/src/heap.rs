@@ -74,12 +74,25 @@ pub fn read_blob(pager: &mut Pager, r: BlobRef) -> StorageResult<Vec<u8>> {
 }
 
 /// Appends every page of the blob chain to `out` (reachability sweeps).
+/// Guards mirror [`read_blob`]: this runs during recovery, where a
+/// CRC-valid but wrong page must fail closed, not panic or loop.
 pub fn blob_pages(pager: &mut Pager, r: BlobRef, out: &mut Vec<PageId>) -> StorageResult<()> {
     let mut pid = r.pid;
+    let mut hops = 0u64;
     while pid != 0 {
+        hops += 1;
+        if hops > r.len / MAX_SEG as u64 + 2 {
+            return Err(corrupt("segment chain longer than the blob length allows"));
+        }
         out.push(pid);
         let p = pager.get_checked(PageRef { pid, lsn: r.lsn })?;
+        if page::kind(&p) != KIND_HEAP || page::count(&p) == 0 {
+            return Err(corrupt(format!("page {pid} is not a blob segment")));
+        }
         let cell = page::cell(&p, 0);
+        if cell.len() < 8 {
+            return Err(corrupt(format!("segment on page {pid} is truncated")));
+        }
         pid = u64::from_le_bytes(cell[0..8].try_into().expect("8 bytes"));
     }
     Ok(())
@@ -144,6 +157,42 @@ mod tests {
         free_blob(&mut pager, r).unwrap();
         // freed-while-fresh pages are immediately reusable
         assert_eq!(pager.free_len(), 2);
+    }
+
+    #[test]
+    fn blob_pages_rejects_cycles_and_truncated_segments() {
+        let (_vfs, mut pager) = pager(8);
+        pager.begin(1);
+        // two segments pointing at each other: the hop bound must fire
+        let a = pager.alloc(page::init(KIND_HEAP, 1)).unwrap();
+        let b = pager.alloc(page::init(KIND_HEAP, 1)).unwrap();
+        let seg = |next: PageId| {
+            let mut c = next.to_le_bytes().to_vec();
+            c.extend_from_slice(&[9; 10]);
+            c
+        };
+        pager
+            .update(a, |p| {
+                page::insert(p, 0, &seg(b));
+            })
+            .unwrap();
+        pager
+            .update(b, |p| {
+                page::insert(p, 0, &seg(a));
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        let r = BlobRef { pid: a, slot: 0, lsn: 1, len: 20 };
+        assert!(blob_pages(&mut pager, r, &mut out).is_err(), "cycle must not hang");
+        // a segment cell shorter than the next pointer must not panic
+        let c = pager.alloc(page::init(KIND_HEAP, 1)).unwrap();
+        pager
+            .update(c, |p| {
+                page::insert(p, 0, &[1, 2, 3]);
+            })
+            .unwrap();
+        let r = BlobRef { pid: c, slot: 0, lsn: 1, len: 3 };
+        assert!(blob_pages(&mut pager, r, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub const KIND_HEAP: u8 = 4;
 const HEADER: usize = 20;
 const SLOT: usize = 4;
 
+/// Bytes available for cells and slot entries on a fresh page.
+pub const CAPACITY: usize = PAGE_SIZE - HEADER;
+
+/// Per-cell bookkeeping cost: every cell also consumes one slot entry.
+pub const CELL_OVERHEAD: usize = SLOT;
+
 /// A checked reference to a page: the id plus the LSN its content must
 /// carry. Catching a mismatch is how lost page writes fail closed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
